@@ -1,0 +1,70 @@
+// Ablation B: sensitivity of the end-to-end bound to its two free
+// parameters -- the per-node rate slack gamma (Eq. 30/32) and the
+// Chernoff parameter s of the effective-bandwidth EBB description.  The
+// paper optimizes gamma numerically and leaves s implicit; this bench
+// shows both matter: the bound is a pronounced valley in (gamma, s), so a
+// naive fixed choice can be several times worse than the optimized one.
+#include <cstdio>
+#include <limits>
+#include <iostream>
+
+#include "core/table.h"
+#include "e2e/delay_bound.h"
+#include "e2e/network_epsilon.h"
+#include "e2e/param_search.h"
+#include "traffic/mmoo.h"
+
+int main() {
+  using namespace deltanc;
+  using namespace deltanc::e2e;
+
+  Scenario sc;
+  sc.hops = 5;
+  sc.n_through = 100;
+  sc.n_cross = 236;  // U ~ 50%
+  sc.scheduler = Scheduler::kFifo;
+  const BoundResult best = best_delay_bound(sc);
+  std::printf("Ablation B: sensitivity to (gamma, s); FIFO, H = 5, U ~ 50%%\n");
+  std::printf("optimized bound: %.2f ms at gamma = %.4f, s = %.4f\n\n",
+              best.delay_ms, best.gamma, best.s);
+
+  // Sweep gamma at the optimal s.
+  {
+    Table table({"gamma/gamma_max", "bound [ms]", "vs optimum"});
+    const double eb = sc.source.effective_bandwidth(best.s);
+    const PathParams p{sc.capacity, sc.hops,  sc.n_through * eb,
+                       sc.n_cross * eb, best.s, 1.0, 0.0};
+    const double glim = p.gamma_limit();
+    for (double frac : {0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9, 0.98}) {
+      const double gamma = frac * glim;
+      const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
+      const double d = optimize_delay(p, gamma, sigma).delay;
+      table.add_row(Table::format(frac, 2), {d, d / best.delay_ms});
+    }
+    std::printf("--- gamma sweep (s fixed at optimum) ---\n");
+    table.print(std::cout);
+  }
+
+  // Sweep s with gamma re-optimized for each s.
+  {
+    Table table({"s", "bound [ms]", "vs optimum"});
+    for (double s : {0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32}) {
+      const double eb = sc.source.effective_bandwidth(s);
+      const PathParams p{sc.capacity, sc.hops,  sc.n_through * eb,
+                         sc.n_cross * eb, s, 1.0, 0.0};
+      const double glim = p.gamma_limit();
+      double bound = std::numeric_limits<double>::infinity();
+      if (glim > 0.0) {
+        for (int i = 1; i <= 40; ++i) {
+          const double gamma = glim * i / 41.0;
+          const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
+          bound = std::min(bound, optimize_delay(p, gamma, sigma).delay);
+        }
+      }
+      table.add_row(Table::format(s, 3), {bound, bound / best.delay_ms});
+    }
+    std::printf("\n--- s sweep (gamma re-optimized per s) ---\n");
+    table.print(std::cout);
+  }
+  return 0;
+}

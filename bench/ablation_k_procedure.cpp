@@ -1,0 +1,55 @@
+// Ablation A: the paper's explicit K-procedure (Eqs. 40-42) vs the exact
+// minimizer of Eq. (39) (breakpoint enumeration).  The paper notes its
+// choices are "not claimed optimal" but that K is usually close to H,
+// making the result near-optimal -- this bench quantifies the gap across
+// the Fig.-2 style operating grid for FIFO- and EDF-like Deltas.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <iostream>
+
+#include "core/table.h"
+#include "e2e/delay_bound.h"
+#include "e2e/k_procedure.h"
+#include "e2e/network_epsilon.h"
+
+int main() {
+  using namespace deltanc;
+  using namespace deltanc::e2e;
+  std::printf("Ablation A: paper K-procedure vs exact optimizer of Eq. (39)\n");
+  std::printf("(C = 100, rho = 15, alpha = 0.05, eps = 1e-9)\n\n");
+
+  Table table({"H", "rho_c", "Delta", "K", "exact d [ms]",
+               "K-proc d [ms]", "rel gap [%]"});
+  double worst = 0.0;
+  for (int hops : {2, 5, 10, 20}) {
+    for (double rho_c : {15.0, 35.0, 60.0}) {
+      for (double delta : {-40.0, -5.0, 0.0, 5.0, 40.0,
+                           std::numeric_limits<double>::infinity()}) {
+        const PathParams p{100.0, hops, 15.0, rho_c, 0.05, 1.0, delta};
+        const double gamma = 0.4 * p.gamma_limit();
+        const double sigma = sigma_for_epsilon(p, gamma, 1e-9);
+        const double exact = optimize_delay(p, gamma, sigma).delay;
+        const double paper = k_procedure_delay(p, gamma, sigma).delay;
+        const int k = k_procedure_index(p, gamma, sigma);
+        const double gap = 100.0 * (paper - exact) / exact;
+        worst = std::max(worst, gap);
+        table.add_row({std::to_string(hops), Table::format(rho_c, 0),
+                       Table::format(delta, 0), std::to_string(k),
+                       Table::format(exact), Table::format(paper),
+                       Table::format(gap, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nlargest suboptimality of the paper's procedure: %.3f%%\n"
+      "The gap is ~0 except for strongly negative Delta on short paths:\n"
+      "there the paper's K = 0 rule (X = -Delta, Eq. 42) overshoots, since\n"
+      "it assumes every theta_h is still positive at X = -Delta.  The exact\n"
+      "breakpoint enumeration (e2e/delay_bound.h) finds the interior\n"
+      "optimum the rule misses -- consistent with the paper's own caveat\n"
+      "that its choices are near-optimal, not optimal.\n",
+      worst);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the computational kernels:
+// min-plus convolution, the Eq. (39) optimizers, the closed-form epsilon
+// algebra, effective-bandwidth evaluation, and the simulator's slot rate.
+#include <benchmark/benchmark.h>
+
+#include "e2e/delay_bound.h"
+#include "e2e/k_procedure.h"
+#include "e2e/network_epsilon.h"
+#include "e2e/param_search.h"
+#include "nc/minplus_ops.h"
+#include "sim/tandem.h"
+#include "traffic/mmoo.h"
+
+namespace {
+
+using namespace deltanc;
+
+void BM_MinplusConvRateLatency(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::vector<nc::Curve> curves;
+  for (std::int64_t i = 0; i < n; ++i) {
+    curves.push_back(nc::Curve::rate_latency(100.0 - static_cast<double>(i),
+                                             0.5 + 0.1 * static_cast<double>(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nc::minplus_conv(std::span<const nc::Curve>(curves)));
+  }
+}
+BENCHMARK(BM_MinplusConvRateLatency)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MinplusConvGatedCurves(benchmark::State& state) {
+  const nc::Curve a = nc::Curve::affine(5.0, 3.0).gated(2.0);
+  const nc::Curve b = nc::Curve::affine(2.0, 4.0).gated(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nc::minplus_conv(a, b));
+  }
+}
+BENCHMARK(BM_MinplusConvGatedCurves);
+
+void BM_ServiceDelayBound(benchmark::State& state) {
+  const nc::Curve e = nc::Curve::leaky_bucket(2.0, 6.0);
+  const nc::Curve s = nc::Curve::rate_latency(3.0, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nc::service_delay_bound(e, s));
+  }
+}
+BENCHMARK(BM_ServiceDelayBound);
+
+void BM_OptimizeDelayExact(benchmark::State& state) {
+  const e2e::PathParams p{100.0, static_cast<int>(state.range(0)), 15.0,
+                          35.0,  0.05, 1.0, -5.0};
+  const double gamma = 0.4 * p.gamma_limit();
+  const double sigma = e2e::sigma_for_epsilon(p, gamma, 1e-9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e2e::optimize_delay(p, gamma, sigma));
+  }
+}
+BENCHMARK(BM_OptimizeDelayExact)->Arg(2)->Arg(10)->Arg(30);
+
+void BM_KProcedure(benchmark::State& state) {
+  const e2e::PathParams p{100.0, static_cast<int>(state.range(0)), 15.0,
+                          35.0,  0.05, 1.0, -5.0};
+  const double gamma = 0.4 * p.gamma_limit();
+  const double sigma = e2e::sigma_for_epsilon(p, gamma, 1e-9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e2e::k_procedure_delay(p, gamma, sigma));
+  }
+}
+BENCHMARK(BM_KProcedure)->Arg(10)->Arg(30);
+
+void BM_FullScenarioSolve(benchmark::State& state) {
+  e2e::Scenario sc;
+  sc.hops = static_cast<int>(state.range(0));
+  sc.n_through = 100;
+  sc.n_cross = 236;
+  sc.scheduler = e2e::Scheduler::kFifo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e2e::best_delay_bound(sc));
+  }
+}
+BENCHMARK(BM_FullScenarioSolve)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_EffectiveBandwidth(benchmark::State& state) {
+  const auto src = traffic::MmooSource::paper_source();
+  double s = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.effective_bandwidth(s));
+    s = s < 60.0 ? s * 1.01 : 0.001;
+  }
+}
+BENCHMARK(BM_EffectiveBandwidth);
+
+void BM_TandemSlots(benchmark::State& state) {
+  sim::TandemConfig c;
+  c.hops = 3;
+  c.n_through = 250;
+  c.n_cross = 250;
+  c.slots = state.range(0);
+  c.warmup_slots = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_tandem(c));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TandemSlots)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Quantitative check of the paper's scaling claims:
+//   * network-service-curve bounds grow as Theta(H log H)   (ref. [4]);
+//   * additive per-node bounds grow as O(H^3 log H) in discrete time.
+// The bench computes bounds over a geometric H-grid and fits log-log
+// slopes; d(H) ~ H log H shows an apparent exponent slightly above 1
+// that *decreases* toward 1 as H grows, while the additive curve's
+// apparent exponent rises well above 2.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+#include "core/table.h"
+
+int main() {
+  using namespace deltanc;
+
+  const std::vector<int> hs{2, 4, 8, 16, 32};
+  std::vector<double> net, add;
+  for (int hops : hs) {
+    const PathAnalyzer analyzer(ScenarioBuilder()
+                                    .hops(hops)
+                                    .through_utilization(0.25)
+                                    .cross_utilization(0.25)
+                                    .scheduler(e2e::Scheduler::kBmux)
+                                    .build());
+    net.push_back(analyzer.bound().delay_ms);
+    add.push_back(analyzer.additive_bound().delay_ms);
+  }
+
+  Table table({"H range", "net slope", "net slope (H log H model)",
+               "additive slope"});
+  for (std::size_t i = 0; i + 1 < hs.size(); ++i) {
+    const double dh = std::log(static_cast<double>(hs[i + 1]) / hs[i]);
+    const double s_net = std::log(net[i + 1] / net[i]) / dh;
+    const double s_add = std::log(add[i + 1] / add[i]) / dh;
+    // If d = c H log H exactly, the apparent log-log slope over
+    // [H1, H2] equals 1 + log(log H2 / log H1) / log(H2 / H1).
+    const double hloh =
+        1.0 + std::log(std::log(static_cast<double>(hs[i + 1])) /
+                       std::log(static_cast<double>(hs[i]))) /
+                  dh;
+    table.add_row({std::to_string(hs[i]) + "->" + std::to_string(hs[i + 1]),
+                   Table::format(s_net, 3), Table::format(hloh, 3),
+                   Table::format(s_add, 3)});
+  }
+  std::printf("Scaling-law fit (BMUX bounds, U = 50%%, eps = 1e-9)\n\n");
+  table.print(std::cout);
+  std::printf(
+      "\nThe network-service-curve slope stays near 1 (between the linear\n"
+      "floor and the H log H model), while the additive slope climbs well\n"
+      "past 2 -- the H^3-style blow-up of per-node composition.\n");
+  return 0;
+}

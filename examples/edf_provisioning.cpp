@@ -1,0 +1,86 @@
+// Admission control / provisioning with the single-node machinery:
+//
+//  1. Deterministic schedulability (Theorem 2): given leaky-bucket
+//     contracts, check whether a set of flows meets its deadlines under
+//     FIFO / SP / EDF on one link -- the tight condition Eq. (24).
+//  2. Capacity planning on a path: find the largest cross load a 6-hop
+//     EDF path can admit while keeping the through flow's probabilistic
+//     delay bound under a 100 ms budget.
+//
+// Build & run:  ./build/examples/edf_provisioning
+#include <cstdio>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+#include "sched/delta.h"
+#include "sched/schedulability.h"
+
+namespace {
+
+void deterministic_admission() {
+  using namespace deltanc;
+  std::printf("--- Deterministic single-node admission (Eq. 24) ---\n");
+  // Three leaky-bucket flows on a 100 Mbps link: a 20 Mbps video flow
+  // with a 4 Mb burst, a 30 Mbps data flow with a 10 Mb burst, and a
+  // 10 Mbps control flow with a 0.5 Mb burst.  (kb and ms units.)
+  const std::vector<nc::Curve> envelopes{
+      nc::Curve::leaky_bucket(20.0, 4000.0),
+      nc::Curve::leaky_bucket(30.0, 10000.0),
+      nc::Curve::leaky_bucket(10.0, 500.0)};
+  const double capacity = 100.0;
+
+  const auto report = [&](const char* name, const sched::DeltaMatrix& d) {
+    std::printf("  %-28s", name);
+    for (std::size_t flow = 0; flow < envelopes.size(); ++flow) {
+      std::printf("  flow%zu: %8.1f ms", flow,
+                  sched::min_delay_bound(capacity, d, envelopes, flow));
+    }
+    std::printf("\n");
+  };
+  report("FIFO", sched::DeltaMatrix::fifo(3));
+  report("SP (control highest)",
+         sched::DeltaMatrix::static_priority(std::vector<int>{1, 0, 2}));
+  // EDF deadlines: video 60 ms, data 400 ms, control 20 ms.
+  report("EDF (60/400/20 ms)",
+         sched::DeltaMatrix::edf(std::vector<double>{60.0, 400.0, 20.0}));
+  std::printf(
+      "  EDF meets the tight per-flow targets FIFO cannot differentiate;\n"
+      "  by Theorem 2 these numbers are exact worst-case delays.\n\n");
+}
+
+void path_capacity_planning() {
+  using namespace deltanc;
+  std::printf("--- Probabilistic capacity planning on a 6-hop EDF path ---\n");
+  const double budget_ms = 100.0;
+  // Binary search the admissible cross utilization.
+  double lo = 0.0, hi = 0.8;
+  for (int iter = 0; iter < 12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double bound =
+        PathAnalyzer(ScenarioBuilder()
+                         .hops(6)
+                         .through_utilization(0.15)
+                         .cross_utilization(mid)
+                         .scheduler(e2e::Scheduler::kEdf)
+                         .edf_deadlines(1.0, 10.0)
+                         .build())
+            .bound()
+            .delay_ms;
+    std::printf("  cross load %4.1f%% -> EDF bound %8.2f ms (%s)\n",
+                100.0 * mid, bound,
+                bound <= budget_ms ? "admit" : "reject");
+    (bound <= budget_ms ? lo : hi) = mid;
+  }
+  std::printf("  => largest admissible cross utilization: ~%.1f%% while "
+              "guaranteeing P(W > %.0f ms) <= 1e-9\n",
+              100.0 * lo, budget_ms);
+}
+
+}  // namespace
+
+int main() {
+  deterministic_admission();
+  path_capacity_planning();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Heterogeneous path analysis (the closing remark of Section IV): each
+// node may have a different link rate, a different cross load, and even a
+// different scheduler.  The example answers a deployment question: on a
+// path with one congested 50 Mbps bottleneck, where does upgrading the
+// scheduler from FIFO to deadline-based EDF actually help?
+//
+// Build & run:  ./build/examples/heterogeneous_path
+#include <cstdio>
+#include <limits>
+#include <iostream>
+
+#include "core/table.h"
+#include "e2e/heterogeneous.h"
+#include "traffic/mmoo.h"
+
+int main() {
+  using namespace deltanc;
+  using namespace deltanc::e2e;
+
+  const auto src = traffic::MmooSource::paper_source();
+  const double s = 0.01;  // Chernoff parameter (kept stable at the bottleneck)
+  const double eb = src.effective_bandwidth(s);
+
+  // 5-hop path: fast edge links, one 50 Mbps bottleneck at hop 3.
+  const auto make_path = [&](double delta_everywhere,
+                             double delta_bottleneck) {
+    HeteroPath p;
+    p.rho = 100 * eb;  // 100 through flows
+    p.alpha = s;
+    p.m = 1.0;
+    for (int h = 0; h < 5; ++h) {
+      const bool bottleneck = (h == 2);
+      NodeParams node;
+      node.capacity = bottleneck ? 50.0 : 100.0;
+      node.rho_cross = (bottleneck ? 120 : 150) * eb;
+      node.m_cross = 1.0;
+      node.delta = bottleneck ? delta_bottleneck : delta_everywhere;
+      p.nodes.push_back(node);
+    }
+    return p;
+  };
+
+  constexpr double kEps = 1e-9;
+  const double inf = std::numeric_limits<double>::infinity();
+
+  Table table({"configuration", "bound [ms]"});
+  const double all_fifo = hetero_best_delay_bound(make_path(0.0, 0.0), kEps);
+  table.add_row({"FIFO everywhere", Table::format(all_fifo)});
+  const double edf_bottleneck =
+      hetero_best_delay_bound(make_path(0.0, -40.0), kEps);
+  table.add_row({"FIFO + EDF at the bottleneck only",
+                 Table::format(edf_bottleneck)});
+  const double edf_everywhere =
+      hetero_best_delay_bound(make_path(-40.0, -40.0), kEps);
+  table.add_row({"EDF everywhere", Table::format(edf_everywhere)});
+  const double bmux = hetero_best_delay_bound(make_path(inf, inf), kEps);
+  table.add_row({"blind multiplexing (reference)", Table::format(bmux)});
+
+  std::printf("Through flow: 100 MMOO flows over 5 hops; hop 3 is a "
+              "50 Mbps bottleneck (eps = 1e-9)\n\n");
+  table.print(std::cout);
+  std::printf(
+      "\nUpgrading only the bottleneck captures %.0f%% of the gain of\n"
+      "upgrading every node: on heterogeneous paths the scheduler choice\n"
+      "matters exactly where the queueing happens.\n",
+      100.0 * (all_fifo - edf_bottleneck) /
+          std::max(1e-9, all_fifo - edf_everywhere));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Long-path study: the paper's title question, as a runnable experiment.
+//
+// Sweeps the path length H at fixed 50% utilization and prints the
+// end-to-end delay bound of each scheduler, the FIFO/BMUX ratio (how
+// quickly FIFO degenerates to blind multiplexing), and the EDF/BMUX
+// ratio (the scheduling gain that survives on long paths).
+//
+// Build & run:  ./build/examples/long_path_study
+#include <cstdio>
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+#include "core/table.h"
+
+int main() {
+  using namespace deltanc;
+
+  Table table({"H", "SP-high [ms]", "EDF [ms]", "FIFO [ms]", "BMUX [ms]",
+               "FIFO/BMUX", "EDF/BMUX"});
+
+  for (int hops : {1, 2, 3, 5, 8, 12, 16, 24}) {
+    const auto with_sched = [&](e2e::Scheduler s) {
+      return PathAnalyzer(ScenarioBuilder()
+                              .hops(hops)
+                              .through_utilization(0.25)
+                              .cross_utilization(0.25)
+                              .scheduler(s)
+                              .build())
+          .bound()
+          .delay_ms;
+    };
+    const double sp = with_sched(e2e::Scheduler::kSpHigh);
+    const double edf = with_sched(e2e::Scheduler::kEdf);
+    const double fifo = with_sched(e2e::Scheduler::kFifo);
+    const double bmux = with_sched(e2e::Scheduler::kBmux);
+    table.add_row(std::to_string(hops),
+                  {sp, edf, fifo, bmux, fifo / bmux, edf / bmux});
+  }
+
+  std::printf("End-to-end delay bounds vs path length "
+              "(U = 50%%, N0 = Nc, eps = 1e-9)\n\n");
+  table.print(std::cout);
+  std::printf(
+      "\nReading the ratios: FIFO/BMUX -> 1 quickly (by H ~ 5 the FIFO\n"
+      "analysis buys nothing over scheduler-blind multiplexing), while\n"
+      "EDF/BMUX stays well below 1 -- deadline-based scheduling keeps\n"
+      "providing delay differentiation no matter how long the path is.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: compute a probabilistic end-to-end delay bound for a flow
+// crossing a 5-hop path of 100 Mbps FIFO links, shared with Markov
+// modulated on-off cross traffic -- the paper's Section-V setting.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+
+int main() {
+  using namespace deltanc;
+
+  // 100 through flows (~15% load) and ~35% cross load at each of 5 nodes;
+  // delay bound violated with probability at most 1e-9.
+  const e2e::Scenario scenario = ScenarioBuilder()
+                                     .capacity_mbps(100.0)
+                                     .hops(5)
+                                     .through_utilization(0.15)
+                                     .cross_utilization(0.35)
+                                     .violation_probability(1e-9)
+                                     .scheduler(e2e::Scheduler::kFifo)
+                                     .build();
+
+  const PathAnalyzer analyzer(scenario);
+  const e2e::BoundResult fifo = analyzer.bound();
+
+  std::printf("Scenario: H = %d hops, N0 = %d through flows, Nc = %d cross "
+              "flows/node, U = %.0f%%\n",
+              scenario.hops, scenario.n_through, scenario.n_cross,
+              100.0 * scenario.utilization());
+  std::printf("FIFO end-to-end delay bound:   %.2f ms  "
+              "(P(W > bound) <= %g)\n",
+              fifo.delay_ms, scenario.epsilon);
+  std::printf("  optimizing parameters: gamma = %.4f Mbps/node, Chernoff "
+              "s = %.4f\n",
+              fifo.gamma, fifo.s);
+
+  // How much of that is the scheduler?  Compare against the
+  // scheduler-agnostic blind-multiplexing bound and against EDF with a
+  // 10x looser deadline for the cross traffic.
+  e2e::Scenario bm = scenario;
+  bm.scheduler = e2e::Scheduler::kBmux;
+  e2e::Scenario edf = scenario;
+  edf.scheduler = e2e::Scheduler::kEdf;  // d*_c = 10 d*_0, the paper's pick
+  std::printf("BMUX (scheduler-agnostic) bound: %.2f ms\n",
+              PathAnalyzer(bm).bound().delay_ms);
+  std::printf("EDF  (d*_c = 10 d*_0) bound:     %.2f ms\n",
+              PathAnalyzer(edf).bound().delay_ms);
+  std::printf("\nOn this 5-hop path the FIFO bound already sits near BMUX, "
+              "while EDF keeps a clear advantage --\nthe paper's answer to "
+              "\"does link scheduling matter on long paths?\" is yes.\n");
+  return 0;
+}

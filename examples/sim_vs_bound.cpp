@@ -1,0 +1,55 @@
+// Bound validation: run the slot-level tandem simulator with the actual
+// scheduling algorithms and check that the analytic end-to-end bounds
+// dominate the empirical delay quantiles at the same violation level.
+//
+// Build & run:  ./build/examples/sim_vs_bound
+#include <cstdio>
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+#include "core/table.h"
+
+int main() {
+  using namespace deltanc;
+
+  constexpr std::int64_t kSlots = 400000;  // 400 s of simulated time
+  Table table({"scheduler", "bound@eps_sim [ms]", "sim quantile [ms]",
+               "sim max [ms]", "samples", "holds"});
+
+  const struct {
+    const char* name;
+    e2e::Scheduler sched;
+  } cases[] = {{"FIFO", e2e::Scheduler::kFifo},
+               {"BMUX (SP low)", e2e::Scheduler::kBmux},
+               {"SP high", e2e::Scheduler::kSpHigh},
+               {"EDF d*c=10d*0", e2e::Scheduler::kEdf}};
+
+  std::printf("Tandem: H = 3, N0 = Nc = 250 (U ~ 75%%), C = 100 Mbps, "
+              "%lld slots\n\n",
+              static_cast<long long>(kSlots));
+
+  for (const auto& c : cases) {
+    const PathAnalyzer analyzer(ScenarioBuilder()
+                                    .hops(3)
+                                    .through_flows(250)
+                                    .cross_flows(250)
+                                    .scheduler(c.sched)
+                                    .build());
+    const ValidationReport r = analyzer.validate(kSlots, 2024);
+    // Re-derive the bound at the simulation's epsilon for the table.
+    e2e::Scenario at_eps = analyzer.scenario();
+    at_eps.epsilon = r.epsilon_sim;
+    const double bound_ms = e2e::best_delay_bound(at_eps).delay_ms;
+    table.add_row({c.name, Table::format(bound_ms),
+                   Table::format(r.empirical_quantile),
+                   Table::format(r.empirical_max),
+                   std::to_string(r.samples), r.bound_holds ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe analytic bounds hold with margin: they are worst-case-style\n"
+      "guarantees over all arrival correlations the EBB model admits,\n"
+      "while the simulation samples one (friendly) trajectory set.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Beyond on-off: a 3-state VBR video model (idle / active / burst)
+// pushed through the paper's end-to-end analysis.  The EBB machinery only
+// needs an effective-bandwidth bound, so any finite Markov-modulated
+// source works -- this example provisions a video aggregate across a
+// 4-hop path and compares FIFO with an EDF configuration that protects
+// the video's deadline.
+//
+// Build & run:  ./build/examples/vbr_video
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "core/table.h"
+#include "e2e/delay_bound.h"
+#include "e2e/network_epsilon.h"
+#include "traffic/markov.h"
+
+int main() {
+  using namespace deltanc;
+  using namespace deltanc::e2e;
+
+  // 3-state video: idle (0), active (2 kb/ms), burst (8 kb/ms); sticky
+  // transitions give long scenes and occasional bursts.
+  const traffic::MarkovSource video({{0.95, 0.05, 0.00},
+                                     {0.02, 0.90, 0.08},
+                                     {0.00, 0.30, 0.70}},
+                                    {0.0, 2.0, 8.0});
+  std::printf("VBR video source: mean %.2f Mbps, peak %.1f Mbps\n",
+              video.mean_rate(), video.peak_rate());
+
+  constexpr int kVideos = 15;      // through aggregate
+  constexpr int kCrossVideos = 15; // per node
+  constexpr int kHops = 4;
+  constexpr double kCapacity = 100.0;
+  constexpr double kEps = 1e-9;
+
+  Table table({"scheduler", "bound [ms]", "best s", "best gamma"});
+  for (double delta : {0.0, std::numeric_limits<double>::infinity(), -30.0}) {
+    // Optimize the Chernoff parameter and gamma by scanning (the video
+    // source is not an MmooSource, so we drive PathParams directly).
+    double best = std::numeric_limits<double>::infinity();
+    double best_s = 0.0, best_gamma = 0.0;
+    for (double s = 0.005; s <= 2.0; s *= 1.25) {
+      const double rho = kVideos * video.effective_bandwidth(s);
+      const double rho_c = kCrossVideos * video.effective_bandwidth(s);
+      if (rho + rho_c >= kCapacity) continue;
+      const PathParams p{kCapacity, kHops, rho, rho_c, s, 1.0, delta};
+      const double glim = p.gamma_limit();
+      for (int i = 1; i <= 32; ++i) {
+        const double gamma = glim * i / 33.0;
+        const double sigma = sigma_for_epsilon(p, gamma, kEps);
+        const double d = optimize_delay(p, gamma, sigma).delay;
+        if (d < best) {
+          best = d;
+          best_s = s;
+          best_gamma = gamma;
+        }
+      }
+    }
+    const char* name = delta == 0.0              ? "FIFO"
+                       : std::isfinite(delta)    ? "EDF (video favoured)"
+                                                 : "BMUX";
+    table.add_row({name, Table::format(best), Table::format(best_s, 4),
+                   Table::format(best_gamma, 4)});
+  }
+  std::printf("\n%d video flows across %d hops, %d cross videos per node "
+              "(C = %.0f Mbps, eps = %g):\n\n",
+              kVideos, kHops, kCrossVideos, kCapacity, kEps);
+  table.print(std::cout);
+  std::printf("\nThe same Section-IV machinery covers any finite Markov\n"
+              "source; only the effective-bandwidth curve changes.\n");
+  return 0;
+}

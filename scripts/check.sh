@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification: configure, build (warnings-as-errors), run the test
+# suite, run every bench binary (several enforce invariants via their exit
+# codes), and smoke-test the examples and the CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b ====="
+    "$b"
+  fi
+done
+
+for e in build/examples/*; do
+  if [ -f "$e" ] && [ -x "$e" ]; then
+    echo "===== $e ====="
+    "$e" > /dev/null
+  fi
+done
+./build/tools/deltanc_cli --hops 2 > /dev/null
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,97 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deltanc {
+
+PathAnalyzer::PathAnalyzer(e2e::Scenario scenario)
+    : scenario_(std::move(scenario)) {
+  if (scenario_.hops < 1 || scenario_.n_through < 1 ||
+      scenario_.n_cross < 0 ||
+      !(scenario_.epsilon > 0.0 && scenario_.epsilon < 1.0)) {
+    throw std::invalid_argument("PathAnalyzer: malformed scenario");
+  }
+}
+
+e2e::BoundResult PathAnalyzer::bound(e2e::Method method) const {
+  return e2e::best_delay_bound(scenario_, method);
+}
+
+e2e::BoundResult PathAnalyzer::additive_bound() const {
+  return e2e::best_additive_bmux_bound(scenario_);
+}
+
+sim::TandemConfig PathAnalyzer::tandem_config(std::int64_t slots,
+                                              std::uint64_t seed) const {
+  sim::TandemConfig c;
+  c.capacity_kb_per_slot = scenario_.capacity;
+  c.hops = scenario_.hops;
+  c.source = scenario_.source;
+  c.n_through = scenario_.n_through;
+  c.n_cross = scenario_.n_cross;
+  c.slots = slots;
+  c.seed = seed;
+  switch (scenario_.scheduler) {
+    case e2e::Scheduler::kFifo:
+      c.discipline = sim::DisciplineKind::kFifo;
+      break;
+    case e2e::Scheduler::kBmux:
+      c.discipline = sim::DisciplineKind::kSpThroughLow;
+      break;
+    case e2e::Scheduler::kSpHigh:
+      c.discipline = sim::DisciplineKind::kSpThroughHigh;
+      break;
+    case e2e::Scheduler::kEdf: {
+      c.discipline = sim::DisciplineKind::kEdf;
+      // Resolve the self-referential deadlines from the analytic bound.
+      const e2e::BoundResult b = bound();
+      if (!std::isfinite(b.delay_ms)) {
+        throw std::invalid_argument(
+            "PathAnalyzer::simulate: EDF deadlines need a finite bound");
+      }
+      c.edf_through_deadline =
+          scenario_.edf.own_factor * b.delay_ms / scenario_.hops;
+      c.edf_cross_deadline =
+          scenario_.edf.cross_factor * b.delay_ms / scenario_.hops;
+      break;
+    }
+  }
+  return c;
+}
+
+sim::TandemResult PathAnalyzer::simulate(std::int64_t slots,
+                                         std::uint64_t seed) const {
+  return sim::run_tandem(tandem_config(slots, seed));
+}
+
+ValidationReport PathAnalyzer::validate(std::int64_t slots,
+                                        std::uint64_t seed) const {
+  ValidationReport report{};
+  report.bound = bound();
+
+  const sim::TandemResult sim_result = simulate(slots, seed);
+  report.samples = sim_result.through_delay.count();
+  if (report.samples == 0) {
+    throw std::logic_error("PathAnalyzer::validate: no through samples");
+  }
+  // Pick the deepest quantile still resolvable with >= 100 tail samples,
+  // no deeper than the scenario's epsilon.
+  double eps_sim = 100.0 / static_cast<double>(report.samples);
+  eps_sim = std::max(eps_sim, scenario_.epsilon);
+  eps_sim = std::min(eps_sim, 0.5);
+  report.epsilon_sim = eps_sim;
+  report.empirical_quantile = sim_result.through_delay.quantile(1.0 - eps_sim);
+  report.empirical_max = sim_result.through_delay.max();
+
+  // The analytic bound at the simulation's epsilon level.
+  e2e::Scenario at_sim_eps = scenario_;
+  at_sim_eps.epsilon = eps_sim;
+  const e2e::BoundResult bound_sim = e2e::best_delay_bound(at_sim_eps);
+  report.bound_holds =
+      report.empirical_quantile <= bound_sim.delay_ms + 1e-9;
+  return report;
+}
+
+}  // namespace deltanc

@@ -1,0 +1,106 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/table.h"
+
+namespace deltanc {
+
+namespace {
+
+const char* scheduler_name(e2e::Scheduler s) {
+  switch (s) {
+    case e2e::Scheduler::kFifo:
+      return "FIFO";
+    case e2e::Scheduler::kBmux:
+      return "blind multiplexing (SP, through low)";
+    case e2e::Scheduler::kSpHigh:
+      return "static priority (through high)";
+    case e2e::Scheduler::kEdf:
+      return "EDF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<double> delay_ccdf_bound(const e2e::Scenario& scenario,
+                                     std::span<const double> epsilons,
+                                     e2e::Method method) {
+  std::vector<double> bounds;
+  bounds.reserve(epsilons.size());
+  for (double eps : epsilons) {
+    e2e::Scenario at_eps = scenario;
+    at_eps.epsilon = eps;
+    bounds.push_back(e2e::best_delay_bound(at_eps, method).delay_ms);
+  }
+  return bounds;
+}
+
+std::string render_report(const e2e::Scenario& scenario,
+                          const ReportOptions& options) {
+  std::ostringstream os;
+  const PathAnalyzer analyzer(scenario);
+
+  os << "# deltanc path analysis\n\n";
+  os << "## Scenario\n\n";
+  os << "| parameter | value |\n|---|---|\n";
+  os << "| link rate per node | " << Table::format(scenario.capacity, 1)
+     << " Mbps |\n";
+  os << "| path length | " << scenario.hops << " hops |\n";
+  os << "| through flows | " << scenario.n_through << " |\n";
+  os << "| cross flows per node | " << scenario.n_cross << " |\n";
+  os << "| total utilization | "
+     << Table::format(100.0 * scenario.utilization(), 1) << " % |\n";
+  os << "| scheduler | " << scheduler_name(scenario.scheduler) << " |\n";
+  os << "| target violation probability | " << scenario.epsilon << " |\n\n";
+
+  os << "## End-to-end delay bound\n\n";
+  const e2e::BoundResult bound = analyzer.bound();
+  if (!std::isfinite(bound.delay_ms)) {
+    os << "The configuration is **unstable** (offered load reaches the "
+          "link capacity); no finite bound exists.\n";
+    return os.str();
+  }
+  os << "P(W > **" << Table::format(bound.delay_ms) << " ms**) <= "
+     << scenario.epsilon << "  (optimized: gamma = "
+     << Table::format(bound.gamma, 4) << ", s = "
+     << Table::format(bound.s, 4) << ", Delta = " << bound.delta << ")\n\n";
+
+  os << "## Scheduler comparison (same scenario)\n\n";
+  os << "| scheduler | bound [ms] |\n|---|---|\n";
+  for (e2e::Scheduler s :
+       {e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+        e2e::Scheduler::kBmux}) {
+    e2e::Scenario alt = scenario;
+    alt.scheduler = s;
+    os << "| " << scheduler_name(s) << " | "
+       << Table::format(e2e::best_delay_bound(alt).delay_ms) << " |\n";
+  }
+  os << "\n## Delay CCDF bound\n\n| epsilon | d(epsilon) [ms] |\n|---|---|\n";
+  const std::vector<double> ccdf =
+      delay_ccdf_bound(scenario, options.ccdf_epsilons);
+  for (std::size_t i = 0; i < ccdf.size(); ++i) {
+    os << "| " << options.ccdf_epsilons[i] << " | "
+       << Table::format(ccdf[i]) << " |\n";
+  }
+
+  if (options.simulate_slots > 0) {
+    const ValidationReport v =
+        analyzer.validate(options.simulate_slots, options.seed);
+    os << "\n## Simulation cross-check\n\n";
+    os << "| metric | value |\n|---|---|\n";
+    os << "| simulated slots | " << options.simulate_slots << " |\n";
+    os << "| through samples | " << v.samples << " |\n";
+    os << "| empirical quantile (eps = " << v.epsilon_sim << ") | "
+       << Table::format(v.empirical_quantile) << " ms |\n";
+    os << "| empirical max | " << Table::format(v.empirical_max)
+       << " ms |\n";
+    os << "| bound dominates | " << (v.bound_holds ? "yes" : "**NO**")
+       << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace deltanc

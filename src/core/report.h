@@ -1,0 +1,33 @@
+// Markdown report generation: one call turns a scenario into a
+// self-contained analysis document (configuration, bounds for all
+// schedulers, the delay-CCDF bound, and optionally a simulation
+// cross-check) -- the artifact an operator would attach to a capacity
+// review.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+
+namespace deltanc {
+
+struct ReportOptions {
+  /// Violation probabilities for the delay-CCDF table.
+  std::vector<double> ccdf_epsilons{1e-3, 1e-6, 1e-9, 1e-12};
+  /// Simulation length in slots; 0 disables the empirical cross-check.
+  std::int64_t simulate_slots = 0;
+  std::uint64_t seed = 1;
+};
+
+/// The analytic delay-CCDF bound: d(eps) for each requested epsilon,
+/// using the scenario's scheduler.  Entries are +infinity when unstable.
+[[nodiscard]] std::vector<double> delay_ccdf_bound(
+    const e2e::Scenario& scenario, std::span<const double> epsilons,
+    e2e::Method method = e2e::Method::kExactOpt);
+
+/// Renders the full markdown report.
+[[nodiscard]] std::string render_report(const e2e::Scenario& scenario,
+                                        const ReportOptions& options = {});
+
+}  // namespace deltanc

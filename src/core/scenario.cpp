@@ -1,0 +1,88 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deltanc {
+
+ScenarioBuilder& ScenarioBuilder::capacity_mbps(double c) {
+  if (!(c > 0.0)) {
+    throw std::invalid_argument("ScenarioBuilder: capacity must be > 0");
+  }
+  sc_.capacity = c;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::hops(int h) {
+  if (h < 1) throw std::invalid_argument("ScenarioBuilder: hops must be >= 1");
+  sc_.hops = h;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::source(const traffic::MmooSource& src) {
+  sc_.source = src;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::through_flows(int n) {
+  if (n < 1) {
+    throw std::invalid_argument("ScenarioBuilder: need >= 1 through flow");
+  }
+  sc_.n_through = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::cross_flows(int n) {
+  if (n < 0) {
+    throw std::invalid_argument("ScenarioBuilder: cross flows must be >= 0");
+  }
+  sc_.n_cross = n;
+  return *this;
+}
+
+int ScenarioBuilder::flows_for_utilization(double u) const {
+  if (!(u >= 0.0)) {
+    throw std::invalid_argument("ScenarioBuilder: utilization must be >= 0");
+  }
+  return static_cast<int>(
+      std::lround(u * sc_.capacity / sc_.source.mean_rate()));
+}
+
+ScenarioBuilder& ScenarioBuilder::through_utilization(double u) {
+  sc_.n_through = std::max(1, flows_for_utilization(u));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::cross_utilization(double u) {
+  sc_.n_cross = flows_for_utilization(u);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::violation_probability(double eps) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("ScenarioBuilder: need 0 < epsilon < 1");
+  }
+  sc_.epsilon = eps;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::scheduler(e2e::Scheduler s) {
+  sc_.scheduler = s;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::edf_deadlines(double own_factor,
+                                                double cross_factor) {
+  if (!(own_factor > 0.0) || !(cross_factor > 0.0)) {
+    throw std::invalid_argument(
+        "ScenarioBuilder: EDF deadline factors must be > 0");
+  }
+  sc_.edf.own_factor = own_factor;
+  sc_.edf.cross_factor = cross_factor;
+  return *this;
+}
+
+e2e::Scenario ScenarioBuilder::build() const { return sc_; }
+
+}  // namespace deltanc

@@ -1,0 +1,49 @@
+// Fluent builder for end-to-end scenarios -- the entry point of the
+// public API.  Wraps e2e::Scenario with convenience conversions (e.g.
+// specifying load as a utilization fraction instead of a flow count, as
+// the paper's examples do).
+#pragma once
+
+#include "e2e/param_search.h"
+
+namespace deltanc {
+
+/// Builds an e2e::Scenario step by step.  All setters return *this.
+///
+/// Example (the paper's Fig. 2 operating point at U = 50%, H = 5):
+///
+///   auto scenario = ScenarioBuilder()
+///                       .hops(5)
+///                       .through_flows(100)
+///                       .cross_utilization(0.35)
+///                       .scheduler(e2e::Scheduler::kFifo)
+///                       .build();
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  ScenarioBuilder& capacity_mbps(double c);
+  ScenarioBuilder& hops(int h);
+  ScenarioBuilder& source(const traffic::MmooSource& src);
+  ScenarioBuilder& through_flows(int n);
+  ScenarioBuilder& cross_flows(int n);
+  /// Sets the through flow count from a utilization fraction of the link
+  /// (rounded to whole flows, minimum 1).
+  ScenarioBuilder& through_utilization(double u);
+  /// Sets the per-node cross flow count from a utilization fraction.
+  ScenarioBuilder& cross_utilization(double u);
+  ScenarioBuilder& violation_probability(double eps);
+  ScenarioBuilder& scheduler(e2e::Scheduler s);
+  /// EDF deadline factors: d*_0 = own * d_e2e/H, d*_c = cross * d_e2e/H.
+  ScenarioBuilder& edf_deadlines(double own_factor, double cross_factor);
+
+  /// @throws std::invalid_argument if the configuration is malformed.
+  [[nodiscard]] e2e::Scenario build() const;
+
+ private:
+  e2e::Scenario sc_{};
+
+  [[nodiscard]] int flows_for_utilization(double u) const;
+};
+
+}  // namespace deltanc

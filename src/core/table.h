@@ -1,0 +1,41 @@
+// Minimal table formatting for benches and examples: aligned console
+// output plus CSV emission, so every figure-reproduction binary prints
+// both a human-readable table and a machine-readable series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deltanc {
+
+/// A rectangular table of strings with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header width.
+  /// @throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision ("inf" for
+  /// non-finite values) after a leading label column.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Space-aligned, pipe-separated rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  /// Formats one double the same way add_row(label, values) does.
+  static std::string format(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deltanc

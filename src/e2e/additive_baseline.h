@@ -1,0 +1,44 @@
+// Node-by-node additive delay bounds for blind multiplexing -- the
+// baseline of Example 3 / Fig. 4 ("adding per-node delay bounds", the
+// discrete-time analysis of Ciucu/Burchard/Liebeherr 2006 sketched in the
+// paper's introduction).
+//
+// At each node h the through traffic is described by an EBB bound
+// (M_h, rho_h, alpha_h); the node offers the BMUX leftover service
+// (C - rho_c - gamma) t with bounding function M e^{-alpha sigma}/(1-q).
+// The per-node delay bound follows from the single-node result Eq. (20)
+// with an even epsilon/H split across the nodes, and the *output* of the
+// node (which feeds node h+1) is again EBB with
+//
+//   rho_{h+1}   = rho_h + gamma,
+//   eps_{h+1}   = inf-convolution of the input sample-path bound and the
+//                 service bound  (decay shrinks roughly like alpha / 2h),
+//
+// so the per-node sigma -- and hence the per-node delay -- grows with h.
+// Summing yields the O(H^3 log H) growth the paper quotes, in contrast to
+// the Theta(H log H) growth of the network-service-curve bound.
+#pragma once
+
+#include "e2e/param_search.h"
+#include "e2e/path_params.h"
+
+namespace deltanc::e2e {
+
+/// The additive end-to-end bound for fixed EBB parameters, slack gamma,
+/// and target violation probability epsilon.  Returns +infinity when the
+/// configuration is unstable (needs rho + H gamma + rho_c + gamma < C).
+/// `p.delta` is ignored (the analysis is BMUX by construction).
+[[nodiscard]] double additive_bmux_delay(const PathParams& p, double gamma,
+                                         double epsilon);
+
+/// Per-node breakdown of the same bound (diagnostics / tests): element h
+/// is the delay bound at node h+1.
+[[nodiscard]] std::vector<double> additive_bmux_per_node(const PathParams& p,
+                                                         double gamma,
+                                                         double epsilon);
+
+/// Scenario-level wrapper optimizing (gamma, s), mirroring
+/// `best_delay_bound_for_delta` for the additive method.
+[[nodiscard]] BoundResult best_additive_bmux_bound(const Scenario& sc);
+
+}  // namespace deltanc::e2e

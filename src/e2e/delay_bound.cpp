@@ -1,0 +1,134 @@
+#include "e2e/delay_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "e2e/theta_solver.h"
+
+namespace deltanc::e2e {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DelayResult optimize_delay(const PathParams& p, double gamma, double sigma) {
+  p.validate();
+  if (!(gamma > 0.0) || !(gamma < p.gamma_limit())) {
+    throw std::invalid_argument(
+        "optimize_delay: gamma must satisfy Eq. (32): 0 < (H+1) gamma < "
+        "C - rho_c - rho");
+  }
+  if (!(sigma >= 0.0)) {
+    throw std::invalid_argument("optimize_delay: sigma must be >= 0");
+  }
+
+  // Breakpoints of X -> theta_h(X): regime switches and zeros of each
+  // theta_h.  Between consecutive candidates the objective is affine, so
+  // the global optimum sits on a candidate.
+  std::vector<double> candidates{0.0};
+  for (int h = 1; h <= p.hops; ++h) {
+    const double ch = p.capacity - (h - 1) * gamma;
+    const double rc = p.rho_cross + gamma;
+    const double slack = ch - rc;
+    if (p.delta > 0.0) {
+      candidates.push_back(sigma / slack);                    // theta_a = 0
+      if (std::isfinite(p.delta)) {
+        candidates.push_back(sigma / slack - p.delta);        // theta_a = Delta
+        candidates.push_back((sigma + rc * p.delta) / slack); // theta_b = 0
+      }
+    } else {
+      candidates.push_back(sigma / ch);                       // bracket empty
+      if (std::isfinite(p.delta)) {
+        candidates.push_back(-p.delta);                       // bracket kink
+        candidates.push_back((sigma + rc * p.delta) / slack); // theta = 0
+      }
+    }
+  }
+
+  double best_x = 0.0;
+  double best_f = kInf;
+  for (double x : candidates) {
+    if (!(x >= 0.0)) continue;
+    const double f = objective(p, gamma, sigma, x);
+    // Ties are broken toward larger X: the objective has flat stretches
+    // (e.g. BMUX), and the all-theta-zero corner is the canonical optimum
+    // the paper reports (Eq. 43).
+    if (f < best_f - 1e-12 || (f < best_f + 1e-12 && x > best_x)) {
+      best_f = std::min(best_f, f);
+      best_x = x;
+    }
+  }
+
+  DelayResult result;
+  result.delay = best_f;
+  result.x = best_x;
+  result.theta.reserve(static_cast<std::size_t>(p.hops));
+  for (int h = 1; h <= p.hops; ++h) {
+    result.theta.push_back(theta_h(p, gamma, sigma, h, best_x));
+  }
+  return result;
+}
+
+double bmux_delay(const PathParams& p, double gamma, double sigma) {
+  p.validate();
+  if (p.delta != kInf) {
+    throw std::invalid_argument("bmux_delay: requires Delta = +infinity");
+  }
+  const double slack = p.capacity - p.rho_cross - p.hops * gamma;
+  if (!(slack > 0.0)) {
+    throw std::invalid_argument("bmux_delay: unstable (Eq. 32 violated)");
+  }
+  return sigma / slack;
+}
+
+double fifo_delay(const PathParams& p, double gamma, double sigma) {
+  p.validate();
+  if (p.delta != 0.0) {
+    throw std::invalid_argument("fifo_delay: requires Delta = 0");
+  }
+  // Eq. (40): smallest K with sum_{h>K} (C - rho_c - h gamma)/(C - (h-1) gamma) < 1.
+  int k = p.hops;
+  double tail = 0.0;
+  for (int h = p.hops; h >= 1; --h) {
+    const double term = (p.capacity - p.rho_cross - h * gamma) /
+                        (p.capacity - (h - 1) * gamma);
+    if (tail + term >= 1.0) break;
+    tail += term;
+    k = h - 1;
+  }
+  if (k == 0) {
+    // Eq. (41) sets X = 0 for K = 0; then theta_h = sigma / (C - (h-1) gamma).
+    double d = 0.0;
+    for (int h = 1; h <= p.hops; ++h) {
+      d += sigma / (p.capacity - (h - 1) * gamma);
+    }
+    return d;
+  }
+  const double slack_k = p.capacity - p.rho_cross - k * gamma;
+  if (!(slack_k > 0.0)) {
+    throw std::invalid_argument("fifo_delay: unstable configuration");
+  }
+  // Eq. (44).
+  double factor = 1.0;
+  for (int h = k + 1; h <= p.hops; ++h) {
+    factor += (h - k) * gamma / (p.capacity - (h - 1) * gamma);
+  }
+  return sigma / slack_k * factor;
+}
+
+double sp_high_delay(const PathParams& p, double gamma, double sigma) {
+  p.validate();
+  if (p.delta != -kInf) {
+    throw std::invalid_argument("sp_high_delay: requires Delta = -infinity");
+  }
+  const double slack = p.capacity - (p.hops - 1) * gamma;
+  if (!(slack > 0.0)) {
+    throw std::invalid_argument("sp_high_delay: unstable configuration");
+  }
+  return sigma / slack;
+}
+
+}  // namespace deltanc::e2e

@@ -1,0 +1,36 @@
+// The end-to-end delay bound d(sigma) of Eq. (39):
+//
+//     d(sigma) = min_{X >= 0}  X + sum_{h=1}^H theta_h(X) .
+//
+// Each theta_h(X) is piecewise affine in X, so the objective is piecewise
+// affine and its global minimum is attained at one of finitely many
+// breakpoints -- `optimize_delay` enumerates them exactly (this also
+// covers the non-convex Delta > 0 case the paper points out).  The
+// paper's explicit (near-optimal) K-procedure is implemented separately
+// in e2e/k_procedure.h; closed forms for BMUX (Eq. 43), FIFO (Eq. 44),
+// and SP-high are provided for cross-validation.
+#pragma once
+
+#include "e2e/path_params.h"
+
+namespace deltanc::e2e {
+
+/// Exact minimization of Eq. (39) by breakpoint enumeration.
+[[nodiscard]] DelayResult optimize_delay(const PathParams& p, double gamma,
+                                         double sigma);
+
+/// Blind multiplexing closed form (Eq. 43): d = sigma / (C - rho_c - H gamma).
+/// Requires p.delta = +infinity.
+[[nodiscard]] double bmux_delay(const PathParams& p, double gamma,
+                                double sigma);
+
+/// FIFO closed form (Eq. 44).  Requires p.delta = 0.
+[[nodiscard]] double fifo_delay(const PathParams& p, double gamma,
+                                double sigma);
+
+/// SP-high closed form (cross traffic never precedes, Delta = -infinity):
+/// d = sigma / (C - (H-1) gamma).
+[[nodiscard]] double sp_high_delay(const PathParams& p, double gamma,
+                                   double sigma);
+
+}  // namespace deltanc::e2e

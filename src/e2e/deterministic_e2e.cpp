@@ -1,0 +1,108 @@
+#include "e2e/deterministic_e2e.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "nc/minplus_ops.h"
+#include "sched/delta.h"
+#include "sched/delta_service_curve.h"
+
+namespace deltanc::e2e {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void DetPath::validate() const {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("DetPath: capacity must be > 0");
+  }
+  if (hops < 1) throw std::invalid_argument("DetPath: hops must be >= 1");
+  if (through_envelope.has_infinite_tail() ||
+      cross_envelope.has_infinite_tail()) {
+    throw std::invalid_argument("DetPath: envelopes must be finite");
+  }
+  if (!through_envelope.is_nondecreasing() ||
+      !cross_envelope.is_nondecreasing()) {
+    throw std::invalid_argument("DetPath: envelopes must be non-decreasing");
+  }
+  if (delta != delta) throw std::invalid_argument("DetPath: NaN delta");
+}
+
+nc::Curve det_network_service_curve(const DetPath& p, double theta) {
+  p.validate();
+  if (!(theta >= 0.0)) {
+    throw std::invalid_argument("det_network_service_curve: theta >= 0");
+  }
+  // Two-flow Delta matrix: flow 0 = through, flow 1 = cross, with
+  // Delta_{0,1} = p.delta (the reverse direction does not matter here).
+  const double back = std::isfinite(p.delta) ? -p.delta : (p.delta > 0 ? -kInf : kInf);
+  sched::DeltaMatrix delta({{0.0, p.delta}, {back, 0.0}});
+  const std::vector<nc::Curve> envelopes{p.through_envelope,
+                                         p.cross_envelope};
+  const nc::Curve per_node = sched::deterministic_service_curve(
+      p.capacity, delta, envelopes, /*flow=*/0, theta);
+  nc::Curve net = per_node;
+  for (int h = 1; h < p.hops; ++h) {
+    net = nc::minplus_conv(net, per_node);
+  }
+  return net;
+}
+
+double det_e2e_delay(const DetPath& p, double theta) {
+  const nc::Curve net = det_network_service_curve(p, theta);
+  // The convolution of gated curves is not monotone in general (the
+  // gates introduce plateaus); service_delay_bound handles that.
+  return nc::service_delay_bound(p.through_envelope, net);
+}
+
+double det_e2e_best_delay(const DetPath& p, double* best_theta) {
+  p.validate();
+  // Stability: aggregate long-run rate below capacity.
+  const double rate = p.through_envelope.final_slope() +
+                      p.cross_envelope.final_slope();
+  if (rate > p.capacity + 1e-12) return kInf;
+
+  // theta = 0 corresponds to the BMUX-style bound; larger theta trades
+  // gate delay against a larger leftover.  Bracket by the theta-0 delay.
+  const double d0 = det_e2e_delay(p, 0.0);
+  if (!std::isfinite(d0)) return d0;
+  const double hi = 2.0 * d0 + 1.0;
+
+  double best = d0;
+  double best_t = 0.0;
+  const int kScan = 40;
+  for (int i = 1; i <= kScan; ++i) {
+    const double theta = hi * static_cast<double>(i) / kScan;
+    const double d = det_e2e_delay(p, theta);
+    if (d < best) {
+      best = d;
+      best_t = theta;
+    }
+  }
+  // Golden refinement around the best scan point.
+  double lo = std::max(0.0, best_t - hi / kScan);
+  double up = std::min(hi, best_t + hi / kScan);
+  const double inv_phi = 0.6180339887498949;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double x1 = up - inv_phi * (up - lo);
+    const double x2 = lo + inv_phi * (up - lo);
+    if (det_e2e_delay(p, x1) < det_e2e_delay(p, x2)) {
+      up = x2;
+    } else {
+      lo = x1;
+    }
+  }
+  const double refined = det_e2e_delay(p, 0.5 * (lo + up));
+  if (refined < best) {
+    best = refined;
+    best_t = 0.5 * (lo + up);
+  }
+  if (best_theta != nullptr) *best_theta = best_t;
+  return best;
+}
+
+}  // namespace deltanc::e2e

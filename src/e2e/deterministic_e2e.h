@@ -1,0 +1,52 @@
+// Deterministic (worst-case) end-to-end analysis -- the gamma = 0
+// special case of Section IV, executed at the curve level:
+//
+//  1. at each node, build the Theorem-1 deterministic service curve
+//     (Eq. 19) for the through flow against the local cross envelope;
+//  2. min-plus convolve the per-node curves into the network service
+//     curve S_net = S_1 * ... * S_H (exact piecewise-linear convolution);
+//  3. the worst-case end-to-end delay is the smallest d with
+//     E_0(t) <= S_net(t + d)  (service_delay_bound).
+//
+// Each choice of the per-node gate parameters theta_h gives a valid
+// bound; per the paper's gamma = 0 discussion the optimum uses a common
+// theta across homogeneous nodes, which `det_e2e_best_delay` searches.
+// Deterministic bounds are never violated -- the simulator can approach
+// but not exceed them.
+#pragma once
+
+#include <span>
+
+#include "nc/curve.h"
+
+namespace deltanc::e2e {
+
+/// Homogeneous deterministic path: every node has rate `capacity`, cross
+/// traffic bounded by `cross_envelope` (fresh at each node), and the
+/// scheduler's through/cross constant is `delta`.
+struct DetPath {
+  double capacity;
+  int hops;
+  nc::Curve through_envelope;  ///< deterministic sample-path envelope E_0
+  nc::Curve cross_envelope;    ///< deterministic envelope E_c per node
+  double delta;                ///< Delta_{0,c}; +/-inf allowed
+
+  /// @throws std::invalid_argument on malformed values.
+  void validate() const;
+};
+
+/// The network service curve for a given common gate parameter theta
+/// (applied at every node).
+[[nodiscard]] nc::Curve det_network_service_curve(const DetPath& p,
+                                                  double theta);
+
+/// End-to-end worst-case delay for a given common theta; +infinity when
+/// unstable.
+[[nodiscard]] double det_e2e_delay(const DetPath& p, double theta);
+
+/// Minimizes det_e2e_delay over theta >= 0 (coarse scan + golden
+/// refinement).  Writes the optimizing theta if requested.
+[[nodiscard]] double det_e2e_best_delay(const DetPath& p,
+                                        double* best_theta = nullptr);
+
+}  // namespace deltanc::e2e

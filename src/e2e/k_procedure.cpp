@@ -1,0 +1,84 @@
+#include "e2e/k_procedure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "e2e/theta_solver.h"
+
+namespace deltanc::e2e {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool eq40_holds(const PathParams& p, double gamma, int k) {
+  double sum = 0.0;
+  for (int h = k + 1; h <= p.hops; ++h) {
+    sum += (p.capacity - p.rho_cross - h * gamma) /
+           (p.capacity - (h - 1) * gamma);
+  }
+  return sum < 1.0;
+}
+
+double x_for_k(const PathParams& p, double gamma, double sigma, int k) {
+  if (p.delta >= 0.0) {
+    if (k == 0) return 0.0;
+    return sigma / (p.capacity - p.rho_cross - k * gamma);  // Eq. (41)
+  }
+  if (k == 0) return std::isfinite(p.delta) ? -p.delta : 0.0;
+  const double a = sigma / (p.capacity - (k - 1) * gamma);
+  const double b = std::isfinite(p.delta)
+                       ? (sigma + (p.rho_cross + gamma) * p.delta) /
+                             (p.capacity - p.rho_cross - k * gamma)
+                       : -kInf;
+  return std::max(a, b);  // Eq. (42)
+}
+
+bool thetas_exceed_delta(const PathParams& p, double gamma, double sigma,
+                         int k, double x) {
+  if (!(p.delta >= 0.0) || !std::isfinite(p.delta)) return true;
+  for (int h = k + 1; h <= p.hops; ++h) {
+    if (theta_h(p, gamma, sigma, h, x) <= p.delta) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int k_procedure_index(const PathParams& p, double gamma, double sigma) {
+  p.validate();
+  if (!(gamma > 0.0) || !(gamma < p.gamma_limit())) {
+    throw std::invalid_argument("k_procedure: gamma violates Eq. (32)");
+  }
+  // Delta = +inf is the paper's explicit BMUX special case (Eq. 43):
+  // theta_h never exceeds Delta, so the regime-B derivative analysis
+  // behind Eq. (40) does not apply; the optimum is K = H, all theta = 0.
+  if (p.delta == kInf) return p.hops;
+  for (int k = 0; k <= p.hops; ++k) {
+    if (!eq40_holds(p, gamma, k)) continue;
+    const double x = std::max(0.0, x_for_k(p, gamma, sigma, k));
+    if (!thetas_exceed_delta(p, gamma, sigma, k, x)) continue;
+    return k;
+  }
+  return p.hops;  // Eq. (40) always holds at K = H (empty sum)
+}
+
+DelayResult k_procedure_delay(const PathParams& p, double gamma,
+                              double sigma) {
+  const int k = k_procedure_index(p, gamma, sigma);
+  const double x = std::max(0.0, x_for_k(p, gamma, sigma, k));
+  DelayResult result;
+  result.x = x;
+  result.delay = x;
+  result.theta.reserve(static_cast<std::size_t>(p.hops));
+  for (int h = 1; h <= p.hops; ++h) {
+    const double th = theta_h(p, gamma, sigma, h, x);
+    result.theta.push_back(th);
+    result.delay += th;
+  }
+  return result;
+}
+
+}  // namespace deltanc::e2e

@@ -1,0 +1,63 @@
+#include "e2e/network_epsilon.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace deltanc::e2e {
+
+namespace {
+
+void check_gamma(double gamma) {
+  if (!(gamma > 0.0)) {
+    throw std::invalid_argument("network epsilon: gamma must be > 0");
+  }
+}
+
+}  // namespace
+
+nc::ExpBound network_service_bound(const PathParams& p, double gamma) {
+  p.validate();
+  check_gamma(gamma);
+  const double h = static_cast<double>(p.hops);
+  const double q = std::exp(-p.alpha * gamma);
+  const double prefactor = p.m * h * std::pow(1.0 - q, -(2.0 * h - 1.0) / h);
+  return nc::ExpBound(prefactor, p.alpha / h);
+}
+
+nc::ExpBound delay_violation_bound(const PathParams& p, double gamma) {
+  p.validate();
+  check_gamma(gamma);
+  const double h = static_cast<double>(p.hops);
+  const double q = std::exp(-p.alpha * gamma);
+  const double prefactor =
+      p.m * (h + 1.0) * std::pow(1.0 - q, -2.0 * h / (h + 1.0));
+  return nc::ExpBound(prefactor, p.alpha / (h + 1.0));
+}
+
+double sigma_for_epsilon(const PathParams& p, double gamma, double epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("sigma_for_epsilon: need 0 < epsilon < 1");
+  }
+  return delay_violation_bound(p, gamma).sigma_for(epsilon);
+}
+
+nc::ExpBound network_service_bound_generic(
+    std::span<const nc::ExpBound> node_bounds, double gamma) {
+  if (node_bounds.empty()) {
+    throw std::invalid_argument(
+        "network_service_bound_generic: need at least one node");
+  }
+  check_gamma(gamma);
+  // Eq. (31): nodes 1..H-1 are summed over the geometric slack tail; the
+  // last node enters once; the sigma split is optimized (Eq. (33)).
+  std::vector<nc::ExpBound> terms;
+  terms.reserve(node_bounds.size());
+  for (std::size_t h = 0; h + 1 < node_bounds.size(); ++h) {
+    terms.push_back(nc::geometric_tail(node_bounds[h], gamma));
+  }
+  terms.push_back(node_bounds.back());
+  return nc::inf_convolution(terms);
+}
+
+}  // namespace deltanc::e2e

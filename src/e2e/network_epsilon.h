@@ -1,0 +1,49 @@
+// The end-to-end violation probability of Section IV.
+//
+// Convolving the per-node Theorem-1 service curves with per-node rate
+// degradation gamma (Eq. (30)) yields the bounding function Eq. (31),
+// which for homogeneous EBB parameters evaluates in closed form (Eq. 34):
+//
+//   eps_net(sigma) = M H (1-q)^{-(2H-1)/H} e^{-alpha sigma / H},
+//   P(W > d(sigma)) <= M (H+1) (1-q)^{-2H/(H+1)} e^{-alpha sigma/(H+1)},
+//
+// with q = e^{-alpha gamma}.  This module provides both the closed form
+// and the generic construction from per-node bounds (used to cross-check
+// the closed form and to support heterogeneous nodes).
+#pragma once
+
+#include <span>
+
+#include "e2e/path_params.h"
+#include "nc/bounding_function.h"
+
+namespace deltanc::e2e {
+
+/// eps_net of Eq. (34), first display: the bounding function of the
+/// network service curve S_net over H nodes.
+/// @throws std::invalid_argument unless 0 < gamma.
+[[nodiscard]] nc::ExpBound network_service_bound(const PathParams& p,
+                                                 double gamma);
+
+/// The end-to-end delay violation bound of Eq. (34), second display:
+/// the inf-convolution of eps_net with the through-traffic sample-path
+/// envelope bound.  P(W > d(sigma)) <= result.eval(sigma).
+[[nodiscard]] nc::ExpBound delay_violation_bound(const PathParams& p,
+                                                 double gamma);
+
+/// Inverts the delay violation bound: the sigma achieving a target
+/// violation probability epsilon,
+///   sigma(eps) = (H+1)/alpha * ln( M(H+1)(1-q)^{-2H/(H+1)} / eps ).
+[[nodiscard]] double sigma_for_epsilon(const PathParams& p, double gamma,
+                                       double epsilon);
+
+/// Generic construction of Eq. (31) from per-node bounding functions
+/// (heterogeneous networks): node h contributes its bound eps_h summed
+/// over the geometric gamma-tail, the last node contributes once, and the
+/// terms combine by inf-convolution over the sigma split.
+/// `node_bounds[h]` is the Theorem-1 bound of node h+1.
+/// @throws std::invalid_argument if empty or gamma <= 0.
+[[nodiscard]] nc::ExpBound network_service_bound_generic(
+    std::span<const nc::ExpBound> node_bounds, double gamma);
+
+}  // namespace deltanc::e2e

@@ -1,0 +1,201 @@
+#include "e2e/param_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "e2e/delay_bound.h"
+#include "e2e/k_procedure.h"
+#include "e2e/network_epsilon.h"
+
+namespace deltanc::e2e {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PathParams make_params(const Scenario& sc, double s, double delta) {
+  const double eb = sc.source.effective_bandwidth(s);
+  return PathParams{sc.capacity,
+                    sc.hops,
+                    sc.n_through * eb,
+                    sc.n_cross * eb,
+                    s,
+                    1.0,
+                    delta};
+}
+
+double delay_at(const Scenario& sc, double delta, Method method, double s,
+                double gamma) {
+  const PathParams p = make_params(sc, s, delta);
+  if (!(gamma > 0.0) || !(gamma < p.gamma_limit())) return kInf;
+  const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
+  switch (method) {
+    case Method::kExactOpt:
+      return optimize_delay(p, gamma, sigma).delay;
+    case Method::kPaperK:
+      return k_procedure_delay(p, gamma, sigma).delay;
+  }
+  return kInf;
+}
+
+/// Golden-section minimization of a continuous function on [lo, hi],
+/// seeded by a coarse scan so that a locally non-unimodal objective still
+/// lands in the right valley.
+template <typename F>
+double minimize_scalar(F f, double lo, double hi, int scan_points,
+                       int golden_iters, double* best_arg) {
+  double best_x = lo;
+  double best_v = kInf;
+  for (int i = 0; i <= scan_points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / scan_points;
+    const double v = f(x);
+    if (v < best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  const double step = (hi - lo) / scan_points;
+  double a = std::max(lo, best_x - step);
+  double b = std::min(hi, best_x + step);
+  const double inv_phi = 0.6180339887498949;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int iter = 0; iter < golden_iters; ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  const double xm = 0.5 * (a + b);
+  const double vm = f(xm);
+  if (vm < best_v) {
+    best_v = vm;
+    best_x = xm;
+  }
+  if (best_arg != nullptr) *best_arg = best_x;
+  return best_v;
+}
+
+/// Best delay over gamma for fixed s; returns +inf when unstable.
+double best_over_gamma(const Scenario& sc, double delta, Method method,
+                       double s, double* best_gamma) {
+  const PathParams probe = make_params(sc, s, delta);
+  const double glim = probe.gamma_limit();
+  if (!(glim > 0.0)) return kInf;
+  return minimize_scalar(
+      [&](double gamma) { return delay_at(sc, delta, method, s, gamma); },
+      1e-4 * glim, 0.9999 * glim, 24, 48, best_gamma);
+}
+
+}  // namespace
+
+double max_stable_s(const Scenario& sc) {
+  const double n = sc.n_through + sc.n_cross;
+  if (n * sc.source.mean_rate() >= sc.capacity) return 0.0;
+  if (n * sc.source.peak_rate() < sc.capacity) return kInf;
+  double lo = 1e-9, hi = 1.0;
+  while (n * sc.source.effective_bandwidth(hi) < sc.capacity) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (n * sc.source.effective_bandwidth(mid) < sc.capacity) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+BoundResult best_delay_bound_for_delta(const Scenario& sc, double delta,
+                                       Method method) {
+  if (sc.hops < 1 || sc.n_through < 1 || sc.n_cross < 0 ||
+      !(sc.epsilon > 0.0 && sc.epsilon < 1.0)) {
+    throw std::invalid_argument("best_delay_bound: malformed scenario");
+  }
+  BoundResult result{kInf, 0.0, 0.0, 0.0, delta};
+  double s_hi = max_stable_s(sc);
+  if (s_hi == 0.0) return result;  // unstable at any s
+  if (s_hi == kInf) s_hi = 64.0;   // peak rate fits; cap the search
+  s_hi *= 0.999;
+  const double s_lo = 1e-4;
+
+  // Coarse logarithmic scan over s, then golden refinement.
+  const int kScan = 28;
+  double best_s = s_lo;
+  double best_v = kInf;
+  for (int i = 0; i <= kScan; ++i) {
+    const double s = s_lo * std::pow(s_hi / s_lo,
+                                     static_cast<double>(i) / kScan);
+    const double v = best_over_gamma(sc, delta, method, s, nullptr);
+    if (v < best_v) {
+      best_v = v;
+      best_s = s;
+    }
+  }
+  if (best_v == kInf) return result;
+  const double ratio = std::pow(s_hi / s_lo, 1.0 / kScan);
+  double refined_s = best_s;
+  minimize_scalar(
+      [&](double s) { return best_over_gamma(sc, delta, method, s, nullptr); },
+      std::max(s_lo, best_s / ratio), std::min(s_hi, best_s * ratio), 8, 32,
+      &refined_s);
+
+  double gamma = 0.0;
+  result.delay_ms = best_over_gamma(sc, delta, method, refined_s, &gamma);
+  result.gamma = gamma;
+  result.s = refined_s;
+  const PathParams p = make_params(sc, refined_s, delta);
+  result.sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
+  return result;
+}
+
+BoundResult best_delay_bound(const Scenario& sc, Method method) {
+  switch (sc.scheduler) {
+    case Scheduler::kFifo:
+      return best_delay_bound_for_delta(sc, 0.0, method);
+    case Scheduler::kBmux:
+      return best_delay_bound_for_delta(sc, kInf, method);
+    case Scheduler::kSpHigh:
+      return best_delay_bound_for_delta(sc, -kInf, method);
+    case Scheduler::kEdf:
+      break;
+  }
+  // EDF: deadlines are multiples of d_e2e/H, so Delta = (own - cross) *
+  // d_e2e / H depends on the bound itself.  Damped fixed point, seeded
+  // with the FIFO bound.
+  const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
+  BoundResult seed = best_delay_bound_for_delta(sc, 0.0, method);
+  if (!std::isfinite(seed.delay_ms)) return seed;
+  double d = seed.delay_ms;
+  BoundResult result = seed;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double delta = factor_gap * d / sc.hops;
+    result = best_delay_bound_for_delta(sc, delta, method);
+    if (!std::isfinite(result.delay_ms)) return result;
+    const double d_next = 0.5 * (d + result.delay_ms);
+    if (std::abs(d_next - d) <= 1e-7 * std::max(1.0, d)) {
+      d = d_next;
+      break;
+    }
+    d = d_next;
+  }
+  result.delta = factor_gap * d / sc.hops;
+  result.delay_ms = d;
+  return result;
+}
+
+}  // namespace deltanc::e2e

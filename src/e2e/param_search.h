@@ -1,0 +1,89 @@
+// Scenario-level API: from a concrete network description (link rate,
+// path length, MMOO flow counts, scheduler, target violation probability)
+// to a probabilistic end-to-end delay bound.
+//
+// The paper's bound has two free parameters that are not optimized
+// analytically: the Chernoff parameter s of the effective bandwidth (the
+// EBB description A ~ (1, N eb(s), s)) and the per-node rate slack gamma
+// of the network service curve.  `best_delay_bound` minimizes the bound
+// over both: an outer golden-section search on s (seeded by a coarse
+// logarithmic scan) and an inner golden-section search on gamma within
+// the stability window of Eq. (32).
+//
+// EDF deadlines in the paper's examples are self-referential: d*_0 and
+// d*_c are multiples of d_e2e / H where d_e2e is the EDF bound itself
+// (Examples 1 and 3).  `best_delay_bound` resolves this with a damped
+// fixed-point iteration on Delta_{0,c} = d*_0 - d*_c.
+#pragma once
+
+#include "e2e/path_params.h"
+#include "traffic/mmoo.h"
+
+namespace deltanc::e2e {
+
+/// Which Delta-scheduler serves the through traffic at every node.
+enum class Scheduler {
+  kFifo,    ///< Delta = 0
+  kBmux,    ///< Delta = +inf (through flow treated as lowest priority)
+  kSpHigh,  ///< Delta = -inf (through flow is the highest priority)
+  kEdf,     ///< Delta = d*_0 - d*_c from EdfSpec
+};
+
+/// EDF deadline specification.  Deadlines are per node and expressed as
+/// multiples of d_e2e / H (resolved by fixed point): Example 1 and 3 of
+/// the paper use own=1, cross=10.
+struct EdfSpec {
+  double own_factor = 1.0;
+  double cross_factor = 10.0;
+};
+
+/// A homogeneous end-to-end scenario with MMOO traffic (Section V).
+struct Scenario {
+  double capacity = 100.0;  ///< Mbps (= kb/ms at 1 ms slots)
+  int hops = 2;             ///< H
+  traffic::MmooSource source = traffic::MmooSource::paper_source();
+  int n_through = 100;      ///< N_0
+  int n_cross = 100;        ///< N_c at every node
+  double epsilon = 1e-9;    ///< target violation probability
+  Scheduler scheduler = Scheduler::kFifo;
+  EdfSpec edf{};
+
+  /// Total utilization U = (N0 + Nc) * mean_rate / C.
+  [[nodiscard]] double utilization() const {
+    return (n_through + n_cross) * source.mean_rate() / capacity;
+  }
+};
+
+/// How to solve the theta optimization.
+enum class Method {
+  kExactOpt,  ///< exact breakpoint enumeration (e2e/delay_bound.h)
+  kPaperK,    ///< the paper's K-procedure (e2e/k_procedure.h)
+};
+
+/// Result of the search; `delay_ms` is +infinity when the configuration
+/// is unstable (per-node load >= capacity).
+struct BoundResult {
+  double delay_ms;
+  double gamma;   ///< optimizing per-node rate slack
+  double s;       ///< optimizing Chernoff parameter
+  double sigma;   ///< sigma(epsilon) at the optimum
+  double delta;   ///< resolved Delta_{0,c}
+};
+
+/// Delay bound for a fixed, already-resolved Delta (no EDF fixed point).
+/// Optimizes over (gamma, s).
+[[nodiscard]] BoundResult best_delay_bound_for_delta(const Scenario& sc,
+                                                     double delta,
+                                                     Method method);
+
+/// Full scenario solve: resolves EDF deadlines by fixed point when
+/// needed, then optimizes (gamma, s).
+[[nodiscard]] BoundResult best_delay_bound(const Scenario& sc,
+                                           Method method = Method::kExactOpt);
+
+/// The largest Chernoff parameter keeping the per-node load below
+/// capacity ((N0+Nc) eb(s) < C); +infinity when even the peak rate fits,
+/// 0 when the mean rate already overloads the link.
+[[nodiscard]] double max_stable_s(const Scenario& sc);
+
+}  // namespace deltanc::e2e

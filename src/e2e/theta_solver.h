@@ -1,0 +1,34 @@
+// The per-node free parameter theta_h(X) of the delay optimization,
+// Eq. (38): the smallest theta >= 0 with
+//
+//   (C - (h-1) gamma)(X + theta) - (rho_c + gamma)[X + Delta(theta)]_+ >= sigma,
+//
+// where Delta(theta) = min(Delta_{0,c}, theta).  Solved in closed form by
+// a case split on the sign of Delta and on which regime the constraint
+// binds in; `theta_h` handles Delta = +/-infinity (BMUX / SP-high) as
+// limiting cases.
+#pragma once
+
+#include <span>
+
+#include "e2e/path_params.h"
+
+namespace deltanc::e2e {
+
+/// theta_h(X) for node h (1-based) at candidate X >= 0.
+/// @throws std::invalid_argument if h is out of 1..H, X < 0, sigma < 0,
+///   or the stability condition C - rho_c - h*gamma > 0 fails.
+[[nodiscard]] double theta_h(const PathParams& p, double gamma, double sigma,
+                             int h, double x);
+
+/// The objective of Eq. (39) at X: f(X) = X + sum_h theta_h(X).
+[[nodiscard]] double objective(const PathParams& p, double gamma, double sigma,
+                               double x);
+
+/// Verifies that (X, theta_1..theta_H) satisfies every constraint of
+/// Eq. (38) (used by tests and by the optimizer's post-check).
+[[nodiscard]] bool feasible(const PathParams& p, double gamma, double sigma,
+                            double x, std::span<const double> theta,
+                            double tol = 1e-7);
+
+}  // namespace deltanc::e2e

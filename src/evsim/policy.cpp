@@ -1,0 +1,184 @@
+#include "evsim/policy.h"
+
+#include <deque>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace deltanc::evsim {
+
+namespace {
+
+class FifoPolicy final : public Policy {
+ public:
+  void enqueue(Packet packet) override {
+    backlog_ += packet.size_kb;
+    queue_.push_back(packet);
+  }
+  std::optional<Packet> dequeue() override {
+    if (queue_.empty()) return std::nullopt;
+    Packet p = queue_.front();
+    queue_.pop_front();
+    backlog_ -= p.size_kb;
+    return p;
+  }
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] double backlog_kb() const override { return backlog_; }
+
+ private:
+  std::deque<Packet> queue_;
+  double backlog_ = 0.0;
+};
+
+class SpPolicy final : public Policy {
+ public:
+  explicit SpPolicy(std::vector<int> priority)
+      : priority_(std::move(priority)) {
+    if (priority_.empty()) {
+      throw std::invalid_argument("sp policy: need priorities");
+    }
+  }
+  void enqueue(Packet packet) override {
+    if (packet.flow < 0 ||
+        packet.flow >= static_cast<int>(priority_.size())) {
+      throw std::out_of_range("sp policy: unknown flow");
+    }
+    backlog_ += packet.size_kb;
+    levels_[priority_[packet.flow]].push_back(packet);
+  }
+  std::optional<Packet> dequeue() override {
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+      if (!it->second.empty()) {
+        Packet p = it->second.front();
+        it->second.pop_front();
+        backlog_ -= p.size_kb;
+        return p;
+      }
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] bool empty() const override {
+    for (const auto& [prio, queue] : levels_) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] double backlog_kb() const override { return backlog_; }
+
+ private:
+  std::vector<int> priority_;
+  std::map<int, std::deque<Packet>> levels_;
+  double backlog_ = 0.0;
+};
+
+class EdfPolicy final : public Policy {
+ public:
+  explicit EdfPolicy(std::vector<double> deadline)
+      : deadline_(std::move(deadline)) {
+    if (deadline_.empty()) {
+      throw std::invalid_argument("edf policy: need deadlines");
+    }
+  }
+  void enqueue(Packet packet) override {
+    if (packet.flow < 0 ||
+        packet.flow >= static_cast<int>(deadline_.size())) {
+      throw std::out_of_range("edf policy: unknown flow");
+    }
+    packet.tag = packet.node_arrival + deadline_[packet.flow];
+    backlog_ += packet.size_kb;
+    heap_.push(packet);
+  }
+  std::optional<Packet> dequeue() override {
+    if (heap_.empty()) return std::nullopt;
+    Packet p = heap_.top();
+    heap_.pop();
+    backlog_ -= p.size_kb;
+    return p;
+  }
+  [[nodiscard]] bool empty() const override { return heap_.empty(); }
+  [[nodiscard]] double backlog_kb() const override { return backlog_; }
+
+ private:
+  struct Later {
+    bool operator()(const Packet& a, const Packet& b) const noexcept {
+      if (a.tag != b.tag) return a.tag > b.tag;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<double> deadline_;
+  std::priority_queue<Packet, std::vector<Packet>, Later> heap_;
+  double backlog_ = 0.0;
+};
+
+/// SCFQ: virtual time = the finish tag of the most recently dequeued
+/// packet; a packet of flow i gets tag max(F_i, v) + L / w_i.
+class ScfqPolicy final : public Policy {
+ public:
+  explicit ScfqPolicy(std::vector<double> weights)
+      : weights_(std::move(weights)), finish_(weights_.size(), 0.0) {
+    if (weights_.empty()) {
+      throw std::invalid_argument("scfq policy: need weights");
+    }
+    for (double w : weights_) {
+      if (!(w > 0.0)) {
+        throw std::invalid_argument("scfq policy: weights must be > 0");
+      }
+    }
+  }
+  void enqueue(Packet packet) override {
+    if (packet.flow < 0 ||
+        packet.flow >= static_cast<int>(weights_.size())) {
+      throw std::out_of_range("scfq policy: unknown flow");
+    }
+    const auto f = static_cast<std::size_t>(packet.flow);
+    finish_[f] = std::max(finish_[f], virtual_time_) +
+                 packet.size_kb / weights_[f];
+    packet.tag = finish_[f];
+    backlog_ += packet.size_kb;
+    heap_.push(packet);
+  }
+  std::optional<Packet> dequeue() override {
+    if (heap_.empty()) return std::nullopt;
+    Packet p = heap_.top();
+    heap_.pop();
+    backlog_ -= p.size_kb;
+    virtual_time_ = p.tag;
+    return p;
+  }
+  [[nodiscard]] bool empty() const override { return heap_.empty(); }
+  [[nodiscard]] double backlog_kb() const override { return backlog_; }
+
+ private:
+  struct Later {
+    bool operator()(const Packet& a, const Packet& b) const noexcept {
+      if (a.tag != b.tag) return a.tag > b.tag;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<double> weights_;
+  std::vector<double> finish_;
+  double virtual_time_ = 0.0;
+  std::priority_queue<Packet, std::vector<Packet>, Later> heap_;
+  double backlog_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_fifo_policy() {
+  return std::make_unique<FifoPolicy>();
+}
+
+std::unique_ptr<Policy> make_sp_policy(std::vector<int> priority) {
+  return std::make_unique<SpPolicy>(std::move(priority));
+}
+
+std::unique_ptr<Policy> make_edf_policy(std::vector<double> deadline) {
+  return std::make_unique<EdfPolicy>(std::move(deadline));
+}
+
+std::unique_ptr<Policy> make_scfq_policy(std::vector<double> weights) {
+  return std::make_unique<ScfqPolicy>(std::move(weights));
+}
+
+}  // namespace deltanc::evsim

@@ -1,0 +1,61 @@
+// Non-preemptive packet scheduling policies for the event-driven
+// simulator.  Unlike the slotted fluid simulator (src/sim), packets here
+// are indivisible: once transmission starts it runs to completion, which
+// exposes the blocking effects the paper's fluid model deliberately
+// ignores ("we ignore that packet transmissions cannot be interrupted").
+//
+// Policies:
+//   FIFO  -- global arrival order;
+//   SP    -- strict priority, non-preemptive (a packet in service blocks
+//            higher priorities for up to L/C -- priority inversion);
+//   EDF   -- earliest deadline (deadline = node arrival + d*_flow);
+//   SCFQ  -- self-clocked fair queueing (Golestani), the standard
+//            packetized approximation of GPS via virtual finish tags.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace deltanc::evsim {
+
+/// One indivisible packet.
+struct Packet {
+  int flow;                 ///< flow class
+  double size_kb;           ///< transmission size
+  double node_arrival;      ///< arrival time at the current node (ms)
+  double network_arrival;   ///< arrival into the network (ms)
+  double tag;               ///< policy metadata (EDF deadline / SCFQ tag)
+  std::uint64_t seq;        ///< global arrival order tie-breaker
+};
+
+/// Packet selection policy (the queue of one server).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Admits a packet (stamping `tag` as the policy requires).
+  virtual void enqueue(Packet packet) = 0;
+  /// Removes and returns the next packet to transmit; nullopt when empty.
+  virtual std::optional<Packet> dequeue() = 0;
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual double backlog_kb() const = 0;
+};
+
+/// FIFO over all classes.
+[[nodiscard]] std::unique_ptr<Policy> make_fifo_policy();
+
+/// Strict priority; `priority[f]` with larger = served first.
+[[nodiscard]] std::unique_ptr<Policy> make_sp_policy(
+    std::vector<int> priority);
+
+/// EDF with per-class relative deadlines (ms).
+[[nodiscard]] std::unique_ptr<Policy> make_edf_policy(
+    std::vector<double> deadline);
+
+/// Self-clocked fair queueing with per-class weights.
+[[nodiscard]] std::unique_ptr<Policy> make_scfq_policy(
+    std::vector<double> weights);
+
+}  // namespace deltanc::evsim

@@ -1,0 +1,124 @@
+#include "nc/bounding_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deltanc::nc {
+
+ExpBound::ExpBound(double prefactor, double decay)
+    : m_(prefactor), alpha_(decay) {
+  if (!(prefactor > 0.0) || !std::isfinite(prefactor)) {
+    throw std::invalid_argument("ExpBound: prefactor must be positive and finite");
+  }
+  if (!(decay > 0.0) || !std::isfinite(decay)) {
+    throw std::invalid_argument("ExpBound: decay must be positive and finite");
+  }
+}
+
+double ExpBound::eval(double sigma) const noexcept {
+  return std::min(1.0, m_ * std::exp(-alpha_ * sigma));
+}
+
+double ExpBound::sigma_for(double epsilon) const {
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("ExpBound::sigma_for: epsilon must be positive");
+  }
+  return std::max(0.0, std::log(m_ / epsilon) / alpha_);
+}
+
+ExpBound ExpBound::scaled(double factor) const {
+  return ExpBound(m_ * factor, alpha_);
+}
+
+ExpBound inf_convolution(std::span<const ExpBound> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("inf_convolution: need at least one term");
+  }
+  if (terms.size() == 1) {
+    return terms.front();
+  }
+  // w = sum 1/alpha_j;  log M' = sum (1/(alpha_j w)) log(M_j alpha_j w).
+  double w = 0.0;
+  for (const auto& t : terms) {
+    w += 1.0 / t.decay();
+  }
+  double log_m = 0.0;
+  for (const auto& t : terms) {
+    log_m += std::log(t.prefactor() * t.decay() * w) / (t.decay() * w);
+  }
+  return ExpBound(std::exp(log_m), 1.0 / w);
+}
+
+ExpBound inf_convolution(const ExpBound& a, const ExpBound& b) {
+  const ExpBound terms[] = {a, b};
+  return inf_convolution(std::span<const ExpBound>(terms));
+}
+
+ExpBound geometric_tail(const ExpBound& term, double gamma) {
+  if (!(gamma > 0.0)) {
+    throw std::invalid_argument("geometric_tail: gamma must be positive");
+  }
+  const double q = std::exp(-term.decay() * gamma);
+  return ExpBound(term.prefactor() / (1.0 - q), term.decay());
+}
+
+double constrained_split_minimum(std::span<const ExpBound> terms,
+                                 double sigma) {
+  if (terms.empty()) {
+    throw std::invalid_argument("constrained_split_minimum: need terms");
+  }
+  if (sigma <= 0.0) {
+    double total = 0.0;
+    for (const auto& t : terms) total += t.prefactor();
+    return total;
+  }
+  // KKT conditions: sigma_j = max(0, log(M_j alpha_j / lambda) / alpha_j).
+  // sum_j sigma_j(lambda) is decreasing in lambda; bisect on log(lambda).
+  const auto total_sigma = [&](double log_lambda) {
+    double s = 0.0;
+    for (const auto& t : terms) {
+      const double sj =
+          (std::log(t.prefactor() * t.decay()) - log_lambda) / t.decay();
+      s += std::max(0.0, sj);
+    }
+    return s;
+  };
+  double lo = -800.0;  // lambda ~ exp(-800): sigma very large
+  double hi = 800.0;   // lambda huge: all sigma_j = 0
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (total_sigma(mid) > sigma) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double log_lambda = 0.5 * (lo + hi);
+  // Recover the split and evaluate.
+  double value = 0.0;
+  double assigned = 0.0;
+  std::vector<double> split(terms.size(), 0.0);
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    const auto& t = terms[j];
+    const double sj =
+        (std::log(t.prefactor() * t.decay()) - log_lambda) / t.decay();
+    split[j] = std::max(0.0, sj);
+    assigned += split[j];
+  }
+  // Distribute any bisection residue onto the term with the largest decay
+  // (cheapest place to park extra slack); the residue is O(1e-12) so this
+  // only guards against returning a value above the true minimum.
+  if (assigned < sigma) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < terms.size(); ++j) {
+      if (terms[j].decay() > terms[best].decay()) best = j;
+    }
+    split[best] += sigma - assigned;
+  }
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    value += terms[j].prefactor() * std::exp(-terms[j].decay() * split[j]);
+  }
+  return value;
+}
+
+}  // namespace deltanc::nc

@@ -1,0 +1,93 @@
+// Exponential bounding functions for the stochastic network calculus.
+//
+// A bounding function eps(sigma) bounds the probability that a statistical
+// envelope (Eq. (2) of the paper) or a statistical service curve (Eq. (5))
+// is violated by more than sigma.  Throughout the paper -- and throughout
+// this library -- bounding functions have the exponential form
+//
+//     eps(sigma) = min(1, M * exp(-alpha * sigma)),   M >= 1, alpha > 0,
+//
+// which is closed under the three operations the end-to-end analysis needs:
+//
+//  * inf-convolution over an additive split of sigma (Eq. (33) of the
+//    paper, originally Lemma 2 of Ciucu/Burchard/Liebeherr 2006),
+//  * geometric tail sums  sum_{j>=0} eps(sigma + j*gamma)  arising from
+//    the discrete-time network service curve (Eq. (31)),
+//  * plain addition (union bound), which keeps the exponential form only
+//    when the decay rates agree; otherwise we keep a sum-of-exponentials.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace deltanc::nc {
+
+/// One exponential bounding term `eps(sigma) = min(1, M exp(-alpha sigma))`.
+///
+/// Invariants: `M > 0` and `alpha > 0`.  (The paper requires M >= 1 for the
+/// EBB model; intermediate computations may produce smaller prefactors, so
+/// only positivity is enforced here.)
+class ExpBound {
+ public:
+  /// Constructs the bound `min(1, prefactor * exp(-decay * sigma))`.
+  /// @throws std::invalid_argument unless prefactor > 0 and decay > 0.
+  ExpBound(double prefactor, double decay);
+
+  /// Prefactor M.
+  [[nodiscard]] double prefactor() const noexcept { return m_; }
+  /// Decay rate alpha.
+  [[nodiscard]] double decay() const noexcept { return alpha_; }
+
+  /// Evaluates `min(1, M exp(-alpha sigma))`; sigma may be any real
+  /// (negative sigma saturates at 1).
+  [[nodiscard]] double eval(double sigma) const noexcept;
+
+  /// Smallest sigma such that `M exp(-alpha sigma) <= epsilon`, i.e.
+  /// `sigma(eps) = log(M / eps) / alpha` clamped at 0.
+  /// @throws std::invalid_argument unless 0 < epsilon.
+  [[nodiscard]] double sigma_for(double epsilon) const;
+
+  /// Returns the bound scaled by a positive factor c: `c * M exp(-alpha s)`.
+  [[nodiscard]] ExpBound scaled(double factor) const;
+
+ private:
+  double m_;
+  double alpha_;
+};
+
+/// Closed form of the inf-convolution identity, Eq. (33) of the paper:
+///
+///   inf_{sum sigma_j = sigma} sum_j M_j exp(-alpha_j sigma_j)
+///       = prod_j (M_j alpha_j w)^{1/(alpha_j w)} * exp(-sigma / w),
+///
+/// with `w = sum_j 1/alpha_j`.  The result is again an ExpBound with
+/// decay `1/w`.  This is how per-node violation probabilities are combined
+/// into the network-wide bounding function.
+///
+/// @throws std::invalid_argument if `terms` is empty.
+[[nodiscard]] ExpBound inf_convolution(std::span<const ExpBound> terms);
+
+/// Convenience overload for two terms (the split between arrival envelope
+/// and service curve in the single-node delay bound, Eq. (21)).
+[[nodiscard]] ExpBound inf_convolution(const ExpBound& a, const ExpBound& b);
+
+/// Geometric tail sum `sum_{j>=0} M exp(-alpha (sigma + j gamma))
+///   = (M / (1 - exp(-alpha gamma))) exp(-alpha sigma)`,
+/// the per-node slack sum in the network service curve bound (Eq. (31)).
+/// @throws std::invalid_argument unless gamma > 0.
+[[nodiscard]] ExpBound geometric_tail(const ExpBound& term, double gamma);
+
+/// Numerically minimizes `sum_j M_j exp(-alpha_j sigma_j)` over all
+/// non-negative splits `sum sigma_j = sigma` by solving the Lagrange
+/// conditions with a bisection on the multiplier.  Used by property tests
+/// to validate `inf_convolution` and exposed publicly because it also
+/// handles the case where some optimal sigma_j would be negative (the
+/// closed form of Eq. (33) allows negative splits; the constrained
+/// optimum can only be larger).
+///
+/// @returns the constrained minimum value at the given total sigma.
+[[nodiscard]] double constrained_split_minimum(std::span<const ExpBound> terms,
+                                               double sigma);
+
+}  // namespace deltanc::nc

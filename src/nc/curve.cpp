@@ -1,0 +1,415 @@
+#include "nc/curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace deltanc::nc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Curve::Curve() : knots_{{0.0, 0.0, 0.0}}, inf_from_(kInf) {}
+
+Curve::Curve(std::vector<Knot> knots, std::optional<double> inf_from)
+    : knots_(std::move(knots)), inf_from_(inf_from.value_or(kInf)) {
+  if (knots_.empty()) {
+    throw std::invalid_argument("Curve: knot list must not be empty");
+  }
+  if (knots_.front().x != 0.0) {
+    throw std::invalid_argument("Curve: first knot must be at x = 0");
+  }
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (!(knots_[i].x > knots_[i - 1].x)) {
+      throw std::invalid_argument("Curve: knot x must be strictly increasing");
+    }
+  }
+  for (const auto& k : knots_) {
+    if (!std::isfinite(k.x) || !std::isfinite(k.y) || !std::isfinite(k.slope)) {
+      throw std::invalid_argument("Curve: knots must be finite");
+    }
+  }
+  if (inf_from_ < knots_.back().x) {
+    throw std::invalid_argument("Curve: inf_from must be >= last knot x");
+  }
+}
+
+Curve Curve::zero() { return Curve(); }
+
+Curve Curve::rate(double rate) {
+  if (rate < 0.0) throw std::invalid_argument("Curve::rate: negative rate");
+  return Curve({{0.0, 0.0, rate}});
+}
+
+Curve Curve::affine(double value0, double slope) {
+  return Curve({{0.0, value0, slope}});
+}
+
+Curve Curve::rate_latency(double rate, double latency) {
+  if (rate < 0.0 || latency < 0.0) {
+    throw std::invalid_argument("Curve::rate_latency: negative parameter");
+  }
+  if (latency == 0.0) return Curve::rate(rate);
+  return Curve({{0.0, 0.0, 0.0}, {latency, 0.0, rate}});
+}
+
+Curve Curve::leaky_bucket(double rate, double burst) {
+  if (rate < 0.0 || burst < 0.0) {
+    throw std::invalid_argument("Curve::leaky_bucket: negative parameter");
+  }
+  return Curve({{0.0, burst, rate}});
+}
+
+Curve Curve::delta(double d) {
+  if (d < 0.0) throw std::invalid_argument("Curve::delta: negative delay");
+  return Curve({{0.0, 0.0, 0.0}}, d);
+}
+
+Curve Curve::multi_leaky_bucket(
+    std::span<const std::pair<double, double>> rate_burst_pairs) {
+  if (rate_burst_pairs.empty()) {
+    throw std::invalid_argument("multi_leaky_bucket: need at least one pair");
+  }
+  Curve result = Curve::leaky_bucket(rate_burst_pairs.front().first,
+                                     rate_burst_pairs.front().second);
+  for (std::size_t i = 1; i < rate_burst_pairs.size(); ++i) {
+    result = pointwise_min(result,
+                           Curve::leaky_bucket(rate_burst_pairs[i].first,
+                                               rate_burst_pairs[i].second));
+  }
+  return result;
+}
+
+double Curve::eval(double t) const noexcept {
+  if (t < 0.0) return 0.0;
+  if (t > inf_from_) return kInf;
+  // Find the last knot with x <= t.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), t,
+      [](double value, const Knot& k) { return value < k.x; });
+  const Knot& k = *(it - 1);
+  return k.y + k.slope * (t - k.x);
+}
+
+std::optional<double> Curve::inf_from() const noexcept {
+  if (std::isfinite(inf_from_)) return inf_from_;
+  return std::nullopt;
+}
+
+bool Curve::has_infinite_tail() const noexcept {
+  return std::isfinite(inf_from_);
+}
+
+double Curve::final_slope() const {
+  if (has_infinite_tail()) {
+    throw std::logic_error("Curve::final_slope: curve has an infinite tail");
+  }
+  return knots_.back().slope;
+}
+
+double Curve::last_knot_x() const noexcept { return knots_.back().x; }
+
+bool Curve::is_nondecreasing(double tol) const noexcept {
+  for (std::size_t i = 0; i < knots_.size(); ++i) {
+    if (knots_[i].slope < -tol) return false;
+    if (i + 1 < knots_.size()) {
+      const double end =
+          knots_[i].y + knots_[i].slope * (knots_[i + 1].x - knots_[i].x);
+      if (knots_[i + 1].y < end - tol) return false;  // downward jump
+    }
+  }
+  return true;
+}
+
+bool Curve::is_convex(double tol) const noexcept {
+  for (std::size_t i = 0; i + 1 < knots_.size(); ++i) {
+    const double end =
+        knots_[i].y + knots_[i].slope * (knots_[i + 1].x - knots_[i].x);
+    if (std::abs(knots_[i + 1].y - end) > tol) return false;  // jump
+    if (knots_[i + 1].slope < knots_[i].slope - tol) return false;
+  }
+  return true;
+}
+
+bool Curve::is_concave(double tol) const noexcept {
+  if (has_infinite_tail()) return false;
+  for (std::size_t i = 0; i + 1 < knots_.size(); ++i) {
+    const double end =
+        knots_[i].y + knots_[i].slope * (knots_[i + 1].x - knots_[i].x);
+    if (std::abs(knots_[i + 1].y - end) > tol) return false;  // jump
+    if (knots_[i + 1].slope > knots_[i].slope + tol) return false;
+  }
+  return true;
+}
+
+std::string Curve::to_string() const {
+  std::ostringstream os;
+  os << "Curve{";
+  for (const auto& k : knots_) {
+    os << "(" << k.x << "," << k.y << ",s=" << k.slope << ") ";
+  }
+  if (has_infinite_tail()) os << "inf after " << inf_from_;
+  os << "}";
+  return os.str();
+}
+
+Curve Curve::clamp_nonnegative() const {
+  return pointwise_max(*this, Curve::zero());
+}
+
+Curve Curve::scaled(double c) const {
+  if (c < 0.0) throw std::invalid_argument("Curve::scaled: negative factor");
+  std::vector<Knot> ks = knots_;
+  for (auto& k : ks) {
+    k.y *= c;
+    k.slope *= c;
+  }
+  Curve out(std::move(ks), has_infinite_tail()
+                               ? std::optional<double>(inf_from_)
+                               : std::nullopt);
+  return out;
+}
+
+Curve Curve::vshift(double c) const {
+  std::vector<Knot> ks = knots_;
+  for (auto& k : ks) k.y += c;
+  return Curve(std::move(ks), has_infinite_tail()
+                                  ? std::optional<double>(inf_from_)
+                                  : std::nullopt);
+}
+
+Curve Curve::hshift(double d) const {
+  if (d < 0.0) throw std::invalid_argument("Curve::hshift: negative shift");
+  if (d == 0.0) return *this;
+  std::vector<Knot> ks;
+  ks.reserve(knots_.size() + 1);
+  ks.push_back({0.0, 0.0, 0.0});
+  for (const auto& k : knots_) {
+    ks.push_back({k.x + d, k.y, k.slope});
+  }
+  Curve out(std::move(ks), has_infinite_tail()
+                               ? std::optional<double>(inf_from_ + d)
+                               : std::nullopt);
+  out.simplify();
+  return out;
+}
+
+Curve Curve::advanced(double a) const {
+  if (a < 0.0) throw std::invalid_argument("Curve::advanced: negative shift");
+  if (a == 0.0) return *this;
+  if (a > inf_from_) {
+    throw std::invalid_argument(
+        "Curve::advanced: shift reaches into the infinite tail");
+  }
+  // Value and slope at a, then all later knots moved left by a.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), a,
+      [](double value, const Knot& k) { return value < k.x; });
+  const Knot& active = *(it - 1);
+  std::vector<Knot> ks;
+  ks.push_back({0.0, active.y + active.slope * (a - active.x), active.slope});
+  for (auto j = it; j != knots_.end(); ++j) {
+    if (j->x > a) ks.push_back({j->x - a, j->y, j->slope});
+  }
+  Curve out(std::move(ks), has_infinite_tail()
+                               ? std::optional<double>(inf_from_ - a)
+                               : std::nullopt);
+  out.simplify();
+  return out;
+}
+
+Curve Curve::gated(double cut) const {
+  if (cut < 0.0) throw std::invalid_argument("Curve::gated: negative cut");
+  if (cut == 0.0) return *this;
+  std::vector<Knot> ks;
+  ks.push_back({0.0, 0.0, 0.0});
+  if (cut > inf_from_) {
+    // The whole finite part is gated away and the infinite tail starts
+    // before the gate opens; the result is delta_cut.
+    return Curve::delta(cut);
+  }
+  // Value and slope at the gate, then all later knots.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), cut,
+      [](double value, const Knot& k) { return value < k.x; });
+  const Knot& active = *(it - 1);
+  ks.push_back({cut, active.y + active.slope * (cut - active.x), active.slope});
+  for (auto j = it; j != knots_.end(); ++j) {
+    if (j->x > cut) ks.push_back(*j);
+  }
+  Curve out(std::move(ks), has_infinite_tail()
+                               ? std::optional<double>(inf_from_)
+                               : std::nullopt);
+  out.simplify();
+  return out;
+}
+
+void Curve::simplify(double tol) {
+  std::vector<Knot> out;
+  out.reserve(knots_.size());
+  for (const auto& k : knots_) {
+    if (!out.empty()) {
+      const Knot& p = out.back();
+      const double extrapolated = p.y + p.slope * (k.x - p.x);
+      if (std::abs(extrapolated - k.y) <= tol &&
+          std::abs(p.slope - k.slope) <= tol) {
+        continue;  // collinear continuation
+      }
+    }
+    out.push_back(k);
+  }
+  knots_ = std::move(out);
+}
+
+// ---------------------------------------------------------------------
+// Pointwise binary operations.
+//
+// Strategy: collect the elementary breakpoints of both operands (knot
+// positions and finite inf_from points), insert pairwise intersection
+// points for min/max, then sample each elementary interval at two interior
+// points to recover the (exact) affine piece of the result.  Sampling is
+// exact because both operands are affine inside every elementary interval.
+// ---------------------------------------------------------------------
+
+Curve pointwise_binary(const Curve& f, const Curve& g, bool take_min,
+                       bool add) {
+  const double inf_f = f.inf_from_;
+  const double inf_g = g.inf_from_;
+  double result_inf;
+  if (add) {
+    result_inf = std::min(inf_f, inf_g);
+  } else if (take_min) {
+    result_inf = std::max(inf_f, inf_g);
+  } else {
+    result_inf = std::min(inf_f, inf_g);
+  }
+
+  std::vector<double> xs;
+  for (const auto& k : f.knots()) xs.push_back(k.x);
+  for (const auto& k : g.knots()) xs.push_back(k.x);
+  if (std::isfinite(inf_f)) xs.push_back(inf_f);
+  if (std::isfinite(inf_g)) xs.push_back(inf_g);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double a, double b) { return std::abs(a - b) < 1e-15; }),
+           xs.end());
+  // Drop breakpoints beyond the result's infinite region.
+  if (std::isfinite(result_inf)) {
+    while (!xs.empty() && xs.back() > result_inf + 1e-15) xs.pop_back();
+  }
+
+  // For min/max, add intersection points of the two affine pieces inside
+  // every elementary interval (including the final unbounded one).
+  // Near-parallel segments are skipped (relative slope guard) and
+  // crossings absurdly far beyond the curves' own coordinate scale are
+  // capped -- they would only distinguish the operands astronomically far
+  // out while polluting the representation with huge breakpoints.
+  if (!add) {
+    const double far_cap =
+        1e6 * (1.0 + std::max(f.last_knot_x(), g.last_knot_x()));
+    std::vector<double> extra;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double a = xs[i];
+      const bool last = (i + 1 == xs.size());
+      const double b = last ? a + 2.0 : xs[i + 1];
+      if (!(b > a)) continue;
+      const double t1 = a + (b - a) / 3.0;
+      const double t2 = a + 2.0 * (b - a) / 3.0;
+      const double f1 = f.eval(t1), f2 = f.eval(t2);
+      const double g1 = g.eval(t1), g2 = g.eval(t2);
+      if (!std::isfinite(f1) || !std::isfinite(g1) || !std::isfinite(f2) ||
+          !std::isfinite(g2)) {
+        continue;  // one operand infinite: no crossing to find
+      }
+      const double fs = (f2 - f1) / (t2 - t1);
+      const double gs = (g2 - g1) / (t2 - t1);
+      if (std::abs(fs - gs) < 1e-9 * (1.0 + std::abs(fs) + std::abs(gs))) {
+        continue;  // effectively parallel
+      }
+      // f(a) + fs (t - a) == g(a) + gs (t - a)
+      const double fa = f1 - fs * (t1 - a);
+      const double ga = g1 - gs * (t1 - a);
+      const double tc = a + (ga - fa) / (fs - gs);
+      if (tc > far_cap) continue;
+      const bool inside = last ? (tc > a + 1e-12)
+                               : (tc > a + 1e-12 && tc < b - 1e-12);
+      if (inside) extra.push_back(tc);
+    }
+    xs.insert(xs.end(), extra.begin(), extra.end());
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end(),
+                         [](double a, double b) {
+                           return std::abs(a - b) < 1e-12;
+                         }),
+             xs.end());
+  }
+
+  const auto combine = [&](double t) {
+    const double fv = f.eval(t);
+    const double gv = g.eval(t);
+    if (add) return fv + gv;
+    return take_min ? std::min(fv, gv) : std::max(fv, gv);
+  };
+
+  std::vector<Knot> knots;
+  knots.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double a = xs[i];
+    if (std::isfinite(result_inf) && a >= result_inf && a > 0.0) {
+      break;  // remaining intervals lie in the result's infinite region
+    }
+    const bool last = (i + 1 == xs.size());
+    double b = last ? a + 2.0 : xs[i + 1];
+    if (std::isfinite(result_inf)) b = std::min(b, result_inf);
+    if (!(b > a)) b = a + 1.0;
+    const double t1 = a + (b - a) / 3.0;
+    const double t2 = a + 2.0 * (b - a) / 3.0;
+    const double v1 = combine(t1);
+    const double v2 = combine(t2);
+    if (!std::isfinite(v1) || !std::isfinite(v2)) {
+      continue;  // inside the result's infinite region
+    }
+    const double slope = (v2 - v1) / (t2 - t1);
+    const double ya = v1 - slope * (t1 - a);
+    knots.push_back({a, ya, slope});
+  }
+  if (knots.empty() || knots.front().x != 0.0) {
+    knots.insert(knots.begin(), {0.0, combine(0.0), 0.0});
+    if (knots.size() > 1 && knots[1].x == 0.0) knots.erase(knots.begin());
+  }
+  Curve out(std::move(knots), std::isfinite(result_inf)
+                                  ? std::optional<double>(result_inf)
+                                  : std::nullopt);
+  out.simplify();
+  return out;
+}
+
+Curve pointwise_min(const Curve& f, const Curve& g) {
+  return pointwise_binary(f, g, /*take_min=*/true, /*add=*/false);
+}
+
+Curve pointwise_max(const Curve& f, const Curve& g) {
+  return pointwise_binary(f, g, /*take_min=*/false, /*add=*/false);
+}
+
+Curve pointwise_add(const Curve& f, const Curve& g) {
+  return pointwise_binary(f, g, /*take_min=*/true, /*add=*/true);
+}
+
+Curve pointwise_sub(const Curve& f, const Curve& g) {
+  if (g.has_infinite_tail()) {
+    throw std::invalid_argument(
+        "pointwise_sub: subtrahend must be finite everywhere");
+  }
+  std::vector<Knot> negated = g.knots();
+  for (auto& k : negated) {
+    k.y = -k.y;
+    k.slope = -k.slope;
+  }
+  return pointwise_add(f, Curve(std::move(negated)));
+}
+
+}  // namespace deltanc::nc

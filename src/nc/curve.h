@@ -1,0 +1,138 @@
+// Piecewise-linear curves for the (min,plus) network calculus.
+//
+// Arrival envelopes E(t), service curves S(t) and their compositions are
+// represented as right-continuous piecewise-linear functions on [0, inf)
+// with the network-calculus convention f(t) = 0 for t < 0.  A curve may be
+// +infinity beyond a finite point (`inf_from`), which represents the
+// burst-delay curve delta_d of Eq. (4): delta_d(t) = 0 for t <= d and
+// +infinity for t > d.
+//
+// Values at individual breakpoints follow the right-continuous convention.
+// All quantities derived from curves in this library (delay bounds and
+// backlog bounds via horizontal/vertical deviations, schedulability
+// conditions) are suprema/infima over time and are therefore insensitive
+// to the value a curve takes at isolated points.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deltanc::nc {
+
+/// One linear segment of a curve: for `t in [x, next.x)` the value is
+/// `y + slope * (t - x)`.
+struct Knot {
+  double x;      ///< segment start (>= 0)
+  double y;      ///< value at the segment start
+  double slope;  ///< segment slope
+};
+
+/// Right-continuous piecewise-linear function on [0, inf), zero on
+/// (-inf, 0), optionally +infinity after `inf_from()`.
+class Curve {
+ public:
+  /// The zero curve.
+  Curve();
+
+  /// Builds a curve from explicit knots.  Knots must start at x = 0 and
+  /// have strictly increasing x.  `inf_from` (if given) marks the point
+  /// after which the value is +infinity; it must be >= the last knot's x.
+  /// @throws std::invalid_argument on malformed input.
+  explicit Curve(std::vector<Knot> knots,
+                 std::optional<double> inf_from = std::nullopt);
+
+  // -- factories ------------------------------------------------------
+
+  /// f(t) = 0.
+  static Curve zero();
+  /// Constant-rate service curve f(t) = rate * t (rate >= 0).
+  static Curve rate(double rate);
+  /// Affine curve f(t) = value0 + slope * t for t >= 0.
+  static Curve affine(double value0, double slope);
+  /// Rate-latency service curve f(t) = rate * max(0, t - latency).
+  static Curve rate_latency(double rate, double latency);
+  /// Leaky-bucket envelope E(t) = burst + rate * t for t > 0 (E(0+)).
+  static Curve leaky_bucket(double rate, double burst);
+  /// Burst-delay curve delta_d of Eq. (4): 0 for t <= d, +infinity after.
+  static Curve delta(double d);
+  /// Concave piecewise-linear envelope given as the pointwise minimum of
+  /// leaky buckets (rate_i, burst_i) -- the standard multi-leaky-bucket
+  /// traffic descriptor.  @throws std::invalid_argument if empty.
+  static Curve multi_leaky_bucket(std::span<const std::pair<double, double>>
+                                      rate_burst_pairs);
+
+  // -- observers ------------------------------------------------------
+
+  /// Value at time t (0 for t < 0, +infinity past `inf_from`).
+  [[nodiscard]] double eval(double t) const noexcept;
+  /// The knot sequence (non-empty; first knot has x = 0).
+  [[nodiscard]] const std::vector<Knot>& knots() const noexcept {
+    return knots_;
+  }
+  /// Point after which the curve is +infinity, if any.
+  [[nodiscard]] std::optional<double> inf_from() const noexcept;
+  /// True if the curve is +infinity somewhere.
+  [[nodiscard]] bool has_infinite_tail() const noexcept;
+  /// Slope of the final (unbounded) segment; meaningless if the curve has
+  /// an infinite tail (throws in that case).
+  [[nodiscard]] double final_slope() const;
+  /// Largest finite breakpoint coordinate.
+  [[nodiscard]] double last_knot_x() const noexcept;
+
+  /// True if the finite part is non-decreasing (within tolerance).
+  [[nodiscard]] bool is_nondecreasing(double tol = 1e-9) const noexcept;
+  /// True if the finite part is convex (within tolerance).  A finite
+  /// inf_from tail is treated as convex continuation.
+  [[nodiscard]] bool is_convex(double tol = 1e-9) const noexcept;
+  /// True if the finite part is concave (within tolerance) and the curve
+  /// has no infinite tail.
+  [[nodiscard]] bool is_concave(double tol = 1e-9) const noexcept;
+
+  /// Human-readable dump (for diagnostics and test failure messages).
+  [[nodiscard]] std::string to_string() const;
+
+  // -- transforms (all return new curves) -----------------------------
+
+  /// Pointwise max(f, 0).  (Curves are usually already non-negative; this
+  /// implements the [.]_+ clamp of the paper's service-curve formulas.)
+  [[nodiscard]] Curve clamp_nonnegative() const;
+  /// f scaled vertically: c * f  (c >= 0).
+  [[nodiscard]] Curve scaled(double c) const;
+  /// f shifted up: f + c.
+  [[nodiscard]] Curve vshift(double c) const;
+  /// Right shift by d >= 0:  g(t) = f(t - d) (g = f convolved with
+  /// delta_d when f is non-negative and non-decreasing with f(0) >= 0).
+  [[nodiscard]] Curve hshift(double d) const;
+  /// Left shift by a >= 0:  g(t) = f(t + a) for t >= 0 (used in the
+  /// schedulability condition Eq. (24), where envelopes are evaluated at
+  /// t + Delta_{j,k}(d)).  @throws std::invalid_argument if the shift
+  /// reaches into an infinite tail at t = 0 (f(a) must be finite).
+  [[nodiscard]] Curve advanced(double a) const;
+  /// Multiplies by the indicator 1{t > cut}: value 0 for t <= cut.
+  [[nodiscard]] Curve gated(double cut) const;
+
+  /// Removes redundant knots (collinear merges, zero-length artifacts).
+  void simplify(double tol = 1e-12);
+
+ private:
+  std::vector<Knot> knots_;
+  double inf_from_;  // +infinity if no infinite tail
+
+  friend Curve pointwise_binary(const Curve& f, const Curve& g, bool take_min,
+                                bool add);
+};
+
+/// Pointwise minimum.  Curves with infinite tails are supported (the min
+/// follows the finite curve wherever exactly one operand is infinite).
+[[nodiscard]] Curve pointwise_min(const Curve& f, const Curve& g);
+/// Pointwise maximum.
+[[nodiscard]] Curve pointwise_max(const Curve& f, const Curve& g);
+/// Pointwise sum.
+[[nodiscard]] Curve pointwise_add(const Curve& f, const Curve& g);
+/// Pointwise difference f - g restricted to where both are finite;
+/// @throws std::invalid_argument if g has an infinite tail.
+[[nodiscard]] Curve pointwise_sub(const Curve& f, const Curve& g);
+
+}  // namespace deltanc::nc

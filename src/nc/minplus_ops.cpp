@@ -1,0 +1,557 @@
+#include "nc/minplus_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace deltanc::nc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Maximal affine piece of a curve: value `y + slope * (t - a)` on the
+/// closed interval [a, b] (b may be +infinity).
+struct Piece {
+  double a;
+  double b;
+  double y;
+  double slope;
+
+  [[nodiscard]] double value_at(double t) const noexcept {
+    return y + slope * (t - a);
+  }
+  [[nodiscard]] bool covers(double t) const noexcept {
+    return t >= a && t <= b;
+  }
+  [[nodiscard]] double length() const noexcept { return b - a; }
+};
+
+std::vector<Piece> decompose(const Curve& c) {
+  std::vector<Piece> pieces;
+  const auto& ks = c.knots();
+  const double tail_end =
+      c.inf_from().has_value() ? *c.inf_from() : kInf;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const double a = ks[i].x;
+    const double b = (i + 1 < ks.size()) ? ks[i + 1].x : tail_end;
+    pieces.push_back({a, b, ks[i].y, ks[i].slope});
+  }
+  return pieces;
+}
+
+/// Exact min-plus convolution of two affine pieces.  The optimal split of
+/// t = u + v spends budget on the smaller slope first, giving at most two
+/// affine segments starting at a1 + a2.
+void conv_pieces(const Piece& p, const Piece& q, std::vector<Piece>* out) {
+  const double start = p.a + q.a;
+  const double v0 = p.y + q.y;
+  const Piece* lo = &p;
+  const Piece* hi = &q;
+  if (q.slope < p.slope) std::swap(lo, hi);
+  const double len_lo = lo->length();
+  const double len_hi = hi->length();
+  if (len_lo == kInf || len_hi == kInf) {
+    if (len_lo > 0.0) {
+      out->push_back({start, len_lo == kInf ? kInf : start + len_lo, v0,
+                      lo->slope});
+    }
+    if (len_lo < kInf && len_hi > 0.0) {
+      const double mid = start + len_lo;
+      out->push_back({mid, kInf, v0 + lo->slope * len_lo, hi->slope});
+    }
+    if (len_lo == 0.0 && len_hi == 0.0) {
+      out->push_back({start, start, v0, 0.0});
+    }
+    return;
+  }
+  const double mid = start + len_lo;
+  const double end = mid + len_hi;
+  if (len_lo > 0.0) out->push_back({start, mid, v0, lo->slope});
+  if (len_hi > 0.0) {
+    out->push_back({mid, end, v0 + lo->slope * len_lo, hi->slope});
+  }
+  if (len_lo == 0.0 && len_hi == 0.0) out->push_back({start, start, v0, 0.0});
+}
+
+/// Exact lower envelope of a set of affine pieces, returned as a Curve
+/// that is +infinity past `result_inf` (if finite).  Pieces of zero
+/// length affect only isolated points and are ignored.
+Curve lower_envelope(std::vector<Piece> pieces, double result_inf) {
+  std::vector<double> xs{0.0};
+  for (const auto& p : pieces) {
+    if (p.length() <= 0.0) continue;
+    xs.push_back(p.a);
+    if (std::isfinite(p.b)) xs.push_back(p.b);
+  }
+  // Pairwise crossings inside overlapping ranges.  Near-parallel pieces
+  // are skipped and crossings far beyond the finite coordinate scale are
+  // capped (see the matching guard in curve.cpp).
+  double scale = 1.0;
+  for (const auto& p : pieces) {
+    scale = std::max(scale, p.a);
+    if (std::isfinite(p.b)) scale = std::max(scale, p.b);
+  }
+  const double far_cap = 1e6 * scale;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (pieces[i].length() <= 0.0) continue;
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      if (pieces[j].length() <= 0.0) continue;
+      const Piece& p = pieces[i];
+      const Piece& q = pieces[j];
+      const double lo = std::max(p.a, q.a);
+      const double hi = std::min(p.b, q.b);
+      if (!(hi > lo)) continue;
+      const double ds = p.slope - q.slope;
+      if (std::abs(ds) <
+          1e-9 * (1.0 + std::abs(p.slope) + std::abs(q.slope))) {
+        continue;
+      }
+      const double tc = (q.value_at(lo) - p.value_at(lo)) / ds + lo;
+      if (tc > far_cap) continue;
+      if (tc > lo + 1e-12 && tc < hi - 1e-12) xs.push_back(tc);
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+           xs.end());
+  if (std::isfinite(result_inf)) {
+    while (!xs.empty() && xs.back() > result_inf) xs.pop_back();
+  }
+
+  const bool unbounded =
+      std::any_of(pieces.begin(), pieces.end(),
+                  [](const Piece& p) { return p.b == kInf; });
+
+  std::vector<Knot> knots;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double a = xs[i];
+    if (std::isfinite(result_inf) && a >= result_inf && a > 0.0) break;
+    double b;
+    if (i + 1 < xs.size()) {
+      b = xs[i + 1];
+    } else if (unbounded) {
+      b = a + 2.0;
+    } else {
+      break;  // nothing is defined past the last breakpoint
+    }
+    const double mid = 0.5 * (a + b);
+    const Piece* best = nullptr;
+    double best_v = kInf;
+    for (const auto& p : pieces) {
+      if (p.length() <= 0.0 || !p.covers(mid)) continue;
+      const double v = p.value_at(mid);
+      if (v < best_v) {
+        best_v = v;
+        best = &p;
+      }
+    }
+    if (best == nullptr) {
+      throw std::logic_error(
+          "lower_envelope: coverage gap inside the finite domain");
+    }
+    knots.push_back({a, best->value_at(a), best->slope});
+  }
+  if (knots.empty()) knots.push_back({0.0, 0.0, 0.0});
+  Curve out(std::move(knots), std::isfinite(result_inf)
+                                  ? std::optional<double>(result_inf)
+                                  : std::nullopt);
+  out.simplify();
+  return out;
+}
+
+bool is_pure_delta(const Curve& c) {
+  return c.inf_from().has_value() && c.knots().size() == 1 &&
+         c.knots().front().y == 0.0 && c.knots().front().slope == 0.0;
+}
+
+void require_nondecreasing(const Curve& c, const char* who) {
+  if (!c.is_nondecreasing()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": operand must be non-decreasing");
+  }
+}
+
+double eval_left_limit(const Curve& c, double x) {
+  if (x <= 0.0) return 0.0;
+  const auto& ks = c.knots();
+  // Last knot strictly before x.
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i].x < x) idx = i;
+  }
+  return ks[idx].y + ks[idx].slope * (x - ks[idx].x);
+}
+
+}  // namespace
+
+namespace {
+
+Curve minplus_conv_impl(const Curve& f, const Curve& g, bool origin_is_zero) {
+  // The piece-decomposition algorithm below is exact for arbitrary
+  // (possibly non-monotone) piecewise-linear operands -- Theorem-1
+  // leftover curves jump downward where bursty cross envelopes kick in.
+  // Only the delta fast path (a pure right-shift) needs monotonicity.
+  if (is_pure_delta(f) && g.is_nondecreasing()) {
+    return g.hshift(*f.inf_from());
+  }
+  if (is_pure_delta(g) && f.is_nondecreasing()) {
+    return f.hshift(*g.inf_from());
+  }
+
+  const double inf_f = f.inf_from().value_or(kInf);
+  const double inf_g = g.inf_from().value_or(kInf);
+  const double result_inf = inf_f + inf_g;  // inf + x = inf
+
+  auto pf = decompose(f);
+  auto pg = decompose(g);
+  // Under the envelope convention curves represent functions with
+  // f(0) = 0; a first knot with y > 0 is a jump immediately after 0
+  // (e.g. a leaky bucket's burst).  The infimum in the convolution may
+  // place u = 0 and collect the true origin value 0, so an explicit
+  // origin point is added.  Function semantics (origin_is_zero = false)
+  // keep the knot value instead.
+  if (origin_is_zero) {
+    if (f.knots().front().y > 0.0) pf.push_back({0.0, 0.0, 0.0, 0.0});
+    if (g.knots().front().y > 0.0) pg.push_back({0.0, 0.0, 0.0, 0.0});
+  }
+  std::vector<Piece> pieces;
+  pieces.reserve(pf.size() * pg.size() * 2);
+  for (const auto& p : pf) {
+    for (const auto& q : pg) {
+      conv_pieces(p, q, &pieces);
+    }
+  }
+  return lower_envelope(std::move(pieces), result_inf);
+}
+
+}  // namespace
+
+Curve minplus_conv(const Curve& f, const Curve& g) {
+  return minplus_conv_impl(f, g, /*origin_is_zero=*/true);
+}
+
+Curve minplus_conv_fn(const Curve& f, const Curve& g) {
+  return minplus_conv_impl(f, g, /*origin_is_zero=*/false);
+}
+
+Curve minplus_conv(std::span<const Curve> curves) {
+  if (curves.empty()) {
+    throw std::invalid_argument("minplus_conv: need at least one curve");
+  }
+  Curve acc = curves.front();
+  for (std::size_t i = 1; i < curves.size(); ++i) {
+    acc = minplus_conv(acc, curves[i]);
+  }
+  return acc;
+}
+
+double minplus_conv_numeric_at(const Curve& f, const Curve& g, double t,
+                               int steps) {
+  if (t < 0.0) return 0.0;
+  // True curve values: f(x) = 0 for x <= 0 (a positive knot value at x = 0
+  // is a jump just after 0), f(x) = eval(x) for x > 0.
+  const auto val = [](const Curve& c, double x) {
+    return x <= 0.0 ? 0.0 : c.eval(x);
+  };
+  // Endpoints evaluated exactly (u = t*i/steps does not reproduce u = t
+  // bit-exactly, which would miss a jump of g at 0+).
+  double best = std::min(val(f, t), val(g, t));
+  for (int i = 1; i < steps; ++i) {
+    const double u = t * static_cast<double>(i) / static_cast<double>(steps);
+    best = std::min(best, val(f, u) + val(g, t - u));
+  }
+  return best;
+}
+
+double pseudo_inverse_at(const Curve& s, double y) {
+  const auto& ks = s.knots();
+  const double tail_end = s.inf_from().value_or(kInf);
+  if (ks.front().y >= y) return 0.0;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i].y >= y) return ks[i].x;  // reached at (or jumped over) a knot
+    const double seg_end = (i + 1 < ks.size()) ? ks[i + 1].x : tail_end;
+    if (ks[i].slope > 0.0) {
+      const double t = ks[i].x + (y - ks[i].y) / ks[i].slope;
+      if (t <= seg_end) return t;
+    }
+  }
+  // Never reached within the finite part; the infinite tail (if any)
+  // exceeds every level immediately after tail_end.
+  return tail_end;
+}
+
+double horizontal_deviation(const Curve& envelope, const Curve& service) {
+  if (envelope.has_infinite_tail()) {
+    throw std::invalid_argument(
+        "horizontal_deviation: envelope must be finite");
+  }
+  require_nondecreasing(envelope, "horizontal_deviation");
+  require_nondecreasing(service, "horizontal_deviation");
+  if (!service.has_infinite_tail() &&
+      envelope.final_slope() > service.final_slope() + 1e-12) {
+    return kInf;
+  }
+  std::vector<double> candidates{0.0};
+  for (const auto& k : envelope.knots()) candidates.push_back(k.x);
+  // Preimages under the envelope of the service curve's knot levels.
+  std::vector<double> levels;
+  for (const auto& k : service.knots()) levels.push_back(k.y);
+  for (double level : levels) {
+    const auto& ks = envelope.knots();
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      if (ks[i].slope <= 0.0) continue;
+      const double t = ks[i].x + (level - ks[i].y) / ks[i].slope;
+      const double seg_end = (i + 1 < ks.size()) ? ks[i + 1].x : kInf;
+      if (t >= ks[i].x && t <= seg_end) candidates.push_back(t);
+    }
+  }
+  const double far = 2.0 * (envelope.last_knot_x() + service.last_knot_x() +
+                            service.inf_from().value_or(0.0)) +
+                     10.0;
+  candidates.push_back(far);
+
+  double dev = 0.0;
+  for (double t : candidates) {
+    const double needed = pseudo_inverse_at(service, envelope.eval(t));
+    if (needed == kInf) return kInf;
+    dev = std::max(dev, needed - t);
+  }
+  return std::max(0.0, dev);
+}
+
+double vertical_deviation(const Curve& envelope, const Curve& service) {
+  if (envelope.has_infinite_tail()) {
+    throw std::invalid_argument("vertical_deviation: envelope must be finite");
+  }
+  if (!service.has_infinite_tail() &&
+      envelope.final_slope() > service.final_slope() + 1e-12) {
+    return kInf;
+  }
+  std::vector<double> xs{0.0};
+  for (const auto& k : envelope.knots()) xs.push_back(k.x);
+  for (const auto& k : service.knots()) xs.push_back(k.x);
+  if (service.inf_from().has_value()) xs.push_back(*service.inf_from());
+  const double far = 2.0 * (envelope.last_knot_x() + service.last_knot_x() +
+                            service.inf_from().value_or(0.0)) +
+                     10.0;
+  xs.push_back(far);
+  double dev = 0.0;
+  for (double x : xs) {
+    const double right = envelope.eval(x) - service.eval(x);
+    if (std::isfinite(right)) dev = std::max(dev, right);
+    const double left =
+        eval_left_limit(envelope, x) - eval_left_limit(service, x);
+    if (std::isfinite(left)) dev = std::max(dev, left);
+  }
+  return dev;
+}
+
+double service_delay_bound(const Curve& envelope, const Curve& service) {
+  if (envelope.has_infinite_tail()) {
+    throw std::invalid_argument("service_delay_bound: envelope must be finite");
+  }
+  require_nondecreasing(envelope, "service_delay_bound");
+  if (!service.has_infinite_tail() &&
+      envelope.final_slope() > service.final_slope() + 1e-12) {
+    return kInf;
+  }
+  // Exact feasibility test for a given shift d: sup_t (E(t) - S(t+d)) <= 0.
+  const auto feasible = [&](double d) {
+    return vertical_deviation(envelope, service.advanced(
+                                            std::min(d, service.inf_from().value_or(kInf)))) <=
+           1e-9;
+  };
+  // Lower bound: every t individually needs at least the first-passage
+  // delay (the horizontal-deviation quantity, valid as a *lower* bound
+  // even for non-monotone service curves).
+  double d0 = 0.0;
+  {
+    std::vector<double> candidates{0.0};
+    for (const auto& k : envelope.knots()) candidates.push_back(k.x);
+    for (const auto& ks : service.knots()) {
+      // Preimages under the envelope of the service knot levels.
+      const auto& ke = envelope.knots();
+      for (std::size_t i = 0; i < ke.size(); ++i) {
+        if (ke[i].slope <= 0.0) continue;
+        const double t = ke[i].x + (ks.y - ke[i].y) / ke[i].slope;
+        const double seg_end = (i + 1 < ke.size()) ? ke[i + 1].x : kInf;
+        if (t >= ke[i].x && t <= seg_end) candidates.push_back(t);
+      }
+    }
+    candidates.push_back(2.0 * (envelope.last_knot_x() +
+                                service.last_knot_x() +
+                                service.inf_from().value_or(0.0)) +
+                         10.0);
+    for (double t : candidates) {
+      const double needed = pseudo_inverse_at(service, envelope.eval(t));
+      if (needed == kInf) return kInf;
+      d0 = std::max(d0, needed - t);
+    }
+    d0 = std::max(0.0, d0);
+  }
+  if (feasible(d0)) return d0;
+  // The binding constraint at the optimum pairs a knot of E with a knot
+  // of S; collect those shift candidates above d0 and take the smallest
+  // feasible one.
+  std::vector<double> shifts;
+  for (const auto& ks : service.knots()) {
+    for (const auto& ke : envelope.knots()) {
+      const double d = ks.x - ke.x;
+      if (d > d0 + 1e-12) shifts.push_back(d);
+    }
+    if (ks.x > d0 + 1e-12) shifts.push_back(ks.x);
+  }
+  std::sort(shifts.begin(), shifts.end());
+  double lo = d0;
+  for (double d : shifts) {
+    if (feasible(d)) {
+      // Refine between the last infeasible point and this candidate.
+      double hi = d;
+      for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (feasible(mid)) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      return hi;
+    }
+    lo = d;
+  }
+  return kInf;
+}
+
+double minplus_deconv_at(const Curve& envelope, const Curve& service,
+                         double t) {
+  if (envelope.has_infinite_tail()) {
+    throw std::invalid_argument("minplus_deconv: envelope must be finite");
+  }
+  const bool service_caps =
+      service.has_infinite_tail();  // u restricted to [0, inf_from]
+  if (!service_caps &&
+      envelope.final_slope() > service.final_slope() + 1e-12) {
+    return kInf;
+  }
+  std::vector<double> us{0.0};
+  for (const auto& k : service.knots()) us.push_back(k.x);
+  for (const auto& k : envelope.knots()) {
+    const double u = k.x - t;
+    if (u > 0.0) us.push_back(u);
+  }
+  double u_cap = kInf;
+  if (service_caps) {
+    u_cap = *service.inf_from();
+    us.push_back(u_cap);
+  } else {
+    us.push_back(2.0 * (envelope.last_knot_x() + service.last_knot_x() + t) +
+                 10.0);
+  }
+  double best = -kInf;
+  for (double u : us) {
+    if (u > u_cap) continue;
+    const double v = envelope.eval(t + u) - service.eval(u);
+    if (std::isfinite(v)) best = std::max(best, v);
+  }
+  return best;
+}
+
+Curve minplus_deconv(const Curve& envelope, const Curve& service) {
+  if (!service.has_infinite_tail() &&
+      envelope.final_slope() > service.final_slope() + 1e-12) {
+    throw std::domain_error(
+        "minplus_deconv: envelope rate exceeds service rate (unstable)");
+  }
+  std::vector<double> ts{0.0};
+  for (const auto& ke : envelope.knots()) {
+    ts.push_back(ke.x);
+    for (const auto& ks : service.knots()) {
+      const double t = ke.x - ks.x;
+      if (t > 0.0) ts.push_back(t);
+    }
+    if (service.inf_from().has_value()) {
+      const double t = ke.x - *service.inf_from();
+      if (t > 0.0) ts.push_back(t);
+    }
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end(),
+                       [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+           ts.end());
+
+  std::vector<Knot> knots;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const double a = ts[i];
+    const double b = (i + 1 < ts.size()) ? ts[i + 1] : a + 2.0;
+    const double m1 = a + (b - a) / 3.0;
+    const double m2 = a + 2.0 * (b - a) / 3.0;
+    const double v1 = minplus_deconv_at(envelope, service, m1);
+    const double v2 = minplus_deconv_at(envelope, service, m2);
+    const double slope = (v2 - v1) / (m2 - m1);
+    knots.push_back({a, v1 - slope * (m1 - a), slope});
+  }
+  Curve out(std::move(knots));
+  out.simplify();
+  return out;
+}
+
+Curve subadditive_closure(const Curve& f, double horizon) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("subadditive_closure: horizon must be > 0");
+  }
+  if (f.has_infinite_tail() || !f.is_nondecreasing()) {
+    throw std::invalid_argument(
+        "subadditive_closure: need a finite non-decreasing curve");
+  }
+  // Keeps the iterates small: knots beyond the horizon are irrelevant to
+  // the result (and would otherwise accumulate across rounds, eventually
+  // overflowing coordinate arithmetic).
+  const auto truncate = [&](const Curve& c) {
+    std::vector<Knot> ks;
+    for (const Knot& k : c.knots()) {
+      if (k.x <= horizon + 1.0) {
+        ks.push_back(k);
+      }
+    }
+    if (ks.empty()) ks.push_back({0.0, c.eval(0.0), 0.0});
+    return Curve(std::move(ks));
+  };
+
+  Curve closure = truncate(f);
+  const Curve base = closure;
+  for (int round = 0; round < 64; ++round) {
+    const Curve next =
+        truncate(pointwise_min(closure, minplus_conv(closure, base)));
+    // Fixpoint test on a grid of the horizon.
+    bool changed = false;
+    for (int i = 0; i <= 256; ++i) {
+      const double t = horizon * static_cast<double>(i) / 256.0;
+      if (next.eval(t) < closure.eval(t) - 1e-12) {
+        changed = true;
+        break;
+      }
+    }
+    closure = next;
+    if (!changed) break;
+  }
+  return closure;
+}
+
+bool is_subadditive(const Curve& f, double horizon, double tol) {
+  const auto val = [&](double x) { return x <= 0.0 ? 0.0 : f.eval(x); };
+  const int n = 96;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = i; i + j <= n; ++j) {
+      const double s = horizon * static_cast<double>(i) / n;
+      const double t = horizon * static_cast<double>(j) / n;
+      if (val(s + t) > val(s) + val(t) + tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace deltanc::nc

@@ -1,0 +1,107 @@
+// (min,plus) operations on piecewise-linear curves.
+//
+// These implement the operator toolbox of the deterministic network
+// calculus used throughout the paper:
+//
+//  * min-plus convolution  (f * g)(t) = inf_{0<=u<=t} f(u) + g(t-u)
+//    -- composes per-node service curves into a network service curve
+//    (Eq. (30) uses its statistical counterpart);
+//  * min-plus deconvolution (f o/ g)(t) = sup_{u>=0} f(t+u) - g(u)
+//    -- yields output envelopes;
+//  * horizontal deviation  h(E,S) = sup_t inf{d>=0 : E(t) <= S(t+d)}
+//    -- the delay bound of Eq. (20) in its deterministic form;
+//  * vertical deviation    v(E,S) = sup_t (E(t) - S(t))
+//    -- the backlog bound;
+//  * lower pseudo-inverse  S^{-1}(y) = inf{t>=0 : S(t) >= y}.
+//
+// The convolution here is exact for arbitrary piecewise-linear operands:
+// each operand is decomposed into affine pieces, pieces are convolved
+// pairwise in closed form, and the result is the lower envelope of all
+// piece convolutions (computed exactly by inserting all pairwise
+// intersection points).  `minplus_conv_numeric_at` provides a brute-force
+// grid evaluation used by the property tests to validate the exact
+// algorithm.
+#pragma once
+
+#include <span>
+
+#include "nc/curve.h"
+
+namespace deltanc::nc {
+
+/// Exact min-plus convolution of two curves.  Operands must be
+/// non-negative and non-decreasing (all envelopes/service curves are).
+/// Infinite tails (delta_d factors) are supported; the result's infinite
+/// tail starts at the sum of the operands' tails.
+/// @throws std::invalid_argument if an operand is decreasing somewhere.
+[[nodiscard]] Curve minplus_conv(const Curve& f, const Curve& g);
+
+/// Folds `minplus_conv` over a sequence (the network service curve of a
+/// path, S_1 * S_2 * ... * S_H).  @throws std::invalid_argument if empty.
+[[nodiscard]] Curve minplus_conv(std::span<const Curve> curves);
+
+/// Function-semantics convolution: identical to `minplus_conv` except the
+/// operands' values AT t = 0 are taken from the representation (the knot
+/// value) instead of the envelope convention f(0) = 0.  Needed when the
+/// operand is a genuine function with f(0) > 0 -- e.g. a deconvolution
+/// result, whose value at 0 is the backlog bound.  With this variant the
+/// adjunction  f <= (f o/ g) * g  holds exactly.
+[[nodiscard]] Curve minplus_conv_fn(const Curve& f, const Curve& g);
+
+/// Brute-force evaluation of (f * g)(t) on a grid of `steps` points,
+/// for testing:  min_{u in grid of [0,t]} f(u) + g(t-u).
+[[nodiscard]] double minplus_conv_numeric_at(const Curve& f, const Curve& g,
+                                             double t, int steps = 4096);
+
+/// Lower pseudo-inverse `inf{t >= 0 : s(t) >= y}` for a non-decreasing
+/// curve; returns +infinity if the level is never reached.
+[[nodiscard]] double pseudo_inverse_at(const Curve& s, double y);
+
+/// Horizontal deviation between a (finite, non-decreasing) envelope and a
+/// non-decreasing service curve: the deterministic delay bound.  Returns
+/// +infinity when the envelope's long-run rate exceeds the service rate.
+[[nodiscard]] double horizontal_deviation(const Curve& envelope,
+                                          const Curve& service);
+
+/// Vertical deviation sup_t (envelope(t) - service(t)): the deterministic
+/// backlog bound.  Returns +infinity when unstable.
+[[nodiscard]] double vertical_deviation(const Curve& envelope,
+                                        const Curve& service);
+
+/// The deterministic delay bound min{ d >= 0 : E(t) <= S(t+d) for all t },
+/// i.e. the smallest right-shift of the service curve that dominates the
+/// envelope (Eq. (20) with sigma = 0).  Unlike `horizontal_deviation`
+/// this handles service curves that are *not* non-decreasing -- the
+/// Theorem-1 leftover curves jump downward wherever a bursty cross
+/// envelope kicks in.  Returns +infinity when no finite shift works.
+[[nodiscard]] double service_delay_bound(const Curve& envelope,
+                                         const Curve& service);
+
+/// Exact min-plus deconvolution (envelope o/ service)(t) for t >= 0,
+/// valid when the long-run envelope rate is at most the long-run service
+/// rate (otherwise the deconvolution is +infinity everywhere and this
+/// throws std::domain_error).  The result is the tightest envelope of the
+/// departure process in the deterministic calculus.
+[[nodiscard]] Curve minplus_deconv(const Curve& envelope,
+                                   const Curve& service);
+
+/// Point evaluation of the deconvolution sup_{u>=0} envelope(t+u) -
+/// service(u); may return +infinity.
+[[nodiscard]] double minplus_deconv_at(const Curve& envelope,
+                                       const Curve& service, double t);
+
+/// Sub-additive closure  f* = min_{n >= 1} f^{(n)}  (f convolved with
+/// itself n times), computed exactly on [0, horizon] by iterating
+/// g <- min(g, g * f) to a fixpoint.  The closure is the tightest
+/// envelope implied by f: any arrival process bounded by f on all
+/// intervals is also bounded by f*.  The result agrees with the true
+/// closure on [0, horizon] and extends linearly beyond it.
+/// @throws std::invalid_argument unless horizon > 0 and f is a finite
+///   non-negative non-decreasing curve.
+[[nodiscard]] Curve subadditive_closure(const Curve& f, double horizon);
+
+/// Checks f(s + t) <= f(s) + f(t) + tol on a sample grid of [0, horizon].
+[[nodiscard]] bool is_subadditive(const Curve& f, double horizon,
+                                  double tol = 1e-9);
+
+}  // namespace deltanc::nc

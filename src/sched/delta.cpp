@@ -1,0 +1,118 @@
+#include "sched/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deltanc::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DeltaMatrix::DeltaMatrix(std::vector<std::vector<double>> delta)
+    : delta_(std::move(delta)) {
+  if (delta_.empty()) {
+    throw std::invalid_argument("DeltaMatrix: need at least one flow");
+  }
+  for (std::size_t j = 0; j < delta_.size(); ++j) {
+    if (delta_[j].size() != delta_.size()) {
+      throw std::invalid_argument("DeltaMatrix: matrix must be square");
+    }
+    if (delta_[j][j] != 0.0) {
+      throw std::invalid_argument(
+          "DeltaMatrix: diagonal must be zero (locally FIFO)");
+    }
+    for (double v : delta_[j]) {
+      if (std::isnan(v)) {
+        throw std::invalid_argument("DeltaMatrix: NaN entry");
+      }
+    }
+  }
+}
+
+DeltaMatrix DeltaMatrix::fifo(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("DeltaMatrix::fifo: n must be > 0");
+  return DeltaMatrix(
+      std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+}
+
+DeltaMatrix DeltaMatrix::static_priority(std::span<const int> priority) {
+  const std::size_t n = priority.size();
+  if (n == 0) {
+    throw std::invalid_argument("DeltaMatrix::static_priority: empty");
+  }
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (priority[k] < priority[j]) {
+        d[j][k] = -kInf;
+      } else if (priority[k] > priority[j]) {
+        d[j][k] = kInf;
+      }
+    }
+  }
+  return DeltaMatrix(std::move(d));
+}
+
+DeltaMatrix DeltaMatrix::bmux(std::size_t n, std::size_t low_flow) {
+  if (low_flow >= n) {
+    throw std::invalid_argument("DeltaMatrix::bmux: low_flow out of range");
+  }
+  std::vector<int> priority(n, 1);
+  priority[low_flow] = 0;
+  return static_priority(priority);
+}
+
+DeltaMatrix DeltaMatrix::edf(std::span<const double> deadlines) {
+  const std::size_t n = deadlines.size();
+  if (n == 0) throw std::invalid_argument("DeltaMatrix::edf: empty");
+  for (double d : deadlines) {
+    if (!(d >= 0.0) || !std::isfinite(d)) {
+      throw std::invalid_argument(
+          "DeltaMatrix::edf: deadlines must be finite and non-negative");
+    }
+  }
+  std::vector<std::vector<double>> delta(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      delta[j][k] = deadlines[j] - deadlines[k];
+    }
+  }
+  return DeltaMatrix(std::move(delta));
+}
+
+void DeltaMatrix::check_index(std::size_t j, std::size_t k) const {
+  if (j >= size() || k >= size()) {
+    throw std::out_of_range("DeltaMatrix: flow index out of range");
+  }
+}
+
+double DeltaMatrix::at(std::size_t j, std::size_t k) const {
+  check_index(j, k);
+  return delta_[j][k];
+}
+
+double DeltaMatrix::capped(std::size_t j, std::size_t k, double y) const {
+  check_index(j, k);
+  return std::min(delta_[j][k], y);
+}
+
+std::vector<std::size_t> DeltaMatrix::relevant_flows(std::size_t j) const {
+  check_index(j, j);
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < size(); ++k) {
+    if (delta_[j][k] > -kInf) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::size_t> DeltaMatrix::relevant_cross_flows(
+    std::size_t j) const {
+  auto out = relevant_flows(j);
+  out.erase(std::remove(out.begin(), out.end(), j), out.end());
+  return out;
+}
+
+}  // namespace deltanc::sched

@@ -1,0 +1,81 @@
+// Delta-schedulers (Definition 1 of the paper).
+//
+// A Delta-scheduler is a work-conserving, locally-FIFO link scheduling
+// algorithm whose precedence order is completely described by constants
+// Delta_{j,k}: an arrival of flow j at time t has precedence over every
+// arrival of flow k occurring after t + Delta_{j,k}.  The constants may
+// be +infinity (flow k *always* has precedence over flow j, as higher
+// priority traffic does) or -infinity (flow k *never* has precedence, as
+// lower-priority traffic).  Locally-FIFO forces Delta_{j,j} = 0.
+//
+// Members of the class (Section III):
+//   FIFO     Delta_{j,k} = 0
+//   SP       Delta_{j,k} in {-inf, 0, +inf} by priority comparison
+//   BMUX     blind multiplexing: the analyzed flow is treated as lowest
+//            priority (Delta_{j,k} = +inf for all k != j)
+//   EDF      Delta_{j,k} = d*_j - d*_k (per-flow deadline differences)
+//
+// GPS is *not* a Delta-scheduler: the time limit up to which another
+// flow's arrivals take precedence depends on the random backlog process,
+// so no constants Delta_{j,k} exist (see the GPS discussion in Sec. III
+// and the simulator-based demonstration in tests/sim_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace deltanc::sched {
+
+/// The precedence matrix {Delta_{j,k}} of a Delta-scheduler over a fixed
+/// set of flows 0..n-1.  Entries may be +/-infinity.
+class DeltaMatrix {
+ public:
+  /// Builds a matrix from explicit entries.  `delta[j][k]` is
+  /// Delta_{j,k}.  @throws std::invalid_argument unless the matrix is
+  /// square, non-empty, and has an all-zero diagonal (locally FIFO).
+  explicit DeltaMatrix(std::vector<std::vector<double>> delta);
+
+  /// FIFO over n flows: all entries zero.
+  static DeltaMatrix fifo(std::size_t n);
+
+  /// Static priority: `priority[k]` is flow k's priority level, larger
+  /// value = higher priority.  Delta_{j,k} = -inf when k has lower
+  /// priority than j, 0 when equal, +inf when higher.
+  static DeltaMatrix static_priority(std::span<const int> priority);
+
+  /// Blind multiplexing with respect to `low_flow`: the analyzed flow has
+  /// lower priority than everything else (Delta_{low,k} = +inf for all
+  /// k != low).  The other rows treat `low_flow` as never-preceding.
+  static DeltaMatrix bmux(std::size_t n, std::size_t low_flow);
+
+  /// EDF with per-flow a-priori delay constraints d*: Delta_{j,k} =
+  /// deadlines[j] - deadlines[k].
+  static DeltaMatrix edf(std::span<const double> deadlines);
+
+  [[nodiscard]] std::size_t size() const noexcept { return delta_.size(); }
+
+  /// Delta_{j,k} (may be +/-infinity).
+  [[nodiscard]] double at(std::size_t j, std::size_t k) const;
+
+  /// The capped value Delta_{j,k}(y) = min(Delta_{j,k}, y) of Eq. (7):
+  /// for an arrival of flow j still in the scheduler y time units after
+  /// arrival, flow-k traffic served before it arrived at most
+  /// Delta_{j,k}(y) after it.
+  [[nodiscard]] double capped(std::size_t j, std::size_t k, double y) const;
+
+  /// N_j = flows k with Delta_{j,k} > -inf (those that can delay flow j;
+  /// includes j itself).
+  [[nodiscard]] std::vector<std::size_t> relevant_flows(std::size_t j) const;
+
+  /// N_{-j} = N_j minus flow j itself: the cross traffic that matters.
+  [[nodiscard]] std::vector<std::size_t> relevant_cross_flows(
+      std::size_t j) const;
+
+ private:
+  std::vector<std::vector<double>> delta_;
+
+  void check_index(std::size_t j, std::size_t k) const;
+};
+
+}  // namespace deltanc::sched

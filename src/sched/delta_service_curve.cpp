@@ -1,0 +1,79 @@
+#include "sched/delta_service_curve.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace deltanc::sched {
+
+namespace {
+
+void validate(double capacity, const DeltaMatrix& delta, std::size_t n_env,
+              std::size_t flow, double theta) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("service curve: capacity must be > 0");
+  }
+  if (n_env != delta.size()) {
+    throw std::invalid_argument(
+        "service curve: one envelope per flow required");
+  }
+  if (flow >= delta.size()) {
+    throw std::invalid_argument("service curve: flow index out of range");
+  }
+  if (!(theta >= 0.0)) {
+    throw std::invalid_argument("service curve: theta must be >= 0");
+  }
+}
+
+/// The shifted cross-traffic term G_k(t - theta + Delta_{j,k}(theta)).
+/// Since Delta_{j,k}(theta) = min(Delta_{j,k}, theta) <= theta, the shift
+/// a_k = theta - Delta_{j,k}(theta) is >= 0, i.e. a plain right shift.
+nc::Curve shifted_envelope(const nc::Curve& g, double delta_capped,
+                           double theta) {
+  const double shift = theta - delta_capped;
+  return g.hshift(shift);
+}
+
+}  // namespace
+
+StatServiceCurve theorem1_service_curve(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const traffic::StatEnvelope> envelopes, std::size_t flow,
+    double theta) {
+  validate(capacity, delta, envelopes.size(), flow, theta);
+
+  nc::Curve cross_sum = nc::Curve::zero();
+  std::vector<nc::ExpBound> bounds;
+  for (std::size_t k : delta.relevant_cross_flows(flow)) {
+    const double capped = delta.capped(flow, k, theta);
+    cross_sum = nc::pointwise_add(
+        cross_sum, shifted_envelope(envelopes[k].g, capped, theta));
+    bounds.push_back(envelopes[k].eps);
+  }
+  nc::Curve s = pointwise_sub(nc::Curve::rate(capacity), cross_sum)
+                    .clamp_nonnegative()
+                    .gated(theta);
+  if (bounds.empty()) {
+    return StatServiceCurve{std::move(s), std::nullopt};
+  }
+  return StatServiceCurve{std::move(s), nc::inf_convolution(bounds)};
+}
+
+nc::Curve deterministic_service_curve(double capacity,
+                                      const DeltaMatrix& delta,
+                                      std::span<const nc::Curve> envelopes,
+                                      std::size_t flow, double theta) {
+  validate(capacity, delta, envelopes.size(), flow, theta);
+
+  nc::Curve cross_sum = nc::Curve::zero();
+  for (std::size_t k : delta.relevant_cross_flows(flow)) {
+    const double capped = delta.capped(flow, k, theta);
+    cross_sum =
+        nc::pointwise_add(cross_sum, shifted_envelope(envelopes[k], capped, theta));
+  }
+  return pointwise_sub(nc::Curve::rate(capacity), cross_sum)
+      .clamp_nonnegative()
+      .gated(theta);
+}
+
+}  // namespace deltanc::sched

@@ -1,0 +1,58 @@
+// Theorem 1: leftover service curves for Delta-schedulers.
+//
+// For a flow j sharing a link of capacity C with cross flows whose
+// arrivals satisfy (statistical or deterministic) sample-path envelopes
+// G_k, the function
+//
+//   S_j(t; theta) = [ C t - sum_{k in N_{-j}} G_k(t - theta + Delta_{j,k}(theta)) ]_+
+//                   * 1{t > theta}
+//
+// is a statistical service curve (Eq. (8)) with bounding function
+// eps_s(sigma) = inf over splits of sum_k eps_k(sigma_k) (computed in
+// closed form via Eq. (33)).  The deterministic version (Eq. (19)) uses
+// deterministic envelopes E_k and is never violated.
+//
+// Each choice of the free parameter theta >= 0 gives a valid curve; the
+// end-to-end analysis (src/e2e) optimizes over one theta per node.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "nc/bounding_function.h"
+#include "nc/curve.h"
+#include "sched/delta.h"
+#include "traffic/ebb.h"
+
+namespace deltanc::sched {
+
+/// A statistical service curve in the sense of Eq. (5).  `eps` is absent
+/// when the guarantee is deterministic (no cross traffic contributes a
+/// probabilistic envelope, so the curve is never violated).
+struct StatServiceCurve {
+  nc::Curve s;
+  std::optional<nc::ExpBound> eps;
+};
+
+/// Builds the Theorem-1 statistical service curve for `flow` at a link of
+/// rate `capacity` under the scheduler described by `delta`.
+///
+/// `envelopes[k]` is the statistical sample-path envelope of flow k;
+/// the entry for `flow` itself is ignored (only cross traffic enters the
+/// leftover description).
+///
+/// @throws std::invalid_argument if sizes disagree, capacity <= 0, or
+///   theta < 0.
+[[nodiscard]] StatServiceCurve theorem1_service_curve(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const traffic::StatEnvelope> envelopes, std::size_t flow,
+    double theta);
+
+/// Deterministic version, Eq. (19): same construction with deterministic
+/// sample-path envelopes.  The returned curve is a (deterministic)
+/// service curve in the sense of Eq. (3).
+[[nodiscard]] nc::Curve deterministic_service_curve(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const nc::Curve> envelopes, std::size_t flow, double theta);
+
+}  // namespace deltanc::sched

@@ -1,0 +1,91 @@
+#include "sched/schedulability.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nc/minplus_ops.h"
+
+namespace deltanc::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(double capacity, const DeltaMatrix& delta, std::size_t n_env,
+              std::size_t flow) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("schedulability: capacity must be > 0");
+  }
+  if (n_env != delta.size()) {
+    throw std::invalid_argument("schedulability: one envelope per flow");
+  }
+  if (flow >= delta.size()) {
+    throw std::invalid_argument("schedulability: flow index out of range");
+  }
+}
+
+/// E_k(t + c) as a curve in t >= 0: a left shift for c >= 0, a right
+/// shift for c < 0.
+nc::Curve shifted(const nc::Curve& e, double c) {
+  return c >= 0.0 ? e.advanced(c) : e.hshift(-c);
+}
+
+}  // namespace
+
+double schedulability_lhs(double capacity, const DeltaMatrix& delta,
+                          std::span<const nc::Curve> envelopes,
+                          std::size_t flow, double d) {
+  validate(capacity, delta, envelopes.size(), flow);
+  if (!(d >= 0.0)) {
+    throw std::invalid_argument("schedulability: d must be >= 0");
+  }
+  nc::Curve sum = nc::Curve::zero();
+  for (std::size_t k : delta.relevant_flows(flow)) {
+    sum = nc::pointwise_add(sum, shifted(envelopes[k], delta.capped(flow, k, d)));
+  }
+  return nc::vertical_deviation(sum, nc::Curve::rate(capacity));
+}
+
+bool meets_delay_bound(double capacity, const DeltaMatrix& delta,
+                       std::span<const nc::Curve> envelopes, std::size_t flow,
+                       double d) {
+  const double lhs = schedulability_lhs(capacity, delta, envelopes, flow, d);
+  return lhs <= capacity * d + 1e-9 * capacity;
+}
+
+double min_delay_bound(double capacity, const DeltaMatrix& delta,
+                       std::span<const nc::Curve> envelopes,
+                       std::size_t flow) {
+  validate(capacity, delta, envelopes.size(), flow);
+  // Expand an upper bracket, then bisect.  Stability check: the relevant
+  // flows' long-run rates must fit into the capacity, otherwise no finite
+  // delay bound exists.
+  double total_rate = 0.0;
+  for (std::size_t k : delta.relevant_flows(flow)) {
+    if (envelopes[k].has_infinite_tail()) {
+      throw std::invalid_argument("min_delay_bound: envelopes must be finite");
+    }
+    total_rate += envelopes[k].final_slope();
+  }
+  if (total_rate > capacity + 1e-12) return kInf;
+
+  double hi = 1.0;
+  int guard = 0;
+  while (!meets_delay_bound(capacity, delta, envelopes, flow, hi)) {
+    hi *= 2.0;
+    if (++guard > 80) return kInf;
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (meets_delay_bound(capacity, delta, envelopes, flow, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace deltanc::sched

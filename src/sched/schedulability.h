@@ -1,0 +1,41 @@
+// The deterministic schedulability condition for Delta-schedulers,
+// Eq. (24) of the paper:
+//
+//   sup_{t>0} [ sum_{k in N_j} E_k(t + Delta_{j,k}(d)) - C t ]  <=  C d .
+//
+// By Theorem 2 this condition is *sufficient* for every set of envelopes
+// and *necessary* when the envelopes are concave -- i.e. it exactly
+// characterizes the worst-case delay.  It recovers the classical tight
+// conditions for FIFO, SP, and EDF (Cruz '91, Liebeherr/Wrege/Ferrari '96).
+#pragma once
+
+#include <span>
+
+#include "nc/curve.h"
+#include "sched/delta.h"
+
+namespace deltanc::sched {
+
+/// The left-hand side of Eq. (24):
+/// sup_{t>0} [ sum_{k in N_j} E_k(t + Delta_{j,k}(d)) - C t ].
+/// Returns +infinity if the link is overloaded by the relevant flows.
+[[nodiscard]] double schedulability_lhs(double capacity,
+                                        const DeltaMatrix& delta,
+                                        std::span<const nc::Curve> envelopes,
+                                        std::size_t flow, double d);
+
+/// True if flow `flow` meets the worst-case delay bound `d` under the
+/// given Delta-scheduler (Eq. (24) holds).
+[[nodiscard]] bool meets_delay_bound(double capacity, const DeltaMatrix& delta,
+                                     std::span<const nc::Curve> envelopes,
+                                     std::size_t flow, double d);
+
+/// The smallest delay bound d for which Eq. (24) holds, found by
+/// bisection (the condition is monotone in d whenever the aggregate rate
+/// of the relevant flows is below the capacity).  Returns +infinity when
+/// no finite bound exists (unstable configuration).
+[[nodiscard]] double min_delay_bound(double capacity, const DeltaMatrix& delta,
+                                     std::span<const nc::Curve> envelopes,
+                                     std::size_t flow);
+
+}  // namespace deltanc::sched

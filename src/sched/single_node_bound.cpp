@@ -1,0 +1,101 @@
+#include "sched/single_node_bound.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "nc/minplus_ops.h"
+
+namespace deltanc::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(double capacity, const DeltaMatrix& delta, std::size_t n_env,
+              std::size_t flow) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("single_node_bound: capacity must be > 0");
+  }
+  if (n_env != delta.size()) {
+    throw std::invalid_argument("single_node_bound: one envelope per flow");
+  }
+  if (flow >= delta.size()) {
+    throw std::invalid_argument("single_node_bound: flow index out of range");
+  }
+}
+
+nc::Curve shifted(const nc::Curve& g, double c) {
+  return c >= 0.0 ? g.advanced(c) : g.hshift(-c);
+}
+
+}  // namespace
+
+double single_node_delay_for_sigma(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const traffic::StatEnvelope> envelopes, std::size_t flow,
+    double sigma) {
+  validate(capacity, delta, envelopes.size(), flow);
+  if (!(sigma >= 0.0)) {
+    throw std::invalid_argument("single_node_bound: sigma must be >= 0");
+  }
+  const auto relevant = delta.relevant_flows(flow);
+  double total_rate = 0.0;
+  for (std::size_t k : relevant) {
+    if (envelopes[k].g.has_infinite_tail()) {
+      throw std::invalid_argument("single_node_bound: envelope must be finite");
+    }
+    total_rate += envelopes[k].g.final_slope();
+  }
+  if (total_rate > capacity + 1e-12) return kInf;
+
+  const auto meets = [&](double d) {
+    nc::Curve sum = nc::Curve::zero();
+    for (std::size_t k : relevant) {
+      sum = nc::pointwise_add(sum,
+                              shifted(envelopes[k].g, delta.capped(flow, k, d)));
+    }
+    const double lhs =
+        nc::vertical_deviation(sum, nc::Curve::rate(capacity)) + sigma;
+    return lhs <= capacity * d + 1e-9 * capacity;
+  };
+
+  double hi = 1.0;
+  int guard = 0;
+  while (!meets(hi)) {
+    hi *= 2.0;
+    if (++guard > 80) return kInf;
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (meets(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double single_node_delay_bound(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const traffic::StatEnvelope> envelopes, std::size_t flow,
+    double epsilon) {
+  validate(capacity, delta, envelopes.size(), flow);
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("single_node_bound: need 0 < epsilon < 1");
+  }
+  // Eq. (21): the total bounding function combines the flow's own
+  // envelope bound (eps_g) with the cross-traffic bounds entering the
+  // Theorem-1 service curve (eps_s), all via Eq. (33).
+  std::vector<nc::ExpBound> terms{envelopes[flow].eps};
+  for (std::size_t k : delta.relevant_cross_flows(flow)) {
+    terms.push_back(envelopes[k].eps);
+  }
+  const double sigma = nc::inf_convolution(terms).sigma_for(epsilon);
+  return single_node_delay_for_sigma(capacity, delta, envelopes, flow, sigma);
+}
+
+}  // namespace deltanc::sched

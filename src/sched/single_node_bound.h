@@ -1,0 +1,43 @@
+// Single-node probabilistic delay bounds (Section III-B).
+//
+// Combining the Theorem-1 statistical service curve (with theta = d) and
+// the through flow's statistical sample-path envelope yields the
+// schedulability-style condition Eq. (23):
+//
+//   sup_{t>0} [ sum_{k in N_j} G_k(t + Delta_{j,k}(d)) + sigma - C t ] <= C d ,
+//
+// and the violation probability Eq. (21):
+//
+//   P( W_j > d(sigma) ) <= inf_{sigma_1+sigma_2=sigma} eps_g(sigma_1) + eps_s(sigma_2).
+//
+// This module solves the condition for the smallest d at a target
+// violation probability.  It recovers the "direct" analysis of
+// Boorstyn/Burchard/Liebeherr/Oottamakorn (reference [3] of the paper)
+// and is the H = 1 anchor of the end-to-end machinery.
+#pragma once
+
+#include <span>
+
+#include "sched/delta.h"
+#include "traffic/ebb.h"
+
+namespace deltanc::sched {
+
+/// The smallest d satisfying Eq. (23) at margin sigma, for arbitrary
+/// (curve-valued) statistical sample-path envelopes.  Returns +infinity
+/// when the relevant flows overload the link.
+[[nodiscard]] double single_node_delay_for_sigma(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const traffic::StatEnvelope> envelopes, std::size_t flow,
+    double sigma);
+
+/// Full probabilistic bound: picks sigma from the target violation
+/// probability via the inf-convolution of the flow's envelope bound with
+/// the cross-traffic bounds (Eq. 21 / Eq. 33), then solves Eq. (23).
+/// @throws std::invalid_argument on malformed input.
+[[nodiscard]] double single_node_delay_bound(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const traffic::StatEnvelope> envelopes, std::size_t flow,
+    double epsilon);
+
+}  // namespace deltanc::sched

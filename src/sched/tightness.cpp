@@ -1,0 +1,120 @@
+#include "sched/tightness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deltanc::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True envelope value with E(x) = 0 for x <= 0 (the curve representation
+/// shows the 0+ jump at x = 0).
+double env_value(const nc::Curve& e, double x) {
+  return x <= 0.0 ? 0.0 : e.eval(x);
+}
+
+}  // namespace
+
+double greedy_delay_at(double capacity, const DeltaMatrix& delta,
+                       std::span<const nc::Curve> envelopes, std::size_t flow,
+                       double t_star) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("greedy_delay_at: capacity must be > 0");
+  }
+  if (envelopes.size() != delta.size() || flow >= delta.size()) {
+    throw std::invalid_argument("greedy_delay_at: size mismatch");
+  }
+  if (!(t_star >= 0.0)) {
+    throw std::invalid_argument("greedy_delay_at: t_star must be >= 0");
+  }
+  const auto relevant = delta.relevant_flows(flow);
+  const auto pressure = [&](double w) {
+    double sum = 0.0;
+    for (std::size_t k : relevant) {
+      sum += env_value(envelopes[k], t_star + delta.capped(flow, k, w));
+    }
+    return sum - capacity * (t_star + w);
+  };
+  if (pressure(0.0) <= 0.0) return 0.0;
+  // Bracket the draining time.  Stability: the capped deltas saturate at
+  // finite w only if all Delta < inf; with Delta = +inf the pressure
+  // grows with the cross rate, so rely on total rate < C for drainage.
+  double hi = 1.0;
+  int guard = 0;
+  while (pressure(hi) > 0.0) {
+    hi *= 2.0;
+    if (++guard > 80) return kInf;
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (pressure(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double greedy_worst_case_delay(double capacity, const DeltaMatrix& delta,
+                               std::span<const nc::Curve> envelopes,
+                               std::size_t flow) {
+  // The maximizing t* lies within the aggregate busy period started at 0:
+  // beyond the time where sum_k E_k(t) - C t turns negative, arrivals no
+  // longer queue behind each other.  Bracket that horizon first.
+  const auto relevant = delta.relevant_flows(flow);
+  double total_rate = 0.0;
+  double horizon = 1.0;
+  for (std::size_t k : relevant) {
+    if (envelopes[k].has_infinite_tail()) {
+      throw std::invalid_argument(
+          "greedy_worst_case_delay: envelopes must be finite");
+    }
+    total_rate += envelopes[k].final_slope();
+    horizon = std::max(horizon, envelopes[k].last_knot_x());
+  }
+  if (total_rate > capacity + 1e-12) return kInf;
+  const auto busy_excess = [&](double t) {
+    double sum = 0.0;
+    for (std::size_t k : relevant) sum += env_value(envelopes[k], t);
+    return sum - capacity * t;
+  };
+  int guard = 0;
+  while (busy_excess(horizon) > 0.0 && guard++ < 80) horizon *= 2.0;
+  horizon *= 1.05;
+
+  // Coarse scan + local refinement around the best t*.
+  const int kCoarse = 512;
+  double best_t = 0.0;
+  double best_delay = 0.0;
+  for (int i = 0; i <= kCoarse; ++i) {
+    const double t = horizon * static_cast<double>(i) / kCoarse;
+    const double w = greedy_delay_at(capacity, delta, envelopes, flow, t);
+    if (w > best_delay) {
+      best_delay = w;
+      best_t = t;
+    }
+  }
+  double lo = std::max(0.0, best_t - horizon / kCoarse);
+  double hi = std::min(horizon, best_t + horizon / kCoarse);
+  for (int round = 0; round < 40; ++round) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = lo + 2.0 * (hi - lo) / 3.0;
+    const double w1 = greedy_delay_at(capacity, delta, envelopes, flow, m1);
+    const double w2 = greedy_delay_at(capacity, delta, envelopes, flow, m2);
+    if (w1 < w2) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+    best_delay = std::max(best_delay, std::max(w1, w2));
+  }
+  return best_delay;
+}
+
+}  // namespace deltanc::sched

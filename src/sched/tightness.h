@@ -1,0 +1,39 @@
+// Theorem 2 (necessity): for concave envelopes, the schedulability
+// condition Eq. (24) is tight.  The proof constructs an adversarial
+// ("greedy") arrival scenario in which every flow k sends exactly
+// A_k(t) = E_k(t) from time 0, plus a tagged flow-j arrival at time t*.
+// The tagged arrival cannot leave before all higher-or-equal-precedence
+// backlog
+//
+//   B_j^{t*}(s) = sum_{k in N_j} E_k(t* + Delta_{j,k}(s - t*)) - C s
+//
+// has drained (Eq. (26)).  This module computes the delay realized by
+// that scenario; `greedy_worst_case_delay` maximizes it over t*.  For
+// concave envelopes it coincides with `min_delay_bound` (sufficiency +
+// necessity), which the test suite verifies; for non-concave envelopes
+// it can be strictly smaller (the condition is only sufficient).
+#pragma once
+
+#include <span>
+
+#include "nc/curve.h"
+#include "sched/delta.h"
+
+namespace deltanc::sched {
+
+/// Delay of a tagged flow-`flow` arrival at time `t_star` under the
+/// greedy scenario: the smallest w >= 0 with
+/// sum_{k in N_j} E_k(t* + Delta_{j,k}(w)) <= C (t* + w).
+/// Returns +infinity if the backlog never drains (overload).
+[[nodiscard]] double greedy_delay_at(double capacity, const DeltaMatrix& delta,
+                                     std::span<const nc::Curve> envelopes,
+                                     std::size_t flow, double t_star);
+
+/// The worst-case delay realized by the greedy scenario:
+/// sup_{t* >= 0} greedy_delay_at(t*).  For concave envelopes this equals
+/// the minimal d satisfying Eq. (24) -- the Theorem-2 tightness result.
+[[nodiscard]] double greedy_worst_case_delay(
+    double capacity, const DeltaMatrix& delta,
+    std::span<const nc::Curve> envelopes, std::size_t flow);
+
+}  // namespace deltanc::sched

@@ -1,0 +1,56 @@
+#include "sim/markov_source.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace deltanc::sim {
+
+namespace {
+
+/// Multinomial(n, probs) via the conditional-binomial method.
+void multinomial(int n, const std::vector<double>& probs,
+                 std::vector<int>* out, Xoshiro256ss& rng) {
+  double remaining_p = 1.0;
+  int remaining_n = n;
+  for (std::size_t j = 0; j + 1 < probs.size(); ++j) {
+    if (remaining_n == 0 || remaining_p <= 0.0) {
+      (*out)[j] += 0;
+      continue;
+    }
+    const double p = std::min(1.0, probs[j] / remaining_p);
+    std::binomial_distribution<int> dist(remaining_n, p);
+    const int k = dist(rng);
+    (*out)[j] += k;
+    remaining_n -= k;
+    remaining_p -= probs[j];
+  }
+  (*out)[probs.size() - 1] += remaining_n;
+}
+
+}  // namespace
+
+MarkovAggregateSim::MarkovAggregateSim(const traffic::MarkovSource& model,
+                                       int n, Xoshiro256ss& rng)
+    : model_(model), n_(n), counts_(model.states(), 0) {
+  if (n < 0) {
+    throw std::invalid_argument("MarkovAggregateSim: n must be >= 0");
+  }
+  multinomial(n, model_.stationary(), &counts_, rng);
+}
+
+double MarkovAggregateSim::step(Xoshiro256ss& rng) {
+  std::vector<int> next(model_.states(), 0);
+  for (std::size_t i = 0; i < model_.states(); ++i) {
+    if (counts_[i] > 0) {
+      multinomial(counts_[i], model_.transition()[i], &next, rng);
+    }
+  }
+  counts_ = std::move(next);
+  double kb = 0.0;
+  for (std::size_t i = 0; i < model_.states(); ++i) {
+    kb += counts_[i] * model_.rates()[i];
+  }
+  return kb;
+}
+
+}  // namespace deltanc::sim

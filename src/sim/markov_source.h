@@ -1,0 +1,37 @@
+// Exact aggregate sampler for N i.i.d. copies of a general finite-state
+// Markov-modulated source (traffic::MarkovSource): instead of stepping N
+// chains, the per-state occupancy counts evolve by multinomial sampling
+// -- conditioned on c_i chains in state i, their destinations are
+// Multinomial(c_i, P[i][.]).  Cost per slot is O(S^2) regardless of N.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "traffic/markov.h"
+
+namespace deltanc::sim {
+
+class MarkovAggregateSim {
+ public:
+  /// Initializes the occupancy from the stationary distribution.
+  /// @throws std::invalid_argument unless n >= 0.
+  MarkovAggregateSim(const traffic::MarkovSource& model, int n,
+                     Xoshiro256ss& rng);
+
+  /// Advances one slot and returns the kilobits emitted in the new slot:
+  /// sum_i count_i * r_i.
+  double step(Xoshiro256ss& rng);
+
+  [[nodiscard]] const std::vector<int>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] int flows() const noexcept { return n_; }
+
+ private:
+  traffic::MarkovSource model_;
+  int n_;
+  std::vector<int> counts_;
+};
+
+}  // namespace deltanc::sim

@@ -1,0 +1,34 @@
+#include "sim/mmoo_source.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace deltanc::sim {
+
+namespace {
+
+int binomial(int n, double p, Xoshiro256ss& rng) {
+  if (n <= 0) return 0;
+  std::binomial_distribution<int> dist(n, p);
+  return dist(rng);
+}
+
+}  // namespace
+
+MmooAggregateSim::MmooAggregateSim(const traffic::MmooSource& model, int n,
+                                   Xoshiro256ss& rng)
+    : model_(model), n_(n), on_(0) {
+  if (n < 0) {
+    throw std::invalid_argument("MmooAggregateSim: n must be >= 0");
+  }
+  on_ = binomial(n_, model_.stationary_on(), rng);
+}
+
+double MmooAggregateSim::step(Xoshiro256ss& rng) {
+  const int stay_on = binomial(on_, model_.p22(), rng);
+  const int switch_on = binomial(n_ - on_, model_.p12(), rng);
+  on_ = stay_on + switch_on;
+  return static_cast<double>(on_) * model_.peak_kb();
+}
+
+}  // namespace deltanc::sim

@@ -1,0 +1,24 @@
+#include "sim/node.h"
+
+#include <stdexcept>
+
+namespace deltanc::sim {
+
+Node::Node(double capacity_kb_per_slot,
+           std::unique_ptr<Discipline> discipline)
+    : capacity_(capacity_kb_per_slot), discipline_(std::move(discipline)) {
+  if (!(capacity_ > 0.0)) {
+    throw std::invalid_argument("Node: capacity must be > 0");
+  }
+  if (discipline_ == nullptr) {
+    throw std::invalid_argument("Node: discipline must not be null");
+  }
+}
+
+void Node::arrive(Chunk chunk) { discipline_->enqueue(chunk); }
+
+double Node::advance(std::vector<Chunk>* completed) {
+  return discipline_->serve(capacity_, completed);
+}
+
+}  // namespace deltanc::sim

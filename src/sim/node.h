@@ -1,0 +1,36 @@
+// One buffered link of the tandem: a per-slot service budget drained by a
+// pluggable discipline (Fig. 1's "node").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler_queue.h"
+
+namespace deltanc::sim {
+
+/// A work-conserving link with capacity `capacity_kb_per_slot` and a
+/// scheduling discipline.
+class Node {
+ public:
+  /// @throws std::invalid_argument unless capacity > 0 and the discipline
+  ///   is non-null.
+  Node(double capacity_kb_per_slot, std::unique_ptr<Discipline> discipline);
+
+  /// Admits a chunk (arrivals of the current slot are eligible for
+  /// service in the same slot).
+  void arrive(Chunk chunk);
+
+  /// Serves one slot's budget; chunks that finish are appended to
+  /// `completed`.  Returns the kb actually transmitted.
+  double advance(std::vector<Chunk>* completed);
+
+  [[nodiscard]] double backlog() const { return discipline_->backlog(); }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+ private:
+  double capacity_;
+  std::unique_ptr<Discipline> discipline_;
+};
+
+}  // namespace deltanc::sim

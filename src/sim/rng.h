@@ -1,0 +1,66 @@
+// Small, fast, reproducible random number generation for the simulator:
+// SplitMix64 for seeding and xoshiro256** (Blackman & Vigna) as the
+// workhorse generator.  Both satisfy UniformRandomBitGenerator, so they
+// compose with <random> distributions (the aggregate MMOO source uses
+// std::binomial_distribution for its state transitions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace deltanc::sim {
+
+/// SplitMix64: a tiny PRNG whose primary job is turning one 64-bit seed
+/// into well-distributed state words for xoshiro.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: 256-bit state, period 2^256 - 1, excellent statistical
+/// quality for simulation workloads.
+class Xoshiro256ss {
+ public:
+  /// Seeds the four state words via SplitMix64.
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept;
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) using the top 53 bits.
+  double uniform() noexcept;
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Jump function: advances the stream by 2^128 steps, for spawning
+  /// non-overlapping substreams (one per node / traffic source).
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace deltanc::sim

@@ -1,0 +1,257 @@
+#include "sim/scheduler_queue.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace deltanc::sim {
+
+namespace {
+
+constexpr double kSizeEps = 1e-12;
+
+/// FIFO: one global queue in arrival order.
+class FifoDiscipline final : public Discipline {
+ public:
+  void enqueue(Chunk chunk) override {
+    backlog_ += chunk.size_kb;
+    queue_.push_back(chunk);
+  }
+
+  double serve(double budget, std::vector<Chunk>* completed) override {
+    double served = 0.0;
+    while (budget > kSizeEps && !queue_.empty()) {
+      Chunk& head = queue_.front();
+      const double amount = std::min(budget, head.size_kb);
+      head.size_kb -= amount;
+      budget -= amount;
+      served += amount;
+      backlog_ -= amount;
+      if (head.size_kb <= kSizeEps) {
+        completed->push_back(head);
+        queue_.pop_front();
+      }
+    }
+    return served;
+  }
+
+  [[nodiscard]] double backlog() const override { return backlog_; }
+
+ private:
+  std::deque<Chunk> queue_;
+  double backlog_ = 0.0;
+};
+
+/// Static priority: a FIFO queue per priority level, highest level first.
+class SpDiscipline final : public Discipline {
+ public:
+  explicit SpDiscipline(std::vector<int> priority)
+      : priority_(std::move(priority)) {
+    if (priority_.empty()) {
+      throw std::invalid_argument("static priority: need flow priorities");
+    }
+  }
+
+  void enqueue(Chunk chunk) override {
+    if (chunk.flow < 0 || chunk.flow >= static_cast<int>(priority_.size())) {
+      throw std::out_of_range("static priority: unknown flow class");
+    }
+    backlog_ += chunk.size_kb;
+    levels_[priority_[chunk.flow]].push_back(chunk);
+  }
+
+  double serve(double budget, std::vector<Chunk>* completed) override {
+    double served = 0.0;
+    // std::map iterates ascending; serve from the highest priority down.
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+      auto& queue = it->second;
+      while (budget > kSizeEps && !queue.empty()) {
+        Chunk& head = queue.front();
+        const double amount = std::min(budget, head.size_kb);
+        head.size_kb -= amount;
+        budget -= amount;
+        served += amount;
+        backlog_ -= amount;
+        if (head.size_kb <= kSizeEps) {
+          completed->push_back(head);
+          queue.pop_front();
+        }
+      }
+      if (budget <= kSizeEps) break;
+    }
+    return served;
+  }
+
+  [[nodiscard]] double backlog() const override { return backlog_; }
+
+ private:
+  std::vector<int> priority_;
+  std::map<int, std::deque<Chunk>> levels_;
+  double backlog_ = 0.0;
+};
+
+/// EDF: min-heap on (deadline, seq).
+class EdfDiscipline final : public Discipline {
+ public:
+  explicit EdfDiscipline(std::vector<double> deadline)
+      : deadline_(std::move(deadline)) {
+    if (deadline_.empty()) {
+      throw std::invalid_argument("edf: need flow deadlines");
+    }
+  }
+
+  void enqueue(Chunk chunk) override {
+    if (chunk.flow < 0 || chunk.flow >= static_cast<int>(deadline_.size())) {
+      throw std::out_of_range("edf: unknown flow class");
+    }
+    chunk.deadline =
+        static_cast<double>(chunk.arrival_slot) + deadline_[chunk.flow];
+    backlog_ += chunk.size_kb;
+    heap_.push(chunk);
+  }
+
+  double serve(double budget, std::vector<Chunk>* completed) override {
+    double served = 0.0;
+    while (budget > kSizeEps && !heap_.empty()) {
+      Chunk head = heap_.top();
+      heap_.pop();
+      const double amount = std::min(budget, head.size_kb);
+      head.size_kb -= amount;
+      budget -= amount;
+      served += amount;
+      backlog_ -= amount;
+      if (head.size_kb <= kSizeEps) {
+        completed->push_back(head);
+      } else {
+        heap_.push(head);  // partially served head keeps its deadline
+      }
+    }
+    return served;
+  }
+
+  [[nodiscard]] double backlog() const override { return backlog_; }
+
+ private:
+  struct Later {
+    bool operator()(const Chunk& a, const Chunk& b) const noexcept {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;  // FIFO among equal deadlines
+    }
+  };
+  std::vector<double> deadline_;
+  std::priority_queue<Chunk, std::vector<Chunk>, Later> heap_;
+  double backlog_ = 0.0;
+};
+
+/// Fluid GPS: progressive filling across backlogged classes per slot.
+class GpsDiscipline final : public Discipline {
+ public:
+  explicit GpsDiscipline(std::vector<double> weights)
+      : weights_(std::move(weights)), queues_(weights_.size()) {
+    if (weights_.empty()) {
+      throw std::invalid_argument("gps: need flow weights");
+    }
+    for (double w : weights_) {
+      if (!(w > 0.0)) throw std::invalid_argument("gps: weights must be > 0");
+    }
+  }
+
+  void enqueue(Chunk chunk) override {
+    if (chunk.flow < 0 || chunk.flow >= static_cast<int>(queues_.size())) {
+      throw std::out_of_range("gps: unknown flow class");
+    }
+    backlog_ += chunk.size_kb;
+    queues_[chunk.flow].push_back(chunk);
+  }
+
+  double serve(double budget, std::vector<Chunk>* completed) override {
+    double served = 0.0;
+    // Progressive filling: split the remaining budget among backlogged
+    // classes by weight; classes that drain early release their share.
+    while (budget > kSizeEps) {
+      double active_weight = 0.0;
+      double active_backlog = 0.0;
+      for (std::size_t f = 0; f < queues_.size(); ++f) {
+        if (!queues_[f].empty()) {
+          active_weight += weights_[f];
+          active_backlog += class_backlog(f);
+        }
+      }
+      if (active_weight == 0.0) break;
+      // The filling step: the round ends when either the budget is spent
+      // or the first class drains completely.
+      double round = std::min(budget, active_backlog);
+      for (std::size_t f = 0; f < queues_.size(); ++f) {
+        if (queues_[f].empty()) continue;
+        const double share = weights_[f] / active_weight;
+        round = std::min(round, class_backlog(f) / share);
+      }
+      if (round <= kSizeEps) round = budget;  // numerical guard
+      double spent = 0.0;
+      for (std::size_t f = 0; f < queues_.size(); ++f) {
+        if (queues_[f].empty()) continue;
+        const double share = weights_[f] / active_weight;
+        spent += drain_class(f, round * share, completed);
+      }
+      if (spent <= kSizeEps) break;
+      budget -= spent;
+      served += spent;
+    }
+    return served;
+  }
+
+  [[nodiscard]] double backlog() const override { return backlog_; }
+
+ private:
+  [[nodiscard]] double class_backlog(std::size_t f) const {
+    double sum = 0.0;
+    for (const Chunk& c : queues_[f]) sum += c.size_kb;
+    return sum;
+  }
+
+  double drain_class(std::size_t f, double amount,
+                     std::vector<Chunk>* completed) {
+    double drained = 0.0;
+    auto& queue = queues_[f];
+    while (amount > kSizeEps && !queue.empty()) {
+      Chunk& head = queue.front();
+      const double step = std::min(amount, head.size_kb);
+      head.size_kb -= step;
+      amount -= step;
+      drained += step;
+      backlog_ -= step;
+      if (head.size_kb <= kSizeEps) {
+        completed->push_back(head);
+        queue.pop_front();
+      }
+    }
+    return drained;
+  }
+
+  std::vector<double> weights_;
+  std::vector<std::deque<Chunk>> queues_;
+  double backlog_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Discipline> make_fifo() {
+  return std::make_unique<FifoDiscipline>();
+}
+
+std::unique_ptr<Discipline> make_static_priority(
+    std::vector<int> flow_priority) {
+  return std::make_unique<SpDiscipline>(std::move(flow_priority));
+}
+
+std::unique_ptr<Discipline> make_edf(std::vector<double> flow_deadline) {
+  return std::make_unique<EdfDiscipline>(std::move(flow_deadline));
+}
+
+std::unique_ptr<Discipline> make_gps(std::vector<double> weights) {
+  return std::make_unique<GpsDiscipline>(std::move(weights));
+}
+
+}  // namespace deltanc::sim

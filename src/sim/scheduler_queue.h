@@ -1,0 +1,73 @@
+// Work-conserving link disciplines for the slot-based simulator.
+//
+// The simulator moves fluid "chunks" (one per flow aggregate per slot).
+// Each discipline decides the order in which backlogged chunks drain a
+// per-slot service budget; partial service splits a chunk.  All four of
+// the paper's reference points are implemented:
+//
+//   FIFO  -- global arrival order                  (Delta = 0)
+//   SP    -- strict priority between flow classes  (Delta in {-inf,0,+inf})
+//   EDF   -- per-class deadlines, earliest first   (Delta = d*_j - d*_k)
+//   GPS   -- fluid weighted fair sharing.  GPS is deliberately included
+//            as the paper's counterexample: its precedence structure
+//            depends on the random backlog, so it is NOT a
+//            Delta-scheduler (Section III).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace deltanc::sim {
+
+/// A fluid chunk of traffic from one flow class.
+struct Chunk {
+  int flow;                   ///< flow class index
+  double size_kb;             ///< remaining (unserved) size
+  double total_kb;            ///< original size -- restored when the chunk
+                              ///< is forwarded to the next node
+  std::int64_t arrival_slot;  ///< arrival at the *current* node
+  std::int64_t origin_slot;   ///< arrival into the network (end-to-end delay)
+  double deadline;            ///< EDF service deadline (set at enqueue)
+  std::uint64_t seq;          ///< global tie-breaker (arrival order)
+};
+
+/// Interface: a work-conserving scheduling discipline over flow classes.
+class Discipline {
+ public:
+  virtual ~Discipline() = default;
+
+  /// Admits a chunk to the queue (the discipline may stamp metadata such
+  /// as the EDF deadline).
+  virtual void enqueue(Chunk chunk) = 0;
+
+  /// Serves up to `budget` kb.  Fully-served chunks are appended to
+  /// `completed`; a partially-served head chunk stays queued with its
+  /// size reduced.  Returns the amount actually served (work conserving:
+  /// min(budget, backlog)).
+  virtual double serve(double budget, std::vector<Chunk>* completed) = 0;
+
+  /// Total backlogged kb.
+  [[nodiscard]] virtual double backlog() const = 0;
+};
+
+/// FIFO across all classes (global arrival order, seq as tie-breaker).
+[[nodiscard]] std::unique_ptr<Discipline> make_fifo();
+
+/// Static priority: `flow_priority[f]` is class f's priority, larger =
+/// served first; FIFO within a priority level.
+[[nodiscard]] std::unique_ptr<Discipline> make_static_priority(
+    std::vector<int> flow_priority);
+
+/// EDF: class f's chunks get deadline arrival_slot + flow_deadline[f];
+/// earliest deadline served first (FIFO tie-break).
+[[nodiscard]] std::unique_ptr<Discipline> make_edf(
+    std::vector<double> flow_deadline);
+
+/// Fluid GPS with per-class weights: every backlogged class drains
+/// simultaneously in proportion to its weight (progressive filling
+/// within each slot).
+[[nodiscard]] std::unique_ptr<Discipline> make_gps(
+    std::vector<double> weights);
+
+}  // namespace deltanc::sim

@@ -1,0 +1,46 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deltanc::sim {
+
+void DelayRecorder::add(double value) {
+  samples_.push_back(value);
+  max_ = std::max(max_, value);
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (value - mean_);
+}
+
+double DelayRecorder::variance() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(samples_.size() - 1);
+}
+
+double DelayRecorder::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("DelayRecorder::quantile: no samples");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("DelayRecorder::quantile: q must be in [0,1]");
+  }
+  std::vector<double> sorted = samples_;
+  const double last = static_cast<double>(sorted.size() - 1);
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(std::floor(q * last + 0.5)));
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return sorted[idx];
+}
+
+double DelayRecorder::exceed_fraction(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t over = 0;
+  for (double v : samples_) {
+    if (v > threshold) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(samples_.size());
+}
+
+}  // namespace deltanc::sim

@@ -1,0 +1,37 @@
+// Delay statistics for simulator runs: exact empirical quantiles (the
+// sample vector is kept -- a few million doubles at most) plus running
+// mean/variance via Welford's algorithm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deltanc::sim {
+
+/// Collects scalar samples and answers quantile / moment queries.
+class DelayRecorder {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Exact empirical q-quantile, q in [0, 1].
+  /// @throws std::logic_error when empty, std::invalid_argument for bad q.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fraction of samples strictly greater than the threshold (empirical
+  /// violation probability of a delay bound).
+  [[nodiscard]] double exceed_fraction(double threshold) const;
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace deltanc::sim

@@ -1,0 +1,47 @@
+#include "traffic/ebb.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deltanc::traffic {
+
+EbbTraffic::EbbTraffic(double m, double rho, double alpha)
+    : m_(m), rho_(rho), alpha_(alpha) {
+  if (!(m >= 1.0) || !std::isfinite(m)) {
+    throw std::invalid_argument("EbbTraffic: M must be >= 1 and finite");
+  }
+  if (!(rho >= 0.0) || !std::isfinite(rho)) {
+    throw std::invalid_argument("EbbTraffic: rho must be >= 0 and finite");
+  }
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    throw std::invalid_argument("EbbTraffic: alpha must be > 0 and finite");
+  }
+}
+
+double EbbTraffic::interval_tail(double sigma) const noexcept {
+  return nc::ExpBound(m_, alpha_).eval(sigma);
+}
+
+StatEnvelope EbbTraffic::sample_path_envelope(double gamma) const {
+  if (!(gamma > 0.0)) {
+    throw std::invalid_argument(
+        "EbbTraffic::sample_path_envelope: gamma must be > 0");
+  }
+  return StatEnvelope{
+      nc::Curve::rate(rho_ + gamma),
+      nc::geometric_tail(nc::ExpBound(m_, alpha_), gamma)};
+}
+
+EbbTraffic EbbTraffic::aggregate_with(const EbbTraffic& other) const {
+  if (std::abs(alpha_ - other.alpha_) > 1e-12 * alpha_) {
+    throw std::invalid_argument(
+        "EbbTraffic::aggregate_with: decay parameters must match");
+  }
+  return EbbTraffic(m_ * other.m_, rho_ + other.rho_, alpha_);
+}
+
+nc::Curve EbbTraffic::deterministic_envelope() const {
+  return nc::Curve::leaky_bucket(rho_, std::log(m_) / alpha_);
+}
+
+}  // namespace deltanc::traffic

@@ -1,0 +1,74 @@
+// The Exponentially Bounded Burstiness (EBB) traffic model of Eq. (27):
+//
+//   P( A(s,t) > rho (t-s) + sigma ) <= M exp(-alpha sigma),
+//
+// written A ~ (M, rho, alpha) [Yaron & Sidi 1993].  EBB is the arrival
+// model of the paper's end-to-end analysis (Section IV); it is expressive
+// enough to capture Markov-modulated sources (src/traffic/mmoo.h maps a
+// Markov-modulated on-off aggregate onto EBB parameters via its effective
+// bandwidth).
+//
+// From an EBB description the paper builds a *statistical sample-path
+// envelope* (Eq. (2)) using the union bound:
+//
+//   G(t) = (rho + gamma) t,   eps(sigma) = M exp(-alpha sigma) / (1 - exp(-alpha gamma)),
+//
+// for any slack rate gamma > 0.  `StatEnvelope` carries that pair.
+#pragma once
+
+#include "nc/bounding_function.h"
+#include "nc/curve.h"
+
+namespace deltanc::traffic {
+
+/// A statistical sample-path envelope in the sense of Eq. (2): the curve
+/// `g` together with the bounding function `eps`, guaranteeing
+/// `P(sup_{s<=t} { A(s,t) - g(t-s) } > sigma) <= eps(sigma)`.
+struct StatEnvelope {
+  nc::Curve g;
+  nc::ExpBound eps;
+};
+
+/// EBB parameters (M, rho, alpha) for an arrival process per Eq. (27).
+/// Units in this library: time in milliseconds, data in kilobits, so
+/// rates are numerically megabits per second.
+class EbbTraffic {
+ public:
+  /// @param m       prefactor M >= 1
+  /// @param rho     long-run rate bound (kb/ms = Mbps)
+  /// @param alpha   exponential decay of the burst tail (1/kb)
+  /// @throws std::invalid_argument for m < 1, rho < 0, or alpha <= 0.
+  EbbTraffic(double m, double rho, double alpha);
+
+  [[nodiscard]] double m() const noexcept { return m_; }
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Tail bound P(A(s,t) > rho (t-s) + sigma) for a single interval.
+  [[nodiscard]] double interval_tail(double sigma) const noexcept;
+
+  /// The union-bound statistical sample-path envelope for slack rate
+  /// gamma > 0 (discrete time, unit steps):
+  /// G(t) = (rho + gamma) t with eps = M e^{-alpha sigma}/(1 - e^{-alpha gamma}).
+  /// @throws std::invalid_argument unless gamma > 0.
+  [[nodiscard]] StatEnvelope sample_path_envelope(double gamma) const;
+
+  /// Superposition with an independent EBB flow bounded by the same
+  /// Chernoff parameter: rates add, prefactors multiply (the MGF bound of
+  /// the sum is the product of MGF bounds).  Requires equal alpha.
+  /// @throws std::invalid_argument if the decay parameters differ.
+  [[nodiscard]] EbbTraffic aggregate_with(const EbbTraffic& other) const;
+
+  /// The deterministic leaky-bucket limit of the EBB model: setting
+  /// M = e^{B alpha} and letting alpha -> infinity recovers
+  /// E(t) = rho t + B (Section IV, gamma = 0 discussion).  Returns the
+  /// leaky-bucket envelope for burst B = log(M)/alpha.
+  [[nodiscard]] nc::Curve deterministic_envelope() const;
+
+ private:
+  double m_;
+  double rho_;
+  double alpha_;
+};
+
+}  // namespace deltanc::traffic

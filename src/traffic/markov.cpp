@@ -1,0 +1,126 @@
+#include "traffic/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace deltanc::traffic {
+
+namespace {
+
+/// Spectral radius of a non-negative square matrix via power iteration.
+double spectral_radius(const std::vector<std::vector<double>>& m) {
+  const std::size_t n = m.size();
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  double lambda = 0.0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<double> w(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        w[i] += m[i][j] * v[j];
+      }
+    }
+    const double norm = std::accumulate(w.begin(), w.end(), 0.0);
+    if (!(norm > 0.0)) return 0.0;
+    for (double& x : w) x /= norm;
+    if (iter > 10 && std::abs(norm - lambda) <= 1e-14 * norm) {
+      return norm;
+    }
+    lambda = norm;
+    v = std::move(w);
+  }
+  return lambda;
+}
+
+}  // namespace
+
+MarkovSource::MarkovSource(std::vector<std::vector<double>> transition,
+                           std::vector<double> rates)
+    : p_(std::move(transition)), rates_(std::move(rates)) {
+  const std::size_t n = rates_.size();
+  if (n == 0 || p_.size() != n) {
+    throw std::invalid_argument("MarkovSource: empty or non-square matrix");
+  }
+  for (const auto& row : p_) {
+    if (row.size() != n) {
+      throw std::invalid_argument("MarkovSource: non-square matrix");
+    }
+    double sum = 0.0;
+    for (double x : row) {
+      if (!(x >= 0.0) || !(x <= 1.0)) {
+        throw std::invalid_argument(
+            "MarkovSource: transition probabilities must lie in [0,1]");
+      }
+      sum += x;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      throw std::invalid_argument("MarkovSource: rows must sum to 1");
+    }
+  }
+  for (double r : rates_) {
+    if (!(r >= 0.0) || !std::isfinite(r)) {
+      throw std::invalid_argument("MarkovSource: rates must be >= 0, finite");
+    }
+  }
+}
+
+MarkovSource MarkovSource::on_off(double peak_kb, double p11, double p22) {
+  return MarkovSource({{p11, 1.0 - p11}, {1.0 - p22, p22}}, {0.0, peak_kb});
+}
+
+std::vector<double> MarkovSource::stationary() const {
+  const std::size_t n = states();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<double> next(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        next[j] += pi[i] * p_[i][j];
+      }
+    }
+    double diff = 0.0;
+    for (std::size_t j = 0; j < n; ++j) diff += std::abs(next[j] - pi[j]);
+    pi = std::move(next);
+    if (diff < 1e-14) break;
+  }
+  return pi;
+}
+
+double MarkovSource::mean_rate() const {
+  const auto pi = stationary();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < states(); ++i) mean += pi[i] * rates_[i];
+  return mean;
+}
+
+double MarkovSource::peak_rate() const noexcept {
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+double MarkovSource::effective_bandwidth(double s) const {
+  if (!(s > 0.0) || !std::isfinite(s)) {
+    throw std::invalid_argument("effective_bandwidth: s must be > 0 finite");
+  }
+  // Factor out the largest reward to keep e^{s r_j} representable:
+  // sprad(P diag(e^{s r})) = e^{s r_max} sprad(P diag(e^{s (r - r_max)})).
+  const double r_max = peak_rate();
+  std::vector<std::vector<double>> m(states(),
+                                     std::vector<double>(states(), 0.0));
+  for (std::size_t i = 0; i < states(); ++i) {
+    for (std::size_t j = 0; j < states(); ++j) {
+      m[i][j] = p_[i][j] * std::exp(s * (rates_[j] - r_max));
+    }
+  }
+  const double lambda_scaled = spectral_radius(m);
+  return (s * r_max + std::log(lambda_scaled)) / s;
+}
+
+EbbTraffic MarkovSource::aggregate_ebb(int n, double s) const {
+  if (n < 1) {
+    throw std::invalid_argument("aggregate_ebb: need at least one flow");
+  }
+  return EbbTraffic(1.0, static_cast<double>(n) * effective_bandwidth(s), s);
+}
+
+}  // namespace deltanc::traffic

@@ -1,0 +1,69 @@
+// General finite-state Markov-modulated traffic.
+//
+// The paper's numerical examples use a 2-state on-off chain; the EBB
+// machinery only needs an effective-bandwidth bound, which exists for any
+// finite Markov-modulated source (Chang):
+//
+//   eb(s) = (1/s) log sprad( P * diag(e^{s r}) ),
+//
+// where P is the transition matrix and r the per-state emission vector.
+// This module provides that bound (via power iteration on the positive
+// matrix), stationary statistics, and the EBB description of an i.i.d.
+// aggregate -- so richer workloads (e.g. 3-state voice/video models) can
+// be pushed through the Section-IV analysis unchanged.
+#pragma once
+
+#include <vector>
+
+#include "traffic/ebb.h"
+
+namespace deltanc::traffic {
+
+/// A discrete-time Markov-modulated source over a finite state space:
+/// while in state i the source emits `rates[i]` kb per slot.
+class MarkovSource {
+ public:
+  /// @param transition  row-stochastic matrix P (P[i][j] = P(i -> j))
+  /// @param rates       per-state emission (kb per slot), all >= 0
+  /// @throws std::invalid_argument for malformed matrices (non-square,
+  ///   rows not summing to 1, negative entries) or rate vectors.
+  MarkovSource(std::vector<std::vector<double>> transition,
+               std::vector<double> rates);
+
+  /// The paper's on-off source as the 2-state special case
+  /// (state 0 = OFF, state 1 = ON emitting peak_kb).
+  static MarkovSource on_off(double peak_kb, double p11, double p22);
+
+  [[nodiscard]] std::size_t states() const noexcept { return rates_.size(); }
+  [[nodiscard]] const std::vector<std::vector<double>>& transition()
+      const noexcept {
+    return p_;
+  }
+  [[nodiscard]] const std::vector<double>& rates() const noexcept {
+    return rates_;
+  }
+
+  /// Stationary distribution (power iteration; the chain is assumed
+  /// irreducible -- a standing assumption for traffic models).
+  [[nodiscard]] std::vector<double> stationary() const;
+
+  /// Long-run mean rate sum_i pi_i r_i (kb per slot).
+  [[nodiscard]] double mean_rate() const;
+  /// Largest per-state rate.
+  [[nodiscard]] double peak_rate() const noexcept;
+
+  /// Effective-bandwidth bound eb(s) = (1/s) log sprad(P diag(e^{s r})),
+  /// computed stably in log space.  Monotone non-decreasing in s with
+  /// eb(0+) = mean_rate() and eb(inf) -> peak-rate-recurrent-class rate.
+  /// @throws std::invalid_argument unless s > 0.
+  [[nodiscard]] double effective_bandwidth(double s) const;
+
+  /// EBB description of `n` i.i.d. copies: A ~ (1, n * eb(s), s).
+  [[nodiscard]] EbbTraffic aggregate_ebb(int n, double s) const;
+
+ private:
+  std::vector<std::vector<double>> p_;
+  std::vector<double> rates_;
+};
+
+}  // namespace deltanc::traffic

@@ -1,0 +1,44 @@
+#include "traffic/tspec.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "nc/minplus_ops.h"
+
+namespace deltanc::traffic {
+
+TSpec::TSpec(double peak_rate, double max_packet_kb, double sustained_rate,
+             double burst_kb)
+    : p_(peak_rate), m_(max_packet_kb), r_(sustained_rate), b_(burst_kb) {
+  if (!(sustained_rate >= 0.0) || !(peak_rate >= sustained_rate)) {
+    throw std::invalid_argument("TSpec: need 0 <= r <= p");
+  }
+  if (!(max_packet_kb >= 0.0) || !(burst_kb >= max_packet_kb)) {
+    throw std::invalid_argument("TSpec: need 0 <= M <= b");
+  }
+}
+
+nc::Curve TSpec::envelope() const {
+  const std::vector<std::pair<double, double>> buckets{{p_, m_}, {r_, b_}};
+  return nc::Curve::multi_leaky_bucket(buckets);
+}
+
+double TSpec::crossover_time() const noexcept {
+  if (p_ <= r_) return std::numeric_limits<double>::infinity();
+  return (b_ - m_) / (p_ - r_);
+}
+
+TSpec TSpec::aggregate(int n) const {
+  if (n < 1) throw std::invalid_argument("TSpec::aggregate: n must be >= 1");
+  return TSpec(n * p_, n * m_, n * r_, n * b_);
+}
+
+double TSpec::max_backlog_against(double service_rate) const {
+  if (!(service_rate > 0.0)) {
+    throw std::invalid_argument("TSpec: service rate must be > 0");
+  }
+  return nc::vertical_deviation(envelope(), nc::Curve::rate(service_rate));
+}
+
+}  // namespace deltanc::traffic

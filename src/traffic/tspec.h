@@ -1,0 +1,52 @@
+// The IETF T-SPEC traffic descriptor (peak rate p, maximum packet size M,
+// sustained rate r, burst b), whose deterministic arrival envelope is the
+// concave dual-bucket curve
+//
+//   E(t) = min( M + p t,  b + r t )        for t > 0.
+//
+// T-SPECs are the practical way deterministic contracts are written for
+// the admission-control use cases of sched/schedulability.h and
+// e2e/deterministic_e2e.h; Theorem 2 applies because the envelope is
+// concave.
+#pragma once
+
+#include "nc/curve.h"
+
+namespace deltanc::traffic {
+
+/// An IETF-style T-SPEC contract.  Units follow the library convention:
+/// rates in kb/ms (= Mbps), sizes in kb.
+class TSpec {
+ public:
+  /// @throws std::invalid_argument unless 0 <= r <= p, M >= 0, b >= M.
+  TSpec(double peak_rate, double max_packet_kb, double sustained_rate,
+        double burst_kb);
+
+  [[nodiscard]] double peak_rate() const noexcept { return p_; }
+  [[nodiscard]] double max_packet_kb() const noexcept { return m_; }
+  [[nodiscard]] double sustained_rate() const noexcept { return r_; }
+  [[nodiscard]] double burst_kb() const noexcept { return b_; }
+
+  /// The concave dual-bucket envelope min(M + p t, b + r t).
+  [[nodiscard]] nc::Curve envelope() const;
+
+  /// Time at which the envelope switches from the peak-rate to the
+  /// sustained-rate segment: (b - M) / (p - r); +infinity when p == r.
+  [[nodiscard]] double crossover_time() const noexcept;
+
+  /// Aggregates n i.i.d. contracts (parameters scale linearly).
+  /// @throws std::invalid_argument unless n >= 1.
+  [[nodiscard]] TSpec aggregate(int n) const;
+
+  /// The worst-case backlog this contract can build against a constant
+  /// service rate R >= r (vertical deviation of the envelope).
+  [[nodiscard]] double max_backlog_against(double service_rate) const;
+
+ private:
+  double p_;
+  double m_;
+  double r_;
+  double b_;
+};
+
+}  // namespace deltanc::traffic

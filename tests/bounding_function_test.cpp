@@ -1,0 +1,201 @@
+#include "nc/bounding_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace deltanc::nc {
+namespace {
+
+TEST(ExpBound, ConstructionValidatesParameters) {
+  EXPECT_NO_THROW(ExpBound(1.0, 0.5));
+  EXPECT_THROW(ExpBound(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ExpBound(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ExpBound(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ExpBound(1.0, -2.0), std::invalid_argument);
+  EXPECT_THROW(ExpBound(std::numeric_limits<double>::infinity(), 1.0),
+               std::invalid_argument);
+}
+
+TEST(ExpBound, EvalSaturatesAtOne) {
+  const ExpBound b(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.eval(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.eval(0.0), 1.0);  // M > 1 at sigma 0
+  const double s = std::log(10.0) / 2.0;
+  EXPECT_NEAR(b.eval(s), 1.0, 1e-12);
+  EXPECT_NEAR(b.eval(s + 1.0), std::exp(-2.0), 1e-12);
+}
+
+TEST(ExpBound, EvalDecaysExponentially) {
+  const ExpBound b(1.0, 0.7);
+  EXPECT_NEAR(b.eval(1.0), std::exp(-0.7), 1e-15);
+  EXPECT_NEAR(b.eval(3.0) / b.eval(2.0), std::exp(-0.7), 1e-12);
+}
+
+TEST(ExpBound, SigmaForInvertsEval) {
+  const ExpBound b(4.0, 1.3);
+  const double eps = 1e-9;
+  const double sigma = b.sigma_for(eps);
+  EXPECT_NEAR(b.eval(sigma), eps, 1e-15);
+}
+
+TEST(ExpBound, SigmaForClampsAtZero) {
+  const ExpBound b(0.5, 1.0);
+  // Already below epsilon at sigma = 0.
+  EXPECT_DOUBLE_EQ(b.sigma_for(0.9), 0.0);
+}
+
+TEST(ExpBound, SigmaForRejectsNonPositiveEpsilon) {
+  const ExpBound b(1.0, 1.0);
+  EXPECT_THROW((void)b.sigma_for(0.0), std::invalid_argument);
+  EXPECT_THROW((void)b.sigma_for(-1.0), std::invalid_argument);
+}
+
+TEST(ExpBound, ScaledMultipliesPrefactor) {
+  const ExpBound b(2.0, 1.0);
+  const ExpBound s = b.scaled(3.0);
+  EXPECT_DOUBLE_EQ(s.prefactor(), 6.0);
+  EXPECT_DOUBLE_EQ(s.decay(), 1.0);
+}
+
+TEST(GeometricTail, MatchesNumericSeries) {
+  const ExpBound b(2.0, 0.9);
+  const double gamma = 0.4;
+  const ExpBound tail = geometric_tail(b, gamma);
+  const double sigma = 3.0;
+  double series = 0.0;
+  for (int j = 0; j < 4000; ++j) {
+    series += b.prefactor() * std::exp(-b.decay() * (sigma + j * gamma));
+  }
+  EXPECT_NEAR(tail.prefactor() * std::exp(-tail.decay() * sigma), series,
+              1e-10);
+}
+
+TEST(GeometricTail, RejectsNonPositiveGamma) {
+  const ExpBound b(1.0, 1.0);
+  EXPECT_THROW((void)geometric_tail(b, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)geometric_tail(b, -0.1), std::invalid_argument);
+}
+
+TEST(InfConvolution, SingleTermIsIdentity) {
+  const ExpBound b(3.0, 0.8);
+  const ExpBound r = inf_convolution(std::span<const ExpBound>(&b, 1));
+  EXPECT_DOUBLE_EQ(r.prefactor(), 3.0);
+  EXPECT_DOUBLE_EQ(r.decay(), 0.8);
+}
+
+TEST(InfConvolution, EmptyThrows) {
+  EXPECT_THROW((void)inf_convolution(std::span<const ExpBound>()),
+               std::invalid_argument);
+}
+
+TEST(InfConvolution, EqualDecayTwoTerms) {
+  // For M1 = M2 = M and alpha1 = alpha2 = a: w = 2/a, and the closed form
+  // gives 2 M e^{-a sigma / 2}.
+  const ExpBound b(1.5, 1.0);
+  const ExpBound r = inf_convolution(b, b);
+  EXPECT_NEAR(r.prefactor(), 2.0 * 1.5, 1e-12);
+  EXPECT_NEAR(r.decay(), 0.5, 1e-12);
+}
+
+TEST(InfConvolution, PaperEq34NetworkFormula) {
+  // eps_net over H nodes: one term M/(1-q) and (H-1) terms M/(1-q)^2,
+  // all with decay alpha, must combine to
+  //   M * H * (1-q)^{-(2H-1)/H} * exp(-alpha sigma / H).
+  const double m = 1.0, alpha = 0.37, gamma = 0.21;
+  const double q = std::exp(-alpha * gamma);
+  for (int h = 1; h <= 12; ++h) {
+    std::vector<ExpBound> terms;
+    terms.emplace_back(m / (1.0 - q), alpha);  // last node, single union term
+    for (int i = 0; i < h - 1; ++i) {
+      terms.emplace_back(m / ((1.0 - q) * (1.0 - q)), alpha);
+    }
+    const ExpBound net = inf_convolution(terms);
+    const double expected_m =
+        m * h * std::pow(1.0 - q, -(2.0 * h - 1.0) / h);
+    EXPECT_NEAR(net.prefactor(), expected_m, 1e-9 * expected_m)
+        << "H = " << h;
+    EXPECT_NEAR(net.decay(), alpha / h, 1e-12) << "H = " << h;
+  }
+}
+
+TEST(InfConvolution, PaperEq34DelayFormula) {
+  // Adding the arrival-envelope term M/(1-q) with decay alpha to eps_net
+  // must give M (H+1) (1-q)^{-2H/(H+1)} exp(-alpha sigma/(H+1)).
+  const double m = 1.0, alpha = 0.5, gamma = 0.3;
+  const double q = std::exp(-alpha * gamma);
+  for (int h = 1; h <= 10; ++h) {
+    const ExpBound eps_net(m * h * std::pow(1.0 - q, -(2.0 * h - 1.0) / h),
+                           alpha / h);
+    const ExpBound eps_g(m / (1.0 - q), alpha);
+    const ExpBound total = inf_convolution(eps_g, eps_net);
+    const double expected_m =
+        m * (h + 1) * std::pow(1.0 - q, -2.0 * h / (h + 1.0));
+    EXPECT_NEAR(total.prefactor(), expected_m, 1e-9 * expected_m);
+    EXPECT_NEAR(total.decay(), alpha / (h + 1.0), 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: the closed form of Eq. (33) must agree with numeric
+// constrained minimization whenever the unconstrained optimum is feasible
+// (all sigma_j >= 0), and must lower-bound it otherwise.
+// ---------------------------------------------------------------------
+
+class InfConvolutionProperty : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(InfConvolutionProperty, ClosedFormMatchesNumericOptimum) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> m_dist(0.5, 20.0);
+  std::uniform_real_distribution<double> a_dist(0.2, 3.0);
+  std::uniform_int_distribution<int> n_dist(2, 6);
+
+  const int n = n_dist(rng);
+  std::vector<ExpBound> terms;
+  terms.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    terms.emplace_back(m_dist(rng), a_dist(rng));
+  }
+  const ExpBound closed = inf_convolution(terms);
+
+  for (double sigma : {5.0, 15.0, 40.0}) {
+    const double closed_value =
+        closed.prefactor() * std::exp(-closed.decay() * sigma);
+    const double numeric = constrained_split_minimum(terms, sigma);
+    // The closed form allows negative splits, so it can only be smaller.
+    EXPECT_LE(closed_value, numeric * (1.0 + 1e-9)) << "sigma = " << sigma;
+    // For sigma large enough the KKT optimum is interior and they agree.
+    if (sigma >= 15.0) {
+      EXPECT_NEAR(closed_value, numeric, 1e-6 * numeric)
+          << "sigma = " << sigma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InfConvolutionProperty,
+                         ::testing::Range<std::uint32_t>(1, 25));
+
+TEST(ConstrainedSplitMinimum, NonPositiveSigmaReturnsSumOfPrefactors) {
+  const std::vector<ExpBound> terms{ExpBound(2.0, 1.0), ExpBound(3.0, 0.5)};
+  EXPECT_DOUBLE_EQ(constrained_split_minimum(terms, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(constrained_split_minimum(terms, -1.0), 5.0);
+}
+
+TEST(ConstrainedSplitMinimum, BeatsAnyManualSplit) {
+  const std::vector<ExpBound> terms{ExpBound(1.0, 1.0), ExpBound(5.0, 0.3)};
+  const double sigma = 10.0;
+  const double opt = constrained_split_minimum(terms, sigma);
+  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double manual = terms[0].prefactor() *
+                              std::exp(-terms[0].decay() * f * sigma) +
+                          terms[1].prefactor() *
+                              std::exp(-terms[1].decay() * (1.0 - f) * sigma);
+    EXPECT_LE(opt, manual * (1.0 + 1e-9)) << "split fraction " << f;
+  }
+}
+
+}  // namespace
+}  // namespace deltanc::nc

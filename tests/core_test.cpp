@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+#include "core/table.h"
+
+namespace deltanc {
+namespace {
+
+TEST(ScenarioBuilder, FluentConstruction) {
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .capacity_mbps(100.0)
+                               .hops(5)
+                               .through_flows(100)
+                               .cross_flows(200)
+                               .violation_probability(1e-6)
+                               .scheduler(e2e::Scheduler::kEdf)
+                               .edf_deadlines(1.0, 10.0)
+                               .build();
+  EXPECT_EQ(sc.hops, 5);
+  EXPECT_EQ(sc.n_through, 100);
+  EXPECT_EQ(sc.n_cross, 200);
+  EXPECT_DOUBLE_EQ(sc.epsilon, 1e-6);
+  EXPECT_EQ(sc.scheduler, e2e::Scheduler::kEdf);
+  EXPECT_DOUBLE_EQ(sc.edf.cross_factor, 10.0);
+}
+
+TEST(ScenarioBuilder, UtilizationToFlowCount) {
+  // The paper: N = 100 paper flows is ~15% of a 100 Mbps link.
+  const e2e::Scenario sc =
+      ScenarioBuilder().through_utilization(0.15).cross_utilization(0.35).build();
+  EXPECT_NEAR(sc.n_through, 100, 2);
+  EXPECT_NEAR(sc.n_cross, 235, 3);
+  EXPECT_NEAR(sc.utilization(), 0.50, 0.01);
+}
+
+TEST(ScenarioBuilder, Validation) {
+  EXPECT_THROW(ScenarioBuilder().capacity_mbps(0.0), std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder().hops(0), std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder().through_flows(0), std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder().cross_flows(-1), std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder().violation_probability(1.0),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder().edf_deadlines(0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(TableFormat, AlignedAndCsv) {
+  Table t({"H", "FIFO", "BMUX"});
+  t.add_row("2", {33.20, 52.65});
+  t.add_row({"5", "x", "y"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream aligned;
+  t.print(aligned);
+  EXPECT_NE(aligned.str().find("FIFO"), std::string::npos);
+  EXPECT_NE(aligned.str().find("33.20"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("2,33.20,52.65"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "short"}), std::invalid_argument);
+  EXPECT_EQ(Table::format(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(PathAnalyzer, BoundMatchesDirectCall) {
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .hops(3)
+                               .through_flows(100)
+                               .cross_flows(150)
+                               .scheduler(e2e::Scheduler::kFifo)
+                               .build();
+  const PathAnalyzer analyzer(sc);
+  const e2e::BoundResult direct = e2e::best_delay_bound(sc);
+  const e2e::BoundResult via = analyzer.bound();
+  EXPECT_DOUBLE_EQ(via.delay_ms, direct.delay_ms);
+}
+
+TEST(PathAnalyzer, AdditiveBoundIsLooser) {
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .hops(6)
+                               .through_flows(150)
+                               .cross_flows(150)
+                               .scheduler(e2e::Scheduler::kBmux)
+                               .build();
+  const PathAnalyzer analyzer(sc);
+  EXPECT_GT(analyzer.additive_bound().delay_ms, analyzer.bound().delay_ms);
+}
+
+TEST(PathAnalyzer, SimulationRespectsScheduler) {
+  const auto base = ScenarioBuilder().hops(2).through_flows(250).cross_flows(
+      250);
+  PathAnalyzer low(ScenarioBuilder(base).scheduler(e2e::Scheduler::kBmux)
+                       .build());
+  PathAnalyzer high(
+      ScenarioBuilder(base).scheduler(e2e::Scheduler::kSpHigh).build());
+  const auto r_low = low.simulate(60000, 3);
+  const auto r_high = high.simulate(60000, 3);
+  EXPECT_GT(r_low.through_delay.quantile(0.999),
+            r_high.through_delay.quantile(0.999));
+}
+
+// ---------------------------------------------------------------------
+// The headline integration check: the analytic bound must dominate the
+// simulated delay quantile at the same violation level, for every
+// scheduler.
+// ---------------------------------------------------------------------
+
+class BoundDominatesSimulation
+    : public ::testing::TestWithParam<e2e::Scheduler> {};
+
+TEST_P(BoundDominatesSimulation, EmpiricalQuantileBelowBound) {
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .hops(3)
+                               .through_flows(250)
+                               .cross_flows(250)
+                               .scheduler(GetParam())
+                               .build();
+  const PathAnalyzer analyzer(sc);
+  const ValidationReport report = analyzer.validate(250000, 11);
+  ASSERT_GT(report.samples, 10000u);
+  EXPECT_TRUE(report.bound_holds)
+      << "empirical " << report.empirical_quantile << " vs bound at eps="
+      << report.epsilon_sim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, BoundDominatesSimulation,
+                         ::testing::Values(e2e::Scheduler::kFifo,
+                                           e2e::Scheduler::kBmux,
+                                           e2e::Scheduler::kSpHigh,
+                                           e2e::Scheduler::kEdf));
+
+TEST(PathAnalyzer, ValidationReportIsCoherent) {
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .hops(2)
+                               .through_flows(100)
+                               .cross_flows(100)
+                               .scheduler(e2e::Scheduler::kFifo)
+                               .build();
+  const ValidationReport r = PathAnalyzer(sc).validate(50000, 5);
+  EXPECT_GE(r.empirical_max, r.empirical_quantile);
+  EXPECT_GT(r.epsilon_sim, 0.0);
+  EXPECT_LE(r.epsilon_sim, 0.5);
+  EXPECT_TRUE(std::isfinite(r.bound.delay_ms));
+}
+
+}  // namespace
+}  // namespace deltanc

@@ -1,0 +1,98 @@
+// Robustness fuzzing of the curve algebra: long random chains of
+// operations must preserve the structural invariants (finite knots,
+// strictly increasing x, monotonicity closure under monotone ops) and
+// never crash or produce NaNs.  This is the regression net for the
+// coordinate-blowup class of bugs (see the far-cap guards in curve.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nc/minplus_ops.h"
+#include "test_util.h"
+
+namespace deltanc::nc {
+namespace {
+
+void check_invariants(const Curve& c, const char* context) {
+  ASSERT_FALSE(c.knots().empty()) << context;
+  ASSERT_DOUBLE_EQ(c.knots().front().x, 0.0) << context;
+  double prev_x = -1.0;
+  for (const Knot& k : c.knots()) {
+    ASSERT_TRUE(std::isfinite(k.x) && std::isfinite(k.y) &&
+                std::isfinite(k.slope))
+        << context;
+    ASSERT_GT(k.x, prev_x) << context;
+    prev_x = k.x;
+  }
+}
+
+class CurveFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CurveFuzz, RandomOperationChainsKeepInvariants) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> op_dist(0, 6);
+  std::uniform_real_distribution<double> shift_dist(0.0, 3.0);
+
+  Curve acc = deltanc::testing::random_monotone_curve(GetParam(), 4);
+  for (int step = 0; step < 24; ++step) {
+    const auto fresh = deltanc::testing::random_monotone_curve(
+        GetParam() * 131 + step, 3);
+    switch (op_dist(rng)) {
+      case 0:
+        acc = pointwise_min(acc, fresh);
+        break;
+      case 1:
+        acc = pointwise_max(acc, fresh);
+        break;
+      case 2:
+        acc = pointwise_add(acc, fresh);
+        break;
+      case 3:
+        acc = minplus_conv(acc, fresh);
+        break;
+      case 4:
+        acc = acc.hshift(shift_dist(rng));
+        break;
+      case 5:
+        acc = acc.gated(shift_dist(rng));
+        break;
+      default:
+        acc = acc.clamp_nonnegative();
+        break;
+    }
+    check_invariants(acc, "after op chain step");
+    // Sampled values stay finite and non-negative (all inputs are).
+    for (double t : {0.0, 1.0, 7.7, 31.0}) {
+      const double v = acc.eval(t);
+      ASSERT_TRUE(std::isfinite(v)) << "t = " << t;
+      ASSERT_GE(v, -1e-9) << "t = " << t;
+    }
+  }
+}
+
+TEST_P(CurveFuzz, ConvOfMonotoneStaysMonotone) {
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 5);
+  const auto g =
+      deltanc::testing::random_monotone_curve(GetParam() + 999, 4);
+  const Curve c = minplus_conv(f, g);
+  check_invariants(c, "conv");
+  EXPECT_TRUE(c.is_nondecreasing(1e-6));
+}
+
+TEST_P(CurveFuzz, RepeatedSelfConvolutionStaysBounded) {
+  // The closure-style iteration that used to overflow coordinates.
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 4);
+  Curve acc = f;
+  for (int i = 0; i < 10; ++i) {
+    acc = pointwise_min(acc, minplus_conv(acc, f));
+    check_invariants(acc, "self conv");
+  }
+  EXPECT_LE(acc.eval(5.0), f.eval(5.0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveFuzz,
+                         ::testing::Range<std::uint32_t>(1, 25));
+
+}  // namespace
+}  // namespace deltanc::nc

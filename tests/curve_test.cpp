@@ -1,0 +1,243 @@
+#include "nc/curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "test_util.h"
+
+namespace deltanc::nc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CurveFactories, ZeroIsIdenticallyZero) {
+  const Curve z = Curve::zero();
+  EXPECT_DOUBLE_EQ(z.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.eval(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.eval(-3.0), 0.0);
+}
+
+TEST(CurveFactories, RateCurve) {
+  const Curve r = Curve::rate(2.5);
+  EXPECT_DOUBLE_EQ(r.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.eval(4.0), 10.0);
+  EXPECT_THROW((void)Curve::rate(-1.0), std::invalid_argument);
+}
+
+TEST(CurveFactories, RateLatency) {
+  const Curve s = Curve::rate_latency(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.eval(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.eval(3.5), 15.0);
+  EXPECT_TRUE(s.is_convex());
+  EXPECT_TRUE(s.is_nondecreasing());
+  EXPECT_FALSE(s.is_concave());
+}
+
+TEST(CurveFactories, LeakyBucket) {
+  const Curve e = Curve::leaky_bucket(1.5, 4.0);
+  EXPECT_DOUBLE_EQ(e.eval(0.0), 4.0);  // E(0+) convention
+  EXPECT_DOUBLE_EQ(e.eval(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(e.eval(-1.0), 0.0);
+  EXPECT_TRUE(e.is_concave());
+}
+
+TEST(CurveFactories, DeltaCurve) {
+  const Curve d = Curve::delta(3.0);
+  EXPECT_DOUBLE_EQ(d.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.eval(3.0), 0.0);
+  EXPECT_EQ(d.eval(3.0001), kInf);
+  EXPECT_TRUE(d.has_infinite_tail());
+  EXPECT_EQ(d.inf_from(), std::optional<double>(3.0));
+  EXPECT_THROW((void)d.final_slope(), std::logic_error);
+}
+
+TEST(CurveFactories, MultiLeakyBucketIsConcaveMin) {
+  const std::vector<std::pair<double, double>> buckets{
+      {10.0, 0.0},   // peak-rate segment
+      {2.0, 12.0}};  // sustained-rate segment
+  const Curve e = Curve::multi_leaky_bucket(buckets);
+  // min(10 t, 12 + 2 t): crossover at t = 1.5.
+  EXPECT_DOUBLE_EQ(e.eval(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.eval(1.5), 15.0);
+  EXPECT_DOUBLE_EQ(e.eval(3.0), 18.0);
+  EXPECT_TRUE(e.is_concave());
+  EXPECT_THROW(
+      Curve::multi_leaky_bucket(std::span<const std::pair<double, double>>()),
+      std::invalid_argument);
+}
+
+TEST(CurveValidation, RejectsMalformedKnots) {
+  EXPECT_THROW(Curve(std::vector<Knot>{}), std::invalid_argument);
+  EXPECT_THROW(Curve({{1.0, 0.0, 0.0}}), std::invalid_argument);  // x0 != 0
+  EXPECT_THROW(Curve({{0.0, 0.0, 1.0}, {0.0, 1.0, 1.0}}),
+               std::invalid_argument);  // non-increasing x
+  EXPECT_THROW(Curve({{0.0, 0.0, 1.0}, {2.0, 1.0, 1.0}}, 1.0),
+               std::invalid_argument);  // inf_from before last knot
+  EXPECT_THROW(Curve({{0.0, kInf, 0.0}}), std::invalid_argument);
+}
+
+TEST(CurveEval, RightContinuousAtKnots) {
+  const Curve c({{0.0, 0.0, 1.0}, {2.0, 5.0, 0.5}});  // jump at x=2
+  EXPECT_DOUBLE_EQ(c.eval(1.9999), 1.9999);
+  EXPECT_DOUBLE_EQ(c.eval(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.eval(4.0), 6.0);
+}
+
+TEST(CurveTransforms, HshiftMatchesShiftedEval) {
+  const Curve s = Curve::rate_latency(4.0, 1.0);
+  const Curve shifted = s.hshift(2.5);
+  for (double t : {0.0, 1.0, 2.5, 3.0, 3.5, 7.0}) {
+    EXPECT_DOUBLE_EQ(shifted.eval(t), s.eval(t - 2.5)) << "t = " << t;
+  }
+  EXPECT_THROW((void)s.hshift(-1.0), std::invalid_argument);
+}
+
+TEST(CurveTransforms, HshiftMovesInfiniteTail) {
+  const Curve d = Curve::delta(1.0).hshift(2.0);
+  EXPECT_EQ(d.inf_from(), std::optional<double>(3.0));
+}
+
+TEST(CurveTransforms, GatedZeroesBeforeCut) {
+  const Curve c = Curve::affine(2.0, 3.0);
+  const Curve g = c.gated(4.0);
+  EXPECT_DOUBLE_EQ(g.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.eval(3.999), 0.0);
+  EXPECT_DOUBLE_EQ(g.eval(4.0), 14.0);  // right-continuous at the gate
+  EXPECT_DOUBLE_EQ(g.eval(5.0), 17.0);
+}
+
+TEST(CurveTransforms, GatedPastInfiniteTailIsDelta) {
+  const Curve d = Curve::delta(1.0);
+  const Curve g = d.gated(5.0);
+  EXPECT_DOUBLE_EQ(g.eval(5.0), 0.0);
+  EXPECT_EQ(g.eval(5.1), kInf);
+}
+
+TEST(CurveTransforms, ScaledAndVshift) {
+  const Curve c = Curve::leaky_bucket(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.scaled(3.0).eval(2.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.vshift(-0.5).eval(2.0), 4.5);
+  EXPECT_THROW((void)c.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(CurveTransforms, ClampNonnegative) {
+  const Curve c = Curve::affine(-4.0, 2.0);  // negative until t = 2
+  const Curve clamped = c.clamp_nonnegative();
+  EXPECT_DOUBLE_EQ(clamped.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.eval(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.eval(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.eval(3.0), 2.0);
+}
+
+TEST(CurveSimplify, MergesCollinearKnots) {
+  Curve c({{0.0, 0.0, 1.0}, {2.0, 2.0, 1.0}, {5.0, 5.0, 1.0}});
+  c.simplify();
+  EXPECT_EQ(c.knots().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.eval(7.0), 7.0);
+}
+
+TEST(CurveShape, MonotonicityDetectsDownwardJump) {
+  const Curve down({{0.0, 5.0, 0.0}, {1.0, 3.0, 0.0}});
+  EXPECT_FALSE(down.is_nondecreasing());
+  const Curve up({{0.0, 1.0, 0.0}, {1.0, 3.0, 0.0}});
+  EXPECT_TRUE(up.is_nondecreasing());
+}
+
+TEST(PointwiseOps, MinOfCrossingLines) {
+  const Curve a = Curve::affine(0.0, 2.0);
+  const Curve b = Curve::affine(3.0, 1.0);  // crosses a at t = 3
+  const Curve m = pointwise_min(a, b);
+  EXPECT_DOUBLE_EQ(m.eval(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.eval(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(m.eval(5.0), 8.0);
+  EXPECT_TRUE(m.is_concave());
+}
+
+TEST(PointwiseOps, MaxOfCrossingLines) {
+  const Curve a = Curve::affine(0.0, 2.0);
+  const Curve b = Curve::affine(3.0, 1.0);
+  const Curve m = pointwise_max(a, b);
+  EXPECT_DOUBLE_EQ(m.eval(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.eval(5.0), 10.0);
+  EXPECT_TRUE(m.is_convex());
+}
+
+TEST(PointwiseOps, AddCombinesSlopes) {
+  const Curve a = Curve::rate_latency(3.0, 1.0);
+  const Curve b = Curve::leaky_bucket(1.0, 2.0);
+  const Curve s = pointwise_add(a, b);
+  for (double t : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(s.eval(t), a.eval(t) + b.eval(t), 1e-12) << "t = " << t;
+  }
+}
+
+TEST(PointwiseOps, SubtractionAndValidation) {
+  const Curve a = Curve::affine(5.0, 3.0);
+  const Curve b = Curve::affine(1.0, 1.0);
+  const Curve d = pointwise_sub(a, b);
+  EXPECT_DOUBLE_EQ(d.eval(2.0), 8.0);  // (5 + 3*2) - (1 + 2)
+  EXPECT_THROW(pointwise_sub(a, Curve::delta(1.0)), std::invalid_argument);
+}
+
+TEST(PointwiseOps, MinWithDeltaFollowsFiniteCurve) {
+  const Curve d = Curve::delta(2.0);
+  const Curve r = Curve::rate(1.0);
+  const Curve m = pointwise_min(d, r);
+  EXPECT_DOUBLE_EQ(m.eval(1.0), 0.0);   // delta side is 0
+  EXPECT_DOUBLE_EQ(m.eval(3.0), 3.0);   // delta side infinite -> rate side
+  EXPECT_FALSE(m.has_infinite_tail());
+}
+
+TEST(PointwiseOps, MaxWithDeltaTruncates) {
+  const Curve d = Curve::delta(2.0);
+  const Curve r = Curve::rate(1.0);
+  const Curve m = pointwise_max(d, r);
+  EXPECT_DOUBLE_EQ(m.eval(1.5), 1.5);
+  EXPECT_EQ(m.eval(2.5), kInf);
+  EXPECT_EQ(m.inf_from(), std::optional<double>(2.0));
+}
+
+TEST(PointwiseOps, AddWithDeltaTruncates) {
+  const Curve d = Curve::delta(2.0);
+  const Curve r = Curve::rate(2.0);
+  const Curve s = pointwise_add(d, r);
+  EXPECT_DOUBLE_EQ(s.eval(2.0), 4.0);
+  EXPECT_EQ(s.eval(2.1), kInf);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: pointwise ops agree with direct evaluation on a grid
+// for random monotone curves.
+// ---------------------------------------------------------------------
+
+class PointwisePropertyTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(PointwisePropertyTest, OpsMatchSampleEvaluation) {
+  const auto f =
+      deltanc::testing::random_monotone_curve(GetParam(), 5);
+  const auto g =
+      deltanc::testing::random_monotone_curve(GetParam() + 1000, 4);
+  const Curve mn = pointwise_min(f, g);
+  const Curve mx = pointwise_max(f, g);
+  const Curve sm = pointwise_add(f, g);
+  const double horizon = f.last_knot_x() + g.last_knot_x() + 5.0;
+  for (int i = 0; i <= 400; ++i) {
+    const double t = horizon * static_cast<double>(i) / 400.0 + 1e-7;
+    const double fv = f.eval(t);
+    const double gv = g.eval(t);
+    ASSERT_NEAR(mn.eval(t), std::min(fv, gv), 1e-8) << "t = " << t;
+    ASSERT_NEAR(mx.eval(t), std::max(fv, gv), 1e-8) << "t = " << t;
+    ASSERT_NEAR(sm.eval(t), fv + gv, 1e-8) << "t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointwisePropertyTest,
+                         ::testing::Range<std::uint32_t>(1, 30));
+
+}  // namespace
+}  // namespace deltanc::nc

@@ -1,0 +1,288 @@
+#include "e2e/delay_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "e2e/k_procedure.h"
+#include "e2e/network_epsilon.h"
+#include "e2e/theta_solver.h"
+
+namespace deltanc::e2e {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PathParams params(int hops, double delta, double rho = 20.0,
+                  double rho_c = 30.0) {
+  return PathParams{100.0, hops, rho, rho_c, 0.5, 1.0, delta};
+}
+
+TEST(ThetaSolver, FifoMatchesPaperFormula) {
+  // FIFO (Delta = 0) with X from Eq. (41):
+  // theta_h = (h - K) gamma X / (C - (h-1) gamma) for h > K.
+  const int hops = 6;
+  const PathParams p = params(hops, 0.0);
+  const double gamma = 0.9;
+  const double sigma = 40.0;
+  const int k = 3;
+  const double x = sigma / (p.capacity - p.rho_cross - k * gamma);
+  for (int h = k + 1; h <= hops; ++h) {
+    const double expected =
+        (h - k) * gamma * x / (p.capacity - (h - 1) * gamma);
+    EXPECT_NEAR(theta_h(p, gamma, sigma, h, x), expected, 1e-9)
+        << "h = " << h;
+  }
+  // For h <= K the constraint already holds at theta = 0.
+  for (int h = 1; h <= k; ++h) {
+    EXPECT_DOUBLE_EQ(theta_h(p, gamma, sigma, h, x), 0.0) << "h = " << h;
+  }
+}
+
+TEST(ThetaSolver, BmuxThetaIsRegimeAOnly) {
+  const PathParams p = params(4, kInf);
+  const double gamma = 0.5, sigma = 25.0;
+  for (int h = 1; h <= 4; ++h) {
+    const double slack = p.capacity - p.rho_cross - h * gamma;
+    EXPECT_NEAR(theta_h(p, gamma, sigma, h, 0.0), sigma / slack, 1e-9);
+    // Large X drives theta to zero.
+    EXPECT_DOUBLE_EQ(theta_h(p, gamma, sigma, h, sigma), 0.0);
+  }
+}
+
+TEST(ThetaSolver, SpHighIgnoresCrossRate) {
+  const PathParams p = params(4, -kInf);
+  const double gamma = 0.5, sigma = 25.0;
+  for (int h = 1; h <= 4; ++h) {
+    const double ch = p.capacity - (h - 1) * gamma;
+    EXPECT_NEAR(theta_h(p, gamma, sigma, h, 0.0), sigma / ch, 1e-9);
+  }
+}
+
+TEST(ThetaSolver, PositiveDeltaRegimeTransitionIsContinuous) {
+  // As X decreases, theta crosses from regime A (theta <= Delta) into
+  // regime B; the function of X must be continuous at the switch.
+  const PathParams p = params(3, 2.0);
+  const double gamma = 0.4, sigma = 200.0;
+  const int h = 2;
+  const double slack = p.capacity - p.rho_cross - h * gamma;
+  const double x_switch = sigma / slack - p.delta;  // theta_a == Delta
+  ASSERT_GT(x_switch, 0.0);
+  const double below = theta_h(p, gamma, sigma, h, x_switch - 1e-7);
+  const double above = theta_h(p, gamma, sigma, h, x_switch + 1e-7);
+  EXPECT_NEAR(below, above, 1e-4);
+  EXPECT_NEAR(below, p.delta, 1e-4);
+}
+
+TEST(ThetaSolver, NegativeDeltaBracketKink) {
+  // For Delta < 0 the bracket [X + Delta]_+ vanishes when X < -Delta.
+  const PathParams p = params(3, -5.0);
+  const double gamma = 0.4, sigma = 30.0;
+  const int h = 1;
+  const double ch = p.capacity;
+  // X below the kink: cross traffic does not appear at all.
+  EXPECT_NEAR(theta_h(p, gamma, sigma, h, 0.1), (sigma / ch) - 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(theta_h(p, gamma, sigma, h, 1.0), 0.0);  // clamped
+  // X above the kink: the bracket contributes rc (X + Delta).
+  const double x = 8.0;
+  const double rc = p.rho_cross + gamma;
+  EXPECT_NEAR(theta_h(p, gamma, sigma, h, x),
+              std::max(0.0, (sigma + rc * (x + p.delta)) / ch - x), 1e-9);
+}
+
+TEST(ThetaSolver, SolutionSatisfiesConstraintWithEquality) {
+  // Wherever theta_h > 0, the Eq. (38) constraint must bind.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> delta_dist(-10.0, 10.0);
+  std::uniform_real_distribution<double> x_dist(0.0, 3.0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const PathParams p = params(5, delta_dist(rng));
+    const double gamma = 0.5, sigma = 35.0;
+    const double x = x_dist(rng);
+    for (int h = 1; h <= 5; ++h) {
+      const double th = theta_h(p, gamma, sigma, h, x);
+      const double ch = p.capacity - (h - 1) * gamma;
+      const double rc = p.rho_cross + gamma;
+      const double lhs =
+          ch * (x + th) - rc * std::max(0.0, x + std::min(p.delta, th));
+      EXPECT_GE(lhs, sigma - 1e-7);
+      if (th > 1e-12) {
+        EXPECT_NEAR(lhs, sigma, 1e-6) << "delta=" << p.delta << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(ThetaSolver, ValidatesArguments) {
+  const PathParams p = params(3, 0.0);
+  EXPECT_THROW((void)theta_h(p, 0.5, 10.0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)theta_h(p, 0.5, 10.0, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)theta_h(p, 0.5, 10.0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)theta_h(p, -0.5, 10.0, 1, 0.0), std::invalid_argument);
+  // Unstable: C - rho_c - h gamma <= 0.
+  const PathParams tight = params(3, 0.0, 20.0, 99.8);
+  EXPECT_THROW((void)theta_h(tight, 0.5, 10.0, 1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(OptimizeDelay, BmuxMatchesEq43) {
+  for (int hops : {1, 3, 8}) {
+    const PathParams p = params(hops, kInf);
+    const double gamma = 0.4, sigma = 50.0;
+    const DelayResult r = optimize_delay(p, gamma, sigma);
+    EXPECT_NEAR(r.delay, bmux_delay(p, gamma, sigma), 1e-9) << "H=" << hops;
+    // Paper: optimal solution is theta_1 = ... = theta_H = 0.
+    for (double th : r.theta) EXPECT_NEAR(th, 0.0, 1e-9);
+  }
+}
+
+TEST(OptimizeDelay, FifoMatchesEq44) {
+  for (int hops : {1, 2, 5, 10}) {
+    for (double rho_c : {5.0, 30.0, 60.0}) {
+      const PathParams p = params(hops, 0.0, 20.0, rho_c);
+      const double gamma = 0.25 * p.gamma_limit();
+      const double sigma = 50.0;
+      const DelayResult r = optimize_delay(p, gamma, sigma);
+      const double eq44 = fifo_delay(p, gamma, sigma);
+      // The exact optimum can only be at or below the paper's choice.
+      EXPECT_LE(r.delay, eq44 + 1e-9) << "H=" << hops << " rho_c=" << rho_c;
+      EXPECT_NEAR(r.delay, eq44, 0.02 * eq44)
+          << "H=" << hops << " rho_c=" << rho_c;
+    }
+  }
+}
+
+TEST(OptimizeDelay, SpHighMatchesClosedForm) {
+  for (int hops : {1, 4, 9}) {
+    const PathParams p = params(hops, -kInf);
+    const double gamma = 0.3, sigma = 42.0;
+    const DelayResult r = optimize_delay(p, gamma, sigma);
+    EXPECT_NEAR(r.delay, sp_high_delay(p, gamma, sigma), 1e-9);
+  }
+}
+
+TEST(OptimizeDelay, ResultIsFeasible) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> delta_dist(-20.0, 20.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PathParams p = params(6, delta_dist(rng));
+    const double gamma = 0.5, sigma = 60.0;
+    const DelayResult r = optimize_delay(p, gamma, sigma);
+    EXPECT_TRUE(feasible(p, gamma, sigma, r.x, r.theta))
+        << "delta = " << p.delta;
+    EXPECT_NEAR(r.delay, r.x + std::accumulate(r.theta.begin(),
+                                               r.theta.end(), 0.0),
+                1e-9);
+  }
+}
+
+TEST(OptimizeDelay, MonotoneInDelta) {
+  // A scheduler that gives cross traffic more precedence (larger Delta)
+  // can only worsen the through flow's bound.
+  const double gamma = 0.5, sigma = 60.0;
+  double prev = 0.0;
+  for (double delta : {-kInf, -30.0, -5.0, 0.0, 2.0, 10.0, 50.0, kInf}) {
+    const PathParams p = params(5, delta);
+    const double d = optimize_delay(p, gamma, sigma).delay;
+    EXPECT_GE(d, prev - 1e-9) << "delta = " << delta;
+    prev = d;
+  }
+}
+
+TEST(OptimizeDelay, SingleNodeFifoIsSigmaOverC) {
+  // Section III-B consistency: for H = 1 and FIFO, the bound collapses
+  // to sigma / C (the stable single-node FIFO result).
+  const PathParams p = params(1, 0.0);
+  const double gamma = 0.5, sigma = 33.0;
+  EXPECT_NEAR(optimize_delay(p, gamma, sigma).delay, sigma / p.capacity,
+              1e-9);
+}
+
+class OptimizeDelayGridProperty
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OptimizeDelayGridProperty, BreakpointEnumerationBeatsFineGrid) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> delta_dist(-15.0, 15.0);
+  std::uniform_int_distribution<int> hop_dist(1, 12);
+  std::uniform_real_distribution<double> sigma_dist(5.0, 120.0);
+
+  const int hops = hop_dist(rng);
+  const PathParams p = params(hops, delta_dist(rng));
+  const double gamma = 0.3 * p.gamma_limit();
+  const double sigma = sigma_dist(rng);
+
+  const DelayResult r = optimize_delay(p, gamma, sigma);
+  // Fine grid over X: the enumerated optimum must be at least as good.
+  const double x_hi = 2.0 * sigma / (p.capacity - p.rho_cross -
+                                     hops * gamma);
+  double grid_best = kInf;
+  for (int i = 0; i <= 4000; ++i) {
+    const double x = x_hi * static_cast<double>(i) / 4000.0;
+    grid_best = std::min(grid_best, objective(p, gamma, sigma, x));
+  }
+  EXPECT_LE(r.delay, grid_best + 1e-7);
+  EXPECT_NEAR(r.delay, grid_best, 1e-3 * grid_best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeDelayGridProperty,
+                         ::testing::Range<std::uint32_t>(1, 30));
+
+TEST(KProcedure, NeverBeatsExactOptimum) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> delta_dist(-15.0, 15.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const PathParams p = params(7, delta_dist(rng));
+    const double gamma = 0.4 * p.gamma_limit();
+    const double sigma = 70.0;
+    const DelayResult exact = optimize_delay(p, gamma, sigma);
+    const DelayResult paper = k_procedure_delay(p, gamma, sigma);
+    EXPECT_GE(paper.delay, exact.delay - 1e-7) << "delta = " << p.delta;
+    // The paper claims near-optimality; allow a modest gap.
+    EXPECT_LE(paper.delay, 1.25 * exact.delay) << "delta = " << p.delta;
+    EXPECT_TRUE(feasible(p, gamma, sigma, paper.x, paper.theta))
+        << "delta = " << p.delta;
+  }
+}
+
+TEST(KProcedure, IndexIsUsuallyCloseToH) {
+  // The paper: "in practice, K is usually close to H, resulting in a
+  // near-optimal choice".  Verify on a Fig-2-like operating grid.
+  for (int hops : {5, 10, 20}) {
+    for (double rho_c : {35.0, 60.0}) {
+      const PathParams p = params(hops, 0.0, 15.0, rho_c);
+      const double gamma = 0.4 * p.gamma_limit();
+      const double sigma = sigma_for_epsilon(p, gamma, 1e-9);
+      const int k = k_procedure_index(p, gamma, sigma);
+      EXPECT_GE(k, hops - 4) << "H=" << hops << " rho_c=" << rho_c;
+      EXPECT_LE(k, hops);
+    }
+  }
+}
+
+TEST(KProcedure, BmuxSelectsAllZeroTheta) {
+  const PathParams p = params(6, kInf);
+  const double gamma = 0.3, sigma = 45.0;
+  const DelayResult r = k_procedure_delay(p, gamma, sigma);
+  EXPECT_NEAR(r.delay, bmux_delay(p, gamma, sigma), 1e-6);
+}
+
+TEST(ClosedForms, RejectWrongDelta) {
+  const PathParams fifo = params(3, 0.0);
+  EXPECT_THROW((void)bmux_delay(fifo, 0.3, 10.0), std::invalid_argument);
+  const PathParams bmux = params(3, kInf);
+  EXPECT_THROW((void)fifo_delay(bmux, 0.3, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)sp_high_delay(bmux, 0.3, 10.0), std::invalid_argument);
+}
+
+TEST(OptimizeDelay, RejectsGammaOutsideEq32) {
+  const PathParams p = params(4, 0.0);
+  EXPECT_THROW((void)optimize_delay(p, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)optimize_delay(p, p.gamma_limit(), 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deltanc::e2e

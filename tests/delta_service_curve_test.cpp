@@ -1,0 +1,159 @@
+#include "sched/delta_service_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nc/minplus_ops.h"
+#include "sched/schedulability.h"
+
+namespace deltanc::sched {
+namespace {
+
+// Two flows: 0 = through, 1 = cross, at a link of capacity C.
+constexpr double kC = 10.0;
+
+std::vector<nc::Curve> leaky_envelopes(double r0, double b0, double r1,
+                                       double b1) {
+  return {nc::Curve::leaky_bucket(r0, b0), nc::Curve::leaky_bucket(r1, b1)};
+}
+
+TEST(DeterministicServiceCurve, FifoShapeEq19) {
+  // FIFO: Delta = 0, so S(t; theta) = [C t - E_c(t - theta)]_+ 1{t>theta}.
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  const double theta = 2.0;
+  const nc::Curve s = deterministic_service_curve(
+      kC, DeltaMatrix::fifo(2), env, /*flow=*/0, theta);
+  EXPECT_DOUBLE_EQ(s.eval(1.0), 0.0);  // gated before theta
+  // Just after theta: C t - E_c(0+) = 10 t - 4.
+  EXPECT_NEAR(s.eval(2.5), 10.0 * 2.5 - (4.0 + 3.0 * 0.5), 1e-9);
+  EXPECT_NEAR(s.eval(5.0), 10.0 * 5.0 - (4.0 + 3.0 * 3.0), 1e-9);
+}
+
+TEST(DeterministicServiceCurve, BmuxIsClassicLeftover) {
+  // BMUX with theta = 0: S(t) = [C t - E_c(t)]_+ = [(C - rc) t - Bc]_+.
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  const nc::Curve s = deterministic_service_curve(
+      kC, DeltaMatrix::bmux(2, 0), env, /*flow=*/0, /*theta=*/0.0);
+  EXPECT_DOUBLE_EQ(s.eval(0.1), 0.0);  // still clamped at zero
+  const double t_positive = 4.0 / (kC - 3.0);
+  EXPECT_NEAR(s.eval(t_positive + 1.0), (kC - 3.0) * (t_positive + 1.0) - 4.0,
+              1e-9);
+}
+
+TEST(DeterministicServiceCurve, BmuxThetaShiftsCrossEnvelopeCap) {
+  // BMUX: Delta = +inf so Delta(theta) = theta and the cross envelope is
+  // *not* shifted -- theta only gates the curve.
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  const nc::Curve s0 = deterministic_service_curve(
+      kC, DeltaMatrix::bmux(2, 0), env, 0, 0.0);
+  const nc::Curve s2 = deterministic_service_curve(
+      kC, DeltaMatrix::bmux(2, 0), env, 0, 2.0);
+  for (double t : {2.5, 4.0, 7.0}) {
+    EXPECT_NEAR(s2.eval(t), s0.eval(t), 1e-9) << "t = " << t;
+  }
+  EXPECT_DOUBLE_EQ(s2.eval(1.5), 0.0);
+}
+
+TEST(DeterministicServiceCurve, HighPriorityGetsFullLink) {
+  // Flow 1 is high priority: the low-priority flow never precedes it, so
+  // its Theorem-1 curve is the full link (gated at theta).
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  const DeltaMatrix d = DeltaMatrix::static_priority(std::vector<int>{0, 1});
+  const nc::Curve s = deterministic_service_curve(kC, d, env, /*flow=*/1, 0.0);
+  EXPECT_DOUBLE_EQ(s.eval(3.0), kC * 3.0);
+}
+
+TEST(DeterministicServiceCurve, EdfShiftsByDeadlineGap) {
+  // EDF with d*_0 = 1, d*_c = 5: Delta_{0,c} = -4, so for theta < 4 the
+  // cross envelope is shifted right by theta + 4.
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  const DeltaMatrix d = DeltaMatrix::edf(std::vector<double>{1.0, 5.0});
+  const double theta = 1.0;
+  const nc::Curve s = deterministic_service_curve(kC, d, env, 0, theta);
+  // Shift = theta - Delta(theta) = 1 - (-4) = 5.
+  EXPECT_NEAR(s.eval(4.0), kC * 4.0, 1e-9);            // cross not yet counted
+  EXPECT_NEAR(s.eval(6.0), kC * 6.0 - (4.0 + 3.0 * 1.0), 1e-9);
+}
+
+TEST(DeterministicServiceCurve, ValidatesArguments) {
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  EXPECT_THROW((void)deterministic_service_curve(0.0, DeltaMatrix::fifo(2), env,
+                                                 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)deterministic_service_curve(kC, DeltaMatrix::fifo(3), env,
+                                                 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)deterministic_service_curve(kC, DeltaMatrix::fifo(2), env,
+                                                 7, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)deterministic_service_curve(kC, DeltaMatrix::fifo(2), env,
+                                                 0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(StatServiceCurve, BoundingFunctionIsInfConvolution) {
+  const std::vector<traffic::StatEnvelope> env{
+      {nc::Curve::rate(1.0), nc::ExpBound(2.0, 1.0)},
+      {nc::Curve::rate(3.0), nc::ExpBound(4.0, 0.5)},
+      {nc::Curve::rate(2.0), nc::ExpBound(3.0, 2.0)}};
+  const StatServiceCurve s = theorem1_service_curve(
+      kC, DeltaMatrix::fifo(3), env, /*flow=*/0, /*theta=*/0.0);
+  ASSERT_TRUE(s.eps.has_value());
+  const nc::ExpBound expected =
+      nc::inf_convolution(nc::ExpBound(4.0, 0.5), nc::ExpBound(3.0, 2.0));
+  EXPECT_NEAR(s.eps->prefactor(), expected.prefactor(), 1e-12);
+  EXPECT_NEAR(s.eps->decay(), expected.decay(), 1e-12);
+}
+
+TEST(StatServiceCurve, NoCrossTrafficIsDeterministic) {
+  const std::vector<traffic::StatEnvelope> env{
+      {nc::Curve::rate(1.0), nc::ExpBound(2.0, 1.0)},
+      {nc::Curve::rate(3.0), nc::ExpBound(4.0, 0.5)}};
+  // Flow 1 is the highest priority: no relevant cross flows.
+  const DeltaMatrix d = DeltaMatrix::static_priority(std::vector<int>{0, 1});
+  const StatServiceCurve s = theorem1_service_curve(kC, d, env, 1, 0.0);
+  EXPECT_FALSE(s.eps.has_value());
+  EXPECT_DOUBLE_EQ(s.s.eval(2.0), kC * 2.0);
+}
+
+TEST(StatServiceCurve, CurveMatchesDeterministicConstruction) {
+  // With the same envelope curves the statistical and deterministic
+  // constructions must produce the same shape.
+  const std::vector<traffic::StatEnvelope> env{
+      {nc::Curve::rate(1.5), nc::ExpBound(1.0, 1.0)},
+      {nc::Curve::rate(2.5), nc::ExpBound(1.0, 1.0)}};
+  const std::vector<nc::Curve> det_env{nc::Curve::rate(1.5),
+                                       nc::Curve::rate(2.5)};
+  const DeltaMatrix d = DeltaMatrix::edf(std::vector<double>{2.0, 3.0});
+  for (double theta : {0.0, 0.5, 2.0}) {
+    const StatServiceCurve stat = theorem1_service_curve(kC, d, env, 0, theta);
+    const nc::Curve det = deterministic_service_curve(kC, d, det_env, 0, theta);
+    for (double t : {0.5, 1.0, 2.5, 4.0, 8.0}) {
+      EXPECT_NEAR(stat.s.eval(t), det.eval(t), 1e-9)
+          << "theta = " << theta << ", t = " << t;
+    }
+  }
+}
+
+TEST(ServiceCurveDelayBound, MatchesSchedulabilityCondition) {
+  // Section III-B: plugging theta = d into the Theorem-1 curve and asking
+  // for horizontal deviation <= d reproduces the Eq. (24) bound.  So the
+  // minimal d from Eq. (24), used as theta, must give a service curve
+  // whose deterministic delay bound equals d itself.
+  const auto env = leaky_envelopes(1.0, 2.0, 3.0, 4.0);
+  for (const DeltaMatrix& d :
+       {DeltaMatrix::fifo(2), DeltaMatrix::bmux(2, 0),
+        DeltaMatrix::edf(std::vector<double>{2.0, 4.0}),
+        DeltaMatrix::edf(std::vector<double>{4.0, 2.0})}) {
+    const double dmin = min_delay_bound(kC, d, env, 0);
+    ASSERT_TRUE(std::isfinite(dmin));
+    const nc::Curve s = deterministic_service_curve(kC, d, env, 0, dmin);
+    const double dev = nc::service_delay_bound(env[0], s);
+    EXPECT_NEAR(dev, dmin, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace deltanc::sched

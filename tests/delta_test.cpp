@@ -1,0 +1,93 @@
+#include "sched/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace deltanc::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(DeltaMatrix, FifoIsAllZero) {
+  const DeltaMatrix d = DeltaMatrix::fifo(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(d.at(j, k), 0.0);
+    }
+  }
+  EXPECT_THROW((void)DeltaMatrix::fifo(0), std::invalid_argument);
+}
+
+TEST(DeltaMatrix, StaticPriorityEncoding) {
+  // Flow 0 low, flow 1 high, flow 2 same as 0.
+  const std::vector<int> prio{0, 1, 0};
+  const DeltaMatrix d = DeltaMatrix::static_priority(prio);
+  EXPECT_EQ(d.at(0, 1), kInf);    // high priority always precedes
+  EXPECT_EQ(d.at(1, 0), -kInf);   // low priority never precedes
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 0.0);  // equal priority: FIFO among them
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 0.0);
+}
+
+TEST(DeltaMatrix, BmuxTreatsAnalyzedFlowAsLowest) {
+  const DeltaMatrix d = DeltaMatrix::bmux(3, 0);
+  EXPECT_EQ(d.at(0, 1), kInf);
+  EXPECT_EQ(d.at(0, 2), kInf);
+  EXPECT_EQ(d.at(1, 0), -kInf);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 0.0);
+  EXPECT_THROW((void)DeltaMatrix::bmux(3, 5), std::invalid_argument);
+}
+
+TEST(DeltaMatrix, EdfIsDeadlineDifference) {
+  const std::vector<double> deadlines{2.0, 10.0, 5.0};
+  const DeltaMatrix d = DeltaMatrix::edf(deadlines);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), -8.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 8.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 0.0);
+  EXPECT_THROW((void)DeltaMatrix::edf(std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(DeltaMatrix, ConstructorEnforcesLocallyFifo) {
+  using Rows = std::vector<std::vector<double>>;
+  EXPECT_THROW(DeltaMatrix(Rows{{1.0}}), std::invalid_argument);  // diag != 0
+  EXPECT_THROW(DeltaMatrix(Rows{{0.0, 1.0}}),
+               std::invalid_argument);  // not square
+  EXPECT_THROW(DeltaMatrix(Rows{}), std::invalid_argument);
+  EXPECT_NO_THROW(DeltaMatrix(Rows{{0.0, 3.0}, {-3.0, 0.0}}));
+}
+
+TEST(DeltaMatrix, CappedImplementsEq7) {
+  const DeltaMatrix d = DeltaMatrix::edf(std::vector<double>{1.0, 4.0});
+  // Delta_{1,0} = 3: capped at y.
+  EXPECT_DOUBLE_EQ(d.capped(1, 0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(d.capped(1, 0, 2.0), 2.0);
+  // Delta_{0,1} = -3: min(-3, y) = -3 for y >= -3.
+  EXPECT_DOUBLE_EQ(d.capped(0, 1, 5.0), -3.0);
+  // BMUX: min(inf, y) = y.
+  const DeltaMatrix b = DeltaMatrix::bmux(2, 0);
+  EXPECT_DOUBLE_EQ(b.capped(0, 1, 7.0), 7.0);
+}
+
+TEST(DeltaMatrix, RelevantFlowsExcludesNeverPreceding) {
+  const DeltaMatrix d = DeltaMatrix::static_priority(std::vector<int>{0, 1, 2});
+  // Flow 2 (highest): flows 0 and 1 never precede it.
+  const auto nj = d.relevant_flows(2);
+  EXPECT_EQ(nj, (std::vector<std::size_t>{2}));
+  const auto cross = d.relevant_cross_flows(2);
+  EXPECT_TRUE(cross.empty());
+  // Flow 0 (lowest): everything matters.
+  EXPECT_EQ(d.relevant_flows(0).size(), 3u);
+  EXPECT_EQ(d.relevant_cross_flows(0), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(DeltaMatrix, IndexChecks) {
+  const DeltaMatrix d = DeltaMatrix::fifo(2);
+  EXPECT_THROW((void)d.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)d.capped(0, 2, 1.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace deltanc::sched

@@ -1,0 +1,143 @@
+#include "e2e/deterministic_e2e.h"
+
+#include "nc/minplus_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sched/delta.h"
+#include "sched/schedulability.h"
+
+namespace deltanc::e2e {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+DetPath path(int hops, double delta, double r0 = 10.0, double b0 = 20.0,
+             double rc = 30.0, double bc = 40.0) {
+  return DetPath{100.0, hops, nc::Curve::leaky_bucket(r0, b0),
+                 nc::Curve::leaky_bucket(rc, bc), delta};
+}
+
+TEST(DetPathValidation, RejectsMalformedInput) {
+  DetPath p = path(2, 0.0);
+  p.capacity = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = path(0, 0.0);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = path(2, 0.0);
+  p.through_envelope = nc::Curve::delta(1.0);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(DetE2e, BmuxClosedForm) {
+  // BMUX leftover at each node: beta_{C-rc, Bc/(C-rc)}; the convolution
+  // of H copies gives latency H*Bc/(C-rc), so
+  // d = (B0 + H*Bc) / (C - rc) with theta = 0.
+  for (int hops : {1, 2, 4, 7}) {
+    const DetPath p = path(hops, kInf);
+    const double expected = (20.0 + hops * 40.0) / (100.0 - 30.0);
+    EXPECT_NEAR(det_e2e_delay(p, 0.0), expected, 1e-6) << "H = " << hops;
+  }
+}
+
+TEST(DetE2e, SpHighFullLink) {
+  // Delta = -inf: the cross traffic never precedes; the through flow sees
+  // the full link at every node: d = B0 / C independent of H.
+  for (int hops : {1, 3, 6}) {
+    const DetPath p = path(hops, -kInf);
+    EXPECT_NEAR(det_e2e_delay(p, 0.0), 20.0 / 100.0, 1e-6);
+  }
+}
+
+TEST(DetE2e, SingleNodeMatchesSchedulabilityBound) {
+  // H = 1 with the optimal theta must reproduce the tight Eq. (24) bound.
+  const std::vector<nc::Curve> env{nc::Curve::leaky_bucket(10.0, 20.0),
+                                   nc::Curve::leaky_bucket(30.0, 40.0)};
+  for (double delta : {-5.0, 0.0, 3.0, kInf}) {
+    const DetPath p = path(1, delta);
+    const double back = std::isfinite(delta) ? -delta : -kInf;
+    const sched::DeltaMatrix dm({{0.0, delta}, {back, 0.0}});
+    const double tight = sched::min_delay_bound(100.0, dm, env, 0);
+    const double e2e = det_e2e_best_delay(p);
+    EXPECT_NEAR(e2e, tight, 1e-4 * tight) << "delta = " << delta;
+  }
+}
+
+TEST(DetE2e, FifoBeatsBlindMultiplexingOnShortPaths) {
+  const DetPath fifo = path(2, 0.0);
+  const DetPath bmux = path(2, kInf);
+  const double d_fifo = det_e2e_best_delay(fifo);
+  const double d_bmux = det_e2e_best_delay(bmux);
+  EXPECT_LT(d_fifo, d_bmux);
+}
+
+TEST(DetE2e, MonotoneInDelta) {
+  double prev = 0.0;
+  for (double delta : {-kInf, -3.0, 0.0, 3.0, kInf}) {
+    const double d = det_e2e_best_delay(path(3, delta));
+    EXPECT_GE(d, prev - 1e-6) << "delta = " << delta;
+    prev = d;
+  }
+}
+
+TEST(DetE2e, UnstableIsInfinite) {
+  const DetPath p = path(2, 0.0, /*r0=*/40.0, /*b0=*/10.0, /*rc=*/70.0,
+                         /*bc=*/10.0);
+  EXPECT_EQ(det_e2e_best_delay(p), kInf);
+}
+
+TEST(DetE2e, DelayGrowsLinearlyInPathLength) {
+  // Network-service-curve scaling: the deterministic bound grows linearly
+  // in H (Bc/(C-rc) per node for BMUX), never quadratically.
+  const double d2 = det_e2e_best_delay(path(2, kInf));
+  const double d8 = det_e2e_best_delay(path(8, kInf));
+  EXPECT_LT(d8, 4.5 * d2);
+  EXPECT_GT(d8, 2.0 * d2);
+}
+
+TEST(DetE2e, GateParameterTradeoffForEdf) {
+  // For a favoured through flow (Delta < 0), a positive theta shifts the
+  // cross envelope further out and can beat theta = 0.
+  const DetPath p = path(3, -2.0);
+  const double at_zero = det_e2e_delay(p, 0.0);
+  double best_theta = 0.0;
+  const double best = det_e2e_best_delay(p, &best_theta);
+  EXPECT_LE(best, at_zero + 1e-9);
+  EXPECT_TRUE(std::isfinite(best));
+}
+
+TEST(DetE2e, NetworkCurveIsConvolutionOfPerNodeCurves) {
+  const DetPath p = path(3, 0.0);
+  const double theta = 0.7;
+  const nc::Curve net = det_network_service_curve(p, theta);
+  // Spot-check against a brute-force two-stage numeric convolution.
+  const nc::Curve one = det_network_service_curve(path(1, 0.0), theta);
+  const nc::Curve two = nc::minplus_conv(one, one);
+  const nc::Curve three = nc::minplus_conv(two, one);
+  for (double t : {0.5, 1.0, 2.5, 5.0, 9.0}) {
+    EXPECT_NEAR(net.eval(t), three.eval(t), 1e-6) << "t = " << t;
+  }
+}
+
+TEST(DetE2e, MultiSegmentEnvelopes) {
+  // T-SPEC style dual-bucket envelopes work through the whole pipeline.
+  const std::vector<std::pair<double, double>> through{{50.0, 0.0},
+                                                       {10.0, 15.0}};
+  const std::vector<std::pair<double, double>> cross{{80.0, 0.0},
+                                                     {25.0, 60.0}};
+  DetPath p{100.0, 3, nc::Curve::multi_leaky_bucket(through),
+            nc::Curve::multi_leaky_bucket(cross), 0.0};
+  const double d = det_e2e_best_delay(p);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+  // Dual-bucket envelopes are tighter than their leaky-bucket relaxation.
+  DetPath loose{100.0, 3, nc::Curve::leaky_bucket(10.0, 15.0),
+                nc::Curve::leaky_bucket(25.0, 60.0), 0.0};
+  EXPECT_LE(d, det_e2e_best_delay(loose) + 1e-6);
+}
+
+}  // namespace
+}  // namespace deltanc::e2e

@@ -1,0 +1,80 @@
+// Cross-model validation: the analytic end-to-end bounds (derived under
+// the fluid assumption) must dominate the NON-PREEMPTIVE packet
+// simulation's delay quantiles too, once the per-hop blocking allowance
+// of one packet transmission (L / C per node) is added.  With the paper's
+// 1.5 kb packets the allowance is 0.015 ms per hop -- the fluid bounds
+// effectively hold as-is.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analyzer.h"
+#include "core/scenario.h"
+#include "evsim/network.h"
+
+namespace deltanc {
+namespace {
+
+class EvsimBoundDomination : public ::testing::TestWithParam<e2e::Scheduler> {
+};
+
+TEST_P(EvsimBoundDomination, FluidBoundPlusBlockingDominatesPacketSim) {
+  const int hops = 3;
+  const double packet_kb = 1.5;
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .hops(hops)
+                               .through_flows(250)
+                               .cross_flows(250)
+                               .scheduler(GetParam())
+                               .build();
+  const PathAnalyzer analyzer(sc);
+
+  evsim::EvNetworkConfig c;
+  c.hops = hops;
+  c.n_through = sc.n_through;
+  c.n_cross = sc.n_cross;
+  c.packet_kb = packet_kb;
+  c.slots = 200000;
+  c.seed = 41;
+  switch (GetParam()) {
+    case e2e::Scheduler::kFifo:
+      c.policy = evsim::PolicyKind::kFifo;
+      break;
+    case e2e::Scheduler::kBmux:
+      c.policy = evsim::PolicyKind::kSpThroughLow;
+      break;
+    case e2e::Scheduler::kSpHigh:
+      c.policy = evsim::PolicyKind::kSpThroughHigh;
+      break;
+    case e2e::Scheduler::kEdf: {
+      c.policy = evsim::PolicyKind::kEdf;
+      const double d = analyzer.bound().delay_ms;
+      c.edf_through_deadline_ms = sc.edf.own_factor * d / hops;
+      c.edf_cross_deadline_ms = sc.edf.cross_factor * d / hops;
+      break;
+    }
+  }
+  const evsim::EvNetworkResult r = evsim::run_event_network(c);
+  ASSERT_GT(r.through_delay_ms.count(), 100000u);
+
+  const double eps_sim =
+      std::max(100.0 / static_cast<double>(r.through_delay_ms.count()),
+               1e-4);
+  e2e::Scenario at_eps = sc;
+  at_eps.epsilon = eps_sim;
+  const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+  const double blocking_allowance =
+      hops * packet_kb / sc.capacity;  // one packet transmission per hop
+  EXPECT_LE(r.through_delay_ms.quantile(1.0 - eps_sim),
+            bound + blocking_allowance)
+      << "bound " << bound << " at eps " << eps_sim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, EvsimBoundDomination,
+                         ::testing::Values(e2e::Scheduler::kFifo,
+                                           e2e::Scheduler::kBmux,
+                                           e2e::Scheduler::kSpHigh,
+                                           e2e::Scheduler::kEdf));
+
+}  // namespace
+}  // namespace deltanc

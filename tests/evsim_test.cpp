@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "evsim/network.h"
+#include "sim/tandem.h"
+#include "evsim/server.h"
+
+namespace deltanc::evsim {
+namespace {
+
+Packet pkt(int flow, double kb, std::uint64_t seq) {
+  return Packet{flow, kb, 0.0, 0.0, 0.0, seq};
+}
+
+TEST(EvServer, TransmitsAtConfiguredRate) {
+  Server s(10.0, make_fifo_policy());
+  s.arrive(pkt(0, 25.0, 0), 0.0);
+  EXPECT_TRUE(s.busy());
+  EXPECT_DOUBLE_EQ(s.next_completion(), 2.5);
+  const Departure d = s.complete_one();
+  EXPECT_DOUBLE_EQ(d.time, 2.5);
+  EXPECT_FALSE(s.busy());
+  EXPECT_DOUBLE_EQ(s.transmitted_kb(), 25.0);
+}
+
+TEST(EvServer, BackToBackService) {
+  Server s(10.0, make_fifo_policy());
+  s.arrive(pkt(0, 10.0, 0), 0.0);
+  s.arrive(pkt(0, 20.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.backlog_kb(), 30.0);
+  EXPECT_DOUBLE_EQ(s.complete_one().time, 1.0);
+  EXPECT_DOUBLE_EQ(s.complete_one().time, 3.0);  // starts at 1.0
+  EXPECT_THROW((void)s.complete_one(), std::logic_error);
+}
+
+TEST(EvServer, IdlePeriodThenRestart) {
+  Server s(10.0, make_fifo_policy());
+  s.arrive(pkt(0, 10.0, 0), 0.0);
+  (void)s.complete_one();  // done at 1.0
+  s.arrive(pkt(0, 10.0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(s.next_completion(), 6.0);
+}
+
+TEST(EvServer, RejectsTimeTravel) {
+  Server s(10.0, make_fifo_policy());
+  s.arrive(pkt(0, 1.0, 0), 5.0);
+  EXPECT_THROW(s.arrive(pkt(0, 1.0, 1), 2.0), std::logic_error);
+  EXPECT_THROW(Server(0.0, make_fifo_policy()), std::invalid_argument);
+  EXPECT_THROW(Server(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EvPolicy, NonPreemptivePriorityInversion) {
+  // A big low-priority packet enters service first; the high-priority
+  // packet arriving just after must wait the full residual transmission
+  // -- the blocking term the fluid model ignores.
+  Server s(10.0, make_sp_policy({0, 1}));  // flow 1 = high priority
+  s.arrive(pkt(0, 50.0, 0), 0.0);          // 5 ms transmission
+  s.arrive(pkt(1, 1.0, 1), 0.1);
+  const Departure first = s.complete_one();
+  EXPECT_EQ(first.packet.flow, 0);  // cannot be preempted
+  const Departure second = s.complete_one();
+  EXPECT_EQ(second.packet.flow, 1);
+  EXPECT_NEAR(second.time, 5.1, 1e-12);  // blocked 4.9 ms + own 0.1
+}
+
+TEST(EvPolicy, SpServesHighFirstWhenQueued) {
+  Server s(10.0, make_sp_policy({0, 1}));
+  s.arrive(pkt(0, 1.0, 0), 0.0);  // in service
+  s.arrive(pkt(0, 1.0, 1), 0.0);
+  s.arrive(pkt(1, 1.0, 2), 0.0);
+  (void)s.complete_one();
+  EXPECT_EQ(s.complete_one().packet.flow, 1);  // high priority jumps queue
+  EXPECT_EQ(s.complete_one().packet.flow, 0);
+}
+
+TEST(EvPolicy, EdfPicksEarliestDeadline) {
+  Server s(10.0, make_edf_policy({10.0, 2.0}));
+  s.arrive(pkt(0, 1.0, 0), 0.0);  // deadline 10, in service
+  s.arrive(pkt(0, 1.0, 1), 0.0);  // deadline 10
+  s.arrive(pkt(1, 1.0, 2), 0.5);  // deadline 2.5 -> earliest
+  (void)s.complete_one();
+  EXPECT_EQ(s.complete_one().packet.flow, 1);
+}
+
+TEST(EvPolicy, ScfqSharesByWeight) {
+  // Saturate the server with both flows backlogged; throughput over a
+  // busy period must split ~2:1 by weight.
+  Server s(10.0, make_scfq_policy({2.0, 1.0}));
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 60; ++i) {
+    s.arrive(pkt(0, 1.0, seq++), 0.0);
+    s.arrive(pkt(1, 1.0, seq++), 0.0);
+  }
+  double served0 = 0.0, served1 = 0.0;
+  // Drain 30 packets (3 ms of a saturated 10 kb/ms server).
+  for (int i = 0; i < 30; ++i) {
+    const Departure d = s.complete_one();
+    (d.packet.flow == 0 ? served0 : served1) += d.packet.size_kb;
+  }
+  EXPECT_NEAR(served0 / served1, 2.0, 0.25);
+}
+
+TEST(EvPolicy, ValidatesConfiguration) {
+  EXPECT_THROW((void)make_scfq_policy({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)make_sp_policy({}), std::invalid_argument);
+  EXPECT_THROW((void)make_edf_policy({}), std::invalid_argument);
+  Server s(1.0, make_sp_policy({0, 1}));
+  EXPECT_THROW(s.arrive(pkt(5, 1.0, 0), 0.0), std::out_of_range);
+}
+
+TEST(EvNetwork, LightLoadDelayIsTransmissionOnly) {
+  EvNetworkConfig c;
+  c.hops = 3;
+  c.n_through = 5;
+  c.n_cross = 5;
+  c.slots = 20000;
+  const EvNetworkResult r = run_event_network(c);
+  ASSERT_GT(r.through_delay_ms.count(), 0u);
+  // Three hops, each 1.5 kb / 100 kb/ms = 0.015 ms, plus in-slot queueing
+  // of the handful of same-slot packets.
+  EXPECT_LT(r.through_delay_ms.quantile(0.5), 1.0);
+  EXPECT_GE(r.through_delay_ms.quantile(0.0), 3 * 0.015 - 1e-9);
+}
+
+TEST(EvNetwork, UtilizationMatchesOfferedLoad) {
+  EvNetworkConfig c;
+  c.hops = 2;
+  c.n_through = 100;
+  c.n_cross = 100;
+  c.slots = 50000;
+  const EvNetworkResult r = run_event_network(c);
+  const double load = 200.0 * c.source.mean_rate() / c.capacity_kb_per_ms;
+  EXPECT_NEAR(r.mean_utilization, load, 0.1 * load);
+}
+
+TEST(EvNetwork, SchedulerOrderingUnderLoad) {
+  EvNetworkConfig c;
+  c.hops = 2;
+  c.n_through = 250;
+  c.n_cross = 250;
+  c.slots = 60000;
+  c.edf_through_deadline_ms = 3.0;
+  c.edf_cross_deadline_ms = 30.0;
+  const auto tail = [&](PolicyKind kind) {
+    EvNetworkConfig cc = c;
+    cc.policy = kind;
+    return run_event_network(cc).through_delay_ms.quantile(0.999);
+  };
+  const double hi = tail(PolicyKind::kSpThroughHigh);
+  const double edf = tail(PolicyKind::kEdf);
+  const double fifo = tail(PolicyKind::kFifo);
+  const double lo = tail(PolicyKind::kSpThroughLow);
+  EXPECT_LE(hi, edf + 0.5);
+  EXPECT_LE(edf, fifo + 0.5);
+  EXPECT_LE(fifo, lo + 0.5);
+  EXPECT_LT(hi, lo);
+}
+
+TEST(EvNetwork, AgreesWithSlottedSimulatorOnSmallPackets) {
+  // With 1.5 kb packets the non-preemptive event simulation and the
+  // slotted fluid simulation must tell the same story at the tail.  The
+  // slotted model quantizes every hop up to one full slot, so its delay
+  // overstates the event-driven one by at most ~(hops + 1) slots.
+  EvNetworkConfig c;
+  c.hops = 2;
+  c.n_through = 250;
+  c.n_cross = 250;
+  c.slots = 60000;
+  const double ev_tail =
+      run_event_network(c).through_delay_ms.quantile(0.99);
+  sim::TandemConfig sc;
+  sc.hops = c.hops;
+  sc.n_through = c.n_through;
+  sc.n_cross = c.n_cross;
+  sc.slots = c.slots;
+  const double slotted_tail =
+      sim::run_tandem(sc).through_delay.quantile(0.99);
+  EXPECT_LE(ev_tail, slotted_tail);
+  EXPECT_GE(ev_tail + c.hops + 1.5, slotted_tail);
+}
+
+TEST(EvNetwork, ScfqTracksFluidGpsTail) {
+  // Packetized fair queueing (SCFQ) must land near the slotted fluid GPS
+  // tail with equal weights -- the two fair-sharing implementations agree
+  // when packets are small.
+  EvNetworkConfig c;
+  c.hops = 2;
+  c.n_through = 250;
+  c.n_cross = 250;
+  c.slots = 60000;
+  c.policy = PolicyKind::kScfq;
+  const double scfq_tail =
+      run_event_network(c).through_delay_ms.quantile(0.99);
+  sim::TandemConfig sc;
+  sc.hops = c.hops;
+  sc.n_through = c.n_through;
+  sc.n_cross = c.n_cross;
+  sc.slots = c.slots;
+  sc.discipline = sim::DisciplineKind::kGps;
+  const double gps_tail =
+      sim::run_tandem(sc).through_delay.quantile(0.99);
+  EXPECT_LE(scfq_tail, gps_tail);  // slotted model adds hop quantization
+  EXPECT_GE(scfq_tail + c.hops + 1.5, gps_tail);
+}
+
+TEST(EvNetwork, ScfqWeightsShiftTheThroughTail) {
+  // Giving the through class 4x the weight must not increase (and under
+  // load should reduce) its tail delay relative to the 1:4 setting.
+  EvNetworkConfig c;
+  c.hops = 2;
+  c.n_through = 300;
+  c.n_cross = 300;
+  c.slots = 60000;
+  c.policy = PolicyKind::kScfq;
+  c.scfq_through_weight = 4.0;
+  c.scfq_cross_weight = 1.0;
+  const double favoured =
+      run_event_network(c).through_delay_ms.quantile(0.999);
+  c.scfq_through_weight = 1.0;
+  c.scfq_cross_weight = 4.0;
+  const double penalized =
+      run_event_network(c).through_delay_ms.quantile(0.999);
+  EXPECT_LE(favoured, penalized + 1e-9);
+}
+
+TEST(EvNetwork, ValidatesConfig) {
+  EvNetworkConfig c;
+  c.packet_kb = 0.0;
+  EXPECT_THROW((void)run_event_network(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deltanc::evsim

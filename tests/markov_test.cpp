@@ -1,0 +1,142 @@
+#include "traffic/markov.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/markov_source.h"
+#include "sim/mmoo_source.h"
+#include "traffic/mmoo.h"
+
+namespace deltanc::traffic {
+namespace {
+
+MarkovSource three_state_video() {
+  // Idle / active / burst, sticky states -- a rough VBR video model.
+  return MarkovSource({{0.95, 0.05, 0.00},
+                       {0.02, 0.90, 0.08},
+                       {0.00, 0.30, 0.70}},
+                      {0.0, 2.0, 8.0});
+}
+
+TEST(MarkovSource, ConstructionValidates) {
+  EXPECT_NO_THROW(three_state_video());
+  EXPECT_THROW(MarkovSource({}, {}), std::invalid_argument);
+  EXPECT_THROW(MarkovSource({{0.5, 0.4}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(MarkovSource({{0.5, 0.6}, {0.5, 0.5}}, {0.0, 1.0}),
+               std::invalid_argument);  // row sums to 1.1
+  EXPECT_THROW(MarkovSource({{1.0}}, {-1.0}), std::invalid_argument);
+}
+
+TEST(MarkovSource, TwoStateMatchesMmooModel) {
+  // The on_off factory must agree with MmooSource on every statistic.
+  const MarkovSource general = MarkovSource::on_off(1.5, 0.989, 0.9);
+  const MmooSource specific = MmooSource::paper_source();
+  EXPECT_NEAR(general.mean_rate(), specific.mean_rate(), 1e-9);
+  EXPECT_DOUBLE_EQ(general.peak_rate(), specific.peak_rate());
+  for (double s : {0.01, 0.1, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(general.effective_bandwidth(s),
+                specific.effective_bandwidth(s),
+                1e-6 * specific.effective_bandwidth(s))
+        << "s = " << s;
+  }
+}
+
+TEST(MarkovSource, StationarySumsToOneAndIsInvariant) {
+  const MarkovSource src = three_state_video();
+  const auto pi = src.stationary();
+  double sum = 0.0;
+  for (double x : pi) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // pi P = pi.
+  for (std::size_t j = 0; j < src.states(); ++j) {
+    double next = 0.0;
+    for (std::size_t i = 0; i < src.states(); ++i) {
+      next += pi[i] * src.transition()[i][j];
+    }
+    EXPECT_NEAR(next, pi[j], 1e-10) << "state " << j;
+  }
+}
+
+TEST(MarkovSource, EffectiveBandwidthLimitsAndMonotonicity) {
+  const MarkovSource src = three_state_video();
+  EXPECT_NEAR(src.effective_bandwidth(1e-7), src.mean_rate(), 1e-3);
+  EXPECT_NEAR(src.effective_bandwidth(100.0), src.peak_rate(), 0.2);
+  double prev = 0.0;
+  for (double s = 0.01; s <= 32.0; s *= 2.0) {
+    const double eb = src.effective_bandwidth(s);
+    EXPECT_GE(eb, prev - 1e-12);
+    EXPECT_GE(eb, src.mean_rate() - 1e-9);
+    EXPECT_LE(eb, src.peak_rate() + 1e-9);
+    prev = eb;
+  }
+}
+
+TEST(MarkovSource, LargeSIsNumericallyStable) {
+  const MarkovSource src = three_state_video();
+  EXPECT_TRUE(std::isfinite(src.effective_bandwidth(1e4)));
+}
+
+TEST(MarkovSource, EffectiveBandwidthBoundsMonteCarloMgf) {
+  const MarkovSource src = three_state_video();
+  const double s = 0.4;
+  const int t_len = 50, trials = 20000;
+  sim::Xoshiro256ss rng(12);
+  double sum_exp = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    sim::MarkovAggregateSim one(src, 1, rng);
+    double a = 0.0;
+    for (int t = 0; t < t_len; ++t) a += one.step(rng);
+    sum_exp += std::exp(s * a);
+  }
+  const double empirical = std::log(sum_exp / trials) / (s * t_len);
+  EXPECT_LE(empirical, src.effective_bandwidth(s) + 0.05);
+}
+
+TEST(MarkovAggregateSim, CountsConserveFlows) {
+  const MarkovSource src = three_state_video();
+  sim::Xoshiro256ss rng(3);
+  sim::MarkovAggregateSim agg(src, 120, rng);
+  for (int t = 0; t < 2000; ++t) {
+    agg.step(rng);
+    int total = 0;
+    for (int c : agg.counts()) total += c;
+    ASSERT_EQ(total, 120);
+  }
+}
+
+TEST(MarkovAggregateSim, MeanRateMatchesAnalytic) {
+  const MarkovSource src = three_state_video();
+  sim::Xoshiro256ss rng(9);
+  sim::MarkovAggregateSim agg(src, 50, rng);
+  double kb = 0.0;
+  const int slots = 100000;
+  for (int t = 0; t < slots; ++t) kb += agg.step(rng);
+  EXPECT_NEAR(kb / slots, 50.0 * src.mean_rate(),
+              0.05 * 50.0 * src.mean_rate());
+}
+
+TEST(MarkovAggregateSim, TwoStateAgreesWithBinomialSampler) {
+  // Statistically: the general multinomial sampler and the dedicated
+  // binomial MMOO sampler must produce the same mean emission.
+  const MarkovSource general = MarkovSource::on_off(1.5, 0.989, 0.9);
+  const MmooSource specific = MmooSource::paper_source();
+  sim::Xoshiro256ss rng_a(7), rng_b(7);
+  sim::MarkovAggregateSim a(general, 100, rng_a);
+  sim::MmooAggregateSim b(specific, 100, rng_b);
+  double ka = 0.0, kb = 0.0;
+  for (int t = 0; t < 100000; ++t) {
+    ka += a.step(rng_a);
+    kb += b.step(rng_b);
+  }
+  EXPECT_NEAR(ka, kb, 0.05 * kb);
+}
+
+TEST(MarkovAggregateSim, ValidatesInput) {
+  sim::Xoshiro256ss rng(1);
+  EXPECT_THROW(sim::MarkovAggregateSim(three_state_video(), -1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deltanc::traffic

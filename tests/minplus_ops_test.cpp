@@ -1,0 +1,261 @@
+#include "nc/minplus_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "test_util.h"
+
+namespace deltanc::nc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(MinplusConv, RateLatencyComposition) {
+  // Classic: beta_{R1,T1} * beta_{R2,T2} = beta_{min(R1,R2), T1+T2}.
+  const Curve a = Curve::rate_latency(10.0, 1.0);
+  const Curve b = Curve::rate_latency(6.0, 2.5);
+  const Curve c = minplus_conv(a, b);
+  EXPECT_DOUBLE_EQ(c.eval(3.5), 0.0);
+  EXPECT_NEAR(c.eval(4.5), 6.0, 1e-9);
+  EXPECT_NEAR(c.eval(10.0), 6.0 * 6.5, 1e-9);
+  EXPECT_TRUE(c.is_convex());
+}
+
+TEST(MinplusConv, LeakyBucketComposition) {
+  // Classic: concave curves passing through the origin convolve to their
+  // pointwise minimum, so gamma_{r1,b1} * gamma_{r2,b2} = min of the two.
+  const Curve a = Curve::leaky_bucket(2.0, 3.0);
+  const Curve b = Curve::leaky_bucket(5.0, 1.0);
+  const Curve c = minplus_conv(a, b);
+  for (double t : {0.25, 0.5, 2.0 / 3.0, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(c.eval(t), std::min(3.0 + 2.0 * t, 1.0 + 5.0 * t), 1e-9)
+        << "t = " << t;
+  }
+}
+
+TEST(MinplusConv, DeltaShifts) {
+  const Curve s = Curve::rate(4.0);
+  const Curve c = minplus_conv(s, Curve::delta(2.0));
+  EXPECT_DOUBLE_EQ(c.eval(2.0), 0.0);
+  EXPECT_NEAR(c.eval(3.0), 4.0, 1e-12);
+  const Curve c2 = minplus_conv(Curve::delta(2.0), s);
+  EXPECT_NEAR(c2.eval(5.0), 12.0, 1e-12);
+}
+
+TEST(MinplusConv, DeltaWithDeltaAddsDelays) {
+  const Curve c = minplus_conv(Curve::delta(1.5), Curve::delta(2.0));
+  EXPECT_DOUBLE_EQ(c.eval(3.5), 0.0);
+  EXPECT_EQ(c.eval(3.6), kInf);
+}
+
+TEST(MinplusConv, ZeroIsAbsorbing) {
+  // 0(t) = 0 everywhere, so f * 0 = 0 for any f with f >= 0.
+  const Curve f = Curve::rate_latency(3.0, 1.0);
+  const Curve c = minplus_conv(f, Curve::zero());
+  for (double t : {0.0, 1.0, 5.0}) EXPECT_DOUBLE_EQ(c.eval(t), 0.0);
+}
+
+TEST(MinplusConv, NonMonotoneOperandIsHandledExactly) {
+  // Theorem-1 leftover curves can jump downward; the convolution must
+  // still match the brute-force infimum.
+  const Curve dippy({{0.0, 0.0, 3.0}, {2.0, 1.0, 3.0}});  // drop at t = 2
+  const Curve s = Curve::rate_latency(2.0, 0.5);
+  const Curve c = minplus_conv(dippy, s);
+  for (double t : {0.3, 1.0, 2.0, 2.4, 3.0, 5.0}) {
+    EXPECT_NEAR(c.eval(t), minplus_conv_numeric_at(dippy, s, t, 20000), 1e-3)
+        << "t = " << t;
+  }
+}
+
+TEST(MinplusConv, FoldOverSpan) {
+  const std::vector<Curve> path{Curve::rate_latency(10.0, 1.0),
+                                Curve::rate_latency(8.0, 0.5),
+                                Curve::rate_latency(12.0, 2.0)};
+  const Curve net = minplus_conv(std::span<const Curve>(path));
+  EXPECT_DOUBLE_EQ(net.eval(3.5), 0.0);
+  EXPECT_NEAR(net.eval(4.5), 8.0, 1e-9);
+  EXPECT_THROW(minplus_conv(std::span<const Curve>()), std::invalid_argument);
+}
+
+TEST(MinplusConv, GatedServiceCurveConvolution) {
+  // Curves of the Theorem-1 shape: zero up to theta, then affine with a
+  // jump -- convolving two of them must match brute force.
+  const Curve s1 = Curve::affine(5.0, 3.0).gated(2.0);
+  const Curve s2 = Curve::affine(2.0, 4.0).gated(1.0);
+  const Curve c = minplus_conv(s1, s2);
+  for (double t : {0.0, 1.0, 2.9, 3.0, 3.5, 5.0, 8.0}) {
+    EXPECT_NEAR(c.eval(t), minplus_conv_numeric_at(s1, s2, t, 20000), 2e-3)
+        << "t = " << t;
+  }
+}
+
+class ConvPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ConvPropertyTest, ExactMatchesNumericGrid) {
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 4);
+  const auto g = deltanc::testing::random_monotone_curve(GetParam() + 500, 3);
+  const Curve c = minplus_conv(f, g);
+  const double horizon = f.last_knot_x() + g.last_knot_x() + 4.0;
+  // Start just above 0: at t = 0 exactly the representation shows the
+  // right-limit (0+) value while the true convolution is 0 there.
+  for (int i = 1; i <= 60; ++i) {
+    const double t = horizon * static_cast<double>(i) / 60.0;
+    const double exact = c.eval(t);
+    const double numeric = minplus_conv_numeric_at(f, g, t, 6000);
+    // The numeric grid can only overshoot the true infimum.
+    ASSERT_LE(exact, numeric + 1e-9) << "t = " << t;
+    ASSERT_NEAR(exact, numeric, 5e-3 * (1.0 + std::abs(numeric)))
+        << "t = " << t;
+  }
+}
+
+TEST_P(ConvPropertyTest, Commutativity) {
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 4);
+  const auto g = deltanc::testing::random_monotone_curve(GetParam() + 500, 3);
+  const Curve fg = minplus_conv(f, g);
+  const Curve gf = minplus_conv(g, f);
+  const double horizon = f.last_knot_x() + g.last_knot_x() + 4.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = horizon * static_cast<double>(i) / 100.0 + 1e-7;
+    ASSERT_NEAR(fg.eval(t), gf.eval(t), 1e-8) << "t = " << t;
+  }
+}
+
+TEST_P(ConvPropertyTest, AssociativityOnSamples) {
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 3);
+  const auto g = deltanc::testing::random_monotone_curve(GetParam() + 500, 3);
+  const auto h = deltanc::testing::random_monotone_curve(GetParam() + 900, 2);
+  const Curve left = minplus_conv(minplus_conv(f, g), h);
+  const Curve right = minplus_conv(f, minplus_conv(g, h));
+  const double horizon =
+      f.last_knot_x() + g.last_knot_x() + h.last_knot_x() + 4.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = horizon * static_cast<double>(i) / 100.0 + 1e-7;
+    ASSERT_NEAR(left.eval(t), right.eval(t), 1e-7) << "t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvPropertyTest,
+                         ::testing::Range<std::uint32_t>(1, 20));
+
+TEST(PseudoInverse, BasicLevels) {
+  const Curve s = Curve::rate_latency(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 4.0), 3.0);
+}
+
+TEST(PseudoInverse, PlateauJumpsOver) {
+  // s has a plateau at value 2 on [1,3], then resumes.
+  const Curve s({{0.0, 0.0, 2.0}, {1.0, 2.0, 0.0}, {3.0, 2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 2.5), 3.5);
+}
+
+TEST(PseudoInverse, UpwardJumpIsInverted) {
+  const Curve s({{0.0, 0.0, 0.0}, {2.0, 5.0, 1.0}});  // jump to 5 at t=2
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(s, 6.0), 3.0);
+}
+
+TEST(PseudoInverse, DeltaTailReachesEverything) {
+  const Curve d = Curve::delta(4.0);
+  EXPECT_DOUBLE_EQ(pseudo_inverse_at(d, 100.0), 4.0);
+}
+
+TEST(PseudoInverse, BoundedCurveNeverReaches) {
+  const Curve s({{0.0, 0.0, 1.0}, {2.0, 2.0, 0.0}});  // saturates at 2
+  EXPECT_EQ(pseudo_inverse_at(s, 3.0), kInf);
+}
+
+TEST(HorizontalDeviation, LeakyBucketVsRateLatency) {
+  // Classic single-node bound: d = T + B / R for r <= R.
+  const Curve e = Curve::leaky_bucket(2.0, 6.0);
+  const Curve s = Curve::rate_latency(3.0, 1.5);
+  EXPECT_NEAR(horizontal_deviation(e, s), 1.5 + 6.0 / 3.0, 1e-9);
+}
+
+TEST(HorizontalDeviation, UnstableIsInfinite) {
+  const Curve e = Curve::leaky_bucket(5.0, 1.0);
+  const Curve s = Curve::rate(3.0);
+  EXPECT_EQ(horizontal_deviation(e, s), kInf);
+}
+
+TEST(HorizontalDeviation, DeltaServiceGivesItsDelay) {
+  const Curve e = Curve::leaky_bucket(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(horizontal_deviation(e, Curve::delta(3.0)), 3.0);
+}
+
+TEST(HorizontalDeviation, ZeroWhenServiceDominates) {
+  const Curve e = Curve::rate(1.0);
+  const Curve s = Curve::rate(2.0);
+  EXPECT_DOUBLE_EQ(horizontal_deviation(e, s), 0.0);
+}
+
+TEST(HorizontalDeviation, ConcaveEnvelopeInteriorMaximum) {
+  // Multi-segment envelope whose critical time is at the segment change.
+  const std::vector<std::pair<double, double>> buckets{{10.0, 0.0},
+                                                       {1.0, 9.0}};
+  const Curve e = Curve::multi_leaky_bucket(buckets);
+  const Curve s = Curve::rate(4.0);
+  // Crossover at t=1: E(1) = 10; needed service time = 10/4 = 2.5;
+  // deviation = 2.5 - 1 = 1.5 (maximal there).
+  EXPECT_NEAR(horizontal_deviation(e, s), 1.5, 1e-9);
+}
+
+TEST(VerticalDeviation, BacklogBoundClassic) {
+  // v(E, beta_{R,T}) = E(T) for concave E with rate <= R: B + r T.
+  const Curve e = Curve::leaky_bucket(2.0, 6.0);
+  const Curve s = Curve::rate_latency(3.0, 1.5);
+  EXPECT_NEAR(vertical_deviation(e, s), 6.0 + 2.0 * 1.5, 1e-9);
+}
+
+TEST(VerticalDeviation, UnstableIsInfinite) {
+  EXPECT_EQ(vertical_deviation(Curve::leaky_bucket(5.0, 0.0), Curve::rate(1.0)),
+            kInf);
+}
+
+TEST(MinplusDeconv, LeakyBucketThroughRateLatency) {
+  // gamma_{r,b} o/ beta_{R,T} = gamma_{r, b + r T} for r <= R.
+  const Curve e = Curve::leaky_bucket(2.0, 3.0);
+  const Curve s = Curve::rate_latency(5.0, 2.0);
+  const Curve out = minplus_deconv(e, s);
+  for (double t : {0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(out.eval(t), 3.0 + 2.0 * (t + 2.0), 1e-9) << "t = " << t;
+  }
+}
+
+TEST(MinplusDeconv, UnstableThrows) {
+  EXPECT_THROW(
+      minplus_deconv(Curve::leaky_bucket(5.0, 0.0), Curve::rate(1.0)),
+      std::domain_error);
+}
+
+TEST(MinplusDeconvAt, MatchesBruteForce) {
+  const Curve e = Curve::multi_leaky_bucket(
+      std::vector<std::pair<double, double>>{{8.0, 0.0}, {2.0, 5.0}});
+  const Curve s = Curve::rate_latency(4.0, 1.0);
+  for (double t : {0.0, 0.5, 2.0, 6.0}) {
+    double brute = -kInf;
+    for (int i = 0; i <= 40000; ++i) {
+      const double u = 20.0 * static_cast<double>(i) / 40000.0;
+      brute = std::max(brute, e.eval(t + u) - s.eval(u));
+    }
+    EXPECT_NEAR(minplus_deconv_at(e, s, t), brute, 1e-3) << "t = " << t;
+  }
+}
+
+TEST(MinplusConvServiceProperty, ConvolutionIsBelowBothWhenPassingZero) {
+  // For service curves with S(0) = 0, S1 * S2 <= min(S1, S2).
+  const Curve s1 = Curve::rate_latency(7.0, 1.0);
+  const Curve s2 = Curve::rate_latency(4.0, 0.5);
+  const Curve c = minplus_conv(s1, s2);
+  for (double t : {0.5, 1.0, 2.0, 5.0, 8.0}) {
+    EXPECT_LE(c.eval(t), std::min(s1.eval(t), s2.eval(t)) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace deltanc::nc

@@ -1,0 +1,126 @@
+// Deeper algebraic property sweeps for the (min,plus) toolbox: the
+// convolution/deconvolution adjunction, isotonicity, distribution over
+// pointwise minima, and the sub-additive closure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nc/minplus_ops.h"
+#include "test_util.h"
+
+namespace deltanc::nc {
+namespace {
+
+double val(const Curve& c, double x) { return x <= 0.0 ? 0.0 : c.eval(x); }
+
+class MinplusAlgebraProperty
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MinplusAlgebraProperty, ConvolutionIsIsotone) {
+  // f1 <= f2 pointwise implies f1 * g <= f2 * g.
+  const auto f1 = deltanc::testing::random_monotone_curve(GetParam(), 4);
+  const Curve f2 = f1.vshift(0.7);  // strictly above f1
+  const auto g = deltanc::testing::random_monotone_curve(GetParam() + 77, 3);
+  const Curve c1 = minplus_conv(f1, g);
+  const Curve c2 = minplus_conv(f2, g);
+  const double horizon = f1.last_knot_x() + g.last_knot_x() + 3.0;
+  for (int i = 1; i <= 80; ++i) {
+    const double t = horizon * static_cast<double>(i) / 80.0;
+    ASSERT_LE(c1.eval(t), c2.eval(t) + 1e-9) << "t = " << t;
+  }
+}
+
+TEST_P(MinplusAlgebraProperty, ConvolutionDistributesOverMin) {
+  // (min(f, g)) * h == min(f * h, g * h).
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 3);
+  const auto g = deltanc::testing::random_monotone_curve(GetParam() + 11, 3);
+  const auto h = deltanc::testing::random_monotone_curve(GetParam() + 23, 3);
+  const Curve left = minplus_conv(pointwise_min(f, g), h);
+  const Curve right =
+      pointwise_min(minplus_conv(f, h), minplus_conv(g, h));
+  const double horizon =
+      f.last_knot_x() + g.last_knot_x() + h.last_knot_x() + 3.0;
+  for (int i = 1; i <= 80; ++i) {
+    const double t = horizon * static_cast<double>(i) / 80.0 + 1e-7;
+    ASSERT_NEAR(left.eval(t), right.eval(t), 1e-7) << "t = " << t;
+  }
+}
+
+TEST_P(MinplusAlgebraProperty, DeconvolutionAdjunction) {
+  // Galois connection: f <= (f o/ g) * g.  The deconvolution result is a
+  // genuine function with out(0) > 0 (the backlog bound), so the
+  // function-semantics convolution is the right composition here.
+  const auto f = deltanc::testing::random_concave_curve(GetParam(), 3, 4.0);
+  const Curve g = Curve::rate_latency(6.0, 0.5);
+  const Curve out = minplus_deconv(f, g);
+  const Curve back = minplus_conv_fn(out, g);
+  const double horizon = f.last_knot_x() + 4.0;
+  for (int i = 1; i <= 60; ++i) {
+    const double t = horizon * static_cast<double>(i) / 60.0;
+    ASSERT_LE(val(f, t), back.eval(t) + 1e-7) << "t = " << t;
+  }
+}
+
+TEST_P(MinplusAlgebraProperty, ClosureIsSubadditiveAndBelow) {
+  const auto f = deltanc::testing::random_monotone_curve(GetParam(), 4);
+  const double horizon = 2.0 * f.last_knot_x() + 4.0;
+  const Curve closure = subadditive_closure(f, horizon);
+  EXPECT_TRUE(is_subadditive(closure, horizon, 1e-6));
+  for (int i = 1; i <= 60; ++i) {
+    const double t = horizon * static_cast<double>(i) / 60.0;
+    ASSERT_LE(closure.eval(t), f.eval(t) + 1e-9) << "t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinplusAlgebraProperty,
+                         ::testing::Range<std::uint32_t>(1, 16));
+
+TEST(SubadditiveClosure, ConcaveEnvelopeIsItsOwnClosure) {
+  const Curve e = Curve::leaky_bucket(2.0, 5.0);
+  const Curve closure = subadditive_closure(e, 20.0);
+  for (double t : {0.5, 1.0, 5.0, 15.0}) {
+    EXPECT_NEAR(closure.eval(t), e.eval(t), 1e-9) << "t = " << t;
+  }
+}
+
+TEST(SubadditiveClosure, TightensARateLatencyEnvelope) {
+  // A rate-latency function is NOT subadditive (f(2T) > 2 f(T) fails the
+  // other way: f(T)=0 twice vs f(2T)>0); its closure stays 0 forever.
+  const Curve f = Curve::rate_latency(4.0, 1.0);
+  EXPECT_FALSE(is_subadditive(f, 10.0));
+  const Curve closure = subadditive_closure(f, 10.0);
+  for (double t : {0.5, 2.0, 8.0}) {
+    EXPECT_NEAR(closure.eval(t), 0.0, 1e-9) << "t = " << t;
+  }
+}
+
+TEST(SubadditiveClosure, StaircaseExample) {
+  // f jumps to 3 at 0+ and grows slowly, then steeply: the closure
+  // replaces the steep part by repeated use of the cheap initial part.
+  const Curve f({{0.0, 3.0, 0.5}, {2.0, 4.0, 6.0}});
+  const double horizon = 12.0;
+  const Curve closure = subadditive_closure(f, horizon);
+  EXPECT_TRUE(is_subadditive(closure, horizon, 1e-6));
+  // At t = 4: f = 16, but two copies of f(2) give 8.
+  EXPECT_LE(closure.eval(4.0), 8.0 + 1e-9);
+}
+
+TEST(SubadditiveClosure, Validation) {
+  EXPECT_THROW((void)subadditive_closure(Curve::rate(1.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)subadditive_closure(Curve::delta(1.0), 5.0),
+               std::invalid_argument);
+}
+
+TEST(ServiceDelayBoundProperty, AgreesWithHorizontalDeviationWhenMonotone) {
+  // For monotone service curves the two delay computations coincide.
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    const auto e = deltanc::testing::random_concave_curve(seed, 3, 3.0);
+    const Curve s = Curve::rate_latency(8.0, 0.8);
+    EXPECT_NEAR(service_delay_bound(e, s), horizontal_deviation(e, s), 1e-7)
+        << "seed = " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace deltanc::nc

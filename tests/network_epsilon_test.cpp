@@ -1,0 +1,94 @@
+#include "e2e/network_epsilon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace deltanc::e2e {
+namespace {
+
+PathParams base_params(int hops) {
+  return PathParams{100.0, hops, 20.0, 30.0, 0.5, 1.0, 0.0};
+}
+
+TEST(NetworkEpsilon, ClosedFormMatchesGenericConstruction) {
+  // Homogeneous per-node bounds M/(1-q) e^{-alpha sigma} combined by
+  // Eq. (31) must equal the closed form of Eq. (34).
+  const double gamma = 0.8;
+  for (int hops : {1, 2, 5, 10, 17}) {
+    const PathParams p = base_params(hops);
+    const double q = std::exp(-p.alpha * gamma);
+    std::vector<nc::ExpBound> node_bounds(
+        static_cast<std::size_t>(hops),
+        nc::ExpBound(p.m / (1.0 - q), p.alpha));
+    const nc::ExpBound generic =
+        network_service_bound_generic(node_bounds, gamma);
+    const nc::ExpBound closed = network_service_bound(p, gamma);
+    EXPECT_NEAR(generic.prefactor(), closed.prefactor(),
+                1e-9 * closed.prefactor())
+        << "H = " << hops;
+    EXPECT_NEAR(generic.decay(), closed.decay(), 1e-12) << "H = " << hops;
+  }
+}
+
+TEST(NetworkEpsilon, DelayBoundIsInfConvOfEnvelopeAndNet) {
+  const double gamma = 0.5;
+  const PathParams p = base_params(4);
+  const double q = std::exp(-p.alpha * gamma);
+  const nc::ExpBound eps_g(p.m / (1.0 - q), p.alpha);
+  const nc::ExpBound manual =
+      nc::inf_convolution(eps_g, network_service_bound(p, gamma));
+  const nc::ExpBound closed = delay_violation_bound(p, gamma);
+  EXPECT_NEAR(manual.prefactor(), closed.prefactor(),
+              1e-9 * closed.prefactor());
+  EXPECT_NEAR(manual.decay(), closed.decay(), 1e-12);
+}
+
+TEST(NetworkEpsilon, SigmaInversionRoundTrips) {
+  const PathParams p = base_params(6);
+  const double gamma = 0.3;
+  const double eps = 1e-9;
+  const double sigma = sigma_for_epsilon(p, gamma, eps);
+  EXPECT_NEAR(delay_violation_bound(p, gamma).eval(sigma), eps, 1e-12);
+}
+
+TEST(NetworkEpsilon, SigmaGrowsWithPathLength) {
+  // The decay alpha/(H+1) weakens with H, so the same epsilon needs a
+  // larger sigma on longer paths.
+  const double gamma = 0.3;
+  double prev = 0.0;
+  for (int hops : {1, 2, 4, 8, 16}) {
+    const double sigma = sigma_for_epsilon(base_params(hops), gamma, 1e-9);
+    EXPECT_GT(sigma, prev);
+    prev = sigma;
+  }
+}
+
+TEST(NetworkEpsilon, SigmaScalesThetaHLogHStyle) {
+  // sigma(eps) = (H+1)/alpha * [ln(H+1) + 2H/(H+1) ln(1/(1-q)) + ln(1/eps)]
+  // -- superlinear in H (the ln(H+1) term) but subquadratic.  A large
+  // ln(1/eps) masks the log factor at small H, so probe with eps = 0.5.
+  const double gamma = 0.3;
+  const double s8 = sigma_for_epsilon(base_params(8), gamma, 0.5);
+  const double s64 = sigma_for_epsilon(base_params(64), gamma, 0.5);
+  EXPECT_GT(s64 / 64.0, s8 / 8.0);
+  EXPECT_LT(s64 / (64.0 * 64.0), s8 / (8.0 * 8.0));
+}
+
+TEST(NetworkEpsilon, Validation) {
+  const PathParams p = base_params(3);
+  EXPECT_THROW((void)network_service_bound(p, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sigma_for_epsilon(p, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sigma_for_epsilon(p, 0.5, 1.5), std::invalid_argument);
+  EXPECT_THROW(
+      (void)network_service_bound_generic(std::span<const nc::ExpBound>(),
+                                          0.5),
+      std::invalid_argument);
+  PathParams bad = p;
+  bad.hops = 0;
+  EXPECT_THROW((void)network_service_bound(bad, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deltanc::e2e

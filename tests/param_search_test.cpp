@@ -1,0 +1,221 @@
+#include "e2e/param_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "e2e/additive_baseline.h"
+
+namespace deltanc::e2e {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Scenario paper_scenario(int hops, int n_through, int n_cross,
+                        Scheduler sched) {
+  Scenario sc;
+  sc.hops = hops;
+  sc.n_through = n_through;
+  sc.n_cross = n_cross;
+  sc.scheduler = sched;
+  return sc;
+}
+
+TEST(ParamSearch, MaxStableSBehaviour) {
+  // 100 + 100 paper flows at ~0.149 Mbps each on 100 Mbps: stable, and
+  // there is a finite s beyond which eb exceeds the fair share.
+  Scenario sc = paper_scenario(2, 100, 100, Scheduler::kFifo);
+  const double s_max = max_stable_s(sc);
+  EXPECT_TRUE(std::isfinite(s_max));
+  EXPECT_GT(s_max, 0.0);
+  const double at_limit =
+      (sc.n_through + sc.n_cross) * sc.source.effective_bandwidth(s_max);
+  EXPECT_LT(at_limit, sc.capacity);
+  // Overload: mean rate alone exceeds capacity.
+  sc.n_through = 400;
+  sc.n_cross = 400;
+  EXPECT_EQ(max_stable_s(sc), 0.0);
+  // Peak rate fits entirely: every s is stable.
+  sc.n_through = 2;
+  sc.n_cross = 2;
+  EXPECT_EQ(max_stable_s(sc), kInf);
+}
+
+TEST(ParamSearch, UnstableScenarioGivesInfiniteBound) {
+  const Scenario sc = paper_scenario(3, 400, 400, Scheduler::kBmux);
+  const BoundResult r = best_delay_bound(sc);
+  EXPECT_EQ(r.delay_ms, kInf);
+}
+
+TEST(ParamSearch, BoundsArePositiveFiniteAndOrdered) {
+  // At moderate utilization: SP-high <= EDF-favoured <= FIFO <= BMUX.
+  const int n = 168;  // ~50% total with N0 = Nc
+  const BoundResult bmux =
+      best_delay_bound(paper_scenario(4, n, n, Scheduler::kBmux));
+  const BoundResult fifo =
+      best_delay_bound(paper_scenario(4, n, n, Scheduler::kFifo));
+  const BoundResult sp =
+      best_delay_bound(paper_scenario(4, n, n, Scheduler::kSpHigh));
+  const BoundResult edf =
+      best_delay_bound(paper_scenario(4, n, n, Scheduler::kEdf));
+  ASSERT_TRUE(std::isfinite(bmux.delay_ms));
+  EXPECT_GT(sp.delay_ms, 0.0);
+  EXPECT_LE(sp.delay_ms, edf.delay_ms + 1e-6);
+  EXPECT_LE(edf.delay_ms, fifo.delay_ms + 1e-6);
+  EXPECT_LE(fifo.delay_ms, bmux.delay_ms + 1e-6);
+}
+
+TEST(ParamSearch, FifoApproachesBmuxOnLongPaths) {
+  // The paper's headline observation (Fig. 2): FIFO bounds become
+  // indistinguishable from BMUX already at H = 5.
+  const int n_cross = 236;  // U ~ 50% with N0 = 100
+  const double f2 =
+      best_delay_bound(paper_scenario(2, 100, n_cross, Scheduler::kFifo))
+          .delay_ms;
+  const double b2 =
+      best_delay_bound(paper_scenario(2, 100, n_cross, Scheduler::kBmux))
+          .delay_ms;
+  const double f5 =
+      best_delay_bound(paper_scenario(5, 100, n_cross, Scheduler::kFifo))
+          .delay_ms;
+  const double b5 =
+      best_delay_bound(paper_scenario(5, 100, n_cross, Scheduler::kBmux))
+          .delay_ms;
+  EXPECT_LT(f2, 0.75 * b2);             // visibly different at H = 2
+  EXPECT_GT(f5, 0.95 * b5);             // indistinguishable at H = 5
+}
+
+TEST(ParamSearch, EdfKeepsItsAdvantageOnLongPaths) {
+  // EDF with d*_c = 10 d*_0 stays well below BMUX even at H = 10 --
+  // scheduling *does* matter on long paths.
+  const int n_cross = 236;
+  const double e10 =
+      best_delay_bound(paper_scenario(10, 100, n_cross, Scheduler::kEdf))
+          .delay_ms;
+  const double b10 =
+      best_delay_bound(paper_scenario(10, 100, n_cross, Scheduler::kBmux))
+          .delay_ms;
+  ASSERT_TRUE(std::isfinite(e10));
+  EXPECT_LT(e10, 0.6 * b10);
+}
+
+TEST(ParamSearch, EdfFixedPointIsSelfConsistent) {
+  // Re-solving with the resolved Delta must reproduce the fixed point.
+  const Scenario sc = paper_scenario(5, 150, 150, Scheduler::kEdf);
+  const BoundResult r = best_delay_bound(sc);
+  ASSERT_TRUE(std::isfinite(r.delay_ms));
+  const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
+  EXPECT_NEAR(r.delta, factor_gap * r.delay_ms / sc.hops,
+              1e-4 * std::abs(r.delta));
+  const BoundResult again =
+      best_delay_bound_for_delta(sc, r.delta, Method::kExactOpt);
+  EXPECT_NEAR(again.delay_ms, r.delay_ms, 5e-3 * r.delay_ms);
+}
+
+TEST(ParamSearch, PaperKMethodIsCloseToExact) {
+  const Scenario sc = paper_scenario(5, 100, 236, Scheduler::kFifo);
+  const BoundResult exact = best_delay_bound(sc, Method::kExactOpt);
+  const BoundResult paper = best_delay_bound(sc, Method::kPaperK);
+  EXPECT_GE(paper.delay_ms, exact.delay_ms - 1e-6);
+  EXPECT_LE(paper.delay_ms, 1.1 * exact.delay_ms);
+}
+
+TEST(ParamSearch, DelayGrowsWithUtilization) {
+  double prev = 0.0;
+  for (int n_cross : {50, 150, 250, 350}) {
+    const double d =
+        best_delay_bound(paper_scenario(3, 100, n_cross, Scheduler::kFifo))
+            .delay_ms;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ParamSearch, DelayGrowsWithPathLength) {
+  double prev = 0.0;
+  for (int hops : {1, 2, 4, 8}) {
+    const double d =
+        best_delay_bound(paper_scenario(hops, 100, 200, Scheduler::kBmux))
+            .delay_ms;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ParamSearch, NearlyLinearScalingInH) {
+  // Theta(H log H): between H = 4 and H = 16 the bound grows by a factor
+  // well below quadratic scaling (16x would be quadratic: ratio 16).
+  const double d4 =
+      best_delay_bound(paper_scenario(4, 100, 100, Scheduler::kBmux))
+          .delay_ms;
+  const double d16 =
+      best_delay_bound(paper_scenario(16, 100, 100, Scheduler::kBmux))
+          .delay_ms;
+  EXPECT_GT(d16 / d4, 3.5);   // superlinear-ish (H log H)
+  EXPECT_LT(d16 / d4, 8.0);   // far from quadratic
+}
+
+TEST(ParamSearch, ValidatesScenario) {
+  Scenario sc = paper_scenario(0, 100, 100, Scheduler::kFifo);
+  EXPECT_THROW((void)best_delay_bound(sc), std::invalid_argument);
+  sc.hops = 2;
+  sc.epsilon = 0.0;
+  EXPECT_THROW((void)best_delay_bound(sc), std::invalid_argument);
+}
+
+TEST(AdditiveBaseline, PerNodeDelaysGrowAlongThePath) {
+  const PathParams p{100.0, 8, 20.0, 30.0, 0.5, 1.0, kInf};
+  const auto per_node = additive_bmux_per_node(p, 0.5, 1e-9);
+  ASSERT_EQ(per_node.size(), 8u);
+  for (std::size_t h = 1; h < per_node.size(); ++h) {
+    EXPECT_GT(per_node[h], per_node[h - 1]) << "h = " << h;
+  }
+}
+
+TEST(AdditiveBaseline, SumOfPerNodeEqualsTotal) {
+  const PathParams p{100.0, 5, 20.0, 30.0, 0.5, 1.0, kInf};
+  const auto per_node = additive_bmux_per_node(p, 0.4, 1e-9);
+  double sum = 0.0;
+  for (double d : per_node) sum += d;
+  EXPECT_NEAR(additive_bmux_delay(p, 0.4, 1e-9), sum, 1e-9);
+}
+
+TEST(AdditiveBaseline, MuchLooserThanNetworkServiceCurve) {
+  // Fig. 4: adding per-node bounds is loose and gets relatively worse
+  // with H.
+  const Scenario sc5 = paper_scenario(5, 168, 168, Scheduler::kBmux);
+  const Scenario sc10 = paper_scenario(10, 168, 168, Scheduler::kBmux);
+  const double net5 = best_delay_bound(sc5).delay_ms;
+  const double add5 = best_additive_bmux_bound(sc5).delay_ms;
+  const double net10 = best_delay_bound(sc10).delay_ms;
+  const double add10 = best_additive_bmux_bound(sc10).delay_ms;
+  EXPECT_GT(add5, 1.5 * net5);
+  EXPECT_GT(add10, 3.0 * net10);
+  EXPECT_GT(add10 / add5, net10 / net5);  // relative gap widens
+}
+
+TEST(AdditiveBaseline, SuperlinearGrowth) {
+  // O(H^3 log H)-style growth: doubling H should much more than double
+  // the additive bound.
+  const double a5 =
+      best_additive_bmux_bound(paper_scenario(5, 168, 168, Scheduler::kBmux))
+          .delay_ms;
+  const double a10 =
+      best_additive_bmux_bound(paper_scenario(10, 168, 168, Scheduler::kBmux))
+          .delay_ms;
+  EXPECT_GT(a10 / a5, 3.0);
+}
+
+TEST(AdditiveBaseline, Validation) {
+  const PathParams p{100.0, 3, 20.0, 30.0, 0.5, 1.0, kInf};
+  EXPECT_THROW((void)additive_bmux_delay(p, 0.0, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW((void)additive_bmux_delay(p, 0.5, 0.0), std::invalid_argument);
+  // Unstable gamma: per-node envelope rate reaches the leftover rate.
+  const PathParams tight{100.0, 3, 45.0, 45.0, 0.5, 1.0, kInf};
+  EXPECT_EQ(additive_bmux_delay(tight, 4.0, 1e-9), kInf);
+}
+
+}  // namespace
+}  // namespace deltanc::e2e

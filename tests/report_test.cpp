@@ -1,0 +1,72 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenario.h"
+
+namespace deltanc {
+namespace {
+
+e2e::Scenario scenario() {
+  return ScenarioBuilder()
+      .hops(3)
+      .through_flows(100)
+      .cross_flows(150)
+      .scheduler(e2e::Scheduler::kFifo)
+      .build();
+}
+
+TEST(DelayCcdfBound, MonotoneInEpsilon) {
+  // Smaller violation probability -> larger delay bound.
+  const std::vector<double> eps{1e-3, 1e-6, 1e-9, 1e-12};
+  const auto bounds = delay_ccdf_bound(scenario(), eps);
+  ASSERT_EQ(bounds.size(), 4u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(DelayCcdfBound, LogarithmicGrowthInOneOverEps) {
+  // d(eps) ~ sigma(eps)/rate with sigma linear in ln(1/eps): halving the
+  // exponent roughly halves the increment, never explodes.
+  const std::vector<double> eps{1e-3, 1e-6, 1e-9};
+  const auto b = delay_ccdf_bound(scenario(), eps);
+  const double inc1 = b[1] - b[0];
+  const double inc2 = b[2] - b[1];
+  EXPECT_NEAR(inc2, inc1, 0.5 * inc1);
+}
+
+TEST(RenderReport, ContainsAllSections) {
+  const std::string md = render_report(scenario());
+  EXPECT_NE(md.find("# deltanc path analysis"), std::string::npos);
+  EXPECT_NE(md.find("## Scenario"), std::string::npos);
+  EXPECT_NE(md.find("## End-to-end delay bound"), std::string::npos);
+  EXPECT_NE(md.find("## Scheduler comparison"), std::string::npos);
+  EXPECT_NE(md.find("## Delay CCDF bound"), std::string::npos);
+  EXPECT_NE(md.find("FIFO"), std::string::npos);
+  // No simulation section without simulate_slots.
+  EXPECT_EQ(md.find("Simulation cross-check"), std::string::npos);
+}
+
+TEST(RenderReport, IncludesSimulationWhenRequested) {
+  ReportOptions options;
+  options.simulate_slots = 20000;
+  const std::string md = render_report(scenario(), options);
+  EXPECT_NE(md.find("## Simulation cross-check"), std::string::npos);
+  EXPECT_NE(md.find("bound dominates | yes"), std::string::npos);
+}
+
+TEST(RenderReport, UnstableScenarioIsCalledOut) {
+  const e2e::Scenario overload = ScenarioBuilder()
+                                     .hops(2)
+                                     .through_flows(400)
+                                     .cross_flows(400)
+                                     .build();
+  const std::string md = render_report(overload);
+  EXPECT_NE(md.find("unstable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deltanc

@@ -1,0 +1,193 @@
+#include "sched/schedulability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "sched/tightness.h"
+
+namespace deltanc::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kC = 10.0;
+
+std::vector<nc::Curve> leaky(std::initializer_list<std::pair<double, double>>
+                                 rate_burst) {
+  std::vector<nc::Curve> out;
+  for (const auto& [r, b] : rate_burst) {
+    out.push_back(nc::Curve::leaky_bucket(r, b));
+  }
+  return out;
+}
+
+TEST(Schedulability, FifoRecoversClassicBound) {
+  // FIFO with leaky buckets: d_min = (sum of bursts) / C  [Cruz '91].
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}, {2.0, 1.5}});
+  const double d = min_delay_bound(kC, DeltaMatrix::fifo(3), env, 0);
+  EXPECT_NEAR(d, (2.0 + 4.0 + 1.5) / kC, 1e-6);
+}
+
+TEST(Schedulability, BmuxRecoversClassicBound) {
+  // Blind multiplexing: d_min = (B_0 + B_c) / (C - rho_c).
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const double d = min_delay_bound(kC, DeltaMatrix::bmux(2, 0), env, 0);
+  EXPECT_NEAR(d, (2.0 + 4.0) / (kC - 3.0), 1e-6);
+}
+
+TEST(Schedulability, HighPriorityFlowIgnoresLowPriority) {
+  // The top-priority flow is only delayed by its own burst: d = B_j / C.
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const DeltaMatrix d = DeltaMatrix::static_priority(std::vector<int>{0, 1});
+  EXPECT_NEAR(min_delay_bound(kC, d, env, 1), 4.0 / kC, 1e-6);
+  // The low-priority flow sees the BMUX bound (B0 + Bc)/(C - rho_c).
+  EXPECT_NEAR(min_delay_bound(kC, d, env, 0), (2.0 + 4.0) / (kC - 3.0), 1e-6);
+}
+
+TEST(Schedulability, EdfInterpolatesBetweenExtremes) {
+  // FIFO = EDF with equal deadlines; BMUX ~ EDF with d*_0 >> d*_c.
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const double d_fifo = min_delay_bound(kC, DeltaMatrix::fifo(2), env, 0);
+  const double d_bmux = min_delay_bound(kC, DeltaMatrix::bmux(2, 0), env, 0);
+  const double d_edf_equal = min_delay_bound(
+      kC, DeltaMatrix::edf(std::vector<double>{3.0, 3.0}), env, 0);
+  EXPECT_NEAR(d_edf_equal, d_fifo, 1e-6);
+  const double d_edf_late = min_delay_bound(
+      kC, DeltaMatrix::edf(std::vector<double>{1000.0, 1.0}), env, 0);
+  EXPECT_NEAR(d_edf_late, d_bmux, 1e-6);
+  // A favoured through flow does better than FIFO, a penalized one worse.
+  const double d_edf_fav = min_delay_bound(
+      kC, DeltaMatrix::edf(std::vector<double>{1.0, 5.0}), env, 0);
+  const double d_edf_pen = min_delay_bound(
+      kC, DeltaMatrix::edf(std::vector<double>{5.0, 1.0}), env, 0);
+  EXPECT_LT(d_edf_fav, d_fifo);
+  EXPECT_GT(d_edf_pen, d_fifo);
+  EXPECT_LE(d_edf_pen, d_bmux + 1e-9);
+}
+
+TEST(Schedulability, BmuxDominatesEveryDeltaScheduler) {
+  // Section III: BMUX yields the highest delays of any work-conserving
+  // locally-FIFO scheduler.
+  const auto env = leaky({{2.0, 3.0}, {4.0, 2.0}});
+  const double d_bmux = min_delay_bound(kC, DeltaMatrix::bmux(2, 0), env, 0);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dl(0.1, 20.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::vector<double> deadlines{dl(rng), dl(rng)};
+    const double d =
+        min_delay_bound(kC, DeltaMatrix::edf(deadlines), env, 0);
+    EXPECT_LE(d, d_bmux + 1e-6) << "deadlines " << deadlines[0] << ","
+                                << deadlines[1];
+  }
+}
+
+TEST(Schedulability, UnstableConfigurationHasNoBound) {
+  const auto env = leaky({{6.0, 1.0}, {5.0, 1.0}});  // 11 > C = 10
+  EXPECT_EQ(min_delay_bound(kC, DeltaMatrix::fifo(2), env, 0), kInf);
+}
+
+TEST(Schedulability, LhsMonotoneInDeltaCap) {
+  // Larger d weakly increases the LHS (more cross arrivals may precede).
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const DeltaMatrix d = DeltaMatrix::bmux(2, 0);
+  double prev = 0.0;
+  for (double dd : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const double lhs = schedulability_lhs(kC, d, env, 0, dd);
+    EXPECT_GE(lhs, prev - 1e-9);
+    prev = lhs;
+  }
+}
+
+TEST(Schedulability, MeetsBoundConsistentWithMinBound) {
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const DeltaMatrix d = DeltaMatrix::edf(std::vector<double>{2.0, 6.0});
+  const double dmin = min_delay_bound(kC, d, env, 0);
+  EXPECT_TRUE(meets_delay_bound(kC, d, env, 0, dmin + 1e-6));
+  EXPECT_FALSE(meets_delay_bound(kC, d, env, 0, dmin - 1e-3));
+}
+
+TEST(Schedulability, ValidatesArguments) {
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_THROW((void)min_delay_bound(0.0, DeltaMatrix::fifo(2), env, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_delay_bound(kC, DeltaMatrix::fifo(3), env, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)schedulability_lhs(kC, DeltaMatrix::fifo(2), env, 0, -1.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 2: for concave envelopes the greedy adversarial scenario
+// realizes exactly the Eq. (24) bound (necessity + sufficiency).
+// ---------------------------------------------------------------------
+
+class TightnessProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TightnessProperty, GreedyScenarioMeetsEq24Bound) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> rate(0.5, 2.5);
+  std::uniform_real_distribution<double> burst(0.5, 6.0);
+  std::uniform_int_distribution<int> sched_pick(0, 3);
+  std::uniform_real_distribution<double> dl(0.5, 8.0);
+
+  const std::vector<nc::Curve> env{
+      nc::Curve::leaky_bucket(rate(rng), burst(rng)),
+      nc::Curve::leaky_bucket(rate(rng), burst(rng)),
+      nc::Curve::leaky_bucket(rate(rng), burst(rng))};
+
+  DeltaMatrix d = DeltaMatrix::fifo(3);
+  switch (sched_pick(rng)) {
+    case 0:
+      break;  // FIFO
+    case 1:
+      d = DeltaMatrix::bmux(3, 0);
+      break;
+    case 2:
+      d = DeltaMatrix::edf(std::vector<double>{dl(rng), dl(rng), dl(rng)});
+      break;
+    default:
+      d = DeltaMatrix::static_priority(std::vector<int>{0, 1, 1});
+      break;
+  }
+
+  const double dmin = min_delay_bound(kC, d, env, 0);
+  ASSERT_TRUE(std::isfinite(dmin));
+  const double greedy = greedy_worst_case_delay(kC, d, env, 0);
+  // Sufficiency: greedy can never exceed the bound.  Necessity (concave
+  // envelopes): the greedy scenario gets arbitrarily close to it.
+  EXPECT_LE(greedy, dmin + 1e-4);
+  EXPECT_NEAR(greedy, dmin, 2e-2 * (1.0 + dmin));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TightnessProperty,
+                         ::testing::Range<std::uint32_t>(1, 40));
+
+TEST(Tightness, GreedyDelayAtBasics) {
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const DeltaMatrix d = DeltaMatrix::fifo(2);
+  // Just after the initial burst the backlog is B0 + Bc = 6, clearing in
+  // 0.6 time units at C = 10 (minus what drains before t*).
+  const double w = greedy_delay_at(kC, d, env, 0, 1e-9);
+  EXPECT_NEAR(w, 0.6, 1e-3);
+  EXPECT_THROW((void)greedy_delay_at(kC, d, env, 0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Tightness, GreedyWorstCaseForFifoIsAtBurstInstant) {
+  // For FIFO + leaky buckets the worst tagged arrival is right after the
+  // simultaneous bursts: worst delay = (B0 + Bc)/C.
+  const auto env = leaky({{1.0, 2.0}, {3.0, 4.0}});
+  const double w = greedy_worst_case_delay(kC, DeltaMatrix::fifo(2), env, 0);
+  EXPECT_NEAR(w, 0.6, 1e-3);
+}
+
+TEST(Tightness, GreedyUnstableReturnsInfinity) {
+  const auto env = leaky({{6.0, 1.0}, {5.0, 1.0}});
+  EXPECT_EQ(greedy_worst_case_delay(kC, DeltaMatrix::fifo(2), env, 0), kInf);
+}
+
+}  // namespace
+}  // namespace deltanc::sched

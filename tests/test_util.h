@@ -1,0 +1,63 @@
+// Shared helpers for the deltanc test suite: deterministic random curve
+// generators used by the property-based sweeps.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "nc/curve.h"
+
+namespace deltanc::testing {
+
+/// Deterministically generates a non-negative, non-decreasing piecewise
+/// linear curve with `segments` random segments (random slopes, lengths,
+/// and occasional upward jumps).  Suitable as an envelope or service curve
+/// in property tests.
+inline nc::Curve random_monotone_curve(std::uint32_t seed, int segments,
+                                       double max_slope = 5.0,
+                                       double max_len = 4.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> slope_dist(0.0, max_slope);
+  std::uniform_real_distribution<double> len_dist(0.1, max_len);
+  std::uniform_real_distribution<double> jump_dist(0.0, 2.0);
+  std::bernoulli_distribution do_jump(0.3);
+
+  std::vector<nc::Knot> knots;
+  double x = 0.0;
+  double y = do_jump(rng) ? jump_dist(rng) : 0.0;
+  for (int i = 0; i < segments; ++i) {
+    const double slope = slope_dist(rng);
+    knots.push_back({x, y, slope});
+    const double len = len_dist(rng);
+    y += slope * len;
+    if (do_jump(rng)) y += jump_dist(rng);
+    x += len;
+  }
+  return nc::Curve(std::move(knots));
+}
+
+/// A random concave curve through the origin region (value 0 at x=0 is not
+/// required; envelopes may jump at 0): slopes strictly decreasing.
+inline nc::Curve random_concave_curve(std::uint32_t seed, int segments,
+                                      double start_slope = 8.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> len_dist(0.2, 3.0);
+  std::uniform_real_distribution<double> burst_dist(0.0, 3.0);
+  std::uniform_real_distribution<double> frac(0.4, 0.9);
+
+  std::vector<nc::Knot> knots;
+  double x = 0.0;
+  double y = burst_dist(rng);
+  double slope = start_slope;
+  for (int i = 0; i < segments; ++i) {
+    knots.push_back({x, y, slope});
+    const double len = len_dist(rng);
+    y += slope * len;
+    x += len;
+    slope *= frac(rng);
+  }
+  return nc::Curve(std::move(knots));
+}
+
+}  // namespace deltanc::testing

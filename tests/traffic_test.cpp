@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "traffic/ebb.h"
+#include "traffic/mmoo.h"
+
+namespace deltanc::traffic {
+namespace {
+
+TEST(EbbTraffic, ConstructionValidates) {
+  EXPECT_NO_THROW(EbbTraffic(1.0, 0.5, 2.0));
+  EXPECT_THROW(EbbTraffic(0.5, 0.5, 2.0), std::invalid_argument);  // M < 1
+  EXPECT_THROW(EbbTraffic(1.0, -0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(EbbTraffic(1.0, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(EbbTraffic, IntervalTailIsChernoffBound) {
+  const EbbTraffic a(2.0, 1.0, 0.5);
+  EXPECT_NEAR(a.interval_tail(10.0), 2.0 * std::exp(-5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.interval_tail(-1.0), 1.0);  // probabilities cap at 1
+}
+
+TEST(EbbTraffic, SamplePathEnvelopeUnionBound) {
+  const EbbTraffic a(1.0, 2.0, 0.7);
+  const double gamma = 0.3;
+  const StatEnvelope env = a.sample_path_envelope(gamma);
+  EXPECT_DOUBLE_EQ(env.g.eval(10.0), (2.0 + gamma) * 10.0);
+  const double q = std::exp(-0.7 * gamma);
+  EXPECT_NEAR(env.eps.prefactor(), 1.0 / (1.0 - q), 1e-12);
+  EXPECT_DOUBLE_EQ(env.eps.decay(), 0.7);
+  EXPECT_THROW((void)a.sample_path_envelope(0.0), std::invalid_argument);
+}
+
+TEST(EbbTraffic, AggregationAddsRatesMultipliesPrefactors) {
+  const EbbTraffic a(2.0, 1.0, 0.5);
+  const EbbTraffic b(3.0, 2.5, 0.5);
+  const EbbTraffic s = a.aggregate_with(b);
+  EXPECT_DOUBLE_EQ(s.m(), 6.0);
+  EXPECT_DOUBLE_EQ(s.rho(), 3.5);
+  EXPECT_DOUBLE_EQ(s.alpha(), 0.5);
+  EXPECT_THROW((void)a.aggregate_with(EbbTraffic(1.0, 1.0, 0.9)),
+               std::invalid_argument);
+}
+
+TEST(EbbTraffic, DeterministicEnvelopeIsLeakyBucketLimit) {
+  // M = e^{B alpha} corresponds to burst B.
+  const double burst = 4.0, alpha = 2.0, rho = 1.5;
+  const EbbTraffic a(std::exp(burst * alpha), rho, alpha);
+  const nc::Curve e = a.deterministic_envelope();
+  EXPECT_NEAR(e.eval(0.0), burst, 1e-12);
+  EXPECT_NEAR(e.eval(3.0), burst + rho * 3.0, 1e-12);
+}
+
+TEST(MmooSource, ConstructionValidates) {
+  EXPECT_NO_THROW(MmooSource(1.5, 0.989, 0.9));
+  EXPECT_THROW(MmooSource(0.0, 0.9, 0.9), std::invalid_argument);
+  EXPECT_THROW(MmooSource(1.0, 0.0, 0.9), std::invalid_argument);
+  EXPECT_THROW(MmooSource(1.0, 1.0, 0.9), std::invalid_argument);
+  // p12 + p21 = 0.6 + 0.6 > 1 violates the paper's assumption.
+  EXPECT_THROW(MmooSource(1.0, 0.4, 0.4), std::invalid_argument);
+}
+
+TEST(MmooSource, PaperSourceRates) {
+  const MmooSource src = MmooSource::paper_source();
+  EXPECT_DOUBLE_EQ(src.peak_rate(), 1.5);
+  // "peak rate of 1.5 Mbps and an average rate of 0.15 Mbps" (Sec. V).
+  EXPECT_NEAR(src.mean_rate(), 0.15, 0.002);
+  EXPECT_NEAR(src.stationary_on(), 0.011 / 0.111, 1e-12);
+}
+
+TEST(MmooSource, EffectiveBandwidthLimits) {
+  const MmooSource src = MmooSource::paper_source();
+  // s -> 0: mean rate; s -> infinity: peak rate.
+  EXPECT_NEAR(src.effective_bandwidth(1e-7), src.mean_rate(), 1e-3);
+  EXPECT_NEAR(src.effective_bandwidth(200.0), src.peak_rate(), 1e-2);
+  EXPECT_THROW((void)src.effective_bandwidth(0.0), std::invalid_argument);
+}
+
+TEST(MmooSource, EffectiveBandwidthMonotoneAndBounded) {
+  const MmooSource src = MmooSource::paper_source();
+  double prev = 0.0;
+  for (double s = 0.01; s <= 64.0; s *= 2.0) {
+    const double eb = src.effective_bandwidth(s);
+    EXPECT_GE(eb, prev - 1e-12) << "s = " << s;
+    EXPECT_GE(eb, src.mean_rate() - 1e-9);
+    EXPECT_LE(eb, src.peak_rate() + 1e-9);
+    prev = eb;
+  }
+}
+
+TEST(MmooSource, EffectiveBandwidthStableForLargeS) {
+  const MmooSource src = MmooSource::paper_source();
+  // The large-s branch must join the direct branch continuously.
+  const double below = src.effective_bandwidth(29.9 / 1.5);
+  const double above = src.effective_bandwidth(30.1 / 1.5);
+  EXPECT_NEAR(below, above, 1e-3);
+  EXPECT_TRUE(std::isfinite(src.effective_bandwidth(1e4)));
+}
+
+TEST(MmooSource, EffectiveBandwidthMatchesMonteCarloMgf) {
+  // Verify the spectral-radius bound: (1/(s t)) log E[e^{s A(t)}] <= eb(s)
+  // estimated over many sampled trajectories of the chain.
+  const MmooSource src(1.0, 0.8, 0.7);
+  const double s = 0.9;
+  const int t_len = 60;
+  const int trials = 20000;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  double sum_exp = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    bool on = unif(rng) < src.stationary_on();
+    double a = 0.0;
+    for (int step = 0; step < t_len; ++step) {
+      if (on) a += src.peak_kb();
+      on = on ? (unif(rng) < src.p22()) : (unif(rng) < src.p12());
+    }
+    sum_exp += std::exp(s * a);
+  }
+  const double empirical_eb =
+      std::log(sum_exp / trials) / (s * t_len);
+  EXPECT_LE(empirical_eb, src.effective_bandwidth(s) + 0.02);
+}
+
+TEST(MmooSource, AggregateEbbScalesRate) {
+  const MmooSource src = MmooSource::paper_source();
+  const double s = 1.3;
+  const EbbTraffic agg = src.aggregate_ebb(100, s);
+  EXPECT_DOUBLE_EQ(agg.m(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.alpha(), s);
+  EXPECT_NEAR(agg.rho(), 100.0 * src.effective_bandwidth(s), 1e-12);
+  EXPECT_THROW((void)src.aggregate_ebb(0, s), std::invalid_argument);
+}
+
+TEST(MmooSource, UtilizationMapping) {
+  // Section V: U = (N0 + Nc) * 0.15 / 100 -- N = 100 flows is ~15% of a
+  // 100 Mbps link.
+  const MmooSource src = MmooSource::paper_source();
+  const double u = 100.0 * src.mean_rate() / 100.0;
+  EXPECT_NEAR(u, 0.15, 0.002);
+}
+
+}  // namespace
+}  // namespace deltanc::traffic

@@ -1,0 +1,55 @@
+#include "traffic/tspec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace deltanc::traffic {
+namespace {
+
+TEST(TSpec, ConstructionValidates) {
+  EXPECT_NO_THROW(TSpec(10.0, 1.5, 2.0, 12.0));
+  EXPECT_THROW(TSpec(1.0, 1.5, 2.0, 12.0), std::invalid_argument);  // p < r
+  EXPECT_THROW(TSpec(10.0, 15.0, 2.0, 12.0), std::invalid_argument);  // M > b
+  EXPECT_THROW(TSpec(10.0, -1.0, 2.0, 12.0), std::invalid_argument);
+}
+
+TEST(TSpec, EnvelopeIsDualBucketMinimum) {
+  const TSpec spec(10.0, 1.0, 2.0, 12.0);
+  const nc::Curve e = spec.envelope();
+  // Before the crossover the peak segment governs, after it the
+  // sustained segment does.
+  EXPECT_NEAR(e.eval(0.5), 1.0 + 10.0 * 0.5, 1e-12);
+  EXPECT_NEAR(e.eval(5.0), 12.0 + 2.0 * 5.0, 1e-12);
+  EXPECT_TRUE(e.is_concave());
+}
+
+TEST(TSpec, CrossoverTime) {
+  const TSpec spec(10.0, 1.0, 2.0, 12.0);
+  EXPECT_NEAR(spec.crossover_time(), (12.0 - 1.0) / 8.0, 1e-12);
+  const TSpec cbr(5.0, 1.0, 5.0, 2.0);
+  EXPECT_EQ(cbr.crossover_time(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(TSpec, AggregateScalesLinearly) {
+  const TSpec spec(10.0, 1.0, 2.0, 12.0);
+  const TSpec agg = spec.aggregate(5);
+  EXPECT_DOUBLE_EQ(agg.peak_rate(), 50.0);
+  EXPECT_DOUBLE_EQ(agg.burst_kb(), 60.0);
+  EXPECT_THROW((void)spec.aggregate(0), std::invalid_argument);
+}
+
+TEST(TSpec, MaxBacklogAgainstServiceRate) {
+  const TSpec spec(10.0, 1.0, 2.0, 12.0);
+  // Backlog peaks at the envelope crossover for r < R < p:
+  // E(t*) - R t* with t* = 11/8.
+  const double t_star = spec.crossover_time();
+  const double expected = (1.0 + 10.0 * t_star) - 5.0 * t_star;
+  EXPECT_NEAR(spec.max_backlog_against(5.0), expected, 1e-9);
+  EXPECT_THROW((void)spec.max_backlog_against(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deltanc::traffic

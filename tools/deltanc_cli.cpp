@@ -1,0 +1,158 @@
+// deltanc command-line interface: compute end-to-end delay bounds (and
+// optionally validate them by simulation) without writing any code.
+//
+//   deltanc_cli --hops 5 --scheduler fifo --u0 0.15 --uc 0.35
+//   deltanc_cli --hops 10 --scheduler edf --edf-own 1 --edf-cross 10
+//               --epsilon 1e-9 --simulate 200000   (one line)
+//
+// Flags (all optional, defaults = the paper's Section-V setting):
+//   --capacity <Mbps>      link rate per node          (default 100)
+//   --hops <H>             path length                 (default 2)
+//   --n0 <count>           through flows               (default 100)
+//   --nc <count>           cross flows per node        (default 100)
+//   --u0 <frac>            through load (overrides --n0)
+//   --uc <frac>            cross load (overrides --nc)
+//   --epsilon <p>          violation probability       (default 1e-9)
+//   --scheduler <name>     fifo | bmux | sp-high | edf (default fifo)
+//   --edf-own/--edf-cross  EDF deadline factors        (default 1 / 10)
+//   --method <name>        exact | paper-k             (default exact)
+//   --additive             also print the additive per-node baseline
+//   --simulate <slots>     validate against a simulation of that length
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "core/scenario.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "deltanc_cli: %s\n(see the header of tools/deltanc_cli.cpp for flags)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+double parse_double(const char* value, const char* flag) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    usage_error(std::string("bad numeric value for ") + flag);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deltanc;
+
+  ScenarioBuilder builder;
+  e2e::Method method = e2e::Method::kExactOpt;
+  bool want_additive = false;
+  bool want_report = false;
+  long long simulate_slots = 0;
+  double edf_own = 1.0, edf_cross = 10.0;
+  bool scheduler_is_edf = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value after " + flag);
+      return argv[++i];
+    };
+    if (flag == "--capacity") {
+      builder.capacity_mbps(parse_double(next(), "--capacity"));
+    } else if (flag == "--hops") {
+      builder.hops(static_cast<int>(parse_double(next(), "--hops")));
+    } else if (flag == "--n0") {
+      builder.through_flows(static_cast<int>(parse_double(next(), "--n0")));
+    } else if (flag == "--nc") {
+      builder.cross_flows(static_cast<int>(parse_double(next(), "--nc")));
+    } else if (flag == "--u0") {
+      builder.through_utilization(parse_double(next(), "--u0"));
+    } else if (flag == "--uc") {
+      builder.cross_utilization(parse_double(next(), "--uc"));
+    } else if (flag == "--epsilon") {
+      builder.violation_probability(parse_double(next(), "--epsilon"));
+    } else if (flag == "--edf-own") {
+      edf_own = parse_double(next(), "--edf-own");
+    } else if (flag == "--edf-cross") {
+      edf_cross = parse_double(next(), "--edf-cross");
+    } else if (flag == "--scheduler") {
+      const std::string name = next();
+      if (name == "fifo") {
+        builder.scheduler(e2e::Scheduler::kFifo);
+      } else if (name == "bmux") {
+        builder.scheduler(e2e::Scheduler::kBmux);
+      } else if (name == "sp-high") {
+        builder.scheduler(e2e::Scheduler::kSpHigh);
+      } else if (name == "edf") {
+        builder.scheduler(e2e::Scheduler::kEdf);
+        scheduler_is_edf = true;
+      } else {
+        usage_error("unknown scheduler '" + name + "'");
+      }
+    } else if (flag == "--method") {
+      const std::string name = next();
+      if (name == "exact") {
+        method = e2e::Method::kExactOpt;
+      } else if (name == "paper-k") {
+        method = e2e::Method::kPaperK;
+      } else {
+        usage_error("unknown method '" + name + "'");
+      }
+    } else if (flag == "--additive") {
+      want_additive = true;
+    } else if (flag == "--report") {
+      want_report = true;
+    } else if (flag == "--simulate") {
+      simulate_slots =
+          static_cast<long long>(parse_double(next(), "--simulate"));
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  if (scheduler_is_edf) builder.edf_deadlines(edf_own, edf_cross);
+
+  const e2e::Scenario scenario = builder.build();
+  if (want_report) {
+    ReportOptions options;
+    options.simulate_slots = simulate_slots;
+    std::printf("%s", render_report(scenario, options).c_str());
+    return 0;
+  }
+  const PathAnalyzer analyzer(scenario);
+
+  std::printf("scenario: C = %.1f Mbps, H = %d, N0 = %d, Nc = %d "
+              "(U = %.1f%%), eps = %g\n",
+              scenario.capacity, scenario.hops, scenario.n_through,
+              scenario.n_cross, 100.0 * scenario.utilization(),
+              scenario.epsilon);
+
+  const e2e::BoundResult bound = analyzer.bound(method);
+  if (!std::isfinite(bound.delay_ms)) {
+    std::printf("bound: unstable configuration (offered load >= capacity)\n");
+    return 1;
+  }
+  std::printf("end-to-end delay bound: %.3f ms  "
+              "(gamma = %.4f, s = %.4f, Delta = %g)\n",
+              bound.delay_ms, bound.gamma, bound.s, bound.delta);
+
+  if (want_additive) {
+    std::printf("additive per-node baseline (BMUX): %.3f ms\n",
+                analyzer.additive_bound().delay_ms);
+  }
+  if (simulate_slots > 0) {
+    const ValidationReport r = analyzer.validate(simulate_slots);
+    std::printf("simulation (%lld slots): quantile@%.2e = %.2f ms, "
+                "max = %.2f ms, bound %s\n",
+                simulate_slots, r.epsilon_sim, r.empirical_quantile,
+                r.empirical_max, r.bound_holds ? "holds" : "VIOLATED");
+    return r.bound_holds ? 0 : 1;
+  }
+  return 0;
+}
