@@ -4,42 +4,69 @@
 // (Theta(H log H) growth), plus the node-by-node additive BMUX baseline
 // (O(H^3 log H) growth).
 //
+// Two sweeps per utilization run on the parallel engine (core/sweep.h):
+// a hops x scheduler grid for the network-service-curve bounds and a
+// hops-only grid with the solver overridden to the additive baseline
+// (SweepOptions::solver), 40 points per utilization in total.
+//
 // Expected shape (paper): near-linear growth for the network-service-
 // curve bounds with FIFO and BMUX visually identical; EDF noticeably
 // lower at the higher utilizations; the additive baseline blows up.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
-#include "core/analyzer.h"
 #include "core/scenario.h"
+#include "core/sweep.h"
 #include "core/table.h"
+#include "e2e/additive_baseline.h"
 
 int main() {
   using namespace deltanc;
   std::printf("Fig. 4 / Example 3: delay bounds vs path length H\n");
   std::printf("(N0 = Nc, C = 100 Mbps, eps = 1e-9; delays in ms)\n\n");
 
+  const std::vector<int> hops_values = {1, 2, 4, 6, 8, 10, 13, 16, 20, 25};
+  const std::vector<e2e::Scheduler> scheds = {
+      e2e::Scheduler::kEdf, e2e::Scheduler::kFifo, e2e::Scheduler::kBmux};
+
+  const SweepRunner runner;
+  SweepOptions additive_opts;
+  additive_opts.solver = [](const e2e::Scenario& sc, e2e::Method) {
+    return e2e::best_additive_bmux_bound(sc);
+  };
+  const SweepRunner additive_runner(additive_opts);
+
+  double total_wall_ms = 0.0;
+  std::size_t total_points = 0;
+  int threads = 1;
+
   for (double u : {0.10, 0.50, 0.90}) {
+    const e2e::Scenario base = ScenarioBuilder()
+                                   .through_utilization(u / 2.0)
+                                   .cross_utilization(u / 2.0)
+                                   .violation_probability(1e-9)
+                                   .edf_deadlines(1.0, 10.0)
+                                   .build();
+    SweepGrid grid(base);
+    grid.hops_axis(hops_values).scheduler_axis(scheds);
+    SweepGrid additive_grid(base);  // scheduler is irrelevant to the solver
+    additive_grid.hops_axis(hops_values);
+
+    const SweepReport bounds = runner.run(grid);
+    const SweepReport additive = additive_runner.run(additive_grid);
+    total_wall_ms += bounds.wall_ms + additive.wall_ms;
+    total_points += bounds.points.size() + additive.points.size();
+    threads = bounds.threads;
+
     Table table({"H", "EDF", "FIFO", "BMUX", "BMUX additive"});
-    for (int hops : {1, 2, 4, 6, 8, 10, 13, 16, 20, 25}) {
-      const auto builder = [&](e2e::Scheduler s) {
-        return ScenarioBuilder()
-            .hops(hops)
-            .through_utilization(u / 2.0)
-            .cross_utilization(u / 2.0)
-            .violation_probability(1e-9)
-            .scheduler(s)
-            .edf_deadlines(1.0, 10.0)
-            .build();
+    for (std::size_t hi = 0; hi < hops_values.size(); ++hi) {
+      const auto delay = [&](std::size_t si) {
+        return bounds.points[hi * scheds.size() + si].bound.delay_ms;
       };
-      table.add_row(
-          std::to_string(hops),
-          {PathAnalyzer(builder(e2e::Scheduler::kEdf)).bound().delay_ms,
-           PathAnalyzer(builder(e2e::Scheduler::kFifo)).bound().delay_ms,
-           PathAnalyzer(builder(e2e::Scheduler::kBmux)).bound().delay_ms,
-           PathAnalyzer(builder(e2e::Scheduler::kBmux))
-               .additive_bound()
-               .delay_ms});
+      table.add_row(std::to_string(hops_values[hi]),
+                    {delay(0), delay(1), delay(2),
+                     additive.points[hi].bound.delay_ms});
     }
     std::printf("--- U = %.0f%% ---\n", 100.0 * u);
     table.print(std::cout);
@@ -47,5 +74,7 @@ int main() {
     table.print_csv(std::cout);
     std::printf("\n");
   }
+  std::fprintf(stderr, "sweep: %zu points in %.0f ms on %d thread(s)\n",
+               total_points, total_wall_ms, threads);
   return 0;
 }

@@ -3,6 +3,10 @@
 // algebra, effective-bandwidth evaluation, and the simulator's slot rate.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "core/sweep.h"
+#include "core/thread_pool.h"
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
@@ -80,6 +84,51 @@ void BM_FullScenarioSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullScenarioSolve)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// The Fig. 2 (H = 5) sweep grid at a loose epsilon: 8 utilization points
+// x 3 schedulers = 24 independent solves.  Arg(0) is the worker count;
+// compare threads:1 against threads:N for the parallel speedup (the
+// sweep is embarrassingly parallel, so throughput should scale almost
+// linearly up to the core count).
+void BM_SweepFig2Grid(benchmark::State& state) {
+  e2e::Scenario base;
+  base.hops = 5;
+  base.n_through = 100;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis(SweepGrid::linspace(0.10, 0.80, 8))
+      .scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+                       e2e::Scheduler::kBmux});
+  SweepOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  const SweepRunner runner(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(grid));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(grid.size()));
+  state.counters["threads"] =
+      static_cast<double>(runner.resolved_threads(grid.size()));
+}
+BENCHMARK(BM_SweepFig2Grid)
+    ->Arg(1)
+    ->Arg(static_cast<int>(ThreadPool::default_thread_count()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
 
 void BM_EffectiveBandwidth(benchmark::State& state) {
   const auto src = traffic::MmooSource::paper_source();

@@ -3,43 +3,56 @@
 // Sweeps the path length H at fixed 50% utilization and prints the
 // end-to-end delay bound of each scheduler, the FIFO/BMUX ratio (how
 // quickly FIFO degenerates to blind multiplexing), and the EDF/BMUX
-// ratio (the scheduling gain that survives on long paths).
+// ratio (the scheduling gain that survives on long paths).  The 8 x 4
+// grid runs on the parallel sweep engine (all cores; DELTANC_THREADS
+// overrides) with a progress line while it solves.
 //
 // Build & run:  ./build/examples/long_path_study
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
-#include "core/analyzer.h"
 #include "core/scenario.h"
+#include "core/sweep.h"
 #include "core/table.h"
 
 int main() {
   using namespace deltanc;
 
+  const std::vector<int> hops_values = {1, 2, 3, 5, 8, 12, 16, 24};
+  const std::vector<e2e::Scheduler> scheds = {
+      e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+      e2e::Scheduler::kBmux};
+
+  SweepGrid grid(ScenarioBuilder()
+                     .through_utilization(0.25)
+                     .cross_utilization(0.25)
+                     .build());
+  grid.hops_axis(hops_values).scheduler_axis(scheds);
+
+  SweepOptions opts;
+  opts.progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\rsolving %zu/%zu", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+  const SweepReport report = SweepRunner(opts).run(grid);
+
   Table table({"H", "SP-high [ms]", "EDF [ms]", "FIFO [ms]", "BMUX [ms]",
                "FIFO/BMUX", "EDF/BMUX"});
-
-  for (int hops : {1, 2, 3, 5, 8, 12, 16, 24}) {
-    const auto with_sched = [&](e2e::Scheduler s) {
-      return PathAnalyzer(ScenarioBuilder()
-                              .hops(hops)
-                              .through_utilization(0.25)
-                              .cross_utilization(0.25)
-                              .scheduler(s)
-                              .build())
-          .bound()
-          .delay_ms;
+  for (std::size_t hi = 0; hi < hops_values.size(); ++hi) {
+    const auto delay = [&](std::size_t si) {
+      return report.points[hi * scheds.size() + si].bound.delay_ms;
     };
-    const double sp = with_sched(e2e::Scheduler::kSpHigh);
-    const double edf = with_sched(e2e::Scheduler::kEdf);
-    const double fifo = with_sched(e2e::Scheduler::kFifo);
-    const double bmux = with_sched(e2e::Scheduler::kBmux);
-    table.add_row(std::to_string(hops),
+    const double sp = delay(0), edf = delay(1), fifo = delay(2),
+                 bmux = delay(3);
+    table.add_row(std::to_string(hops_values[hi]),
                   {sp, edf, fifo, bmux, fifo / bmux, edf / bmux});
   }
 
   std::printf("End-to-end delay bounds vs path length "
-              "(U = 50%%, N0 = Nc, eps = 1e-9)\n\n");
+              "(U = 50%%, N0 = Nc, eps = 1e-9)\n");
+  std::printf("(%zu scenarios solved in %.0f ms on %d thread(s))\n\n",
+              report.points.size(), report.wall_ms, report.threads);
   table.print(std::cout);
   std::printf(
       "\nReading the ratios: FIFO/BMUX -> 1 quickly (by H ~ 5 the FIFO\n"

@@ -1,13 +1,33 @@
 #!/usr/bin/env bash
 # Full verification: configure, build (warnings-as-errors), run the test
-# suite, run every bench binary (several enforce invariants via their exit
-# codes), and smoke-test the examples and the CLI.
+# suite, re-run it under ThreadSanitizer (the sweep engine is concurrent;
+# races must fail loudly), run every bench binary (several enforce
+# invariants via their exit codes), and smoke-test the examples and the
+# CLI (including the parallel sweep mode).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# --- ThreadSanitizer pass -------------------------------------------------
+# Race-checks the concurrency layer (core/thread_pool.h, core/sweep.cpp)
+# on every run.  Gated on libtsan being installed; TSAN_OPTIONS makes any
+# report fatal so ctest sees the failure.
+if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - \
+     -o /tmp/deltanc_tsan_probe 2>/dev/null; then
+  rm -f /tmp/deltanc_tsan_probe
+  cmake -B build-tsan -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure
+else
+  echo "WARNING: ThreadSanitizer unavailable (no libtsan?); skipping race check" >&2
+fi
 
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
@@ -23,4 +43,6 @@ for e in build/examples/*; do
   fi
 done
 ./build/tools/deltanc_cli --hops 2 > /dev/null
+./build/tools/deltanc_cli --epsilon 1e-6 \
+  --sweep uc=0.2:0.6:3 --sweep scheduler=fifo,edf --csv > /dev/null
 echo "ALL CHECKS PASSED"

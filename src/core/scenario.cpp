@@ -6,6 +6,13 @@
 
 namespace deltanc {
 
+int flows_for_utilization(const e2e::Scenario& sc, double u) {
+  if (!(u >= 0.0)) {
+    throw std::invalid_argument("flows_for_utilization: utilization >= 0");
+  }
+  return static_cast<int>(std::lround(u * sc.capacity / sc.source.mean_rate()));
+}
+
 ScenarioBuilder& ScenarioBuilder::capacity_mbps(double c) {
   if (!(c > 0.0)) {
     throw std::invalid_argument("ScenarioBuilder: capacity must be > 0");
@@ -42,11 +49,7 @@ ScenarioBuilder& ScenarioBuilder::cross_flows(int n) {
 }
 
 int ScenarioBuilder::flows_for_utilization(double u) const {
-  if (!(u >= 0.0)) {
-    throw std::invalid_argument("ScenarioBuilder: utilization must be >= 0");
-  }
-  return static_cast<int>(
-      std::lround(u * sc_.capacity / sc_.source.mean_rate()));
+  return deltanc::flows_for_utilization(sc_, u);
 }
 
 ScenarioBuilder& ScenarioBuilder::through_utilization(double u) {

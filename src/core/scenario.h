@@ -8,6 +8,13 @@
 
 namespace deltanc {
 
+/// Flow count whose aggregate mean rate is the fraction `u` of the
+/// scenario's capacity (rounded to whole flows; may be 0).  Shared by
+/// ScenarioBuilder and the sweep axes (core/sweep.h) so both resolve
+/// utilizations identically.
+/// @throws std::invalid_argument unless u >= 0.
+[[nodiscard]] int flows_for_utilization(const e2e::Scenario& sc, double u);
+
 /// Builds an e2e::Scenario step by step.  All setters return *this.
 ///
 /// Example (the paper's Fig. 2 operating point at U = 50%, H = 5):

@@ -1,0 +1,323 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/scenario.h"
+#include "core/thread_pool.h"
+
+namespace deltanc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::string scheduler_name(e2e::Scheduler s) {
+  switch (s) {
+    case e2e::Scheduler::kFifo:
+      return "fifo";
+    case e2e::Scheduler::kBmux:
+      return "bmux";
+    case e2e::Scheduler::kSpHigh:
+      return "sp-high";
+    case e2e::Scheduler::kEdf:
+      return "edf";
+  }
+  return "?";
+}
+
+bool scheduler_from_name(const std::string& name, e2e::Scheduler& out) {
+  if (name == "fifo") {
+    out = e2e::Scheduler::kFifo;
+  } else if (name == "bmux") {
+    out = e2e::Scheduler::kBmux;
+  } else if (name == "sp-high") {
+    out = e2e::Scheduler::kSpHigh;
+  } else if (name == "edf") {
+    out = e2e::Scheduler::kEdf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- SweepGrid
+
+SweepGrid::SweepGrid(e2e::Scenario base) : base_(std::move(base)) {}
+
+SweepGrid& SweepGrid::add_axis(Axis axis) {
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepGrid& SweepGrid::hops_axis(std::vector<int> values) {
+  Axis a{"hops", {}};
+  for (int h : values) {
+    if (h < 1) throw std::invalid_argument("SweepGrid: hops must be >= 1");
+    a.values.emplace_back([h](e2e::Scenario& sc) { sc.hops = h; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::scheduler_axis(std::vector<e2e::Scheduler> values) {
+  Axis a{"scheduler", {}};
+  for (e2e::Scheduler s : values) {
+    a.values.emplace_back([s](e2e::Scenario& sc) { sc.scheduler = s; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::edf_axis(std::vector<e2e::EdfSpec> values) {
+  Axis a{"edf", {}};
+  for (const e2e::EdfSpec& e : values) {
+    if (!(e.own_factor > 0.0) || !(e.cross_factor > 0.0)) {
+      throw std::invalid_argument("SweepGrid: EDF factors must be > 0");
+    }
+    a.values.emplace_back([e](e2e::Scenario& sc) { sc.edf = e; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::through_flows_axis(std::vector<int> values) {
+  Axis a{"n0", {}};
+  for (int n : values) {
+    if (n < 1) throw std::invalid_argument("SweepGrid: need >= 1 through flow");
+    a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_through = n; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::cross_flows_axis(std::vector<int> values) {
+  Axis a{"nc", {}};
+  for (int n : values) {
+    if (n < 0) throw std::invalid_argument("SweepGrid: cross flows >= 0");
+    a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_cross = n; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::through_utilization_axis(std::vector<double> values) {
+  Axis a{"u0", {}};
+  for (double u : values) {
+    // Conversion against the *base* capacity/source, exactly like
+    // ScenarioBuilder::through_utilization.
+    const int n = std::max(1, flows_for_utilization(base_, u));
+    a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_through = n; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::cross_utilization_axis(std::vector<double> values) {
+  Axis a{"uc", {}};
+  for (double u : values) {
+    const int n = flows_for_utilization(base_, u);
+    a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_cross = n; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::epsilon_axis(std::vector<double> values) {
+  Axis a{"epsilon", {}};
+  for (double eps : values) {
+    if (!(eps > 0.0 && eps < 1.0)) {
+      throw std::invalid_argument("SweepGrid: need 0 < epsilon < 1");
+    }
+    a.values.emplace_back([eps](e2e::Scenario& sc) { sc.epsilon = eps; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::capacity_axis(std::vector<double> values) {
+  Axis a{"capacity", {}};
+  for (double c : values) {
+    if (!(c > 0.0)) throw std::invalid_argument("SweepGrid: capacity > 0");
+    a.values.emplace_back([c](e2e::Scenario& sc) { sc.capacity = c; });
+  }
+  return add_axis(std::move(a));
+}
+
+std::vector<double> SweepGrid::linspace(double lo, double hi, int steps) {
+  if (steps < 1) throw std::invalid_argument("linspace: steps must be >= 1");
+  if (steps == 1) return {lo};
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    v.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(steps - 1));
+  }
+  return v;
+}
+
+std::size_t SweepGrid::axis_size(std::size_t a) const {
+  return axes_.at(a).values.size();
+}
+
+const std::string& SweepGrid::axis_name(std::size_t a) const {
+  return axes_.at(a).name;
+}
+
+std::size_t SweepGrid::size() const noexcept {
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+e2e::Scenario SweepGrid::scenario_at(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("SweepGrid: index out of range");
+  e2e::Scenario sc = base_;
+  // Row-major decode, last axis fastest: peel digits from the innermost
+  // axis, then apply mutators outermost-first (order is irrelevant since
+  // axes touch disjoint fields, but keep it defined).
+  std::vector<std::size_t> digit(axes_.size());
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const std::size_t m = axes_[a].values.size();
+    digit[a] = i % m;
+    i /= m;
+  }
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    axes_[a].values[digit[a]](sc);
+  }
+  return sc;
+}
+
+std::vector<e2e::Scenario> SweepGrid::scenarios() const {
+  std::vector<e2e::Scenario> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(scenario_at(i));
+  return out;
+}
+
+// -------------------------------------------------------------- SweepReport
+
+std::size_t SweepReport::failures() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) n += p.ok ? 0 : 1;
+  return n;
+}
+
+std::size_t SweepReport::unstable() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) {
+    n += (p.ok && !std::isfinite(p.bound.delay_ms)) ? 1 : 0;
+  }
+  return n;
+}
+
+Table SweepReport::to_table(int precision) const {
+  Table table({"#", "H", "sched", "N0", "Nc", "U [%]", "eps", "delay [ms]",
+               "gamma", "s", "Delta", "solve [ms]", "status"});
+  const auto format_eps = [](double eps) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", eps);
+    return std::string(buf);
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    const e2e::Scenario& sc = p.scenario;
+    table.add_row({std::to_string(i), std::to_string(sc.hops),
+                   scheduler_name(sc.scheduler), std::to_string(sc.n_through),
+                   std::to_string(sc.n_cross),
+                   Table::format(100.0 * sc.utilization(), 1),
+                   format_eps(sc.epsilon),
+                   Table::format(p.bound.delay_ms, precision),
+                   Table::format(p.bound.gamma, precision),
+                   Table::format(p.bound.s, precision),
+                   Table::format(p.bound.delta, precision),
+                   Table::format(p.solve_ms, 2),
+                   p.ok ? (std::isfinite(p.bound.delay_ms) ? "ok" : "unstable")
+                        : ("error: " + p.error)});
+  }
+  return table;
+}
+
+void SweepReport::write_csv(std::ostream& os, int precision) const {
+  to_table(precision).print_csv(os);
+}
+
+// -------------------------------------------------------------- SweepRunner
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+int SweepRunner::resolved_threads(std::size_t n_tasks) const {
+  unsigned n = options_.threads > 0
+                   ? static_cast<unsigned>(options_.threads)
+                   : ThreadPool::default_thread_count();
+  if (n > n_tasks) n = static_cast<unsigned>(n_tasks);  // never idle workers
+  return static_cast<int>(n > 0 ? n : 1);
+}
+
+SweepReport SweepRunner::run(const SweepGrid& grid) const {
+  const std::vector<e2e::Scenario> scenarios = grid.scenarios();
+  return run(std::span<const e2e::Scenario>(scenarios));
+}
+
+SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
+  const std::size_t n = scenarios.size();
+  SweepReport report;
+  report.points.resize(n);
+  report.threads = resolved_threads(n);
+  const auto t0 = Clock::now();
+
+  const auto solve = [this](const e2e::Scenario& sc) {
+    return options_.solver ? options_.solver(sc, options_.method)
+                           : e2e::best_delay_bound(sc, options_.method);
+  };
+
+  // Work distribution: a shared atomic cursor; each worker claims the
+  // next unsolved index and writes into its own slot, so the output
+  // order is the input order no matter which worker finishes when.
+  std::atomic<std::size_t> cursor{0};
+  std::mutex progress_mu;
+  std::size_t done = 0;  // guarded by progress_mu
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      SweepPoint& p = report.points[i];
+      p.scenario = scenarios[i];
+      const auto task_t0 = Clock::now();
+      try {
+        p.bound = solve(p.scenario);
+      } catch (const std::exception& e) {
+        p.ok = false;
+        p.error = e.what();
+        p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(),
+                                   0.0, 0.0, 0.0, 0.0};
+      }
+      p.solve_ms = ms_since(task_t0);
+      if (options_.progress) {
+        // Increment under the same lock as the callback so `done` values
+        // arrive strictly increasing 1..n.
+        std::lock_guard<std::mutex> lock(progress_mu);
+        options_.progress(++done, n);
+      }
+    }
+  };
+
+  if (n > 0) {
+    ThreadPool pool(static_cast<unsigned>(report.threads));
+    for (int t = 0; t < report.threads; ++t) pool.submit(worker);
+    pool.wait_idle();
+  }
+
+  report.wall_ms = ms_since(t0);
+  for (const SweepPoint& p : report.points) report.solve_ms += p.solve_ms;
+  return report;
+}
+
+}  // namespace deltanc

@@ -1,0 +1,152 @@
+// Parallel scenario-sweep engine.  Every figure of the paper and every
+// study in EXPERIMENTS.md is a *grid* of independent best_delay_bound
+// solves -- over utilization, path length, traffic mix, scheduler,
+// deadlines, and epsilon.  SweepRunner fans such a grid out across a
+// ThreadPool (core/thread_pool.h) and returns the results in
+// deterministic input order regardless of completion order: each point is
+// a pure function of its scenario, so a 1-thread and an N-thread run
+// produce bit-identical results.
+//
+// Grids are described by SweepGrid: a base e2e::Scenario plus axes.  The
+// cross product enumerates axes in the order they were added, first axis
+// outermost (row-major): for axes A, B with |B| = m, point i varies B
+// fastest, i.e. i = a * m + b.  Non-gridded workloads (e.g. Fig. 3's
+// traffic mix, where U0 and Uc co-vary) pass an explicit scenario list to
+// SweepRunner::run instead.
+//
+// Failure policy: a point whose solve throws is captured (ok = false,
+// error = what(), delay = +inf) and never aborts the sweep; an unstable
+// configuration simply reports its +inf bound.  Either way the remaining
+// points are unaffected.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "e2e/param_search.h"
+
+namespace deltanc {
+
+/// Human-readable scheduler name ("fifo", "bmux", "sp-high", "edf").
+[[nodiscard]] std::string scheduler_name(e2e::Scheduler s);
+/// Inverse of scheduler_name; returns false on unknown names.
+[[nodiscard]] bool scheduler_from_name(const std::string& name,
+                                       e2e::Scheduler& out);
+
+/// A base scenario plus sweep axes; enumerates the cross product in
+/// deterministic row-major order (first-added axis outermost).
+class SweepGrid {
+ public:
+  explicit SweepGrid(e2e::Scenario base = {});
+
+  // Each *_axis call appends one axis.  Values are applied to the base
+  // scenario exactly like the corresponding ScenarioBuilder setter
+  // (utilizations are converted to whole flow counts against the base
+  // capacity and source).  An axis with no values makes the grid empty.
+  SweepGrid& hops_axis(std::vector<int> values);
+  SweepGrid& scheduler_axis(std::vector<e2e::Scheduler> values);
+  SweepGrid& edf_axis(std::vector<e2e::EdfSpec> values);
+  SweepGrid& through_flows_axis(std::vector<int> values);
+  SweepGrid& cross_flows_axis(std::vector<int> values);
+  SweepGrid& through_utilization_axis(std::vector<double> values);
+  SweepGrid& cross_utilization_axis(std::vector<double> values);
+  SweepGrid& epsilon_axis(std::vector<double> values);
+  SweepGrid& capacity_axis(std::vector<double> values);
+
+  /// `steps` evenly spaced values from lo to hi inclusive (steps >= 2);
+  /// steps == 1 yields {lo}.  @throws std::invalid_argument if steps < 1.
+  static std::vector<double> linspace(double lo, double hi, int steps);
+
+  [[nodiscard]] const e2e::Scenario& base() const noexcept { return base_; }
+  /// Number of axes added so far.
+  [[nodiscard]] std::size_t axes() const noexcept { return axes_.size(); }
+  /// Value count of axis `a`.
+  [[nodiscard]] std::size_t axis_size(std::size_t a) const;
+  /// Name of axis `a` ("hops", "scheduler", ...), for logs.
+  [[nodiscard]] const std::string& axis_name(std::size_t a) const;
+  /// Total number of grid points (1 for a grid with no axes: the base).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// The fully resolved scenario of point `i` (row-major decode).
+  /// @throws std::out_of_range if i >= size().
+  [[nodiscard]] e2e::Scenario scenario_at(std::size_t i) const;
+  /// All scenarios, in input order.
+  [[nodiscard]] std::vector<e2e::Scenario> scenarios() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    // One mutator per axis value; applied to a copy of the base.
+    std::vector<std::function<void(e2e::Scenario&)>> values;
+  };
+
+  SweepGrid& add_axis(Axis axis);
+
+  e2e::Scenario base_;
+  std::vector<Axis> axes_;
+};
+
+/// One solved grid point.
+struct SweepPoint {
+  e2e::Scenario scenario;   ///< the fully resolved input scenario
+  e2e::BoundResult bound;   ///< delay_ms = +inf when unstable or failed
+  double solve_ms = 0.0;    ///< wall-clock of this solve (informational)
+  bool ok = true;           ///< false when the solve threw
+  std::string error;        ///< exception message when !ok
+};
+
+/// Results of one sweep, in input order.
+struct SweepReport {
+  std::vector<SweepPoint> points;
+  int threads = 1;          ///< worker count actually used
+  double wall_ms = 0.0;     ///< end-to-end wall clock of the sweep
+  double solve_ms = 0.0;    ///< sum of per-point solve times (~CPU time)
+
+  [[nodiscard]] std::size_t failures() const;    ///< points with !ok
+  [[nodiscard]] std::size_t unstable() const;    ///< ok but +inf bound
+
+  /// One row per point: index, H, scheduler, N0, Nc, U[%], eps,
+  /// delay[ms], gamma, s, delta, solve[ms], status.
+  [[nodiscard]] Table to_table(int precision = 3) const;
+  /// to_table() rendered as CSV.
+  void write_csv(std::ostream& os, int precision = 6) const;
+};
+
+/// Options for SweepRunner.
+struct SweepOptions {
+  /// Worker count; 0 = DELTANC_THREADS env or hardware_concurrency().
+  int threads = 0;
+  /// Solver method passed through to best_delay_bound.
+  e2e::Method method = e2e::Method::kExactOpt;
+  /// Per-point solver override (default: e2e::best_delay_bound).  Used
+  /// e.g. for the additive baseline (e2e::best_additive_bmux_bound).
+  std::function<e2e::BoundResult(const e2e::Scenario&, e2e::Method)> solver;
+  /// Called after each point completes with (done, total).  Invocations
+  /// are serialized under a mutex, so the callback need not be
+  /// thread-safe; `done` is strictly increasing from 1 to total.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Thread-pool-backed executor for scenario grids.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Solves every point of the grid; results in grid order.
+  [[nodiscard]] SweepReport run(const SweepGrid& grid) const;
+  /// Solves an explicit scenario list; results in list order.
+  [[nodiscard]] SweepReport run(std::span<const e2e::Scenario> scenarios) const;
+
+  /// The worker count run() will use for `n_tasks` tasks (never more
+  /// threads than tasks, never fewer than 1).
+  [[nodiscard]] int resolved_threads(std::size_t n_tasks) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace deltanc

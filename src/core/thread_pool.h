@@ -1,0 +1,108 @@
+// A small, reusable fixed-size thread pool -- the execution substrate of
+// the sweep engine (core/sweep.h) and of any future batch workload.
+//
+// Design: a single locked FIFO queue of type-erased tasks, a fixed set of
+// worker threads created in the constructor and joined in the destructor,
+// and a `wait_idle()` barrier that blocks until every task submitted so
+// far has *finished* (not merely been dequeued).  Tasks must not throw;
+// wrap fallible work in try/catch and record the failure in the result
+// slot instead (SweepRunner does exactly that).
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace deltanc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means `default_thread_count()`.
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// Enqueues one task.  Safe to call from any thread, including from
+  /// inside a running task.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    cv_work_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.  The pool
+  /// stays usable afterwards (submit/wait cycles can repeat).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The pool size used when none is requested: the DELTANC_THREADS
+  /// environment variable if set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (minimum 1).
+  static unsigned default_thread_count() {
+    if (const char* env = std::getenv("DELTANC_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--unfinished_ == 0) cv_idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t unfinished_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace deltanc

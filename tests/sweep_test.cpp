@@ -1,0 +1,342 @@
+// The parallel sweep engine (core/sweep.h) and its thread pool
+// (core/thread_pool.h): grid enumeration order, 1-thread vs N-thread
+// determinism, unstable/failing-point isolation, progress-callback
+// contract, and degenerate (empty / single-point) grids.
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/scenario.h"
+#include "core/thread_pool.h"
+
+namespace deltanc {
+namespace {
+
+// A grid small enough for test time but heterogeneous enough to catch
+// ordering bugs: 2 hops values x 3 schedulers x 2 cross loads = 12
+// points.  A loose epsilon keeps each solve fast.
+SweepGrid small_grid() {
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.hops_axis({2, 5})
+      .scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+                       e2e::Scheduler::kBmux})
+      .cross_utilization_axis({0.30, 0.60});
+  return grid;
+}
+
+TEST(SweepGridTest, SizeIsCrossProductAndNoAxesMeansBaseOnly) {
+  const SweepGrid grid = small_grid();
+  EXPECT_EQ(grid.axes(), 3u);
+  EXPECT_EQ(grid.axis_size(0), 2u);
+  EXPECT_EQ(grid.axis_size(1), 3u);
+  EXPECT_EQ(grid.axis_size(2), 2u);
+  EXPECT_EQ(grid.size(), 12u);
+
+  e2e::Scenario base;
+  base.hops = 7;
+  const SweepGrid trivial(base);
+  ASSERT_EQ(trivial.size(), 1u);
+  EXPECT_EQ(trivial.scenario_at(0).hops, 7);
+}
+
+TEST(SweepGridTest, EmptyAxisMakesGridEmpty) {
+  SweepGrid grid;
+  grid.hops_axis({});
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.scenarios().empty());
+  EXPECT_THROW((void)grid.scenario_at(0), std::out_of_range);
+}
+
+TEST(SweepGridTest, RowMajorOrderFirstAxisOutermost) {
+  const SweepGrid grid = small_grid();
+  // i = hops_index * 6 + scheduler_index * 2 + load_index.
+  const e2e::Scenario p0 = grid.scenario_at(0);
+  EXPECT_EQ(p0.hops, 2);
+  EXPECT_EQ(p0.scheduler, e2e::Scheduler::kEdf);
+  const e2e::Scenario p1 = grid.scenario_at(1);
+  EXPECT_EQ(p1.hops, 2);
+  EXPECT_EQ(p1.scheduler, e2e::Scheduler::kEdf);
+  EXPECT_GT(p1.n_cross, p0.n_cross);
+  const e2e::Scenario p2 = grid.scenario_at(2);
+  EXPECT_EQ(p2.scheduler, e2e::Scheduler::kFifo);
+  const e2e::Scenario p6 = grid.scenario_at(6);
+  EXPECT_EQ(p6.hops, 5);
+  EXPECT_EQ(p6.scheduler, e2e::Scheduler::kEdf);
+  // Axis values never leak between points.
+  EXPECT_EQ(grid.scenario_at(11).hops, 5);
+  EXPECT_EQ(grid.scenario_at(5).hops, 2);
+}
+
+TEST(SweepGridTest, UtilizationAxisMatchesScenarioBuilderConversion) {
+  e2e::Scenario base;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis({0.35});
+  // 0.35 * 100 Mbps / mean_rate, rounded -- same as ScenarioBuilder.
+  EXPECT_EQ(grid.scenario_at(0).n_cross, flows_for_utilization(base, 0.35));
+}
+
+TEST(SweepGridTest, LinspaceEndpointsAndSinglePoint) {
+  const auto v = SweepGrid::linspace(0.2, 0.95, 16);
+  ASSERT_EQ(v.size(), 16u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.2);
+  EXPECT_DOUBLE_EQ(v.back(), 0.95);
+  const auto one = SweepGrid::linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+  EXPECT_THROW((void)SweepGrid::linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(SweepGridTest, RejectsMalformedAxisValues) {
+  SweepGrid grid;
+  EXPECT_THROW(grid.hops_axis({0}), std::invalid_argument);
+  EXPECT_THROW(grid.epsilon_axis({0.0}), std::invalid_argument);
+  EXPECT_THROW(grid.through_flows_axis({0}), std::invalid_argument);
+  EXPECT_THROW(grid.cross_utilization_axis({-0.1}), std::invalid_argument);
+}
+
+TEST(SweepRunnerTest, OneThreadAndEightThreadsAreBitIdentical) {
+  const SweepGrid grid = small_grid();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 8;
+  const SweepReport a = SweepRunner(serial).run(grid);
+  const SweepReport b = SweepRunner(parallel).run(grid);
+  EXPECT_EQ(a.threads, 1);
+  EXPECT_EQ(b.threads, 8);
+  ASSERT_EQ(a.points.size(), grid.size());
+  ASSERT_EQ(b.points.size(), grid.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    SCOPED_TRACE(i);
+    // Bit-identical: each point is a pure function of its scenario.
+    EXPECT_EQ(a.points[i].bound.delay_ms, b.points[i].bound.delay_ms);
+    EXPECT_EQ(a.points[i].bound.gamma, b.points[i].bound.gamma);
+    EXPECT_EQ(a.points[i].bound.s, b.points[i].bound.s);
+    EXPECT_EQ(a.points[i].bound.sigma, b.points[i].bound.sigma);
+    EXPECT_EQ(a.points[i].bound.delta, b.points[i].bound.delta);
+    EXPECT_TRUE(a.points[i].ok);
+  }
+}
+
+TEST(SweepRunnerTest, Fig2GridIsBitIdenticalAcrossThreadCounts) {
+  // The actual Fig. 2 grid at H = 2 (16 total-utilization points x
+  // {EDF, FIFO, BMUX} at eps = 1e-9), the acceptance workload for the
+  // sweep engine's determinism guarantee.
+  std::vector<double> cross_utils;
+  for (int u_pct = 20; u_pct <= 95; u_pct += 5) {
+    cross_utils.push_back(u_pct / 100.0 - 0.15);
+  }
+  e2e::Scenario base;
+  base.hops = 2;
+  base.n_through = 100;
+  base.epsilon = 1e-9;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis(cross_utils)
+      .scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+                       e2e::Scheduler::kBmux});
+  ASSERT_EQ(grid.size(), 48u);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;  // whatever this machine offers
+  parallel.threads = static_cast<int>(ThreadPool::default_thread_count());
+  const SweepReport a = SweepRunner(serial).run(grid);
+  const SweepReport b = SweepRunner(parallel).run(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.points[i].bound.delay_ms, b.points[i].bound.delay_ms);
+    EXPECT_EQ(a.points[i].bound.gamma, b.points[i].bound.gamma);
+    EXPECT_EQ(a.points[i].bound.s, b.points[i].bound.s);
+    EXPECT_EQ(a.points[i].bound.sigma, b.points[i].bound.sigma);
+    EXPECT_EQ(a.points[i].bound.delta, b.points[i].bound.delta);
+  }
+}
+
+TEST(SweepRunnerTest, ResultsMatchDirectSolvesInInputOrder) {
+  const SweepGrid grid = small_grid();
+  SweepOptions opts;
+  opts.threads = 4;
+  const SweepReport report = SweepRunner(opts).run(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    const e2e::BoundResult direct = e2e::best_delay_bound(grid.scenario_at(i));
+    EXPECT_EQ(report.points[i].bound.delay_ms, direct.delay_ms);
+    EXPECT_EQ(report.points[i].scenario.hops, grid.scenario_at(i).hops);
+  }
+}
+
+TEST(SweepRunnerTest, UnstablePointsReportInfWithoutPoisoningNeighbors) {
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  // 1.2 total utilization is unstable; its neighbors are fine.
+  grid.cross_utilization_axis({0.30, 1.20, 0.40});
+  const SweepReport report = SweepRunner().run(grid);
+  ASSERT_EQ(report.points.size(), 3u);
+  EXPECT_TRUE(std::isfinite(report.points[0].bound.delay_ms));
+  EXPECT_TRUE(std::isinf(report.points[1].bound.delay_ms));
+  EXPECT_TRUE(report.points[1].ok);  // unstable is a result, not an error
+  EXPECT_TRUE(std::isfinite(report.points[2].bound.delay_ms));
+  EXPECT_EQ(report.unstable(), 1u);
+  EXPECT_EQ(report.failures(), 0u);
+}
+
+TEST(SweepRunnerTest, ThrowingSolverIsCapturedPerPoint) {
+  const SweepGrid grid = small_grid();
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.solver = [](const e2e::Scenario& sc, e2e::Method m) {
+    if (sc.scheduler == e2e::Scheduler::kFifo) {
+      throw std::runtime_error("synthetic failure");
+    }
+    return e2e::best_delay_bound(sc, m);
+  };
+  const SweepReport report = SweepRunner(opts).run(grid);
+  ASSERT_EQ(report.points.size(), 12u);
+  EXPECT_EQ(report.failures(), 4u);  // 2 hops x 2 loads with FIFO
+  for (const SweepPoint& p : report.points) {
+    if (p.scenario.scheduler == e2e::Scheduler::kFifo) {
+      EXPECT_FALSE(p.ok);
+      EXPECT_EQ(p.error, "synthetic failure");
+      EXPECT_TRUE(std::isinf(p.bound.delay_ms));
+    } else {
+      EXPECT_TRUE(p.ok);
+      EXPECT_TRUE(std::isfinite(p.bound.delay_ms));
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ProgressIsStrictlyIncreasingAndCompleteUnderThreads) {
+  const SweepGrid grid = small_grid();
+  SweepOptions opts;
+  opts.threads = 8;
+  std::vector<std::size_t> seen;
+  opts.progress = [&](std::size_t got_done, std::size_t total) {
+    EXPECT_EQ(total, 12u);
+    seen.push_back(got_done);
+  };
+  const SweepReport report = SweepRunner(opts).run(grid);
+  (void)report;
+  ASSERT_EQ(seen.size(), 12u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(SweepRunnerTest, EmptyAndSinglePointSweeps) {
+  SweepOptions opts;
+  std::size_t calls = 0;
+  opts.progress = [&](std::size_t, std::size_t) { ++calls; };
+  const SweepRunner runner(opts);
+
+  const SweepReport empty = runner.run(std::span<const e2e::Scenario>{});
+  EXPECT_TRUE(empty.points.empty());
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(empty.failures(), 0u);
+
+  SweepGrid empty_grid;
+  empty_grid.hops_axis({});
+  EXPECT_TRUE(runner.run(empty_grid).points.empty());
+
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  const SweepReport single = runner.run(SweepGrid(base));
+  ASSERT_EQ(single.points.size(), 1u);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(single.points[0].bound.delay_ms,
+            e2e::best_delay_bound(base).delay_ms);
+}
+
+TEST(SweepRunnerTest, ExplicitScenarioListKeepsListOrder) {
+  std::vector<e2e::Scenario> list(3);
+  list[0].hops = 1;
+  list[1].hops = 4;
+  list[2].hops = 2;
+  for (e2e::Scenario& sc : list) sc.epsilon = 1e-6;
+  SweepOptions opts;
+  opts.threads = 3;
+  const SweepReport report =
+      SweepRunner(opts).run(std::span<const e2e::Scenario>(list));
+  ASSERT_EQ(report.points.size(), 3u);
+  EXPECT_EQ(report.points[0].scenario.hops, 1);
+  EXPECT_EQ(report.points[1].scenario.hops, 4);
+  EXPECT_EQ(report.points[2].scenario.hops, 2);
+}
+
+TEST(SweepRunnerTest, ThreadResolutionClampsToTaskCount) {
+  SweepOptions opts;
+  opts.threads = 16;
+  const SweepRunner runner(opts);
+  EXPECT_EQ(runner.resolved_threads(4), 4);
+  EXPECT_EQ(runner.resolved_threads(100), 16);
+  EXPECT_EQ(runner.resolved_threads(0), 1);
+}
+
+TEST(SweepReportTest, TableAndCsvCarryOneRowPerPoint) {
+  const SweepGrid grid = small_grid();
+  const SweepReport report = SweepRunner().run(grid);
+  const Table table = report.to_table();
+  EXPECT_EQ(table.rows(), grid.size());
+  std::ostringstream csv;
+  report.write_csv(csv);
+  // Header + one line per point.
+  std::size_t lines = 0;
+  for (char c : csv.str()) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, grid.size() + 1);
+  EXPECT_NE(csv.str().find("delay [ms]"), std::string::npos);
+}
+
+TEST(SweepReportTest, TimingFieldsArePopulated) {
+  const SweepReport report = SweepRunner().run(small_grid());
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_GT(report.solve_ms, 0.0);
+  for (const SweepPoint& p : report.points) EXPECT_GE(p.solve_ms, 0.0);
+}
+
+TEST(SchedulerNameTest, RoundTripsAllSchedulers) {
+  for (e2e::Scheduler s :
+       {e2e::Scheduler::kFifo, e2e::Scheduler::kBmux, e2e::Scheduler::kSpHigh,
+        e2e::Scheduler::kEdf}) {
+    e2e::Scheduler parsed{};
+    ASSERT_TRUE(scheduler_from_name(scheduler_name(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  e2e::Scheduler unused{};
+  EXPECT_FALSE(scheduler_from_name("wfq", unused));
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasksAndIsReusable) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("DELTANC_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ::setenv("DELTANC_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ::unsetenv("DELTANC_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace deltanc

@@ -1,38 +1,68 @@
-// deltanc command-line interface: compute end-to-end delay bounds (and
-// optionally validate them by simulation) without writing any code.
+// deltanc command-line interface: compute end-to-end delay bounds
+// (optionally validate them by simulation), or fan a whole scenario grid
+// out across all cores with the sweep engine -- without writing code.
 //
 //   deltanc_cli --hops 5 --scheduler fifo --u0 0.15 --uc 0.35
 //   deltanc_cli --hops 10 --scheduler edf --edf-own 1 --edf-cross 10
 //               --epsilon 1e-9 --simulate 200000   (one line)
+//   deltanc_cli --u0 0.15 --sweep uc=0.05:0.80:16 --sweep scheduler=fifo,edf
+//   deltanc_cli --sweep hops=2,5,10 --threads 4 --csv
 //
-// Flags (all optional, defaults = the paper's Section-V setting):
-//   --capacity <Mbps>      link rate per node          (default 100)
-//   --hops <H>             path length                 (default 2)
-//   --n0 <count>           through flows               (default 100)
-//   --nc <count>           cross flows per node        (default 100)
-//   --u0 <frac>            through load (overrides --n0)
-//   --uc <frac>            cross load (overrides --nc)
-//   --epsilon <p>          violation probability       (default 1e-9)
-//   --scheduler <name>     fifo | bmux | sp-high | edf (default fifo)
-//   --edf-own/--edf-cross  EDF deadline factors        (default 1 / 10)
-//   --method <name>        exact | paper-k             (default exact)
-//   --additive             also print the additive per-node baseline
-//   --simulate <slots>     validate against a simulation of that length
+// Run with --help for the full flag reference (kept in sync with
+// README.md's flag table).  Unknown flags are rejected with a usage
+// error, and the resolved scenario (C/H/scheduler/U0/Uc/eps) is printed
+// before any results so logs are self-describing.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "core/scenario.h"
+#include "core/sweep.h"
 
 namespace {
 
+using namespace deltanc;
+
+constexpr const char* kUsage = R"(usage: deltanc_cli [flags]
+
+Scenario flags (defaults = the paper's Section-V setting):
+  --capacity <Mbps>      link rate per node          (default 100)
+  --hops <H>             path length                 (default 2)
+  --n0 <count>           through flows               (default 100)
+  --nc <count>           cross flows per node        (default 100)
+  --u0 <frac>            through load (overrides --n0)
+  --uc <frac>            cross load (overrides --nc)
+  --epsilon <p>          violation probability       (default 1e-9)
+  --scheduler <name>     fifo | bmux | sp-high | edf (default fifo)
+  --edf-own <f>          EDF own-deadline factor     (default 1)
+  --edf-cross <f>        EDF cross-deadline factor   (default 10)
+  --method <name>        exact | paper-k             (default exact)
+
+Single-point mode:
+  --additive             also print the additive per-node baseline
+  --report               print a full markdown report instead
+  --simulate <slots>     validate against a simulation of that length
+
+Sweep mode (repeatable; axes cross-multiply in the order given):
+  --sweep <axis>=<lo>:<hi>:<steps>   numeric axis, evenly spaced
+  --sweep <axis>=<v1>,<v2>,...       explicit values
+      axes: hops, u0, uc, epsilon, capacity, scheduler
+      (scheduler takes names: --sweep scheduler=fifo,bmux,edf)
+  --threads <n>          sweep workers (default: DELTANC_THREADS env or
+                         all cores); results are identical for any n
+  --csv                  print only the CSV of the sweep results
+
+  --help                 this text
+)";
+
 [[noreturn]] void usage_error(const std::string& message) {
-  std::fprintf(stderr, "deltanc_cli: %s\n(see the header of tools/deltanc_cli.cpp for flags)\n",
-               message.c_str());
+  std::fprintf(stderr, "deltanc_cli: %s\n%s", message.c_str(), kUsage);
   std::exit(2);
 }
 
@@ -45,18 +75,116 @@ double parse_double(const char* value, const char* flag) {
   return parsed;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+/// One --sweep flag: axis name + value list, applied to a SweepGrid.
+struct SweepAxisSpec {
+  std::string axis;
+  std::vector<double> numeric;
+  std::vector<e2e::Scheduler> schedulers;
+};
+
+SweepAxisSpec parse_sweep_spec(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    usage_error("bad --sweep spec '" + spec + "' (want axis=values)");
+  }
+  SweepAxisSpec out;
+  out.axis = spec.substr(0, eq);
+  const std::string values = spec.substr(eq + 1);
+
+  if (out.axis == "scheduler") {
+    for (const std::string& name : split(values, ',')) {
+      e2e::Scheduler s{};
+      if (!scheduler_from_name(name, s)) {
+        usage_error("unknown scheduler '" + name + "' in --sweep");
+      }
+      out.schedulers.push_back(s);
+    }
+    return out;
+  }
+  if (out.axis != "hops" && out.axis != "u0" && out.axis != "uc" &&
+      out.axis != "epsilon" && out.axis != "capacity") {
+    usage_error("unknown sweep axis '" + out.axis + "'");
+  }
+  if (values.find(':') != std::string::npos) {
+    const std::vector<std::string> parts = split(values, ':');
+    if (parts.size() != 3) {
+      usage_error("bad --sweep range '" + values + "' (want lo:hi:steps)");
+    }
+    const double lo = parse_double(parts[0].c_str(), "--sweep");
+    const double hi = parse_double(parts[1].c_str(), "--sweep");
+    const double steps = parse_double(parts[2].c_str(), "--sweep");
+    if (steps < 1 || steps != std::floor(steps)) {
+      usage_error("--sweep steps must be a positive integer");
+    }
+    out.numeric = SweepGrid::linspace(lo, hi, static_cast<int>(steps));
+  } else {
+    for (const std::string& v : split(values, ',')) {
+      out.numeric.push_back(parse_double(v.c_str(), "--sweep"));
+    }
+  }
+  return out;
+}
+
+void apply_axis(SweepGrid& grid, const SweepAxisSpec& spec) {
+  if (spec.axis == "scheduler") {
+    grid.scheduler_axis(spec.schedulers);
+  } else if (spec.axis == "hops") {
+    std::vector<int> hops;
+    for (double v : spec.numeric) {
+      hops.push_back(static_cast<int>(std::lround(v)));
+    }
+    grid.hops_axis(hops);
+  } else if (spec.axis == "u0") {
+    grid.through_utilization_axis(spec.numeric);
+  } else if (spec.axis == "uc") {
+    grid.cross_utilization_axis(spec.numeric);
+  } else if (spec.axis == "epsilon") {
+    grid.epsilon_axis(spec.numeric);
+  } else {  // capacity (parse_sweep_spec rejected everything else)
+    grid.capacity_axis(spec.numeric);
+  }
+}
+
+void print_scenario(const e2e::Scenario& sc, std::FILE* out = stdout) {
+  const double u0 = sc.n_through * sc.source.mean_rate() / sc.capacity;
+  const double uc = sc.n_cross * sc.source.mean_rate() / sc.capacity;
+  std::fprintf(out,
+               "scenario: C = %.1f Mbps, H = %d, scheduler = %s, "
+               "N0 = %d (U0 = %.1f%%), Nc = %d (Uc = %.1f%%), "
+               "U = %.1f%%, eps = %g",
+               sc.capacity, sc.hops, scheduler_name(sc.scheduler).c_str(),
+               sc.n_through, 100.0 * u0, sc.n_cross, 100.0 * uc,
+               100.0 * sc.utilization(), sc.epsilon);
+  if (sc.scheduler == e2e::Scheduler::kEdf) {
+    std::fprintf(out, ", edf = %g/%g", sc.edf.own_factor, sc.edf.cross_factor);
+  }
+  std::fprintf(out, "\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace deltanc;
-
   ScenarioBuilder builder;
   e2e::Method method = e2e::Method::kExactOpt;
   bool want_additive = false;
   bool want_report = false;
+  bool csv_only = false;
   long long simulate_slots = 0;
   double edf_own = 1.0, edf_cross = 10.0;
   bool scheduler_is_edf = false;
+  int threads = 0;
+  std::vector<SweepAxisSpec> sweep_axes;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -84,18 +212,12 @@ int main(int argc, char** argv) {
       edf_cross = parse_double(next(), "--edf-cross");
     } else if (flag == "--scheduler") {
       const std::string name = next();
-      if (name == "fifo") {
-        builder.scheduler(e2e::Scheduler::kFifo);
-      } else if (name == "bmux") {
-        builder.scheduler(e2e::Scheduler::kBmux);
-      } else if (name == "sp-high") {
-        builder.scheduler(e2e::Scheduler::kSpHigh);
-      } else if (name == "edf") {
-        builder.scheduler(e2e::Scheduler::kEdf);
-        scheduler_is_edf = true;
-      } else {
+      e2e::Scheduler s{};
+      if (!scheduler_from_name(name, s)) {
         usage_error("unknown scheduler '" + name + "'");
       }
+      builder.scheduler(s);
+      scheduler_is_edf = s == e2e::Scheduler::kEdf;
     } else if (flag == "--method") {
       const std::string name = next();
       if (name == "exact") {
@@ -109,9 +231,19 @@ int main(int argc, char** argv) {
       want_additive = true;
     } else if (flag == "--report") {
       want_report = true;
+    } else if (flag == "--csv") {
+      csv_only = true;
     } else if (flag == "--simulate") {
       simulate_slots =
           static_cast<long long>(parse_double(next(), "--simulate"));
+    } else if (flag == "--threads") {
+      threads = static_cast<int>(parse_double(next(), "--threads"));
+      if (threads < 1) usage_error("--threads must be >= 1");
+    } else if (flag == "--sweep") {
+      sweep_axes.push_back(parse_sweep_spec(next()));
+    } else if (flag == "--help" || flag == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -119,6 +251,49 @@ int main(int argc, char** argv) {
   if (scheduler_is_edf) builder.edf_deadlines(edf_own, edf_cross);
 
   const e2e::Scenario scenario = builder.build();
+
+  if (!sweep_axes.empty()) {
+    if (want_report || want_additive || simulate_slots > 0) {
+      usage_error("--sweep cannot be combined with --report / --additive / "
+                  "--simulate");
+    }
+    SweepGrid grid(scenario);
+    for (const SweepAxisSpec& spec : sweep_axes) apply_axis(grid, spec);
+
+    std::FILE* info = csv_only ? stderr : stdout;
+    std::fprintf(info, "base ");
+    print_scenario(scenario, info);
+    std::fprintf(info, "sweep: %zu points (", grid.size());
+    for (std::size_t a = 0; a < grid.axes(); ++a) {
+      std::fprintf(info, "%s%s:%zu", a ? " x " : "", grid.axis_name(a).c_str(),
+                   grid.axis_size(a));
+    }
+    std::fprintf(info, ")\n");
+
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.method = method;
+    opts.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\rsolving %zu/%zu", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+    const SweepReport report = SweepRunner(opts).run(grid);
+
+    if (csv_only) {
+      report.write_csv(std::cout);
+    } else {
+      report.to_table().print(std::cout);
+      std::printf("\ncsv:\n");
+      report.write_csv(std::cout);
+    }
+    std::fprintf(csv_only ? stderr : stdout,
+                 "sweep: %zu points in %.0f ms on %d thread(s); "
+                 "%zu unstable, %zu failed\n",
+                 report.points.size(), report.wall_ms, report.threads,
+                 report.unstable(), report.failures());
+    return report.failures() == 0 ? 0 : 1;
+  }
+
   if (want_report) {
     ReportOptions options;
     options.simulate_slots = simulate_slots;
@@ -127,11 +302,7 @@ int main(int argc, char** argv) {
   }
   const PathAnalyzer analyzer(scenario);
 
-  std::printf("scenario: C = %.1f Mbps, H = %d, N0 = %d, Nc = %d "
-              "(U = %.1f%%), eps = %g\n",
-              scenario.capacity, scenario.hops, scenario.n_through,
-              scenario.n_cross, 100.0 * scenario.utilization(),
-              scenario.epsilon);
+  print_scenario(scenario);
 
   const e2e::BoundResult bound = analyzer.bound(method);
   if (!std::isfinite(bound.delay_ms)) {
