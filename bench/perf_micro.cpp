@@ -102,13 +102,24 @@ void BM_SweepFig2Grid(benchmark::State& state) {
   SweepOptions opts;
   opts.threads = static_cast<int>(state.range(0));
   const SweepRunner runner(opts);
+  e2e::SolveStats last_stats{};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run(grid));
+    SweepReport report = runner.run(grid);
+    last_stats = report.stats;
+    benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(grid.size()));
   state.counters["threads"] =
       static_cast<double>(runner.resolved_threads(grid.size()));
+  // Algorithmic-work counters (per grid point, not per second): a jump in
+  // optimize_evals flags a search-strategy regression independent of the
+  // machine; eb_evals stays low because of the per-solve memo.
+  const double points = static_cast<double>(grid.size());
+  state.counters["optimize_evals_per_point"] =
+      static_cast<double>(last_stats.optimize_evals) / points;
+  state.counters["eb_evals_per_point"] =
+      static_cast<double>(last_stats.eb_evals) / points;
 }
 BENCHMARK(BM_SweepFig2Grid)
     ->Arg(1)

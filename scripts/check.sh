@@ -45,4 +45,34 @@ done
 ./build/tools/deltanc_cli --hops 2 > /dev/null
 ./build/tools/deltanc_cli --epsilon 1e-6 \
   --sweep uc=0.2:0.6:3 --sweep scheduler=fifo,edf --csv > /dev/null
+
+# --- Solver instrumentation guards ----------------------------------------
+# Smoke the Fig. 2 sweep benchmark in a short config (the full bench loop
+# above already ran it at default settings), then re-run the same grid via
+# the CLI with --stats and fail on eval-count regressions: a collapse of
+# the eb(s) memo (eb_evals creeping toward one per optimizer evaluation),
+# a blow-up of the nested search, or a diverging EDF fixed point.
+./build/bench/perf_micro --benchmark_filter='BM_SweepFig2Grid/1' \
+  --benchmark_min_time=0.1 > /dev/null
+stats_line=$(./build/tools/deltanc_cli --hops 5 --epsilon 1e-6 \
+  --sweep uc=0.1:0.8:8 --sweep scheduler=fifo,bmux,edf --stats --csv \
+  2>&1 >/dev/null | grep '^stats:')
+echo "$stats_line"
+echo "$stats_line" | awk '{
+  for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+  if (v["optimize_evals"] <= 0) {
+    print "FAIL: no stats reported"; exit 1
+  }
+  if (v["eb_evals"] * 10 > v["optimize_evals"]) {
+    print "FAIL: eb memoization regressed (eb_evals=" v["eb_evals"] \
+          ", optimize_evals=" v["optimize_evals"] ")"; exit 1
+  }
+  if (v["optimize_evals"] > 1200000) {
+    print "FAIL: solver eval count regressed (optimize_evals=" \
+          v["optimize_evals"] ", budget 1200000)"; exit 1
+  }
+  if (v["edf_converged"] != "yes") {
+    print "FAIL: EDF fixed point did not converge"; exit 1
+  }
+}'
 echo "ALL CHECKS PASSED"

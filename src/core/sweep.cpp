@@ -316,7 +316,10 @@ SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
   }
 
   report.wall_ms = ms_since(t0);
-  for (const SweepPoint& p : report.points) report.solve_ms += p.solve_ms;
+  for (const SweepPoint& p : report.points) {
+    report.solve_ms += p.solve_ms;
+    report.stats += p.bound.stats;
+  }
   return report;
 }
 

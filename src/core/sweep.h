@@ -105,6 +105,7 @@ struct SweepReport {
   int threads = 1;          ///< worker count actually used
   double wall_ms = 0.0;     ///< end-to-end wall clock of the sweep
   double solve_ms = 0.0;    ///< sum of per-point solve times (~CPU time)
+  e2e::SolveStats stats{};  ///< solver instrumentation summed over points
 
   [[nodiscard]] std::size_t failures() const;    ///< points with !ok
   [[nodiscard]] std::size_t unstable() const;    ///< ok but +inf bound

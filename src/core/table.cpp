@@ -24,6 +24,9 @@ void Table::add_row(std::vector<std::string> row) {
 }
 
 std::string Table::format(double value, int precision) {
+  // NaN fails every comparison, so the sign test below would mislabel it
+  // as "-inf"; name it explicitly.
+  if (std::isnan(value)) return "nan";
   if (!std::isfinite(value)) return value > 0 ? "inf" : "-inf";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;
@@ -60,10 +63,31 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+namespace {
+
+// RFC 4180: cells containing the separator, quotes or line breaks are
+// double-quoted, with embedded quotes doubled.  Numeric cells pass
+// through untouched, but free-text cells (e.g. sweep "error: ..." status
+// messages carrying an exception what()) must not corrupt the record.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted.push_back('"');
+  for (char ch : cell) {
+    if (ch == '"') quoted.push_back('"');
+    quoted.push_back(ch);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace
+
 void Table::print_csv(std::ostream& os) const {
   const auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      os << (c == 0 ? "" : ",") << cells[c];
+      os << (c == 0 ? "" : ",") << csv_escape(cells[c]);
     }
     os << '\n';
   };

@@ -27,10 +27,12 @@ class Table {
 
   /// Space-aligned, pipe-separated rendering.
   void print(std::ostream& os) const;
-  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  /// RFC-4180 CSV: cells containing commas, quotes or newlines (e.g.
+  /// error messages) are quoted with embedded quotes doubled.
   void print_csv(std::ostream& os) const;
 
-  /// Formats one double the same way add_row(label, values) does.
+  /// Formats one double the same way add_row(label, values) does
+  /// ("inf"/"-inf"/"nan" for non-finite values).
   static std::string format(double value, int precision = 2);
 
  private:

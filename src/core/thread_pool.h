@@ -67,11 +67,16 @@ class ThreadPool {
 
   /// The pool size used when none is requested: the DELTANC_THREADS
   /// environment variable if set to a positive integer, otherwise
-  /// std::thread::hardware_concurrency() (minimum 1).
+  /// std::thread::hardware_concurrency() (minimum 1).  The override must
+  /// be the *entire* value -- trailing garbage ("2x", "4 threads") is
+  /// rejected rather than silently parsed as its numeric prefix.
   static unsigned default_thread_count() {
     if (const char* env = std::getenv("DELTANC_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n > 0) return static_cast<unsigned>(n);
+      char* end = nullptr;
+      const long n = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && n > 0) {
+        return static_cast<unsigned>(n);
+      }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

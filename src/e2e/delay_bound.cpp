@@ -4,9 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
-
-#include "e2e/theta_solver.h"
 
 namespace deltanc::e2e {
 
@@ -15,6 +14,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 DelayResult optimize_delay(const PathParams& p, double gamma, double sigma) {
+  SolveWorkspace ws;
+  (void)optimize_delay(p, gamma, sigma, ws);
+  return std::move(ws.result);
+}
+
+const DelayResult& optimize_delay(const PathParams& p, double gamma,
+                                  double sigma, SolveWorkspace& ws) {
   p.validate();
   if (!(gamma > 0.0) || !(gamma < p.gamma_limit())) {
     throw std::invalid_argument(
@@ -25,13 +31,48 @@ DelayResult optimize_delay(const PathParams& p, double gamma, double sigma) {
     throw std::invalid_argument("optimize_delay: sigma must be >= 0");
   }
 
+  // Per-node constants of theta_h, computed once instead of inside every
+  // objective evaluation (theta_h re-derives and re-validates them per
+  // call; the expressions here are the same, so values are bit-identical).
+  const double rc = p.rho_cross + gamma;
+  const std::size_t hops = static_cast<std::size_t>(p.hops);
+  ws.node_cap.clear();
+  ws.node_slack.clear();
+  ws.node_cap.reserve(hops);
+  ws.node_slack.reserve(hops);
+  for (int h = 1; h <= p.hops; ++h) {
+    const double slack = p.capacity - p.rho_cross - h * gamma;
+    if (!(slack > 0.0)) {
+      throw std::invalid_argument(
+          "theta_h: stability requires C - rho_c - h*gamma > 0 (Eq. 32)");
+    }
+    ws.node_cap.push_back(p.capacity - (h - 1) * gamma);
+    ws.node_slack.push_back(slack);
+  }
+
+  // theta_h(X) from the cached constants -- the same case split, in the
+  // same arithmetic order, as theta_h in e2e/theta_solver.cpp.
+  const auto theta_at = [&](std::size_t h0, double x) -> double {
+    const double ch = ws.node_cap[h0];
+    if (p.delta > 0.0) {
+      const double theta_a = sigma / ws.node_slack[h0] - x;
+      if (theta_a <= 0.0) return 0.0;
+      if (theta_a <= p.delta) return theta_a;  // handles Delta = +inf (BMUX)
+      return (sigma + rc * (x + p.delta)) / ch - x;
+    }
+    const double bracket =
+        p.delta == -kInf ? 0.0 : std::max(0.0, x + p.delta);
+    return std::max(0.0, (sigma + rc * bracket) / ch - x);
+  };
+
   // Breakpoints of X -> theta_h(X): regime switches and zeros of each
   // theta_h.  Between consecutive candidates the objective is affine, so
   // the global optimum sits on a candidate.
-  std::vector<double> candidates{0.0};
-  for (int h = 1; h <= p.hops; ++h) {
-    const double ch = p.capacity - (h - 1) * gamma;
-    const double rc = p.rho_cross + gamma;
+  std::vector<double>& candidates = ws.candidates;
+  candidates.clear();
+  candidates.push_back(0.0);
+  for (std::size_t h0 = 0; h0 < hops; ++h0) {
+    const double ch = ws.node_cap[h0];
     const double slack = ch - rc;
     if (p.delta > 0.0) {
       candidates.push_back(sigma / slack);                    // theta_a = 0
@@ -52,7 +93,8 @@ DelayResult optimize_delay(const PathParams& p, double gamma, double sigma) {
   double best_f = kInf;
   for (double x : candidates) {
     if (!(x >= 0.0)) continue;
-    const double f = objective(p, gamma, sigma, x);
+    double f = x;
+    for (std::size_t h0 = 0; h0 < hops; ++h0) f += theta_at(h0, x);
     // Ties are broken toward larger X: the objective has flat stretches
     // (e.g. BMUX), and the all-theta-zero corner is the canonical optimum
     // the paper reports (Eq. 43).
@@ -62,12 +104,13 @@ DelayResult optimize_delay(const PathParams& p, double gamma, double sigma) {
     }
   }
 
-  DelayResult result;
+  DelayResult& result = ws.result;
   result.delay = best_f;
   result.x = best_x;
-  result.theta.reserve(static_cast<std::size_t>(p.hops));
-  for (int h = 1; h <= p.hops; ++h) {
-    result.theta.push_back(theta_h(p, gamma, sigma, h, best_x));
+  result.theta.clear();
+  result.theta.reserve(hops);
+  for (std::size_t h0 = 0; h0 < hops; ++h0) {
+    result.theta.push_back(theta_at(h0, best_x));
   }
   return result;
 }

@@ -19,6 +19,14 @@ namespace deltanc::e2e {
 [[nodiscard]] DelayResult optimize_delay(const PathParams& p, double gamma,
                                          double sigma);
 
+/// Allocation-free variant for hot paths: all buffers (breakpoint
+/// candidates, per-node constants, the theta vector of the result) live
+/// in `ws` and are reused across calls.  Bit-identical to the by-value
+/// overload.  The returned reference points into `ws` and is valid until
+/// the next call with the same workspace.
+const DelayResult& optimize_delay(const PathParams& p, double gamma,
+                                  double sigma, SolveWorkspace& ws);
+
 /// Blind multiplexing closed form (Eq. 43): d = sigma / (C - rho_c - H gamma).
 /// Requires p.delta = +infinity.
 [[nodiscard]] double bmux_delay(const PathParams& p, double gamma,

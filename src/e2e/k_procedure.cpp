@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "e2e/theta_solver.h"
 
@@ -67,11 +68,19 @@ int k_procedure_index(const PathParams& p, double gamma, double sigma) {
 
 DelayResult k_procedure_delay(const PathParams& p, double gamma,
                               double sigma) {
+  SolveWorkspace ws;
+  (void)k_procedure_delay(p, gamma, sigma, ws);
+  return std::move(ws.result);
+}
+
+const DelayResult& k_procedure_delay(const PathParams& p, double gamma,
+                                     double sigma, SolveWorkspace& ws) {
   const int k = k_procedure_index(p, gamma, sigma);
   const double x = std::max(0.0, x_for_k(p, gamma, sigma, k));
-  DelayResult result;
+  DelayResult& result = ws.result;
   result.x = x;
   result.delay = x;
+  result.theta.clear();
   result.theta.reserve(static_cast<std::size_t>(p.hops));
   for (int h = 1; h <= p.hops; ++h) {
     const double th = theta_h(p, gamma, sigma, h, x);

@@ -26,6 +26,11 @@ namespace deltanc::e2e {
 [[nodiscard]] DelayResult k_procedure_delay(const PathParams& p, double gamma,
                                             double sigma);
 
+/// Allocation-free variant (see optimize_delay's workspace overload):
+/// the result's theta buffer lives in `ws` and is reused across calls.
+const DelayResult& k_procedure_delay(const PathParams& p, double gamma,
+                                     double sigma, SolveWorkspace& ws);
+
 /// The K index selected by Eq. (40) (plus the theta > Delta side
 /// condition when Delta >= 0); exposed for tests and ablations.
 [[nodiscard]] int k_procedure_index(const PathParams& p, double gamma,

@@ -1,5 +1,6 @@
 #include "e2e/network_epsilon.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -40,6 +41,34 @@ double sigma_for_epsilon(const PathParams& p, double gamma, double epsilon) {
     throw std::invalid_argument("sigma_for_epsilon: need 0 < epsilon < 1");
   }
   return delay_violation_bound(p, gamma).sigma_for(epsilon);
+}
+
+SigmaForEpsilon::SigmaForEpsilon(const PathParams& p, double epsilon) {
+  p.validate();
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("sigma_for_epsilon: need 0 < epsilon < 1");
+  }
+  // The same sub-expressions, in the same order, as delay_violation_bound
+  // + ExpBound::sigma_for, so operator() reproduces them bit-for-bit.
+  const double h = static_cast<double>(p.hops);
+  alpha_ = p.alpha;
+  prefactor_ = p.m * (h + 1.0);
+  exponent_ = -2.0 * h / (h + 1.0);
+  decay_ = p.alpha / (h + 1.0);
+  epsilon_ = epsilon;
+}
+
+double SigmaForEpsilon::operator()(double gamma) const {
+  check_gamma(gamma);
+  const double q = std::exp(-alpha_ * gamma);
+  const double m = prefactor_ * std::pow(1.0 - q, exponent_);
+  if (!(m > 0.0) || !std::isfinite(m)) {
+    // ExpBound's constructor rejects an overflowed prefactor; keep the
+    // eager path's behaviour.
+    throw std::invalid_argument(
+        "sigma_for_epsilon: bounding-function prefactor overflow");
+  }
+  return std::max(0.0, std::log(m / epsilon_) / decay_);
 }
 
 nc::ExpBound network_service_bound_generic(

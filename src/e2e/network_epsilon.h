@@ -37,6 +37,28 @@ namespace deltanc::e2e {
 [[nodiscard]] double sigma_for_epsilon(const PathParams& p, double gamma,
                                        double epsilon);
 
+/// Hoisted evaluator of sigma_for_epsilon for fixed (p, epsilon): the
+/// gamma-independent parts (the M(H+1) prefactor, the (1-q) exponent and
+/// the decay rate) are computed once in the constructor, so the gamma
+/// inner loop of the parameter search pays one exp/pow/log per call.
+/// Evaluations are bit-identical to sigma_for_epsilon(p, gamma, epsilon).
+class SigmaForEpsilon {
+ public:
+  /// @throws std::invalid_argument unless p validates and 0 < eps < 1.
+  SigmaForEpsilon(const PathParams& p, double epsilon);
+
+  /// sigma(gamma).  @throws std::invalid_argument unless gamma > 0 or if
+  /// the prefactor overflows (matching the eager computation).
+  [[nodiscard]] double operator()(double gamma) const;
+
+ private:
+  double alpha_;      ///< p.alpha
+  double prefactor_;  ///< M (H+1)
+  double exponent_;   ///< -2H / (H+1)
+  double decay_;      ///< alpha / (H+1)
+  double epsilon_;
+};
+
 /// Generic construction of Eq. (31) from per-node bounding functions
 /// (heterogeneous networks): node h contributes its bound eps_h summed
 /// over the geometric gamma-tail, the last node contributes once, and the

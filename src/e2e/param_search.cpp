@@ -1,6 +1,7 @@
 #include "e2e/param_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -8,34 +9,107 @@
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
+#include "traffic/eb_memo.h"
 
 namespace deltanc::e2e {
+
+SolveStats& SolveStats::operator+=(const SolveStats& other) {
+  optimize_evals += other.optimize_evals;
+  eb_evals += other.eb_evals;
+  sigma_evals += other.sigma_evals;
+  edf_iterations += other.edf_iterations;
+  edf_converged = edf_converged && other.edf_converged;
+  scan_ms += other.scan_ms;
+  refine_ms += other.refine_ms;
+  return *this;
+}
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-PathParams make_params(const Scenario& sc, double s, double delta) {
-  const double eb = sc.source.effective_bandwidth(s);
-  return PathParams{sc.capacity,
-                    sc.hops,
-                    sc.n_through * eb,
-                    sc.n_cross * eb,
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void validate_scenario(const Scenario& sc) {
+  if (sc.hops < 1 || sc.n_through < 1 || sc.n_cross < 0 ||
+      !(sc.epsilon > 0.0 && sc.epsilon < 1.0)) {
+    throw std::invalid_argument("best_delay_bound: malformed scenario");
+  }
+}
+
+/// Largest s keeping n * eb(s) < C (the bisection behind max_stable_s),
+/// parameterized on the eb evaluator so the per-scenario SearchContext
+/// can route it through its memo.
+template <typename EbFn>
+double stable_s_limit(double n, double capacity, double mean_rate,
+                      double peak_rate, EbFn&& eb) {
+  if (n * mean_rate >= capacity) return 0.0;
+  if (n * peak_rate < capacity) return kInf;
+  double lo = 1e-9, hi = 1.0;
+  while (n * eb(hi) < capacity) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (n * eb(mid) < capacity) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Per-scenario state of the nested search, built once per solve instead
+/// of once per (s, gamma) evaluation: the effective-bandwidth memo, the
+/// reusable theta-solver workspace, the stability-limited s bracket, and
+/// the instrumentation counters.
+struct SearchContext {
+  SearchContext(const Scenario& sc_in, Method method_in)
+      : sc(sc_in), method(method_in), eb(sc_in.source) {
+    const double n = sc.n_through + sc.n_cross;
+    const double limit =
+        stable_s_limit(n, sc.capacity, sc.source.mean_rate(),
+                       sc.source.peak_rate(), [this](double s) { return eb(s); });
+    unstable = (limit == 0.0);
+    s_hi = (limit == kInf ? 64.0 : limit) * 0.999;
+  }
+
+  const Scenario& sc;
+  Method method;
+  traffic::EffectiveBandwidthMemo eb;
+  SolveWorkspace ws;
+  SolveStats stats;
+  double s_lo = 1e-4;
+  double s_hi = 0.0;
+  bool unstable = false;
+};
+
+PathParams params_at(SearchContext& ctx, double s, double delta) {
+  const double eb = ctx.eb(s);
+  return PathParams{ctx.sc.capacity,
+                    ctx.sc.hops,
+                    ctx.sc.n_through * eb,
+                    ctx.sc.n_cross * eb,
                     s,
                     1.0,
                     delta};
 }
 
-double delay_at(const Scenario& sc, double delta, Method method, double s,
-                double gamma) {
-  const PathParams p = make_params(sc, s, delta);
+/// Delay at one gamma for hoisted per-s invariants (p, sigma_of).
+double delay_at(SearchContext& ctx, const PathParams& p,
+                const SigmaForEpsilon& sigma_of, double gamma) {
   if (!(gamma > 0.0) || !(gamma < p.gamma_limit())) return kInf;
-  const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
-  switch (method) {
+  ++ctx.stats.sigma_evals;
+  const double sigma = sigma_of(gamma);
+  ++ctx.stats.optimize_evals;
+  switch (ctx.method) {
     case Method::kExactOpt:
-      return optimize_delay(p, gamma, sigma).delay;
+      return optimize_delay(p, gamma, sigma, ctx.ws).delay;
     case Method::kPaperK:
-      return k_procedure_delay(p, gamma, sigma).delay;
+      return k_procedure_delay(p, gamma, sigma, ctx.ws).delay;
   }
   return kInf;
 }
@@ -90,77 +164,99 @@ double minimize_scalar(F f, double lo, double hi, int scan_points,
   return best_v;
 }
 
-/// Best delay over gamma for fixed s; returns +inf when unstable.
-double best_over_gamma(const Scenario& sc, double delta, Method method,
-                       double s, double* best_gamma) {
-  const PathParams probe = make_params(sc, s, delta);
-  const double glim = probe.gamma_limit();
+/// Best delay over gamma for fixed s; returns +inf when unstable.  The
+/// gamma-independent invariants (PathParams from one eb(s) evaluation and
+/// the sigma(epsilon) prefactors) are computed here, once per s, instead
+/// of inside every evaluation of the inner golden-section search.
+double best_over_gamma(SearchContext& ctx, double delta, double s,
+                       double* best_gamma) {
+  const PathParams p = params_at(ctx, s, delta);
+  const double glim = p.gamma_limit();
   if (!(glim > 0.0)) return kInf;
+  const SigmaForEpsilon sigma_of(p, ctx.sc.epsilon);
   return minimize_scalar(
-      [&](double gamma) { return delay_at(sc, delta, method, s, gamma); },
+      [&](double gamma) { return delay_at(ctx, p, sigma_of, gamma); },
       1e-4 * glim, 0.9999 * glim, 24, 48, best_gamma);
+}
+
+/// One full (s, gamma) optimization at fixed delta.  When `warm` carries
+/// a finite previous optimum (EDF fixed point), the 29-point coarse scan
+/// over s is replaced by a single probe at the warm-started s; the golden
+/// refinement then re-localizes the optimum from there.
+BoundResult solve_for_delta(SearchContext& ctx, double delta,
+                            const BoundResult* warm) {
+  BoundResult result{kInf, 0.0, 0.0, 0.0, delta};
+  if (ctx.unstable) return result;  // unstable at any s
+  const double s_lo = ctx.s_lo;
+  const double s_hi = ctx.s_hi;
+
+  const int kScan = 28;
+  const double ratio = std::pow(s_hi / s_lo, 1.0 / kScan);
+  double best_s = s_lo;
+  double best_v = kInf;
+  const auto scan_t0 = Clock::now();
+  if (warm != nullptr && std::isfinite(warm->delay_ms) && warm->s > 0.0) {
+    const double s = std::clamp(warm->s, s_lo, s_hi);
+    best_v = best_over_gamma(ctx, delta, s, nullptr);
+    best_s = s;
+  }
+  if (best_v == kInf) {
+    // Coarse logarithmic scan over s (cold start, or warm probe missed).
+    for (int i = 0; i <= kScan; ++i) {
+      const double s = s_lo * std::pow(s_hi / s_lo,
+                                       static_cast<double>(i) / kScan);
+      const double v = best_over_gamma(ctx, delta, s, nullptr);
+      if (v < best_v) {
+        best_v = v;
+        best_s = s;
+      }
+    }
+  }
+  ctx.stats.scan_ms += ms_since(scan_t0);
+  if (best_v == kInf) return result;
+
+  const auto refine_t0 = Clock::now();
+  double refined_s = best_s;
+  const double refined_v = minimize_scalar(
+      [&](double s) { return best_over_gamma(ctx, delta, s, nullptr); },
+      std::max(s_lo, best_s / ratio), std::min(s_hi, best_s * ratio), 8, 32,
+      &refined_s);
+  // Keep the argmin over everything seen: the refinement's arithmetic
+  // grid need not revisit best_s exactly, so its optimum can come out
+  // worse than the scan's already-found value.
+  const double final_s = refined_v < best_v ? refined_s : best_s;
+
+  double gamma = 0.0;
+  result.delay_ms = best_over_gamma(ctx, delta, final_s, &gamma);
+  result.gamma = gamma;
+  result.s = final_s;
+  const PathParams p = params_at(ctx, final_s, delta);
+  result.sigma = SigmaForEpsilon(p, ctx.sc.epsilon)(gamma);
+  ctx.stats.refine_ms += ms_since(refine_t0);
+  return result;
+}
+
+/// Folds the context's counters into the outgoing result.
+BoundResult finish(SearchContext& ctx, BoundResult result) {
+  ctx.stats.eb_evals = ctx.eb.misses();
+  result.stats = ctx.stats;
+  return result;
 }
 
 }  // namespace
 
 double max_stable_s(const Scenario& sc) {
   const double n = sc.n_through + sc.n_cross;
-  if (n * sc.source.mean_rate() >= sc.capacity) return 0.0;
-  if (n * sc.source.peak_rate() < sc.capacity) return kInf;
-  double lo = 1e-9, hi = 1.0;
-  while (n * sc.source.effective_bandwidth(hi) < sc.capacity) hi *= 2.0;
-  for (int iter = 0; iter < 200; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (n * sc.source.effective_bandwidth(mid) < sc.capacity) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  return stable_s_limit(
+      n, sc.capacity, sc.source.mean_rate(), sc.source.peak_rate(),
+      [&](double s) { return sc.source.effective_bandwidth(s); });
 }
 
 BoundResult best_delay_bound_for_delta(const Scenario& sc, double delta,
                                        Method method) {
-  if (sc.hops < 1 || sc.n_through < 1 || sc.n_cross < 0 ||
-      !(sc.epsilon > 0.0 && sc.epsilon < 1.0)) {
-    throw std::invalid_argument("best_delay_bound: malformed scenario");
-  }
-  BoundResult result{kInf, 0.0, 0.0, 0.0, delta};
-  double s_hi = max_stable_s(sc);
-  if (s_hi == 0.0) return result;  // unstable at any s
-  if (s_hi == kInf) s_hi = 64.0;   // peak rate fits; cap the search
-  s_hi *= 0.999;
-  const double s_lo = 1e-4;
-
-  // Coarse logarithmic scan over s, then golden refinement.
-  const int kScan = 28;
-  double best_s = s_lo;
-  double best_v = kInf;
-  for (int i = 0; i <= kScan; ++i) {
-    const double s = s_lo * std::pow(s_hi / s_lo,
-                                     static_cast<double>(i) / kScan);
-    const double v = best_over_gamma(sc, delta, method, s, nullptr);
-    if (v < best_v) {
-      best_v = v;
-      best_s = s;
-    }
-  }
-  if (best_v == kInf) return result;
-  const double ratio = std::pow(s_hi / s_lo, 1.0 / kScan);
-  double refined_s = best_s;
-  minimize_scalar(
-      [&](double s) { return best_over_gamma(sc, delta, method, s, nullptr); },
-      std::max(s_lo, best_s / ratio), std::min(s_hi, best_s * ratio), 8, 32,
-      &refined_s);
-
-  double gamma = 0.0;
-  result.delay_ms = best_over_gamma(sc, delta, method, refined_s, &gamma);
-  result.gamma = gamma;
-  result.s = refined_s;
-  const PathParams p = make_params(sc, refined_s, delta);
-  result.sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
-  return result;
+  validate_scenario(sc);
+  SearchContext ctx(sc, method);
+  return finish(ctx, solve_for_delta(ctx, delta, nullptr));
 }
 
 BoundResult best_delay_bound(const Scenario& sc, Method method) {
@@ -176,26 +272,34 @@ BoundResult best_delay_bound(const Scenario& sc, Method method) {
   }
   // EDF: deadlines are multiples of d_e2e/H, so Delta = (own - cross) *
   // d_e2e / H depends on the bound itself.  Damped fixed point, seeded
-  // with the FIFO bound.
+  // with the FIFO bound; one shared context memoizes eb(s) across
+  // iterations and warm-starts each s scan from the previous iterate.
+  validate_scenario(sc);
+  SearchContext ctx(sc, method);
   const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
-  BoundResult seed = best_delay_bound_for_delta(sc, 0.0, method);
-  if (!std::isfinite(seed.delay_ms)) return seed;
-  double d = seed.delay_ms;
-  BoundResult result = seed;
+  BoundResult prev = solve_for_delta(ctx, 0.0, nullptr);
+  if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
+  double d = prev.delay_ms;
+  bool converged = false;
   for (int iter = 0; iter < 60; ++iter) {
+    ++ctx.stats.edf_iterations;
     const double delta = factor_gap * d / sc.hops;
-    result = best_delay_bound_for_delta(sc, delta, method);
-    if (!std::isfinite(result.delay_ms)) return result;
-    const double d_next = 0.5 * (d + result.delay_ms);
+    BoundResult cur = solve_for_delta(ctx, delta, &prev);
+    prev = cur;
+    if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
+    const double d_next = 0.5 * (d + prev.delay_ms);
     if (std::abs(d_next - d) <= 1e-7 * std::max(1.0, d)) {
       d = d_next;
+      converged = true;
       break;
     }
     d = d_next;
   }
-  result.delta = factor_gap * d / sc.hops;
-  result.delay_ms = d;
-  return result;
+  ctx.stats.edf_converged = converged;
+  // Re-solve once at the resolved Delta so the returned tuple (delay,
+  // gamma, s, sigma, delta) is self-consistent instead of mixing the
+  // damped average with parameters from an earlier iterate.
+  return finish(ctx, solve_for_delta(ctx, factor_gap * d / sc.hops, &prev));
 }
 
 }  // namespace deltanc::e2e

@@ -16,6 +16,8 @@
 // fixed-point iteration on Delta_{0,c} = d*_0 - d*_c.
 #pragma once
 
+#include <cstdint>
+
 #include "e2e/path_params.h"
 #include "traffic/mmoo.h"
 
@@ -60,6 +62,21 @@ enum class Method {
   kPaperK,    ///< the paper's K-procedure (e2e/k_procedure.h)
 };
 
+/// Instrumentation of one solve: how much work the nested search did and
+/// where the wall-clock went.  Counters aggregate across the EDF fixed
+/// point when one runs; `operator+=` lets sweeps aggregate across points.
+struct SolveStats {
+  std::int64_t optimize_evals = 0;  ///< theta optimizations (Eq. 39 / K-proc)
+  std::int64_t eb_evals = 0;        ///< distinct eb(s) computations (memo misses)
+  std::int64_t sigma_evals = 0;     ///< sigma(epsilon) evaluations (Eq. 34)
+  int edf_iterations = 0;           ///< EDF fixed-point iterations (0 otherwise)
+  bool edf_converged = true;        ///< false if the fixed point hit its cap
+  double scan_ms = 0.0;             ///< wall time in the coarse s scans
+  double refine_ms = 0.0;           ///< wall time in the golden refinements
+
+  SolveStats& operator+=(const SolveStats& other);
+};
+
 /// Result of the search; `delay_ms` is +infinity when the configuration
 /// is unstable (per-node load >= capacity).
 struct BoundResult {
@@ -68,6 +85,7 @@ struct BoundResult {
   double s;       ///< optimizing Chernoff parameter
   double sigma;   ///< sigma(epsilon) at the optimum
   double delta;   ///< resolved Delta_{0,c}
+  SolveStats stats{};  ///< instrumentation of this solve
 };
 
 /// Delay bound for a fixed, already-resolved Delta (no EDF fixed point).

@@ -48,4 +48,18 @@ struct DelayResult {
   std::vector<double> theta;  ///< theta_1 .. theta_H
 };
 
+/// Reusable buffers for the Eq. (39) optimizers.  The (s, gamma)
+/// parameter search evaluates `optimize_delay` / `k_procedure_delay`
+/// thousands of times per scenario; passing one workspace through those
+/// calls makes them allocation-free after the first call (every vector
+/// keeps its capacity).  A workspace carries no results across calls --
+/// each call overwrites it completely -- so a default-constructed one is
+/// always valid input.
+struct SolveWorkspace {
+  std::vector<double> candidates;  ///< breakpoint candidates of Eq. (39)
+  std::vector<double> node_cap;    ///< per-node C - (h-1) gamma
+  std::vector<double> node_slack;  ///< per-node C - rho_c - h gamma
+  DelayResult result;              ///< reused output slot (theta buffer)
+};
+
 }  // namespace deltanc::e2e

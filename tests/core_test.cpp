@@ -64,6 +64,28 @@ TEST(TableFormat, AlignedAndCsv) {
   EXPECT_EQ(Table::format(std::numeric_limits<double>::infinity()), "inf");
 }
 
+TEST(TableFormat, NonFiniteValuesAreNamedCorrectly) {
+  EXPECT_EQ(Table::format(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(Table::format(-std::numeric_limits<double>::infinity()), "-inf");
+  // Regression: NaN compares false against everything, so the old sign
+  // test printed it as "-inf".
+  EXPECT_EQ(Table::format(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(Table::format(-std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(TableFormat, CsvQuotesSeparatorsQuotesAndNewlines) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1.0"});
+  t.add_row({"with, comma", "a\"b"});
+  t.add_row({"multi\nline", "cr\rcell"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("plain,1.0\n"), std::string::npos);        // untouched
+  EXPECT_NE(text.find("\"with, comma\",\"a\"\"b\"\n"), std::string::npos);
+  EXPECT_NE(text.find("\"multi\nline\",\"cr\rcell\"\n"), std::string::npos);
+}
+
 TEST(PathAnalyzer, BoundMatchesDirectCall) {
   const e2e::Scenario sc = ScenarioBuilder()
                                .hops(3)

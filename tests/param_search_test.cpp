@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "e2e/additive_baseline.h"
+#include "e2e/delay_bound.h"
+#include "e2e/network_epsilon.h"
 
 namespace deltanc::e2e {
 namespace {
@@ -111,6 +114,141 @@ TEST(ParamSearch, EdfFixedPointIsSelfConsistent) {
   const BoundResult again =
       best_delay_bound_for_delta(sc, r.delta, Method::kExactOpt);
   EXPECT_NEAR(again.delay_ms, r.delay_ms, 5e-3 * r.delay_ms);
+}
+
+TEST(ParamSearch, BestForDeltaNeverWorseThanDenseScan) {
+  // Regression for the refinement bug: the final re-solve used to happen
+  // at the *refined* s even when the coarse scan had already found a
+  // better point, so the returned bound could exceed the scan optimum.
+  // A dense brute-force (s, gamma) grid built from the public primitives
+  // must never beat the search by more than grid resolution.
+  const Scenario sc = paper_scenario(3, 100, 200, Scheduler::kFifo);
+  for (double delta : {0.0, kInf, -kInf}) {
+    SCOPED_TRACE(delta);
+    const BoundResult r = best_delay_bound_for_delta(sc, delta,
+                                                     Method::kExactOpt);
+    ASSERT_TRUE(std::isfinite(r.delay_ms));
+    const double s_lo = 1e-4;
+    const double s_hi = max_stable_s(sc) * 0.999;
+    double dense_best = kInf;
+    for (int i = 0; i <= 160; ++i) {
+      const double s = s_lo * std::pow(s_hi / s_lo, i / 160.0);
+      const double eb = sc.source.effective_bandwidth(s);
+      const PathParams p{sc.capacity, sc.hops, sc.n_through * eb,
+                         sc.n_cross * eb, s, 1.0, delta};
+      const double glim = p.gamma_limit();
+      if (!(glim > 0.0)) continue;
+      for (int j = 1; j <= 120; ++j) {
+        const double gamma = glim * j / 121.0;
+        const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
+        dense_best = std::min(dense_best,
+                              optimize_delay(p, gamma, sigma).delay);
+      }
+    }
+    EXPECT_LE(r.delay_ms, dense_best * 1.001);
+    // The returned tuple is the point the search actually evaluated:
+    // re-solving at (s, gamma, sigma) reproduces delay_ms exactly.
+    const double eb = sc.source.effective_bandwidth(r.s);
+    const PathParams p{sc.capacity, sc.hops, sc.n_through * eb,
+                       sc.n_cross * eb, r.s, 1.0, delta};
+    EXPECT_EQ(sigma_for_epsilon(p, r.gamma, sc.epsilon), r.sigma);
+    EXPECT_EQ(optimize_delay(p, r.gamma, r.sigma).delay, r.delay_ms);
+  }
+}
+
+TEST(ParamSearch, EdfReturnsConsistentTuple) {
+  // Regression for the fixed-point bug: delay_ms used to be the damped
+  // average while gamma/s/sigma came from the last solve at a different
+  // Delta.  After the final re-solve, every field describes one solve.
+  const Scenario sc = paper_scenario(5, 150, 150, Scheduler::kEdf);
+  const BoundResult r = best_delay_bound(sc);
+  ASSERT_TRUE(std::isfinite(r.delay_ms));
+  EXPECT_TRUE(r.stats.edf_converged);
+  EXPECT_GT(r.stats.edf_iterations, 0);
+  const double eb = sc.source.effective_bandwidth(r.s);
+  const PathParams p{sc.capacity, sc.hops, sc.n_through * eb,
+                     sc.n_cross * eb, r.s, 1.0, r.delta};
+  EXPECT_EQ(sigma_for_epsilon(p, r.gamma, sc.epsilon), r.sigma);
+  EXPECT_EQ(optimize_delay(p, r.gamma, r.sigma).delay, r.delay_ms);
+  // And the resolved Delta agrees with the returned delay to the fixed
+  // point's own tolerance.
+  const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
+  EXPECT_NEAR(r.delta, factor_gap * r.delay_ms / sc.hops,
+              1e-5 * std::abs(r.delta));
+}
+
+TEST(ParamSearch, SolveStatsCountTheWork) {
+  const Scenario sc = paper_scenario(4, 100, 200, Scheduler::kFifo);
+  const BoundResult r = best_delay_bound(sc);
+  ASSERT_TRUE(std::isfinite(r.delay_ms));
+  EXPECT_GT(r.stats.optimize_evals, 0);
+  // One sigma evaluation per optimizer evaluation (both happen inside
+  // the gamma inner loop).
+  EXPECT_EQ(r.stats.sigma_evals, r.stats.optimize_evals);
+  // Memoization: distinct eb(s) computations are one-per-s-probe, far
+  // fewer than the per-gamma optimizer evaluations.
+  EXPECT_GT(r.stats.eb_evals, 0);
+  EXPECT_LT(r.stats.eb_evals * 10, r.stats.optimize_evals);
+  EXPECT_EQ(r.stats.edf_iterations, 0);  // no fixed point for FIFO
+  EXPECT_TRUE(r.stats.edf_converged);
+  EXPECT_GE(r.stats.scan_ms, 0.0);
+  EXPECT_GE(r.stats.refine_ms, 0.0);
+
+  SolveStats sum;
+  sum += r.stats;
+  sum += r.stats;
+  EXPECT_EQ(sum.optimize_evals, 2 * r.stats.optimize_evals);
+  EXPECT_EQ(sum.edf_iterations, 0);
+  EXPECT_TRUE(sum.edf_converged);
+}
+
+TEST(ParamSearch, Fig2NonEdfBoundsArePinned) {
+  // The exact doubles of the Fig. 2 (H = 5, eps = 1e-6) grid for the
+  // delta-independent schedulers, pinned bit-for-bit: the hot-path
+  // refactoring (workspace reuse, eb memoization, hoisted sigma) must
+  // not perturb any non-EDF result.  Regenerate only for an intentional
+  // algorithm change (print with %a).
+  struct Golden {
+    int n_cross;
+    Scheduler sched;
+    double delay_ms, gamma, s;
+  };
+  const Golden goldens[] = {
+      {67, Scheduler::kFifo, 0x1.6126458d64984p+4, 0x1.8ceaed36017b9p-1,
+       0x1.7f822a740c65ap-4},
+      {67, Scheduler::kBmux, 0x1.62f9aace0d634p+4, 0x1.73257fd5cbeb3p-1,
+       0x1.80af0e1516472p-4},
+      {67, Scheduler::kSpHigh, 0x1.a80e65f9ad2c8p+3, 0x1.7f877ff7d2f14p-1,
+       0x1.801e6bab8aa78p-4},
+      {202, Scheduler::kFifo, 0x1.184f61904a5b3p+6, 0x1.75cc06e469a8cp-1,
+       0x1.7afa88467c891p-5},
+      {202, Scheduler::kBmux, 0x1.1bf9a680e7466p+6, 0x1.35bbf06189289p-1,
+       0x1.78367fc1ae58fp-5},
+      {202, Scheduler::kSpHigh, 0x1.8b064d292a4p+4, 0x1.4e0269a4f6d63p-1,
+       0x1.b2412245fae83p-5},
+      {404, Scheduler::kFifo, 0x1.49503568d5f88p+8, 0x1.d911a18f66e76p-2,
+       0x1.5215bca99053ep-6},
+      {404, Scheduler::kBmux, 0x1.548cb87dd5bafp+8, 0x1.2372bd72b0a24p-2,
+       0x1.51150d427a48cp-6},
+      {404, Scheduler::kSpHigh, 0x1.113af9313e434p+6, 0x1.103e84dabccdap-2,
+       0x1.604ba6698ff01p-6},
+      {538, Scheduler::kFifo, 0x1.053936dc61ecp+11, 0x1.6b2a8a7ee6f0ep-5,
+       0x1.1968dc51fd566p-8},
+      {538, Scheduler::kBmux, 0x1.4cf730845299bp+11, 0x1.7220150ed15c7p-5,
+       0x1.19211a78e7816p-8},
+      {538, Scheduler::kSpHigh, 0x1.a25363d608cdcp+8, 0x1.657bb90fb379ep-5,
+       0x1.19a3740923946p-8},
+  };
+  for (const Golden& g : goldens) {
+    SCOPED_TRACE(testing::Message() << "Nc=" << g.n_cross << " sched="
+                                    << static_cast<int>(g.sched));
+    Scenario sc = paper_scenario(5, 100, g.n_cross, g.sched);
+    sc.epsilon = 1e-6;
+    const BoundResult r = best_delay_bound(sc);
+    EXPECT_EQ(r.delay_ms, g.delay_ms);
+    EXPECT_EQ(r.gamma, g.gamma);
+    EXPECT_EQ(r.s, g.s);
+  }
 }
 
 TEST(ParamSearch, PaperKMethodIsCloseToExact) {

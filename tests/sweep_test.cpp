@@ -292,6 +292,75 @@ TEST(SweepReportTest, TableAndCsvCarryOneRowPerPoint) {
   EXPECT_NE(csv.str().find("delay [ms]"), std::string::npos);
 }
 
+TEST(SweepReportTest, CsvQuotesErrorMessagesRfc4180) {
+  // A solver whose exception message contains the CSV separator, quotes
+  // and a newline: the emitted CSV must still parse into exactly one
+  // record of 13 fields per point.
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis({0.30, 0.40});
+  SweepOptions opts;
+  opts.solver = [](const e2e::Scenario& sc, e2e::Method) -> e2e::BoundResult {
+    (void)sc;
+    throw std::runtime_error("bad, \"worse\",\nworst");
+  };
+  const SweepReport report = SweepRunner(opts).run(grid);
+  ASSERT_EQ(report.failures(), 2u);
+  std::ostringstream csv;
+  report.write_csv(csv);
+  const std::string text = csv.str();
+
+  // Minimal RFC-4180 reader: split into records honoring quoted fields.
+  std::vector<std::vector<std::string>> records(1);
+  records.back().emplace_back();
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+        records.back().back().push_back('"');
+        ++i;
+      } else if (c == '"') {
+        in_quotes = false;
+      } else {
+        records.back().back().push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      records.back().emplace_back();
+    } else if (c == '\n') {
+      if (i + 1 < text.size()) records.emplace_back(1);
+    } else {
+      records.back().back().push_back(c);
+    }
+  }
+  EXPECT_FALSE(in_quotes);  // every quote closed
+  ASSERT_EQ(records.size(), 3u);  // header + 2 points
+  for (const auto& record : records) {
+    EXPECT_EQ(record.size(), 13u);
+  }
+  // The status field round-trips the exception text verbatim.
+  EXPECT_EQ(records[1].back(), "error: bad, \"worse\",\nworst");
+  EXPECT_EQ(records[2].back(), "error: bad, \"worse\",\nworst");
+}
+
+TEST(SweepReportTest, StatsAggregateAcrossPoints) {
+  const SweepGrid grid = small_grid();
+  const SweepReport report = SweepRunner().run(grid);
+  e2e::SolveStats expected;
+  for (const SweepPoint& p : report.points) expected += p.bound.stats;
+  EXPECT_EQ(report.stats.optimize_evals, expected.optimize_evals);
+  EXPECT_EQ(report.stats.eb_evals, expected.eb_evals);
+  EXPECT_EQ(report.stats.sigma_evals, expected.sigma_evals);
+  EXPECT_EQ(report.stats.edf_iterations, expected.edf_iterations);
+  EXPECT_GT(report.stats.optimize_evals, 0);
+  // The grid includes EDF points, so fixed-point iterations accumulate.
+  EXPECT_GT(report.stats.edf_iterations, 0);
+  EXPECT_TRUE(report.stats.edf_converged);
+}
+
 TEST(SweepReportTest, TimingFieldsArePopulated) {
   const SweepReport report = SweepRunner().run(small_grid());
   EXPECT_GT(report.wall_ms, 0.0);
@@ -336,6 +405,23 @@ TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
   ::unsetenv("DELTANC_THREADS");
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountRejectsTrailingGarbage) {
+  // strtol would happily parse "5x" as 5; the override must instead be
+  // ignored unless the whole value is a positive integer.
+  const unsigned hw_fallback = [] {
+    ::unsetenv("DELTANC_THREADS");
+    return ThreadPool::default_thread_count();
+  }();
+  for (const char* bad : {"5x", "2 threads", "1.5", "+", "-3", "0", ""}) {
+    SCOPED_TRACE(bad);
+    ::setenv("DELTANC_THREADS", bad, 1);
+    EXPECT_EQ(ThreadPool::default_thread_count(), hw_fallback);
+  }
+  ::setenv("DELTANC_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 7u);
+  ::unsetenv("DELTANC_THREADS");
 }
 
 }  // namespace

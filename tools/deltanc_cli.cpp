@@ -48,6 +48,9 @@ Single-point mode:
   --additive             also print the additive per-node baseline
   --report               print a full markdown report instead
   --simulate <slots>     validate against a simulation of that length
+  --stats                print solver instrumentation (eval counts, EDF
+                         iterations, stage timings); in sweep mode the
+                         counters are summed over all points
 
 Sweep mode (repeatable; axes cross-multiply in the order given):
   --sweep <axis>=<lo>:<hi>:<steps>   numeric axis, evenly spaced
@@ -172,6 +175,19 @@ void print_scenario(const e2e::Scenario& sc, std::FILE* out = stdout) {
   std::fprintf(out, "\n");
 }
 
+/// One machine-friendly key=value line (greppable by scripts/check.sh).
+void print_stats(const e2e::SolveStats& stats, std::FILE* out) {
+  std::fprintf(out,
+               "stats: optimize_evals=%lld eb_evals=%lld sigma_evals=%lld "
+               "edf_iterations=%d edf_converged=%s "
+               "scan_ms=%.2f refine_ms=%.2f\n",
+               static_cast<long long>(stats.optimize_evals),
+               static_cast<long long>(stats.eb_evals),
+               static_cast<long long>(stats.sigma_evals),
+               stats.edf_iterations, stats.edf_converged ? "yes" : "no",
+               stats.scan_ms, stats.refine_ms);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +195,7 @@ int main(int argc, char** argv) {
   e2e::Method method = e2e::Method::kExactOpt;
   bool want_additive = false;
   bool want_report = false;
+  bool want_stats = false;
   bool csv_only = false;
   long long simulate_slots = 0;
   double edf_own = 1.0, edf_cross = 10.0;
@@ -231,6 +248,8 @@ int main(int argc, char** argv) {
       want_additive = true;
     } else if (flag == "--report") {
       want_report = true;
+    } else if (flag == "--stats") {
+      want_stats = true;
     } else if (flag == "--csv") {
       csv_only = true;
     } else if (flag == "--simulate") {
@@ -291,6 +310,7 @@ int main(int argc, char** argv) {
                  "%zu unstable, %zu failed\n",
                  report.points.size(), report.wall_ms, report.threads,
                  report.unstable(), report.failures());
+    if (want_stats) print_stats(report.stats, csv_only ? stderr : stdout);
     return report.failures() == 0 ? 0 : 1;
   }
 
@@ -312,6 +332,7 @@ int main(int argc, char** argv) {
   std::printf("end-to-end delay bound: %.3f ms  "
               "(gamma = %.4f, s = %.4f, Delta = %g)\n",
               bound.delay_ms, bound.gamma, bound.s, bound.delta);
+  if (want_stats) print_stats(bound.stats, stdout);
 
   if (want_additive) {
     std::printf("additive per-node baseline (BMUX): %.3f ms\n",
