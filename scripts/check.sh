@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: configure, build (warnings-as-errors), run the test
 # suite, re-run it under ThreadSanitizer (the sweep engine is concurrent;
-# races must fail loudly), run every bench binary (several enforce
-# invariants via their exit codes), and smoke-test the examples and the
-# CLI (including the parallel sweep mode).
+# races must fail loudly) and under ASan+UBSan (memory and UB bugs in the
+# numeric hot path), run every bench binary (several enforce invariants
+# via their exit codes), smoke-test the examples and the CLI (including
+# the parallel sweep mode and the --selfcheck invariant battery), and
+# verify the multi-violation scenario validation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +31,24 @@ else
   echo "WARNING: ThreadSanitizer unavailable (no libtsan?); skipping race check" >&2
 fi
 
+# --- Address + UndefinedBehavior Sanitizer pass ---------------------------
+# Memory- and UB-checks the whole suite (the solver leans on aggressive
+# floating-point reasoning; out-of-domain arithmetic must fail loudly).
+# Gated on sanitizer availability like the TSan pass above.
+if echo 'int main(){return 0;}' | c++ -fsanitize=address,undefined -x c++ - \
+     -o /tmp/deltanc_asan_probe 2>/dev/null; then
+  rm -f /tmp/deltanc_asan_probe
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure
+else
+  echo "WARNING: ASan/UBSan unavailable; skipping memory/UB check" >&2
+fi
+
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "===== $b ====="
@@ -45,6 +65,24 @@ done
 ./build/tools/deltanc_cli --hops 2 > /dev/null
 ./build/tools/deltanc_cli --epsilon 1e-6 \
   --sweep uc=0.2:0.6:3 --sweep scheduler=fifo,edf --csv > /dev/null
+
+# Invariant self-check over the full Fig. 2-4 operating grids: scheduler
+# ordering, monotonicity in H/U/eps, exact-vs-paper-K agreement,
+# finiteness.  Exit code 1 on any violated invariant.
+./build/tools/deltanc_cli --selfcheck
+
+# A deliberately invalid scenario must be rejected with exit code 2 and a
+# message naming every bad field (multi-violation validation).
+set +e
+./build/tools/deltanc_cli --capacity -5 --hops 0 2>/tmp/deltanc_invalid_err
+invalid_rc=$?
+set -e
+if [ "$invalid_rc" -ne 2 ]; then
+  echo "FAIL: invalid scenario exited $invalid_rc (want 2)"; exit 1
+fi
+grep -q "capacity" /tmp/deltanc_invalid_err
+grep -q "hops" /tmp/deltanc_invalid_err
+rm -f /tmp/deltanc_invalid_err
 
 # --- Solver instrumentation guards ----------------------------------------
 # Smoke the Fig. 2 sweep benchmark in a short config (the full bench loop

@@ -1,0 +1,63 @@
+#include "core/diagnostics.h"
+
+namespace deltanc::diag {
+
+namespace {
+
+std::size_t kind_index(SolveErrorKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+void ErrorCounts::record(const Diagnostics& d) {
+  if (d.error != SolveErrorKind::kNone) ++errors[kind_index(d.error)];
+  for (const Warning& w : d.warnings) ++warnings[kind_index(w.kind)];
+}
+
+void ErrorCounts::record_error(SolveErrorKind kind) {
+  if (kind != SolveErrorKind::kNone) ++errors[kind_index(kind)];
+}
+
+std::size_t ErrorCounts::total_errors() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < kSolveErrorKinds; ++i) n += errors[i];
+  return n;
+}
+
+std::size_t ErrorCounts::total_warnings() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < kSolveErrorKinds; ++i) n += warnings[i];
+  return n;
+}
+
+std::string ErrorCounts::summary() const {
+  std::string out;
+  const auto append = [&out](const char* name, const char* tag,
+                             std::size_t count) {
+    if (count == 0) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += tag;
+    out += '=';
+    out += std::to_string(count);
+  };
+  for (std::size_t i = 1; i < kSolveErrorKinds; ++i) {
+    append(solve_error_name(static_cast<SolveErrorKind>(i)), "", errors[i]);
+  }
+  for (std::size_t i = 1; i < kSolveErrorKinds; ++i) {
+    append(solve_error_name(static_cast<SolveErrorKind>(i)), "(warn)",
+           warnings[i]);
+  }
+  return out;
+}
+
+ErrorCounts& ErrorCounts::operator+=(const ErrorCounts& other) noexcept {
+  for (std::size_t i = 0; i < kSolveErrorKinds; ++i) {
+    errors[i] += other.errors[i];
+    warnings[i] += other.warnings[i];
+  }
+  return *this;
+}
+
+}  // namespace deltanc::diag

@@ -2,27 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace deltanc {
 
 int flows_for_utilization(const e2e::Scenario& sc, double u) {
-  if (!(u >= 0.0)) {
-    throw std::invalid_argument("flows_for_utilization: utilization >= 0");
+  if (!std::isfinite(u) || !(u >= 0.0)) {
+    throw std::invalid_argument(
+        "flows_for_utilization: utilization must be finite and >= 0");
   }
-  return static_cast<int>(std::lround(u * sc.capacity / sc.source.mean_rate()));
+  const double flows = std::round(u * sc.capacity / sc.source.mean_rate());
+  if (!(flows <= static_cast<double>(std::numeric_limits<int>::max()))) {
+    throw std::invalid_argument(
+        "flows_for_utilization: utilization resolves to more flows than "
+        "an int can hold");
+  }
+  return static_cast<int>(flows);
 }
 
 ScenarioBuilder& ScenarioBuilder::capacity_mbps(double c) {
-  if (!(c > 0.0)) {
-    throw std::invalid_argument("ScenarioBuilder: capacity must be > 0");
-  }
   sc_.capacity = c;
   return *this;
 }
 
 ScenarioBuilder& ScenarioBuilder::hops(int h) {
-  if (h < 1) throw std::invalid_argument("ScenarioBuilder: hops must be >= 1");
   sc_.hops = h;
   return *this;
 }
@@ -33,17 +37,11 @@ ScenarioBuilder& ScenarioBuilder::source(const traffic::MmooSource& src) {
 }
 
 ScenarioBuilder& ScenarioBuilder::through_flows(int n) {
-  if (n < 1) {
-    throw std::invalid_argument("ScenarioBuilder: need >= 1 through flow");
-  }
   sc_.n_through = n;
   return *this;
 }
 
 ScenarioBuilder& ScenarioBuilder::cross_flows(int n) {
-  if (n < 0) {
-    throw std::invalid_argument("ScenarioBuilder: cross flows must be >= 0");
-  }
   sc_.n_cross = n;
   return *this;
 }
@@ -63,9 +61,6 @@ ScenarioBuilder& ScenarioBuilder::cross_utilization(double u) {
 }
 
 ScenarioBuilder& ScenarioBuilder::violation_probability(double eps) {
-  if (!(eps > 0.0 && eps < 1.0)) {
-    throw std::invalid_argument("ScenarioBuilder: need 0 < epsilon < 1");
-  }
   sc_.epsilon = eps;
   return *this;
 }
@@ -77,15 +72,18 @@ ScenarioBuilder& ScenarioBuilder::scheduler(e2e::Scheduler s) {
 
 ScenarioBuilder& ScenarioBuilder::edf_deadlines(double own_factor,
                                                 double cross_factor) {
-  if (!(own_factor > 0.0) || !(cross_factor > 0.0)) {
-    throw std::invalid_argument(
-        "ScenarioBuilder: EDF deadline factors must be > 0");
-  }
   sc_.edf.own_factor = own_factor;
   sc_.edf.cross_factor = cross_factor;
   return *this;
 }
 
-e2e::Scenario ScenarioBuilder::build() const { return sc_; }
+diag::ValidationReport ScenarioBuilder::validate() const {
+  return sc_.validate();
+}
+
+e2e::Scenario ScenarioBuilder::build() const {
+  sc_.validate().throw_if_invalid("ScenarioBuilder");
+  return sc_;
+}
 
 }  // namespace deltanc

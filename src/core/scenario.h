@@ -12,10 +12,14 @@ namespace deltanc {
 /// scenario's capacity (rounded to whole flows; may be 0).  Shared by
 /// ScenarioBuilder and the sweep axes (core/sweep.h) so both resolve
 /// utilizations identically.
-/// @throws std::invalid_argument unless u >= 0.
+/// @throws std::invalid_argument unless u is finite, >= 0, and resolves
+/// to a flow count an int can represent.
 [[nodiscard]] int flows_for_utilization(const e2e::Scenario& sc, double u);
 
 /// Builds an e2e::Scenario step by step.  All setters return *this.
+/// Setters only store; validation happens in one pass at build() (or on
+/// demand via validate()), so an error message names *every* bad field
+/// rather than the first one touched.
 ///
 /// Example (the paper's Fig. 2 operating point at U = 50%, H = 5):
 ///
@@ -44,7 +48,11 @@ class ScenarioBuilder {
   /// EDF deadline factors: d*_0 = own * d_e2e/H, d*_c = cross * d_e2e/H.
   ScenarioBuilder& edf_deadlines(double own_factor, double cross_factor);
 
-  /// @throws std::invalid_argument if the configuration is malformed.
+  /// All violations of the current configuration (none when valid).
+  [[nodiscard]] diag::ValidationReport validate() const;
+
+  /// @throws std::invalid_argument if the configuration is malformed; the
+  /// message names every violated field, not just the first.
   [[nodiscard]] e2e::Scenario build() const;
 
  private:

@@ -1,0 +1,379 @@
+#include "core/selfcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "core/scenario.h"
+
+namespace deltanc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// Short human-readable identification of a scenario for issue messages.
+std::string describe(const e2e::Scenario& sc) {
+  std::string out = "H=" + std::to_string(sc.hops) +
+                    " sched=" + scheduler_name(sc.scheduler);
+  if (sc.scheduler == e2e::Scheduler::kEdf) {
+    out += "(" + fmt(sc.edf.own_factor) + "," + fmt(sc.edf.cross_factor) + ")";
+  }
+  out += " N0=" + std::to_string(sc.n_through) +
+         " Nc=" + std::to_string(sc.n_cross) + " C=" + fmt(sc.capacity) +
+         " eps=" + fmt(sc.epsilon) + " U=" + fmt(100.0 * sc.utilization()) +
+         "%";
+  return out;
+}
+
+/// Key of everything *except* the scheduler and deadlines: scenarios
+/// sharing a key differ only in Delta, so their bounds must be ordered.
+std::string group_key(const e2e::Scenario& sc) {
+  char buf[200];
+  std::snprintf(buf, sizeof buf, "%a|%d|%d|%d|%a|%a|%a", sc.capacity, sc.hops,
+                sc.n_through, sc.n_cross, sc.epsilon, sc.source.mean_rate(),
+                sc.source.peak_rate());
+  return buf;
+}
+
+/// Direction of the delay bound along a sweep axis: +1 = non-decreasing,
+/// -1 = non-increasing, 0 = no theory-known direction (scheduler, edf).
+int axis_direction(const std::string& name) {
+  if (name == "hops" || name == "n0" || name == "nc" || name == "u0" ||
+      name == "uc") {
+    return +1;
+  }
+  if (name == "epsilon" || name == "capacity") return -1;
+  return 0;
+}
+
+struct Checker {
+  const SelfCheckOptions& opt;
+  SelfCheckReport report;
+
+  void issue(const char* check, std::string detail) {
+    report.issues.push_back(SelfCheckIssue{check, std::move(detail)});
+  }
+
+  /// `lo` must not exceed `hi` by more than the relative tolerance; +inf
+  /// on the `hi` side always passes, +inf on the `lo` side only against
+  /// +inf.  Returns false on violation.
+  [[nodiscard]] static bool ordered(double lo, double hi, double tol) {
+    if (lo == kInf) return hi == kInf;
+    if (hi == kInf) return true;
+    return hi >= lo - tol * std::max(lo, 1.0);
+  }
+
+  void check_point(const SweepPoint& p, bool default_solver) {
+    const double delay = p.bound.delay_ms;
+    ++report.checks;
+    if (!p.ok) {
+      issue("solve", "solver failed (" + p.error + ") for " +
+                         describe(p.scenario));
+      return;
+    }
+    if (std::isnan(delay) || std::isnan(p.bound.gamma) ||
+        std::isnan(p.bound.s) || std::isnan(p.bound.sigma) ||
+        std::isnan(p.bound.delta)) {
+      issue("finiteness", "NaN in result tuple for " + describe(p.scenario));
+      return;
+    }
+    const double u = p.scenario.utilization();
+    ++report.checks;
+    if (u >= 1.0 && delay != kInf) {
+      issue("finiteness", "finite bound " + fmt(delay) +
+                              " ms despite utilization >= 1 for " +
+                              describe(p.scenario));
+    }
+    if (std::isfinite(delay)) {
+      ++report.checks;
+      if (!(delay >= 0.0) || !(p.bound.s > 0.0) ||
+          !std::isfinite(p.bound.gamma) || !std::isfinite(p.bound.sigma)) {
+        issue("finiteness",
+              "malformed optimum (delay=" + fmt(delay) +
+                  ", gamma=" + fmt(p.bound.gamma) + ", s=" + fmt(p.bound.s) +
+                  ", sigma=" + fmt(p.bound.sigma) + ") for " +
+                  describe(p.scenario));
+      }
+    } else if (default_solver) {
+      // Every +inf from the built-in solver must be classified: unstable
+      // load or an (explicitly recorded) empty numerical domain.
+      ++report.checks;
+      if (p.bound.diagnostics.ok()) {
+        issue("classification", "unclassified +inf bound for " +
+                                    describe(p.scenario));
+      }
+    }
+  }
+
+  /// Delta-ordering within groups of points differing only in
+  /// scheduler/deadlines: delays sorted by resolved Delta must be
+  /// non-decreasing (SP-high <= EDF <= FIFO <= BMUX and the Fig. 3 EDF
+  /// variants in deadline order).
+  void check_ordering(const std::vector<SweepPoint>& points) {
+    struct Entry {
+      double delta, delay;
+      const e2e::Scenario* sc;
+    };
+    std::map<std::string, std::vector<Entry>> groups;
+    for (const SweepPoint& p : points) {
+      if (!p.ok || std::isnan(p.bound.delay_ms)) continue;
+      groups[group_key(p.scenario)].push_back(
+          Entry{p.bound.delta, p.bound.delay_ms, &p.scenario});
+    }
+    for (auto& [key, entries] : groups) {
+      (void)key;
+      if (entries.size() < 2) continue;
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.delta != b.delta) return a.delta < b.delta;
+                  return a.delay < b.delay;
+                });
+      for (std::size_t i = 1; i < entries.size(); ++i) {
+        const Entry& lo = entries[i - 1];
+        const Entry& hi = entries[i];
+        ++report.checks;
+        if (!ordered(lo.delay, hi.delay, opt.ordering_tol)) {
+          issue("ordering",
+                describe(*hi.sc) + " (Delta=" + fmt(hi.delta) + ") bound " +
+                    fmt(hi.delay) + " ms undercuts " + describe(*lo.sc) +
+                    " (Delta=" + fmt(lo.delta) + ") bound " + fmt(lo.delay) +
+                    " ms");
+        }
+      }
+    }
+  }
+
+  /// Monotonicity along every grid axis with a known direction, walking
+  /// each grid line via the row-major strides of SweepGrid.
+  void check_monotonicity(const SweepGrid& grid,
+                          const std::vector<SweepPoint>& points) {
+    const std::size_t n = points.size();
+    for (std::size_t a = 0; a < grid.axes(); ++a) {
+      const int dir = axis_direction(grid.axis_name(a));
+      const std::size_t m = grid.axis_size(a);
+      if (dir == 0 || m < 2) continue;
+      std::size_t stride = 1;
+      for (std::size_t b = a + 1; b < grid.axes(); ++b) {
+        stride *= grid.axis_size(b);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((i / stride) % m != 0) continue;  // not the start of a line
+        for (std::size_t j = 1; j < m; ++j) {
+          const SweepPoint& prev = points[i + (j - 1) * stride];
+          const SweepPoint& cur = points[i + j * stride];
+          if (!prev.ok || !cur.ok) continue;
+          const double lo =
+              dir > 0 ? prev.bound.delay_ms : cur.bound.delay_ms;
+          const double hi =
+              dir > 0 ? cur.bound.delay_ms : prev.bound.delay_ms;
+          ++report.checks;
+          if (!ordered(lo, hi, opt.monotonicity_tol)) {
+            issue("monotonicity",
+                  "delay not " +
+                      std::string(dir > 0 ? "non-decreasing"
+                                          : "non-increasing") +
+                      " along axis '" + grid.axis_name(a) + "': " +
+                      fmt(prev.bound.delay_ms) + " ms at " +
+                      describe(prev.scenario) + " vs " +
+                      fmt(cur.bound.delay_ms) + " ms at " +
+                      describe(cur.scenario));
+          }
+        }
+      }
+    }
+  }
+
+  /// kExactOpt <= kPaperK (the K-procedure restricts the search) and
+  /// kPaperK within method_tol of kExactOpt; finiteness must agree.
+  void check_methods(const std::vector<SweepPoint>& exact,
+                     const std::vector<SweepPoint>& paperk) {
+    for (std::size_t i = 0; i < exact.size() && i < paperk.size(); ++i) {
+      if (!exact[i].ok || !paperk[i].ok) continue;
+      const double de = exact[i].bound.delay_ms;
+      const double dk = paperk[i].bound.delay_ms;
+      if (std::isnan(de) || std::isnan(dk)) continue;  // flagged already
+      ++report.checks;
+      if ((de == kInf) != (dk == kInf)) {
+        issue("method-agreement",
+              "finiteness mismatch (exact=" + fmt(de) + " ms, paper-K=" +
+                  fmt(dk) + " ms) for " + describe(exact[i].scenario));
+        continue;
+      }
+      if (de == kInf) continue;
+      if (!ordered(de, dk, opt.ordering_tol)) {
+        issue("method-agreement",
+              "paper-K bound " + fmt(dk) + " ms undercuts exact bound " +
+                  fmt(de) + " ms for " + describe(exact[i].scenario));
+      } else if (exact[i].bound.delta >= 0.0 &&
+                 dk > de * (1.0 + opt.method_tol)) {
+        // The two-sided agreement only holds where the K-procedure is
+        // near-optimal.  For Delta < 0 the paper's K = 0 rule (Eq. 42)
+        // overshoots by design (see bench/ablation_k_procedure.cpp), so
+        // only the one-sided exact <= paper-K invariant applies there.
+        issue("method-agreement",
+              "paper-K bound " + fmt(dk) + " ms exceeds exact bound " +
+                  fmt(de) + " ms by more than " +
+                  fmt(100.0 * opt.method_tol) + "% for " +
+                  describe(exact[i].scenario));
+      }
+    }
+  }
+};
+
+SweepReport solve_all(std::span<const e2e::Scenario> scenarios,
+                      const SelfCheckOptions& options, e2e::Method method) {
+  SweepOptions so;
+  so.threads = options.threads;
+  so.method = method;
+  so.solver = options.solver;
+  return SweepRunner(so).run(scenarios);
+}
+
+/// Shared backend of all self_check overloads: solve once, run the point
+/// and ordering checks, then the grid-only and method checks.
+SelfCheckReport run_checks(std::span<const e2e::Scenario> scenarios,
+                           const SelfCheckOptions& options,
+                           const SweepGrid* grid) {
+  Checker checker{options, {}};
+  const SweepReport primary = solve_all(scenarios, options, options.method);
+  checker.report.points = primary.points.size();
+  for (const SweepPoint& p : primary.points) {
+    checker.check_point(p, !options.solver);
+  }
+  checker.check_ordering(primary.points);
+  if (grid != nullptr) checker.check_monotonicity(*grid, primary.points);
+  if (options.check_methods && !options.solver) {
+    const e2e::Method other = options.method == e2e::Method::kExactOpt
+                                  ? e2e::Method::kPaperK
+                                  : e2e::Method::kExactOpt;
+    const SweepReport secondary = solve_all(scenarios, options, other);
+    checker.report.points += secondary.points.size();
+    const bool primary_is_exact = options.method == e2e::Method::kExactOpt;
+    checker.check_methods(
+        primary_is_exact ? primary.points : secondary.points,
+        primary_is_exact ? secondary.points : primary.points);
+  }
+  return std::move(checker.report);
+}
+
+}  // namespace
+
+std::string SelfCheckReport::summary() const {
+  return std::to_string(points) + " points, " + std::to_string(checks) +
+         " checks, " + std::to_string(issues.size()) + " issue(s)";
+}
+
+SelfCheckReport& SelfCheckReport::operator+=(const SelfCheckReport& other) {
+  points += other.points;
+  checks += other.checks;
+  issues.insert(issues.end(), other.issues.begin(), other.issues.end());
+  return *this;
+}
+
+SelfCheckReport self_check(std::span<const e2e::Scenario> scenarios,
+                           const SelfCheckOptions& options) {
+  return run_checks(scenarios, options, nullptr);
+}
+
+SelfCheckReport self_check(const SweepGrid& grid,
+                           const SelfCheckOptions& options) {
+  const std::vector<e2e::Scenario> scenarios = grid.scenarios();
+  return run_checks(std::span<const e2e::Scenario>(scenarios), options,
+                    &grid);
+}
+
+SelfCheckReport self_check(const e2e::Scenario& scenario,
+                           const SelfCheckOptions& options) {
+  std::vector<e2e::Scenario> variants;
+  for (e2e::Scheduler s :
+       {e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+        e2e::Scheduler::kBmux}) {
+    e2e::Scenario sc = scenario;
+    sc.scheduler = s;
+    variants.push_back(sc);
+  }
+  return self_check(std::span<const e2e::Scenario>(variants), options);
+}
+
+SelfCheckReport self_check_figures(const SelfCheckOptions& options) {
+  SelfCheckReport report;
+  const std::vector<e2e::Scheduler> all_scheds = {
+      e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+      e2e::Scheduler::kBmux};
+
+  // Fig. 2 (Example 1): utilization sweep at U0 = 15%, H = 2, 5, 10,
+  // extended with SP-high so the full scheduler ordering is exercised.
+  std::vector<double> cross_utils;
+  for (int u_pct = 20; u_pct <= 95; u_pct += 5) {
+    cross_utils.push_back(u_pct / 100.0 - 0.15);
+  }
+  for (int hops : {2, 5, 10}) {
+    SweepGrid grid(ScenarioBuilder()
+                       .hops(hops)
+                       .through_flows(100)
+                       .violation_probability(1e-9)
+                       .edf_deadlines(1.0, 10.0)
+                       .build());
+    grid.cross_utilization_axis(cross_utils).scheduler_axis(all_scheds);
+    report += self_check(grid, options);
+  }
+
+  // Fig. 3 (Example 2): traffic-mix lists at constant U = 50% with both
+  // EDF deadline settings; the mix co-varies U0 and Uc, so this is an
+  // explicit list (ordering groups form per mix point).
+  for (int hops : {2, 5, 10}) {
+    std::vector<e2e::Scenario> scenarios;
+    for (int mix_pct = 10; mix_pct <= 90; mix_pct += 10) {
+      const double uc = 0.50 * mix_pct / 100.0;
+      const double u0 = 0.50 - uc;
+      struct Column {
+        e2e::Scheduler sched;
+        double own, cross;
+      };
+      for (const Column& col :
+           {Column{e2e::Scheduler::kEdf, 1.0, 2.0},
+            Column{e2e::Scheduler::kFifo, 1.0, 1.0},
+            Column{e2e::Scheduler::kEdf, 1.0, 0.5},
+            Column{e2e::Scheduler::kBmux, 1.0, 1.0},
+            Column{e2e::Scheduler::kSpHigh, 1.0, 1.0}}) {
+        scenarios.push_back(ScenarioBuilder()
+                                .hops(hops)
+                                .through_utilization(u0)
+                                .cross_utilization(uc)
+                                .violation_probability(1e-9)
+                                .scheduler(col.sched)
+                                .edf_deadlines(col.own, col.cross)
+                                .build());
+      }
+    }
+    report += self_check(std::span<const e2e::Scenario>(scenarios), options);
+  }
+
+  // Fig. 4 (Example 3): path-length sweep at U = 10, 50, 90% with
+  // N0 = Nc, again with the full scheduler set.
+  for (double u : {0.10, 0.50, 0.90}) {
+    SweepGrid grid(ScenarioBuilder()
+                       .through_utilization(u / 2.0)
+                       .cross_utilization(u / 2.0)
+                       .violation_probability(1e-9)
+                       .edf_deadlines(1.0, 10.0)
+                       .build());
+    grid.hops_axis({1, 2, 4, 6, 8, 10, 13, 16, 20, 25})
+        .scheduler_axis(all_scheds);
+    report += self_check(grid, options);
+  }
+
+  return report;
+}
+
+}  // namespace deltanc

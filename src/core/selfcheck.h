@@ -1,0 +1,103 @@
+// Invariant self-checks: machine-checkable consequences of the paper's
+// theory, used as a correctness oracle for the numeric solver.
+//
+// The delay bound of Theorem 1 is monotone non-decreasing in the
+// scheduler offset Delta, so for any fixed scenario the resolved bounds
+// must order as SP-high (Delta = -inf) <= EDF <= FIFO (Delta = 0) <=
+// BMUX (Delta = +inf) -- more precisely, delays sorted by resolved Delta
+// must be non-decreasing, which also orders the two EDF variants of
+// Fig. 3 correctly.  The bound is likewise monotone in the workload:
+// non-decreasing in hops, flow counts, and utilization; non-increasing
+// in epsilon and capacity.  Finally, the paper's K-procedure
+// (Method::kPaperK) is a restricted version of the exact optimization
+// (Method::kExactOpt), so kExactOpt <= kPaperK always, and the two agree
+// within a modest factor on the operating ranges of the figures.
+//
+// self_check() solves a scenario, list, or grid and verifies every
+// invariant that applies; self_check_figures() runs the full Fig. 2-4
+// operating grids (what `deltanc_cli --selfcheck` executes).  Violations
+// come back as structured SelfCheckIssue records, never as exceptions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+
+namespace deltanc {
+
+/// Tuning knobs for self_check().  The defaults match the numerical
+/// headroom of the Fig. 2-4 operating points.
+struct SelfCheckOptions {
+  /// Primary solve method (the method-agreement check always compares
+  /// kExactOpt against kPaperK regardless).
+  e2e::Method method = e2e::Method::kExactOpt;
+  /// Worker threads for the underlying sweeps; 0 = DELTANC_THREADS env
+  /// or hardware concurrency.
+  int threads = 0;
+  /// Relative slack for the Delta-ordering check: a bound may undercut
+  /// its predecessor by at most this fraction.
+  double ordering_tol = 1e-4;
+  /// Relative slack for axis monotonicity (hops, load, epsilon, ...).
+  double monotonicity_tol = 1e-4;
+  /// kPaperK may exceed kExactOpt by at most this fraction -- enforced
+  /// only where the resolved Delta is >= 0: for negative Delta the
+  /// paper's K = 0 rule overshoots by design (its own caveat; see
+  /// bench/ablation_k_procedure.cpp), so only the one-sided
+  /// kExactOpt <= kPaperK invariant is checked there.
+  double method_tol = 0.20;
+  /// Run the kExactOpt vs kPaperK agreement check (doubles the solves).
+  bool check_methods = true;
+  /// Per-point solver override, mirroring SweepOptions::solver (used by
+  /// tests to inject broken solvers).  When set, the unclassified-+inf
+  /// check and the method-agreement check are skipped.
+  std::function<e2e::BoundResult(const e2e::Scenario&, e2e::Method)> solver;
+};
+
+/// One violated invariant.
+struct SelfCheckIssue {
+  std::string check;   ///< "finiteness", "ordering", "monotonicity", ...
+  std::string detail;  ///< human-readable description with the operands
+};
+
+/// Outcome of one self_check() run; merge runs with operator+=.
+struct SelfCheckReport {
+  std::size_t points = 0;  ///< scenarios solved
+  std::size_t checks = 0;  ///< individual invariant comparisons performed
+  std::vector<SelfCheckIssue> issues;
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  /// "N points, M checks, K issue(s)".
+  [[nodiscard]] std::string summary() const;
+
+  SelfCheckReport& operator+=(const SelfCheckReport& other);
+};
+
+/// Checks an explicit scenario list: finiteness/NaN-freedom and
+/// classification of every solve, Delta-ordering within groups of
+/// scenarios that differ only in scheduler/deadlines, and kExactOpt vs
+/// kPaperK agreement.
+[[nodiscard]] SelfCheckReport self_check(
+    std::span<const e2e::Scenario> scenarios,
+    const SelfCheckOptions& options = {});
+
+/// Checks a grid: everything the list overload checks, plus monotonicity
+/// along every axis with a theory-known direction (hops, n0, nc, u0, uc
+/// up => delay up; epsilon, capacity up => delay down).
+[[nodiscard]] SelfCheckReport self_check(const SweepGrid& grid,
+                                         const SelfCheckOptions& options = {});
+
+/// Checks one scenario by expanding it into all four schedulers (the
+/// scenario's own EDF deadlines are kept for the EDF variant).
+[[nodiscard]] SelfCheckReport self_check(const e2e::Scenario& scenario,
+                                         const SelfCheckOptions& options = {});
+
+/// The full battery over the paper's Fig. 2-4 operating grids, extended
+/// with SP-high: what `deltanc_cli --selfcheck` runs.
+[[nodiscard]] SelfCheckReport self_check_figures(
+    const SelfCheckOptions& options = {});
+
+}  // namespace deltanc

@@ -217,6 +217,43 @@ std::size_t SweepReport::unstable() const {
   return n;
 }
 
+std::size_t SweepReport::warned() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) {
+    n += (p.ok && !p.bound.diagnostics.warnings.empty()) ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t SweepReport::recovered() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) {
+    n += (p.ok && p.bound.stats.retries + p.bound.stats.fallbacks > 0) ? 1 : 0;
+  }
+  return n;
+}
+
+diag::ErrorCounts SweepReport::counts_by_kind() const {
+  diag::ErrorCounts counts;
+  for (const SweepPoint& p : points) {
+    if (!p.ok) {
+      // A failed point always counts as an error, even when a custom
+      // solver threw without classifying itself first.
+      counts.record_error(p.bound.diagnostics.ok()
+                              ? diag::SolveErrorKind::kNumericalDomain
+                              : p.bound.diagnostics.error);
+      continue;
+    }
+    counts.record(p.bound.diagnostics);
+    if (!std::isfinite(p.bound.delay_ms) && p.bound.diagnostics.ok()) {
+      // +inf from a solver that did not classify it (e.g. the additive
+      // baseline): the only theory-sanctioned +inf is an unstable load.
+      counts.record_error(diag::SolveErrorKind::kUnstable);
+    }
+  }
+  return counts;
+}
+
 Table SweepReport::to_table(int precision) const {
   Table table({"#", "H", "sched", "N0", "Nc", "U [%]", "eps", "delay [ms]",
                "gamma", "s", "Delta", "solve [ms]", "status"});
@@ -224,6 +261,15 @@ Table SweepReport::to_table(int precision) const {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%g", eps);
     return std::string(buf);
+  };
+  const auto status_of = [](const SweepPoint& p) -> std::string {
+    if (!p.ok) return "error: " + p.error;
+    if (!std::isfinite(p.bound.delay_ms)) return "unstable";
+    if (!p.bound.diagnostics.warnings.empty()) {
+      return std::string("warn: ") +
+             diag::solve_error_name(p.bound.diagnostics.warnings.front().kind);
+    }
+    return "ok";
   };
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
@@ -237,9 +283,7 @@ Table SweepReport::to_table(int precision) const {
                    Table::format(p.bound.gamma, precision),
                    Table::format(p.bound.s, precision),
                    Table::format(p.bound.delta, precision),
-                   Table::format(p.solve_ms, 2),
-                   p.ok ? (std::isfinite(p.bound.delay_ms) ? "ok" : "unstable")
-                        : ("error: " + p.error)});
+                   Table::format(p.solve_ms, 2), status_of(p)});
   }
   return table;
 }
@@ -291,13 +335,28 @@ SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
       SweepPoint& p = report.points[i];
       p.scenario = scenarios[i];
       const auto task_t0 = Clock::now();
-      try {
-        p.bound = solve(p.scenario);
-      } catch (const std::exception& e) {
+      // Validate before solving: a malformed point is classified (with a
+      // message naming every bad field) instead of surfacing as whichever
+      // exception the solver happens to hit first.
+      const diag::ValidationReport vr = p.scenario.validate();
+      if (!vr.ok()) {
         p.ok = false;
-        p.error = e.what();
+        p.error = vr.message();
         p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(),
                                    0.0, 0.0, 0.0, 0.0};
+        p.bound.diagnostics.fail(diag::SolveErrorKind::kInvalidScenario,
+                                 vr.message());
+      } else {
+        try {
+          p.bound = solve(p.scenario);
+        } catch (const std::exception& e) {
+          p.ok = false;
+          p.error = e.what();
+          p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(),
+                                     0.0, 0.0, 0.0, 0.0};
+          p.bound.diagnostics.fail(diag::SolveErrorKind::kNumericalDomain,
+                                   e.what());
+        }
       }
       p.solve_ms = ms_since(task_t0);
       if (options_.progress) {

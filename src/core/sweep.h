@@ -14,10 +14,14 @@
 // traffic mix, where U0 and Uc co-vary) pass an explicit scenario list to
 // SweepRunner::run instead.
 //
-// Failure policy: a point whose solve throws is captured (ok = false,
-// error = what(), delay = +inf) and never aborts the sweep; an unstable
-// configuration simply reports its +inf bound.  Either way the remaining
-// points are unaffected.
+// Failure policy: every resolved scenario is validated before it is
+// solved (Scenario::validate()), so a malformed point is classified as
+// kInvalidScenario with a message naming every bad field; a point whose
+// solve still throws is captured (ok = false, error = what(), classified
+// kNumericalDomain) and never aborts the sweep; an unstable configuration
+// simply reports its +inf bound.  Either way the remaining points are
+// unaffected, and SweepReport::counts_by_kind() tallies outcomes per
+// diag::SolveErrorKind.
 #pragma once
 
 #include <functional>
@@ -109,6 +113,16 @@ struct SweepReport {
 
   [[nodiscard]] std::size_t failures() const;    ///< points with !ok
   [[nodiscard]] std::size_t unstable() const;    ///< ok but +inf bound
+  /// Points that solved ok but carry at least one diagnostics warning
+  /// (e.g. an EDF fixed point that exhausted its retries).
+  [[nodiscard]] std::size_t warned() const;
+  /// Points that solved ok only after a recovery (EDF damping restarts
+  /// or dense-scan fallbacks; see SolveStats::retries / fallbacks).
+  [[nodiscard]] std::size_t recovered() const;
+  /// Per-kind tallies across all points: each failed point's error class,
+  /// every warning of ok points, and ok-but-+inf points as kUnstable when
+  /// a custom solver left them unclassified.
+  [[nodiscard]] diag::ErrorCounts counts_by_kind() const;
 
   /// One row per point: index, H, scheduler, N0, Nc, U[%], eps,
   /// delay[ms], gamma, s, delta, solve[ms], status.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -19,6 +20,8 @@ SolveStats& SolveStats::operator+=(const SolveStats& other) {
   sigma_evals += other.sigma_evals;
   edf_iterations += other.edf_iterations;
   edf_converged = edf_converged && other.edf_converged;
+  retries += other.retries;
+  fallbacks += other.fallbacks;
   scan_ms += other.scan_ms;
   refine_ms += other.refine_ms;
   return *this;
@@ -34,11 +37,14 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
 void validate_scenario(const Scenario& sc) {
-  if (sc.hops < 1 || sc.n_through < 1 || sc.n_cross < 0 ||
-      !(sc.epsilon > 0.0 && sc.epsilon < 1.0)) {
-    throw std::invalid_argument("best_delay_bound: malformed scenario");
-  }
+  sc.validate().throw_if_invalid("best_delay_bound");
 }
 
 /// Largest s keeping n * eb(s) < C (the bisection behind max_stable_s),
@@ -75,6 +81,13 @@ struct SearchContext {
                        sc.source.peak_rate(), [this](double s) { return eb(s); });
     unstable = (limit == 0.0);
     s_hi = (limit == kInf ? 64.0 : limit) * 0.999;
+    // Degenerate bracket: the stability window closes below the default
+    // lower probe.  Widen downward so the scans still sample feasible s;
+    // solve_for_delta falls back to a dense scan for these.
+    if (!unstable && !(s_hi > s_lo)) {
+      s_lo = s_hi * 1e-4;
+      degenerate_bracket = true;
+    }
   }
 
   const Scenario& sc;
@@ -85,6 +98,7 @@ struct SearchContext {
   double s_lo = 1e-4;
   double s_hi = 0.0;
   bool unstable = false;
+  bool degenerate_bracket = false;
 };
 
 PathParams params_at(SearchContext& ctx, double s, double delta) {
@@ -186,7 +200,13 @@ double best_over_gamma(SearchContext& ctx, double delta, double s,
 BoundResult solve_for_delta(SearchContext& ctx, double delta,
                             const BoundResult* warm) {
   BoundResult result{kInf, 0.0, 0.0, 0.0, delta};
-  if (ctx.unstable) return result;  // unstable at any s
+  if (ctx.unstable) {  // unstable at any s
+    result.diagnostics.fail(
+        diag::SolveErrorKind::kUnstable,
+        "offered load " + fmt(100.0 * ctx.sc.utilization()) +
+            "% of capacity; no stable Chernoff parameter exists");
+    return result;
+  }
   const double s_lo = ctx.s_lo;
   const double s_hi = ctx.s_hi;
 
@@ -212,8 +232,31 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
       }
     }
   }
+  if (best_v == kInf || ctx.degenerate_bracket) {
+    // Recovery: the coarse scan missed every feasible s (a narrow
+    // stability valley), or the bracket was degenerate to begin with.
+    // Fall back to a dense logarithmic scan before giving up.
+    ++ctx.stats.fallbacks;
+    const int kDense = 160;
+    for (int i = 0; i <= kDense; ++i) {
+      const double s = s_lo * std::pow(s_hi / s_lo,
+                                       static_cast<double>(i) / kDense);
+      const double v = best_over_gamma(ctx, delta, s, nullptr);
+      if (v < best_v) {
+        best_v = v;
+        best_s = s;
+      }
+    }
+  }
   ctx.stats.scan_ms += ms_since(scan_t0);
-  if (best_v == kInf) return result;
+  if (best_v == kInf) {
+    result.diagnostics.fail(
+        diag::SolveErrorKind::kNumericalDomain,
+        "no feasible (s, gamma) found in (0, " + fmt(s_hi) +
+            "] even by dense scan; the stability window of Eq. (32) is "
+            "numerically empty");
+    return result;
+  }
 
   const auto refine_t0 = Clock::now();
   double refined_s = best_s;
@@ -245,6 +288,65 @@ BoundResult finish(SearchContext& ctx, BoundResult result) {
 
 }  // namespace
 
+diag::ValidationReport Scenario::validate() const {
+  using diag::SolveErrorKind;
+  diag::ValidationReport report;
+  if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+    report.add(SolveErrorKind::kInvalidScenario, "capacity",
+               "must be positive and finite (got " + fmt(capacity) + ")");
+  }
+  if (hops < 1) {
+    report.add(SolveErrorKind::kInvalidScenario, "hops",
+               "must be >= 1 (got " + std::to_string(hops) + ")");
+  }
+  if (n_through < 1) {
+    report.add(SolveErrorKind::kInvalidScenario, "n_through",
+               "need >= 1 through flow (got " + std::to_string(n_through) +
+                   ")");
+  }
+  if (n_cross < 0) {
+    report.add(SolveErrorKind::kInvalidScenario, "n_cross",
+               "must be >= 0 (got " + std::to_string(n_cross) + ")");
+  }
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    report.add(SolveErrorKind::kInvalidScenario, "epsilon",
+               "must lie in (0, 1) (got " + fmt(epsilon) + ")");
+  }
+  // MMOO consistency.  The MmooSource constructor enforces these, so a
+  // violation here means the source was corrupted after construction.
+  const double mean = source.mean_rate();
+  const double peak = source.peak_rate();
+  if (!(mean > 0.0) || !std::isfinite(mean) || !(peak >= mean)) {
+    report.add(SolveErrorKind::kInvalidScenario, "source",
+               "inconsistent MMOO rates (mean " + fmt(mean) + ", peak " +
+                   fmt(peak) + ")");
+  }
+  // EDF deadline factors are validated regardless of the scheduler: the
+  // defaults are always valid, so a malformed factor is a configuration
+  // mistake even when another scheduler ignores it.
+  if (!(edf.own_factor > 0.0) || !std::isfinite(edf.own_factor)) {
+    report.add(SolveErrorKind::kInvalidScenario, "edf.own_factor",
+               "must be positive and finite (got " + fmt(edf.own_factor) +
+                   ")");
+  }
+  if (!(edf.cross_factor > 0.0) || !std::isfinite(edf.cross_factor)) {
+    report.add(SolveErrorKind::kInvalidScenario, "edf.cross_factor",
+               "must be positive and finite (got " + fmt(edf.cross_factor) +
+                   ")");
+  }
+  // Stability (Eq. 32 window): well-formed but overloaded scenarios are
+  // reported as kUnstable without making the report invalid.
+  if (report.ok()) {
+    const double u = utilization();
+    if (u >= 1.0) {
+      report.add(SolveErrorKind::kUnstable, "utilization",
+                 "offered load " + fmt(100.0 * u) +
+                     "% of capacity; the delay bound is +inf");
+    }
+  }
+  return report;
+}
+
 double max_stable_s(const Scenario& sc) {
   const double n = sc.n_through + sc.n_cross;
   return stable_s_limit(
@@ -274,32 +376,56 @@ BoundResult best_delay_bound(const Scenario& sc, Method method) {
   // d_e2e / H depends on the bound itself.  Damped fixed point, seeded
   // with the FIFO bound; one shared context memoizes eb(s) across
   // iterations and warm-starts each s scan from the previous iterate.
+  // Non-convergence is recoverable: each retry restarts from the seed
+  // with a tighter damping factor before the result is flagged.
   validate_scenario(sc);
   SearchContext ctx(sc, method);
   const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
-  BoundResult prev = solve_for_delta(ctx, 0.0, nullptr);
-  if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
-  double d = prev.delay_ms;
+  const BoundResult seed = solve_for_delta(ctx, 0.0, nullptr);
+  if (!std::isfinite(seed.delay_ms)) return finish(ctx, seed);
+  constexpr double kDamping[] = {0.5, 0.25, 0.1};
+  constexpr int kMaxIters = 60;
+  BoundResult prev = seed;
+  double d = seed.delay_ms;
   bool converged = false;
-  for (int iter = 0; iter < 60; ++iter) {
-    ++ctx.stats.edf_iterations;
-    const double delta = factor_gap * d / sc.hops;
-    BoundResult cur = solve_for_delta(ctx, delta, &prev);
-    prev = cur;
-    if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
-    const double d_next = 0.5 * (d + prev.delay_ms);
-    if (std::abs(d_next - d) <= 1e-7 * std::max(1.0, d)) {
-      d = d_next;
-      converged = true;
-      break;
+  for (std::size_t attempt = 0; attempt < std::size(kDamping); ++attempt) {
+    const double beta = kDamping[attempt];
+    if (attempt > 0) {
+      // Retry: restart from the FIFO seed with a tighter damping factor.
+      ++ctx.stats.retries;
+      prev = seed;
+      d = seed.delay_ms;
     }
-    d = d_next;
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+      ++ctx.stats.edf_iterations;
+      const double delta = factor_gap * d / sc.hops;
+      BoundResult cur = solve_for_delta(ctx, delta, &prev);
+      prev = cur;
+      if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
+      const double d_next = (1.0 - beta) * d + beta * prev.delay_ms;
+      if (std::abs(d_next - d) <= 1e-7 * std::max(1.0, d)) {
+        d = d_next;
+        converged = true;
+        break;
+      }
+      d = d_next;
+    }
+    if (converged) break;
   }
   ctx.stats.edf_converged = converged;
   // Re-solve once at the resolved Delta so the returned tuple (delay,
   // gamma, s, sigma, delta) is self-consistent instead of mixing the
   // damped average with parameters from an earlier iterate.
-  return finish(ctx, solve_for_delta(ctx, factor_gap * d / sc.hops, &prev));
+  BoundResult result = solve_for_delta(ctx, factor_gap * d / sc.hops, &prev);
+  if (!converged) {
+    result.diagnostics.warn(
+        diag::SolveErrorKind::kNoConvergence,
+        "EDF fixed point did not converge within " +
+            std::to_string(kMaxIters) + " iterations after " +
+            std::to_string(ctx.stats.retries) +
+            " damped restart(s); the bound uses the last iterate");
+  }
+  return finish(ctx, result);
 }
 
 }  // namespace deltanc::e2e

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "core/diagnostics.h"
 #include "e2e/path_params.h"
 #include "traffic/mmoo.h"
 
@@ -54,6 +55,14 @@ struct Scenario {
   [[nodiscard]] double utilization() const {
     return (n_through + n_cross) * source.mean_rate() / capacity;
   }
+
+  /// Validates every field in one pass and returns *all* violations
+  /// (malformed capacity/hops/flow counts, epsilon outside (0,1), EDF
+  /// deadline factors, MMOO rate inconsistencies) instead of throwing on
+  /// the first.  An overloaded but well-formed scenario (utilization
+  /// >= 1) is reported as a kUnstable violation with report.ok() still
+  /// true: the solver accepts it and classifies the +inf bound.
+  [[nodiscard]] diag::ValidationReport validate() const;
 };
 
 /// How to solve the theta optimization.
@@ -71,6 +80,8 @@ struct SolveStats {
   std::int64_t sigma_evals = 0;     ///< sigma(epsilon) evaluations (Eq. 34)
   int edf_iterations = 0;           ///< EDF fixed-point iterations (0 otherwise)
   bool edf_converged = true;        ///< false if the fixed point hit its cap
+  int retries = 0;     ///< EDF fixed-point restarts with tighter damping
+  int fallbacks = 0;   ///< dense log-scan rescues of a degenerate/missed s scan
   double scan_ms = 0.0;             ///< wall time in the coarse s scans
   double refine_ms = 0.0;           ///< wall time in the golden refinements
 
@@ -78,14 +89,17 @@ struct SolveStats {
 };
 
 /// Result of the search; `delay_ms` is +infinity when the configuration
-/// is unstable (per-node load >= capacity).
+/// is unstable (per-node load >= capacity).  A non-finite or degraded
+/// result is classified in `diagnostics` (kUnstable, kNumericalDomain,
+/// or a kNoConvergence warning) instead of being silently accepted.
 struct BoundResult {
   double delay_ms;
   double gamma;   ///< optimizing per-node rate slack
   double s;       ///< optimizing Chernoff parameter
   double sigma;   ///< sigma(epsilon) at the optimum
   double delta;   ///< resolved Delta_{0,c}
-  SolveStats stats{};  ///< instrumentation of this solve
+  SolveStats stats{};             ///< instrumentation of this solve
+  diag::Diagnostics diagnostics{};  ///< error/warning classification
 };
 
 /// Delay bound for a fixed, already-resolved Delta (no EDF fixed point).

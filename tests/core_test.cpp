@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/analyzer.h"
@@ -38,14 +39,50 @@ TEST(ScenarioBuilder, UtilizationToFlowCount) {
 }
 
 TEST(ScenarioBuilder, Validation) {
-  EXPECT_THROW(ScenarioBuilder().capacity_mbps(0.0), std::invalid_argument);
-  EXPECT_THROW(ScenarioBuilder().hops(0), std::invalid_argument);
-  EXPECT_THROW(ScenarioBuilder().through_flows(0), std::invalid_argument);
-  EXPECT_THROW(ScenarioBuilder().cross_flows(-1), std::invalid_argument);
-  EXPECT_THROW(ScenarioBuilder().violation_probability(1.0),
+  // Setters only store; build() validates everything in one pass.
+  EXPECT_THROW((void)ScenarioBuilder().capacity_mbps(0.0).build(),
                std::invalid_argument);
-  EXPECT_THROW(ScenarioBuilder().edf_deadlines(0.0, 1.0),
+  EXPECT_THROW((void)ScenarioBuilder().hops(0).build(), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioBuilder().through_flows(0).build(),
                std::invalid_argument);
+  EXPECT_THROW((void)ScenarioBuilder().cross_flows(-1).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioBuilder().violation_probability(1.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioBuilder().edf_deadlines(0.0, 1.0).build(),
+               std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, BuildErrorNamesEveryBadField) {
+  const ScenarioBuilder builder = ScenarioBuilder()
+                                      .capacity_mbps(-5.0)
+                                      .hops(0)
+                                      .violation_probability(2.0);
+  try {
+    (void)builder.build();
+    FAIL() << "build() accepted a triply-malformed scenario";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("capacity"), std::string::npos) << what;
+    EXPECT_NE(what.find("hops"), std::string::npos) << what;
+    EXPECT_NE(what.find("epsilon"), std::string::npos) << what;
+  }
+  const diag::ValidationReport report = builder.validate();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 3u);
+}
+
+TEST(ScenarioBuilder, FlowsForUtilizationRejectsNonFinite) {
+  const e2e::Scenario sc = ScenarioBuilder().build();
+  EXPECT_THROW((void)flows_for_utilization(sc, -0.1), std::invalid_argument);
+  EXPECT_THROW(
+      (void)flows_for_utilization(sc, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)flows_for_utilization(sc, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  EXPECT_THROW((void)flows_for_utilization(sc, 1e18), std::invalid_argument);
+  EXPECT_EQ(flows_for_utilization(sc, 0.0), 0);
 }
 
 TEST(TableFormat, AlignedAndCsv) {

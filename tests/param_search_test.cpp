@@ -302,6 +302,49 @@ TEST(ParamSearch, ValidatesScenario) {
   EXPECT_THROW((void)best_delay_bound(sc), std::invalid_argument);
 }
 
+TEST(ParamSearch, ValidateCollectsEveryViolation) {
+  Scenario sc = paper_scenario(0, 0, -1, Scheduler::kFifo);
+  sc.epsilon = 2.0;
+  const diag::ValidationReport report = sc.validate();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 4u);  // hops, n_through, n_cross, epsilon
+  const std::string msg = report.message();
+  for (const char* field : {"hops", "n_through", "n_cross", "epsilon"}) {
+    EXPECT_NE(msg.find(field), std::string::npos) << msg;
+  }
+  // And best_delay_bound surfaces the same multi-field message.
+  try {
+    (void)best_delay_bound(sc);
+    FAIL() << "accepted an invalid scenario";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("epsilon"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("hops"), std::string::npos);
+  }
+}
+
+TEST(ParamSearch, UnstableScenarioIsClassified) {
+  // Overload is not an error: the solve succeeds with a +inf bound, and
+  // the diagnostics channel says why.
+  const Scenario sc = paper_scenario(3, 400, 400, Scheduler::kBmux);
+  const diag::ValidationReport report = sc.validate();
+  EXPECT_TRUE(report.ok());        // well-formed...
+  EXPECT_FALSE(report.stable());   // ...but overloaded
+  const BoundResult r = best_delay_bound(sc);
+  EXPECT_EQ(r.delay_ms, kInf);
+  EXPECT_EQ(r.diagnostics.error, diag::SolveErrorKind::kUnstable);
+  EXPECT_FALSE(r.diagnostics.message.empty());
+}
+
+TEST(ParamSearch, ConvergedSolveHasCleanDiagnostics) {
+  // A healthy EDF solve: no error, no warnings, no recoveries recorded.
+  const BoundResult r =
+      best_delay_bound(paper_scenario(5, 150, 150, Scheduler::kEdf));
+  ASSERT_TRUE(std::isfinite(r.delay_ms));
+  EXPECT_TRUE(r.diagnostics.clean());
+  EXPECT_EQ(r.stats.retries, 0);
+  EXPECT_EQ(r.stats.fallbacks, 0);
+}
+
 TEST(AdditiveBaseline, PerNodeDelaysGrowAlongThePath) {
   const PathParams p{100.0, 8, 20.0, 30.0, 0.5, 1.0, kInf};
   const auto per_node = additive_bmux_per_node(p, 0.5, 1e-9);

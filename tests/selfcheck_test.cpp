@@ -1,0 +1,160 @@
+#include "core/selfcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace deltanc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SelfCheckOptions quiet_options() {
+  SelfCheckOptions options;
+  options.threads = 2;
+  return options;
+}
+
+TEST(SelfCheck, Fig2OperatingPointsPassAllInvariants) {
+  // A slice of the Fig. 2 grid: utilization axis x all four schedulers.
+  // Ordering, monotonicity in the load, method agreement, finiteness.
+  SweepGrid grid(ScenarioBuilder()
+                     .hops(5)
+                     .through_flows(100)
+                     .violation_probability(1e-9)
+                     .edf_deadlines(1.0, 10.0)
+                     .build());
+  grid.cross_utilization_axis({0.05, 0.35, 0.65})
+      .scheduler_axis({e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf,
+                       e2e::Scheduler::kFifo, e2e::Scheduler::kBmux});
+  const SelfCheckReport report = self_check(grid, quiet_options());
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+  EXPECT_EQ(report.points, 24u);  // 12 scenarios x 2 methods
+  EXPECT_GT(report.checks, 24u);
+}
+
+TEST(SelfCheck, Fig3MixPointsOrderTheEdfVariants) {
+  // The Fig. 3 columns at one mix point: the two EDF deadline settings
+  // must slot between SP-high and BMUX in resolved-Delta order.
+  std::vector<e2e::Scenario> scenarios;
+  struct Column {
+    e2e::Scheduler sched;
+    double own, cross;
+  };
+  for (const Column& col : {Column{e2e::Scheduler::kEdf, 1.0, 2.0},
+                            Column{e2e::Scheduler::kFifo, 1.0, 1.0},
+                            Column{e2e::Scheduler::kEdf, 1.0, 0.5},
+                            Column{e2e::Scheduler::kBmux, 1.0, 1.0}}) {
+    scenarios.push_back(ScenarioBuilder()
+                            .hops(2)
+                            .through_utilization(0.25)
+                            .cross_utilization(0.25)
+                            .violation_probability(1e-9)
+                            .scheduler(col.sched)
+                            .edf_deadlines(col.own, col.cross)
+                            .build());
+  }
+  const SelfCheckReport report =
+      self_check(std::span<const e2e::Scenario>(scenarios), quiet_options());
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+}
+
+TEST(SelfCheck, MonotoneInEpsilonAndHops) {
+  SweepGrid grid(ScenarioBuilder()
+                     .hops(2)
+                     .through_flows(100)
+                     .cross_flows(200)
+                     .build());
+  grid.hops_axis({1, 3, 6}).epsilon_axis({1e-9, 1e-6, 1e-3});
+  const SelfCheckReport report = self_check(grid, quiet_options());
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+}
+
+TEST(SelfCheck, SingleScenarioExpandsAllSchedulers) {
+  const e2e::Scenario sc = ScenarioBuilder()
+                               .hops(4)
+                               .through_flows(150)
+                               .cross_flows(150)
+                               .build();
+  const SelfCheckReport report = self_check(sc, quiet_options());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.points, 8u);  // 4 schedulers x 2 methods
+}
+
+TEST(SelfCheck, UnstablePointsPassWhenClassified) {
+  // Overloaded scenarios must report +inf (classified kUnstable), which
+  // satisfies the finiteness check rather than tripping it.
+  SweepGrid grid(ScenarioBuilder().through_flows(100).build());
+  grid.cross_utilization_axis({0.5, 0.9, 1.3});
+  const SelfCheckReport report = self_check(grid, quiet_options());
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+}
+
+TEST(SelfCheck, DetectsOrderingViolation) {
+  // A broken solver whose bounds *decrease* with Delta: SP-high above
+  // FIFO above BMUX.  The ordering check must flag it.
+  SelfCheckOptions options = quiet_options();
+  options.solver = [](const e2e::Scenario& sc, e2e::Method) {
+    double delta = 0.0, delay = 5.0;
+    if (sc.scheduler == e2e::Scheduler::kSpHigh) delta = -kInf, delay = 10.0;
+    if (sc.scheduler == e2e::Scheduler::kBmux) delta = kInf, delay = 1.0;
+    return e2e::BoundResult{delay, 0.5, 0.5, 1.0, delta};
+  };
+  const e2e::Scenario sc = ScenarioBuilder().build();
+  const SelfCheckReport report = self_check(sc, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().check, "ordering");
+}
+
+TEST(SelfCheck, DetectsNaNResults) {
+  SelfCheckOptions options = quiet_options();
+  options.solver = [](const e2e::Scenario&, e2e::Method) {
+    return e2e::BoundResult{std::nan(""), 0.5, 0.5, 1.0, 0.0};
+  };
+  const SelfCheckReport report =
+      self_check(ScenarioBuilder().build(), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().check, "finiteness");
+}
+
+TEST(SelfCheck, DetectsMonotonicityViolation) {
+  // Delay shrinking as the path grows is impossible; inject it.
+  SelfCheckOptions options = quiet_options();
+  options.solver = [](const e2e::Scenario& sc, e2e::Method) {
+    return e2e::BoundResult{100.0 / sc.hops, 0.5, 0.5, 1.0, 0.0};
+  };
+  SweepGrid grid(ScenarioBuilder().build());
+  grid.hops_axis({1, 2, 4});
+  const SelfCheckReport report = self_check(grid, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().check, "monotonicity");
+}
+
+TEST(SelfCheck, ReportsMergeWithPlusEquals) {
+  SelfCheckReport a, b;
+  a.points = 3;
+  a.checks = 10;
+  b.points = 2;
+  b.checks = 4;
+  b.issues.push_back(SelfCheckIssue{"ordering", "x"});
+  a += b;
+  EXPECT_EQ(a.points, 5u);
+  EXPECT_EQ(a.checks, 14u);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.summary(), "5 points, 14 checks, 1 issue(s)");
+}
+
+}  // namespace
+}  // namespace deltanc

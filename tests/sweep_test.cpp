@@ -9,8 +9,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "core/scenario.h"
 #include "core/thread_pool.h"
@@ -212,6 +214,86 @@ TEST(SweepRunnerTest, ThrowingSolverIsCapturedPerPoint) {
       EXPECT_TRUE(std::isfinite(p.bound.delay_ms));
     }
   }
+}
+
+TEST(SweepRunnerTest, PerKindCountsSurviveTheThreadPool) {
+  // A list mixing healthy, unstable, invalid, and throwing-solver points,
+  // solved on several threads: counts_by_kind() must classify each point
+  // independently of which worker handled it.
+  e2e::Scenario healthy;      // ~30% load, solves fine
+  healthy.epsilon = 1e-6;
+  e2e::Scenario unstable = healthy;
+  unstable.n_cross = 800;     // ~134% load
+  e2e::Scenario invalid = healthy;
+  invalid.capacity = -1.0;    // malformed: skipped before the solver runs
+  invalid.hops = 0;
+  std::vector<e2e::Scenario> scenarios;
+  for (int i = 0; i < 4; ++i) {
+    scenarios.push_back(healthy);
+    scenarios.push_back(unstable);
+    scenarios.push_back(invalid);
+  }
+  SweepOptions opts;
+  opts.threads = 6;
+  const SweepReport report =
+      SweepRunner(opts).run(std::span<const e2e::Scenario>(scenarios));
+  ASSERT_EQ(report.points.size(), 12u);
+  const diag::ErrorCounts counts = report.counts_by_kind();
+  using K = diag::SolveErrorKind;
+  EXPECT_EQ(counts.errors[static_cast<std::size_t>(K::kInvalidScenario)], 4u);
+  EXPECT_EQ(counts.errors[static_cast<std::size_t>(K::kUnstable)], 4u);
+  EXPECT_EQ(counts.total_errors(), 8u);
+  EXPECT_EQ(report.failures(), 4u);  // only the invalid points fail
+  EXPECT_EQ(report.unstable(), 4u);
+  // Invalid points carry the full multi-violation message.
+  for (const SweepPoint& p : report.points) {
+    if (p.scenario.hops == 0) {
+      EXPECT_FALSE(p.ok);
+      EXPECT_NE(p.error.find("capacity"), std::string::npos) << p.error;
+      EXPECT_NE(p.error.find("hops"), std::string::npos) << p.error;
+    }
+  }
+  // A solver that throws is classified kNumericalDomain.
+  SweepOptions throwing;
+  throwing.threads = 4;
+  throwing.solver = [](const e2e::Scenario&,
+                       e2e::Method) -> e2e::BoundResult {
+    throw std::runtime_error("synthetic failure");
+  };
+  const std::vector<e2e::Scenario> two = {healthy, healthy};
+  const SweepReport broken =
+      SweepRunner(throwing).run(std::span<const e2e::Scenario>(two));
+  const diag::ErrorCounts broken_counts = broken.counts_by_kind();
+  EXPECT_EQ(
+      broken_counts.errors[static_cast<std::size_t>(K::kNumericalDomain)],
+      2u);
+}
+
+TEST(SweepReportTest, StatusColumnMarksWarnedPoints) {
+  // An ok point with a diagnostics warning gets a "warn: <kind>" status
+  // in the table, and warned()/recovered() expose the tallies.
+  SweepOptions opts;
+  opts.solver = [](const e2e::Scenario& sc, e2e::Method m) {
+    e2e::BoundResult r = e2e::best_delay_bound(sc, m);
+    r.diagnostics.warn(diag::SolveErrorKind::kNoConvergence, "synthetic");
+    r.stats.retries = 1;
+    return r;
+  };
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  const std::vector<e2e::Scenario> one = {base};
+  const SweepReport report =
+      SweepRunner(opts).run(std::span<const e2e::Scenario>(one));
+  EXPECT_EQ(report.warned(), 1u);
+  EXPECT_EQ(report.recovered(), 1u);
+  std::ostringstream csv;
+  report.write_csv(csv);
+  EXPECT_NE(csv.str().find("warn: no-convergence"), std::string::npos)
+      << csv.str();
+  const diag::ErrorCounts counts = report.counts_by_kind();
+  EXPECT_EQ(counts.warnings[static_cast<std::size_t>(
+                diag::SolveErrorKind::kNoConvergence)],
+            1u);
 }
 
 TEST(SweepRunnerTest, ProgressIsStrictlyIncreasingAndCompleteUnderThreads) {

@@ -17,12 +17,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "core/scenario.h"
+#include "core/selfcheck.h"
 #include "core/sweep.h"
 
 namespace {
@@ -60,6 +62,16 @@ Sweep mode (repeatable; axes cross-multiply in the order given):
   --threads <n>          sweep workers (default: DELTANC_THREADS env or
                          all cores); results are identical for any n
   --csv                  print only the CSV of the sweep results
+
+Self-check mode:
+  --selfcheck            verify solver invariants (scheduler ordering,
+                         monotonicity in H/U/eps, exact vs paper-K
+                         agreement, finiteness) on the Fig. 2-4 grids,
+                         or on the --sweep grid when axes are given
+
+Exit codes: 0 all ok; 1 failed points / bound violated / self-check
+issues; 2 usage error or invalid scenario; 3 sweep completed but some
+points carry warnings or needed solver recoveries.
 
   --help                 this text
 )";
@@ -179,13 +191,22 @@ void print_scenario(const e2e::Scenario& sc, std::FILE* out = stdout) {
 void print_stats(const e2e::SolveStats& stats, std::FILE* out) {
   std::fprintf(out,
                "stats: optimize_evals=%lld eb_evals=%lld sigma_evals=%lld "
-               "edf_iterations=%d edf_converged=%s "
+               "edf_iterations=%d edf_converged=%s retries=%d fallbacks=%d "
                "scan_ms=%.2f refine_ms=%.2f\n",
                static_cast<long long>(stats.optimize_evals),
                static_cast<long long>(stats.eb_evals),
                static_cast<long long>(stats.sigma_evals),
                stats.edf_iterations, stats.edf_converged ? "yes" : "no",
-               stats.scan_ms, stats.refine_ms);
+               stats.retries, stats.fallbacks, stats.scan_ms,
+               stats.refine_ms);
+}
+
+/// One "warning: <kind>: <detail>" line per diagnostic warning.
+void print_warnings(const e2e::BoundResult& bound, std::FILE* out) {
+  for (const diag::Warning& w : bound.diagnostics.warnings) {
+    std::fprintf(out, "warning: %s: %s\n", diag::solve_error_name(w.kind),
+                 w.message.c_str());
+  }
 }
 
 }  // namespace
@@ -196,6 +217,7 @@ int main(int argc, char** argv) {
   bool want_additive = false;
   bool want_report = false;
   bool want_stats = false;
+  bool want_selfcheck = false;
   bool csv_only = false;
   long long simulate_slots = 0;
   double edf_own = 1.0, edf_cross = 10.0;
@@ -260,6 +282,8 @@ int main(int argc, char** argv) {
       if (threads < 1) usage_error("--threads must be >= 1");
     } else if (flag == "--sweep") {
       sweep_axes.push_back(parse_sweep_spec(next()));
+    } else if (flag == "--selfcheck") {
+      want_selfcheck = true;
     } else if (flag == "--help" || flag == "-h") {
       std::printf("%s", kUsage);
       return 0;
@@ -269,7 +293,42 @@ int main(int argc, char** argv) {
   }
   if (scheduler_is_edf) builder.edf_deadlines(edf_own, edf_cross);
 
-  const e2e::Scenario scenario = builder.build();
+  // build() collects *all* violations in one pass, so a malformed
+  // invocation reports every bad field at once (exit code 2, like other
+  // usage errors, but without drowning the message in the flag table).
+  e2e::Scenario scenario;
+  try {
+    scenario = builder.build();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "deltanc_cli: invalid scenario: %s\n", e.what());
+    return 2;
+  }
+
+  if (want_selfcheck) {
+    if (want_report || want_additive || simulate_slots > 0 || csv_only) {
+      usage_error("--selfcheck cannot be combined with --report / "
+                  "--additive / --simulate / --csv");
+    }
+    SelfCheckOptions options;
+    options.threads = threads;
+    options.method = method;
+    SelfCheckReport report;
+    if (!sweep_axes.empty()) {
+      SweepGrid grid(scenario);
+      for (const SweepAxisSpec& spec : sweep_axes) apply_axis(grid, spec);
+      std::printf("self-check: sweep grid, %zu scenarios\n", grid.size());
+      report = self_check(grid, options);
+    } else {
+      std::printf("self-check: Fig. 2-4 operating grids\n");
+      report = self_check_figures(options);
+    }
+    for (const SelfCheckIssue& issue : report.issues) {
+      std::printf("issue [%s]: %s\n", issue.check.c_str(),
+                  issue.detail.c_str());
+    }
+    std::printf("self-check: %s\n", report.summary().c_str());
+    return report.ok() ? 0 : 1;
+  }
 
   if (!sweep_axes.empty()) {
     if (want_report || want_additive || simulate_slots > 0) {
@@ -305,13 +364,26 @@ int main(int argc, char** argv) {
       std::printf("\ncsv:\n");
       report.write_csv(std::cout);
     }
-    std::fprintf(csv_only ? stderr : stdout,
+    std::FILE* tail = csv_only ? stderr : stdout;
+    std::fprintf(tail,
                  "sweep: %zu points in %.0f ms on %d thread(s); "
-                 "%zu unstable, %zu failed\n",
+                 "%zu unstable, %zu failed, %zu warned, %zu recovered\n",
                  report.points.size(), report.wall_ms, report.threads,
-                 report.unstable(), report.failures());
-    if (want_stats) print_stats(report.stats, csv_only ? stderr : stdout);
-    return report.failures() == 0 ? 0 : 1;
+                 report.unstable(), report.failures(), report.warned(),
+                 report.recovered());
+    const diag::ErrorCounts counts = report.counts_by_kind();
+    if (counts.total_errors() + counts.total_warnings() > 0) {
+      std::fprintf(tail, "diagnostics: %s\n", counts.summary().c_str());
+    }
+    if (counts.warnings[static_cast<std::size_t>(
+            diag::SolveErrorKind::kNoConvergence)] > 0) {
+      std::fprintf(stderr,
+                   "warning: some EDF fixed points did not converge; their "
+                   "bounds use the last iterate (see the warn: rows)\n");
+    }
+    if (want_stats) print_stats(report.stats, tail);
+    if (report.failures() > 0) return 1;
+    return (report.warned() + report.recovered() > 0) ? 3 : 0;
   }
 
   if (want_report) {
@@ -326,12 +398,16 @@ int main(int argc, char** argv) {
 
   const e2e::BoundResult bound = analyzer.bound(method);
   if (!std::isfinite(bound.delay_ms)) {
-    std::printf("bound: unstable configuration (offered load >= capacity)\n");
+    std::printf("bound: %s\n",
+                bound.diagnostics.ok()
+                    ? "unstable configuration (offered load >= capacity)"
+                    : bound.diagnostics.message.c_str());
     return 1;
   }
   std::printf("end-to-end delay bound: %.3f ms  "
               "(gamma = %.4f, s = %.4f, Delta = %g)\n",
               bound.delay_ms, bound.gamma, bound.s, bound.delta);
+  print_warnings(bound, stdout);
   if (want_stats) print_stats(bound.stats, stdout);
 
   if (want_additive) {
