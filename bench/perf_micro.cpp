@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <filesystem>
+#include <string>
 
 #include "core/sweep.h"
 #include "core/thread_pool.h"
@@ -11,6 +13,7 @@
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
 #include "e2e/param_search.h"
+#include "io/result_cache.h"
 #include "nc/minplus_ops.h"
 #include "sim/tandem.h"
 #include "traffic/mmoo.h"
@@ -164,6 +167,47 @@ void BM_TandemSlots(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TandemSlots)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_JsonBoundResultRoundTrip(benchmark::State& state) {
+  e2e::Scenario sc;
+  sc.hops = 5;
+  sc.n_through = 100;
+  sc.n_cross = 268;
+  sc.epsilon = 1e-6;
+  const e2e::BoundResult solved = e2e::best_delay_bound(sc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::decode_bound_result(
+        io::json::Value::parse(io::encode_bound_result(solved).dump())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsonBoundResultRoundTrip);
+
+void BM_ResultCacheHit(benchmark::State& state) {
+  // Steady-state hit cost: key canonicalization + file read + decode.
+  // This is what bounds warm `--batch` throughput.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "deltanc_bench_cache";
+  std::filesystem::remove_all(dir);
+  io::ResultCache cache(dir);
+  e2e::Scenario sc;
+  sc.hops = 5;
+  sc.n_through = 100;
+  sc.n_cross = 268;
+  sc.epsilon = 1e-6;
+  const SolveOptions options;
+  const std::string key = io::solve_cache_key(sc, options);
+  cache.store(key, e2e::best_delay_bound(sc));
+  e2e::BoundResult out;
+  for (auto _ : state) {
+    const auto found = cache.lookup(key, out);
+    if (found != io::CacheLookup::kHit) state.SkipWithError("cache missed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ResultCacheHit);
 
 }  // namespace
 

@@ -1,0 +1,41 @@
+// Umbrella header: the supported public surface of the library in one
+// include.  Everything re-exported here is covered by the API tour in
+// docs/API.md, round-trips through the JSON codec where applicable, and
+// is kept stable across minor versions; headers under src/ that are not
+// re-exported here are internal machinery and may change freely.
+//
+//   #include "deltanc/deltanc.h"
+//
+//   using namespace deltanc;
+//   const e2e::Scenario sc = ScenarioBuilder().hops(5).build();
+//   const e2e::BoundResult r = Solver().solve(sc);
+//
+// The DELTANC_VERSION_{MAJOR,MINOR,PATCH} macro trio lives in
+// deltanc/version.h (also included here); the version string feeds the
+// persistent result cache so stale entries are never served.
+#pragma once
+
+#include "deltanc/version.h"
+
+// Scenario description and validation.
+#include "core/scenario.h"   // ScenarioBuilder, flows_for_utilization
+#include "e2e/param_search.h"  // e2e::Scenario, BoundResult, SolveStats
+
+// Solving: the Solver facade is the supported entry point; the free
+// functions underneath it (e2e::best_delay_bound_for_delta,
+// e2e::optimize_delay, e2e::k_procedure_delay) are deprecated shims.
+#include "e2e/solver.h"  // Solver, SolveOptions
+
+// One-scenario analysis and grids of scenarios.
+#include "core/analyzer.h"  // PathAnalyzer, ValidationReport
+#include "core/sweep.h"     // SweepGrid, SweepRunner, SweepReport
+
+// Diagnostics taxonomy and invariant self-checks.
+#include "core/diagnostics.h"  // diag::SolveErrorKind, Diagnostics, ...
+#include "core/selfcheck.h"    // self_check, SelfCheckReport
+
+// Serialization, persistent result cache, batch service.
+#include "io/batch.h"         // io::run_batch, BatchOptions, BatchSummary
+#include "io/codec.h"         // io::encode_*/decode_*, solve_cache_key
+#include "io/json.h"          // io::json::Value
+#include "io/result_cache.h"  // io::ResultCache, CacheStats

@@ -9,9 +9,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# No -G here: an existing build/ reuses its cached generator (the seed
+# tree is Unix Makefiles; forcing Ninja onto it is a hard CMake error).
+cmake -B build
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
+
+# --- Public-header hygiene ------------------------------------------------
+# Every header under include/deltanc/ must compile standalone (no hidden
+# include-order dependencies): users are told to include them directly.
+for h in include/deltanc/*.h; do
+  echo "#include \"${h#include/}\"" | c++ -std=c++20 -fsyntax-only \
+    -Wall -Wextra -Werror -I include -I src -x c++ -
+done
+echo "public-header hygiene: OK"
 
 # --- ThreadSanitizer pass -------------------------------------------------
 # Race-checks the concurrency layer (core/thread_pool.h, core/sweep.cpp)
@@ -65,6 +76,36 @@ done
 ./build/tools/deltanc_cli --hops 2 > /dev/null
 ./build/tools/deltanc_cli --epsilon 1e-6 \
   --sweep uc=0.2:0.6:3 --sweep scheduler=fifo,edf --csv > /dev/null
+
+# --- Stream discipline: machine modes keep stdout pure --------------------
+# --csv stdout must be nothing but the CSV (header + one row per point);
+# --batch / --emit-batch stdout must be nothing but JSONL (each line must
+# survive the CLI's own strict linter).
+csv_out=$(mktemp)
+./build/tools/deltanc_cli --epsilon 1e-6 \
+  --sweep uc=0.2:0.6:3 --csv > "$csv_out" 2>/dev/null
+if [ "$(wc -l < "$csv_out")" -ne 4 ]; then
+  echo "FAIL: --csv stdout not pure CSV (want 1 header + 3 rows):"
+  cat "$csv_out"; exit 1
+fi
+awk -F, 'NR == 1 && NF < 5 { print "FAIL: csv header looks wrong"; exit 1 }' \
+  "$csv_out"
+rm -f "$csv_out"
+
+emit_out=$(mktemp)
+./build/tools/deltanc_cli --epsilon 1e-6 --sweep uc=0.2:0.6:3 \
+  --emit-batch > "$emit_out" 2>/dev/null
+./build/tools/deltanc_cli --lint-jsonl "$emit_out" 2>/dev/null
+batch_out=$(mktemp)
+./build/tools/deltanc_cli --batch "$emit_out" > "$batch_out" 2>/dev/null
+./build/tools/deltanc_cli --lint-jsonl "$batch_out" 2>/dev/null
+rm -f "$emit_out" "$batch_out"
+echo "stream discipline: OK"
+
+# --- Batch service + persistent cache guard -------------------------------
+# Fig. 2 grid cold vs warm: >= 95% cache hits and >= 5x internal speedup
+# on the second run, bit-identical responses (scripts/check_batch.sh).
+./scripts/check_batch.sh ./build/tools/deltanc_cli
 
 # Invariant self-check over the full Fig. 2-4 operating grids: scheduler
 # ordering, monotonicity in H/U/eps, exact-vs-paper-K agreement,

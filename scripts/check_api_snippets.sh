@@ -25,7 +25,7 @@ for f in "$TMPDIR_SNIPPETS"/snippet_*.cpp; do
   [ -e "$f" ] || break
   count=$((count + 1))
   if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
-       -I "$ROOT/src" "$f"; then
+       -I "$ROOT/src" -I "$ROOT/include" "$f"; then
     echo "FAIL: $(basename "$f") (from $DOC)" >&2
     failed=$((failed + 1))
   fi

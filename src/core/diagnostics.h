@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -35,10 +36,11 @@ enum class SolveErrorKind {
   kUnstable,          ///< offered load >= capacity; bound is +inf by theory
   kNoConvergence,     ///< an iteration (EDF fixed point) exhausted its budget
   kNumericalDomain,   ///< numerics left their domain (overflow, empty bracket)
+  kCorruptCache,      ///< a persistent cache entry was unreadable; re-solved
 };
 
 /// Number of distinct SolveErrorKind values (for per-kind count arrays).
-inline constexpr std::size_t kSolveErrorKinds = 5;
+inline constexpr std::size_t kSolveErrorKinds = 6;
 
 /// Stable machine-friendly name ("invalid-scenario", "unstable", ...).
 [[nodiscard]] constexpr const char* solve_error_name(SolveErrorKind kind) {
@@ -53,8 +55,24 @@ inline constexpr std::size_t kSolveErrorKinds = 5;
       return "no-convergence";
     case SolveErrorKind::kNumericalDomain:
       return "numerical-domain";
+    case SolveErrorKind::kCorruptCache:
+      return "corrupt-cache";
   }
   return "?";
+}
+
+/// Inverse of solve_error_name; returns false on unknown names.  Used by
+/// the JSON codec (src/io/codec.h) to decode persisted diagnostics.
+[[nodiscard]] constexpr bool solve_error_from_name(std::string_view name,
+                                                   SolveErrorKind& out) {
+  for (std::size_t i = 0; i < kSolveErrorKinds; ++i) {
+    const auto kind = static_cast<SolveErrorKind>(i);
+    if (name == solve_error_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// One non-fatal diagnostic attached to an otherwise usable result.

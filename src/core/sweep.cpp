@@ -64,8 +64,9 @@ SweepGrid& SweepGrid::add_axis(Axis axis) {
 }
 
 SweepGrid& SweepGrid::hops_axis(std::vector<int> values) {
-  Axis a{"hops", {}};
+  Axis a{"hops", {}, {"hops", {}, {}, {}}};
   for (int h : values) {
+    a.spec.numeric.push_back(h);
     if (h < 1) throw std::invalid_argument("SweepGrid: hops must be >= 1");
     a.values.emplace_back([h](e2e::Scenario& sc) { sc.hops = h; });
   }
@@ -73,7 +74,8 @@ SweepGrid& SweepGrid::hops_axis(std::vector<int> values) {
 }
 
 SweepGrid& SweepGrid::scheduler_axis(std::vector<e2e::Scheduler> values) {
-  Axis a{"scheduler", {}};
+  Axis a{"scheduler", {}, {"scheduler", {}, {}, {}}};
+  a.spec.schedulers = values;
   for (e2e::Scheduler s : values) {
     a.values.emplace_back([s](e2e::Scenario& sc) { sc.scheduler = s; });
   }
@@ -81,7 +83,8 @@ SweepGrid& SweepGrid::scheduler_axis(std::vector<e2e::Scheduler> values) {
 }
 
 SweepGrid& SweepGrid::edf_axis(std::vector<e2e::EdfSpec> values) {
-  Axis a{"edf", {}};
+  Axis a{"edf", {}, {"edf", {}, {}, {}}};
+  a.spec.edf = values;
   for (const e2e::EdfSpec& e : values) {
     if (!(e.own_factor > 0.0) || !(e.cross_factor > 0.0)) {
       throw std::invalid_argument("SweepGrid: EDF factors must be > 0");
@@ -92,25 +95,27 @@ SweepGrid& SweepGrid::edf_axis(std::vector<e2e::EdfSpec> values) {
 }
 
 SweepGrid& SweepGrid::through_flows_axis(std::vector<int> values) {
-  Axis a{"n0", {}};
+  Axis a{"n0", {}, {"n0", {}, {}, {}}};
   for (int n : values) {
     if (n < 1) throw std::invalid_argument("SweepGrid: need >= 1 through flow");
+    a.spec.numeric.push_back(n);
     a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_through = n; });
   }
   return add_axis(std::move(a));
 }
 
 SweepGrid& SweepGrid::cross_flows_axis(std::vector<int> values) {
-  Axis a{"nc", {}};
+  Axis a{"nc", {}, {"nc", {}, {}, {}}};
   for (int n : values) {
     if (n < 0) throw std::invalid_argument("SweepGrid: cross flows >= 0");
+    a.spec.numeric.push_back(n);
     a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_cross = n; });
   }
   return add_axis(std::move(a));
 }
 
 SweepGrid& SweepGrid::through_utilization_axis(std::vector<double> values) {
-  Axis a{"u0", {}};
+  Axis a{"u0", {}, {"u0", values, {}, {}}};
   for (double u : values) {
     // Conversion against the *base* capacity/source, exactly like
     // ScenarioBuilder::through_utilization.
@@ -121,7 +126,7 @@ SweepGrid& SweepGrid::through_utilization_axis(std::vector<double> values) {
 }
 
 SweepGrid& SweepGrid::cross_utilization_axis(std::vector<double> values) {
-  Axis a{"uc", {}};
+  Axis a{"uc", {}, {"uc", values, {}, {}}};
   for (double u : values) {
     const int n = flows_for_utilization(base_, u);
     a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_cross = n; });
@@ -130,7 +135,7 @@ SweepGrid& SweepGrid::cross_utilization_axis(std::vector<double> values) {
 }
 
 SweepGrid& SweepGrid::epsilon_axis(std::vector<double> values) {
-  Axis a{"epsilon", {}};
+  Axis a{"epsilon", {}, {"epsilon", values, {}, {}}};
   for (double eps : values) {
     if (!(eps > 0.0 && eps < 1.0)) {
       throw std::invalid_argument("SweepGrid: need 0 < epsilon < 1");
@@ -141,7 +146,7 @@ SweepGrid& SweepGrid::epsilon_axis(std::vector<double> values) {
 }
 
 SweepGrid& SweepGrid::capacity_axis(std::vector<double> values) {
-  Axis a{"capacity", {}};
+  Axis a{"capacity", {}, {"capacity", values, {}, {}}};
   for (double c : values) {
     if (!(c > 0.0)) throw std::invalid_argument("SweepGrid: capacity > 0");
     a.values.emplace_back([c](e2e::Scenario& sc) { sc.capacity = c; });
@@ -167,6 +172,10 @@ std::size_t SweepGrid::axis_size(std::size_t a) const {
 
 const std::string& SweepGrid::axis_name(std::size_t a) const {
   return axes_.at(a).name;
+}
+
+const SweepGrid::AxisSpec& SweepGrid::axis_spec(std::size_t a) const {
+  return axes_.at(a).spec;
 }
 
 std::size_t SweepGrid::size() const noexcept {

@@ -65,6 +65,19 @@ class SweepGrid {
   /// steps == 1 yields {lo}.  @throws std::invalid_argument if steps < 1.
   static std::vector<double> linspace(double lo, double hi, int steps);
 
+  /// The raw values one *_axis call recorded, exactly as given (numeric
+  /// axes keep their doubles even for integer axes like hops; u0/uc keep
+  /// the utilization fractions, not the resolved flow counts).  Replaying
+  /// them through the same-named *_axis call on the same base scenario
+  /// reproduces the grid bit-for-bit -- this is what the JSON codec
+  /// (io/codec.h) serializes.
+  struct AxisSpec {
+    std::string name;                        ///< "hops", "uc", "scheduler", ...
+    std::vector<double> numeric;             ///< numeric axes
+    std::vector<e2e::Scheduler> schedulers;  ///< "scheduler" axis
+    std::vector<e2e::EdfSpec> edf;           ///< "edf" axis
+  };
+
   [[nodiscard]] const e2e::Scenario& base() const noexcept { return base_; }
   /// Number of axes added so far.
   [[nodiscard]] std::size_t axes() const noexcept { return axes_.size(); }
@@ -72,6 +85,9 @@ class SweepGrid {
   [[nodiscard]] std::size_t axis_size(std::size_t a) const;
   /// Name of axis `a` ("hops", "scheduler", ...), for logs.
   [[nodiscard]] const std::string& axis_name(std::size_t a) const;
+  /// Serializable description of axis `a` (see AxisSpec).
+  /// @throws std::out_of_range if a >= axes().
+  [[nodiscard]] const AxisSpec& axis_spec(std::size_t a) const;
   /// Total number of grid points (1 for a grid with no axes: the base).
   [[nodiscard]] std::size_t size() const noexcept;
 
@@ -86,6 +102,8 @@ class SweepGrid {
     std::string name;
     // One mutator per axis value; applied to a copy of the base.
     std::vector<std::function<void(e2e::Scenario&)>> values;
+    // The raw values behind the mutators, for serialization.
+    AxisSpec spec;
   };
 
   SweepGrid& add_axis(Axis axis);

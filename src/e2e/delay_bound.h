@@ -11,11 +11,15 @@
 // and SP-high are provided for cross-validation.
 #pragma once
 
+#include "e2e/deprecation.h"
 #include "e2e/path_params.h"
 
 namespace deltanc::e2e {
 
 /// Exact minimization of Eq. (39) by breakpoint enumeration.
+/// @deprecated Prefer deltanc::Solver::optimize (e2e/solver.h), which
+/// method-dispatches and reuses a workspace across calls.
+DELTANC_DEPRECATED("use deltanc::Solver::optimize")
 [[nodiscard]] DelayResult optimize_delay(const PathParams& p, double gamma,
                                          double sigma);
 

@@ -1,0 +1,15 @@
+// Opt-in deprecation attribute for the pre-Solver free-function entry
+// points (optimize_delay, k_procedure_delay, best_delay_bound_for_delta).
+//
+// The attribute is a no-op by default so existing code (including this
+// repository's own benches and tests, which build with -Werror) keeps
+// compiling silently; downstream code migrating to the deltanc::Solver
+// facade (e2e/solver.h) can define DELTANC_ENABLE_DEPRECATION_WARNINGS
+// to surface every remaining call site as a [[deprecated]] diagnostic.
+#pragma once
+
+#if defined(DELTANC_ENABLE_DEPRECATION_WARNINGS)
+#define DELTANC_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define DELTANC_DEPRECATED(msg)
+#endif

@@ -24,6 +24,9 @@ SolveStats& SolveStats::operator+=(const SolveStats& other) {
   fallbacks += other.fallbacks;
   scan_ms += other.scan_ms;
   refine_ms += other.refine_ms;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_stale += other.cache_stale;
   return *this;
 }
 
@@ -361,7 +364,8 @@ BoundResult best_delay_bound_for_delta(const Scenario& sc, double delta,
   return finish(ctx, solve_for_delta(ctx, delta, nullptr));
 }
 
-BoundResult best_delay_bound(const Scenario& sc, Method method) {
+BoundResult best_delay_bound(const Scenario& sc, Method method,
+                             int max_edf_restarts) {
   switch (sc.scheduler) {
     case Scheduler::kFifo:
       return best_delay_bound_for_delta(sc, 0.0, method);
@@ -385,10 +389,17 @@ BoundResult best_delay_bound(const Scenario& sc, Method method) {
   if (!std::isfinite(seed.delay_ms)) return finish(ctx, seed);
   constexpr double kDamping[] = {0.5, 0.25, 0.1};
   constexpr int kMaxIters = 60;
+  // Retry policy: attempt 0 plus up to max_edf_restarts damped restarts;
+  // -1 (the default) runs the whole built-in schedule.
+  const std::size_t attempts =
+      max_edf_restarts < 0
+          ? std::size(kDamping)
+          : std::min(std::size(kDamping),
+                     static_cast<std::size_t>(max_edf_restarts) + 1);
   BoundResult prev = seed;
   double d = seed.delay_ms;
   bool converged = false;
-  for (std::size_t attempt = 0; attempt < std::size(kDamping); ++attempt) {
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     const double beta = kDamping[attempt];
     if (attempt > 0) {
       // Retry: restart from the FIFO seed with a tighter damping factor.

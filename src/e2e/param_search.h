@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/diagnostics.h"
+#include "e2e/deprecation.h"
 #include "e2e/path_params.h"
 #include "traffic/mmoo.h"
 
@@ -84,6 +85,13 @@ struct SolveStats {
   int fallbacks = 0;   ///< dense log-scan rescues of a degenerate/missed s scan
   double scan_ms = 0.0;             ///< wall time in the coarse s scans
   double refine_ms = 0.0;           ///< wall time in the golden refinements
+  // Persistent-result-cache outcome of this result (filled by the batch
+  // service / caching layers in src/io, zero for a plain solve).  Kept
+  // here so SweepReport::stats surfaces cache effectiveness alongside
+  // the solver counters with the existing operator+= aggregation.
+  std::int64_t cache_hits = 0;    ///< result was served from the cache
+  std::int64_t cache_misses = 0;  ///< no entry existed; solved and stored
+  std::int64_t cache_stale = 0;   ///< entry from an older schema/version
 
   SolveStats& operator+=(const SolveStats& other);
 };
@@ -104,14 +112,24 @@ struct BoundResult {
 
 /// Delay bound for a fixed, already-resolved Delta (no EDF fixed point).
 /// Optimizes over (gamma, s).
+///
+/// @deprecated Call deltanc::Solver (e2e/solver.h) with
+/// SolveOptions::delta instead; this remains as a thin compatibility
+/// entry point (define DELTANC_ENABLE_DEPRECATION_WARNINGS to get
+/// [[deprecated]] diagnostics for it).
+DELTANC_DEPRECATED("use deltanc::Solver with SolveOptions::delta")
 [[nodiscard]] BoundResult best_delay_bound_for_delta(const Scenario& sc,
                                                      double delta,
                                                      Method method);
 
 /// Full scenario solve: resolves EDF deadlines by fixed point when
-/// needed, then optimizes (gamma, s).
+/// needed, then optimizes (gamma, s).  `max_edf_restarts` caps the
+/// damped-restart retry policy of the EDF fixed point: -1 runs the full
+/// built-in damping schedule (the default; bit-identical to the
+/// historical behavior), 0 forbids restarts, n allows at most n.
 [[nodiscard]] BoundResult best_delay_bound(const Scenario& sc,
-                                           Method method = Method::kExactOpt);
+                                           Method method = Method::kExactOpt,
+                                           int max_edf_restarts = -1);
 
 /// The largest Chernoff parameter keeping the per-node load below
 /// capacity ((N0+Nc) eb(s) < C); +infinity when even the peak rate fits,

@@ -1,0 +1,46 @@
+#include "e2e/solver.h"
+
+namespace deltanc {
+
+e2e::Scenario Solver::effective_scenario(const e2e::Scenario& sc) const {
+  e2e::Scenario out = sc;
+  if (options_.scheduler.has_value()) out.scheduler = *options_.scheduler;
+  return out;
+}
+
+e2e::BoundResult Solver::solve(const e2e::Scenario& sc) const {
+  const e2e::Scenario effective = effective_scenario(sc);
+  if (options_.delta.has_value()) {
+    return e2e::best_delay_bound_for_delta(effective, *options_.delta,
+                                           options_.method);
+  }
+  return e2e::best_delay_bound(effective, options_.method,
+                               options_.max_edf_restarts);
+}
+
+e2e::BoundResult Solver::solve_at(const e2e::Scenario& sc,
+                                  double delta) const {
+  return e2e::best_delay_bound_for_delta(effective_scenario(sc), delta,
+                                         options_.method);
+}
+
+e2e::DelayResult Solver::optimize(const e2e::PathParams& p, double gamma,
+                                  double sigma) const {
+  if (options_.reuse_workspace) {
+    switch (options_.method) {
+      case e2e::Method::kExactOpt:
+        return e2e::optimize_delay(p, gamma, sigma, workspace_);
+      case e2e::Method::kPaperK:
+        return e2e::k_procedure_delay(p, gamma, sigma, workspace_);
+    }
+  }
+  switch (options_.method) {
+    case e2e::Method::kExactOpt:
+      return e2e::optimize_delay(p, gamma, sigma);
+    case e2e::Method::kPaperK:
+      return e2e::k_procedure_delay(p, gamma, sigma);
+  }
+  throw std::invalid_argument("Solver: unknown method");
+}
+
+}  // namespace deltanc

@@ -1,0 +1,95 @@
+// deltanc::Solver -- the consolidated solve entry point of the public
+// API (re-exported by include/deltanc/deltanc.h).
+//
+// Historically the library exposed three free-function entry points at
+// different altitudes: e2e::best_delay_bound_for_delta (scenario at a
+// fixed Delta), and the low-level theta optimizers e2e::optimize_delay /
+// e2e::k_procedure_delay (one (gamma, sigma) evaluation each, method
+// chosen by which function you call).  Solver unifies them behind one
+// object carrying a SolveOptions: the method, an optional scheduler
+// override, an optional fixed Delta, and the EDF retry policy all live
+// in one struct -- which is also exactly what the persistent result
+// cache hashes (io::solve_cache_key), so "what was solved" and "what
+// keys the cache" can never drift apart.
+//
+// Results are bit-identical to the free functions they replace (pinned
+// by tests/solver_facade_test.cpp against the PR 2 hexfloat goldens);
+// the free functions remain as thin deprecated shims (see
+// e2e/deprecation.h).
+#pragma once
+
+#include <optional>
+
+#include "e2e/delay_bound.h"
+#include "e2e/k_procedure.h"
+#include "e2e/param_search.h"
+
+namespace deltanc {
+
+/// Everything that parameterizes a solve besides the scenario itself.
+/// Hashed (together with the scenario and the library version) into the
+/// persistent cache key, so every field here must stay serializable.
+struct SolveOptions {
+  /// Theta optimization: exact breakpoint enumeration or the paper's
+  /// K-procedure.
+  e2e::Method method = e2e::Method::kExactOpt;
+  /// Override the scenario's scheduler without copying the scenario by
+  /// hand (e.g. one base scenario solved under all four schedulers).
+  std::optional<e2e::Scheduler> scheduler;
+  /// Solve at this fixed, already-resolved Delta instead of deriving it
+  /// from the scheduler (skips the EDF fixed point entirely).
+  std::optional<double> delta;
+  /// EDF fixed-point retry policy: -1 = the solver's full damped-restart
+  /// schedule (default, bit-identical to the historical behavior),
+  /// 0 = no restarts, n = at most n restarts.
+  int max_edf_restarts = -1;
+  /// Reuse one workspace across Solver::optimize calls (allocation-free
+  /// hot loops).  When false every call allocates its own buffers; the
+  /// results are bit-identical either way.  Scenario-level solves manage
+  /// their workspace internally and ignore this flag.
+  bool reuse_workspace = true;
+};
+
+/// The facade over the (gamma, s) parameter search and the theta
+/// optimizers.  Cheap to construct; copyable.  solve()/solve_at() are
+/// const and thread-safe; optimize() mutates the shared workspace when
+/// options().reuse_workspace, so give each thread its own Solver there.
+class Solver {
+ public:
+  Solver() = default;
+  explicit Solver(SolveOptions options) : options_(options) {}
+
+  [[nodiscard]] const SolveOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// The scenario this Solver would actually solve: `sc` with the
+  /// scheduler override (if any) applied.  Exposed so callers (and the
+  /// cache key) can see the effective input.
+  [[nodiscard]] e2e::Scenario effective_scenario(
+      const e2e::Scenario& sc) const;
+
+  /// Full scenario solve: resolves EDF deadlines by fixed point when
+  /// needed (honoring max_edf_restarts), then optimizes (gamma, s).
+  /// With options().delta set, solves at that fixed Delta instead.
+  [[nodiscard]] e2e::BoundResult solve(const e2e::Scenario& sc) const;
+
+  /// Scenario solve at an explicit fixed Delta (overrides
+  /// options().delta for this call).
+  [[nodiscard]] e2e::BoundResult solve_at(const e2e::Scenario& sc,
+                                          double delta) const;
+
+  /// One theta optimization (Eq. 39 exactly, or the paper's K-procedure,
+  /// per options().method) at fixed (gamma, sigma).  With
+  /// reuse_workspace (the default) consecutive calls share this Solver's
+  /// buffers and the result is copied out; bit-identical to
+  /// e2e::optimize_delay / e2e::k_procedure_delay.
+  [[nodiscard]] e2e::DelayResult optimize(const e2e::PathParams& p,
+                                          double gamma, double sigma) const;
+
+ private:
+  SolveOptions options_;
+  mutable e2e::SolveWorkspace workspace_;
+};
+
+}  // namespace deltanc

@@ -1,0 +1,205 @@
+#include "io/batch.h"
+
+#include <chrono>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "e2e/solver.h"
+
+namespace deltanc::io {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using json::Value;
+
+const char* lookup_name(CacheLookup outcome) {
+  switch (outcome) {
+    case CacheLookup::kHit:
+      return "hit";
+    case CacheLookup::kMiss:
+      return "miss";
+    case CacheLookup::kStale:
+      return "stale";
+    case CacheLookup::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+/// One input line's lifecycle through the batch.
+struct Request {
+  bool parsed = false;
+  std::string error;         ///< parse/decode failure when !parsed
+  Value id;                  ///< echoed verbatim (null when absent)
+  e2e::Scenario scenario;    ///< effective (scheduler override folded in)
+  SolveOptions options;      ///< canonical (scheduler cleared)
+  std::string key;           ///< io::solve_cache_key
+  CacheLookup outcome = CacheLookup::kMiss;
+  SweepPoint point;          ///< the answer (cache hit or solve)
+};
+
+void parse_request(const std::string& line, e2e::Method default_method,
+                   Request& req) {
+  const Value doc = Value::parse(line);
+  require_schema(doc);
+  if (const Value* id = doc.find("id")) req.id = *id;
+  e2e::Scenario sc = decode_scenario(doc.at("scenario"));
+  SolveOptions options;
+  options.method = default_method;
+  if (const Value* o = doc.find("options"); o != nullptr && !o->is_null()) {
+    options = decode_solve_options(*o);
+  }
+  // Fold the scheduler override into the scenario here (not just inside
+  // solve_cache_key) so grouping by options groups by what actually
+  // varies the solve.
+  if (options.scheduler.has_value()) {
+    sc.scheduler = *options.scheduler;
+    options.scheduler.reset();
+  }
+  options.reuse_workspace = true;
+  req.scenario = sc;
+  req.options = options;
+  req.key = solve_cache_key(sc, options);
+  req.parsed = true;
+}
+
+}  // namespace
+
+BatchSummary run_batch(std::istream& in, std::ostream& out,
+                       const BatchOptions& options) {
+  const auto t0 = Clock::now();
+  BatchSummary summary;
+  const CacheStats cache_before =
+      options.cache != nullptr ? options.cache->stats() : CacheStats{};
+
+  // ----- ingest ----------------------------------------------------------
+  std::vector<Request> requests;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Request req;
+    try {
+      parse_request(line, options.default_method, req);
+    } catch (const std::exception& e) {
+      req.parsed = false;
+      req.error = e.what();
+    }
+    requests.push_back(std::move(req));
+  }
+  summary.requests = static_cast<std::int64_t>(requests.size());
+
+  // ----- cache pass ------------------------------------------------------
+  std::vector<std::size_t> pending;  // request indices still to solve
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request& req = requests[i];
+    if (!req.parsed) continue;
+    if (options.cache == nullptr) {
+      pending.push_back(i);
+      continue;
+    }
+    e2e::BoundResult cached;
+    req.outcome = options.cache->lookup(req.key, cached);
+    if (req.outcome == CacheLookup::kHit) {
+      req.point.scenario = req.scenario;
+      req.point.bound = std::move(cached);
+      req.point.bound.stats.cache_hits = 1;
+      req.point.bound.stats.cache_misses = 0;
+      req.point.bound.stats.cache_stale = 0;
+      ++summary.cached;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  // ----- solve pass: group misses by options, fan out per group ----------
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (const std::size_t i : pending) {
+    groups[encode_solve_options(requests[i].options).dump()].push_back(i);
+  }
+  const std::size_t total_pending = pending.size();
+  std::size_t done_offset = 0;
+  for (const auto& [options_key, members] : groups) {
+    (void)options_key;
+    const Solver solver(requests[members.front()].options);
+    std::vector<e2e::Scenario> scenarios;
+    scenarios.reserve(members.size());
+    for (const std::size_t i : members) {
+      scenarios.push_back(requests[i].scenario);
+    }
+    SweepOptions sweep;
+    sweep.threads = options.threads;
+    sweep.method = solver.options().method;
+    sweep.solver = [&solver](const e2e::Scenario& sc, e2e::Method) {
+      return solver.solve(sc);
+    };
+    if (options.progress) {
+      sweep.progress = [&options, done_offset,
+                        total_pending](std::size_t done, std::size_t) {
+        options.progress(done_offset + done, total_pending);
+      };
+    }
+    const SweepReport report = SweepRunner(sweep).run(
+        std::span<const e2e::Scenario>(scenarios));
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      Request& req = requests[members[j]];
+      req.point = report.points[j];
+      if (req.point.ok && options.cache != nullptr) {
+        // Persist with the cache counters zeroed: they describe how a
+        // particular response was obtained, not the result itself.
+        options.cache->store(req.key, req.point.bound);
+      }
+      if (req.outcome == CacheLookup::kStale) {
+        req.point.bound.stats.cache_stale = 1;
+      } else {
+        req.point.bound.stats.cache_misses = 1;
+      }
+      if (req.outcome == CacheLookup::kCorrupt) {
+        req.point.bound.diagnostics.warn(
+            diag::SolveErrorKind::kCorruptCache,
+            "cache entry " + req.key + " was unreadable; re-solved");
+      }
+      ++summary.solved;
+      if (!req.point.ok) ++summary.failed;
+    }
+    done_offset += members.size();
+  }
+
+  // ----- emit (input order) ----------------------------------------------
+  for (const Request& req : requests) {
+    Value response = Value::object();
+    response.set("schema", Value::number(kSchemaVersion)).set("id", req.id);
+    if (!req.parsed) {
+      response.set("ok", Value::boolean(false))
+          .set("error", Value::string(req.error));
+      ++summary.parse_errors;
+    } else {
+      response.set("ok", Value::boolean(true));
+      if (options.cache != nullptr) {
+        response.set("cache", Value::string(lookup_name(req.outcome)));
+      }
+      response.set("result", encode_bound_result(req.point.bound));
+      summary.stats += req.point.bound.stats;
+    }
+    out << response.dump() << '\n';
+    ++summary.responses;
+  }
+
+  if (options.cache != nullptr) {
+    const CacheStats& after = options.cache->stats();
+    summary.cache_stats.hits = after.hits - cache_before.hits;
+    summary.cache_stats.misses = after.misses - cache_before.misses;
+    summary.cache_stats.stale = after.stale - cache_before.stale;
+    summary.cache_stats.corrupt = after.corrupt - cache_before.corrupt;
+    summary.cache_stats.stores = after.stores - cache_before.stores;
+  }
+  summary.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return summary;
+}
+
+}  // namespace deltanc::io

@@ -1,0 +1,68 @@
+// JSONL batch solve service -- the engine behind `deltanc_cli --batch`.
+//
+// Input: one JSON request object per line:
+//   {"schema": 1, "scenario": {...}, "options": {...}, "id": <any>}
+// "options" (see io::decode_solve_options) and "id" are optional; blank
+// lines are skipped.  Output: one JSON response per request, streamed in
+// *input order*:
+//   {"schema": 1, "id": <echoed>, "ok": true,  "cache": "hit"|"miss"|
+//    "stale"|"corrupt", "result": {...}}            -- solved/served
+//     (the "cache" field appears only when a ResultCache is attached)
+//   {"schema": 1, "id": <echoed>, "ok": false, "error": "..."}
+//                                                    -- unparseable line
+//
+// Caching: with a ResultCache attached, every request is looked up
+// first; hits are answered without solving, and every solved result is
+// stored back.  A stale entry (other schema or library version) and a
+// corrupt entry (unreadable bytes) both re-solve and overwrite; a
+// corrupt one additionally tags the result with a diag::kCorruptCache
+// warning so the recovery is visible downstream.  Each response's
+// result.stats carries exactly one of cache_hits / cache_misses /
+// cache_stale = 1, so summing stats over responses (as SweepReport
+// already does) yields the hit ratio.
+//
+// Parallelism: cache misses are grouped by solve options and fanned out
+// through SweepRunner, so a cold batch gets the same thread scaling as a
+// sweep while responses stay deterministically ordered.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/sweep.h"
+#include "io/result_cache.h"
+
+namespace deltanc::io {
+
+struct BatchOptions {
+  /// Worker count for the solve fan-out; 0 = DELTANC_THREADS env or
+  /// hardware_concurrency() (SweepRunner's resolution).
+  int threads = 0;
+  /// Method used when a request carries no "options" object.
+  e2e::Method default_method = e2e::Method::kExactOpt;
+  /// Optional persistent cache; nullptr = solve everything.
+  ResultCache* cache = nullptr;
+  /// Called after each solved (not cached) point, with (done, total)
+  /// over the miss set; serialized, `done` strictly increasing.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Totals of one run_batch call.
+struct BatchSummary {
+  std::int64_t requests = 0;      ///< non-blank input lines
+  std::int64_t responses = 0;     ///< response lines written (== requests)
+  std::int64_t parse_errors = 0;  ///< lines answered with ok=false
+  std::int64_t solved = 0;        ///< answered by running the solver
+  std::int64_t cached = 0;        ///< answered from the cache
+  std::int64_t failed = 0;        ///< solver threw (response ok=true,
+                                  ///<   result carries the +inf bound)
+  double wall_ms = 0.0;           ///< end-to-end wall clock
+  e2e::SolveStats stats{};        ///< summed over all ok responses
+  CacheStats cache_stats{};       ///< cache traffic of this run
+};
+
+/// Reads JSONL requests from `in`, writes JSONL responses to `out`
+/// (nothing else -- `out` stays machine-parseable), returns the totals.
+BatchSummary run_batch(std::istream& in, std::ostream& out,
+                       const BatchOptions& options = {});
+
+}  // namespace deltanc::io

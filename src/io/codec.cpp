@@ -1,0 +1,447 @@
+#include "io/codec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace deltanc::io {
+
+namespace {
+
+using json::Value;
+
+/// Rounds a JSON number to the nearest integer, rejecting values that
+/// are not integral (counts must not silently truncate).
+long long decode_integer(const Value& v, const char* what) {
+  const double d = v.as_number();
+  if (d != std::floor(d) || std::fabs(d) > 9.007199254740992e15) {
+    throw CodecError(std::string("codec: ") + what +
+                     " must be an integer (got " + v.dump() + ")");
+  }
+  return static_cast<long long>(d);
+}
+
+int decode_int(const Value& v, const char* what) {
+  const long long n = decode_integer(v, what);
+  if (n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    throw CodecError(std::string("codec: ") + what + " out of int range");
+  }
+  return static_cast<int>(n);
+}
+
+/// Optional-field lookup: returns nullptr when the key is absent OR
+/// explicitly null (both mean "use the default").
+const Value* find_optional(const Value& obj, std::string_view key) {
+  const Value* v = obj.find(key);
+  return (v == nullptr || v->is_null()) ? nullptr : v;
+}
+
+}  // namespace
+
+// ----- doubles -----------------------------------------------------------
+
+Value encode_double(double v) {
+  if (std::isfinite(v)) return Value::number(v);
+  if (std::isnan(v)) return Value::string("nan");
+  return Value::string(v > 0 ? "inf" : "-inf");
+}
+
+double decode_double(const Value& v) {
+  if (v.is_number()) return v.as_number();
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s.empty()) throw CodecError("codec: empty string where double expected");
+    char* end = nullptr;
+    const double parsed = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() + s.size()) return parsed;  // covers inf/-inf/nan/hex
+    throw CodecError("codec: unparseable double \"" + s + "\"");
+  }
+  throw CodecError("codec: expected a number or numeric string, got " +
+                   v.dump());
+}
+
+// ----- enums -------------------------------------------------------------
+
+Value encode_scheduler(e2e::Scheduler s) {
+  return Value::string(scheduler_name(s));
+}
+
+e2e::Scheduler decode_scheduler(const Value& v) {
+  e2e::Scheduler s{};
+  if (!scheduler_from_name(v.as_string(), s)) {
+    throw CodecError("codec: unknown scheduler \"" + v.as_string() + "\"");
+  }
+  return s;
+}
+
+Value encode_method(e2e::Method m) {
+  return Value::string(m == e2e::Method::kPaperK ? "paper-k" : "exact");
+}
+
+e2e::Method decode_method(const Value& v) {
+  const std::string& name = v.as_string();
+  if (name == "exact") return e2e::Method::kExactOpt;
+  if (name == "paper-k") return e2e::Method::kPaperK;
+  throw CodecError("codec: unknown method \"" + name + "\"");
+}
+
+void require_schema(const Value& v) {
+  const Value* schema = v.is_object() ? v.find("schema") : nullptr;
+  if (schema == nullptr) {
+    throw SchemaError("codec: document carries no \"schema\" field");
+  }
+  const long long got = decode_integer(*schema, "schema");
+  if (got != kSchemaVersion) {
+    throw SchemaError("codec: schema " + std::to_string(got) +
+                      " != supported " + std::to_string(kSchemaVersion));
+  }
+}
+
+// ----- Scenario ----------------------------------------------------------
+
+Value encode_scenario(const e2e::Scenario& sc) {
+  Value source = Value::object();
+  source.set("peak_kb", encode_double(sc.source.peak_kb()))
+      .set("p11", encode_double(sc.source.p11()))
+      .set("p22", encode_double(sc.source.p22()));
+  Value edf = Value::object();
+  edf.set("own_factor", encode_double(sc.edf.own_factor))
+      .set("cross_factor", encode_double(sc.edf.cross_factor));
+  Value out = Value::object();
+  out.set("capacity", encode_double(sc.capacity))
+      .set("hops", Value::number(sc.hops))
+      .set("source", std::move(source))
+      .set("n_through", Value::number(sc.n_through))
+      .set("n_cross", Value::number(sc.n_cross))
+      .set("epsilon", encode_double(sc.epsilon))
+      .set("scheduler", encode_scheduler(sc.scheduler))
+      .set("edf", std::move(edf));
+  return out;
+}
+
+e2e::Scenario decode_scenario(const Value& v) {
+  if (!v.is_object()) {
+    throw CodecError("codec: scenario must be an object, got " + v.dump());
+  }
+  e2e::Scenario sc;
+  sc.capacity = decode_double(v.at("capacity"));
+  sc.hops = decode_int(v.at("hops"), "hops");
+  if (const Value* source = find_optional(v, "source")) {
+    // The MmooSource constructor re-validates the probabilities, so a
+    // corrupted document cannot produce an inconsistent source object.
+    sc.source = traffic::MmooSource(decode_double(source->at("peak_kb")),
+                                    decode_double(source->at("p11")),
+                                    decode_double(source->at("p22")));
+  }
+  sc.n_through = decode_int(v.at("n_through"), "n_through");
+  sc.n_cross = decode_int(v.at("n_cross"), "n_cross");
+  sc.epsilon = decode_double(v.at("epsilon"));
+  sc.scheduler = decode_scheduler(v.at("scheduler"));
+  if (const Value* edf = find_optional(v, "edf")) {
+    sc.edf.own_factor = decode_double(edf->at("own_factor"));
+    sc.edf.cross_factor = decode_double(edf->at("cross_factor"));
+  }
+  return sc;
+}
+
+// ----- SolveStats --------------------------------------------------------
+
+Value encode_solve_stats(const e2e::SolveStats& stats) {
+  Value out = Value::object();
+  out.set("optimize_evals",
+          Value::number(static_cast<double>(stats.optimize_evals)))
+      .set("eb_evals", Value::number(static_cast<double>(stats.eb_evals)))
+      .set("sigma_evals",
+           Value::number(static_cast<double>(stats.sigma_evals)))
+      .set("edf_iterations", Value::number(stats.edf_iterations))
+      .set("edf_converged", Value::boolean(stats.edf_converged))
+      .set("retries", Value::number(stats.retries))
+      .set("fallbacks", Value::number(stats.fallbacks))
+      .set("scan_ms", encode_double(stats.scan_ms))
+      .set("refine_ms", encode_double(stats.refine_ms))
+      .set("cache_hits", Value::number(static_cast<double>(stats.cache_hits)))
+      .set("cache_misses",
+           Value::number(static_cast<double>(stats.cache_misses)))
+      .set("cache_stale",
+           Value::number(static_cast<double>(stats.cache_stale)));
+  return out;
+}
+
+e2e::SolveStats decode_solve_stats(const Value& v) {
+  e2e::SolveStats stats;
+  stats.optimize_evals = decode_integer(v.at("optimize_evals"), "stats");
+  stats.eb_evals = decode_integer(v.at("eb_evals"), "stats");
+  stats.sigma_evals = decode_integer(v.at("sigma_evals"), "stats");
+  stats.edf_iterations = decode_int(v.at("edf_iterations"), "stats");
+  stats.edf_converged = v.at("edf_converged").as_bool();
+  stats.retries = decode_int(v.at("retries"), "stats");
+  stats.fallbacks = decode_int(v.at("fallbacks"), "stats");
+  stats.scan_ms = decode_double(v.at("scan_ms"));
+  stats.refine_ms = decode_double(v.at("refine_ms"));
+  if (const Value* f = find_optional(v, "cache_hits")) {
+    stats.cache_hits = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "cache_misses")) {
+    stats.cache_misses = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "cache_stale")) {
+    stats.cache_stale = decode_integer(*f, "stats");
+  }
+  return stats;
+}
+
+// ----- Diagnostics -------------------------------------------------------
+
+namespace {
+
+diag::SolveErrorKind decode_kind(const Value& v) {
+  diag::SolveErrorKind kind{};
+  if (!diag::solve_error_from_name(v.as_string(), kind)) {
+    throw CodecError("codec: unknown error kind \"" + v.as_string() + "\"");
+  }
+  return kind;
+}
+
+}  // namespace
+
+Value encode_diagnostics(const diag::Diagnostics& d) {
+  Value warnings = Value::array();
+  for (const diag::Warning& w : d.warnings) {
+    Value entry = Value::object();
+    entry.set("kind", Value::string(diag::solve_error_name(w.kind)))
+        .set("message", Value::string(w.message));
+    warnings.push_back(std::move(entry));
+  }
+  Value out = Value::object();
+  out.set("error", Value::string(diag::solve_error_name(d.error)))
+      .set("message", Value::string(d.message))
+      .set("warnings", std::move(warnings));
+  return out;
+}
+
+diag::Diagnostics decode_diagnostics(const Value& v) {
+  diag::Diagnostics d;
+  d.error = decode_kind(v.at("error"));
+  d.message = v.at("message").as_string();
+  for (const Value& w : v.at("warnings").items()) {
+    d.warnings.push_back(
+        diag::Warning{decode_kind(w.at("kind")), w.at("message").as_string()});
+  }
+  return d;
+}
+
+// ----- BoundResult -------------------------------------------------------
+
+Value encode_bound_result(const e2e::BoundResult& r) {
+  Value out = Value::object();
+  out.set("delay_ms", encode_double(r.delay_ms))
+      .set("gamma", encode_double(r.gamma))
+      .set("s", encode_double(r.s))
+      .set("sigma", encode_double(r.sigma))
+      .set("delta", encode_double(r.delta))
+      .set("stats", encode_solve_stats(r.stats))
+      .set("diagnostics", encode_diagnostics(r.diagnostics));
+  return out;
+}
+
+e2e::BoundResult decode_bound_result(const Value& v) {
+  e2e::BoundResult r{};
+  r.delay_ms = decode_double(v.at("delay_ms"));
+  r.gamma = decode_double(v.at("gamma"));
+  r.s = decode_double(v.at("s"));
+  r.sigma = decode_double(v.at("sigma"));
+  r.delta = decode_double(v.at("delta"));
+  if (const Value* stats = find_optional(v, "stats")) {
+    r.stats = decode_solve_stats(*stats);
+  }
+  if (const Value* d = find_optional(v, "diagnostics")) {
+    r.diagnostics = decode_diagnostics(*d);
+  }
+  return r;
+}
+
+// ----- SweepPoint / SweepReport ------------------------------------------
+
+Value encode_sweep_point(const SweepPoint& p) {
+  Value out = Value::object();
+  out.set("scenario", encode_scenario(p.scenario))
+      .set("bound", encode_bound_result(p.bound))
+      .set("solve_ms", encode_double(p.solve_ms))
+      .set("ok", Value::boolean(p.ok))
+      .set("error", Value::string(p.error));
+  return out;
+}
+
+SweepPoint decode_sweep_point(const Value& v) {
+  SweepPoint p;
+  p.scenario = decode_scenario(v.at("scenario"));
+  p.bound = decode_bound_result(v.at("bound"));
+  p.solve_ms = decode_double(v.at("solve_ms"));
+  p.ok = v.at("ok").as_bool();
+  p.error = v.at("error").as_string();
+  return p;
+}
+
+Value encode_sweep_report(const SweepReport& report) {
+  Value points = Value::array();
+  for (const SweepPoint& p : report.points) {
+    points.push_back(encode_sweep_point(p));
+  }
+  Value out = Value::object();
+  out.set("schema", Value::number(kSchemaVersion))
+      .set("threads", Value::number(report.threads))
+      .set("wall_ms", encode_double(report.wall_ms))
+      .set("solve_ms", encode_double(report.solve_ms))
+      .set("stats", encode_solve_stats(report.stats))
+      .set("points", std::move(points));
+  return out;
+}
+
+SweepReport decode_sweep_report(const Value& v) {
+  require_schema(v);
+  SweepReport report;
+  report.threads = decode_int(v.at("threads"), "threads");
+  report.wall_ms = decode_double(v.at("wall_ms"));
+  report.solve_ms = decode_double(v.at("solve_ms"));
+  report.stats = decode_solve_stats(v.at("stats"));
+  for (const Value& p : v.at("points").items()) {
+    report.points.push_back(decode_sweep_point(p));
+  }
+  return report;
+}
+
+// ----- SweepGrid ---------------------------------------------------------
+
+Value encode_sweep_grid(const SweepGrid& grid) {
+  Value axes = Value::array();
+  for (std::size_t a = 0; a < grid.axes(); ++a) {
+    const SweepGrid::AxisSpec& spec = grid.axis_spec(a);
+    Value values = Value::array();
+    if (spec.name == "scheduler") {
+      for (e2e::Scheduler s : spec.schedulers) {
+        values.push_back(encode_scheduler(s));
+      }
+    } else if (spec.name == "edf") {
+      for (const e2e::EdfSpec& e : spec.edf) {
+        Value entry = Value::object();
+        entry.set("own_factor", encode_double(e.own_factor))
+            .set("cross_factor", encode_double(e.cross_factor));
+        values.push_back(std::move(entry));
+      }
+    } else {
+      for (double d : spec.numeric) values.push_back(encode_double(d));
+    }
+    Value axis = Value::object();
+    axis.set("name", Value::string(spec.name)).set("values", std::move(values));
+    axes.push_back(std::move(axis));
+  }
+  Value out = Value::object();
+  out.set("schema", Value::number(kSchemaVersion))
+      .set("base", encode_scenario(grid.base()))
+      .set("axes", std::move(axes));
+  return out;
+}
+
+SweepGrid decode_sweep_grid(const Value& v) {
+  require_schema(v);
+  SweepGrid grid(decode_scenario(v.at("base")));
+  for (const Value& axis : v.at("axes").items()) {
+    const std::string& name = axis.at("name").as_string();
+    const std::vector<Value>& values = axis.at("values").items();
+    if (name == "scheduler") {
+      std::vector<e2e::Scheduler> schedulers;
+      for (const Value& s : values) schedulers.push_back(decode_scheduler(s));
+      grid.scheduler_axis(std::move(schedulers));
+      continue;
+    }
+    if (name == "edf") {
+      std::vector<e2e::EdfSpec> edf;
+      for (const Value& e : values) {
+        edf.push_back(e2e::EdfSpec{decode_double(e.at("own_factor")),
+                                   decode_double(e.at("cross_factor"))});
+      }
+      grid.edf_axis(std::move(edf));
+      continue;
+    }
+    std::vector<double> numeric;
+    for (const Value& d : values) numeric.push_back(decode_double(d));
+    if (name == "hops" || name == "n0" || name == "nc") {
+      std::vector<int> ints;
+      for (double d : numeric) {
+        ints.push_back(decode_int(Value::number(d), name.c_str()));
+      }
+      if (name == "hops") {
+        grid.hops_axis(std::move(ints));
+      } else if (name == "n0") {
+        grid.through_flows_axis(std::move(ints));
+      } else {
+        grid.cross_flows_axis(std::move(ints));
+      }
+    } else if (name == "u0") {
+      grid.through_utilization_axis(std::move(numeric));
+    } else if (name == "uc") {
+      grid.cross_utilization_axis(std::move(numeric));
+    } else if (name == "epsilon") {
+      grid.epsilon_axis(std::move(numeric));
+    } else if (name == "capacity") {
+      grid.capacity_axis(std::move(numeric));
+    } else {
+      throw CodecError("codec: unknown sweep axis \"" + name + "\"");
+    }
+  }
+  return grid;
+}
+
+// ----- SolveOptions / cache key ------------------------------------------
+
+Value encode_solve_options(const SolveOptions& options) {
+  Value out = Value::object();
+  out.set("method", encode_method(options.method))
+      .set("scheduler", options.scheduler.has_value()
+                            ? encode_scheduler(*options.scheduler)
+                            : Value::null())
+      .set("delta", options.delta.has_value() ? encode_double(*options.delta)
+                                              : Value::null())
+      .set("max_edf_restarts", Value::number(options.max_edf_restarts));
+  return out;
+}
+
+SolveOptions decode_solve_options(const Value& v) {
+  SolveOptions options;
+  if (const Value* m = find_optional(v, "method")) {
+    options.method = decode_method(*m);
+  }
+  if (const Value* s = find_optional(v, "scheduler")) {
+    options.scheduler = decode_scheduler(*s);
+  }
+  if (const Value* d = find_optional(v, "delta")) {
+    options.delta = decode_double(*d);
+  }
+  if (const Value* r = find_optional(v, "max_edf_restarts")) {
+    options.max_edf_restarts = decode_int(*r, "max_edf_restarts");
+  }
+  return options;
+}
+
+std::string solve_cache_key(const e2e::Scenario& sc,
+                            const SolveOptions& options) {
+  // Fold the scheduler override into the scenario so "FIFO scenario
+  // overridden to EDF" and "EDF scenario" key identically -- they solve
+  // identically.
+  SolveOptions canonical = options;
+  e2e::Scenario effective = sc;
+  if (canonical.scheduler.has_value()) {
+    effective.scheduler = *canonical.scheduler;
+    canonical.scheduler.reset();
+  }
+  canonical.reuse_workspace = true;  // excluded from the key by contract
+  Value key = Value::object();
+  key.set("schema", Value::number(kSchemaVersion))
+      .set("scenario", encode_scenario(effective))
+      .set("options", encode_solve_options(canonical));
+  return key.dump();
+}
+
+}  // namespace deltanc::io

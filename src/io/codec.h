@@ -1,0 +1,124 @@
+// Schema-versioned JSON codec for the library's value types: scenarios,
+// sweep grids, solve results (with their stats and diagnostics), and
+// whole sweep reports round-trip through io::json::Value losslessly --
+// doubles bit-exactly (including +/-inf and NaN), enums by their stable
+// string names.
+//
+// Versioning: every top-level document (scenario file, grid file, report
+// file, cache entry, batch request/response) carries a "schema" field
+// equal to kSchemaVersion.  Decoders reject documents with a different
+// schema (SchemaError), which is what lets the persistent cache
+// invalidate itself automatically when the wire format changes; nested
+// values (a scenario inside a report) carry no redundant schema field.
+//
+// Canonicalization: encoders emit fields in a fixed documented order and
+// the compact dump() is byte-stable for a given input, so
+// solve_cache_key() -- the compact dump of (schema, scenario, solve
+// options) -- is a canonical content hash input.  The library version is
+// deliberately NOT part of the key: the cache stores it per entry and
+// classifies version mismatches as *stale* (observable, re-solved,
+// overwritten) rather than burying them as silent misses.
+#pragma once
+
+#include "core/sweep.h"
+#include "e2e/solver.h"
+#include "io/json.h"
+
+namespace deltanc::io {
+
+/// Version of the wire format produced by the encoders below.  Bump on
+/// any change that alters the meaning or layout of encoded documents;
+/// cached results from other schema versions are re-solved.
+inline constexpr int kSchemaVersion = 1;
+
+/// A structurally valid JSON document that does not decode as the
+/// requested type (missing/mistyped fields, unknown enum names, bad
+/// schema).  SchemaError is the "wrong schema version" special case.
+struct CodecError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct SchemaError : CodecError {
+  using CodecError::CodecError;
+};
+
+// ----- doubles (bit-exact, non-finite-safe) ------------------------------
+
+/// Finite doubles encode as JSON numbers (17 significant digits: parses
+/// back to the identical bits); +/-inf and NaN encode as the strings
+/// "inf" / "-inf" / "nan".
+[[nodiscard]] json::Value encode_double(double v);
+/// Accepts numbers plus the non-finite strings above; also accepts any
+/// strtod-parseable string (e.g. C99 hexfloat "0x1.6p+4") so hand-written
+/// documents can pin exact bits.  @throws CodecError otherwise.
+[[nodiscard]] double decode_double(const json::Value& v);
+
+// ----- value types -------------------------------------------------------
+
+// Field orders (canonical):
+//   Scenario:   capacity, hops, source{peak_kb, p11, p22}, n_through,
+//               n_cross, epsilon, scheduler, edf{own_factor, cross_factor}
+//   SolveStats: optimize_evals, eb_evals, sigma_evals, edf_iterations,
+//               edf_converged, retries, fallbacks, scan_ms, refine_ms,
+//               cache_hits, cache_misses, cache_stale
+//   Diagnostics: error, message, warnings[{kind, message}]
+//   BoundResult: delay_ms, gamma, s, sigma, delta, stats, diagnostics
+//   SweepPoint:  scenario, bound, solve_ms, ok, error
+// Decoders tolerate *absent* optional fields (stats/diagnostics default)
+// but reject mistyped or unknown-enum values.
+
+[[nodiscard]] json::Value encode_scenario(const e2e::Scenario& sc);
+[[nodiscard]] e2e::Scenario decode_scenario(const json::Value& v);
+
+[[nodiscard]] json::Value encode_solve_stats(const e2e::SolveStats& stats);
+[[nodiscard]] e2e::SolveStats decode_solve_stats(const json::Value& v);
+
+[[nodiscard]] json::Value encode_diagnostics(const diag::Diagnostics& d);
+[[nodiscard]] diag::Diagnostics decode_diagnostics(const json::Value& v);
+
+[[nodiscard]] json::Value encode_bound_result(const e2e::BoundResult& r);
+[[nodiscard]] e2e::BoundResult decode_bound_result(const json::Value& v);
+
+[[nodiscard]] json::Value encode_sweep_point(const SweepPoint& p);
+[[nodiscard]] SweepPoint decode_sweep_point(const json::Value& v);
+
+/// Top-level document ("schema", "threads", "wall_ms", "solve_ms",
+/// "stats", "points").
+[[nodiscard]] json::Value encode_sweep_report(const SweepReport& report);
+[[nodiscard]] SweepReport decode_sweep_report(const json::Value& v);
+
+/// Top-level document ("schema", "base", "axes": [{name, values}]).
+/// Axis values are the raw ones given to the *_axis calls (utilization
+/// axes keep their fractions), so decoding replays the same calls on the
+/// same base and reproduces every grid point bit-for-bit.
+[[nodiscard]] json::Value encode_sweep_grid(const SweepGrid& grid);
+[[nodiscard]] SweepGrid decode_sweep_grid(const json::Value& v);
+
+// ----- solve options and the cache key -----------------------------------
+
+/// Canonical fields: method, scheduler (or null), delta (or null),
+/// max_edf_restarts.  reuse_workspace is intentionally excluded: it
+/// cannot change any result bit, so it must not fragment the cache.
+[[nodiscard]] json::Value encode_solve_options(const SolveOptions& options);
+[[nodiscard]] SolveOptions decode_solve_options(const json::Value& v);
+
+/// The canonical cache key for "this scenario solved with these
+/// options": the compact dump of {"schema", "scenario", "options"} with
+/// the scheduler override already folded into the scenario.  Two solves
+/// get the same key iff the codec cannot distinguish their inputs.
+[[nodiscard]] std::string solve_cache_key(const e2e::Scenario& sc,
+                                          const SolveOptions& options);
+
+// ----- helpers shared by the cache / batch layers ------------------------
+
+/// @throws SchemaError unless v is an object whose "schema" equals
+/// kSchemaVersion.
+void require_schema(const json::Value& v);
+
+/// Scheduler <-> name, throwing flavors of core/sweep.h's helpers.
+[[nodiscard]] json::Value encode_scheduler(e2e::Scheduler s);
+[[nodiscard]] e2e::Scheduler decode_scheduler(const json::Value& v);
+
+[[nodiscard]] json::Value encode_method(e2e::Method m);
+[[nodiscard]] e2e::Method decode_method(const json::Value& v);
+
+}  // namespace deltanc::io

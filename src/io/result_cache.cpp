@@ -1,0 +1,132 @@
+#include "io/result_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "deltanc/version.h"
+
+namespace deltanc::io {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+CacheStats& CacheStats::operator+=(const CacheStats& other) noexcept {
+  hits += other.hits;
+  misses += other.misses;
+  stale += other.stale;
+  corrupt += other.corrupt;
+  stores += other.stores;
+  return *this;
+}
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("result cache: cannot create directory " +
+                             dir_.string() +
+                             (ec ? ": " + ec.message() : std::string()));
+  }
+}
+
+std::filesystem::path ResultCache::directory_from_env(
+    std::filesystem::path fallback) {
+  const char* env = std::getenv("DELTANC_CACHE_DIR");
+  if (env != nullptr && *env != '\0') return std::filesystem::path(env);
+  return fallback;
+}
+
+std::filesystem::path ResultCache::entry_path(std::string_view key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.json",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return dir_ / name;
+}
+
+CacheLookup ResultCache::lookup(const std::string& key,
+                                e2e::BoundResult& result) {
+  const std::filesystem::path path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    return CacheLookup::kMiss;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    ++stats_.corrupt;
+    return CacheLookup::kCorrupt;
+  }
+  try {
+    const json::Value entry = json::Value::parse(text.str());
+    // Schema or library version drift makes the entry stale, not corrupt:
+    // the bytes are fine, the producer was just a different build.
+    const json::Value* schema = entry.is_object() ? entry.find("schema") : nullptr;
+    if (schema == nullptr || !schema->is_number() ||
+        schema->as_number() != kSchemaVersion ||
+        entry.at("version").as_string() != DELTANC_VERSION_STRING) {
+      ++stats_.stale;
+      return CacheLookup::kStale;
+    }
+    // The stored full key disambiguates FNV collisions: a different key
+    // in the same slot is somebody else's entry, i.e. a miss.
+    if (entry.at("key").as_string() != key) {
+      ++stats_.misses;
+      return CacheLookup::kMiss;
+    }
+    result = decode_bound_result(entry.at("result"));
+  } catch (const json::ParseError&) {
+    ++stats_.corrupt;
+    return CacheLookup::kCorrupt;
+  } catch (const json::TypeError&) {
+    ++stats_.corrupt;
+    return CacheLookup::kCorrupt;
+  } catch (const CodecError&) {
+    ++stats_.corrupt;
+    return CacheLookup::kCorrupt;
+  }
+  ++stats_.hits;
+  return CacheLookup::kHit;
+}
+
+void ResultCache::store(const std::string& key,
+                        const e2e::BoundResult& result) {
+  json::Value entry = json::Value::object();
+  entry.set("schema", json::Value::number(kSchemaVersion))
+      .set("version", json::Value::string(DELTANC_VERSION_STRING))
+      .set("key", json::Value::string(key))
+      .set("result", encode_bound_result(result));
+
+  const std::filesystem::path path = entry_path(key);
+  std::filesystem::path tmp = path;
+  tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << entry.dump() << '\n';
+    if (!out.good()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("result cache: cannot write " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("result cache: cannot publish " + path.string());
+  }
+  ++stats_.stores;
+}
+
+}  // namespace deltanc::io

@@ -1,0 +1,135 @@
+// Content-addressed persistent result cache for solved delay bounds.
+//
+// Keying: entries are addressed by the canonical cache key of
+// io::solve_cache_key (the compact JSON dump of schema + effective
+// scenario + solve options) hashed with 64-bit FNV-1a into the file name
+// `<16 hex digits>.json` under the cache directory.  The full key string
+// is stored *inside* each entry and compared on lookup, so a hash
+// collision degrades to a miss, never to a wrong answer.
+//
+// Versioning: each entry records the library version
+// (DELTANC_VERSION_STRING) and the wire schema it was written with.  The
+// version is deliberately NOT hashed into the key: a lookup that finds an
+// entry from another library or schema version classifies it as *stale*
+// -- observable in CacheStats and in the per-result
+// SolveStats::cache_stale counter -- re-solves, and overwrites, instead
+// of silently missing and leaving dead files behind.
+//
+// Durability: stores write to `<name>.tmp.<pid>` in the cache directory
+// and rename(2) into place, so concurrent writers and crashes can leave
+// at worst a stray tmp file, never a torn entry.  An entry that fails to
+// read or decode is classified kCorrupt (surfaced by the batch layer as
+// a diag::kCorruptCache warning) and is overwritten by the re-solve.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "io/codec.h"
+
+namespace deltanc::io {
+
+/// 64-bit FNV-1a of `text` -- the content address behind entry file
+/// names.  Stable across platforms and runs (unlike std::hash).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+/// Outcome of one ResultCache::lookup.
+enum class CacheLookup {
+  kHit,      ///< entry present, same key, same schema + library version
+  kMiss,     ///< no entry (or a hash collision with a different key)
+  kStale,    ///< entry from another schema or library version
+  kCorrupt,  ///< entry file exists but is unreadable or undecodable
+};
+
+/// Running totals of one ResultCache's traffic.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t stale = 0;
+  std::int64_t corrupt = 0;
+  std::int64_t stores = 0;
+
+  [[nodiscard]] std::int64_t lookups() const noexcept {
+    return hits + misses + stale + corrupt;
+  }
+  CacheStats& operator+=(const CacheStats& other) noexcept;
+};
+
+/// Filesystem-backed store of BoundResults addressed by canonical solve
+/// key.  Lookup/store are safe to call from one thread at a time per
+/// ResultCache object; distinct processes sharing a directory are safe
+/// against each other thanks to the atomic rename stores.
+class ResultCache {
+ public:
+  /// Opens (and creates if needed) the cache directory.
+  /// @throws std::runtime_error when the directory cannot be created.
+  explicit ResultCache(std::filesystem::path dir);
+
+  /// The directory from DELTANC_CACHE_DIR, or `fallback` when the
+  /// variable is unset or empty.
+  [[nodiscard]] static std::filesystem::path directory_from_env(
+      std::filesystem::path fallback);
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return dir_;
+  }
+
+  /// Entry file path for a canonical key (exposed for tests that doctor
+  /// entries on disk).
+  [[nodiscard]] std::filesystem::path entry_path(std::string_view key) const;
+
+  /// Looks up `key`; fills `result` only on kHit.  Every outcome bumps
+  /// the matching CacheStats counter.
+  [[nodiscard]] CacheLookup lookup(const std::string& key,
+                                   e2e::BoundResult& result);
+
+  /// Stores (overwriting any previous entry -- including stale and
+  /// corrupt ones) via atomic tmp + rename.
+  /// @throws std::runtime_error when the entry cannot be written.
+  void store(const std::string& key, const e2e::BoundResult& result);
+
+  /// Convenience: lookup by (scenario, options); on anything but a hit,
+  /// solves via `solve` and stores the result.  The returned result's
+  /// stats carry exactly one of cache_hits/cache_misses/cache_stale = 1
+  /// (kCorrupt counts as a miss there; the distinct outcome is reported
+  /// through `outcome` and CacheStats).
+  template <typename Solve>
+  e2e::BoundResult solve_through(const e2e::Scenario& sc,
+                                 const SolveOptions& options, Solve&& solve,
+                                 CacheLookup* outcome = nullptr) {
+    const std::string key = solve_cache_key(sc, options);
+    e2e::BoundResult result;
+    const CacheLookup found = lookup(key, result);
+    if (outcome != nullptr) *outcome = found;
+    if (found == CacheLookup::kHit) {
+      result.stats.cache_hits = 1;
+      result.stats.cache_misses = 0;
+      result.stats.cache_stale = 0;
+      return result;
+    }
+    result = solve();
+    // Persist with the outcome counters zeroed: they describe how one
+    // particular answer was obtained, not the result itself.
+    result.stats.cache_hits = 0;
+    result.stats.cache_misses = 0;
+    result.stats.cache_stale = 0;
+    store(key, result);
+    if (found == CacheLookup::kStale) {
+      result.stats.cache_stale = 1;
+    } else {
+      result.stats.cache_misses = 1;
+    }
+    return result;
+  }
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+ private:
+  std::filesystem::path dir_;
+  CacheStats stats_;
+};
+
+}  // namespace deltanc::io

@@ -1,0 +1,230 @@
+// The JSONL batch service: ordered responses, cache integration
+// (hit/stale/corrupt outcomes surfaced per response and in the
+// summary), and graceful handling of malformed request lines.
+#include "io/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace deltanc::io {
+namespace {
+
+using json::Value;
+
+e2e::Scenario small_scenario(int n_cross) {
+  e2e::Scenario sc;
+  sc.hops = 3;
+  sc.n_through = 80;
+  sc.n_cross = n_cross;
+  sc.epsilon = 1e-6;
+  sc.scheduler = e2e::Scheduler::kFifo;
+  return sc;
+}
+
+std::string request_line(const e2e::Scenario& sc, int id) {
+  Value req = Value::object();
+  req.set("schema", Value::number(kSchemaVersion))
+      .set("id", Value::number(id))
+      .set("scenario", encode_scenario(sc));
+  return req.dump();
+}
+
+std::vector<Value> parse_responses(const std::string& text) {
+  std::vector<Value> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) out.push_back(Value::parse(line));
+  }
+  return out;
+}
+
+std::filesystem::path fresh_cache_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(Batch, ResponsesArriveInInputOrderAndMatchDirectSolves) {
+  std::stringstream in;
+  in << request_line(small_scenario(60), 0) << "\n";
+  in << "\n";  // blank lines are skipped, not answered
+  in << request_line(small_scenario(40), 1) << "\n";
+  std::ostringstream out;
+
+  BatchOptions options;
+  options.threads = 2;
+  const BatchSummary summary = run_batch(in, out, options);
+  EXPECT_EQ(summary.requests, 2);
+  EXPECT_EQ(summary.responses, 2);
+  EXPECT_EQ(summary.solved, 2);
+  EXPECT_EQ(summary.cached, 0);
+  EXPECT_EQ(summary.parse_errors, 0);
+  EXPECT_EQ(summary.failed, 0);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 2u);
+  const int n_cross[] = {60, 40};
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(responses[i].at("id").as_number(), static_cast<double>(i));
+    EXPECT_TRUE(responses[i].at("ok").as_bool());
+    EXPECT_EQ(responses[i].find("cache"), nullptr);  // no cache attached
+    const e2e::BoundResult direct = e2e::best_delay_bound(
+        small_scenario(n_cross[i]));
+    const e2e::BoundResult got =
+        decode_bound_result(responses[i].at("result"));
+    EXPECT_EQ(got.delay_ms, direct.delay_ms);
+    EXPECT_EQ(got.gamma, direct.gamma);
+    EXPECT_EQ(got.s, direct.s);
+  }
+}
+
+TEST(Batch, MalformedLinesAnswerInPlaceWithoutAbortingTheBatch) {
+  std::stringstream in;
+  in << request_line(small_scenario(60), 0) << "\n";
+  in << "{\"schema\":1, not json\n";
+  in << "{\"schema\":99,\"scenario\":{}}\n";  // wrong schema
+  in << request_line(small_scenario(40), 3) << "\n";
+  std::ostringstream out;
+
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_EQ(summary.requests, 4);
+  EXPECT_EQ(summary.parse_errors, 2);
+  EXPECT_EQ(summary.solved, 2);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+  EXPECT_FALSE(responses[1].at("ok").as_bool());
+  EXPECT_FALSE(responses[2].at("ok").as_bool());
+  EXPECT_FALSE(responses[1].at("error").as_string().empty());
+  EXPECT_TRUE(responses[3].at("ok").as_bool());
+  EXPECT_EQ(responses[3].at("id").as_number(), 3.0);
+}
+
+TEST(Batch, SecondRunAnswersFromCacheBitExactly) {
+  ResultCache cache(fresh_cache_dir("deltanc_batch_cache"));
+  const std::string requests = request_line(small_scenario(60), 0) + "\n" +
+                               request_line(small_scenario(40), 1) + "\n";
+
+  BatchOptions options;
+  options.cache = &cache;
+
+  std::stringstream cold_in(requests);
+  std::ostringstream cold_out;
+  const BatchSummary cold = run_batch(cold_in, cold_out, options);
+  EXPECT_EQ(cold.solved, 2);
+  EXPECT_EQ(cold.cached, 0);
+  EXPECT_EQ(cold.cache_stats.misses, 2);
+  EXPECT_EQ(cold.cache_stats.stores, 2);
+  EXPECT_EQ(cold.stats.cache_misses, 2);
+
+  std::stringstream warm_in(requests);
+  std::ostringstream warm_out;
+  const BatchSummary warm = run_batch(warm_in, warm_out, options);
+  EXPECT_EQ(warm.solved, 0);
+  EXPECT_EQ(warm.cached, 2);
+  EXPECT_EQ(warm.cache_stats.hits, 2);
+  EXPECT_EQ(warm.stats.cache_hits, 2);
+
+  const std::vector<Value> a = parse_responses(cold_out.str());
+  const std::vector<Value> b = parse_responses(warm_out.str());
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a[i].at("cache").as_string(), "miss");
+    EXPECT_EQ(b[i].at("cache").as_string(), "hit");
+    const e2e::BoundResult cold_r = decode_bound_result(a[i].at("result"));
+    const e2e::BoundResult warm_r = decode_bound_result(b[i].at("result"));
+    EXPECT_EQ(cold_r.delay_ms, warm_r.delay_ms);
+    EXPECT_EQ(cold_r.gamma, warm_r.gamma);
+    EXPECT_EQ(cold_r.s, warm_r.s);
+    EXPECT_EQ(cold_r.sigma, warm_r.sigma);
+    EXPECT_EQ(cold_r.delta, warm_r.delta);
+  }
+}
+
+TEST(Batch, CorruptEntryRecoversWithWarningAndOverwrite) {
+  ResultCache cache(fresh_cache_dir("deltanc_batch_corrupt"));
+  const e2e::Scenario sc = small_scenario(60);
+  const std::string requests = request_line(sc, 0) + "\n";
+
+  BatchOptions options;
+  options.cache = &cache;
+
+  std::stringstream cold_in(requests);
+  std::ostringstream cold_out;
+  (void)run_batch(cold_in, cold_out, options);
+
+  // Damage the entry on disk, then rerun: the batch must classify the
+  // entry as corrupt, re-solve, warn, and repair the cache.
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  std::ofstream(cache.entry_path(key), std::ios::trunc) << "not json";
+
+  std::stringstream in(requests);
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, options);
+  EXPECT_EQ(summary.solved, 1);
+  EXPECT_EQ(summary.cache_stats.corrupt, 1);
+  EXPECT_EQ(summary.cache_stats.stores, 1);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].at("cache").as_string(), "corrupt");
+  const e2e::BoundResult r = decode_bound_result(responses[0].at("result"));
+  ASSERT_EQ(r.diagnostics.warnings.size(), 1u);
+  EXPECT_EQ(r.diagnostics.warnings[0].kind,
+            diag::SolveErrorKind::kCorruptCache);
+
+  // Third run: fully healed, answered from cache.
+  std::stringstream healed_in(requests);
+  std::ostringstream healed_out;
+  const BatchSummary healed = run_batch(healed_in, healed_out, options);
+  EXPECT_EQ(healed.cached, 1);
+  EXPECT_EQ(healed.cache_stats.hits, 1);
+}
+
+TEST(Batch, PerRequestOptionsGroupAndSolveCorrectly) {
+  // Same scenario under two option sets in one batch: a scheduler
+  // override and the paper's K-procedure must each match their direct
+  // solve, and grouping must not reorder responses.
+  const e2e::Scenario sc = small_scenario(60);
+  Value with_sched = Value::object();
+  SolveOptions edf_opt;
+  edf_opt.scheduler = e2e::Scheduler::kEdf;
+  with_sched.set("schema", Value::number(kSchemaVersion))
+      .set("id", Value::number(0.0))
+      .set("scenario", encode_scenario(sc))
+      .set("options", encode_solve_options(edf_opt));
+  SolveOptions paper_opt;
+  paper_opt.method = e2e::Method::kPaperK;
+  Value with_method = Value::object();
+  with_method.set("schema", Value::number(kSchemaVersion))
+      .set("id", Value::number(1.0))
+      .set("scenario", encode_scenario(sc))
+      .set("options", encode_solve_options(paper_opt));
+
+  std::stringstream in(with_sched.dump() + "\n" + with_method.dump() + "\n");
+  std::ostringstream out;
+  (void)run_batch(in, out, BatchOptions{});
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 2u);
+  e2e::Scenario edf_sc = sc;
+  edf_sc.scheduler = e2e::Scheduler::kEdf;
+  const e2e::BoundResult edf_direct = e2e::best_delay_bound(edf_sc);
+  const e2e::BoundResult paper_direct =
+      e2e::best_delay_bound(sc, e2e::Method::kPaperK);
+  EXPECT_EQ(responses[0].at("id").as_number(), 0.0);
+  EXPECT_EQ(decode_bound_result(responses[0].at("result")).delay_ms,
+            edf_direct.delay_ms);
+  EXPECT_EQ(decode_bound_result(responses[1].at("result")).delay_ms,
+            paper_direct.delay_ms);
+}
+
+}  // namespace
+}  // namespace deltanc::io

@@ -1,0 +1,380 @@
+// The serialization layer: the JSON document model/parser/writer
+// (io/json.h) and the schema-versioned codec (io/codec.h).  The
+// load-bearing properties are bit-exact double round-trips (including
+// the non-finite encodings) and byte-stable canonical dumps -- the
+// persistent result cache hashes them.
+#include "io/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/scenario.h"
+#include "e2e/additive_baseline.h"
+
+namespace deltanc::io {
+namespace {
+
+using json::Value;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+e2e::Scenario fig2_scenario(int n_cross, e2e::Scheduler sched) {
+  e2e::Scenario sc;
+  sc.hops = 5;
+  sc.n_through = 100;
+  sc.n_cross = n_cross;
+  sc.epsilon = 1e-6;
+  sc.scheduler = sched;
+  return sc;
+}
+
+// ----- json::Value -------------------------------------------------------
+
+TEST(Json, ParseAndDumpRoundTripPreservingOrder) {
+  const std::string text =
+      R"({"z":1,"a":[true,false,null,"x\n\"y\""],"nested":{"k":-2.5}})";
+  const Value v = Value::parse(text);
+  EXPECT_EQ(v.dump(), text);  // insertion order preserved, compact form
+  EXPECT_EQ(v.at("a").size(), 4u);
+  EXPECT_TRUE(v.at("a").at(2).is_null());
+  EXPECT_EQ(v.at("a").at(3).as_string(), "x\n\"y\"");
+  EXPECT_EQ(v.at("nested").at("k").as_number(), -2.5);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const Value v = Value::parse(R"(["Aé€😀"])");
+  EXPECT_EQ(v.at(std::size_t{0}).as_string(),
+            "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    (void)Value::parse("{\n  \"a\": 1,\n  12\n}");
+    FAIL() << "expected ParseError";
+  } catch (const json::ParseError& e) {
+    EXPECT_EQ(e.line, 3u);
+    EXPECT_GT(e.column, 0u);
+  }
+  EXPECT_THROW((void)Value::parse("{} trailing"), json::ParseError);
+  EXPECT_THROW((void)Value::parse(""), json::ParseError);
+  EXPECT_THROW((void)Value::parse("{\"a\":}"), json::ParseError);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Value v = Value::parse(R"({"n":1})");
+  EXPECT_THROW((void)v.at("n").as_string(), json::TypeError);
+  EXPECT_THROW((void)v.at("missing"), json::TypeError);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("n").items(), json::TypeError);
+}
+
+TEST(Json, NumbersRoundTripBitExactly) {
+  const double cases[] = {0.0,         1.0 / 3.0, 0.1,
+                          1e-300,      1e300,     -2.2250738585072014e-308,
+                          6.02214e23,  -1.5,      123456789.123456789,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min()};
+  for (const double d : cases) {
+    const Value v = Value::parse(Value::number(d).dump());
+    EXPECT_EQ(v.as_number(), d) << Value::number(d).dump();
+    // Bitwise, not just ==, so -0.0 vs 0.0 style slips would show up.
+    const double back = v.as_number();
+    EXPECT_EQ(std::memcmp(&back, &d, sizeof d), 0)
+        << Value::number(d).dump();
+  }
+  // Integral doubles print as integers (stable canonical form).
+  EXPECT_EQ(Value::number(100.0).dump(), "100");
+  EXPECT_EQ(Value::number(-3.0).dump(), "-3");
+}
+
+TEST(Json, WriterRejectsNonFiniteNumbers) {
+  EXPECT_THROW((void)Value::number(kInf).dump(), std::invalid_argument);
+  EXPECT_THROW((void)Value::number(std::nan("")).dump(),
+               std::invalid_argument);
+}
+
+// ----- codec doubles -----------------------------------------------------
+
+TEST(Codec, NonFiniteDoublesEncodeAsStrings) {
+  EXPECT_EQ(encode_double(kInf).dump(), "\"inf\"");
+  EXPECT_EQ(encode_double(-kInf).dump(), "\"-inf\"");
+  EXPECT_EQ(encode_double(std::nan("")).dump(), "\"nan\"");
+  EXPECT_EQ(decode_double(encode_double(kInf)), kInf);
+  EXPECT_EQ(decode_double(encode_double(-kInf)), -kInf);
+  EXPECT_TRUE(std::isnan(decode_double(encode_double(std::nan("")))));
+}
+
+TEST(Codec, DecodeDoubleAcceptsHexfloatStrings) {
+  // The PR 2 golden notation: hand-written documents can pin exact bits.
+  EXPECT_EQ(decode_double(Value::string("0x1.6126458d64984p+4")),
+            0x1.6126458d64984p+4);
+  EXPECT_THROW((void)decode_double(Value::string("12 monkeys")), CodecError);
+  EXPECT_THROW((void)decode_double(Value::boolean(true)), CodecError);
+}
+
+// ----- codec value types -------------------------------------------------
+
+TEST(Codec, ScenarioRoundTripsExactly) {
+  e2e::Scenario sc = fig2_scenario(268, e2e::Scheduler::kEdf);
+  sc.edf = e2e::EdfSpec{1.0, 10.0};
+  sc.capacity = 155.52;  // an OC-3, not representable in few digits
+  const e2e::Scenario back = decode_scenario(encode_scenario(sc));
+  EXPECT_EQ(back.capacity, sc.capacity);
+  EXPECT_EQ(back.hops, sc.hops);
+  EXPECT_EQ(back.source.peak_kb(), sc.source.peak_kb());
+  EXPECT_EQ(back.source.p11(), sc.source.p11());
+  EXPECT_EQ(back.source.p22(), sc.source.p22());
+  EXPECT_EQ(back.n_through, sc.n_through);
+  EXPECT_EQ(back.n_cross, sc.n_cross);
+  EXPECT_EQ(back.epsilon, sc.epsilon);
+  EXPECT_EQ(back.scheduler, sc.scheduler);
+  EXPECT_EQ(back.edf.own_factor, sc.edf.own_factor);
+  EXPECT_EQ(back.edf.cross_factor, sc.edf.cross_factor);
+  // Canonical dump is byte-stable: encode twice, identical bytes.
+  EXPECT_EQ(encode_scenario(sc).dump(), encode_scenario(back).dump());
+}
+
+TEST(Codec, ScenarioDecodeRejectsBadDocuments) {
+  Value v = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
+  v.set("scheduler", Value::string("round-robin"));
+  EXPECT_THROW((void)decode_scenario(v), CodecError);
+  EXPECT_THROW((void)decode_scenario(Value::number(3.0)), CodecError);
+  Value hops = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
+  hops.set("hops", Value::number(2.5));
+  EXPECT_THROW((void)decode_scenario(hops), CodecError);
+}
+
+TEST(Codec, DiagnosticsAndStatsRoundTrip) {
+  diag::Diagnostics d;
+  d.fail(diag::SolveErrorKind::kUnstable, "load 1.2 >= 1");
+  d.warn(diag::SolveErrorKind::kNoConvergence, "EDF hit iteration cap");
+  d.warn(diag::SolveErrorKind::kCorruptCache, "entry re-solved");
+  const diag::Diagnostics back = decode_diagnostics(encode_diagnostics(d));
+  EXPECT_EQ(back.error, d.error);
+  EXPECT_EQ(back.message, d.message);
+  ASSERT_EQ(back.warnings.size(), 2u);
+  EXPECT_EQ(back.warnings[1].kind, diag::SolveErrorKind::kCorruptCache);
+  EXPECT_EQ(back.warnings[1].message, "entry re-solved");
+
+  e2e::SolveStats stats;
+  stats.optimize_evals = 123456;
+  stats.eb_evals = 78;
+  stats.sigma_evals = 123456;
+  stats.edf_iterations = 17;
+  stats.edf_converged = false;
+  stats.retries = 2;
+  stats.fallbacks = 1;
+  stats.scan_ms = 1.25;
+  stats.refine_ms = 0.75;
+  stats.cache_hits = 1;
+  const e2e::SolveStats sback = decode_solve_stats(encode_solve_stats(stats));
+  EXPECT_EQ(sback.optimize_evals, stats.optimize_evals);
+  EXPECT_EQ(sback.edf_converged, false);
+  EXPECT_EQ(sback.retries, 2);
+  EXPECT_EQ(sback.scan_ms, 1.25);
+  EXPECT_EQ(sback.cache_hits, 1);
+}
+
+TEST(Codec, SolvedBoundResultsRoundTripBitExactly) {
+  // Real Fig. 2 solves (the PR 2 golden operating points) through the
+  // codec: every double must come back with identical bits, including
+  // the +inf delay of an unstable point.
+  const struct {
+    int n_cross;
+    e2e::Scheduler sched;
+  } cases[] = {{67, e2e::Scheduler::kFifo},
+               {268, e2e::Scheduler::kBmux},
+               {538, e2e::Scheduler::kSpHigh},
+               {168, e2e::Scheduler::kEdf}};
+  for (const auto& c : cases) {
+    const e2e::BoundResult r =
+        e2e::best_delay_bound(fig2_scenario(c.n_cross, c.sched));
+    const e2e::BoundResult back = decode_bound_result(encode_bound_result(r));
+    EXPECT_EQ(back.delay_ms, r.delay_ms);
+    EXPECT_EQ(back.gamma, r.gamma);
+    EXPECT_EQ(back.s, r.s);
+    EXPECT_EQ(back.sigma, r.sigma);
+    EXPECT_EQ(back.delta, r.delta);
+    EXPECT_EQ(back.stats.optimize_evals, r.stats.optimize_evals);
+    EXPECT_EQ(back.diagnostics.error, r.diagnostics.error);
+  }
+  // Unstable: +inf delay survives the string encoding.
+  const e2e::BoundResult unstable =
+      e2e::best_delay_bound(fig2_scenario(800, e2e::Scheduler::kFifo));
+  ASSERT_EQ(unstable.delay_ms, kInf);
+  EXPECT_EQ(decode_bound_result(encode_bound_result(unstable)).delay_ms, kInf);
+}
+
+TEST(Codec, Fig3AndFig4BoundResultsRoundTripBitExactly) {
+  // Representative operating points of the Fig. 3 (traffic mix at
+  // constant U = 50%) and Fig. 4 (path-length scaling) grids at the
+  // figures' eps = 1e-9, including both EDF deadline settings and the
+  // additive BMUX baseline: every solved result must survive the codec
+  // with identical bits, and its re-encoding must be byte-stable.
+  std::vector<e2e::Scenario> scenarios;
+  const struct {
+    e2e::Scheduler sched;
+    double own, cross;
+  } fig3_columns[] = {{e2e::Scheduler::kEdf, 1.0, 2.0},
+                      {e2e::Scheduler::kFifo, 1.0, 1.0},
+                      {e2e::Scheduler::kEdf, 1.0, 0.5},
+                      {e2e::Scheduler::kBmux, 1.0, 1.0}};
+  for (const int mix_pct : {10, 50, 90}) {
+    const double uc = 0.50 * mix_pct / 100.0;
+    for (const auto& col : fig3_columns) {
+      scenarios.push_back(ScenarioBuilder()
+                              .hops(5)
+                              .through_utilization(0.50 - uc)
+                              .cross_utilization(uc)
+                              .violation_probability(1e-9)
+                              .scheduler(col.sched)
+                              .edf_deadlines(col.own, col.cross)
+                              .build());
+    }
+  }
+  for (const int hops : {1, 10, 25}) {
+    for (const e2e::Scheduler sched :
+         {e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
+          e2e::Scheduler::kBmux}) {
+      scenarios.push_back(ScenarioBuilder()
+                              .hops(hops)
+                              .through_utilization(0.45)
+                              .cross_utilization(0.45)
+                              .violation_probability(1e-9)
+                              .scheduler(sched)
+                              .edf_deadlines(1.0, 10.0)
+                              .build());
+    }
+  }
+  auto expect_bit_exact = [](const e2e::BoundResult& r) {
+    const Value doc = encode_bound_result(r);
+    const e2e::BoundResult back = decode_bound_result(doc);
+    EXPECT_EQ(back.delay_ms, r.delay_ms);
+    EXPECT_EQ(back.gamma, r.gamma);
+    EXPECT_EQ(back.s, r.s);
+    EXPECT_EQ(back.sigma, r.sigma);
+    EXPECT_EQ(back.delta, r.delta);
+    EXPECT_EQ(back.stats.scan_ms, r.stats.scan_ms);
+    EXPECT_EQ(back.stats.refine_ms, r.stats.refine_ms);
+    EXPECT_EQ(encode_bound_result(back).dump(), doc.dump());
+  };
+  for (const e2e::Scenario& sc : scenarios) {
+    SCOPED_TRACE("hops=" + std::to_string(sc.hops) +
+                 " n_cross=" + std::to_string(sc.n_cross));
+    expect_bit_exact(e2e::best_delay_bound(sc));
+  }
+  // Fig. 4's fourth curve: the additive per-node baseline.
+  expect_bit_exact(e2e::best_additive_bmux_bound(scenarios.back()));
+}
+
+TEST(Codec, SweepReportRoundTripsThroughTopLevelDocument) {
+  SweepGrid grid(fig2_scenario(100, e2e::Scheduler::kFifo));
+  grid.cross_utilization_axis({0.2, 0.5})
+      .scheduler_axis({e2e::Scheduler::kFifo, e2e::Scheduler::kEdf});
+  SweepOptions options;
+  options.threads = 2;
+  const SweepReport report = SweepRunner(options).run(grid);
+
+  const SweepReport back =
+      decode_sweep_report(encode_sweep_report(report));
+  ASSERT_EQ(back.points.size(), report.points.size());
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    EXPECT_EQ(back.points[i].bound.delay_ms, report.points[i].bound.delay_ms);
+    EXPECT_EQ(back.points[i].bound.gamma, report.points[i].bound.gamma);
+    EXPECT_EQ(back.points[i].scenario.n_cross,
+              report.points[i].scenario.n_cross);
+    EXPECT_EQ(back.points[i].ok, report.points[i].ok);
+  }
+  EXPECT_EQ(back.threads, report.threads);
+  EXPECT_EQ(back.stats.optimize_evals, report.stats.optimize_evals);
+  EXPECT_EQ(back.stats.cache_misses, report.stats.cache_misses);
+}
+
+TEST(Codec, SweepGridRoundTripReproducesEveryPoint) {
+  SweepGrid grid(fig2_scenario(100, e2e::Scheduler::kFifo));
+  grid.hops_axis({2, 5, 10})
+      .cross_utilization_axis(SweepGrid::linspace(0.10, 0.80, 8))
+      .scheduler_axis({e2e::Scheduler::kFifo, e2e::Scheduler::kBmux,
+                       e2e::Scheduler::kEdf})
+      .edf_axis({e2e::EdfSpec{1.0, 10.0}, e2e::EdfSpec{2.0, 4.0}});
+  const SweepGrid back = decode_sweep_grid(encode_sweep_grid(grid));
+  ASSERT_EQ(back.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const e2e::Scenario a = grid.scenario_at(i);
+    const e2e::Scenario b = back.scenario_at(i);
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.n_through, b.n_through);
+    EXPECT_EQ(a.n_cross, b.n_cross);  // utilizations resolved identically
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    EXPECT_EQ(a.edf.own_factor, b.edf.own_factor);
+    EXPECT_EQ(a.capacity, b.capacity);
+    EXPECT_EQ(a.epsilon, b.epsilon);
+  }
+  // And the re-encoded grid is byte-identical (canonical form).
+  EXPECT_EQ(encode_sweep_grid(back).dump(), encode_sweep_grid(grid).dump());
+}
+
+TEST(Codec, SchemaIsRequiredAndChecked) {
+  Value report = encode_sweep_report(SweepReport{});
+  report.set("schema", Value::number(999.0));
+  EXPECT_THROW((void)decode_sweep_report(report), SchemaError);
+  EXPECT_THROW(require_schema(Value::object()), SchemaError);
+  EXPECT_THROW(require_schema(Value::number(1.0)), SchemaError);
+}
+
+// ----- cache key ---------------------------------------------------------
+
+TEST(Codec, CacheKeyIsStableAndFoldsSchedulerOverride) {
+  const e2e::Scenario fifo = fig2_scenario(268, e2e::Scheduler::kFifo);
+  SolveOptions options;
+  EXPECT_EQ(solve_cache_key(fifo, options), solve_cache_key(fifo, options));
+
+  // Override folded in: "FIFO scenario forced to EDF" keys like the EDF
+  // scenario -- they solve identically.
+  e2e::Scenario edf = fifo;
+  edf.scheduler = e2e::Scheduler::kEdf;
+  SolveOptions forced;
+  forced.scheduler = e2e::Scheduler::kEdf;
+  EXPECT_EQ(solve_cache_key(fifo, forced), solve_cache_key(edf, options));
+  EXPECT_NE(solve_cache_key(fifo, options), solve_cache_key(edf, options));
+
+  // reuse_workspace cannot change result bits, so it must not fragment
+  // the cache; method does change results, so it must.
+  SolveOptions no_ws;
+  no_ws.reuse_workspace = false;
+  EXPECT_EQ(solve_cache_key(fifo, no_ws), solve_cache_key(fifo, options));
+  SolveOptions paper;
+  paper.method = e2e::Method::kPaperK;
+  EXPECT_NE(solve_cache_key(fifo, paper), solve_cache_key(fifo, options));
+}
+
+TEST(Codec, SolveOptionsRoundTrip) {
+  SolveOptions options;
+  options.method = e2e::Method::kPaperK;
+  options.scheduler = e2e::Scheduler::kBmux;
+  options.delta = -kInf;
+  options.max_edf_restarts = 2;
+  const SolveOptions back =
+      decode_solve_options(encode_solve_options(options));
+  EXPECT_EQ(back.method, e2e::Method::kPaperK);
+  ASSERT_TRUE(back.scheduler.has_value());
+  EXPECT_EQ(*back.scheduler, e2e::Scheduler::kBmux);
+  ASSERT_TRUE(back.delta.has_value());
+  EXPECT_EQ(*back.delta, -kInf);
+  EXPECT_EQ(back.max_edf_restarts, 2);
+
+  // Defaults survive an empty options object (batch requests may omit
+  // everything).
+  const SolveOptions defaults = decode_solve_options(Value::object());
+  EXPECT_EQ(defaults.method, e2e::Method::kExactOpt);
+  EXPECT_FALSE(defaults.scheduler.has_value());
+  EXPECT_FALSE(defaults.delta.has_value());
+  EXPECT_EQ(defaults.max_edf_restarts, -1);
+}
+
+}  // namespace
+}  // namespace deltanc::io

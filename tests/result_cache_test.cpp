@@ -1,0 +1,205 @@
+// The persistent result cache: content addressing, hit/miss/stale/
+// corrupt classification, atomic stores, and recovery by overwrite.
+#include "io/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "deltanc/version.h"
+
+namespace deltanc::io {
+namespace {
+
+e2e::Scenario small_scenario(int n_cross = 50) {
+  e2e::Scenario sc;
+  sc.hops = 3;
+  sc.n_through = 80;
+  sc.n_cross = n_cross;
+  sc.epsilon = 1e-6;
+  sc.scheduler = e2e::Scheduler::kFifo;
+  return sc;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  std::filesystem::path cache_dir() const {
+    return std::filesystem::path(::testing::TempDir()) /
+           ("deltanc_cache_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+  }
+
+  void SetUp() override { std::filesystem::remove_all(cache_dir()); }
+  void TearDown() override { std::filesystem::remove_all(cache_dir()); }
+};
+
+TEST_F(ResultCacheTest, Fnv1a64MatchesKnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST_F(ResultCacheTest, MissThenStoreThenBitExactHit) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+
+  e2e::BoundResult out;
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kMiss);
+
+  const e2e::BoundResult solved = e2e::best_delay_bound(sc);
+  cache.store(key, solved);
+  ASSERT_EQ(cache.lookup(key, out), CacheLookup::kHit);
+  EXPECT_EQ(out.delay_ms, solved.delay_ms);
+  EXPECT_EQ(out.gamma, solved.gamma);
+  EXPECT_EQ(out.s, solved.s);
+  EXPECT_EQ(out.sigma, solved.sigma);
+  EXPECT_EQ(out.delta, solved.delta);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().stores, 1);
+
+  // A second ResultCache over the same directory sees the entry too.
+  ResultCache reopened(cache_dir());
+  EXPECT_EQ(reopened.lookup(key, out), CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, VersionDriftClassifiesAsStaleAndIsOverwritten) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  cache.store(key, e2e::best_delay_bound(sc));
+
+  // Doctor the stored entry to look like an older library release.
+  const std::filesystem::path path = cache.entry_path(key);
+  std::string text = read_file(path);
+  const std::string current = std::string("\"") + DELTANC_VERSION_STRING + "\"";
+  const std::size_t at = text.find(current);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, current.size(), "\"0.0.1\"");
+  write_file(path, text);
+
+  e2e::BoundResult out;
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kStale);
+  EXPECT_EQ(cache.stats().stale, 1);
+
+  // solve_through re-solves, tags the result stale, and overwrites the
+  // entry so the next lookup hits again.
+  CacheLookup outcome{};
+  const e2e::BoundResult solved = cache.solve_through(
+      sc, SolveOptions{}, [&] { return e2e::best_delay_bound(sc); },
+      &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kStale);
+  EXPECT_EQ(solved.stats.cache_stale, 1);
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, SchemaDriftIsStaleToo) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  cache.store(key, e2e::best_delay_bound(sc));
+
+  std::string text = read_file(cache.entry_path(key));
+  ASSERT_EQ(text.rfind("{\"schema\":1,", 0), 0u);
+  text.replace(0, 12, "{\"schema\":0,");
+  write_file(cache.entry_path(key), text);
+
+  e2e::BoundResult out;
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kStale);
+}
+
+TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  cache.store(key, e2e::best_delay_bound(sc));
+
+  write_file(cache.entry_path(key), "{\"schema\":1, truncated garba");
+  e2e::BoundResult out;
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kCorrupt);
+  EXPECT_EQ(cache.stats().corrupt, 1);
+
+  // Well-formed JSON that is not a valid entry is corrupt as well.
+  write_file(cache.entry_path(key), "{\"schema\":1,\"version\":3}");
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kCorrupt);
+
+  // Recovery: solve_through overwrites the damaged entry.
+  CacheLookup outcome{};
+  (void)cache.solve_through(sc, SolveOptions{},
+                            [&] { return e2e::best_delay_bound(sc); },
+                            &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kCorrupt);
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, HashCollisionDegradesToMissNotWrongAnswer) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  cache.store(key, e2e::best_delay_bound(sc));
+
+  // Simulate a colliding key by doctoring the stored key string (it is
+  // embedded JSON, so its quotes appear escaped): the file is present
+  // and decodable, but it belongs to someone else.
+  std::string text = read_file(cache.entry_path(key));
+  const std::string mine = R"(\"n_cross\":50)";
+  const std::size_t at = text.find(mine);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, mine.size(), R"(\"n_cross\":51)");
+  write_file(cache.entry_path(key), text);
+
+  e2e::BoundResult out;
+  EXPECT_EQ(cache.lookup(key, out), CacheLookup::kMiss);
+}
+
+TEST_F(ResultCacheTest, SolveThroughCountsOneOutcomePerResult) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  int solves = 0;
+  const auto solve = [&] {
+    ++solves;
+    return e2e::best_delay_bound(sc);
+  };
+  const e2e::BoundResult first =
+      cache.solve_through(sc, SolveOptions{}, solve);
+  EXPECT_EQ(first.stats.cache_misses, 1);
+  EXPECT_EQ(first.stats.cache_hits, 0);
+  const e2e::BoundResult second =
+      cache.solve_through(sc, SolveOptions{}, solve);
+  EXPECT_EQ(second.stats.cache_hits, 1);
+  EXPECT_EQ(second.stats.cache_misses, 0);
+  EXPECT_EQ(second.delay_ms, first.delay_ms);
+  EXPECT_EQ(solves, 1);  // the hit never invoked the solver
+}
+
+TEST_F(ResultCacheTest, DirectoryFromEnvPrefersTheVariable) {
+  ASSERT_EQ(::setenv("DELTANC_CACHE_DIR", "/tmp/deltanc-env-cache", 1), 0);
+  EXPECT_EQ(ResultCache::directory_from_env("/fallback"),
+            std::filesystem::path("/tmp/deltanc-env-cache"));
+  ASSERT_EQ(::setenv("DELTANC_CACHE_DIR", "", 1), 0);
+  EXPECT_EQ(ResultCache::directory_from_env("/fallback"),
+            std::filesystem::path("/fallback"));
+  ASSERT_EQ(::unsetenv("DELTANC_CACHE_DIR"), 0);
+  EXPECT_EQ(ResultCache::directory_from_env("/fallback"),
+            std::filesystem::path("/fallback"));
+}
+
+}  // namespace
+}  // namespace deltanc::io

@@ -7,16 +7,25 @@
 //               --epsilon 1e-9 --simulate 200000   (one line)
 //   deltanc_cli --u0 0.15 --sweep uc=0.05:0.80:16 --sweep scheduler=fifo,edf
 //   deltanc_cli --sweep hops=2,5,10 --threads 4 --csv
+//   deltanc_cli --sweep uc=0.1:0.8:8 --emit-batch > requests.jsonl
+//   deltanc_cli --batch requests.jsonl --cache-dir ~/.cache/deltanc
 //
 // Run with --help for the full flag reference (kept in sync with
 // README.md's flag table).  Unknown flags are rejected with a usage
 // error, and the resolved scenario (C/H/scheduler/U0/Uc/eps) is printed
 // before any results so logs are self-describing.
+//
+// Stream discipline: machine-parseable output (the --csv table, the
+// --batch / --emit-batch JSONL) goes to stdout and *only* that; all
+// human narration -- progress, summaries, stats, warnings, diagnostics
+// -- goes to stderr, so every mode can be piped straight into a parser.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -26,6 +35,7 @@
 #include "core/scenario.h"
 #include "core/selfcheck.h"
 #include "core/sweep.h"
+#include "io/batch.h"
 
 namespace {
 
@@ -69,9 +79,21 @@ Self-check mode:
                          agreement, finiteness) on the Fig. 2-4 grids,
                          or on the --sweep grid when axes are given
 
+Batch service mode (JSONL on stdout, narration on stderr):
+  --batch <file|->       answer one JSON solve request per input line
+                         ({"schema":1,"scenario":{...},"options":{...},
+                         "id":...}); responses stream in input order
+  --emit-batch           print the scenario (or --sweep grid) as a
+                         batch request file instead of solving it
+  --cache-dir <dir>      persistent result cache directory (default:
+                         DELTANC_CACHE_DIR env; no caching when unset)
+  --lint-jsonl <file|->  parse+decode a request/response file, report
+                         the first malformed line, solve nothing
+
 Exit codes: 0 all ok; 1 failed points / bound violated / self-check
-issues; 2 usage error or invalid scenario; 3 sweep completed but some
-points carry warnings or needed solver recoveries.
+issues / malformed batch lines; 2 usage error or invalid scenario;
+3 completed but some points carry warnings or needed recoveries
+(including corrupt-cache-entry re-solves).
 
   --help                 this text
 )";
@@ -209,6 +231,127 @@ void print_warnings(const e2e::BoundResult& bound, std::FILE* out) {
   }
 }
 
+/// Opens `path` ("-" = stdin) into `file`; returns the stream to read.
+std::istream* open_input(const std::string& path, std::ifstream& file) {
+  if (path == "-") return &std::cin;
+  file.open(path);
+  if (!file) {
+    std::fprintf(stderr, "deltanc_cli: cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  return &file;
+}
+
+/// --emit-batch: the scenario (or the --sweep grid over it) rendered as
+/// a JSONL request file on stdout, one request per grid point.
+int run_emit_batch(const SweepGrid& grid, e2e::Method method) {
+  SolveOptions options;
+  options.method = method;
+  const std::size_t n = grid.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    io::json::Value req = io::json::Value::object();
+    req.set("schema", io::json::Value::number(io::kSchemaVersion))
+        .set("id", io::json::Value::number(static_cast<double>(i)))
+        .set("scenario", io::encode_scenario(grid.scenario_at(i)))
+        .set("options", io::encode_solve_options(options));
+    std::cout << req.dump() << '\n';
+  }
+  std::fprintf(stderr, "emit-batch: %zu request(s)\n", n);
+  return 0;
+}
+
+/// --batch: JSONL requests in, JSONL responses out (stdout stays pure;
+/// the summary, cache traffic, and stats land on stderr).
+int run_batch_mode(const std::string& path, int threads, e2e::Method method,
+                   const std::string& cache_dir, bool want_stats) {
+  std::ifstream file;
+  std::istream* in = open_input(path, file);
+  if (in == nullptr) return 2;
+
+  std::optional<io::ResultCache> cache;
+  // --cache-dir wins over DELTANC_CACHE_DIR; neither set = no caching.
+  const std::filesystem::path dir =
+      cache_dir.empty() ? io::ResultCache::directory_from_env({})
+                        : std::filesystem::path(cache_dir);
+  if (!dir.empty()) {
+    try {
+      cache.emplace(dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "deltanc_cli: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  io::BatchOptions options;
+  options.threads = threads;
+  options.default_method = method;
+  options.cache = cache.has_value() ? &*cache : nullptr;
+  options.progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\rsolving %zu/%zu", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+
+  const io::BatchSummary summary = io::run_batch(*in, std::cout, options);
+  std::fprintf(stderr,
+               "batch: requests=%lld cached=%lld solved=%lld "
+               "parse_errors=%lld failed=%lld wall_ms=%.3f\n",
+               static_cast<long long>(summary.requests),
+               static_cast<long long>(summary.cached),
+               static_cast<long long>(summary.solved),
+               static_cast<long long>(summary.parse_errors),
+               static_cast<long long>(summary.failed), summary.wall_ms);
+  if (cache.has_value()) {
+    const io::CacheStats& cs = summary.cache_stats;
+    std::fprintf(stderr,
+                 "cache: dir=%s hits=%lld misses=%lld stale=%lld "
+                 "corrupt=%lld stores=%lld\n",
+                 cache->directory().c_str(), static_cast<long long>(cs.hits),
+                 static_cast<long long>(cs.misses),
+                 static_cast<long long>(cs.stale),
+                 static_cast<long long>(cs.corrupt),
+                 static_cast<long long>(cs.stores));
+  }
+  if (want_stats) print_stats(summary.stats, stderr);
+  if (summary.parse_errors > 0 || summary.failed > 0) return 1;
+  return summary.cache_stats.corrupt > 0 ? 3 : 0;
+}
+
+/// --lint-jsonl: every non-blank line must parse as JSON, carry the
+/// supported schema, and decode as a request and/or response payload.
+int run_lint_jsonl(const std::string& path) {
+  std::ifstream file;
+  std::istream* in = open_input(path, file);
+  if (in == nullptr) return 2;
+  std::string line;
+  std::size_t line_no = 0, checked = 0, bad = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++checked;
+    try {
+      const io::json::Value doc = io::json::Value::parse(line);
+      io::require_schema(doc);
+      if (const io::json::Value* sc = doc.find("scenario")) {
+        (void)io::decode_scenario(*sc);
+      }
+      if (const io::json::Value* o = doc.find("options");
+          o != nullptr && !o->is_null()) {
+        (void)io::decode_solve_options(*o);
+      }
+      if (const io::json::Value* r = doc.find("result")) {
+        (void)io::decode_bound_result(*r);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lint: %s:%zu: %s\n", path.c_str(), line_no,
+                   e.what());
+      ++bad;
+    }
+  }
+  std::fprintf(stderr, "lint: %zu line(s) checked, %zu malformed\n", checked,
+               bad);
+  return bad > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,10 +362,14 @@ int main(int argc, char** argv) {
   bool want_stats = false;
   bool want_selfcheck = false;
   bool csv_only = false;
+  bool want_emit_batch = false;
   long long simulate_slots = 0;
   double edf_own = 1.0, edf_cross = 10.0;
   bool scheduler_is_edf = false;
   int threads = 0;
+  std::string batch_path;
+  std::string lint_path;
+  std::string cache_dir;
   std::vector<SweepAxisSpec> sweep_axes;
 
   for (int i = 1; i < argc; ++i) {
@@ -284,6 +431,14 @@ int main(int argc, char** argv) {
       sweep_axes.push_back(parse_sweep_spec(next()));
     } else if (flag == "--selfcheck") {
       want_selfcheck = true;
+    } else if (flag == "--batch") {
+      batch_path = next();
+    } else if (flag == "--emit-batch") {
+      want_emit_batch = true;
+    } else if (flag == "--cache-dir") {
+      cache_dir = next();
+    } else if (flag == "--lint-jsonl") {
+      lint_path = next();
     } else if (flag == "--help" || flag == "-h") {
       std::printf("%s", kUsage);
       return 0;
@@ -302,6 +457,27 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "deltanc_cli: invalid scenario: %s\n", e.what());
     return 2;
+  }
+
+  if (!lint_path.empty()) {
+    return run_lint_jsonl(lint_path);
+  }
+  if (!batch_path.empty()) {
+    if (want_selfcheck || want_emit_batch || want_report || want_additive ||
+        simulate_slots > 0 || csv_only || !sweep_axes.empty()) {
+      usage_error("--batch cannot be combined with other modes");
+    }
+    return run_batch_mode(batch_path, threads, method, cache_dir, want_stats);
+  }
+  if (want_emit_batch) {
+    if (want_selfcheck || want_report || want_additive || simulate_slots > 0 ||
+        csv_only) {
+      usage_error("--emit-batch cannot be combined with --selfcheck / "
+                  "--report / --additive / --simulate / --csv");
+    }
+    SweepGrid grid(scenario);
+    for (const SweepAxisSpec& spec : sweep_axes) apply_axis(grid, spec);
+    return run_emit_batch(grid, method);
   }
 
   if (want_selfcheck) {
@@ -338,7 +514,9 @@ int main(int argc, char** argv) {
     SweepGrid grid(scenario);
     for (const SweepAxisSpec& spec : sweep_axes) apply_axis(grid, spec);
 
-    std::FILE* info = csv_only ? stderr : stdout;
+    // Narration always goes to stderr so `--csv` (and plain sweeps piped
+    // somewhere) keep stdout machine-parseable.
+    std::FILE* info = stderr;
     std::fprintf(info, "base ");
     print_scenario(scenario, info);
     std::fprintf(info, "sweep: %zu points (", grid.size());
@@ -364,7 +542,7 @@ int main(int argc, char** argv) {
       std::printf("\ncsv:\n");
       report.write_csv(std::cout);
     }
-    std::FILE* tail = csv_only ? stderr : stdout;
+    std::FILE* tail = stderr;
     std::fprintf(tail,
                  "sweep: %zu points in %.0f ms on %d thread(s); "
                  "%zu unstable, %zu failed, %zu warned, %zu recovered\n",
@@ -407,8 +585,8 @@ int main(int argc, char** argv) {
   std::printf("end-to-end delay bound: %.3f ms  "
               "(gamma = %.4f, s = %.4f, Delta = %g)\n",
               bound.delay_ms, bound.gamma, bound.s, bound.delta);
-  print_warnings(bound, stdout);
-  if (want_stats) print_stats(bound.stats, stdout);
+  print_warnings(bound, stderr);
+  if (want_stats) print_stats(bound.stats, stderr);
 
   if (want_additive) {
     std::printf("additive per-node baseline (BMUX): %.3f ms\n",
