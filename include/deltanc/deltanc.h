@@ -17,6 +17,10 @@
 
 #include "deltanc/version.h"
 
+// Scheduler identity: one tagged descriptor spanning solver, sweep,
+// cache, CLI, and both simulators.
+#include "sched/scheduler_spec.h"  // sched::SchedulerSpec, SchedulerKind
+
 // Scenario description and validation.
 #include "core/scenario.h"   // ScenarioBuilder, flows_for_utilization
 #include "e2e/param_search.h"  // e2e::Scenario, BoundResult, SolveStats

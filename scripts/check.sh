@@ -102,6 +102,43 @@ batch_out=$(mktemp)
 rm -f "$emit_out" "$batch_out"
 echo "stream discipline: OK"
 
+# --- Scheduler identity gates ---------------------------------------------
+# The canonical scheduler name strings are spelled ONLY in the
+# sched/scheduler_spec.{h,cpp} registry: any other src/ or tools/ code
+# (comments excepted) hard-coding them bypasses the single source of
+# truth and will drift from the parser/codec/CLI vocabulary.
+name_hits=$(grep -rn --include='*.cpp' --include='*.h' -E '"(fifo|bmux|sp-high)"' \
+  src tools | grep -v 'sched/scheduler_spec\.' | grep -vE ':[0-9]+: *//' || true)
+if [ -n "$name_hits" ]; then
+  echo "FAIL: scheduler name literals outside the registry:"
+  echo "$name_hits"; exit 1
+fi
+echo "scheduler name registry gate: OK"
+
+# The continuous Delta axis must pin to the named schedulers at its
+# endpoints -- delay(delta=0) bit-identical to the fifo column,
+# delay(delta=inf) to bmux -- and the curve must be non-decreasing in
+# Delta (more precedence for cross traffic never helps the through
+# class).
+delta_csv=$(mktemp); sched_csv=$(mktemp)
+./build/tools/deltanc_cli --hops 5 --epsilon 1e-6 \
+  --sweep delta=0,1,5,inf --csv > "$delta_csv" 2>/dev/null
+./build/tools/deltanc_cli --hops 5 --epsilon 1e-6 \
+  --sweep scheduler=fifo,bmux --csv > "$sched_csv" 2>/dev/null
+awk -F, '
+  NR == FNR { if (FNR > 1) named[FNR - 2] = $8; next }
+  FNR > 1 { d[FNR - 2] = $8; n = FNR - 1 }
+  END {
+    if (n < 2 || length(named) != 2) { print "FAIL: delta smoke produced no rows"; exit 1 }
+    if (d[0] != named[0]) { print "FAIL: delta=0 delay " d[0] " != fifo " named[0]; exit 1 }
+    if (d[n - 1] != named[1]) { print "FAIL: delta=inf delay " d[n - 1] " != bmux " named[1]; exit 1 }
+    for (i = 1; i < n; ++i) if (d[i] + 0 < d[i - 1] + 0) {
+      print "FAIL: delta curve not monotone at step " i; exit 1
+    }
+  }' "$sched_csv" "$delta_csv"
+rm -f "$delta_csv" "$sched_csv"
+echo "delta axis endpoint gate: OK"
+
 # --- Batch service + persistent cache guard -------------------------------
 # Fig. 2 grid cold vs warm: >= 95% cache hits and >= 5x internal speedup
 # on the second run, bit-identical responses (scripts/check_batch.sh).

@@ -33,31 +33,19 @@ sim::TandemConfig PathAnalyzer::tandem_config(std::int64_t slots,
   c.n_cross = scenario_.n_cross;
   c.slots = slots;
   c.seed = seed;
-  switch (scenario_.scheduler) {
-    case e2e::Scheduler::kFifo:
-      c.discipline = sim::DisciplineKind::kFifo;
-      break;
-    case e2e::Scheduler::kBmux:
-      c.discipline = sim::DisciplineKind::kSpThroughLow;
-      break;
-    case e2e::Scheduler::kSpHigh:
-      c.discipline = sim::DisciplineKind::kSpThroughHigh;
-      break;
-    case e2e::Scheduler::kEdf: {
-      c.discipline = sim::DisciplineKind::kEdf;
-      // Resolve the self-referential deadlines from the analytic bound.
-      const e2e::BoundResult b = bound();
-      if (!std::isfinite(b.delay_ms)) {
-        throw std::invalid_argument(
-            "PathAnalyzer::simulate: EDF deadlines need a finite bound");
-      }
-      c.edf_through_deadline =
-          scenario_.edf.own_factor * b.delay_ms / scenario_.hops;
-      c.edf_cross_deadline =
-          scenario_.edf.cross_factor * b.delay_ms / scenario_.hops;
-      break;
+  // EDF deadlines are self-referential (multiples of d_e2e / H); resolve
+  // the unit from the analytic bound before lowering.  Every other kind
+  // ignores the unit.
+  double edf_unit = 1.0;
+  if (scenario_.scheduler.needs_fixed_point()) {
+    const e2e::BoundResult b = bound();
+    if (!std::isfinite(b.delay_ms)) {
+      throw std::invalid_argument(
+          "PathAnalyzer::simulate: EDF deadlines need a finite bound");
     }
+    edf_unit = b.delay_ms / scenario_.hops;
   }
+  sim::lower_scheduler(scenario_.scheduler, edf_unit, c);
   return c;
 }
 

@@ -4,26 +4,10 @@
 #include <sstream>
 
 #include "core/table.h"
+#include "sched/scheduler_spec.h"
 
 namespace deltanc {
 
-namespace {
-
-const char* scheduler_name(e2e::Scheduler s) {
-  switch (s) {
-    case e2e::Scheduler::kFifo:
-      return "FIFO";
-    case e2e::Scheduler::kBmux:
-      return "blind multiplexing (SP, through low)";
-    case e2e::Scheduler::kSpHigh:
-      return "static priority (through high)";
-    case e2e::Scheduler::kEdf:
-      return "EDF";
-  }
-  return "?";
-}
-
-}  // namespace
 
 std::vector<double> delay_ccdf_bound(const e2e::Scenario& scenario,
                                      std::span<const double> epsilons,
@@ -53,7 +37,8 @@ std::string render_report(const e2e::Scenario& scenario,
   os << "| cross flows per node | " << scenario.n_cross << " |\n";
   os << "| total utilization | "
      << Table::format(100.0 * scenario.utilization(), 1) << " % |\n";
-  os << "| scheduler | " << scheduler_name(scenario.scheduler) << " |\n";
+  os << "| scheduler | " << sched::scheduler_description(scenario.scheduler)
+     << " |\n";
   os << "| target violation probability | " << scenario.epsilon << " |\n\n";
 
   os << "## End-to-end delay bound\n\n";
@@ -70,12 +55,12 @@ std::string render_report(const e2e::Scenario& scenario,
 
   os << "## Scheduler comparison (same scenario)\n\n";
   os << "| scheduler | bound [ms] |\n|---|---|\n";
-  for (e2e::Scheduler s :
-       {e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
-        e2e::Scheduler::kBmux}) {
+  for (sched::SchedulerKind s :
+       {sched::SchedulerKind::kSpHigh, sched::SchedulerKind::kEdf,
+        sched::SchedulerKind::kFifo, sched::SchedulerKind::kBmux}) {
     e2e::Scenario alt = scenario;
-    alt.scheduler = s;
-    os << "| " << scheduler_name(s) << " | "
+    alt.scheduler = s;  // kind re-assignment keeps the EDF factors
+    os << "| " << sched::scheduler_description(alt.scheduler) << " | "
        << Table::format(e2e::best_delay_bound(alt).delay_ms) << " |\n";
   }
   os << "\n## Delay CCDF bound\n\n| epsilon | d(epsilon) [ms] |\n|---|---|\n";

@@ -65,15 +65,19 @@ ScenarioBuilder& ScenarioBuilder::violation_probability(double eps) {
   return *this;
 }
 
-ScenarioBuilder& ScenarioBuilder::scheduler(e2e::Scheduler s) {
-  sc_.scheduler = s;
+ScenarioBuilder& ScenarioBuilder::scheduler(const sched::SchedulerSpec& spec) {
+  sc_.scheduler = spec;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::scheduler(sched::SchedulerKind kind) {
+  sc_.scheduler = kind;  // kind assignment keeps the stored EDF factors
   return *this;
 }
 
 ScenarioBuilder& ScenarioBuilder::edf_deadlines(double own_factor,
                                                 double cross_factor) {
-  sc_.edf.own_factor = own_factor;
-  sc_.edf.cross_factor = cross_factor;
+  sc_.scheduler.set_edf_factors({own_factor, cross_factor});
   return *this;
 }
 

@@ -27,7 +27,7 @@ namespace deltanc {
 ///                       .hops(5)
 ///                       .through_flows(100)
 ///                       .cross_utilization(0.35)
-///                       .scheduler(e2e::Scheduler::kFifo)
+///                       .scheduler(sched::SchedulerKind::kFifo)
 ///                       .build();
 class ScenarioBuilder {
  public:
@@ -44,8 +44,15 @@ class ScenarioBuilder {
   /// Sets the per-node cross flow count from a utilization fraction.
   ScenarioBuilder& cross_utilization(double u);
   ScenarioBuilder& violation_probability(double eps);
-  ScenarioBuilder& scheduler(e2e::Scheduler s);
+  /// Full scheduler identity (kind + parameters); replaces everything
+  /// previously set, including EDF deadline factors.
+  ScenarioBuilder& scheduler(const sched::SchedulerSpec& spec);
+  /// Scheduler kind only (also matches the deprecated e2e::Scheduler
+  /// enum): keeps EDF deadline factors already set via edf_deadlines(),
+  /// so the two setters compose in either order.
+  ScenarioBuilder& scheduler(sched::SchedulerKind kind);
   /// EDF deadline factors: d*_0 = own * d_e2e/H, d*_c = cross * d_e2e/H.
+  /// Stored on the scheduler spec; the kind is left untouched.
   ScenarioBuilder& edf_deadlines(double own_factor, double cross_factor);
 
   /// All violations of the current configuration (none when valid).

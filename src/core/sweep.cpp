@@ -25,33 +25,17 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
-std::string scheduler_name(e2e::Scheduler s) {
-  switch (s) {
-    case e2e::Scheduler::kFifo:
-      return "fifo";
-    case e2e::Scheduler::kBmux:
-      return "bmux";
-    case e2e::Scheduler::kSpHigh:
-      return "sp-high";
-    case e2e::Scheduler::kEdf:
-      return "edf";
-  }
-  return "?";
+std::string scheduler_name(const sched::SchedulerSpec& s) {
+  return sched::to_string(s);
 }
 
-bool scheduler_from_name(const std::string& name, e2e::Scheduler& out) {
-  if (name == "fifo") {
-    out = e2e::Scheduler::kFifo;
-  } else if (name == "bmux") {
-    out = e2e::Scheduler::kBmux;
-  } else if (name == "sp-high") {
-    out = e2e::Scheduler::kSpHigh;
-  } else if (name == "edf") {
-    out = e2e::Scheduler::kEdf;
-  } else {
-    return false;
-  }
-  return true;
+bool scheduler_from_name(const std::string& name, sched::SchedulerSpec& out) {
+  return sched::parse_scheduler(name, out);
+}
+
+bool scheduler_from_name(const std::string& name, sched::SchedulerKind& out) {
+  return sched::scheduler_kind_from_name(name, out) &&
+         out != sched::SchedulerKind::kDelta;
 }
 
 // ---------------------------------------------------------------- SweepGrid
@@ -64,7 +48,8 @@ SweepGrid& SweepGrid::add_axis(Axis axis) {
 }
 
 SweepGrid& SweepGrid::hops_axis(std::vector<int> values) {
-  Axis a{"hops", {}, {"hops", {}, {}, {}}};
+  Axis a{"hops", {}, {}};
+  a.spec.name = "hops";
   for (int h : values) {
     a.spec.numeric.push_back(h);
     if (h < 1) throw std::invalid_argument("SweepGrid: hops must be >= 1");
@@ -73,29 +58,60 @@ SweepGrid& SweepGrid::hops_axis(std::vector<int> values) {
   return add_axis(std::move(a));
 }
 
-SweepGrid& SweepGrid::scheduler_axis(std::vector<e2e::Scheduler> values) {
-  Axis a{"scheduler", {}, {"scheduler", {}, {}, {}}};
+SweepGrid& SweepGrid::scheduler_axis(std::vector<sched::SchedulerSpec> values) {
+  Axis a{"scheduler", {}, {}};
+  a.spec.name = "scheduler";
   a.spec.schedulers = values;
-  for (e2e::Scheduler s : values) {
+  for (const sched::SchedulerSpec& s : values) {
+    // Full identity replacement (factors and fixed offsets included).
     a.values.emplace_back([s](e2e::Scenario& sc) { sc.scheduler = s; });
   }
   return add_axis(std::move(a));
 }
 
-SweepGrid& SweepGrid::edf_axis(std::vector<e2e::EdfSpec> values) {
-  Axis a{"edf", {}, {"edf", {}, {}, {}}};
+SweepGrid& SweepGrid::scheduler_axis(std::vector<sched::SchedulerKind> values) {
+  Axis a{"scheduler", {}, {}};
+  a.spec.name = "scheduler";
+  a.spec.scheduler_kinds_only = true;
+  for (sched::SchedulerKind k : values) {
+    a.spec.schedulers.emplace_back(k);
+    // Kind re-assignment: keeps the base scenario's EDF factors, so this
+    // axis composes with edf_axis / edf_deadlines in either order.
+    a.values.emplace_back([k](e2e::Scenario& sc) { sc.scheduler = k; });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::edf_axis(std::vector<sched::EdfFactors> values) {
+  Axis a{"edf", {}, {}};
+  a.spec.name = "edf";
   a.spec.edf = values;
-  for (const e2e::EdfSpec& e : values) {
+  for (const sched::EdfFactors& e : values) {
     if (!(e.own_factor > 0.0) || !(e.cross_factor > 0.0)) {
       throw std::invalid_argument("SweepGrid: EDF factors must be > 0");
     }
-    a.values.emplace_back([e](e2e::Scenario& sc) { sc.edf = e; });
+    a.values.emplace_back(
+        [e](e2e::Scenario& sc) { sc.scheduler.set_edf_factors(e); });
+  }
+  return add_axis(std::move(a));
+}
+
+SweepGrid& SweepGrid::delta_axis(std::vector<double> values) {
+  Axis a{"delta", {}, {}};
+  a.spec.name = "delta";
+  a.spec.numeric = values;
+  for (double d : values) {
+    if (d != d) throw std::invalid_argument("SweepGrid: delta must not be NaN");
+    a.values.emplace_back([d](e2e::Scenario& sc) {
+      sc.scheduler = sched::SchedulerSpec::fixed_delta(d);
+    });
   }
   return add_axis(std::move(a));
 }
 
 SweepGrid& SweepGrid::through_flows_axis(std::vector<int> values) {
-  Axis a{"n0", {}, {"n0", {}, {}, {}}};
+  Axis a{"n0", {}, {}};
+  a.spec.name = "n0";
   for (int n : values) {
     if (n < 1) throw std::invalid_argument("SweepGrid: need >= 1 through flow");
     a.spec.numeric.push_back(n);
@@ -105,7 +121,8 @@ SweepGrid& SweepGrid::through_flows_axis(std::vector<int> values) {
 }
 
 SweepGrid& SweepGrid::cross_flows_axis(std::vector<int> values) {
-  Axis a{"nc", {}, {"nc", {}, {}, {}}};
+  Axis a{"nc", {}, {}};
+  a.spec.name = "nc";
   for (int n : values) {
     if (n < 0) throw std::invalid_argument("SweepGrid: cross flows >= 0");
     a.spec.numeric.push_back(n);
@@ -115,7 +132,9 @@ SweepGrid& SweepGrid::cross_flows_axis(std::vector<int> values) {
 }
 
 SweepGrid& SweepGrid::through_utilization_axis(std::vector<double> values) {
-  Axis a{"u0", {}, {"u0", values, {}, {}}};
+  Axis a{"u0", {}, {}};
+  a.spec.name = "u0";
+  a.spec.numeric = values;
   for (double u : values) {
     // Conversion against the *base* capacity/source, exactly like
     // ScenarioBuilder::through_utilization.
@@ -126,7 +145,9 @@ SweepGrid& SweepGrid::through_utilization_axis(std::vector<double> values) {
 }
 
 SweepGrid& SweepGrid::cross_utilization_axis(std::vector<double> values) {
-  Axis a{"uc", {}, {"uc", values, {}, {}}};
+  Axis a{"uc", {}, {}};
+  a.spec.name = "uc";
+  a.spec.numeric = values;
   for (double u : values) {
     const int n = flows_for_utilization(base_, u);
     a.values.emplace_back([n](e2e::Scenario& sc) { sc.n_cross = n; });
@@ -135,7 +156,9 @@ SweepGrid& SweepGrid::cross_utilization_axis(std::vector<double> values) {
 }
 
 SweepGrid& SweepGrid::epsilon_axis(std::vector<double> values) {
-  Axis a{"epsilon", {}, {"epsilon", values, {}, {}}};
+  Axis a{"epsilon", {}, {}};
+  a.spec.name = "epsilon";
+  a.spec.numeric = values;
   for (double eps : values) {
     if (!(eps > 0.0 && eps < 1.0)) {
       throw std::invalid_argument("SweepGrid: need 0 < epsilon < 1");
@@ -146,7 +169,9 @@ SweepGrid& SweepGrid::epsilon_axis(std::vector<double> values) {
 }
 
 SweepGrid& SweepGrid::capacity_axis(std::vector<double> values) {
-  Axis a{"capacity", {}, {"capacity", values, {}, {}}};
+  Axis a{"capacity", {}, {}};
+  a.spec.name = "capacity";
+  a.spec.numeric = values;
   for (double c : values) {
     if (!(c > 0.0)) throw std::invalid_argument("SweepGrid: capacity > 0");
     a.values.emplace_back([c](e2e::Scenario& sc) { sc.capacity = c; });
@@ -188,8 +213,9 @@ e2e::Scenario SweepGrid::scenario_at(std::size_t i) const {
   if (i >= size()) throw std::out_of_range("SweepGrid: index out of range");
   e2e::Scenario sc = base_;
   // Row-major decode, last axis fastest: peel digits from the innermost
-  // axis, then apply mutators outermost-first (order is irrelevant since
-  // axes touch disjoint fields, but keep it defined).
+  // axis, then apply mutators outermost-first.  Most axes touch disjoint
+  // fields; where they overlap (a full-spec scheduler axis and an edf
+  // axis both carry EDF factors) the later-added axis wins.
   std::vector<std::size_t> digit(axes_.size());
   for (std::size_t a = axes_.size(); a-- > 0;) {
     const std::size_t m = axes_[a].values.size();

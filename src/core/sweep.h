@@ -25,6 +25,7 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -35,11 +36,19 @@
 
 namespace deltanc {
 
-/// Human-readable scheduler name ("fifo", "bmux", "sp-high", "edf").
-[[nodiscard]] std::string scheduler_name(e2e::Scheduler s);
-/// Inverse of scheduler_name; returns false on unknown names.
+/// Canonical scheduler name ("fifo", "bmux", "sp-high", "edf",
+/// "delta:<value>").  Thin forwarder to the one registry in
+/// sched/scheduler_spec.h; a bare sched::SchedulerKind (or the
+/// deprecated e2e::Scheduler alias) converts implicitly.
+[[nodiscard]] std::string scheduler_name(const sched::SchedulerSpec& s);
+/// Inverse of scheduler_name (accepts every form sched::parse_scheduler
+/// does, including "delta:<value>"); returns false on unknown names.
 [[nodiscard]] bool scheduler_from_name(const std::string& name,
-                                       e2e::Scheduler& out);
+                                       sched::SchedulerSpec& out);
+/// Kind-level inverse for legacy call sites holding an e2e::Scheduler;
+/// rejects "delta:<value>" (no bare kind carries the offset).
+[[nodiscard]] bool scheduler_from_name(const std::string& name,
+                                       sched::SchedulerKind& out);
 
 /// A base scenario plus sweep axes; enumerates the cross product in
 /// deterministic row-major order (first-added axis outermost).
@@ -52,8 +61,26 @@ class SweepGrid {
   // (utilizations are converted to whole flow counts against the base
   // capacity and source).  An axis with no values makes the grid empty.
   SweepGrid& hops_axis(std::vector<int> values);
-  SweepGrid& scheduler_axis(std::vector<e2e::Scheduler> values);
-  SweepGrid& edf_axis(std::vector<e2e::EdfSpec> values);
+  /// Full scheduler identities: each value *replaces* the scenario's
+  /// scheduler spec wholesale (including EDF factors / fixed offsets).
+  SweepGrid& scheduler_axis(std::vector<sched::SchedulerSpec> values);
+  /// Scheduler kinds only (also matches vectors of the deprecated
+  /// e2e::Scheduler): each value re-assigns the kind but keeps the EDF
+  /// factors of the base scenario, so it composes with edf_axis and
+  /// edf_deadlines in either order -- the historical behavior.
+  SweepGrid& scheduler_axis(std::vector<sched::SchedulerKind> values);
+  /// Disambiguates brace-enclosed kind lists (kinds convert implicitly
+  /// to specs, so `{kFifo, kBmux}` would otherwise match both vector
+  /// overloads); routes to the kinds-only overload above.
+  SweepGrid& scheduler_axis(std::initializer_list<sched::SchedulerKind> values) {
+    return scheduler_axis(std::vector<sched::SchedulerKind>(values));
+  }
+  SweepGrid& edf_axis(std::vector<sched::EdfFactors> values);
+  /// Continuous Delta axis: each value makes the scheduler an explicit
+  /// fixed-Delta spec (sched::SchedulerSpec::fixed_delta).  Values may be
+  /// +/-inf -- Delta=0 solves identically to fifo, Delta=+inf to bmux --
+  /// which is the paper's FIFO<->BMUX interpolation experiment.
+  SweepGrid& delta_axis(std::vector<double> values);
   SweepGrid& through_flows_axis(std::vector<int> values);
   SweepGrid& cross_flows_axis(std::vector<int> values);
   SweepGrid& through_utilization_axis(std::vector<double> values);
@@ -72,10 +99,15 @@ class SweepGrid {
   /// reproduces the grid bit-for-bit -- this is what the JSON codec
   /// (io/codec.h) serializes.
   struct AxisSpec {
-    std::string name;                        ///< "hops", "uc", "scheduler", ...
-    std::vector<double> numeric;             ///< numeric axes
-    std::vector<e2e::Scheduler> schedulers;  ///< "scheduler" axis
-    std::vector<e2e::EdfSpec> edf;           ///< "edf" axis
+    std::string name;             ///< "hops", "uc", "scheduler", "delta", ...
+    std::vector<double> numeric;  ///< numeric axes (incl. "delta")
+    /// "scheduler" axis values.  When `scheduler_kinds_only` the axis was
+    /// added via the kind overload (values re-assign the kind, keeping
+    /// base EDF factors) and the codec serializes bare names; otherwise
+    /// values are full replacement specs serialized as objects.
+    std::vector<sched::SchedulerSpec> schedulers;
+    bool scheduler_kinds_only = false;
+    std::vector<sched::EdfFactors> edf;  ///< "edf" axis
   };
 
   [[nodiscard]] const e2e::Scenario& base() const noexcept { return base_; }

@@ -13,6 +13,13 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
+NodeParams node_params_for(const sched::SchedulerSpec& scheduler,
+                           double capacity, double rho_cross, double m_cross,
+                           double edf_unit) {
+  return NodeParams{capacity, rho_cross, m_cross,
+                    scheduler.delta_term(edf_unit)};
+}
+
 void HeteroPath::validate() const {
   if (nodes.empty()) {
     throw std::invalid_argument("HeteroPath: need at least one node");

@@ -15,6 +15,7 @@
 
 #include "e2e/path_params.h"
 #include "nc/bounding_function.h"
+#include "sched/scheduler_spec.h"
 
 namespace deltanc::e2e {
 
@@ -25,6 +26,16 @@ struct NodeParams {
   double m_cross;     ///< EBB prefactor of that aggregate (usually 1)
   double delta;       ///< Delta_{0,h}; +/-inf allowed
 };
+
+/// Lowers a scheduler spec onto one heterogeneous node: the node's
+/// Delta_{0,h} is the spec's through-vs-cross Delta term, with EDF
+/// deadlines resolved against `edf_unit` (callers supply d_e2e / H from
+/// an outer fixed point; non-EDF kinds ignore it).  This is how per-node
+/// scheduler mixes are built without bypassing the SchedulerSpec
+/// pipeline.
+[[nodiscard]] NodeParams node_params_for(const sched::SchedulerSpec& scheduler,
+                                         double capacity, double rho_cross,
+                                         double m_cross, double edf_unit = 1.0);
 
 /// A through flow (EBB (m, rho, alpha)) crossing heterogeneous nodes.
 /// All flows share the Chernoff parameter alpha (as in the paper).

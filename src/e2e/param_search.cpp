@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "e2e/delay_bound.h"
@@ -324,9 +325,10 @@ diag::ValidationReport Scenario::validate() const {
                "inconsistent MMOO rates (mean " + fmt(mean) + ", peak " +
                    fmt(peak) + ")");
   }
-  // EDF deadline factors are validated regardless of the scheduler: the
-  // defaults are always valid, so a malformed factor is a configuration
-  // mistake even when another scheduler ignores it.
+  // EDF deadline factors are validated regardless of the scheduler kind:
+  // the defaults are always valid, so a malformed factor is a
+  // configuration mistake even when another kind ignores it.
+  const sched::EdfFactors& edf = scheduler.edf_factors();
   if (!(edf.own_factor > 0.0) || !std::isfinite(edf.own_factor)) {
     report.add(SolveErrorKind::kInvalidScenario, "edf.own_factor",
                "must be positive and finite (got " + fmt(edf.own_factor) +
@@ -336,6 +338,12 @@ diag::ValidationReport Scenario::validate() const {
     report.add(SolveErrorKind::kInvalidScenario, "edf.cross_factor",
                "must be positive and finite (got " + fmt(edf.cross_factor) +
                    ")");
+  }
+  // A fixed-Delta scheduler may use any offset, including +/-inf, but
+  // never NaN (the precedence relation would be meaningless).
+  if (std::isnan(scheduler.delta())) {
+    report.add(SolveErrorKind::kInvalidScenario, "scheduler.delta",
+               "fixed Delta offset must not be NaN");
   }
   // Stability (Eq. 32 window): well-formed but overloaded scenarios are
   // reported as kUnstable without making the report invalid.
@@ -366,15 +374,10 @@ BoundResult best_delay_bound_for_delta(const Scenario& sc, double delta,
 
 BoundResult best_delay_bound(const Scenario& sc, Method method,
                              int max_edf_restarts) {
-  switch (sc.scheduler) {
-    case Scheduler::kFifo:
-      return best_delay_bound_for_delta(sc, 0.0, method);
-    case Scheduler::kBmux:
-      return best_delay_bound_for_delta(sc, kInf, method);
-    case Scheduler::kSpHigh:
-      return best_delay_bound_for_delta(sc, -kInf, method);
-    case Scheduler::kEdf:
-      break;
+  // Every kind but EDF has a Delta that does not depend on the solve
+  // (FIFO 0, BMUX +inf, SP-high -inf, kDelta its explicit offset).
+  if (const std::optional<double> fixed = sc.scheduler.static_delta()) {
+    return best_delay_bound_for_delta(sc, *fixed, method);
   }
   // EDF: deadlines are multiples of d_e2e/H, so Delta = (own - cross) *
   // d_e2e / H depends on the bound itself.  Damped fixed point, seeded
@@ -384,7 +387,8 @@ BoundResult best_delay_bound(const Scenario& sc, Method method,
   // with a tighter damping factor before the result is flagged.
   validate_scenario(sc);
   SearchContext ctx(sc, method);
-  const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
+  const sched::EdfFactors& factors = sc.scheduler.edf_factors();
+  const double factor_gap = factors.own_factor - factors.cross_factor;
   const BoundResult seed = solve_for_delta(ctx, 0.0, nullptr);
   if (!std::isfinite(seed.delay_ms)) return finish(ctx, seed);
   constexpr double kDamping[] = {0.5, 0.25, 0.1};

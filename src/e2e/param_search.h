@@ -21,25 +21,28 @@
 #include "core/diagnostics.h"
 #include "e2e/deprecation.h"
 #include "e2e/path_params.h"
+#include "sched/scheduler_spec.h"
 #include "traffic/mmoo.h"
 
 namespace deltanc::e2e {
 
 /// Which Delta-scheduler serves the through traffic at every node.
-enum class Scheduler {
-  kFifo,    ///< Delta = 0
-  kBmux,    ///< Delta = +inf (through flow treated as lowest priority)
-  kSpHigh,  ///< Delta = -inf (through flow is the highest priority)
-  kEdf,     ///< Delta = d*_0 - d*_c from EdfSpec
-};
+///
+/// @deprecated Scheduler identity now lives in sched::SchedulerSpec
+/// (sched/scheduler_spec.h); this alias of sched::SchedulerKind keeps
+/// `e2e::Scheduler::kFifo`-style code compiling (a kind converts
+/// implicitly to the equivalent spec).  Define
+/// DELTANC_ENABLE_DEPRECATION_WARNINGS for [[deprecated]] diagnostics.
+using Scheduler DELTANC_DEPRECATED("use sched::SchedulerSpec / SchedulerKind") =
+    sched::SchedulerKind;
 
 /// EDF deadline specification.  Deadlines are per node and expressed as
 /// multiples of d_e2e / H (resolved by fixed point): Example 1 and 3 of
 /// the paper use own=1, cross=10.
-struct EdfSpec {
-  double own_factor = 1.0;
-  double cross_factor = 10.0;
-};
+///
+/// @deprecated Alias of sched::EdfFactors; the factors now live inside
+/// sched::SchedulerSpec (Scenario::scheduler.edf_factors()).
+using EdfSpec DELTANC_DEPRECATED("use sched::EdfFactors") = sched::EdfFactors;
 
 /// A homogeneous end-to-end scenario with MMOO traffic (Section V).
 struct Scenario {
@@ -49,8 +52,9 @@ struct Scenario {
   int n_through = 100;      ///< N_0
   int n_cross = 100;        ///< N_c at every node
   double epsilon = 1e-9;    ///< target violation probability
-  Scheduler scheduler = Scheduler::kFifo;
-  EdfSpec edf{};
+  /// Scheduler identity (kind + parameters; carries the EDF deadline
+  /// factors that used to live in a separate `edf` field).
+  sched::SchedulerSpec scheduler{};
 
   /// Total utilization U = (N0 + Nc) * mean_rate / C.
   [[nodiscard]] double utilization() const {

@@ -34,8 +34,10 @@ struct SolveOptions {
   /// K-procedure.
   e2e::Method method = e2e::Method::kExactOpt;
   /// Override the scenario's scheduler without copying the scenario by
-  /// hand (e.g. one base scenario solved under all four schedulers).
-  std::optional<e2e::Scheduler> scheduler;
+  /// hand (e.g. one base scenario solved under every scheduler).  A bare
+  /// sched::SchedulerKind (or the deprecated e2e::Scheduler alias of it)
+  /// converts implicitly.
+  std::optional<sched::SchedulerSpec> scheduler;
   /// Solve at this fixed, already-resolved Delta instead of deriving it
   /// from the scheduler (skips the EDF fixed point entirely).
   std::optional<double> delta;

@@ -1,6 +1,8 @@
 #include "evsim/network.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -11,6 +13,8 @@
 namespace deltanc::evsim {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 std::unique_ptr<Policy> make_policy(const EvNetworkConfig& c) {
   switch (c.policy) {
@@ -30,6 +34,67 @@ std::unique_ptr<Policy> make_policy(const EvNetworkConfig& c) {
 }
 
 }  // namespace
+
+void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
+                     EvNetworkConfig& cfg) {
+  switch (spec.kind()) {
+    case sched::SchedulerKind::kFifo:
+      cfg.policy = PolicyKind::kFifo;
+      return;
+    case sched::SchedulerKind::kBmux:
+      cfg.policy = PolicyKind::kSpThroughLow;
+      return;
+    case sched::SchedulerKind::kSpHigh:
+      cfg.policy = PolicyKind::kSpThroughHigh;
+      return;
+    case sched::SchedulerKind::kEdf:
+      if (!(edf_unit > 0.0) || !std::isfinite(edf_unit)) {
+        throw std::invalid_argument(
+            "lower_scheduler: EDF deadlines need a positive finite "
+            "edf_unit (= d_e2e / H)");
+      }
+      cfg.policy = PolicyKind::kEdf;
+      cfg.edf_through_deadline_ms = spec.edf_factors().own_factor * edf_unit;
+      cfg.edf_cross_deadline_ms = spec.edf_factors().cross_factor * edf_unit;
+      return;
+    case sched::SchedulerKind::kDelta: {
+      const double d = spec.delta();
+      if (d == 0.0) {
+        cfg.policy = PolicyKind::kFifo;
+      } else if (d == kInf) {
+        cfg.policy = PolicyKind::kSpThroughLow;
+      } else if (d == -kInf) {
+        cfg.policy = PolicyKind::kSpThroughHigh;
+      } else {
+        cfg.policy = PolicyKind::kEdf;
+        cfg.edf_through_deadline_ms = d > 0.0 ? d : 0.0;
+        cfg.edf_cross_deadline_ms = d > 0.0 ? 0.0 : -d;
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("lower_scheduler: unknown scheduler kind");
+}
+
+sched::SchedulerSpec scheduler_spec_of(const EvNetworkConfig& cfg) {
+  switch (cfg.policy) {
+    case PolicyKind::kFifo:
+      return sched::SchedulerSpec::fifo();
+    case PolicyKind::kSpThroughLow:
+      return sched::SchedulerSpec::bmux();
+    case PolicyKind::kSpThroughHigh:
+      return sched::SchedulerSpec::sp_high();
+    case PolicyKind::kEdf:
+      return sched::SchedulerSpec::fixed_delta(cfg.edf_through_deadline_ms -
+                                               cfg.edf_cross_deadline_ms);
+    case PolicyKind::kScfq:
+      throw std::invalid_argument(
+          "scheduler_spec_of: SCFQ approximates GPS, which is not a "
+          "Delta-scheduler (no constants Delta_{j,k} exist), and is not "
+          "lowerable to a SchedulerSpec");
+  }
+  throw std::invalid_argument("scheduler_spec_of: unknown policy");
+}
 
 EvNetworkResult run_event_network(const EvNetworkConfig& cfg) {
   if (cfg.hops < 1 || cfg.n_through < 1 || cfg.n_cross < 0 ||

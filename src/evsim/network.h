@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sched/scheduler_spec.h"
 #include "sim/stats.h"
 #include "traffic/mmoo.h"
 
@@ -46,5 +47,25 @@ struct EvNetworkResult {
 /// Runs the event-driven tandem.  @throws std::invalid_argument on
 /// malformed configuration.
 [[nodiscard]] EvNetworkResult run_event_network(const EvNetworkConfig& cfg);
+
+/// Lowering adapter from the analytic scheduler identity: sets
+/// `cfg.policy` (and the EDF deadline fields where applicable) to
+/// simulate `spec`.  Mirrors sim::lower_scheduler: kEdf deadlines
+/// resolve as factor * edf_unit (ms), a finite non-zero fixed-Delta spec
+/// lowers to per-class EDF deadlines differing by exactly the offset,
+/// and Delta = 0 / +inf / -inf lower to FIFO / SP-low / SP-high.  SCFQ
+/// is never produced: like GPS it is not a Delta-scheduler.
+/// @throws std::invalid_argument for kEdf without a positive finite
+/// edf_unit.
+void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
+                     EvNetworkConfig& cfg);
+
+/// The analytic identity of `cfg`'s policy (inverse adapter).  EDF
+/// raises to a fixed-Delta spec carrying the deadline difference.
+/// @throws std::invalid_argument for kScfq: SCFQ approximates GPS, whose
+/// precedence horizon depends on the backlog process, so no constants
+/// Delta_{j,k} exist and it is not lowerable to a SchedulerSpec.
+[[nodiscard]] sched::SchedulerSpec scheduler_spec_of(
+    const EvNetworkConfig& cfg);
 
 }  // namespace deltanc::evsim

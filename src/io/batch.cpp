@@ -103,7 +103,9 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       continue;
     }
     e2e::BoundResult cached;
-    req.outcome = options.cache->lookup(req.key, cached);
+    // Scenario-level lookup: also classifies pre-refactor (schema-1)
+    // entries of the same solve as stale instead of missing them.
+    req.outcome = options.cache->lookup(req.scenario, req.options, cached);
     if (req.outcome == CacheLookup::kHit) {
       req.point.scenario = req.scenario;
       req.point.bound = std::move(cached);

@@ -64,16 +64,48 @@ double decode_double(const Value& v) {
 
 // ----- enums -------------------------------------------------------------
 
-Value encode_scheduler(e2e::Scheduler s) {
-  return Value::string(scheduler_name(s));
+Value encode_scheduler(const sched::SchedulerSpec& s) {
+  Value edf = Value::object();
+  edf.set("own_factor", encode_double(s.edf_factors().own_factor))
+      .set("cross_factor", encode_double(s.edf_factors().cross_factor));
+  Value out = Value::object();
+  out.set("kind", Value::string(std::string(
+              sched::scheduler_kind_name(s.kind()))))
+      .set("delta", encode_double(s.delta()))
+      .set("edf", std::move(edf));
+  return out;
 }
 
-e2e::Scheduler decode_scheduler(const Value& v) {
-  e2e::Scheduler s{};
-  if (!scheduler_from_name(v.as_string(), s)) {
-    throw CodecError("codec: unknown scheduler \"" + v.as_string() + "\"");
+sched::SchedulerSpec decode_scheduler(const Value& v) {
+  if (v.is_string()) {
+    sched::SchedulerSpec spec;
+    if (!sched::parse_scheduler(v.as_string(), spec)) {
+      throw SchemaError("codec: unknown scheduler \"" + v.as_string() +
+                        "\"");
+    }
+    return spec;
   }
-  return s;
+  if (!v.is_object()) {
+    throw CodecError("codec: scheduler must be an object or name string, "
+                     "got " + v.dump());
+  }
+  sched::SchedulerKind kind{};
+  const std::string& name = v.at("kind").as_string();
+  if (!sched::scheduler_kind_from_name(name, kind)) {
+    throw SchemaError("codec: unknown scheduler kind \"" + name + "\"");
+  }
+  sched::SchedulerSpec spec(kind);
+  if (kind == sched::SchedulerKind::kDelta) {
+    const Value* delta = find_optional(v, "delta");
+    spec = sched::SchedulerSpec::fixed_delta(
+        delta != nullptr ? decode_double(*delta) : 0.0);
+  }
+  if (const Value* edf = find_optional(v, "edf")) {
+    spec.set_edf_factors(
+        sched::EdfFactors{decode_double(edf->at("own_factor")),
+                          decode_double(edf->at("cross_factor"))});
+  }
+  return spec;
 }
 
 Value encode_method(e2e::Method m) {
@@ -106,9 +138,6 @@ Value encode_scenario(const e2e::Scenario& sc) {
   source.set("peak_kb", encode_double(sc.source.peak_kb()))
       .set("p11", encode_double(sc.source.p11()))
       .set("p22", encode_double(sc.source.p22()));
-  Value edf = Value::object();
-  edf.set("own_factor", encode_double(sc.edf.own_factor))
-      .set("cross_factor", encode_double(sc.edf.cross_factor));
   Value out = Value::object();
   out.set("capacity", encode_double(sc.capacity))
       .set("hops", Value::number(sc.hops))
@@ -116,8 +145,7 @@ Value encode_scenario(const e2e::Scenario& sc) {
       .set("n_through", Value::number(sc.n_through))
       .set("n_cross", Value::number(sc.n_cross))
       .set("epsilon", encode_double(sc.epsilon))
-      .set("scheduler", encode_scheduler(sc.scheduler))
-      .set("edf", std::move(edf));
+      .set("scheduler", encode_scheduler(sc.scheduler));
   return out;
 }
 
@@ -139,9 +167,12 @@ e2e::Scenario decode_scenario(const Value& v) {
   sc.n_cross = decode_int(v.at("n_cross"), "n_cross");
   sc.epsilon = decode_double(v.at("epsilon"));
   sc.scheduler = decode_scheduler(v.at("scheduler"));
+  // Schema-1 documents (and hand-written ones using name strings) carry
+  // the EDF factors in a sibling "edf" object; fold them into the spec.
   if (const Value* edf = find_optional(v, "edf")) {
-    sc.edf.own_factor = decode_double(edf->at("own_factor"));
-    sc.edf.cross_factor = decode_double(edf->at("cross_factor"));
+    sc.scheduler.set_edf_factors(
+        sched::EdfFactors{decode_double(edf->at("own_factor")),
+                          decode_double(edf->at("cross_factor"))});
   }
   return sc;
 }
@@ -320,11 +351,20 @@ Value encode_sweep_grid(const SweepGrid& grid) {
     const SweepGrid::AxisSpec& spec = grid.axis_spec(a);
     Value values = Value::array();
     if (spec.name == "scheduler") {
-      for (e2e::Scheduler s : spec.schedulers) {
-        values.push_back(encode_scheduler(s));
+      for (const sched::SchedulerSpec& s : spec.schedulers) {
+        // A kinds-only axis re-assigns kinds over the base's EDF factors,
+        // so it serializes as bare names and must replay through the kind
+        // overload; a spec axis replaces schedulers wholesale and
+        // serializes the full objects.
+        if (spec.scheduler_kinds_only) {
+          values.push_back(Value::string(
+              std::string(sched::scheduler_kind_name(s.kind()))));
+        } else {
+          values.push_back(encode_scheduler(s));
+        }
       }
     } else if (spec.name == "edf") {
-      for (const e2e::EdfSpec& e : spec.edf) {
+      for (const sched::EdfFactors& e : spec.edf) {
         Value entry = Value::object();
         entry.set("own_factor", encode_double(e.own_factor))
             .set("cross_factor", encode_double(e.cross_factor));
@@ -351,16 +391,37 @@ SweepGrid decode_sweep_grid(const Value& v) {
     const std::string& name = axis.at("name").as_string();
     const std::vector<Value>& values = axis.at("values").items();
     if (name == "scheduler") {
-      std::vector<e2e::Scheduler> schedulers;
-      for (const Value& s : values) schedulers.push_back(decode_scheduler(s));
-      grid.scheduler_axis(std::move(schedulers));
+      // Bare kind names replay through the kind overload (keeps the
+      // base's EDF factors); anything else decodes as full specs and
+      // replays through the replacement overload.  See encode above.
+      std::vector<sched::SchedulerKind> kinds;
+      bool kinds_only = true;
+      for (const Value& s : values) {
+        sched::SchedulerKind k{};
+        if (!s.is_string() ||
+            !sched::scheduler_kind_from_name(s.as_string(), k) ||
+            k == sched::SchedulerKind::kDelta) {
+          kinds_only = false;
+          break;
+        }
+        kinds.push_back(k);
+      }
+      if (kinds_only) {
+        grid.scheduler_axis(std::move(kinds));
+      } else {
+        std::vector<sched::SchedulerSpec> schedulers;
+        for (const Value& s : values) {
+          schedulers.push_back(decode_scheduler(s));
+        }
+        grid.scheduler_axis(std::move(schedulers));
+      }
       continue;
     }
     if (name == "edf") {
-      std::vector<e2e::EdfSpec> edf;
+      std::vector<sched::EdfFactors> edf;
       for (const Value& e : values) {
-        edf.push_back(e2e::EdfSpec{decode_double(e.at("own_factor")),
-                                   decode_double(e.at("cross_factor"))});
+        edf.push_back(sched::EdfFactors{decode_double(e.at("own_factor")),
+                                        decode_double(e.at("cross_factor"))});
       }
       grid.edf_axis(std::move(edf));
       continue;
@@ -387,6 +448,8 @@ SweepGrid decode_sweep_grid(const Value& v) {
       grid.epsilon_axis(std::move(numeric));
     } else if (name == "capacity") {
       grid.capacity_axis(std::move(numeric));
+    } else if (name == "delta") {
+      grid.delta_axis(std::move(numeric));
     } else {
       throw CodecError("codec: unknown sweep axis \"" + name + "\"");
     }
@@ -425,22 +488,74 @@ SolveOptions decode_solve_options(const Value& v) {
   return options;
 }
 
+namespace {
+
+/// Folds the scheduler override into the scenario so "FIFO scenario
+/// overridden to EDF" and "EDF scenario" key identically -- they solve
+/// identically -- and canonicalizes the options (reuse_workspace is
+/// excluded from keys by contract: it cannot change any result bit).
+void canonicalize_solve(e2e::Scenario& sc, SolveOptions& options) {
+  if (options.scheduler.has_value()) {
+    sc.scheduler = *options.scheduler;
+    options.scheduler.reset();
+  }
+  options.reuse_workspace = true;
+}
+
+}  // namespace
+
 std::string solve_cache_key(const e2e::Scenario& sc,
                             const SolveOptions& options) {
-  // Fold the scheduler override into the scenario so "FIFO scenario
-  // overridden to EDF" and "EDF scenario" key identically -- they solve
-  // identically.
   SolveOptions canonical = options;
   e2e::Scenario effective = sc;
-  if (canonical.scheduler.has_value()) {
-    effective.scheduler = *canonical.scheduler;
-    canonical.scheduler.reset();
-  }
-  canonical.reuse_workspace = true;  // excluded from the key by contract
+  canonicalize_solve(effective, canonical);
   Value key = Value::object();
-  key.set("schema", Value::number(kSchemaVersion))
-      .set("scenario", encode_scenario(effective))
+  key.set("scenario", encode_scenario(effective))
       .set("options", encode_solve_options(canonical));
+  return key.dump();
+}
+
+std::optional<std::string> legacy_v1_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options) {
+  SolveOptions canonical = options;
+  e2e::Scenario effective = sc;
+  canonicalize_solve(effective, canonical);
+  const sched::SchedulerSpec& spec = effective.scheduler;
+  // Schema 1 spelled schedulers as bare kind names; an explicit
+  // fixed-Delta spec has no schema-1 key.
+  if (spec.kind() == sched::SchedulerKind::kDelta) return std::nullopt;
+
+  // Byte-exact reproduction of the schema-1 encoders: scenario with a
+  // name-string scheduler and a sibling top-level "edf" object, options
+  // with the (always folded-away, hence null) scheduler slot.
+  Value source = Value::object();
+  source.set("peak_kb", encode_double(effective.source.peak_kb()))
+      .set("p11", encode_double(effective.source.p11()))
+      .set("p22", encode_double(effective.source.p22()));
+  Value edf = Value::object();
+  edf.set("own_factor", encode_double(spec.edf_factors().own_factor))
+      .set("cross_factor", encode_double(spec.edf_factors().cross_factor));
+  Value scenario = Value::object();
+  scenario.set("capacity", encode_double(effective.capacity))
+      .set("hops", Value::number(effective.hops))
+      .set("source", std::move(source))
+      .set("n_through", Value::number(effective.n_through))
+      .set("n_cross", Value::number(effective.n_cross))
+      .set("epsilon", encode_double(effective.epsilon))
+      .set("scheduler", Value::string(std::string(
+               sched::scheduler_kind_name(spec.kind()))))
+      .set("edf", std::move(edf));
+  Value opts = Value::object();
+  opts.set("method", encode_method(canonical.method))
+      .set("scheduler", Value::null())
+      .set("delta", canonical.delta.has_value()
+                        ? encode_double(*canonical.delta)
+                        : Value::null())
+      .set("max_edf_restarts", Value::number(canonical.max_edf_restarts));
+  Value key = Value::object();
+  key.set("schema", Value::number(1))
+      .set("scenario", std::move(scenario))
+      .set("options", std::move(opts));
   return key.dump();
 }
 

@@ -20,6 +20,8 @@
 // overwritten) rather than burying them as silent misses.
 #pragma once
 
+#include <optional>
+
 #include "core/sweep.h"
 #include "e2e/solver.h"
 #include "io/json.h"
@@ -29,7 +31,10 @@ namespace deltanc::io {
 /// Version of the wire format produced by the encoders below.  Bump on
 /// any change that alters the meaning or layout of encoded documents;
 /// cached results from other schema versions are re-solved.
-inline constexpr int kSchemaVersion = 1;
+/// History: 1 = scheduler as bare kind name + top-level scenario "edf"
+/// object; 2 = scheduler as a full SchedulerSpec object {kind, delta,
+/// edf} (the "edf" factors moved inside it).
+inline constexpr int kSchemaVersion = 2;
 
 /// A structurally valid JSON document that does not decode as the
 /// requested type (missing/mistyped fields, unknown enum names, bad
@@ -56,7 +61,8 @@ struct SchemaError : CodecError {
 
 // Field orders (canonical):
 //   Scenario:   capacity, hops, source{peak_kb, p11, p22}, n_through,
-//               n_cross, epsilon, scheduler, edf{own_factor, cross_factor}
+//               n_cross, epsilon,
+//               scheduler{kind, delta, edf{own_factor, cross_factor}}
 //   SolveStats: optimize_evals, eb_evals, sigma_evals, edf_iterations,
 //               edf_converged, retries, fallbacks, scan_ms, refine_ms,
 //               cache_hits, cache_misses, cache_stale
@@ -102,11 +108,24 @@ struct SchemaError : CodecError {
 [[nodiscard]] SolveOptions decode_solve_options(const json::Value& v);
 
 /// The canonical cache key for "this scenario solved with these
-/// options": the compact dump of {"schema", "scenario", "options"} with
-/// the scheduler override already folded into the scenario.  Two solves
-/// get the same key iff the codec cannot distinguish their inputs.
+/// options": the compact dump of {"scenario", "options"} with the
+/// scheduler override already folded into the scenario.  Two solves get
+/// the same key iff the codec cannot distinguish their inputs.  The
+/// schema version is deliberately NOT part of the key (since v2): the
+/// cache stores it per entry and classifies mismatches as *stale*; a
+/// schema inside the key would silently change every file name on a bump
+/// and bury old entries as misses.
 [[nodiscard]] std::string solve_cache_key(const e2e::Scenario& sc,
                                           const SolveOptions& options);
+
+/// The byte-exact schema-1 cache key the pre-SchedulerSpec codec would
+/// have produced for the same solve ({"schema":1, "scenario":{...,
+/// "scheduler":"<kind name>", "edf":{...}}, "options":{...}}), used by
+/// ResultCache to classify pre-refactor entries as stale instead of
+/// missing them.  nullopt when the solve has no schema-1 spelling (an
+/// explicit fixed-Delta scheduler).
+[[nodiscard]] std::optional<std::string> legacy_v1_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options);
 
 // ----- helpers shared by the cache / batch layers ------------------------
 
@@ -114,9 +133,16 @@ struct SchemaError : CodecError {
 /// kSchemaVersion.
 void require_schema(const json::Value& v);
 
-/// Scheduler <-> name, throwing flavors of core/sweep.h's helpers.
-[[nodiscard]] json::Value encode_scheduler(e2e::Scheduler s);
-[[nodiscard]] e2e::Scheduler decode_scheduler(const json::Value& v);
+/// Scheduler identity <-> JSON.  Encodes the full spec as an object
+/// {"kind": "<name>", "delta": <double>, "edf": {"own_factor",
+/// "cross_factor"}}; every field is always emitted so the compact dump
+/// is byte-stable.  The decoder also accepts the canonical name strings
+/// ("fifo", ..., "delta:<value>") for hand-written documents and the
+/// schema-1 form.  An unknown kind name throws SchemaError -- a newer
+/// producer's registry, not corruption -- so the cache classifies such
+/// entries as stale.
+[[nodiscard]] json::Value encode_scheduler(const sched::SchedulerSpec& s);
+[[nodiscard]] sched::SchedulerSpec decode_scheduler(const json::Value& v);
 
 [[nodiscard]] json::Value encode_method(e2e::Method m);
 [[nodiscard]] e2e::Method decode_method(const json::Value& v);

@@ -54,20 +54,14 @@ std::filesystem::path ResultCache::entry_path(std::string_view key) const {
   return dir_ / name;
 }
 
-CacheLookup ResultCache::lookup(const std::string& key,
-                                e2e::BoundResult& result) {
-  const std::filesystem::path path = entry_path(key);
+CacheLookup ResultCache::read_entry(const std::filesystem::path& path,
+                                    const std::string& key,
+                                    e2e::BoundResult& result) const {
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    ++stats_.misses;
-    return CacheLookup::kMiss;
-  }
+  if (!in) return CacheLookup::kMiss;
   std::ostringstream text;
   text << in.rdbuf();
-  if (!in.good() && !in.eof()) {
-    ++stats_.corrupt;
-    return CacheLookup::kCorrupt;
-  }
+  if (!in.good() && !in.eof()) return CacheLookup::kCorrupt;
   try {
     const json::Value entry = json::Value::parse(text.str());
     // Schema or library version drift makes the entry stale, not corrupt:
@@ -76,28 +70,69 @@ CacheLookup ResultCache::lookup(const std::string& key,
     if (schema == nullptr || !schema->is_number() ||
         schema->as_number() != kSchemaVersion ||
         entry.at("version").as_string() != DELTANC_VERSION_STRING) {
-      ++stats_.stale;
       return CacheLookup::kStale;
     }
     // The stored full key disambiguates FNV collisions: a different key
     // in the same slot is somebody else's entry, i.e. a miss.
-    if (entry.at("key").as_string() != key) {
-      ++stats_.misses;
-      return CacheLookup::kMiss;
-    }
+    if (entry.at("key").as_string() != key) return CacheLookup::kMiss;
     result = decode_bound_result(entry.at("result"));
   } catch (const json::ParseError&) {
-    ++stats_.corrupt;
     return CacheLookup::kCorrupt;
   } catch (const json::TypeError&) {
-    ++stats_.corrupt;
     return CacheLookup::kCorrupt;
+  } catch (const SchemaError&) {
+    // A decoder rejected an enum name or layout this build does not know
+    // -- a different producer, not bit rot.
+    return CacheLookup::kStale;
   } catch (const CodecError&) {
-    ++stats_.corrupt;
     return CacheLookup::kCorrupt;
   }
-  ++stats_.hits;
   return CacheLookup::kHit;
+}
+
+void ResultCache::count(CacheLookup outcome) noexcept {
+  switch (outcome) {
+    case CacheLookup::kHit:
+      ++stats_.hits;
+      return;
+    case CacheLookup::kMiss:
+      ++stats_.misses;
+      return;
+    case CacheLookup::kStale:
+      ++stats_.stale;
+      return;
+    case CacheLookup::kCorrupt:
+      ++stats_.corrupt;
+      return;
+  }
+}
+
+CacheLookup ResultCache::lookup(const std::string& key,
+                                e2e::BoundResult& result) {
+  const CacheLookup outcome = read_entry(entry_path(key), key, result);
+  count(outcome);
+  return outcome;
+}
+
+CacheLookup ResultCache::lookup(const e2e::Scenario& sc,
+                                const SolveOptions& options,
+                                e2e::BoundResult& result) {
+  const std::string key = solve_cache_key(sc, options);
+  CacheLookup outcome = read_entry(entry_path(key), key, result);
+  if (outcome == CacheLookup::kMiss) {
+    // Nothing under the current key: probe the byte-exact schema-1 slot
+    // of the same solve.  Any entry there -- whatever its state -- is a
+    // pre-refactor artifact of this exact solve: classify it stale so
+    // the re-solve is observable, never serve bits from it.
+    const std::optional<std::string> legacy =
+        legacy_v1_solve_cache_key(sc, options);
+    if (legacy.has_value() &&
+        std::filesystem::exists(entry_path(*legacy))) {
+      outcome = CacheLookup::kStale;
+    }
+  }
+  count(outcome);
+  return outcome;
 }
 
 void ResultCache::store(const std::string& key,

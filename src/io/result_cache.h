@@ -1,19 +1,24 @@
 // Content-addressed persistent result cache for solved delay bounds.
 //
 // Keying: entries are addressed by the canonical cache key of
-// io::solve_cache_key (the compact JSON dump of schema + effective
-// scenario + solve options) hashed with 64-bit FNV-1a into the file name
+// io::solve_cache_key (the compact JSON dump of the effective scenario +
+// solve options) hashed with 64-bit FNV-1a into the file name
 // `<16 hex digits>.json` under the cache directory.  The full key string
 // is stored *inside* each entry and compared on lookup, so a hash
 // collision degrades to a miss, never to a wrong answer.
 //
 // Versioning: each entry records the library version
-// (DELTANC_VERSION_STRING) and the wire schema it was written with.  The
-// version is deliberately NOT hashed into the key: a lookup that finds an
-// entry from another library or schema version classifies it as *stale*
-// -- observable in CacheStats and in the per-result
+// (DELTANC_VERSION_STRING) and the wire schema it was written with.
+// Neither is hashed into the key: a lookup that finds an entry from
+// another library or schema version classifies it as *stale* --
+// observable in CacheStats and in the per-result
 // SolveStats::cache_stale counter -- re-solves, and overwrites, instead
-// of silently missing and leaving dead files behind.
+// of silently missing and leaving dead files behind.  Schema-1 keys
+// additionally hashed the schema version itself (so their file names
+// differ from today's for the same solve); the (scenario, options)
+// lookup overload probes the byte-exact schema-1 key
+// (io::legacy_v1_solve_cache_key) when the primary slot is empty and
+// classifies pre-refactor entries as stale too, never as wrong hits.
 //
 // Durability: stores write to `<name>.tmp.<pid>` in the cache directory
 // and rename(2) into place, so concurrent writers and crashes can leave
@@ -85,6 +90,15 @@ class ResultCache {
   [[nodiscard]] CacheLookup lookup(const std::string& key,
                                    e2e::BoundResult& result);
 
+  /// Looks up the solve described by (scenario, options) -- the
+  /// preferred entry point: on a primary miss it additionally probes the
+  /// schema-1 slot of the same solve and classifies a pre-refactor entry
+  /// found there as kStale (re-solve and overwrite at the current key)
+  /// instead of a silent miss.  Fills `result` only on kHit.
+  [[nodiscard]] CacheLookup lookup(const e2e::Scenario& sc,
+                                   const SolveOptions& options,
+                                   e2e::BoundResult& result);
+
   /// Stores (overwriting any previous entry -- including stale and
   /// corrupt ones) via atomic tmp + rename.
   /// @throws std::runtime_error when the entry cannot be written.
@@ -101,7 +115,7 @@ class ResultCache {
                                  CacheLookup* outcome = nullptr) {
     const std::string key = solve_cache_key(sc, options);
     e2e::BoundResult result;
-    const CacheLookup found = lookup(key, result);
+    const CacheLookup found = lookup(sc, options, result);
     if (outcome != nullptr) *outcome = found;
     if (found == CacheLookup::kHit) {
       result.stats.cache_hits = 1;
@@ -128,6 +142,13 @@ class ResultCache {
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
  private:
+  /// Classifies the entry at `path` against `key` without touching
+  /// CacheStats (shared by both lookup flavors).
+  [[nodiscard]] CacheLookup read_entry(const std::filesystem::path& path,
+                                       const std::string& key,
+                                       e2e::BoundResult& result) const;
+  void count(CacheLookup outcome) noexcept;
+
   std::filesystem::path dir_;
   CacheStats stats_;
 };

@@ -1,0 +1,175 @@
+#include "sched/scheduler_spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace deltanc::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// THE scheduler name table.  Everything else (sweep axes, codec, cache
+// keys, CLI, reports) goes through the functions below; scripts/check.sh
+// fails if any other src/ or tools/ file spells these strings.
+struct KindRow {
+  SchedulerKind kind;
+  std::string_view name;
+  std::string_view description;
+};
+
+constexpr KindRow kKinds[] = {
+    {SchedulerKind::kFifo, "fifo", "FIFO"},
+    {SchedulerKind::kBmux, "bmux", "blind multiplexing (SP, through low)"},
+    {SchedulerKind::kSpHigh, "sp-high", "static priority (through high)"},
+    {SchedulerKind::kEdf, "edf", "EDF"},
+    {SchedulerKind::kDelta, "delta", "fixed Delta offset"},
+};
+
+/// "%g" of a double (enough for display and CLI round-trips; the JSON
+/// codec uses its own bit-exact encoding).
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<double> SchedulerSpec::static_delta() const noexcept {
+  switch (kind()) {
+    case SchedulerKind::kFifo:
+      return 0.0;
+    case SchedulerKind::kBmux:
+      return kInf;
+    case SchedulerKind::kSpHigh:
+      return -kInf;
+    case SchedulerKind::kDelta:
+      return delta();
+    case SchedulerKind::kEdf:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+double SchedulerSpec::delta_term(double edf_unit) const noexcept {
+  if (const std::optional<double> d = static_delta()) return *d;
+  // EDF: Delta = d*_0 - d*_c = (own - cross) * unit.
+  return (edf_factors().own_factor - edf_factors().cross_factor) * edf_unit;
+}
+
+DeltaMatrix SchedulerSpec::to_delta_matrix(std::size_t flows,
+                                           std::size_t analyzed,
+                                           double edf_unit) const {
+  if (analyzed >= flows) {
+    throw std::invalid_argument(
+        "SchedulerSpec::to_delta_matrix: analyzed flow out of range");
+  }
+  switch (kind()) {
+    case SchedulerKind::kFifo:
+      return DeltaMatrix::fifo(flows);
+    case SchedulerKind::kBmux:
+      return DeltaMatrix::bmux(flows, analyzed);
+    case SchedulerKind::kSpHigh: {
+      std::vector<int> priority(flows, 0);
+      priority[analyzed] = 1;
+      return DeltaMatrix::static_priority(priority);
+    }
+    case SchedulerKind::kEdf: {
+      std::vector<double> deadlines(flows,
+                                    edf_factors().cross_factor * edf_unit);
+      deadlines[analyzed] = edf_factors().own_factor * edf_unit;
+      return DeltaMatrix::edf(deadlines);
+    }
+    case SchedulerKind::kDelta: {
+      // +/-inf offsets coincide with the BMUX / SP-high matrices; finite
+      // offsets are deadline differences (analyzed - other = delta).
+      if (delta() == kInf) return DeltaMatrix::bmux(flows, analyzed);
+      if (delta() == -kInf) {
+        std::vector<int> priority(flows, 0);
+        priority[analyzed] = 1;
+        return DeltaMatrix::static_priority(priority);
+      }
+      std::vector<double> deadlines(flows, delta() < 0.0 ? -delta() : 0.0);
+      deadlines[analyzed] = delta() > 0.0 ? delta() : 0.0;
+      return DeltaMatrix::edf(deadlines);
+    }
+  }
+  throw std::invalid_argument("SchedulerSpec::to_delta_matrix: unknown kind");
+}
+
+std::string_view scheduler_kind_name(SchedulerKind kind) noexcept {
+  for (const KindRow& row : kKinds) {
+    if (row.kind == kind) return row.name;
+  }
+  return "?";
+}
+
+bool scheduler_kind_from_name(std::string_view name,
+                              SchedulerKind& out) noexcept {
+  for (const KindRow& row : kKinds) {
+    if (row.name == name) {
+      out = row.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_string(const SchedulerSpec& spec) {
+  if (spec.kind() == SchedulerKind::kDelta) {
+    return std::string(scheduler_kind_name(SchedulerKind::kDelta)) + ":" +
+           format_double(spec.delta());
+  }
+  return std::string(scheduler_kind_name(spec.kind()));
+}
+
+bool parse_scheduler(std::string_view text, SchedulerSpec& out) {
+  SchedulerKind kind;
+  if (scheduler_kind_from_name(text, kind)) {
+    // A bare kind name; "delta" without a value is not a scheduler.
+    if (kind == SchedulerKind::kDelta) return false;
+    out = SchedulerSpec(kind);
+    return true;
+  }
+  const std::string_view delta_name = scheduler_kind_name(SchedulerKind::kDelta);
+  if (text.size() > delta_name.size() + 1 &&
+      text.substr(0, delta_name.size()) == delta_name &&
+      text[delta_name.size()] == ':') {
+    const std::string value(text.substr(delta_name.size() + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || v != v) return false;
+    out = SchedulerSpec::fixed_delta(v);
+    return true;
+  }
+  return false;
+}
+
+std::string scheduler_usage_names() {
+  std::string out;
+  for (const KindRow& row : kKinds) {
+    if (!out.empty()) out += " | ";
+    out += row.name;
+    if (row.kind == SchedulerKind::kDelta) out += ":<Delta>";
+  }
+  return out;
+}
+
+std::string scheduler_description(const SchedulerSpec& spec) {
+  for (const KindRow& row : kKinds) {
+    if (row.kind == spec.kind()) {
+      std::string out(row.description);
+      if (spec.kind() == SchedulerKind::kDelta) {
+        out += " (Delta = " + format_double(spec.delta()) + ")";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace deltanc::sched

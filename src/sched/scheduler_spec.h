@@ -1,0 +1,202 @@
+// First-class scheduler identity.
+//
+// The paper's Definition 1 says a link scheduler *is* its precedence
+// constants Delta_{j,k}: FIFO is Delta = 0, blind multiplexing (the
+// analyzed flow treated as lowest priority) is Delta = +inf, static
+// priority with the analyzed flow on the high side is Delta = -inf, and
+// EDF is the deadline difference d*_0 - d*_c.  SchedulerSpec is the one
+// tagged, parameterized descriptor of that identity used across every
+// layer of this codebase:
+//
+//   solver       e2e::Scenario::scheduler (param_search / Solver facade)
+//   Theorem 1    to_delta_matrix() lowers to a sched::DeltaMatrix
+//   hetero path  delta_term() yields the per-node Delta(theta) term
+//   sweep        SweepGrid scheduler/edf/delta axes (core/sweep.h)
+//   wire + cache io/codec.{h,cpp} encode/decode + cache keys
+//   CLI          --scheduler / --sweep parsing (parse_scheduler)
+//   simulators   sim::lower_scheduler / evsim::lower_scheduler
+//
+// The name registry at the bottom of this header is the ONLY place the
+// canonical scheduler name strings ("fifo", "bmux", "sp-high", "edf",
+// "delta:<value>") are spelled; scripts/check.sh greps that no other
+// src/ or tools/ file hard-codes them.  Policies that are not
+// Delta-schedulers (GPS, SCFQ) deliberately have no SchedulerKind: they
+// exist only at the simulator layer, and the reverse adapters there
+// throw "not lowerable" for them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sched/delta.h"
+
+namespace deltanc::sched {
+
+/// EDF deadline factors: the per-class a-priori delay constraints are
+/// d*_0 = own_factor * u and d*_c = cross_factor * u for a deadline unit
+/// u (the solver uses u = d_e2e / H, making the deadlines self-referential
+/// and the solve a fixed point).
+struct EdfFactors {
+  double own_factor = 1.0;     ///< through (analyzed) class, in units
+  double cross_factor = 10.0;  ///< cross class, in units
+
+  friend constexpr bool operator==(const EdfFactors&,
+                                   const EdfFactors&) = default;
+};
+
+/// The registered Delta-scheduler families.
+enum class SchedulerKind : std::uint8_t {
+  kFifo,    ///< Delta = 0
+  kBmux,    ///< blind multiplexing / SP with through low: Delta = +inf
+  kSpHigh,  ///< static priority, through high: Delta = -inf
+  kEdf,     ///< earliest deadline first: Delta = d*_0 - d*_c (fixed point)
+  kDelta,   ///< explicit fixed Delta offset (continuous FIFO<->BMUX axis)
+};
+
+/// Tagged, parameterized scheduler descriptor.  Only the parameters of
+/// the active kind are meaningful, but all are carried (and compared, and
+/// serialized) so that switching kinds back and forth is lossless -- e.g.
+/// a sweep's scheduler axis can toggle kEdf <-> kFifo without forgetting
+/// the EDF factors configured on the base scenario.
+class SchedulerSpec {
+ public:
+  constexpr SchedulerSpec() = default;
+
+  /// Implicit by design: this conversion is what keeps the deprecated
+  /// e2e::Scheduler enum shim (an alias of SchedulerKind) source
+  /// compatible -- `scenario.scheduler = e2e::Scheduler::kBmux` still
+  /// compiles and constructs the equivalent spec.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr SchedulerSpec(SchedulerKind kind) : kind_(kind) {}
+
+  /// Kind re-assignment keeps the stored EDF factors (see class comment)
+  /// but resets the fixed-Delta value: a bare kind never means "whatever
+  /// Delta was left behind".
+  constexpr SchedulerSpec& operator=(SchedulerKind kind) noexcept {
+    kind_ = kind;
+    delta_ = 0.0;
+    return *this;
+  }
+
+  // ----- factories --------------------------------------------------------
+  [[nodiscard]] static constexpr SchedulerSpec fifo() noexcept {
+    return SchedulerSpec(SchedulerKind::kFifo);
+  }
+  [[nodiscard]] static constexpr SchedulerSpec bmux() noexcept {
+    return SchedulerSpec(SchedulerKind::kBmux);
+  }
+  [[nodiscard]] static constexpr SchedulerSpec sp_high() noexcept {
+    return SchedulerSpec(SchedulerKind::kSpHigh);
+  }
+  /// Static priority by side of the analyzed (through) class.  SP with
+  /// the through class low *is* blind multiplexing (Sec. III), so
+  /// sp(false) == bmux().
+  [[nodiscard]] static constexpr SchedulerSpec sp(bool through_high) noexcept {
+    return through_high ? sp_high() : bmux();
+  }
+  [[nodiscard]] static constexpr SchedulerSpec edf(
+      double own_factor = 1.0, double cross_factor = 10.0) noexcept {
+    SchedulerSpec s(SchedulerKind::kEdf);
+    s.edf_ = EdfFactors{own_factor, cross_factor};
+    return s;
+  }
+  [[nodiscard]] static constexpr SchedulerSpec edf(EdfFactors factors) noexcept {
+    SchedulerSpec s(SchedulerKind::kEdf);
+    s.edf_ = factors;
+    return s;
+  }
+  /// Explicit Delta-scheduler with fixed offset `delta` (may be +/-inf:
+  /// fixed_delta(+inf) solves identically to bmux(), fixed_delta(-inf) to
+  /// sp_high(), fixed_delta(0) to fifo()).
+  [[nodiscard]] static constexpr SchedulerSpec fixed_delta(
+      double delta) noexcept {
+    SchedulerSpec s(SchedulerKind::kDelta);
+    s.delta_ = delta;
+    return s;
+  }
+
+  // ----- observers --------------------------------------------------------
+  [[nodiscard]] constexpr SchedulerKind kind() const noexcept { return kind_; }
+  /// The fixed offset (meaningful for kDelta; 0 otherwise).
+  [[nodiscard]] constexpr double delta() const noexcept { return delta_; }
+  [[nodiscard]] constexpr const EdfFactors& edf_factors() const noexcept {
+    return edf_;
+  }
+  constexpr void set_edf_factors(EdfFactors factors) noexcept {
+    edf_ = factors;
+  }
+
+  /// True when the scheduler's Delta depends on the (unknown) delay bound
+  /// itself and the solver must run the EDF fixed point.
+  [[nodiscard]] constexpr bool needs_fixed_point() const noexcept {
+    return kind_ == SchedulerKind::kEdf;
+  }
+
+  /// The scheduler's Delta(theta) term when it does not depend on the
+  /// solve (every kind but kEdf); nullopt for kEdf.
+  [[nodiscard]] std::optional<double> static_delta() const noexcept;
+
+  /// The through-vs-cross Delta term, resolving EDF deadlines against the
+  /// unit `edf_unit` (= d_e2e / H at the solver layer): this is the value
+  /// fed to the homogeneous solver and to e2e::NodeParams::delta on a
+  /// HeteroPath node.
+  [[nodiscard]] double delta_term(double edf_unit) const noexcept;
+
+  /// Lowers the spec onto the Theorem-1 layer: the DeltaMatrix over
+  /// `flows` flows with `analyzed` as the through flow.  EDF deadlines
+  /// are factor * edf_unit (must come out finite and non-negative).
+  /// @throws std::invalid_argument on bad sizes/deadlines (DeltaMatrix).
+  [[nodiscard]] DeltaMatrix to_delta_matrix(std::size_t flows,
+                                            std::size_t analyzed,
+                                            double edf_unit = 1.0) const;
+
+  /// Full identity comparison (kind and all carried parameters; see the
+  /// class comment for why inactive parameters participate).
+  friend constexpr bool operator==(const SchedulerSpec&,
+                                   const SchedulerSpec&) = default;
+  /// Kind-only comparison, so `sc.scheduler == SchedulerKind::kEdf` (and
+  /// the deprecated e2e::Scheduler spelling of it) keeps working.
+  friend constexpr bool operator==(const SchedulerSpec& s,
+                                   SchedulerKind kind) noexcept {
+    return s.kind_ == kind;
+  }
+
+ private:
+  SchedulerKind kind_ = SchedulerKind::kFifo;
+  double delta_ = 0.0;
+  EdfFactors edf_{};
+};
+
+// ----- canonical name/params registry -------------------------------------
+// The single source of scheduler name strings shared by sweep axes, the
+// JSON codec, cache keys, CLI parsing, and report rendering.
+
+/// Canonical short name of a kind ("fifo", "bmux", "sp-high", "edf",
+/// "delta").
+[[nodiscard]] std::string_view scheduler_kind_name(SchedulerKind kind) noexcept;
+
+/// Inverse of scheduler_kind_name; returns false on unknown names.
+[[nodiscard]] bool scheduler_kind_from_name(std::string_view name,
+                                            SchedulerKind& out) noexcept;
+
+/// Canonical display/parse form of a spec: the kind name, except kDelta
+/// renders as "delta:<value>" (e.g. "delta:2.5", "delta:inf").
+[[nodiscard]] std::string to_string(const SchedulerSpec& spec);
+
+/// Parses the forms produced by to_string(): a registered kind name, or
+/// "delta:<value>" with a finite or infinite value.  Returns false
+/// (leaving `out` untouched) on anything else.  Parsed kEdf/kDelta specs
+/// carry default EDF factors; callers wanting non-default factors set
+/// them afterwards.
+[[nodiscard]] bool parse_scheduler(std::string_view text, SchedulerSpec& out);
+
+/// Usage string for CLIs: "fifo | bmux | sp-high | edf | delta:<Delta>".
+[[nodiscard]] std::string scheduler_usage_names();
+
+/// Long human-readable description, for reports.
+[[nodiscard]] std::string scheduler_description(const SchedulerSpec& spec);
+
+}  // namespace deltanc::sched

@@ -1,5 +1,7 @@
 #include "sim/tandem.h"
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -10,6 +12,8 @@
 namespace deltanc::sim {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 std::unique_ptr<Discipline> make_discipline(const TandemConfig& c) {
   switch (c.discipline) {
@@ -28,6 +32,69 @@ std::unique_ptr<Discipline> make_discipline(const TandemConfig& c) {
 }
 
 }  // namespace
+
+void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
+                     TandemConfig& config) {
+  switch (spec.kind()) {
+    case sched::SchedulerKind::kFifo:
+      config.discipline = DisciplineKind::kFifo;
+      return;
+    case sched::SchedulerKind::kBmux:
+      config.discipline = DisciplineKind::kSpThroughLow;
+      return;
+    case sched::SchedulerKind::kSpHigh:
+      config.discipline = DisciplineKind::kSpThroughHigh;
+      return;
+    case sched::SchedulerKind::kEdf:
+      if (!(edf_unit > 0.0) || !std::isfinite(edf_unit)) {
+        throw std::invalid_argument(
+            "lower_scheduler: EDF deadlines need a positive finite "
+            "edf_unit (= d_e2e / H)");
+      }
+      config.discipline = DisciplineKind::kEdf;
+      config.edf_through_deadline = spec.edf_factors().own_factor * edf_unit;
+      config.edf_cross_deadline = spec.edf_factors().cross_factor * edf_unit;
+      return;
+    case sched::SchedulerKind::kDelta: {
+      const double d = spec.delta();
+      if (d == 0.0) {
+        config.discipline = DisciplineKind::kFifo;
+      } else if (d == kInf) {
+        config.discipline = DisciplineKind::kSpThroughLow;
+      } else if (d == -kInf) {
+        config.discipline = DisciplineKind::kSpThroughHigh;
+      } else {
+        // Per-class deadlines whose difference is exactly the offset:
+        // by Def. 1 the scheduler only sees d*_0 - d*_c.
+        config.discipline = DisciplineKind::kEdf;
+        config.edf_through_deadline = d > 0.0 ? d : 0.0;
+        config.edf_cross_deadline = d > 0.0 ? 0.0 : -d;
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("lower_scheduler: unknown scheduler kind");
+}
+
+sched::SchedulerSpec scheduler_spec_of(const TandemConfig& config) {
+  switch (config.discipline) {
+    case DisciplineKind::kFifo:
+      return sched::SchedulerSpec::fifo();
+    case DisciplineKind::kSpThroughLow:
+      return sched::SchedulerSpec::bmux();
+    case DisciplineKind::kSpThroughHigh:
+      return sched::SchedulerSpec::sp_high();
+    case DisciplineKind::kEdf:
+      return sched::SchedulerSpec::fixed_delta(config.edf_through_deadline -
+                                               config.edf_cross_deadline);
+    case DisciplineKind::kGps:
+      throw std::invalid_argument(
+          "scheduler_spec_of: GPS is not a Delta-scheduler (its precedence "
+          "horizon depends on the backlog process; no constants Delta_{j,k} "
+          "exist) and is not lowerable to a SchedulerSpec");
+  }
+  throw std::invalid_argument("scheduler_spec_of: unknown discipline");
+}
 
 TandemResult run_tandem(const TandemConfig& config) {
   if (config.hops < 1 || config.n_through < 1 || config.n_cross < 0 ||

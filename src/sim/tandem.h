@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "sched/scheduler_spec.h"
 #include "sim/stats.h"
 #include "traffic/mmoo.h"
 
@@ -65,5 +66,28 @@ struct TandemResult {
 /// Runs the tandem simulation.  @throws std::invalid_argument on
 /// malformed configuration.
 [[nodiscard]] TandemResult run_tandem(const TandemConfig& config);
+
+/// Lowering adapter from the analytic scheduler identity: sets
+/// `config.discipline` (and the EDF deadline fields where applicable)
+/// to simulate `spec`.  kEdf deadlines resolve as factor * edf_unit
+/// (callers supply edf_unit = d_e2e / H in slots; other kinds ignore
+/// it).  A finite non-zero fixed-Delta spec lowers to per-class EDF
+/// deadlines whose difference is exactly the offset -- by Def. 1 that
+/// realizes the precedence constants; Delta = 0 / +inf / -inf lower to
+/// the FIFO / SP-low / SP-high disciplines.  GPS is never produced: it
+/// is not a Delta-scheduler.
+/// @throws std::invalid_argument for kEdf without a positive finite
+/// edf_unit.
+void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
+                     TandemConfig& config);
+
+/// The analytic identity of `config`'s discipline (inverse adapter).
+/// EDF raises to a fixed-Delta spec carrying the deadline difference:
+/// absolute deadlines hold more information than Def. 1 keeps.
+/// @throws std::invalid_argument for kGps: GPS is not a Delta-scheduler
+/// (no constants Delta_{j,k} exist; see sched/delta.h), so it is not
+/// lowerable to or from a SchedulerSpec.
+[[nodiscard]] sched::SchedulerSpec scheduler_spec_of(
+    const TandemConfig& config);
 
 }  // namespace deltanc::sim

@@ -106,6 +106,41 @@ TEST(Batch, MalformedLinesAnswerInPlaceWithoutAbortingTheBatch) {
   EXPECT_EQ(responses[3].at("id").as_number(), 3.0);
 }
 
+TEST(Batch, UnknownSchedulerNameIsAnsweredInPlace) {
+  // A request naming a scheduler this build does not register (another
+  // producer's vocabulary -- a SchemaError out of the codec) is an
+  // error *response*, never an exception out of the batch loop, and the
+  // surrounding requests still solve.
+  Value req = Value::object();
+  req.set("schema", Value::number(kSchemaVersion))
+      .set("id", Value::number(1))
+      .set("scenario", encode_scenario(small_scenario(50)));
+  std::string bad = req.dump();
+  const std::string mine = "\"fifo\"";
+  const std::size_t at = bad.find(mine);
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, mine.size(), "\"round-robin\"");
+
+  std::stringstream in;
+  in << request_line(small_scenario(60), 0) << "\n";
+  in << bad << "\n";
+  in << request_line(small_scenario(40), 2) << "\n";
+  std::ostringstream out;
+
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_EQ(summary.requests, 3);
+  EXPECT_EQ(summary.parse_errors, 1);
+  EXPECT_EQ(summary.solved, 2);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+  EXPECT_FALSE(responses[1].at("ok").as_bool());
+  EXPECT_NE(responses[1].at("error").as_string().find("round-robin"),
+            std::string::npos);
+  EXPECT_TRUE(responses[2].at("ok").as_bool());
+}
+
 TEST(Batch, SecondRunAnswersFromCacheBitExactly) {
   ResultCache cache(fresh_cache_dir("deltanc_batch_cache"));
   const std::string requests = request_line(small_scenario(60), 0) + "\n" +

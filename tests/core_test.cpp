@@ -26,7 +26,7 @@ TEST(ScenarioBuilder, FluentConstruction) {
   EXPECT_EQ(sc.n_cross, 200);
   EXPECT_DOUBLE_EQ(sc.epsilon, 1e-6);
   EXPECT_EQ(sc.scheduler, e2e::Scheduler::kEdf);
-  EXPECT_DOUBLE_EQ(sc.edf.cross_factor, 10.0);
+  EXPECT_DOUBLE_EQ(sc.scheduler.edf_factors().cross_factor, 10.0);
 }
 
 TEST(ScenarioBuilder, UtilizationToFlowCount) {

@@ -36,24 +36,13 @@ TEST_P(EvsimBoundDomination, FluidBoundPlusBlockingDominatesPacketSim) {
   c.packet_kb = packet_kb;
   c.slots = 200000;
   c.seed = 41;
-  switch (GetParam()) {
-    case e2e::Scheduler::kFifo:
-      c.policy = evsim::PolicyKind::kFifo;
-      break;
-    case e2e::Scheduler::kBmux:
-      c.policy = evsim::PolicyKind::kSpThroughLow;
-      break;
-    case e2e::Scheduler::kSpHigh:
-      c.policy = evsim::PolicyKind::kSpThroughHigh;
-      break;
-    case e2e::Scheduler::kEdf: {
-      c.policy = evsim::PolicyKind::kEdf;
-      const double d = analyzer.bound().delay_ms;
-      c.edf_through_deadline_ms = sc.edf.own_factor * d / hops;
-      c.edf_cross_deadline_ms = sc.edf.cross_factor * d / hops;
-      break;
-    }
+  // Lower through the one adapter every layer shares; EDF deadlines
+  // resolve against the analytic bound's unit d_e2e / H.
+  double edf_unit = 1.0;
+  if (sc.scheduler.needs_fixed_point()) {
+    edf_unit = analyzer.bound().delay_ms / hops;
   }
+  evsim::lower_scheduler(sc.scheduler, edf_unit, c);
   const evsim::EvNetworkResult r = evsim::run_event_network(c);
   ASSERT_GT(r.through_delay_ms.count(), 100000u);
 
@@ -75,6 +64,54 @@ INSTANTIATE_TEST_SUITE_P(Schedulers, EvsimBoundDomination,
                                            e2e::Scheduler::kBmux,
                                            e2e::Scheduler::kSpHigh,
                                            e2e::Scheduler::kEdf));
+
+// Both static-priority lowerings (kSpThroughLow from bmux, kSpThroughHigh
+// from sp-high) must keep the packet simulator's delay quantiles under
+// the matching analytic bound at several tail depths.  Seeded, and
+// tolerance-gated by the non-preemptive blocking allowance of one packet
+// transmission per hop.
+TEST(EvsimSpQuantiles, SpLoweringsStayBelowAnalyticBounds) {
+  const int hops = 2;
+  const double packet_kb = 1.5;
+  struct Case {
+    sched::SchedulerSpec spec;
+    evsim::PolicyKind expected;
+  };
+  for (const Case& test_case :
+       {Case{sched::SchedulerSpec::bmux(), evsim::PolicyKind::kSpThroughLow},
+        Case{sched::SchedulerSpec::sp_high(),
+             evsim::PolicyKind::kSpThroughHigh}}) {
+    const e2e::Scenario sc = ScenarioBuilder()
+                                 .hops(hops)
+                                 .through_flows(200)
+                                 .cross_flows(200)
+                                 .scheduler(test_case.spec)
+                                 .build();
+    evsim::EvNetworkConfig c;
+    c.hops = hops;
+    c.n_through = sc.n_through;
+    c.n_cross = sc.n_cross;
+    c.packet_kb = packet_kb;
+    c.slots = 150000;
+    c.seed = 7;
+    evsim::lower_scheduler(test_case.spec, 1.0, c);
+    ASSERT_EQ(c.policy, test_case.expected)
+        << sched::to_string(test_case.spec);
+    ASSERT_EQ(evsim::scheduler_spec_of(c), test_case.spec);
+    const evsim::EvNetworkResult r = evsim::run_event_network(c);
+    ASSERT_GT(r.through_delay_ms.count(), 50000u);
+    const double blocking_allowance = hops * packet_kb / sc.capacity;
+    for (const double eps : {1e-2, 1e-3}) {
+      e2e::Scenario at_eps = sc;
+      at_eps.epsilon = eps;
+      const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+      ASSERT_TRUE(std::isfinite(bound));
+      EXPECT_LE(r.through_delay_ms.quantile(1.0 - eps),
+                bound + blocking_allowance)
+          << sched::to_string(test_case.spec) << " at eps " << eps;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace deltanc

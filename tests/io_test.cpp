@@ -120,7 +120,7 @@ TEST(Codec, DecodeDoubleAcceptsHexfloatStrings) {
 
 TEST(Codec, ScenarioRoundTripsExactly) {
   e2e::Scenario sc = fig2_scenario(268, e2e::Scheduler::kEdf);
-  sc.edf = e2e::EdfSpec{1.0, 10.0};
+  sc.scheduler.set_edf_factors(sched::EdfFactors{1.0, 10.0});
   sc.capacity = 155.52;  // an OC-3, not representable in few digits
   const e2e::Scenario back = decode_scenario(encode_scenario(sc));
   EXPECT_EQ(back.capacity, sc.capacity);
@@ -132,20 +132,47 @@ TEST(Codec, ScenarioRoundTripsExactly) {
   EXPECT_EQ(back.n_cross, sc.n_cross);
   EXPECT_EQ(back.epsilon, sc.epsilon);
   EXPECT_EQ(back.scheduler, sc.scheduler);
-  EXPECT_EQ(back.edf.own_factor, sc.edf.own_factor);
-  EXPECT_EQ(back.edf.cross_factor, sc.edf.cross_factor);
+  EXPECT_EQ(back.scheduler.edf_factors(), sc.scheduler.edf_factors());
   // Canonical dump is byte-stable: encode twice, identical bytes.
   EXPECT_EQ(encode_scenario(sc).dump(), encode_scenario(back).dump());
 }
 
 TEST(Codec, ScenarioDecodeRejectsBadDocuments) {
+  // An unknown scheduler name is specifically a SchemaError -- another
+  // producer's vocabulary, which the result cache classifies kStale --
+  // not a generic decode failure.
   Value v = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
   v.set("scheduler", Value::string("round-robin"));
-  EXPECT_THROW((void)decode_scenario(v), CodecError);
+  EXPECT_THROW((void)decode_scenario(v), SchemaError);
+  Value obj = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
+  Value bad_sched = Value::object();
+  bad_sched.set("kind", Value::string("wfq"));
+  obj.set("scheduler", std::move(bad_sched));
+  EXPECT_THROW((void)decode_scenario(obj), SchemaError);
   EXPECT_THROW((void)decode_scenario(Value::number(3.0)), CodecError);
   Value hops = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
   hops.set("hops", Value::number(2.5));
   EXPECT_THROW((void)decode_scenario(hops), CodecError);
+}
+
+TEST(Codec, SchedulerSpecsRoundTripInAllForms) {
+  // The full-object form round-trips every spec, including fixed-Delta
+  // offsets (finite and infinite) and EDF factors.
+  for (const sched::SchedulerSpec spec :
+       {sched::SchedulerSpec::fifo(), sched::SchedulerSpec::bmux(),
+        sched::SchedulerSpec::sp_high(), sched::SchedulerSpec::edf(2.0, 5.0),
+        sched::SchedulerSpec::fixed_delta(2.5),
+        sched::SchedulerSpec::fixed_delta(kInf),
+        sched::SchedulerSpec::fixed_delta(-kInf)}) {
+    const sched::SchedulerSpec back = decode_scheduler(encode_scheduler(spec));
+    EXPECT_EQ(back, spec) << sched::to_string(spec);
+  }
+  // The codec also accepts the compact string form (bare names and
+  // "delta:<value>") wherever a scheduler is expected.
+  sched::SchedulerSpec s = decode_scheduler(Value::string("delta:2.5"));
+  EXPECT_EQ(s, sched::SchedulerSpec::fixed_delta(2.5));
+  EXPECT_EQ(decode_scheduler(Value::string("bmux")),
+            sched::SchedulerSpec::bmux());
 }
 
 TEST(Codec, DiagnosticsAndStatsRoundTrip) {
@@ -310,12 +337,51 @@ TEST(Codec, SweepGridRoundTripReproducesEveryPoint) {
     EXPECT_EQ(a.n_through, b.n_through);
     EXPECT_EQ(a.n_cross, b.n_cross);  // utilizations resolved identically
     EXPECT_EQ(a.scheduler, b.scheduler);
-    EXPECT_EQ(a.edf.own_factor, b.edf.own_factor);
     EXPECT_EQ(a.capacity, b.capacity);
     EXPECT_EQ(a.epsilon, b.epsilon);
   }
   // And the re-encoded grid is byte-identical (canonical form).
   EXPECT_EQ(encode_sweep_grid(back).dump(), encode_sweep_grid(grid).dump());
+}
+
+TEST(Codec, SweepGridDeltaAndSpecAxesRoundTrip) {
+  // The continuous Delta axis (with infinite endpoints) and a full-spec
+  // scheduler axis (which *replaces* EDF factors instead of keeping the
+  // base's) both survive the codec, reproducing every point and the
+  // axis flavor: a replayed kind axis must still compose with the base
+  // factors, a replayed spec axis must not.
+  e2e::Scenario base = fig2_scenario(100, e2e::Scheduler::kFifo);
+  base.scheduler.set_edf_factors(sched::EdfFactors{3.0, 7.0});
+  SweepGrid grid(base);
+  grid.delta_axis({0.0, 2.5, kInf});
+  const SweepGrid back = decode_sweep_grid(encode_sweep_grid(grid));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.scenario_at(1).scheduler,
+            sched::SchedulerSpec::fixed_delta(2.5));
+  EXPECT_EQ(back.scenario_at(2).scheduler,
+            sched::SchedulerSpec::fixed_delta(kInf));
+  EXPECT_EQ(encode_sweep_grid(back).dump(), encode_sweep_grid(grid).dump());
+
+  SweepGrid specs(base);
+  specs.scheduler_axis(std::vector<sched::SchedulerSpec>{
+      sched::SchedulerSpec::edf(1.0, 2.0),
+      sched::SchedulerSpec::fixed_delta(-kInf)});
+  const SweepGrid specs_back = decode_sweep_grid(encode_sweep_grid(specs));
+  ASSERT_EQ(specs_back.size(), 2u);
+  // Full replacement: the axis's own factors win over the base's.
+  EXPECT_EQ(specs_back.scenario_at(0).scheduler,
+            sched::SchedulerSpec::edf(1.0, 2.0));
+  EXPECT_EQ(specs_back.scenario_at(1).scheduler,
+            sched::SchedulerSpec::fixed_delta(-kInf));
+  EXPECT_EQ(encode_sweep_grid(specs_back).dump(),
+            encode_sweep_grid(specs).dump());
+
+  // Kind axis: replayed values keep the base's EDF factors.
+  SweepGrid kinds(base);
+  kinds.scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kBmux});
+  const SweepGrid kinds_back = decode_sweep_grid(encode_sweep_grid(kinds));
+  EXPECT_EQ(kinds_back.scenario_at(0).scheduler,
+            sched::SchedulerSpec::edf(3.0, 7.0));
 }
 
 TEST(Codec, SchemaIsRequiredAndChecked) {

@@ -108,7 +108,8 @@ TEST(ParamSearch, EdfFixedPointIsSelfConsistent) {
   const Scenario sc = paper_scenario(5, 150, 150, Scheduler::kEdf);
   const BoundResult r = best_delay_bound(sc);
   ASSERT_TRUE(std::isfinite(r.delay_ms));
-  const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
+  const sched::EdfFactors& edf = sc.scheduler.edf_factors();
+  const double factor_gap = edf.own_factor - edf.cross_factor;
   EXPECT_NEAR(r.delta, factor_gap * r.delay_ms / sc.hops,
               1e-4 * std::abs(r.delta));
   const BoundResult again =
@@ -172,7 +173,8 @@ TEST(ParamSearch, EdfReturnsConsistentTuple) {
   EXPECT_EQ(optimize_delay(p, r.gamma, r.sigma).delay, r.delay_ms);
   // And the resolved Delta agrees with the returned delay to the fixed
   // point's own tolerance.
-  const double factor_gap = sc.edf.own_factor - sc.edf.cross_factor;
+  const sched::EdfFactors& edf = sc.scheduler.edf_factors();
+  const double factor_gap = edf.own_factor - edf.cross_factor;
   EXPECT_NEAR(r.delta, factor_gap * r.delay_ms / sc.hops,
               1e-5 * std::abs(r.delta));
 }

@@ -116,13 +116,55 @@ TEST_F(ResultCacheTest, SchemaDriftIsStaleToo) {
   const std::string key = solve_cache_key(sc, SolveOptions{});
   cache.store(key, e2e::best_delay_bound(sc));
 
+  // The schema version lives in the entry, not in the hashed key, so a
+  // schema bump is observable as staleness instead of a silent miss.
+  EXPECT_EQ(key.find("\"schema\""), std::string::npos);
   std::string text = read_file(cache.entry_path(key));
-  ASSERT_EQ(text.rfind("{\"schema\":1,", 0), 0u);
-  text.replace(0, 12, "{\"schema\":0,");
+  const std::string current =
+      "{\"schema\":" + std::to_string(kSchemaVersion) + ",";
+  ASSERT_EQ(text.rfind(current, 0), 0u);
+  text.replace(0, current.size(), "{\"schema\":0,");
   write_file(cache.entry_path(key), text);
 
   e2e::BoundResult out;
   EXPECT_EQ(cache.lookup(key, out), CacheLookup::kStale);
+}
+
+TEST_F(ResultCacheTest, PreRefactorEntryClassifiesStaleNeverWrongHit) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const SolveOptions options{};
+
+  // Schema-1 keys hashed the schema and spelled the scheduler as a bare
+  // name, so the same solve lived in a different slot.  Fabricate such
+  // an entry the way a pre-refactor build would have left it.
+  const std::optional<std::string> legacy =
+      legacy_v1_solve_cache_key(sc, options);
+  ASSERT_TRUE(legacy.has_value());
+  const std::string key = solve_cache_key(sc, options);
+  ASSERT_NE(*legacy, key);
+  write_file(cache.entry_path(*legacy),
+             "{\"schema\":1,\"version\":\"1.0.0\",\"key\":\"x\","
+             "\"result\":{}}\n");
+
+  // The scenario-level lookup reports it stale -- and never serves bits
+  // from it.
+  e2e::BoundResult out;
+  out.delay_ms = -1.0;
+  EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kStale);
+  EXPECT_EQ(out.delay_ms, -1.0);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().stale, 1);
+
+  // solve_through re-solves, tags the answer stale, and stores it under
+  // the *current* key, so the next lookup is a plain hit.
+  CacheLookup outcome{};
+  const e2e::BoundResult solved = cache.solve_through(
+      sc, options, [&] { return e2e::best_delay_bound(sc); }, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kStale);
+  EXPECT_EQ(solved.stats.cache_stale, 1);
+  EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kHit);
+  EXPECT_EQ(out.delay_ms, solved.delay_ms);
 }
 
 TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {
@@ -131,13 +173,16 @@ TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {
   const std::string key = solve_cache_key(sc, SolveOptions{});
   cache.store(key, e2e::best_delay_bound(sc));
 
-  write_file(cache.entry_path(key), "{\"schema\":1, truncated garba");
+  write_file(cache.entry_path(key), "{\"schema\":2, truncated garba");
   e2e::BoundResult out;
   EXPECT_EQ(cache.lookup(key, out), CacheLookup::kCorrupt);
   EXPECT_EQ(cache.stats().corrupt, 1);
 
-  // Well-formed JSON that is not a valid entry is corrupt as well.
-  write_file(cache.entry_path(key), "{\"schema\":1,\"version\":3}");
+  // Well-formed JSON of the current schema that is not a valid entry is
+  // corrupt as well (an *older* schema would be stale instead).
+  write_file(cache.entry_path(key),
+             "{\"schema\":" + std::to_string(kSchemaVersion) +
+                 ",\"version\":3}");
   EXPECT_EQ(cache.lookup(key, out), CacheLookup::kCorrupt);
 
   // Recovery: solve_through overwrites the damaged entry.

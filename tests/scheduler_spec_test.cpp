@@ -1,0 +1,203 @@
+// The one scheduler identity: SchedulerSpec semantics, the canonical
+// name registry (round-trips over every registered name), and the
+// lowering adapters into both simulators -- including the deliberate
+// "not lowerable" refusals for GPS and SCFQ.
+#include "sched/scheduler_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "evsim/network.h"
+#include "sim/tandem.h"
+
+namespace deltanc::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SchedulerSpec, FactoriesCarryTheDefinitionOneDeltas) {
+  EXPECT_EQ(SchedulerSpec::fifo().static_delta(), 0.0);
+  EXPECT_EQ(SchedulerSpec::bmux().static_delta(), kInf);
+  EXPECT_EQ(SchedulerSpec::sp_high().static_delta(), -kInf);
+  EXPECT_EQ(SchedulerSpec::fixed_delta(2.5).static_delta(), 2.5);
+  EXPECT_FALSE(SchedulerSpec::edf().static_delta().has_value());
+  // SP with the through class low *is* blind multiplexing (Sec. III).
+  EXPECT_EQ(SchedulerSpec::sp(false), SchedulerSpec::bmux());
+  EXPECT_EQ(SchedulerSpec::sp(true), SchedulerSpec::sp_high());
+}
+
+TEST(SchedulerSpec, DeltaTermResolvesEdfAgainstTheUnit) {
+  EXPECT_EQ(SchedulerSpec::fifo().delta_term(123.0), 0.0);
+  EXPECT_EQ(SchedulerSpec::fixed_delta(-3.0).delta_term(123.0), -3.0);
+  // EDF: Delta = d*_0 - d*_c = (own - cross) * unit.
+  const SchedulerSpec edf = SchedulerSpec::edf(1.0, 10.0);
+  EXPECT_TRUE(edf.needs_fixed_point());
+  EXPECT_DOUBLE_EQ(edf.delta_term(2.0), (1.0 - 10.0) * 2.0);
+}
+
+TEST(SchedulerSpec, KindAssignmentKeepsEdfFactorsButResetsDelta) {
+  SchedulerSpec s = SchedulerSpec::edf(2.0, 5.0);
+  s = SchedulerKind::kFifo;
+  EXPECT_EQ(s, SchedulerKind::kFifo);
+  EXPECT_EQ(s.edf_factors(), (EdfFactors{2.0, 5.0}));
+  s = SchedulerKind::kEdf;  // toggling back is lossless
+  EXPECT_EQ(s, SchedulerSpec::edf(2.0, 5.0));
+
+  SchedulerSpec d = SchedulerSpec::fixed_delta(7.0);
+  d = SchedulerKind::kDelta;  // a bare kind never means "old Delta"
+  EXPECT_EQ(d.delta(), 0.0);
+}
+
+TEST(SchedulerSpec, EqualityComparesAllCarriedParameters) {
+  EXPECT_EQ(SchedulerSpec::fifo(), SchedulerSpec(SchedulerKind::kFifo));
+  EXPECT_NE(SchedulerSpec::fixed_delta(1.0), SchedulerSpec::fixed_delta(2.0));
+  EXPECT_NE(SchedulerSpec::edf(1.0, 10.0), SchedulerSpec::edf(1.0, 20.0));
+  // Kind-only comparison keeps the deprecated enum spelling working.
+  EXPECT_TRUE(SchedulerSpec::edf(3.0, 4.0) == SchedulerKind::kEdf);
+}
+
+TEST(SchedulerSpec, ToDeltaMatrixMatchesTheNamedConstructions) {
+  const std::size_t n = 3, analyzed = 0;
+  const DeltaMatrix fifo = SchedulerSpec::fifo().to_delta_matrix(n, analyzed);
+  const DeltaMatrix bmux = SchedulerSpec::bmux().to_delta_matrix(n, analyzed);
+  const DeltaMatrix sp = SchedulerSpec::sp_high().to_delta_matrix(n, analyzed);
+  const DeltaMatrix off =
+      SchedulerSpec::fixed_delta(4.0).to_delta_matrix(n, analyzed);
+  const DeltaMatrix edf =
+      SchedulerSpec::edf(1.0, 10.0).to_delta_matrix(n, analyzed, 2.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_EQ(fifo.at(analyzed, k), 0.0);
+    EXPECT_EQ(bmux.at(analyzed, k), kInf);
+    EXPECT_EQ(sp.at(analyzed, k), -kInf);
+    EXPECT_EQ(off.at(analyzed, k), 4.0);
+    // Delta_{0,k} = d*_0 - d*_k = (1 - 10) * 2.
+    EXPECT_DOUBLE_EQ(edf.at(analyzed, k), -18.0);
+  }
+  EXPECT_EQ(fifo.at(analyzed, analyzed), 0.0);  // locally FIFO diagonal
+}
+
+// ----- name registry -------------------------------------------------------
+
+TEST(SchedulerRegistry, EveryRegisteredNameRoundTrips) {
+  // Every kind: name -> kind -> name, and spec -> string -> spec.
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kBmux, SchedulerKind::kSpHigh,
+        SchedulerKind::kEdf, SchedulerKind::kDelta}) {
+    const std::string_view name = scheduler_kind_name(kind);
+    EXPECT_FALSE(name.empty());
+    SchedulerKind back{};
+    ASSERT_TRUE(scheduler_kind_from_name(name, back)) << name;
+    EXPECT_EQ(back, kind);
+  }
+  for (const SchedulerSpec spec :
+       {SchedulerSpec::fifo(), SchedulerSpec::bmux(), SchedulerSpec::sp_high(),
+        SchedulerSpec::edf(), SchedulerSpec::fixed_delta(0.0),
+        SchedulerSpec::fixed_delta(2.5), SchedulerSpec::fixed_delta(kInf),
+        SchedulerSpec::fixed_delta(-kInf)}) {
+    const std::string text = to_string(spec);
+    SchedulerSpec back;
+    ASSERT_TRUE(parse_scheduler(text, back)) << text;
+    EXPECT_EQ(back, spec) << text;
+  }
+  // The usage string mentions every registered family.
+  const std::string usage = scheduler_usage_names();
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kBmux, SchedulerKind::kSpHigh,
+        SchedulerKind::kEdf}) {
+    EXPECT_NE(usage.find(scheduler_kind_name(kind)), std::string::npos);
+  }
+}
+
+TEST(SchedulerRegistry, ParseRejectsUnknownAndMalformedNames) {
+  SchedulerSpec out = SchedulerSpec::bmux();
+  EXPECT_FALSE(parse_scheduler("gps", out));
+  EXPECT_FALSE(parse_scheduler("scfq", out));
+  EXPECT_FALSE(parse_scheduler("FIFO", out));
+  EXPECT_FALSE(parse_scheduler("", out));
+  EXPECT_FALSE(parse_scheduler("delta", out));       // bare: no offset
+  EXPECT_FALSE(parse_scheduler("delta:", out));
+  EXPECT_FALSE(parse_scheduler("delta:nan", out));   // NaN never compares
+  EXPECT_FALSE(parse_scheduler("delta:1x", out));
+  EXPECT_EQ(out, SchedulerSpec::bmux());  // rejects leave `out` untouched
+}
+
+TEST(SchedulerRegistry, DescriptionsNameTheFamily) {
+  EXPECT_NE(scheduler_description(SchedulerSpec::edf(1.0, 10.0)).find("EDF"),
+            std::string::npos);
+  EXPECT_NE(scheduler_description(SchedulerSpec::fixed_delta(2.0)).find("2"),
+            std::string::npos);
+}
+
+// ----- simulator lowering adapters -----------------------------------------
+
+TEST(SchedulerLowering, TandemAdapterRoundTripsEveryKind) {
+  struct Case {
+    SchedulerSpec spec;
+    sim::DisciplineKind expected;
+  };
+  for (const Case& c :
+       {Case{SchedulerSpec::fifo(), sim::DisciplineKind::kFifo},
+        Case{SchedulerSpec::bmux(), sim::DisciplineKind::kSpThroughLow},
+        Case{SchedulerSpec::sp_high(), sim::DisciplineKind::kSpThroughHigh},
+        Case{SchedulerSpec::edf(1.0, 10.0), sim::DisciplineKind::kEdf}}) {
+    sim::TandemConfig config;
+    sim::lower_scheduler(c.spec, 5.0, config);
+    EXPECT_EQ(config.discipline, c.expected) << to_string(c.spec);
+    const SchedulerSpec back = sim::scheduler_spec_of(config);
+    // EDF raises to the fixed-Delta spec carrying the deadline
+    // difference (absolute deadlines hold more than Def. 1 keeps).
+    if (c.spec.needs_fixed_point()) {
+      EXPECT_EQ(back,
+                SchedulerSpec::fixed_delta(c.spec.delta_term(5.0)));
+    } else {
+      EXPECT_EQ(back, c.spec) << to_string(c.spec);
+    }
+  }
+}
+
+TEST(SchedulerLowering, FixedDeltaLowersToEdfWithTheExactOffset) {
+  sim::TandemConfig config;
+  sim::lower_scheduler(SchedulerSpec::fixed_delta(3.5), 1.0, config);
+  EXPECT_EQ(config.discipline, sim::DisciplineKind::kEdf);
+  EXPECT_DOUBLE_EQ(
+      config.edf_through_deadline - config.edf_cross_deadline, 3.5);
+  EXPECT_EQ(sim::scheduler_spec_of(config), SchedulerSpec::fixed_delta(3.5));
+
+  evsim::EvNetworkConfig ev;
+  evsim::lower_scheduler(SchedulerSpec::fixed_delta(-1.25), 1.0, ev);
+  EXPECT_EQ(ev.policy, evsim::PolicyKind::kEdf);
+  EXPECT_DOUBLE_EQ(
+      ev.edf_through_deadline_ms - ev.edf_cross_deadline_ms, -1.25);
+  EXPECT_EQ(evsim::scheduler_spec_of(ev), SchedulerSpec::fixed_delta(-1.25));
+}
+
+TEST(SchedulerLowering, EdfWithoutAUnitIsAnError) {
+  sim::TandemConfig config;
+  EXPECT_THROW(sim::lower_scheduler(SchedulerSpec::edf(), 0.0, config),
+               std::invalid_argument);
+  EXPECT_THROW(sim::lower_scheduler(SchedulerSpec::edf(), kInf, config),
+               std::invalid_argument);
+  evsim::EvNetworkConfig ev;
+  EXPECT_THROW(evsim::lower_scheduler(SchedulerSpec::edf(), -1.0, ev),
+               std::invalid_argument);
+}
+
+TEST(SchedulerLowering, GpsAndScfqAreExplicitlyNotLowerable) {
+  // GPS and SCFQ exist only at the simulator layer: their precedence
+  // horizon depends on the backlog process, so no constants Delta_{j,k}
+  // exist (they are not Delta-schedulers) and the reverse adapters
+  // refuse rather than guess.
+  sim::TandemConfig gps;
+  gps.discipline = sim::DisciplineKind::kGps;
+  EXPECT_THROW((void)sim::scheduler_spec_of(gps), std::invalid_argument);
+
+  evsim::EvNetworkConfig scfq;
+  scfq.policy = evsim::PolicyKind::kScfq;
+  EXPECT_THROW((void)evsim::scheduler_spec_of(scfq), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deltanc::sched

@@ -62,8 +62,9 @@ e2e::Scenario random_scenario(std::mt19937_64& rng) {
                  : pick < 0.5  ? e2e::Scheduler::kBmux
                  : pick < 0.75 ? e2e::Scheduler::kSpHigh
                                : e2e::Scheduler::kEdf;
-  sc.edf.own_factor = std::pow(10.0, -1.0 + 2.0 * unit(rng));
-  sc.edf.cross_factor = std::pow(10.0, -1.0 + 2.3 * unit(rng));
+  sc.scheduler.set_edf_factors(
+      sched::EdfFactors{std::pow(10.0, -1.0 + 2.0 * unit(rng)),
+                        std::pow(10.0, -1.0 + 2.3 * unit(rng))});
   return sc;
 }
 

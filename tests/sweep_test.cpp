@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <span>
 #include <sstream>
 #include <stdexcept>
@@ -102,6 +103,30 @@ TEST(SweepGridTest, RejectsMalformedAxisValues) {
   EXPECT_THROW(grid.epsilon_axis({0.0}), std::invalid_argument);
   EXPECT_THROW(grid.through_flows_axis({0}), std::invalid_argument);
   EXPECT_THROW(grid.cross_utilization_axis({-0.1}), std::invalid_argument);
+  EXPECT_THROW(
+      grid.delta_axis({std::numeric_limits<double>::quiet_NaN()}),
+      std::invalid_argument);
+}
+
+TEST(SweepGridTest, DeltaAxisMakesExplicitFixedDeltaSchedulers) {
+  const double inf = std::numeric_limits<double>::infinity();
+  e2e::Scenario base;
+  base.scheduler = sched::SchedulerSpec::edf(2.0, 5.0);
+  SweepGrid grid(base);
+  grid.delta_axis({0.0, 1.5, inf, -inf});  // +/-inf are legal endpoints
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid.scenario_at(0).scheduler,
+            sched::SchedulerSpec::fixed_delta(0.0));
+  EXPECT_EQ(grid.scenario_at(1).scheduler,
+            sched::SchedulerSpec::fixed_delta(1.5));
+  EXPECT_EQ(grid.scenario_at(2).scheduler,
+            sched::SchedulerSpec::fixed_delta(inf));
+  EXPECT_EQ(grid.scenario_at(3).scheduler,
+            sched::SchedulerSpec::fixed_delta(-inf));
+  // The raw values are recorded for the codec under the "delta" name.
+  ASSERT_EQ(grid.axes(), 1u);
+  EXPECT_EQ(grid.axis_name(0), "delta");
+  EXPECT_EQ(grid.axis_spec(0).numeric.size(), 4u);
 }
 
 TEST(SweepRunnerTest, OneThreadAndEightThreadsAreBitIdentical) {

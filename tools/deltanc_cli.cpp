@@ -36,12 +36,15 @@
 #include "core/selfcheck.h"
 #include "core/sweep.h"
 #include "io/batch.h"
+#include "sched/scheduler_spec.h"
 
 namespace {
 
 using namespace deltanc;
 
-constexpr const char* kUsage = R"(usage: deltanc_cli [flags]
+// The scheduler name list is substituted from the one registry
+// (sched::scheduler_usage_names) so this text can never drift from it.
+constexpr const char* kUsageFormat = R"(usage: deltanc_cli [flags]
 
 Scenario flags (defaults = the paper's Section-V setting):
   --capacity <Mbps>      link rate per node          (default 100)
@@ -51,7 +54,9 @@ Scenario flags (defaults = the paper's Section-V setting):
   --u0 <frac>            through load (overrides --n0)
   --uc <frac>            cross load (overrides --nc)
   --epsilon <p>          violation probability       (default 1e-9)
-  --scheduler <name>     fifo | bmux | sp-high | edf (default fifo)
+  --scheduler <name>     %s
+                         (default fifo; delta:<Delta> is the explicit
+                         fixed-offset scheduler, Delta in ms or +/-inf)
   --edf-own <f>          EDF own-deadline factor     (default 1)
   --edf-cross <f>        EDF cross-deadline factor   (default 10)
   --method <name>        exact | paper-k             (default exact)
@@ -67,21 +72,23 @@ Single-point mode:
 Sweep mode (repeatable; axes cross-multiply in the order given):
   --sweep <axis>=<lo>:<hi>:<steps>   numeric axis, evenly spaced
   --sweep <axis>=<v1>,<v2>,...       explicit values
-      axes: hops, u0, uc, epsilon, capacity, scheduler
-      (scheduler takes names: --sweep scheduler=fifo,bmux,edf)
+      axes: hops, u0, uc, epsilon, capacity, delta, scheduler
+      (scheduler takes names as above; the delta axis interpolates
+      FIFO -> BMUX, e.g. --sweep delta=0:50:11)
   --threads <n>          sweep workers (default: DELTANC_THREADS env or
                          all cores); results are identical for any n
   --csv                  print only the CSV of the sweep results
 
 Self-check mode:
   --selfcheck            verify solver invariants (scheduler ordering,
-                         monotonicity in H/U/eps, exact vs paper-K
+                         monotonicity in H/U/eps and Delta, endpoint
+                         pinning of the delta axis, exact vs paper-K
                          agreement, finiteness) on the Fig. 2-4 grids,
                          or on the --sweep grid when axes are given
 
 Batch service mode (JSONL on stdout, narration on stderr):
   --batch <file|->       answer one JSON solve request per input line
-                         ({"schema":1,"scenario":{...},"options":{...},
+                         ({"schema":2,"scenario":{...},"options":{...},
                          "id":...}); responses stream in input order
   --emit-batch           print the scenario (or --sweep grid) as a
                          batch request file instead of solving it
@@ -98,8 +105,13 @@ issues / malformed batch lines; 2 usage error or invalid scenario;
   --help                 this text
 )";
 
+void print_usage(std::FILE* out) {
+  std::fprintf(out, kUsageFormat, sched::scheduler_usage_names().c_str());
+}
+
 [[noreturn]] void usage_error(const std::string& message) {
-  std::fprintf(stderr, "deltanc_cli: %s\n%s", message.c_str(), kUsage);
+  std::fprintf(stderr, "deltanc_cli: %s\n", message.c_str());
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -124,10 +136,14 @@ std::vector<std::string> split(const std::string& s, char sep) {
 }
 
 /// One --sweep flag: axis name + value list, applied to a SweepGrid.
+/// A scheduler axis of bare kind names replays through the kind overload
+/// (keeping the base's --edf-own/--edf-cross factors, the historical
+/// behavior); one containing a "delta:<v>" spec replaces specs wholesale.
 struct SweepAxisSpec {
   std::string axis;
   std::vector<double> numeric;
-  std::vector<e2e::Scheduler> schedulers;
+  std::vector<sched::SchedulerKind> scheduler_kinds;
+  std::vector<sched::SchedulerSpec> schedulers;
 };
 
 SweepAxisSpec parse_sweep_spec(const std::string& spec) {
@@ -140,17 +156,23 @@ SweepAxisSpec parse_sweep_spec(const std::string& spec) {
   const std::string values = spec.substr(eq + 1);
 
   if (out.axis == "scheduler") {
+    bool kinds_only = true;
     for (const std::string& name : split(values, ',')) {
-      e2e::Scheduler s{};
+      sched::SchedulerSpec s;
       if (!scheduler_from_name(name, s)) {
         usage_error("unknown scheduler '" + name + "' in --sweep");
       }
       out.schedulers.push_back(s);
+      sched::SchedulerKind k{};
+      kinds_only = kinds_only && scheduler_from_name(name, k);
+      if (kinds_only) out.scheduler_kinds.push_back(k);
     }
+    if (!kinds_only) out.scheduler_kinds.clear();
     return out;
   }
   if (out.axis != "hops" && out.axis != "u0" && out.axis != "uc" &&
-      out.axis != "epsilon" && out.axis != "capacity") {
+      out.axis != "epsilon" && out.axis != "capacity" &&
+      out.axis != "delta") {
     usage_error("unknown sweep axis '" + out.axis + "'");
   }
   if (values.find(':') != std::string::npos) {
@@ -175,7 +197,13 @@ SweepAxisSpec parse_sweep_spec(const std::string& spec) {
 
 void apply_axis(SweepGrid& grid, const SweepAxisSpec& spec) {
   if (spec.axis == "scheduler") {
-    grid.scheduler_axis(spec.schedulers);
+    if (!spec.scheduler_kinds.empty()) {
+      grid.scheduler_axis(spec.scheduler_kinds);
+    } else {
+      grid.scheduler_axis(spec.schedulers);
+    }
+  } else if (spec.axis == "delta") {
+    grid.delta_axis(spec.numeric);
   } else if (spec.axis == "hops") {
     std::vector<int> hops;
     for (double v : spec.numeric) {
@@ -203,8 +231,9 @@ void print_scenario(const e2e::Scenario& sc, std::FILE* out = stdout) {
                sc.capacity, sc.hops, scheduler_name(sc.scheduler).c_str(),
                sc.n_through, 100.0 * u0, sc.n_cross, 100.0 * uc,
                100.0 * sc.utilization(), sc.epsilon);
-  if (sc.scheduler == e2e::Scheduler::kEdf) {
-    std::fprintf(out, ", edf = %g/%g", sc.edf.own_factor, sc.edf.cross_factor);
+  if (sc.scheduler == sched::SchedulerKind::kEdf) {
+    const sched::EdfFactors& edf = sc.scheduler.edf_factors();
+    std::fprintf(out, ", edf = %g/%g", edf.own_factor, edf.cross_factor);
   }
   std::fprintf(out, "\n");
 }
@@ -398,12 +427,12 @@ int main(int argc, char** argv) {
       edf_cross = parse_double(next(), "--edf-cross");
     } else if (flag == "--scheduler") {
       const std::string name = next();
-      e2e::Scheduler s{};
+      sched::SchedulerSpec s;
       if (!scheduler_from_name(name, s)) {
         usage_error("unknown scheduler '" + name + "'");
       }
       builder.scheduler(s);
-      scheduler_is_edf = s == e2e::Scheduler::kEdf;
+      scheduler_is_edf = s == sched::SchedulerKind::kEdf;
     } else if (flag == "--method") {
       const std::string name = next();
       if (name == "exact") {
@@ -440,7 +469,7 @@ int main(int argc, char** argv) {
     } else if (flag == "--lint-jsonl") {
       lint_path = next();
     } else if (flag == "--help" || flag == "-h") {
-      std::printf("%s", kUsage);
+      print_usage(stdout);
       return 0;
     } else {
       usage_error("unknown flag '" + flag + "'");
