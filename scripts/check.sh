@@ -107,7 +107,7 @@ echo "stream discipline: OK"
 # sched/scheduler_spec.{h,cpp} registry: any other src/ or tools/ code
 # (comments excepted) hard-coding them bypasses the single source of
 # truth and will drift from the parser/codec/CLI vocabulary.
-name_hits=$(grep -rn --include='*.cpp' --include='*.h' -E '"(fifo|bmux|sp-high)"' \
+name_hits=$(grep -rn --include='*.cpp' --include='*.h' -E '"(fifo|bmux|sp-high|gps|drr|sced)"' \
   src tools | grep -v 'sched/scheduler_spec\.' | grep -vE ':[0-9]+: *//' || true)
 if [ -n "$name_hits" ]; then
   echo "FAIL: scheduler name literals outside the registry:"
@@ -148,6 +148,18 @@ echo "delta axis endpoint gate: OK"
 # ordering, monotonicity in H/U/eps, exact-vs-paper-K agreement,
 # finiteness.  Exit code 1 on any violated invariant.
 ./build/tools/deltanc_cli --selfcheck
+
+# Curve-backed scheduler battery (GPS/DRR/SCED): share/quantum
+# monotonicity, GPS(1,1) below the per-hop SP-high analysis, GPS below
+# DRR at the same split, sced == gps on symmetric loads, and GPS
+# isolation (finite bound at total overload while BMUX diverges).
+./build/tools/deltanc_cli --scheduler gps:1,1 --selfcheck
+
+# A curve-backed spec must ride the sweep/CSV stack like any other
+# scheduler name, including weight lists whose commas overlap the value
+# separator (maximal-munch list parsing).
+./build/tools/deltanc_cli --hops 5 --epsilon 1e-6 \
+  --sweep 'scheduler=fifo,gps:1,1,drr:2,1,sced' --csv > /dev/null
 
 # A deliberately invalid scenario must be rejected with exit code 2 and a
 # message naming every bad field (multi-violation validation).

@@ -1,42 +1,48 @@
 #!/usr/bin/env bash
-# Compiles every ```cpp block of docs/API.md as its own translation unit
-# (-fsyntax-only against src/), so the documented API surface cannot
-# drift from the headers.  Registered as the `api_doc_snippets` ctest.
+# Compiles every ```cpp block of docs/API.md and docs/SCHEDULERS.md as
+# its own translation unit (-fsyntax-only against src/), so the
+# documented API surface cannot drift from the headers.  Registered as
+# the `api_doc_snippets` ctest.
 #
 # usage: check_api_snippets.sh [compiler] [repo_root]
 set -euo pipefail
 
 CXX="${1:-c++}"
 ROOT="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
-DOC="$ROOT/docs/API.md"
+DOCS=("$ROOT/docs/API.md" "$ROOT/docs/SCHEDULERS.md")
 TMPDIR_SNIPPETS="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SNIPPETS"' EXIT
 
-# Split the fenced cpp blocks into numbered files.
-awk -v dir="$TMPDIR_SNIPPETS" '
-  /^```cpp$/ { in_block = 1; ++n; file = dir "/snippet_" n ".cpp"; next }
-  /^```$/    { in_block = 0; next }
-  in_block   { print > file }
-' "$DOC"
-
-count=0
+total=0
 failed=0
-for f in "$TMPDIR_SNIPPETS"/snippet_*.cpp; do
-  [ -e "$f" ] || break
-  count=$((count + 1))
-  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
-       -I "$ROOT/src" -I "$ROOT/include" "$f"; then
-    echo "FAIL: $(basename "$f") (from $DOC)" >&2
-    failed=$((failed + 1))
+for DOC in "${DOCS[@]}"; do
+  stem="$(basename "$DOC" .md)"
+  # Split the fenced cpp blocks into numbered files.
+  awk -v dir="$TMPDIR_SNIPPETS" -v stem="$stem" '
+    /^```cpp$/ { in_block = 1; ++n; file = dir "/" stem "_" n ".cpp"; next }
+    /^```$/    { in_block = 0; next }
+    in_block   { print > file }
+  ' "$DOC"
+
+  count=0
+  for f in "$TMPDIR_SNIPPETS/${stem}"_*.cpp; do
+    [ -e "$f" ] || break
+    count=$((count + 1))
+    if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+         -I "$ROOT/src" -I "$ROOT/include" "$f"; then
+      echo "FAIL: $(basename "$f") (from $DOC)" >&2
+      failed=$((failed + 1))
+    fi
+  done
+  if [ "$count" -eq 0 ]; then
+    echo "check_api_snippets: no cpp blocks found in $DOC" >&2
+    exit 1
   fi
+  total=$((total + count))
 done
 
-if [ "$count" -eq 0 ]; then
-  echo "check_api_snippets: no cpp blocks found in $DOC" >&2
-  exit 1
-fi
 if [ "$failed" -gt 0 ]; then
-  echo "check_api_snippets: $failed of $count snippets failed" >&2
+  echo "check_api_snippets: $failed of $total snippets failed" >&2
   exit 1
 fi
-echo "check_api_snippets: all $count snippets compile"
+echo "check_api_snippets: all $total snippets compile"

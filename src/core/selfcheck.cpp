@@ -85,18 +85,26 @@ struct Checker {
                          describe(p.scenario));
       return;
     }
+    // Curve-backed schedulers have no Delta coordinate: their delta is
+    // NaN by contract, and GPS-style isolation legitimately keeps the
+    // bound finite at total utilization >= 1 as long as the provider's
+    // guaranteed rate exceeds the through load (the solver's own
+    // validation enforces that per-class stability condition).
+    const bool curve_backed = p.scenario.scheduler.is_curve_backed();
     if (std::isnan(delay) || std::isnan(p.bound.gamma) ||
         std::isnan(p.bound.s) || std::isnan(p.bound.sigma) ||
-        std::isnan(p.bound.delta)) {
+        (!curve_backed && std::isnan(p.bound.delta))) {
       issue("finiteness", "NaN in result tuple for " + describe(p.scenario));
       return;
     }
     const double u = p.scenario.utilization();
-    ++report.checks;
-    if (u >= 1.0 && delay != kInf) {
-      issue("finiteness", "finite bound " + fmt(delay) +
-                              " ms despite utilization >= 1 for " +
-                              describe(p.scenario));
+    if (!curve_backed) {
+      ++report.checks;
+      if (u >= 1.0 && delay != kInf) {
+        issue("finiteness", "finite bound " + fmt(delay) +
+                                " ms despite utilization >= 1 for " +
+                                describe(p.scenario));
+      }
     }
     if (std::isfinite(delay)) {
       ++report.checks;
@@ -131,6 +139,10 @@ struct Checker {
     std::map<std::string, std::vector<Entry>> groups;
     for (const SweepPoint& p : points) {
       if (!p.ok || std::isnan(p.bound.delay_ms)) continue;
+      // Curve-backed points have no Delta coordinate to sort by (their
+      // delta is NaN, which would poison the strict weak ordering);
+      // their orderings are self_check_curve_backed()'s job.
+      if (p.scenario.scheduler.is_curve_backed()) continue;
       groups[group_key(p.scenario)].push_back(
           Entry{p.bound.delta, p.bound.delay_ms, &p.scenario});
     }
@@ -461,6 +473,132 @@ SelfCheckReport self_check_figures(const SelfCheckOptions& options) {
   }
 
   return report;
+}
+
+SelfCheckReport self_check_curve_backed(const SelfCheckOptions& options) {
+  Checker checker{options, {}};
+  using sched::SchedulerSpec;
+
+  // One variant list per operating point; the comparisons below index
+  // into it, so order matters.
+  const std::vector<SchedulerSpec> variants = {
+      SchedulerSpec(sched::SchedulerKind::kSpHigh),  // 0: full priority
+      SchedulerSpec::gps(1.0, 1.0),                  // 1: half the link
+      SchedulerSpec::gps(2.0, 1.0),                  // 2: 2/3 share
+      SchedulerSpec::gps(4.0, 1.0),                  // 3: 4/5 share
+      SchedulerSpec::drr(1.0, 1.0),                  // 4: gps(1,1) + round
+      SchedulerSpec::drr(2.0, 1.0),                  // 5
+      SchedulerSpec::drr(4.0, 1.0),                  // 6
+      SchedulerSpec::sced(),                         // 7: load-proportional
+  };
+  // lo's bound must not exceed hi's (within ordering_tol).
+  struct Ordering {
+    std::size_t lo, hi;
+    const char* why;
+  };
+  constexpr Ordering orderings[] = {
+      // GPS guarantees only half the link but its deterministic curve
+      // pays the through burst once end-to-end, while SP-high's
+      // Theorem-1 bound accumulates burstiness per hop -- so on these
+      // multi-hop grids GPS(1,1) bounds below even full priority.
+      {1, 0, "GPS(1,1) (pay-bursts-once) must bound the per-hop SP-high "
+             "analysis from below on multi-hop paths"},
+      {2, 1, "GPS bound must be non-increasing in the through share"},
+      {3, 2, "GPS bound must be non-increasing in the through share"},
+      {1, 4, "GPS(1,1) must bound DRR(1,1) from below (same rate, DRR "
+             "adds a round-robin latency)"},
+      {5, 4, "DRR bound must be non-increasing in the through quantum"},
+      {6, 5, "DRR bound must be non-increasing in the through quantum"},
+      // Symmetric loads: load-proportional sharing == equal weights, so
+      // sced and gps(1,1) must agree (both directions, within tol).
+      {1, 7, "sced must not undercut gps(1,1) on symmetric loads"},
+      {7, 1, "gps(1,1) must not undercut sced on symmetric loads"},
+  };
+
+  std::vector<e2e::Scenario> scenarios;
+  for (int hops : {2, 5, 10}) {
+    for (double u : {0.30, 0.50, 0.90}) {
+      // N0 = Nc (symmetric loads) so the sced row is comparable.
+      const e2e::Scenario base = ScenarioBuilder()
+                                     .hops(hops)
+                                     .through_utilization(u / 2.0)
+                                     .cross_utilization(u / 2.0)
+                                     .violation_probability(1e-9)
+                                     .build();
+      for (const SchedulerSpec& spec : variants) {
+        e2e::Scenario sc = base;
+        sc.scheduler = spec;
+        scenarios.push_back(sc);
+      }
+    }
+  }
+  const SweepReport r = solve_all(scenarios, options, options.method);
+  checker.report.points = r.points.size();
+  for (const SweepPoint& p : r.points) {
+    checker.check_point(p, !options.solver);
+  }
+  for (std::size_t base = 0; base + variants.size() <= r.points.size();
+       base += variants.size()) {
+    for (const Ordering& o : orderings) {
+      const SweepPoint& lo = r.points[base + o.lo];
+      const SweepPoint& hi = r.points[base + o.hi];
+      if (!lo.ok || !hi.ok) continue;  // flagged by check_point already
+      ++checker.report.checks;
+      if (!Checker::ordered(lo.bound.delay_ms, hi.bound.delay_ms,
+                            options.ordering_tol)) {
+        checker.issue("curve-ordering",
+                      std::string(o.why) + ": " + describe(hi.scenario) +
+                          " bound " + fmt(hi.bound.delay_ms) +
+                          " ms undercuts " + describe(lo.scenario) +
+                          " bound " + fmt(lo.bound.delay_ms) + " ms");
+      }
+    }
+  }
+
+  // GPS isolation: overload the link (total utilization >= 1) while the
+  // through class's guaranteed share 0.75 C still exceeds its load
+  // 0.45 C.  GPS must keep a finite bound; BMUX (which sees the
+  // aggregate) must diverge.
+  std::vector<e2e::Scenario> overload;
+  for (int hops : {2, 5, 10}) {
+    e2e::Scenario sc = ScenarioBuilder()
+                           .hops(hops)
+                           .through_utilization(0.45)
+                           .cross_utilization(0.60)
+                           .violation_probability(1e-9)
+                           .build();
+    sc.scheduler = SchedulerSpec::gps(3.0, 1.0);
+    overload.push_back(sc);
+    sc.scheduler = sched::SchedulerKind::kBmux;
+    overload.push_back(sc);
+  }
+  const SweepReport iso = solve_all(overload, options, options.method);
+  checker.report.points += iso.points.size();
+  for (std::size_t i = 0; i + 1 < iso.points.size(); i += 2) {
+    const SweepPoint& gps = iso.points[i];
+    const SweepPoint& bmux = iso.points[i + 1];
+    checker.check_point(gps, !options.solver);
+    checker.check_point(bmux, !options.solver);
+    if (gps.ok) {
+      ++checker.report.checks;
+      if (!std::isfinite(gps.bound.delay_ms)) {
+        checker.issue("isolation",
+                      "GPS isolation lost: infinite bound despite "
+                      "guaranteed rate > through load for " +
+                          describe(gps.scenario));
+      }
+    }
+    if (bmux.ok) {
+      ++checker.report.checks;
+      if (bmux.bound.delay_ms != kInf) {
+        checker.issue("isolation",
+                      "BMUX bound " + fmt(bmux.bound.delay_ms) +
+                          " ms finite despite total utilization >= 1 for " +
+                          describe(bmux.scenario));
+      }
+    }
+  }
+  return std::move(checker.report);
 }
 
 }  // namespace deltanc

@@ -13,6 +13,17 @@
 // (Method::kExactOpt), so kExactOpt <= kPaperK always, and the two agree
 // within a modest factor on the operating ranges of the figures.
 //
+// Curve-backed schedulers (gps/drr/sced) carry no Delta coordinate --
+// their bounds come from a deterministic rate-latency leftover curve
+// (sched::make_service_curve_provider) -- so the Delta-specific checks
+// skip them, and the finiteness check accepts finite bounds at total
+// utilization >= 1 when the provider's guaranteed rate still exceeds
+// the through load (GPS isolation).  Their own invariants live in
+// self_check_curve_backed(): share/quantum monotonicity, GPS(1,1) as a
+// lower envelope of the per-hop SP-high analysis, GPS as a lower
+// envelope of DRR with the same split, sced == gps on symmetric loads,
+// and the isolation property itself.
+//
 // self_check() solves a scenario, list, or grid and verifies every
 // invariant that applies; self_check_figures() runs the full Fig. 2-4
 // operating grids (what `deltanc_cli --selfcheck` executes).  Violations
@@ -98,6 +109,24 @@ struct SelfCheckReport {
 /// The full battery over the paper's Fig. 2-4 operating grids, extended
 /// with SP-high: what `deltanc_cli --selfcheck` runs.
 [[nodiscard]] SelfCheckReport self_check_figures(
+    const SelfCheckOptions& options = {});
+
+/// The curve-backed scheduler battery (what `deltanc_cli --selfcheck`
+/// runs when --scheduler names a gps/drr/sced spec), over H = 2, 5, 10
+/// and symmetric loads U = 30, 50, 90%:
+///   - GPS bounds are non-increasing in the through weight share;
+///   - GPS(1,1) (half the link, but its deterministic curve pays the
+///     through burst once end-to-end) bounds the per-hop SP-high
+///     Theorem-1 analysis from below;
+///   - DRR bounds are non-increasing in the through quantum, and
+///     GPS(phi, phi) bounds DRR(phi, phi) from below (same rate, DRR
+///     adds a round-robin latency);
+///   - sced agrees with gps(1,1) on symmetric loads (load-proportional
+///     == equal-weight sharing when the loads are equal);
+///   - GPS isolation: at total utilization >= 1 a gps(3,1) through
+///     class with guaranteed rate above its load keeps a finite bound
+///     while BMUX diverges.
+[[nodiscard]] SelfCheckReport self_check_curve_backed(
     const SelfCheckOptions& options = {});
 
 }  // namespace deltanc

@@ -16,6 +16,15 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 NodeParams node_params_for(const sched::SchedulerSpec& scheduler,
                            double capacity, double rho_cross, double m_cross,
                            double edf_unit) {
+  if (scheduler.is_curve_backed()) {
+    // delta_term() would be NaN and fail HeteroPath::validate with an
+    // unhelpful message; name the real limitation instead.
+    throw std::invalid_argument(
+        "node_params_for: '" + sched::to_string(scheduler) +
+        "' is curve-backed and has no per-node Delta term; the "
+        "heterogeneous Delta path does not support it (use "
+        "sched::make_service_curve_provider)");
+  }
   return NodeParams{capacity, rho_cross, m_cross,
                     scheduler.delta_term(edf_unit)};
 }

@@ -5,12 +5,14 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
+#include "sched/service_curve_provider.h"
 #include "traffic/eb_memo.h"
 
 namespace deltanc::e2e {
@@ -290,6 +292,92 @@ BoundResult finish(SearchContext& ctx, BoundResult result) {
   return result;
 }
 
+/// Curve-backed kinds (GPS / DRR / SCED).  The per-node guarantee is the
+/// deterministic rate-latency curve beta_{R,T} from the spec's
+/// ServiceCurveProvider; H hops convolve into beta_{R, H T}
+/// (docs/THEORY.md#leftover-service-curves-beyond-delta).  Against the
+/// through aggregate's statistical sample-path envelope
+/// (rho_0(s) + gamma) t with eps(sigma) = e^{-s sigma}/(1 - e^{-s gamma})
+/// (M = 1, alpha = s), the delay bound at violation probability eps is
+///
+///   d(s, gamma) = H T + sigma / R,
+///   sigma = ln( 1 / ((1 - e^{-s gamma}) eps) ) / s,
+///
+/// valid whenever rho_0(s) + gamma <= R.  sigma is decreasing in gamma,
+/// so the optimal slack is the closed form gamma* = R - rho_0(s), leaving
+/// a 1-D minimization over the Chernoff parameter s.  Note the stability
+/// condition is *per class*: only the through load competes against the
+/// guaranteed rate R, so (unlike the Delta path) a finite bound can exist
+/// with total utilization >= 1 -- the GPS isolation property.
+BoundResult solve_curve_backed(const Scenario& sc) {
+  BoundResult result{kInf, 0.0, 0.0, 0.0,
+                     std::numeric_limits<double>::quiet_NaN()};
+  const std::unique_ptr<sched::ServiceCurveProvider> provider =
+      sched::make_service_curve_provider(sc.scheduler);
+  const double mean = sc.source.mean_rate();
+  const sched::ClassLoads loads{sc.n_through * mean, sc.n_cross * mean};
+  const std::optional<sched::RateLatency> rl =
+      provider->rate_latency(sc.capacity, loads);
+  if (!rl.has_value()) {
+    throw std::logic_error(
+        "best_delay_bound: curve-backed provider returned no rate-latency "
+        "form for '" + sched::to_string(sc.scheduler) + "'");
+  }
+  const double rate = rl->rate;
+  const double latency = rl->latency * sc.hops;
+  traffic::EffectiveBandwidthMemo eb(sc.source);
+  SolveStats stats;
+  const auto done = [&](BoundResult r) {
+    stats.eb_evals = eb.misses();
+    r.stats = stats;
+    return r;
+  };
+  const double limit =
+      stable_s_limit(static_cast<double>(sc.n_through), rate, mean,
+                     sc.source.peak_rate(), [&](double s) { return eb(s); });
+  if (limit == 0.0) {
+    result.diagnostics.fail(
+        diag::SolveErrorKind::kUnstable,
+        "through load " + fmt(sc.n_through * mean) +
+            " Mbps meets or exceeds the guaranteed rate " + fmt(rate) +
+            " Mbps of '" + sched::to_string(sc.scheduler) +
+            "'; no stable Chernoff parameter exists");
+    return done(result);
+  }
+  double s_lo = 1e-4;
+  const double s_hi = (limit == kInf ? 64.0 : limit) * 0.999;
+  if (!(s_hi > s_lo)) s_lo = s_hi * 1e-4;
+
+  const auto delay_at_s = [&](double s) {
+    const double gamma = rate - sc.n_through * eb(s);
+    if (!(gamma > 0.0)) return kInf;
+    ++stats.sigma_evals;
+    ++stats.optimize_evals;
+    const double sigma =
+        std::log(1.0 / ((1.0 - std::exp(-s * gamma)) * sc.epsilon)) / s;
+    if (!std::isfinite(sigma)) return kInf;
+    return latency + sigma / rate;
+  };
+  const auto scan_t0 = Clock::now();
+  double best_s = 0.0;
+  const double best = minimize_scalar(delay_at_s, s_lo, s_hi, 48, 64, &best_s);
+  stats.scan_ms += ms_since(scan_t0);
+  if (!std::isfinite(best)) {
+    result.diagnostics.fail(
+        diag::SolveErrorKind::kNumericalDomain,
+        "no feasible s found in (0, " + fmt(s_hi) +
+            "]; the per-class stability window is numerically empty");
+    return done(result);
+  }
+  result.delay_ms = best;
+  result.s = best_s;
+  result.gamma = rate - sc.n_through * eb(best_s);
+  result.sigma =
+      std::log(1.0 / ((1.0 - std::exp(-best_s * result.gamma)) * sc.epsilon)) /
+      best_s;
+  return done(result);
+}
+
 }  // namespace
 
 diag::ValidationReport Scenario::validate() const {
@@ -345,11 +433,44 @@ diag::ValidationReport Scenario::validate() const {
     report.add(SolveErrorKind::kInvalidScenario, "scheduler.delta",
                "fixed Delta offset must not be NaN");
   }
-  // Stability (Eq. 32 window): well-formed but overloaded scenarios are
-  // reported as kUnstable without making the report invalid.
+  // Class weights/quanta are validated like the EDF factors: the defaults
+  // are always valid, so a malformed entry is a configuration mistake
+  // even when a Delta-backed kind ignores them.
+  const sched::ClassWeights& weights = scheduler.weights();
+  if (weights.size() < 2 || weights.size() > sched::ClassWeights::kMaxClasses) {
+    report.add(SolveErrorKind::kInvalidScenario, "scheduler.weights",
+               "need 2.." + std::to_string(sched::ClassWeights::kMaxClasses) +
+                   " classes (got " + std::to_string(weights.size()) + ")");
+  } else {
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (!(weights[i] > 0.0) || !std::isfinite(weights[i])) {
+        report.add(SolveErrorKind::kInvalidScenario, "scheduler.weights",
+                   "class " + std::to_string(i) +
+                       " weight must be positive and finite (got " +
+                       fmt(weights[i]) + ")");
+        break;
+      }
+    }
+  }
+  // Stability: well-formed but overloaded scenarios are reported as
+  // kUnstable without making the report invalid.  For Delta-backed kinds
+  // the Eq. (32) window needs the *total* load under capacity; for
+  // curve-backed kinds only the through class competes against its
+  // guaranteed rate R, so a finite bound can exist at total utilization
+  // >= 1 (the GPS isolation property).
   if (report.ok()) {
-    const double u = utilization();
-    if (u >= 1.0) {
+    if (scheduler.is_curve_backed()) {
+      const double through_load = n_through * mean;
+      const std::optional<sched::RateLatency> rl =
+          sched::make_service_curve_provider(scheduler)->rate_latency(
+              capacity, sched::ClassLoads{through_load, n_cross * mean});
+      if (rl.has_value() && through_load >= rl->rate) {
+        report.add(SolveErrorKind::kUnstable, "utilization",
+                   "through load " + fmt(through_load) +
+                       " Mbps meets or exceeds the guaranteed rate " +
+                       fmt(rl->rate) + " Mbps; the delay bound is +inf");
+      }
+    } else if (const double u = utilization(); u >= 1.0) {
       report.add(SolveErrorKind::kUnstable, "utilization",
                  "offered load " + fmt(100.0 * u) +
                      "% of capacity; the delay bound is +inf");
@@ -374,8 +495,15 @@ BoundResult best_delay_bound_for_delta(const Scenario& sc, double delta,
 
 BoundResult best_delay_bound(const Scenario& sc, Method method,
                              int max_edf_restarts) {
-  // Every kind but EDF has a Delta that does not depend on the solve
-  // (FIFO 0, BMUX +inf, SP-high -inf, kDelta its explicit offset).
+  // Curve-backed kinds (GPS/DRR/SCED) have no Delta at all: route them to
+  // the service-curve-provider path before the static_delta check (their
+  // static_delta() is nullopt, which below would mean "EDF fixed point").
+  if (sc.scheduler.is_curve_backed()) {
+    validate_scenario(sc);
+    return solve_curve_backed(sc);
+  }
+  // Every Delta-backed kind but EDF has a Delta that does not depend on
+  // the solve (FIFO 0, BMUX +inf, SP-high -inf, kDelta its offset).
   if (const std::optional<double> fixed = sc.scheduler.static_delta()) {
     return best_delay_bound_for_delta(sc, *fixed, method);
   }

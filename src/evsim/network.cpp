@@ -72,6 +72,23 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
       }
       return;
     }
+    case sched::SchedulerKind::kGps:
+      // SCFQ is the packetized approximation of GPS this simulator has;
+      // the cross classes collapse onto one weight.
+      cfg.policy = PolicyKind::kScfq;
+      cfg.scfq_through_weight = spec.weights().through();
+      cfg.scfq_cross_weight = spec.weights().cross_total();
+      return;
+    case sched::SchedulerKind::kDrr:
+    case sched::SchedulerKind::kSced:
+      // Analytic bounds exist (sched::make_service_curve_provider lowers
+      // these to their published leftover curves); only the event-level
+      // *simulation* lowering is missing here.
+      throw std::invalid_argument(
+          "lower_scheduler: no event-simulation policy implements '" +
+          std::string(sched::scheduler_kind_name(spec.kind())) +
+          "'; its analytic lowering lives in "
+          "sched::make_service_curve_provider");
   }
   throw std::invalid_argument("lower_scheduler: unknown scheduler kind");
 }
@@ -88,10 +105,10 @@ sched::SchedulerSpec scheduler_spec_of(const EvNetworkConfig& cfg) {
       return sched::SchedulerSpec::fixed_delta(cfg.edf_through_deadline_ms -
                                                cfg.edf_cross_deadline_ms);
     case PolicyKind::kScfq:
-      throw std::invalid_argument(
-          "scheduler_spec_of: SCFQ approximates GPS, which is not a "
-          "Delta-scheduler (no constants Delta_{j,k} exist), and is not "
-          "lowerable to a SchedulerSpec");
+      // SCFQ approximates GPS; it raises to the curve-backed GPS spec
+      // carrying the configured weights.
+      return sched::SchedulerSpec::gps(cfg.scfq_through_weight,
+                                       cfg.scfq_cross_weight);
   }
   throw std::invalid_argument("scheduler_spec_of: unknown policy");
 }

@@ -61,10 +61,9 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
                      EvNetworkConfig& cfg);
 
 /// The analytic identity of `cfg`'s policy (inverse adapter).  EDF
-/// raises to a fixed-Delta spec carrying the deadline difference.
-/// @throws std::invalid_argument for kScfq: SCFQ approximates GPS, whose
-/// precedence horizon depends on the backlog process, so no constants
-/// Delta_{j,k} exist and it is not lowerable to a SchedulerSpec.
+/// raises to a fixed-Delta spec carrying the deadline difference.  SCFQ
+/// approximates GPS and raises to the curve-backed SchedulerSpec::gps
+/// with the configured weights (see sched/service_curve_provider.h).
 [[nodiscard]] sched::SchedulerSpec scheduler_spec_of(
     const EvNetworkConfig& cfg);
 

@@ -64,7 +64,12 @@ double decode_double(const Value& v) {
 
 // ----- enums -------------------------------------------------------------
 
-Value encode_scheduler(const sched::SchedulerSpec& s) {
+namespace {
+
+/// The schema-2 scheduler object {kind, delta, edf} -- shared by
+/// encode_scheduler (which appends "params") and the legacy-v2 cache key
+/// (which must stay byte-exactly params-free).
+Value encode_scheduler_v2(const sched::SchedulerSpec& s) {
   Value edf = Value::object();
   edf.set("own_factor", encode_double(s.edf_factors().own_factor))
       .set("cross_factor", encode_double(s.edf_factors().cross_factor));
@@ -73,6 +78,18 @@ Value encode_scheduler(const sched::SchedulerSpec& s) {
               sched::scheduler_kind_name(s.kind()))))
       .set("delta", encode_double(s.delta()))
       .set("edf", std::move(edf));
+  return out;
+}
+
+}  // namespace
+
+Value encode_scheduler(const sched::SchedulerSpec& s) {
+  Value params = Value::array();
+  for (std::size_t i = 0; i < s.weights().size(); ++i) {
+    params.push_back(encode_double(s.weights()[i]));
+  }
+  Value out = encode_scheduler_v2(s);
+  out.set("params", std::move(params));
   return out;
 }
 
@@ -104,6 +121,27 @@ sched::SchedulerSpec decode_scheduler(const Value& v) {
     spec.set_edf_factors(
         sched::EdfFactors{decode_double(edf->at("own_factor")),
                           decode_double(edf->at("cross_factor"))});
+  }
+  // Absent in schema-1/2 documents: the default equal two-class split.
+  if (const Value* params = find_optional(v, "params")) {
+    const std::vector<Value>& items = params->items();
+    if (items.size() < 2 || items.size() > sched::ClassWeights::kMaxClasses) {
+      throw CodecError("codec: scheduler params need 2.." +
+                       std::to_string(sched::ClassWeights::kMaxClasses) +
+                       " entries (got " + std::to_string(items.size()) + ")");
+    }
+    sched::ClassWeights weights{};
+    weights.values = {};
+    weights.count = items.size();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const double w = decode_double(items[i]);
+      if (!(w > 0.0) || !std::isfinite(w)) {
+        throw CodecError("codec: scheduler params must be positive finite "
+                         "(got " + items[i].dump() + ")");
+      }
+      weights.values[i] = w;
+    }
+    spec.set_weights(weights);
   }
   return spec;
 }
@@ -522,8 +560,11 @@ std::optional<std::string> legacy_v1_solve_cache_key(
   canonicalize_solve(effective, canonical);
   const sched::SchedulerSpec& spec = effective.scheduler;
   // Schema 1 spelled schedulers as bare kind names; an explicit
-  // fixed-Delta spec has no schema-1 key.
-  if (spec.kind() == sched::SchedulerKind::kDelta) return std::nullopt;
+  // fixed-Delta spec has no schema-1 key, and neither does any
+  // curve-backed kind (they did not exist before schema 3).
+  if (spec.kind() == sched::SchedulerKind::kDelta || spec.is_curve_backed()) {
+    return std::nullopt;
+  }
 
   // Byte-exact reproduction of the schema-1 encoders: scenario with a
   // name-string scheduler and a sibling top-level "edf" object, options
@@ -556,6 +597,36 @@ std::optional<std::string> legacy_v1_solve_cache_key(
   key.set("schema", Value::number(1))
       .set("scenario", std::move(scenario))
       .set("options", std::move(opts));
+  return key.dump();
+}
+
+std::optional<std::string> legacy_v2_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options) {
+  SolveOptions canonical = options;
+  e2e::Scenario effective = sc;
+  canonicalize_solve(effective, canonical);
+  // Curve-backed kinds did not exist before schema 3: no v2 spelling.
+  if (effective.scheduler.is_curve_backed()) return std::nullopt;
+
+  // Byte-exact reproduction of the schema-2 key: same document as
+  // solve_cache_key() but with params-free scheduler objects (the
+  // options scheduler is always folded away, hence null, so only the
+  // scenario's encoding differs).
+  Value source = Value::object();
+  source.set("peak_kb", encode_double(effective.source.peak_kb()))
+      .set("p11", encode_double(effective.source.p11()))
+      .set("p22", encode_double(effective.source.p22()));
+  Value scenario = Value::object();
+  scenario.set("capacity", encode_double(effective.capacity))
+      .set("hops", Value::number(effective.hops))
+      .set("source", std::move(source))
+      .set("n_through", Value::number(effective.n_through))
+      .set("n_cross", Value::number(effective.n_cross))
+      .set("epsilon", encode_double(effective.epsilon))
+      .set("scheduler", encode_scheduler_v2(effective.scheduler));
+  Value key = Value::object();
+  key.set("scenario", std::move(scenario))
+      .set("options", encode_solve_options(canonical));
   return key.dump();
 }
 

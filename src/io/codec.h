@@ -33,8 +33,9 @@ namespace deltanc::io {
 /// cached results from other schema versions are re-solved.
 /// History: 1 = scheduler as bare kind name + top-level scenario "edf"
 /// object; 2 = scheduler as a full SchedulerSpec object {kind, delta,
-/// edf} (the "edf" factors moved inside it).
-inline constexpr int kSchemaVersion = 2;
+/// edf} (the "edf" factors moved inside it); 3 = scheduler object gains
+/// the "params" class-weight array (curve-backed kinds gps/drr/sced).
+inline constexpr int kSchemaVersion = 3;
 
 /// A structurally valid JSON document that does not decode as the
 /// requested type (missing/mistyped fields, unknown enum names, bad
@@ -123,8 +124,17 @@ struct SchemaError : CodecError {
 /// "scheduler":"<kind name>", "edf":{...}}, "options":{...}}), used by
 /// ResultCache to classify pre-refactor entries as stale instead of
 /// missing them.  nullopt when the solve has no schema-1 spelling (an
-/// explicit fixed-Delta scheduler).
+/// explicit fixed-Delta scheduler, or any curve-backed kind).
 [[nodiscard]] std::optional<std::string> legacy_v1_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options);
+
+/// The byte-exact schema-2 cache key for the same solve: identical to
+/// solve_cache_key() except the scheduler objects carry no "params"
+/// array.  Probed by ResultCache so schema-2 entries classify as stale
+/// (observable, re-solved, overwritten) rather than as misses.  nullopt
+/// when the solve has no schema-2 spelling (a curve-backed scheduler --
+/// gps/drr/sced did not exist before schema 3).
+[[nodiscard]] std::optional<std::string> legacy_v2_solve_cache_key(
     const e2e::Scenario& sc, const SolveOptions& options);
 
 // ----- helpers shared by the cache / batch layers ------------------------
@@ -135,12 +145,13 @@ void require_schema(const json::Value& v);
 
 /// Scheduler identity <-> JSON.  Encodes the full spec as an object
 /// {"kind": "<name>", "delta": <double>, "edf": {"own_factor",
-/// "cross_factor"}}; every field is always emitted so the compact dump
-/// is byte-stable.  The decoder also accepts the canonical name strings
-/// ("fifo", ..., "delta:<value>") for hand-written documents and the
-/// schema-1 form.  An unknown kind name throws SchemaError -- a newer
-/// producer's registry, not corruption -- so the cache classifies such
-/// entries as stale.
+/// "cross_factor"}, "params": [<w>, ...]}; every field is always emitted
+/// so the compact dump is byte-stable.  The decoder also accepts the
+/// canonical name strings ("fifo", ..., "delta:<value>", "gps:1,2") for
+/// hand-written documents and the schema-1/2 object forms (absent
+/// "params" means the default equal two-class split).  An unknown kind
+/// name throws SchemaError -- a newer producer's registry, not
+/// corruption -- so the cache classifies such entries as stale.
 [[nodiscard]] json::Value encode_scheduler(const sched::SchedulerSpec& s);
 [[nodiscard]] sched::SchedulerSpec decode_scheduler(const json::Value& v);
 

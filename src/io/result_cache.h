@@ -13,12 +13,14 @@
 // another library or schema version classifies it as *stale* --
 // observable in CacheStats and in the per-result
 // SolveStats::cache_stale counter -- re-solves, and overwrites, instead
-// of silently missing and leaving dead files behind.  Schema-1 keys
-// additionally hashed the schema version itself (so their file names
-// differ from today's for the same solve); the (scenario, options)
-// lookup overload probes the byte-exact schema-1 key
-// (io::legacy_v1_solve_cache_key) when the primary slot is empty and
-// classifies pre-refactor entries as stale too, never as wrong hits.
+// of silently missing and leaving dead files behind.  Older schemas
+// keyed differently (schema 1 hashed the schema version itself; schema 2
+// lacked the scheduler "params" array), so their file names differ from
+// today's for the same solve; the (scenario, options) lookup overload
+// probes the byte-exact schema-2 and schema-1 keys
+// (io::legacy_v2_solve_cache_key / legacy_v1_solve_cache_key) when the
+// primary slot is empty and classifies pre-refactor entries as stale
+// too, never as wrong hits.
 //
 // Durability: stores write to `<name>.tmp.<pid>` in the cache directory
 // and rename(2) into place, so concurrent writers and crashes can leave
@@ -92,9 +94,10 @@ class ResultCache {
 
   /// Looks up the solve described by (scenario, options) -- the
   /// preferred entry point: on a primary miss it additionally probes the
-  /// schema-1 slot of the same solve and classifies a pre-refactor entry
-  /// found there as kStale (re-solve and overwrite at the current key)
-  /// instead of a silent miss.  Fills `result` only on kHit.
+  /// schema-2 and schema-1 slots of the same solve and classifies a
+  /// pre-refactor entry found there as kStale (re-solve and overwrite at
+  /// the current key) instead of a silent miss.  Fills `result` only on
+  /// kHit.
   [[nodiscard]] CacheLookup lookup(const e2e::Scenario& sc,
                                    const SolveOptions& options,
                                    e2e::BoundResult& result);

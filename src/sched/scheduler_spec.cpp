@@ -1,5 +1,6 @@
 #include "sched/scheduler_spec.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -27,6 +28,9 @@ constexpr KindRow kKinds[] = {
     {SchedulerKind::kSpHigh, "sp-high", "static priority (through high)"},
     {SchedulerKind::kEdf, "edf", "EDF"},
     {SchedulerKind::kDelta, "delta", "fixed Delta offset"},
+    {SchedulerKind::kGps, "gps", "generalized processor sharing"},
+    {SchedulerKind::kDrr, "drr", "deficit round robin (fluid)"},
+    {SchedulerKind::kSced, "sced", "fluid SCED (load-proportional)"},
 };
 
 /// "%g" of a double (enough for display and CLI round-trips; the JSON
@@ -35,6 +39,42 @@ std::string format_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%g", v);
   return buf;
+}
+
+/// "w1,w2,..." for the weight list of a curve-backed spec.
+std::string format_weights(const ClassWeights& w) {
+  std::string out;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i > 0) out += ',';
+    out += format_double(w[i]);
+  }
+  return out;
+}
+
+/// Parses "w1,w2,..." into ClassWeights; false on count or value rules
+/// (2..kMaxClasses positive finite entries -- the same rules
+/// ClassWeights::of clamps on).
+bool parse_weights(std::string_view text, ClassWeights& out) {
+  ClassWeights w{};
+  w.values = {};
+  w.count = 0;
+  while (!text.empty()) {
+    if (w.count == ClassWeights::kMaxClasses) return false;
+    const std::size_t comma = text.find(',');
+    const std::string token(text.substr(0, comma));
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    if (!(v > 0.0) || !std::isfinite(v)) return false;
+    w.values[w.count++] = v;
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+    if (text.empty()) return false;  // trailing comma
+  }
+  if (w.count < 2) return false;
+  out = w;
+  return true;
 }
 
 }  // namespace
@@ -51,11 +91,22 @@ std::optional<double> SchedulerSpec::static_delta() const noexcept {
       return delta();
     case SchedulerKind::kEdf:
       return std::nullopt;
+    case SchedulerKind::kGps:
+    case SchedulerKind::kDrr:
+    case SchedulerKind::kSced:
+      // Curve-backed: no constants Delta_{j,k} exist (Definition 1 does
+      // not apply); the solver routes these through
+      // sched::make_service_curve_provider instead.
+      return std::nullopt;
   }
   return std::nullopt;
 }
 
 double SchedulerSpec::delta_term(double edf_unit) const noexcept {
+  if (is_curve_backed()) {
+    // Documented sentinel: curve-backed kinds have no Delta term.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (const std::optional<double> d = static_delta()) return *d;
   // EDF: Delta = d*_0 - d*_c = (own - cross) * unit.
   return (edf_factors().own_factor - edf_factors().cross_factor) * edf_unit;
@@ -97,6 +148,13 @@ DeltaMatrix SchedulerSpec::to_delta_matrix(std::size_t flows,
       deadlines[analyzed] = delta() > 0.0 ? delta() : 0.0;
       return DeltaMatrix::edf(deadlines);
     }
+    case SchedulerKind::kGps:
+    case SchedulerKind::kDrr:
+    case SchedulerKind::kSced:
+      throw std::invalid_argument(
+          "SchedulerSpec::to_delta_matrix: '" + to_string(*this) +
+          "' is curve-backed, not a Delta-scheduler; lower it via "
+          "sched::make_service_curve_provider instead");
   }
   throw std::invalid_argument("SchedulerSpec::to_delta_matrix: unknown kind");
 }
@@ -120,9 +178,20 @@ bool scheduler_kind_from_name(std::string_view name,
 }
 
 std::string to_string(const SchedulerSpec& spec) {
-  if (spec.kind() == SchedulerKind::kDelta) {
-    return std::string(scheduler_kind_name(SchedulerKind::kDelta)) + ":" +
-           format_double(spec.delta());
+  switch (spec.kind()) {
+    case SchedulerKind::kDelta:
+      return std::string(scheduler_kind_name(SchedulerKind::kDelta)) + ":" +
+             format_double(spec.delta());
+    case SchedulerKind::kGps:
+    case SchedulerKind::kDrr:
+      return std::string(scheduler_kind_name(spec.kind())) + ":" +
+             format_weights(spec.weights());
+    case SchedulerKind::kFifo:
+    case SchedulerKind::kBmux:
+    case SchedulerKind::kSpHigh:
+    case SchedulerKind::kEdf:
+    case SchedulerKind::kSced:
+      break;
   }
   return std::string(scheduler_kind_name(spec.kind()));
 }
@@ -130,23 +199,77 @@ std::string to_string(const SchedulerSpec& spec) {
 bool parse_scheduler(std::string_view text, SchedulerSpec& out) {
   SchedulerKind kind;
   if (scheduler_kind_from_name(text, kind)) {
-    // A bare kind name; "delta" without a value is not a scheduler.
+    // A bare kind name; "delta" without a value is not a scheduler, but
+    // bare "gps"/"drr" mean the default equal two-class split.
     if (kind == SchedulerKind::kDelta) return false;
     out = SchedulerSpec(kind);
     return true;
   }
-  const std::string_view delta_name = scheduler_kind_name(SchedulerKind::kDelta);
-  if (text.size() > delta_name.size() + 1 &&
-      text.substr(0, delta_name.size()) == delta_name &&
-      text[delta_name.size()] == ':') {
-    const std::string value(text.substr(delta_name.size() + 1));
-    char* end = nullptr;
-    const double v = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0' || v != v) return false;
-    out = SchedulerSpec::fixed_delta(v);
-    return true;
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return false;
+  }
+  if (!scheduler_kind_from_name(text.substr(0, colon), kind)) return false;
+  const std::string_view args = text.substr(colon + 1);
+  switch (kind) {
+    case SchedulerKind::kDelta: {
+      const std::string value(args);
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || v != v) return false;
+      out = SchedulerSpec::fixed_delta(v);
+      return true;
+    }
+    case SchedulerKind::kGps:
+    case SchedulerKind::kDrr: {
+      ClassWeights w;
+      if (!parse_weights(args, w)) return false;
+      out = kind == SchedulerKind::kGps ? SchedulerSpec::gps(w)
+                                        : SchedulerSpec::drr(w);
+      return true;
+    }
+    case SchedulerKind::kFifo:
+    case SchedulerKind::kBmux:
+    case SchedulerKind::kSpHigh:
+    case SchedulerKind::kEdf:
+    case SchedulerKind::kSced:
+      return false;  // these kinds take no ":<args>" suffix
   }
   return false;
+}
+
+bool parse_scheduler_list(std::string_view text,
+                          std::vector<SchedulerSpec>& out) {
+  std::vector<std::string> tokens;
+  while (true) {
+    const std::size_t comma = text.find(',');
+    tokens.emplace_back(text.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  std::vector<SchedulerSpec> parsed;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    // Maximal munch: the longest comma-joined run starting at i that
+    // parses wins, so "gps:1,2" beats stopping at the invalid "gps:1".
+    bool matched = false;
+    for (std::size_t j = tokens.size(); j > i; --j) {
+      std::string joined = tokens[i];
+      for (std::size_t k = i + 1; k < j; ++k) joined += ',' + tokens[k];
+      SchedulerSpec spec;
+      if (parse_scheduler(joined, spec)) {
+        parsed.push_back(spec);
+        i = j;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  if (parsed.empty()) return false;
+  out = std::move(parsed);
+  return true;
 }
 
 std::string scheduler_usage_names() {
@@ -155,6 +278,8 @@ std::string scheduler_usage_names() {
     if (!out.empty()) out += " | ";
     out += row.name;
     if (row.kind == SchedulerKind::kDelta) out += ":<Delta>";
+    if (row.kind == SchedulerKind::kGps) out += "[:<w,...>]";
+    if (row.kind == SchedulerKind::kDrr) out += "[:<q,...>]";
   }
   return out;
 }
@@ -165,6 +290,12 @@ std::string scheduler_description(const SchedulerSpec& spec) {
       std::string out(row.description);
       if (spec.kind() == SchedulerKind::kDelta) {
         out += " (Delta = " + format_double(spec.delta()) + ")";
+      }
+      if (spec.kind() == SchedulerKind::kGps) {
+        out += " (weights " + format_weights(spec.weights()) + ")";
+      }
+      if (spec.kind() == SchedulerKind::kDrr) {
+        out += " (quanta " + format_weights(spec.weights()) + ")";
       }
       return out;
     }

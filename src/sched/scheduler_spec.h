@@ -16,20 +16,31 @@
 //   CLI          --scheduler / --sweep parsing (parse_scheduler)
 //   simulators   sim::lower_scheduler / evsim::lower_scheduler
 //
+// Not every scheduler admits constants Delta_{j,k} -- GPS, DRR, and
+// SCED condition on the backlog process, so Definition 1 does not apply
+// to them.  Those kinds are *curve-backed* instead: they lower through
+// sched::ServiceCurveProvider (service_curve_provider.h) to a per-flow
+// leftover service curve built from published constructions (GPS:
+// arXiv:1804.08034; DRR: arXiv:2503.23366; fluid SCED: arXiv:1804.08040)
+// rather than through the Theorem-1 Delta path.  is_curve_backed()
+// distinguishes the two lowering routes; static_delta() is nullopt and
+// to_delta_matrix() throws for curve-backed kinds.
+//
 // The name registry at the bottom of this header is the ONLY place the
 // canonical scheduler name strings ("fifo", "bmux", "sp-high", "edf",
-// "delta:<value>") are spelled; scripts/check.sh greps that no other
-// src/ or tools/ file hard-codes them.  Policies that are not
-// Delta-schedulers (GPS, SCFQ) deliberately have no SchedulerKind: they
-// exist only at the simulator layer, and the reverse adapters there
-// throw "not lowerable" for them.
+// "delta:<value>", "gps:<w,...>", "drr:<q,...>", "sced") are spelled;
+// scripts/check.sh greps that no other src/ or tools/ file hard-codes
+// them.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sched/delta.h"
 
@@ -47,13 +58,72 @@ struct EdfFactors {
                                    const EdfFactors&) = default;
 };
 
-/// The registered Delta-scheduler families.
+/// Per-class share parameters for the curve-backed kinds: GPS weights
+/// phi_i, DRR quanta Q_i (kb).  Class 0 is the analyzed (through) class;
+/// classes 1.. are cross classes.  Fixed capacity keeps SchedulerSpec
+/// trivially copyable and constexpr-constructible (a sweep axis literal
+/// of specs must still be a constant expression).
+struct ClassWeights {
+  static constexpr std::size_t kMaxClasses = 8;
+
+  std::array<double, kMaxClasses> values{1.0, 1.0};  ///< unused slots stay 0
+  std::size_t count = 2;
+
+  /// Builds from an explicit list (2..kMaxClasses entries).  Lists
+  /// outside that range, or non-positive / non-finite entries, yield the
+  /// default equal two-class split; parse_scheduler() rejects such input
+  /// before it gets here, and the factories document the clamp.
+  [[nodiscard]] static constexpr ClassWeights of(
+      std::initializer_list<double> list) noexcept {
+    if (list.size() < 2 || list.size() > kMaxClasses) return ClassWeights{};
+    ClassWeights w{};
+    w.values = {};
+    w.count = list.size();
+    std::size_t i = 0;
+    for (const double v : list) {
+      // Reject <= 0, NaN, and inf (v - v is NaN for the non-finite ones).
+      if (!(v > 0.0) || !(v - v == 0.0)) return ClassWeights{};
+      w.values[i++] = v;
+    }
+    return w;
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return count; }
+  [[nodiscard]] constexpr double operator[](std::size_t i) const noexcept {
+    return values[i];
+  }
+  /// Share parameter of the analyzed (through) class.
+  [[nodiscard]] constexpr double through() const noexcept { return values[0]; }
+  [[nodiscard]] constexpr double total() const noexcept {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) sum += values[i];
+    return sum;
+  }
+  /// Sum over the cross classes (everything but class 0).
+  [[nodiscard]] constexpr double cross_total() const noexcept {
+    return total() - through();
+  }
+  /// Guaranteed fraction of the link for the through class, phi_0 / sum.
+  [[nodiscard]] constexpr double through_share() const noexcept {
+    return through() / total();
+  }
+
+  friend constexpr bool operator==(const ClassWeights&,
+                                   const ClassWeights&) = default;
+};
+
+/// The registered scheduler families.  The first five are
+/// Delta-schedulers (Definition 1); the last three are curve-backed (see
+/// the header comment and service_curve_provider.h).
 enum class SchedulerKind : std::uint8_t {
   kFifo,    ///< Delta = 0
   kBmux,    ///< blind multiplexing / SP with through low: Delta = +inf
   kSpHigh,  ///< static priority, through high: Delta = -inf
   kEdf,     ///< earliest deadline first: Delta = d*_0 - d*_c (fixed point)
   kDelta,   ///< explicit fixed Delta offset (continuous FIFO<->BMUX axis)
+  kGps,     ///< generalized processor sharing, per-class weights phi_i
+  kDrr,     ///< deficit round robin (fluid), per-class quanta Q_i
+  kSced,    ///< fluid SCED: capacity split proportional to class load
 };
 
 /// Tagged, parameterized scheduler descriptor.  Only the parameters of
@@ -117,6 +187,36 @@ class SchedulerSpec {
     s.delta_ = delta;
     return s;
   }
+  /// GPS with per-class weights phi_i (class 0 = through).  Invalid
+  /// weight lists fall back to the equal two-class split {1, 1} (see
+  /// ClassWeights::of); parse_scheduler() rejects them outright.
+  [[nodiscard]] static constexpr SchedulerSpec gps(
+      ClassWeights weights = {}) noexcept {
+    SchedulerSpec s(SchedulerKind::kGps);
+    s.weights_ = weights;
+    return s;
+  }
+  [[nodiscard]] static constexpr SchedulerSpec gps(
+      double through_weight, double cross_weight) noexcept {
+    return gps(ClassWeights::of({through_weight, cross_weight}));
+  }
+  /// DRR (fluid model) with per-class quanta Q_i in kb (class 0 =
+  /// through).  Same clamping rules as gps().
+  [[nodiscard]] static constexpr SchedulerSpec drr(
+      ClassWeights quanta = {}) noexcept {
+    SchedulerSpec s(SchedulerKind::kDrr);
+    s.weights_ = quanta;
+    return s;
+  }
+  [[nodiscard]] static constexpr SchedulerSpec drr(
+      double through_quantum, double cross_quantum) noexcept {
+    return drr(ClassWeights::of({through_quantum, cross_quantum}));
+  }
+  /// Fluid SCED: the provider splits capacity proportionally to the
+  /// per-class offered load, so it carries no parameters of its own.
+  [[nodiscard]] static constexpr SchedulerSpec sced() noexcept {
+    return SchedulerSpec(SchedulerKind::kSced);
+  }
 
   // ----- observers --------------------------------------------------------
   [[nodiscard]] constexpr SchedulerKind kind() const noexcept { return kind_; }
@@ -128,6 +228,14 @@ class SchedulerSpec {
   constexpr void set_edf_factors(EdfFactors factors) noexcept {
     edf_ = factors;
   }
+  /// Class weights/quanta (meaningful for kGps/kDrr; default {1, 1}
+  /// otherwise, carried and compared like the EDF factors).
+  [[nodiscard]] constexpr const ClassWeights& weights() const noexcept {
+    return weights_;
+  }
+  constexpr void set_weights(ClassWeights weights) noexcept {
+    weights_ = weights;
+  }
 
   /// True when the scheduler's Delta depends on the (unknown) delay bound
   /// itself and the solver must run the EDF fixed point.
@@ -135,20 +243,32 @@ class SchedulerSpec {
     return kind_ == SchedulerKind::kEdf;
   }
 
+  /// True for the kinds that are not Delta-schedulers and lower via
+  /// sched::ServiceCurveProvider instead of the Theorem-1 Delta path
+  /// (kGps, kDrr, kSced).  For these, static_delta() is nullopt,
+  /// delta_term() is NaN, and to_delta_matrix() throws.
+  [[nodiscard]] constexpr bool is_curve_backed() const noexcept {
+    return kind_ == SchedulerKind::kGps || kind_ == SchedulerKind::kDrr ||
+           kind_ == SchedulerKind::kSced;
+  }
+
   /// The scheduler's Delta(theta) term when it does not depend on the
-  /// solve (every kind but kEdf); nullopt for kEdf.
+  /// solve; nullopt for kEdf (fixed point) and for the curve-backed kinds
+  /// (no Delta exists at all).
   [[nodiscard]] std::optional<double> static_delta() const noexcept;
 
   /// The through-vs-cross Delta term, resolving EDF deadlines against the
   /// unit `edf_unit` (= d_e2e / H at the solver layer): this is the value
   /// fed to the homogeneous solver and to e2e::NodeParams::delta on a
-  /// HeteroPath node.
+  /// HeteroPath node.  Quiet NaN for curve-backed kinds -- callers on the
+  /// Delta path must check is_curve_backed() first.
   [[nodiscard]] double delta_term(double edf_unit) const noexcept;
 
   /// Lowers the spec onto the Theorem-1 layer: the DeltaMatrix over
   /// `flows` flows with `analyzed` as the through flow.  EDF deadlines
   /// are factor * edf_unit (must come out finite and non-negative).
-  /// @throws std::invalid_argument on bad sizes/deadlines (DeltaMatrix).
+  /// @throws std::invalid_argument on bad sizes/deadlines (DeltaMatrix),
+  /// and for curve-backed kinds (use make_service_curve_provider).
   [[nodiscard]] DeltaMatrix to_delta_matrix(std::size_t flows,
                                             std::size_t analyzed,
                                             double edf_unit = 1.0) const;
@@ -168,6 +288,7 @@ class SchedulerSpec {
   SchedulerKind kind_ = SchedulerKind::kFifo;
   double delta_ = 0.0;
   EdfFactors edf_{};
+  ClassWeights weights_{};
 };
 
 // ----- canonical name/params registry -------------------------------------
@@ -175,7 +296,7 @@ class SchedulerSpec {
 // JSON codec, cache keys, CLI parsing, and report rendering.
 
 /// Canonical short name of a kind ("fifo", "bmux", "sp-high", "edf",
-/// "delta").
+/// "delta", "gps", "drr", "sced").
 [[nodiscard]] std::string_view scheduler_kind_name(SchedulerKind kind) noexcept;
 
 /// Inverse of scheduler_kind_name; returns false on unknown names.
@@ -183,17 +304,32 @@ class SchedulerSpec {
                                             SchedulerKind& out) noexcept;
 
 /// Canonical display/parse form of a spec: the kind name, except kDelta
-/// renders as "delta:<value>" (e.g. "delta:2.5", "delta:inf").
+/// renders as "delta:<value>" (e.g. "delta:2.5", "delta:inf") and
+/// kGps/kDrr render their weight lists ("gps:1,1", "drr:2,1").
 [[nodiscard]] std::string to_string(const SchedulerSpec& spec);
 
-/// Parses the forms produced by to_string(): a registered kind name, or
-/// "delta:<value>" with a finite or infinite value.  Returns false
-/// (leaving `out` untouched) on anything else.  Parsed kEdf/kDelta specs
-/// carry default EDF factors; callers wanting non-default factors set
-/// them afterwards.
+/// Parses the forms produced by to_string(): a registered kind name,
+/// "delta:<value>" with a finite or infinite value, or
+/// "gps:<w1,w2,...>" / "drr:<q1,q2,...>" with 2..ClassWeights::kMaxClasses
+/// positive finite entries.  Bare "gps"/"drr" mean the equal two-class
+/// split {1, 1}; bare "delta" is rejected (no default offset exists).
+/// Returns false (leaving `out` untouched) on anything else.  Parsed
+/// specs carry default EDF factors; callers wanting non-default factors
+/// set them afterwards.
 [[nodiscard]] bool parse_scheduler(std::string_view text, SchedulerSpec& out);
 
-/// Usage string for CLIs: "fifo | bmux | sp-high | edf | delta:<Delta>".
+/// Parses a comma-separated list of scheduler names into specs.  Because
+/// "gps:1,2" itself contains commas, tokens are joined by maximal munch:
+/// at each position the longest comma-joined run of tokens that
+/// parse_scheduler() accepts wins ("fifo,gps:1,2,edf" -> fifo, gps:1,2,
+/// edf).  Returns false (leaving `out` untouched) if any position has no
+/// parse.
+[[nodiscard]] bool parse_scheduler_list(std::string_view text,
+                                        std::vector<SchedulerSpec>& out);
+
+/// Usage string for CLIs:
+/// "fifo | bmux | sp-high | edf | delta:<Delta> | gps[:<w,...>] |
+///  drr[:<q,...>] | sced".
 [[nodiscard]] std::string scheduler_usage_names();
 
 /// Long human-readable description, for reports.

@@ -1,0 +1,129 @@
+#include "sched/service_curve_provider.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deltanc::sched {
+
+namespace {
+
+void require_capacity(double capacity) {
+  if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+    throw std::invalid_argument(
+        "ServiceCurveProvider: capacity must be positive and finite");
+  }
+}
+
+/// Delta-backed lowering: SchedulerSpec -> DeltaMatrix -> Theorem 1.
+class DeltaProvider final : public ServiceCurveProvider {
+ public:
+  explicit DeltaProvider(const SchedulerSpec& spec) : spec_(spec) {}
+
+  [[nodiscard]] StatServiceCurve leftover(
+      const NodeContext& context) const override {
+    const DeltaMatrix delta = spec_.to_delta_matrix(
+        context.envelopes.size(), context.flow, context.edf_unit);
+    return theorem1_service_curve(context.capacity, delta, context.envelopes,
+                                  context.flow, context.theta);
+  }
+
+ private:
+  SchedulerSpec spec_;
+};
+
+/// Shared shape of the curve-backed providers: a deterministic
+/// rate-latency guarantee beta_{R,T} that depends only on capacity (and,
+/// for SCED, the class loads).
+class RateLatencyProvider : public ServiceCurveProvider {
+ public:
+  [[nodiscard]] StatServiceCurve leftover(
+      const NodeContext& context) const final {
+    require_capacity(context.capacity);
+    const std::optional<RateLatency> rl =
+        rate_latency(context.capacity, context.loads);
+    // Curve-backed providers always return a value (see rate_latency
+    // overrides below); the optional exists for the Delta-backed side.
+    return StatServiceCurve{
+        nc::Curve::rate_latency(rl->rate, rl->latency), std::nullopt};
+  }
+};
+
+/// GPS: the analyzed class is guaranteed its weight share of the link at
+/// all times the class is backlogged, so the per-flow service curve is
+/// the pure rate beta_{(phi_0/sum phi) C, 0} (arXiv:1804.08034; see
+/// docs/THEORY.md#leftover-service-curves-beyond-delta).
+class GpsProvider final : public RateLatencyProvider {
+ public:
+  explicit GpsProvider(const ClassWeights& weights) : weights_(weights) {}
+
+  [[nodiscard]] std::optional<RateLatency> rate_latency(
+      double capacity, const ClassLoads&) const override {
+    require_capacity(capacity);
+    return RateLatency{weights_.through_share() * capacity, 0.0};
+  }
+
+ private:
+  ClassWeights weights_;
+};
+
+/// DRR (fluid): rate share Q_0 / sum Q like GPS, plus a latency of one
+/// full round of the *other* quanta -- in the worst case class 0 arrives
+/// just after its turn and waits while sum Q - Q_0 kb of cross quanta
+/// drain at rate C (arXiv:2503.23366; see docs/THEORY.md).
+class DrrProvider final : public RateLatencyProvider {
+ public:
+  explicit DrrProvider(const ClassWeights& quanta) : quanta_(quanta) {}
+
+  [[nodiscard]] std::optional<RateLatency> rate_latency(
+      double capacity, const ClassLoads&) const override {
+    require_capacity(capacity);
+    return RateLatency{quanta_.through_share() * capacity,
+                       quanta_.cross_total() / capacity};
+  }
+
+ private:
+  ClassWeights quanta_;
+};
+
+/// Fluid SCED with load-proportional deadlines: each class receives
+/// capacity in proportion to its offered load, beta_{C rho_0/(rho_0 +
+/// rho_c), 0} (arXiv:1804.08040).  With no load information the whole
+/// link is the guarantee (nothing competes).
+class ScedProvider final : public RateLatencyProvider {
+ public:
+  [[nodiscard]] std::optional<RateLatency> rate_latency(
+      double capacity, const ClassLoads& loads) const override {
+    require_capacity(capacity);
+    if (loads.through < 0.0 || loads.cross < 0.0 ||
+        !std::isfinite(loads.through) || !std::isfinite(loads.cross)) {
+      throw std::invalid_argument(
+          "ScedProvider: class loads must be finite and non-negative");
+    }
+    const double total = loads.through + loads.cross;
+    if (total <= 0.0) return RateLatency{capacity, 0.0};
+    return RateLatency{capacity * loads.through / total, 0.0};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ServiceCurveProvider> make_service_curve_provider(
+    const SchedulerSpec& spec) {
+  switch (spec.kind()) {
+    case SchedulerKind::kFifo:
+    case SchedulerKind::kBmux:
+    case SchedulerKind::kSpHigh:
+    case SchedulerKind::kEdf:
+    case SchedulerKind::kDelta:
+      return std::make_unique<DeltaProvider>(spec);
+    case SchedulerKind::kGps:
+      return std::make_unique<GpsProvider>(spec.weights());
+    case SchedulerKind::kDrr:
+      return std::make_unique<DrrProvider>(spec.weights());
+    case SchedulerKind::kSced:
+      return std::make_unique<ScedProvider>();
+  }
+  throw std::invalid_argument("make_service_curve_provider: unknown kind");
+}
+
+}  // namespace deltanc::sched

@@ -1,0 +1,114 @@
+// The service-curve-provider interface: one lowering contract for every
+// registered scheduler kind.
+//
+// A SchedulerSpec describes *what* a scheduler is; a ServiceCurveProvider
+// says what service the analyzed flow is left with.  Two families
+// implement the contract:
+//
+//   Delta-backed   FIFO / BMUX / SP-high / EDF / fixed-Delta lower through
+//                  Theorem 1 (delta_service_curve.h): the spec's
+//                  DeltaMatrix plus the cross-flow envelopes yield the
+//                  statistical leftover curve of Eq. (8).
+//
+//   curve-backed   GPS / DRR / SCED have no constants Delta_{j,k}
+//                  (their precedence horizon conditions on the backlog
+//                  process), but publish *deterministic* per-flow
+//                  leftover curves of rate-latency form beta_{R,T}:
+//
+//                    GPS   R = (phi_0 / sum_i phi_i) C,        T = 0
+//                          (per-flow GPS service curve, arXiv:1804.08034)
+//                    DRR   R = (Q_0 / sum_i Q_i) C,
+//                          T = (sum_i Q_i - Q_0) / C
+//                          (fluid DRR latency-rate server, arXiv:2503.23366;
+//                          one full round of the other quanta can pass
+//                          before class 0 is served)
+//                    SCED  R = C rho_0 / (rho_0 + rho_c),      T = 0
+//                          (fluid SCED with load-proportional deadlines,
+//                          arXiv:1804.08040)
+//
+// Because the curve-backed guarantees are deterministic (they hold
+// regardless of cross-traffic behavior), their StatServiceCurve carries
+// no bounding function, and rate_latency() exposes the (R, T) pair in
+// closed form so the end-to-end solver (e2e/param_search.cpp) can
+// convolve H hops into beta_{R, H T} without touching the curve algebra.
+//
+// docs/SCHEDULERS.md is the authoring guide for adding a kind end to
+// end; docs/THEORY.md#leftover-service-curves-beyond-delta derives the
+// three constructions above.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "sched/delta_service_curve.h"
+#include "sched/scheduler_spec.h"
+#include "traffic/ebb.h"
+
+namespace deltanc::sched {
+
+/// Per-class long-run offered load (kb/ms = Mbps) at a node: the analyzed
+/// (through) aggregate and the total cross aggregate.  Only the
+/// load-proportional kinds (SCED) read it; zero-initialized is fine for
+/// the others.
+struct ClassLoads {
+  double through = 0.0;
+  double cross = 0.0;
+
+  friend constexpr bool operator==(const ClassLoads&,
+                                   const ClassLoads&) = default;
+};
+
+/// A rate-latency description beta_{R,T}(t) = R [t - T]_+ of a
+/// deterministic per-node leftover guarantee.
+struct RateLatency {
+  double rate = 0.0;     ///< R, kb/ms = Mbps
+  double latency = 0.0;  ///< T, ms
+
+  friend constexpr bool operator==(const RateLatency&,
+                                   const RateLatency&) = default;
+};
+
+/// Everything a provider may need to build the leftover curve at one
+/// node.  Delta-backed providers read envelopes/flow/theta/edf_unit;
+/// curve-backed providers read capacity (and loads, for SCED).
+struct NodeContext {
+  double capacity = 0.0;  ///< link rate C, kb/ms = Mbps
+  std::span<const traffic::StatEnvelope> envelopes;  ///< one per flow
+  std::size_t flow = 0;   ///< index of the analyzed flow in `envelopes`
+  double theta = 0.0;     ///< Theorem-1 free parameter (Delta-backed only)
+  double edf_unit = 1.0;  ///< EDF deadline unit d_e2e / H (kEdf only)
+  ClassLoads loads;       ///< per-class offered load (kSced only)
+};
+
+/// The lowering contract.  Obtain one via make_service_curve_provider().
+class ServiceCurveProvider {
+ public:
+  virtual ~ServiceCurveProvider() = default;
+
+  /// The per-node leftover service curve for the analyzed flow.  `eps`
+  /// is absent when the guarantee is deterministic (all curve-backed
+  /// kinds; Delta-backed kinds inherit it from Theorem 1).
+  /// @throws std::invalid_argument on a malformed context.
+  [[nodiscard]] virtual StatServiceCurve leftover(
+      const NodeContext& context) const = 0;
+
+  /// Closed-form (R, T) when the per-node guarantee is exactly a
+  /// deterministic rate-latency curve -- every curve-backed kind.
+  /// nullopt for Delta-backed kinds (their leftover depends on the cross
+  /// envelopes and theta, not just C).
+  [[nodiscard]] virtual std::optional<RateLatency> rate_latency(
+      double capacity, const ClassLoads& loads) const {
+    (void)capacity;
+    (void)loads;
+    return std::nullopt;
+  }
+};
+
+/// Factory: the provider implementing `spec`'s lowering.  Never null.
+/// Delta-backed specs get the Theorem-1 provider; curve-backed specs get
+/// their published rate-latency construction (see the header comment).
+[[nodiscard]] std::unique_ptr<ServiceCurveProvider> make_service_curve_provider(
+    const SchedulerSpec& spec);
+
+}  // namespace deltanc::sched

@@ -72,6 +72,22 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
       }
       return;
     }
+    case sched::SchedulerKind::kGps:
+      // Two-class simulation: the cross classes collapse onto one weight.
+      config.discipline = DisciplineKind::kGps;
+      config.gps_through_weight = spec.weights().through();
+      config.gps_cross_weight = spec.weights().cross_total();
+      return;
+    case sched::SchedulerKind::kDrr:
+    case sched::SchedulerKind::kSced:
+      // Analytic bounds exist (sched::make_service_curve_provider lowers
+      // these to their published leftover curves); only the slot-level
+      // *simulation* lowering is missing here.
+      throw std::invalid_argument(
+          "lower_scheduler: no tandem-simulation discipline implements '" +
+          std::string(sched::scheduler_kind_name(spec.kind())) +
+          "'; its analytic lowering lives in "
+          "sched::make_service_curve_provider");
   }
   throw std::invalid_argument("lower_scheduler: unknown scheduler kind");
 }
@@ -88,10 +104,10 @@ sched::SchedulerSpec scheduler_spec_of(const TandemConfig& config) {
       return sched::SchedulerSpec::fixed_delta(config.edf_through_deadline -
                                                config.edf_cross_deadline);
     case DisciplineKind::kGps:
-      throw std::invalid_argument(
-          "scheduler_spec_of: GPS is not a Delta-scheduler (its precedence "
-          "horizon depends on the backlog process; no constants Delta_{j,k} "
-          "exist) and is not lowerable to a SchedulerSpec");
+      // GPS is not a Delta-scheduler, but since the curve-backed kinds it
+      // raises to the spec carrying the configured weights.
+      return sched::SchedulerSpec::gps(config.gps_through_weight,
+                                       config.gps_cross_weight);
   }
   throw std::invalid_argument("scheduler_spec_of: unknown discipline");
 }

@@ -83,10 +83,9 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
 
 /// The analytic identity of `config`'s discipline (inverse adapter).
 /// EDF raises to a fixed-Delta spec carrying the deadline difference:
-/// absolute deadlines hold more information than Def. 1 keeps.
-/// @throws std::invalid_argument for kGps: GPS is not a Delta-scheduler
-/// (no constants Delta_{j,k} exist; see sched/delta.h), so it is not
-/// lowerable to or from a SchedulerSpec.
+/// absolute deadlines hold more information than Def. 1 keeps.  GPS
+/// raises to the curve-backed SchedulerSpec::gps with the configured
+/// weights (see sched/service_curve_provider.h).
 [[nodiscard]] sched::SchedulerSpec scheduler_spec_of(
     const TandemConfig& config);
 

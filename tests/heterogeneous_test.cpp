@@ -112,6 +112,24 @@ TEST(HeteroDelay, MixedSchedulersAlongThePath) {
   EXPECT_GE(hetero_best_delay_bound(hp, 1e-9), all_fifo - 1e-9);
 }
 
+TEST(HeteroDelay, CurveBackedSpecsAreRejectedWithAPointer) {
+  // gps/drr/sced carry no per-node Delta term; the heterogeneous path
+  // must refuse them and name the provider interface that does lower
+  // them, rather than produce a bogus Delta.
+  for (const sched::SchedulerSpec& spec :
+       {sched::SchedulerSpec::gps(1.0, 1.0), sched::SchedulerSpec::drr(2.0, 1.0),
+        sched::SchedulerSpec::sced()}) {
+    try {
+      (void)node_params_for(spec, 100.0, 50.0, 1.0);
+      FAIL() << "accepted curve-backed spec " << sched::to_string(spec);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("make_service_curve_provider"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(HeteroDelay, PerNodeDeltaMonotonicity) {
   HeteroPath hp;
   hp.rho = 15.0;

@@ -157,22 +157,51 @@ TEST(Codec, ScenarioDecodeRejectsBadDocuments) {
 
 TEST(Codec, SchedulerSpecsRoundTripInAllForms) {
   // The full-object form round-trips every spec, including fixed-Delta
-  // offsets (finite and infinite) and EDF factors.
-  for (const sched::SchedulerSpec spec :
+  // offsets (finite and infinite), EDF factors, and curve-backed class
+  // weights.
+  for (const sched::SchedulerSpec& spec :
        {sched::SchedulerSpec::fifo(), sched::SchedulerSpec::bmux(),
         sched::SchedulerSpec::sp_high(), sched::SchedulerSpec::edf(2.0, 5.0),
         sched::SchedulerSpec::fixed_delta(2.5),
         sched::SchedulerSpec::fixed_delta(kInf),
-        sched::SchedulerSpec::fixed_delta(-kInf)}) {
+        sched::SchedulerSpec::fixed_delta(-kInf),
+        sched::SchedulerSpec::gps(3.0, 1.0),
+        sched::SchedulerSpec::drr(2.0, 0.5),
+        sched::SchedulerSpec::gps(sched::ClassWeights::of({1.0, 2.0, 4.0})),
+        sched::SchedulerSpec::sced()}) {
     const sched::SchedulerSpec back = decode_scheduler(encode_scheduler(spec));
     EXPECT_EQ(back, spec) << sched::to_string(spec);
   }
-  // The codec also accepts the compact string form (bare names and
-  // "delta:<value>") wherever a scheduler is expected.
+  // The codec also accepts the compact string form (bare names,
+  // "delta:<value>", and weighted "gps:w,..." spellings) wherever a
+  // scheduler is expected.
   sched::SchedulerSpec s = decode_scheduler(Value::string("delta:2.5"));
   EXPECT_EQ(s, sched::SchedulerSpec::fixed_delta(2.5));
   EXPECT_EQ(decode_scheduler(Value::string("bmux")),
             sched::SchedulerSpec::bmux());
+  EXPECT_EQ(decode_scheduler(Value::string("gps:3,1")),
+            sched::SchedulerSpec::gps(3.0, 1.0));
+  EXPECT_EQ(decode_scheduler(Value::string("sced")),
+            sched::SchedulerSpec::sced());
+}
+
+TEST(Codec, SchedulerParamsFieldIsValidatedAndDefaulted) {
+  // A schema-2 object (no "params") decodes to the default equal split.
+  Value v2 = encode_scheduler(sched::SchedulerSpec::gps(3.0, 1.0));
+  v2.set("params", Value::null());
+  EXPECT_EQ(decode_scheduler(v2), sched::SchedulerSpec::gps());
+  // Malformed params are CodecErrors, not silent clamps.
+  Value one = encode_scheduler(sched::SchedulerSpec::gps());
+  Value short_list = Value::array();
+  short_list.push_back(Value::number(1.0));
+  one.set("params", std::move(short_list));
+  EXPECT_THROW((void)decode_scheduler(one), CodecError);
+  Value neg = encode_scheduler(sched::SchedulerSpec::gps());
+  Value neg_list = Value::array();
+  neg_list.push_back(Value::number(-1.0));
+  neg_list.push_back(Value::number(1.0));
+  neg.set("params", std::move(neg_list));
+  EXPECT_THROW((void)decode_scheduler(neg), CodecError);
 }
 
 TEST(Codec, DiagnosticsAndStatsRoundTrip) {

@@ -347,6 +347,97 @@ TEST(ParamSearch, ConvergedSolveHasCleanDiagnostics) {
   EXPECT_EQ(r.stats.fallbacks, 0);
 }
 
+TEST(ParamSearch, GpsBoundIsSelfConsistentAndPaysBurstsOnce) {
+  Scenario sc = paper_scenario(5, 168, 168, Scheduler::kFifo);
+  sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
+  const BoundResult r = best_delay_bound(sc);
+  ASSERT_TRUE(std::isfinite(r.delay_ms));
+  EXPECT_TRUE(std::isnan(r.delta));  // no Delta coordinate by contract
+  // Tuple self-consistency against the closed-form 1-D objective: the
+  // guaranteed rate is the weight share of the link, gamma its slack over
+  // the through aggregate's effective bandwidth at the returned s, sigma
+  // the union-bound backlog for the target epsilon.
+  const double rate = 0.5 * sc.capacity;
+  ASSERT_GT(r.s, 0.0);
+  EXPECT_DOUBLE_EQ(r.gamma,
+                   rate - sc.n_through * sc.source.effective_bandwidth(r.s));
+  const double sigma =
+      std::log(1.0 / ((1.0 - std::exp(-r.s * r.gamma)) * sc.epsilon)) / r.s;
+  EXPECT_DOUBLE_EQ(r.sigma, sigma);
+  EXPECT_DOUBLE_EQ(r.delay_ms, sigma / rate);
+  // Pay-bursts-once: the GPS leftover has zero latency, so the e2e bound
+  // does not grow with the hop count (unlike every Delta-backed bound).
+  Scenario longer = sc;
+  longer.hops = 20;
+  EXPECT_EQ(best_delay_bound(longer).delay_ms, r.delay_ms);
+}
+
+TEST(ParamSearch, DrrIsGpsPlusTheRoundRobinLatency) {
+  // Equal quanta give DRR the same guaranteed rate as GPS(1,1); the only
+  // difference is the deterministic one-round latency (sum Q - Q_0)/C
+  // per hop, which shifts the bound by exactly H/C here.
+  Scenario sc = paper_scenario(5, 168, 168, Scheduler::kFifo);
+  sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
+  const BoundResult gps = best_delay_bound(sc);
+  sc.scheduler = sched::SchedulerSpec::drr(1.0, 1.0);
+  const BoundResult drr = best_delay_bound(sc);
+  ASSERT_TRUE(std::isfinite(gps.delay_ms));
+  EXPECT_DOUBLE_EQ(drr.delay_ms,
+                   sc.hops * (1.0 / sc.capacity) + gps.delay_ms);
+}
+
+TEST(ParamSearch, ScedEqualsGpsOnSymmetricLoads) {
+  // Load-proportional sharing with N0 = Nc is the equal two-class split.
+  Scenario sc = paper_scenario(4, 200, 200, Scheduler::kFifo);
+  sc.scheduler = sched::SchedulerSpec::sced();
+  const BoundResult sced = best_delay_bound(sc);
+  sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
+  const BoundResult gps = best_delay_bound(sc);
+  ASSERT_TRUE(std::isfinite(gps.delay_ms));
+  EXPECT_DOUBLE_EQ(sced.delay_ms, gps.delay_ms);
+}
+
+TEST(ParamSearch, GpsIsolationSurvivesTotalOverload) {
+  // Total utilization above 1, but the through class's guaranteed share
+  // 0.75 C still exceeds its own load: GPS keeps a finite bound where
+  // the aggregate-facing BMUX diverges.
+  Scenario sc = paper_scenario(5, 310, 410, Scheduler::kBmux);
+  ASSERT_GE(sc.utilization(), 1.0);
+  const BoundResult bmux = best_delay_bound(sc);
+  EXPECT_EQ(bmux.delay_ms, kInf);
+  sc.scheduler = sched::SchedulerSpec::gps(3.0, 1.0);
+  ASSERT_LT(sc.n_through * sc.source.mean_rate(), 0.75 * sc.capacity);
+  const BoundResult gps = best_delay_bound(sc);
+  EXPECT_TRUE(std::isfinite(gps.delay_ms));
+  EXPECT_TRUE(gps.diagnostics.ok());
+}
+
+TEST(ParamSearch, UnstableThroughClassIsClassifiedForCurveBacked) {
+  // The through load alone exceeds the GPS(1,1) guarantee of half the
+  // link: +inf with the same kUnstable classification as the Delta path.
+  Scenario sc = paper_scenario(3, 400, 10, Scheduler::kFifo);
+  sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
+  ASSERT_GT(sc.n_through * sc.source.mean_rate(), 0.5 * sc.capacity);
+  const BoundResult r = best_delay_bound(sc);
+  EXPECT_EQ(r.delay_ms, kInf);
+  EXPECT_EQ(r.diagnostics.error, diag::SolveErrorKind::kUnstable);
+  EXPECT_FALSE(r.diagnostics.message.empty());
+}
+
+TEST(ParamSearch, ValidateRejectsMalformedClassWeights) {
+  // set_weights is the only way to smuggle a malformed weight list past
+  // the factories (the codec uses it); validate() must name the field.
+  Scenario sc = paper_scenario(3, 100, 100, Scheduler::kFifo);
+  sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
+  sched::ClassWeights bad;
+  bad.count = 1;
+  sc.scheduler.set_weights(bad);
+  const diag::ValidationReport report = sc.validate();
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.message().find("scheduler.weights"), std::string::npos)
+      << report.message();
+}
+
 TEST(AdditiveBaseline, PerNodeDelaysGrowAlongThePath) {
   const PathParams p{100.0, 8, 20.0, 30.0, 0.5, 1.0, kInf};
   const auto per_node = additive_bmux_per_node(p, 0.5, 1e-9);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -165,6 +166,62 @@ TEST_F(ResultCacheTest, PreRefactorEntryClassifiesStaleNeverWrongHit) {
   EXPECT_EQ(solved.stats.cache_stale, 1);
   EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kHit);
   EXPECT_EQ(out.delay_ms, solved.delay_ms);
+}
+
+TEST_F(ResultCacheTest, SchemaTwoEntryClassifiesStaleNeverWrongHit) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const SolveOptions options{};
+
+  // Schema-2 scheduler objects carried no "params" array, so the same
+  // solve hashed to a different slot.  Fabricate the entry a schema-2
+  // build would have written there.
+  const std::optional<std::string> legacy =
+      legacy_v2_solve_cache_key(sc, options);
+  ASSERT_TRUE(legacy.has_value());
+  const std::string key = solve_cache_key(sc, options);
+  ASSERT_NE(*legacy, key);
+  // The v2 key is the v3 key minus the scheduler "params" field.
+  EXPECT_EQ(legacy->find("\"params\""), std::string::npos);
+  EXPECT_NE(key.find("\"params\""), std::string::npos);
+  write_file(cache.entry_path(*legacy),
+             "{\"schema\":2,\"version\":\"1.0.0\",\"key\":\"x\","
+             "\"result\":{}}\n");
+
+  e2e::BoundResult out;
+  out.delay_ms = -1.0;
+  EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kStale);
+  EXPECT_EQ(out.delay_ms, -1.0);  // never serves bits from the old slot
+
+  // Re-solve lands under the current key; the old slot stops mattering.
+  CacheLookup outcome{};
+  (void)cache.solve_through(sc, options,
+                            [&] { return e2e::best_delay_bound(sc); },
+                            &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kStale);
+  EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, CurveBackedSchedulersHaveNoLegacySlots) {
+  // gps/drr/sced did not exist before schema 3: both legacy key probes
+  // must decline rather than fabricate a key that could alias another
+  // solve's slot.
+  e2e::Scenario sc = small_scenario();
+  sc.scheduler = sched::SchedulerSpec::gps(2.0, 1.0);
+  EXPECT_FALSE(legacy_v1_solve_cache_key(sc, SolveOptions{}).has_value());
+  EXPECT_FALSE(legacy_v2_solve_cache_key(sc, SolveOptions{}).has_value());
+
+  // And the curve-backed solve (NaN delta on the wire) round-trips
+  // through store + hit like any other result.
+  ResultCache cache(cache_dir());
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  const e2e::BoundResult solved = e2e::best_delay_bound(sc);
+  ASSERT_TRUE(std::isnan(solved.delta));
+  cache.store(key, solved);
+  e2e::BoundResult out;
+  EXPECT_EQ(cache.lookup(sc, SolveOptions{}, out), CacheLookup::kHit);
+  EXPECT_EQ(out.delay_ms, solved.delay_ms);
+  EXPECT_TRUE(std::isnan(out.delta));
 }
 
 TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {

@@ -1,7 +1,7 @@
 // The one scheduler identity: SchedulerSpec semantics, the canonical
 // name registry (round-trips over every registered name), and the
-// lowering adapters into both simulators -- including the deliberate
-// "not lowerable" refusals for GPS and SCFQ.
+// lowering adapters into both simulators -- including the curve-backed
+// kinds (GPS/DRR/SCED), whose Delta observers refuse by design.
 #include "sched/scheduler_spec.h"
 
 #include <gtest/gtest.h>
@@ -85,18 +85,23 @@ TEST(SchedulerRegistry, EveryRegisteredNameRoundTrips) {
   // Every kind: name -> kind -> name, and spec -> string -> spec.
   for (const SchedulerKind kind :
        {SchedulerKind::kFifo, SchedulerKind::kBmux, SchedulerKind::kSpHigh,
-        SchedulerKind::kEdf, SchedulerKind::kDelta}) {
+        SchedulerKind::kEdf, SchedulerKind::kDelta, SchedulerKind::kGps,
+        SchedulerKind::kDrr, SchedulerKind::kSced}) {
     const std::string_view name = scheduler_kind_name(kind);
     EXPECT_FALSE(name.empty());
     SchedulerKind back{};
     ASSERT_TRUE(scheduler_kind_from_name(name, back)) << name;
     EXPECT_EQ(back, kind);
   }
-  for (const SchedulerSpec spec :
+  for (const SchedulerSpec& spec :
        {SchedulerSpec::fifo(), SchedulerSpec::bmux(), SchedulerSpec::sp_high(),
         SchedulerSpec::edf(), SchedulerSpec::fixed_delta(0.0),
         SchedulerSpec::fixed_delta(2.5), SchedulerSpec::fixed_delta(kInf),
-        SchedulerSpec::fixed_delta(-kInf)}) {
+        SchedulerSpec::fixed_delta(-kInf), SchedulerSpec::gps(),
+        SchedulerSpec::gps(3.0, 1.0), SchedulerSpec::drr(),
+        SchedulerSpec::drr(2.0, 0.5),
+        SchedulerSpec::gps(ClassWeights::of({1.0, 2.0, 3.0})),
+        SchedulerSpec::sced()}) {
     const std::string text = to_string(spec);
     SchedulerSpec back;
     ASSERT_TRUE(parse_scheduler(text, back)) << text;
@@ -106,22 +111,64 @@ TEST(SchedulerRegistry, EveryRegisteredNameRoundTrips) {
   const std::string usage = scheduler_usage_names();
   for (const SchedulerKind kind :
        {SchedulerKind::kFifo, SchedulerKind::kBmux, SchedulerKind::kSpHigh,
-        SchedulerKind::kEdf}) {
+        SchedulerKind::kEdf, SchedulerKind::kGps, SchedulerKind::kDrr,
+        SchedulerKind::kSced}) {
     EXPECT_NE(usage.find(scheduler_kind_name(kind)), std::string::npos);
   }
 }
 
 TEST(SchedulerRegistry, ParseRejectsUnknownAndMalformedNames) {
   SchedulerSpec out = SchedulerSpec::bmux();
-  EXPECT_FALSE(parse_scheduler("gps", out));
-  EXPECT_FALSE(parse_scheduler("scfq", out));
+  EXPECT_FALSE(parse_scheduler("scfq", out));  // lowers via gps weights
   EXPECT_FALSE(parse_scheduler("FIFO", out));
   EXPECT_FALSE(parse_scheduler("", out));
   EXPECT_FALSE(parse_scheduler("delta", out));       // bare: no offset
   EXPECT_FALSE(parse_scheduler("delta:", out));
   EXPECT_FALSE(parse_scheduler("delta:nan", out));   // NaN never compares
   EXPECT_FALSE(parse_scheduler("delta:1x", out));
+  EXPECT_FALSE(parse_scheduler("gps:", out));
+  EXPECT_FALSE(parse_scheduler("gps:1", out));       // one class is no split
+  EXPECT_FALSE(parse_scheduler("gps:0,1", out));     // weights must be > 0
+  EXPECT_FALSE(parse_scheduler("gps:-1,1", out));
+  EXPECT_FALSE(parse_scheduler("gps:1,nan", out));
+  EXPECT_FALSE(parse_scheduler("gps:1,inf", out));
+  EXPECT_FALSE(parse_scheduler("drr:1,2,", out));    // trailing comma
+  EXPECT_FALSE(parse_scheduler("drr:1,2x", out));
+  EXPECT_FALSE(parse_scheduler("gps:1,2,3,4,5,6,7,8,9", out));  // > max
+  EXPECT_FALSE(parse_scheduler("sced:1", out));      // sced has no params
+  EXPECT_FALSE(parse_scheduler("fifo:1", out));
   EXPECT_EQ(out, SchedulerSpec::bmux());  // rejects leave `out` untouched
+}
+
+TEST(SchedulerRegistry, BareGpsAndDrrMeanTheEqualTwoClassSplit) {
+  SchedulerSpec out;
+  ASSERT_TRUE(parse_scheduler("gps", out));
+  EXPECT_EQ(out, SchedulerSpec::gps(1.0, 1.0));
+  ASSERT_TRUE(parse_scheduler("drr", out));
+  EXPECT_EQ(out, SchedulerSpec::drr(1.0, 1.0));
+  ASSERT_TRUE(parse_scheduler("sced", out));
+  EXPECT_EQ(out, SchedulerSpec::sced());
+}
+
+TEST(SchedulerRegistry, ListParseUsesMaximalMunchAcrossWeightCommas) {
+  std::vector<SchedulerSpec> specs;
+  ASSERT_TRUE(parse_scheduler_list("fifo,gps:1,2,edf", specs));
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0], SchedulerSpec::fifo());
+  EXPECT_EQ(specs[1], SchedulerSpec::gps(1.0, 2.0));
+  EXPECT_EQ(specs[2], SchedulerSpec::edf());
+
+  ASSERT_TRUE(parse_scheduler_list("gps,drr:4,2,1,sced", specs));
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0], SchedulerSpec::gps());
+  EXPECT_EQ(specs[1], SchedulerSpec::drr(ClassWeights::of({4.0, 2.0, 1.0})));
+  EXPECT_EQ(specs[2], SchedulerSpec::sced());
+
+  const std::vector<SchedulerSpec> before = specs;
+  EXPECT_FALSE(parse_scheduler_list("fifo,,bmux", specs));
+  EXPECT_FALSE(parse_scheduler_list("gps:1,nope", specs));
+  EXPECT_FALSE(parse_scheduler_list("", specs));
+  EXPECT_EQ(specs, before);  // rejects leave `out` untouched
 }
 
 TEST(SchedulerRegistry, DescriptionsNameTheFamily) {
@@ -185,18 +232,69 @@ TEST(SchedulerLowering, EdfWithoutAUnitIsAnError) {
                std::invalid_argument);
 }
 
-TEST(SchedulerLowering, GpsAndScfqAreExplicitlyNotLowerable) {
-  // GPS and SCFQ exist only at the simulator layer: their precedence
-  // horizon depends on the backlog process, so no constants Delta_{j,k}
-  // exist (they are not Delta-schedulers) and the reverse adapters
-  // refuse rather than guess.
-  sim::TandemConfig gps;
-  gps.discipline = sim::DisciplineKind::kGps;
-  EXPECT_THROW((void)sim::scheduler_spec_of(gps), std::invalid_argument);
+TEST(SchedulerLowering, GpsLowersToBothSimulatorsAndRaisesBack) {
+  // GPS is curve-backed, not a Delta-scheduler, but it *is* lowerable:
+  // the tandem simulator has a fluid GPS discipline and the event
+  // simulator approximates it with SCFQ.  Cross classes collapse onto
+  // one weight in the two-class simulators.
+  sim::TandemConfig config;
+  sim::lower_scheduler(SchedulerSpec::gps(3.0, 1.0), 1.0, config);
+  EXPECT_EQ(config.discipline, sim::DisciplineKind::kGps);
+  EXPECT_DOUBLE_EQ(config.gps_through_weight, 3.0);
+  EXPECT_DOUBLE_EQ(config.gps_cross_weight, 1.0);
+  EXPECT_EQ(sim::scheduler_spec_of(config), SchedulerSpec::gps(3.0, 1.0));
 
-  evsim::EvNetworkConfig scfq;
-  scfq.policy = evsim::PolicyKind::kScfq;
-  EXPECT_THROW((void)evsim::scheduler_spec_of(scfq), std::invalid_argument);
+  evsim::EvNetworkConfig ev;
+  evsim::lower_scheduler(SchedulerSpec::gps(ClassWeights::of({2.0, 1.0, 1.0})),
+                         1.0, ev);
+  EXPECT_EQ(ev.policy, evsim::PolicyKind::kScfq);
+  EXPECT_DOUBLE_EQ(ev.scfq_through_weight, 2.0);
+  EXPECT_DOUBLE_EQ(ev.scfq_cross_weight, 2.0);  // 1 + 1 collapsed
+  EXPECT_EQ(evsim::scheduler_spec_of(ev), SchedulerSpec::gps(2.0, 2.0));
+}
+
+TEST(SchedulerLowering, DrrAndScedHaveNoSimulationLowering) {
+  // Only the *simulation* lowering is missing for DRR/SCED; the error
+  // points at the analytic service-curve-provider path instead of
+  // claiming there is no analytic story.
+  sim::TandemConfig config;
+  evsim::EvNetworkConfig ev;
+  for (const SchedulerSpec& spec :
+       {SchedulerSpec::drr(), SchedulerSpec::sced()}) {
+    try {
+      sim::lower_scheduler(spec, 1.0, config);
+      FAIL() << "expected throw for " << to_string(spec);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("make_service_curve_provider"),
+                std::string::npos);
+    }
+    EXPECT_THROW(evsim::lower_scheduler(spec, 1.0, ev), std::invalid_argument);
+  }
+}
+
+TEST(SchedulerSpec, CurveBackedKindsRefuseTheDeltaObservers) {
+  for (const SchedulerSpec& spec :
+       {SchedulerSpec::gps(), SchedulerSpec::drr(), SchedulerSpec::sced()}) {
+    EXPECT_TRUE(spec.is_curve_backed()) << to_string(spec);
+    EXPECT_FALSE(spec.needs_fixed_point()) << to_string(spec);
+    EXPECT_FALSE(spec.static_delta().has_value()) << to_string(spec);
+    EXPECT_TRUE(std::isnan(spec.delta_term(1.0))) << to_string(spec);
+    EXPECT_THROW((void)spec.to_delta_matrix(2, 0), std::invalid_argument);
+  }
+  EXPECT_FALSE(SchedulerSpec::fifo().is_curve_backed());
+  EXPECT_FALSE(SchedulerSpec::edf().is_curve_backed());
+}
+
+TEST(SchedulerSpec, ClassWeightsClampInvalidListsToTheDefaultSplit) {
+  EXPECT_EQ(ClassWeights::of({2.0}), ClassWeights{});
+  EXPECT_EQ(ClassWeights::of({0.0, 1.0}), ClassWeights{});
+  EXPECT_EQ(ClassWeights::of({1.0, kInf}), ClassWeights{});
+  const ClassWeights w = ClassWeights::of({4.0, 2.0, 2.0});
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.through(), 4.0);
+  EXPECT_DOUBLE_EQ(w.total(), 8.0);
+  EXPECT_DOUBLE_EQ(w.cross_total(), 4.0);
+  EXPECT_DOUBLE_EQ(w.through_share(), 0.5);
 }
 
 }  // namespace

@@ -142,6 +142,33 @@ TEST(SelfCheck, DetectsMonotonicityViolation) {
   EXPECT_EQ(report.issues.front().check, "monotonicity");
 }
 
+TEST(SelfCheck, CurveBackedBatteryPasses) {
+  // GPS/DRR/SCED orderings + the isolation pair; all invariants hold on
+  // the real solver.
+  const SelfCheckReport report = self_check_curve_backed(quiet_options());
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+  EXPECT_GT(report.points, 0u);
+  EXPECT_GT(report.checks, report.points);
+}
+
+TEST(SelfCheck, CurveBackedPointsPassTheGenericChecks) {
+  // A mixed grid: curve-backed specs carry a NaN Delta by contract, and
+  // GPS isolation keeps bounds finite at overload -- the point checks
+  // must accept both, and the Delta-ordering check must skip the specs
+  // that have no Delta coordinate.
+  SweepGrid grid(ScenarioBuilder().through_flows(100).build());
+  grid.cross_utilization_axis({0.5, 0.9, 1.3})
+      .scheduler_axis(std::vector<sched::SchedulerSpec>{
+          sched::SchedulerSpec(sched::SchedulerKind::kFifo),
+          sched::SchedulerSpec::gps(3.0, 1.0), sched::SchedulerSpec::sced()});
+  const SelfCheckReport report = self_check(grid, quiet_options());
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+}
+
 TEST(SelfCheck, ReportsMergeWithPlusEquals) {
   SelfCheckReport a, b;
   a.points = 3;

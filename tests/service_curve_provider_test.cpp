@@ -1,0 +1,145 @@
+// The service-curve-provider lowering contract: Delta-backed specs must
+// reproduce Theorem 1 exactly, curve-backed specs must produce their
+// published rate-latency constructions (GPS arXiv:1804.08034, fluid DRR
+// arXiv:2503.23366, fluid SCED arXiv:1804.08040), and the factory must
+// cover every registered kind.
+#include "sched/service_curve_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "traffic/ebb.h"
+
+namespace deltanc::sched {
+namespace {
+
+std::vector<traffic::StatEnvelope> two_flow_envelopes() {
+  const traffic::EbbTraffic flow(1.0, 1.0, 0.5);
+  return {flow.sample_path_envelope(0.2), flow.sample_path_envelope(0.2)};
+}
+
+TEST(ServiceCurveProvider, DeltaBackedSpecsReproduceTheorem1) {
+  const std::vector<traffic::StatEnvelope> envelopes = two_flow_envelopes();
+  for (const SchedulerSpec& spec :
+       {SchedulerSpec(SchedulerKind::kFifo), SchedulerSpec(SchedulerKind::kBmux),
+        SchedulerSpec(SchedulerKind::kSpHigh),
+        SchedulerSpec::fixed_delta(2.5)}) {
+    const auto provider = make_service_curve_provider(spec);
+    ASSERT_NE(provider, nullptr);
+    // Delta-backed: no closed-form rate-latency pair (the leftover
+    // depends on the cross envelopes and theta).
+    EXPECT_FALSE(provider->rate_latency(10.0, ClassLoads{}).has_value())
+        << to_string(spec);
+
+    NodeContext context;
+    context.capacity = 10.0;
+    context.envelopes = envelopes;
+    context.flow = 0;
+    context.theta = 1.0;
+    const StatServiceCurve got = provider->leftover(context);
+    const StatServiceCurve want = theorem1_service_curve(
+        10.0, spec.to_delta_matrix(envelopes.size(), 0, 1.0), envelopes, 0,
+        1.0);
+    for (double t : {0.0, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+      EXPECT_EQ(got.s.eval(t), want.s.eval(t)) << to_string(spec) << " t=" << t;
+    }
+    ASSERT_EQ(got.eps.has_value(), want.eps.has_value());
+    if (got.eps.has_value()) {
+      EXPECT_EQ(got.eps->prefactor(), want.eps->prefactor());
+      EXPECT_EQ(got.eps->decay(), want.eps->decay());
+    }
+  }
+}
+
+TEST(ServiceCurveProvider, GpsIsTheWeightShareOfTheLink) {
+  const auto provider = make_service_curve_provider(SchedulerSpec::gps(3.0, 1.0));
+  const auto rl = provider->rate_latency(100.0, ClassLoads{});
+  ASSERT_TRUE(rl.has_value());
+  EXPECT_DOUBLE_EQ(rl->rate, 75.0);
+  EXPECT_EQ(rl->latency, 0.0);
+
+  // Multi-class: the through class is always index 0 of the weight list.
+  const auto three = make_service_curve_provider(
+      SchedulerSpec::gps(ClassWeights::of({1.0, 2.0, 1.0})));
+  const auto rl3 = three->rate_latency(100.0, ClassLoads{});
+  ASSERT_TRUE(rl3.has_value());
+  EXPECT_DOUBLE_EQ(rl3->rate, 25.0);
+  EXPECT_EQ(rl3->latency, 0.0);
+}
+
+TEST(ServiceCurveProvider, DrrAddsOneRoundOfCrossQuantaAsLatency) {
+  const auto provider = make_service_curve_provider(SchedulerSpec::drr(2.0, 1.0));
+  const auto rl = provider->rate_latency(100.0, ClassLoads{});
+  ASSERT_TRUE(rl.has_value());
+  EXPECT_DOUBLE_EQ(rl->rate, 100.0 * 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rl->latency, 1.0 / 100.0);
+
+  const auto three = make_service_curve_provider(
+      SchedulerSpec::drr(ClassWeights::of({2.0, 1.0, 1.0})));
+  const auto rl3 = three->rate_latency(100.0, ClassLoads{});
+  ASSERT_TRUE(rl3.has_value());
+  EXPECT_DOUBLE_EQ(rl3->rate, 50.0);
+  EXPECT_DOUBLE_EQ(rl3->latency, 2.0 / 100.0);
+}
+
+TEST(ServiceCurveProvider, ScedIsLoadProportionalAndFullLinkWhenIdle) {
+  const auto provider = make_service_curve_provider(SchedulerSpec::sced());
+  const auto rl = provider->rate_latency(100.0, ClassLoads{30.0, 70.0});
+  ASSERT_TRUE(rl.has_value());
+  EXPECT_DOUBLE_EQ(rl->rate, 30.0);
+  EXPECT_EQ(rl->latency, 0.0);
+
+  // Nothing competes: the whole link is the guarantee.
+  const auto idle = provider->rate_latency(100.0, ClassLoads{});
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_EQ(idle->rate, 100.0);
+
+  EXPECT_THROW((void)provider->rate_latency(100.0, ClassLoads{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ServiceCurveProvider, CurveBackedLeftoverIsTheDeterministicRateLatency) {
+  for (const SchedulerSpec& spec :
+       {SchedulerSpec::gps(3.0, 1.0), SchedulerSpec::drr(2.0, 1.0),
+        SchedulerSpec::sced()}) {
+    const auto provider = make_service_curve_provider(spec);
+    NodeContext context;
+    context.capacity = 100.0;
+    context.loads = ClassLoads{30.0, 70.0};
+    const StatServiceCurve curve = provider->leftover(context);
+    // Deterministic guarantee: no bounding function.
+    EXPECT_FALSE(curve.eps.has_value()) << to_string(spec);
+    const auto rl = provider->rate_latency(context.capacity, context.loads);
+    ASSERT_TRUE(rl.has_value());
+    for (double t : {0.0, 0.005, 0.02, 1.0, 10.0}) {
+      const double want = rl->rate * std::max(0.0, t - rl->latency);
+      EXPECT_DOUBLE_EQ(curve.s.eval(t), want) << to_string(spec) << " t=" << t;
+    }
+  }
+}
+
+TEST(ServiceCurveProvider, MalformedCapacityIsRejected) {
+  const auto provider = make_service_curve_provider(SchedulerSpec::gps(1.0, 1.0));
+  NodeContext context;
+  context.capacity = 0.0;
+  EXPECT_THROW((void)provider->leftover(context), std::invalid_argument);
+  EXPECT_THROW((void)provider->rate_latency(-5.0, ClassLoads{}),
+               std::invalid_argument);
+}
+
+TEST(ServiceCurveProvider, FactoryCoversEveryRegisteredKind) {
+  for (const SchedulerSpec& spec :
+       {SchedulerSpec(SchedulerKind::kFifo), SchedulerSpec(SchedulerKind::kBmux),
+        SchedulerSpec(SchedulerKind::kSpHigh),
+        SchedulerSpec(SchedulerKind::kEdf), SchedulerSpec::fixed_delta(1.0),
+        SchedulerSpec::gps(1.0, 1.0), SchedulerSpec::drr(1.0, 1.0),
+        SchedulerSpec::sced()}) {
+    EXPECT_NE(make_service_curve_provider(spec), nullptr) << to_string(spec);
+  }
+}
+
+}  // namespace
+}  // namespace deltanc::sched

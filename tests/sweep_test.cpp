@@ -129,6 +129,32 @@ TEST(SweepGridTest, DeltaAxisMakesExplicitFixedDeltaSchedulers) {
   EXPECT_EQ(grid.axis_spec(0).numeric.size(), 4u);
 }
 
+TEST(SweepGridTest, CurveBackedSchedulerAxisCarriesTheFullSpec) {
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.scheduler_axis(std::vector<sched::SchedulerSpec>{
+      sched::SchedulerSpec::gps(3.0, 1.0),
+      sched::SchedulerSpec::drr(2.0, 0.5), sched::SchedulerSpec::sced()});
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid.scenario_at(0).scheduler, sched::SchedulerSpec::gps(3.0, 1.0));
+  EXPECT_EQ(grid.scenario_at(1).scheduler,
+            sched::SchedulerSpec::drr(2.0, 0.5));
+  EXPECT_EQ(grid.scenario_at(2).scheduler, sched::SchedulerSpec::sced());
+
+  // And the runner solves them like any other point: finite bound, NaN
+  // Delta (curve-backed specs have no Delta coordinate).
+  SweepOptions options;
+  options.threads = 2;
+  const SweepReport report = SweepRunner(options).run(grid);
+  ASSERT_EQ(report.points.size(), 3u);
+  for (const SweepPoint& p : report.points) {
+    EXPECT_TRUE(p.ok) << p.error;
+    EXPECT_TRUE(std::isfinite(p.bound.delay_ms));
+    EXPECT_TRUE(std::isnan(p.bound.delta));
+  }
+}
+
 TEST(SweepRunnerTest, OneThreadAndEightThreadsAreBitIdentical) {
   const SweepGrid grid = small_grid();
   SweepOptions serial;

@@ -84,7 +84,12 @@ Self-check mode:
                          monotonicity in H/U/eps and Delta, endpoint
                          pinning of the delta axis, exact vs paper-K
                          agreement, finiteness) on the Fig. 2-4 grids,
-                         or on the --sweep grid when axes are given
+                         or on the --sweep grid when axes are given;
+                         with a curve-backed --scheduler (gps/drr/sced)
+                         runs the curve battery instead (share/quantum
+                         monotonicity, SP-high <= GPS, GPS <= DRR,
+                         sced == gps on symmetric loads, GPS isolation
+                         at overload)
 
 Batch service mode (JSONL on stdout, narration on stderr):
   --batch <file|->       answer one JSON solve request per input line
@@ -156,15 +161,16 @@ SweepAxisSpec parse_sweep_spec(const std::string& spec) {
   const std::string values = spec.substr(eq + 1);
 
   if (out.axis == "scheduler") {
+    // Weight lists reuse the comma ("gps:1,2"), so the value list cannot
+    // be split naively: parse_scheduler_list resolves the ambiguity by
+    // maximal munch (each name claims the longest run that parses).
+    if (!sched::parse_scheduler_list(values, out.schedulers)) {
+      usage_error("bad scheduler list '" + values + "' in --sweep");
+    }
     bool kinds_only = true;
-    for (const std::string& name : split(values, ',')) {
-      sched::SchedulerSpec s;
-      if (!scheduler_from_name(name, s)) {
-        usage_error("unknown scheduler '" + name + "' in --sweep");
-      }
-      out.schedulers.push_back(s);
+    for (const sched::SchedulerSpec& s : out.schedulers) {
       sched::SchedulerKind k{};
-      kinds_only = kinds_only && scheduler_from_name(name, k);
+      kinds_only = kinds_only && scheduler_from_name(sched::to_string(s), k);
       if (kinds_only) out.scheduler_kinds.push_back(k);
     }
     if (!kinds_only) out.scheduler_kinds.clear();
@@ -523,6 +529,10 @@ int main(int argc, char** argv) {
       for (const SweepAxisSpec& spec : sweep_axes) apply_axis(grid, spec);
       std::printf("self-check: sweep grid, %zu scenarios\n", grid.size());
       report = self_check(grid, options);
+    } else if (scenario.scheduler.is_curve_backed()) {
+      std::printf("self-check: curve-backed scheduler battery "
+                  "(GPS/DRR/SCED orderings + isolation)\n");
+      report = self_check_curve_backed(options);
     } else {
       std::printf("self-check: Fig. 2-4 operating grids\n");
       report = self_check_figures(options);
@@ -611,9 +621,17 @@ int main(int argc, char** argv) {
                     : bound.diagnostics.message.c_str());
     return 1;
   }
-  std::printf("end-to-end delay bound: %.3f ms  "
-              "(gamma = %.4f, s = %.4f, Delta = %g)\n",
-              bound.delay_ms, bound.gamma, bound.s, bound.delta);
+  if (scenario.scheduler.is_curve_backed()) {
+    // Curve-backed schedulers have no Delta coordinate (bound.delta is
+    // NaN by contract).
+    std::printf("end-to-end delay bound: %.3f ms  "
+                "(gamma = %.4f, s = %.4f, Delta = n/a)\n",
+                bound.delay_ms, bound.gamma, bound.s);
+  } else {
+    std::printf("end-to-end delay bound: %.3f ms  "
+                "(gamma = %.4f, s = %.4f, Delta = %g)\n",
+                bound.delay_ms, bound.gamma, bound.s, bound.delta);
+  }
   print_warnings(bound, stderr);
   if (want_stats) print_stats(bound.stats, stderr);
 
