@@ -108,7 +108,8 @@ echo "stream discipline: OK"
 # (comments excepted) hard-coding them bypasses the single source of
 # truth and will drift from the parser/codec/CLI vocabulary.
 name_hits=$(grep -rn --include='*.cpp' --include='*.h' -E '"(fifo|bmux|sp-high|gps|drr|sced)"' \
-  src tools | grep -v 'sched/scheduler_spec\.' | grep -vE ':[0-9]+: *//' || true)
+  src tools include bench examples \
+  | grep -v 'sched/scheduler_spec\.' | grep -vE ':[0-9]+: *//' || true)
 if [ -n "$name_hits" ]; then
   echo "FAIL: scheduler name literals outside the registry:"
   echo "$name_hits"; exit 1
@@ -151,9 +152,14 @@ echo "delta axis endpoint gate: OK"
 
 # Curve-backed scheduler battery (GPS/DRR/SCED): share/quantum
 # monotonicity, GPS(1,1) below the per-hop SP-high analysis, GPS below
-# DRR at the same split, sced == gps on symmetric loads, and GPS
-# isolation (finite bound at total overload while BMUX diverges).
+# DRR at the same split, sced == gps on symmetric loads, GPS isolation
+# (finite bound at total overload while BMUX diverges), and the
+# simulation cross-check (slot-level quantiles under the bounds).  Every
+# curve-backed spelling must select the battery and exit 0 -- drr and
+# sced once had no simulation lowering and threw here.
 ./build/tools/deltanc_cli --scheduler gps:1,1 --selfcheck
+./build/tools/deltanc_cli --scheduler drr:1,1 --selfcheck > /dev/null
+./build/tools/deltanc_cli --scheduler sced --selfcheck > /dev/null
 
 # A curve-backed spec must ride the sweep/CSV stack like any other
 # scheduler name, including weight lists whose commas overlap the value
@@ -173,6 +179,21 @@ fi
 grep -q "capacity" /tmp/deltanc_invalid_err
 grep -q "hops" /tmp/deltanc_invalid_err
 rm -f /tmp/deltanc_invalid_err
+
+# Numeric flags use the strict locale-independent grammar: the lenient
+# strtod path silently read "--capacity 0x50" as 80 -- it must be a
+# usage error (exit 2) now, as must a whitespace-padded weight.
+set +e
+./build/tools/deltanc_cli --capacity 0x50 2>/dev/null
+hex_rc=$?
+./build/tools/deltanc_cli --scheduler 'gps: 2,1' 2>/dev/null
+ws_rc=$?
+set -e
+if [ "$hex_rc" -ne 2 ] || [ "$ws_rc" -ne 2 ]; then
+  echo "FAIL: lenient numeric parse accepted (hex rc=$hex_rc, ws rc=$ws_rc, want 2)"
+  exit 1
+fi
+echo "strict numeric grammar gate: OK"
 
 # --- Solver instrumentation guards ----------------------------------------
 # Smoke the Fig. 2 sweep benchmark in a short config (the full bench loop

@@ -7,6 +7,7 @@
 #include <map>
 #include <utility>
 
+#include "core/analyzer.h"
 #include "core/scenario.h"
 
 namespace deltanc {
@@ -595,6 +596,36 @@ SelfCheckReport self_check_curve_backed(const SelfCheckOptions& options) {
                       "BMUX bound " + fmt(bmux.bound.delay_ms) +
                           " ms finite despite total utilization >= 1 for " +
                           describe(bmux.scenario));
+      }
+    }
+  }
+
+  // Simulation cross-check: the slot-level simulator runs the *actual*
+  // disciplines (deficit counters for DRR, deadline curves for SCED),
+  // so its empirical delay quantiles must stay below the analytic
+  // bounds.  Skipped when a test injects a custom solver -- injected
+  // bounds have no relation to the simulated network.
+  if (!options.solver) {
+    constexpr std::int64_t kSimSlots = 40000;
+    for (const SchedulerSpec& spec :
+         {SchedulerSpec::gps(1.0, 1.0), SchedulerSpec::drr(1.0, 1.0),
+          SchedulerSpec::sced()}) {
+      e2e::Scenario sc = ScenarioBuilder()
+                             .hops(2)
+                             .through_utilization(0.25)
+                             .cross_utilization(0.25)
+                             .violation_probability(1e-9)
+                             .build();
+      sc.scheduler = spec;
+      const ValidationReport v = PathAnalyzer(sc).validate(kSimSlots, 42);
+      ++checker.report.points;
+      ++checker.report.checks;
+      if (!v.bound_holds) {
+        checker.issue("simulation",
+                      "simulated " + fmt(100.0 * (1.0 - v.epsilon_sim)) +
+                          "% delay quantile " + fmt(v.empirical_quantile) +
+                          " ms exceeds the analytic bound " +
+                          fmt(v.bound.delay_ms) + " ms for " + describe(sc));
       }
     }
   }

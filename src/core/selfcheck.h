@@ -125,7 +125,11 @@ struct SelfCheckReport {
 ///     == equal-weight sharing when the loads are equal);
 ///   - GPS isolation: at total utilization >= 1 a gps(3,1) through
 ///     class with guaranteed rate above its load keeps a finite bound
-///     while BMUX diverges.
+///     while BMUX diverges;
+///   - simulation cross-check: the slot-level simulator (which runs the
+///     actual deficit-counter / deadline-curve disciplines) must keep
+///     its empirical delay quantiles below the analytic bounds for
+///     gps(1,1), drr(1,1), and sced on a symmetric two-hop scenario.
 [[nodiscard]] SelfCheckReport self_check_curve_backed(
     const SelfCheckOptions& options = {});
 

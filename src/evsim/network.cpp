@@ -28,7 +28,20 @@ std::unique_ptr<Policy> make_policy(const EvNetworkConfig& c) {
       return make_edf_policy(
           {c.edf_through_deadline_ms, c.edf_cross_deadline_ms});
     case PolicyKind::kScfq:
-      return make_scfq_policy({c.scfq_through_weight, c.scfq_cross_weight});
+      return make_scfq_policy({c.class_weights.through(),
+                               c.class_weights.cross_total()});
+    case PolicyKind::kDrr:
+      // The DRR guarantee depends only on Q_0 and the sum, so the cross
+      // quanta collapse onto their sum (mirrors sim::make_discipline).
+      return make_drr_policy({c.class_weights.through(),
+                              c.class_weights.cross_total()});
+    case PolicyKind::kSced: {
+      // Load-proportional rate split from the configured flow counts,
+      // the same rule sched::ScedProvider applies analytically.
+      const double total = static_cast<double>(c.n_through + c.n_cross);
+      return make_sced_policy({c.capacity_kb_per_ms * c.n_through / total,
+                               c.capacity_kb_per_ms * c.n_cross / total});
+    }
   }
   throw std::invalid_argument("run_event_network: unknown policy");
 }
@@ -73,22 +86,21 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
       return;
     }
     case sched::SchedulerKind::kGps:
-      // SCFQ is the packetized approximation of GPS this simulator has;
-      // the cross classes collapse onto one weight.
+      // SCFQ is the packetized approximation of GPS this simulator has.
+      // The full weight list is kept; make_policy collapses the cross
+      // classes onto one weight for the two-class simulation.
       cfg.policy = PolicyKind::kScfq;
-      cfg.scfq_through_weight = spec.weights().through();
-      cfg.scfq_cross_weight = spec.weights().cross_total();
+      cfg.class_weights = spec.weights();
       return;
     case sched::SchedulerKind::kDrr:
+      cfg.policy = PolicyKind::kDrr;
+      cfg.class_weights = spec.weights();
+      return;
     case sched::SchedulerKind::kSced:
-      // Analytic bounds exist (sched::make_service_curve_provider lowers
-      // these to their published leftover curves); only the event-level
-      // *simulation* lowering is missing here.
-      throw std::invalid_argument(
-          "lower_scheduler: no event-simulation policy implements '" +
-          std::string(sched::scheduler_kind_name(spec.kind())) +
-          "'; its analytic lowering lives in "
-          "sched::make_service_curve_provider");
+      // Parameterless: the policy derives its load-proportional rates
+      // from the configured flow counts and capacity.
+      cfg.policy = PolicyKind::kSced;
+      return;
   }
   throw std::invalid_argument("lower_scheduler: unknown scheduler kind");
 }
@@ -106,9 +118,12 @@ sched::SchedulerSpec scheduler_spec_of(const EvNetworkConfig& cfg) {
                                                cfg.edf_cross_deadline_ms);
     case PolicyKind::kScfq:
       // SCFQ approximates GPS; it raises to the curve-backed GPS spec
-      // carrying the configured weights.
-      return sched::SchedulerSpec::gps(cfg.scfq_through_weight,
-                                       cfg.scfq_cross_weight);
+      // carrying the full configured weights (lossless round-trip).
+      return sched::SchedulerSpec::gps(cfg.class_weights);
+    case PolicyKind::kDrr:
+      return sched::SchedulerSpec::drr(cfg.class_weights);
+    case PolicyKind::kSced:
+      return sched::SchedulerSpec::sced();
   }
   throw std::invalid_argument("scheduler_spec_of: unknown policy");
 }

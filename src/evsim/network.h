@@ -19,7 +19,9 @@ enum class PolicyKind {
   kSpThroughLow,
   kSpThroughHigh,
   kEdf,
-  kScfq,
+  kScfq,  ///< packetized GPS (class_weights as SCFQ weights)
+  kDrr,   ///< deficit round robin (class_weights as quanta, kb)
+  kSced,  ///< deadline curves, rates split by the offered load
 };
 
 struct EvNetworkConfig {
@@ -32,8 +34,11 @@ struct EvNetworkConfig {
   PolicyKind policy = PolicyKind::kFifo;
   double edf_through_deadline_ms = 10.0;
   double edf_cross_deadline_ms = 100.0;
-  double scfq_through_weight = 1.0;
-  double scfq_cross_weight = 1.0;
+  /// SCFQ/GPS weights phi_i / DRR quanta Q_i (kb), class 0 = through.
+  /// The two-class simulation collapses the cross classes onto
+  /// (through(), cross_total()); the full list is kept so
+  /// scheduler_spec_of() raises losslessly.
+  sched::ClassWeights class_weights{};
   std::int64_t slots = 100000;
   std::int64_t warmup_slots = 1000;
   std::uint64_t seed = 1;
@@ -53,8 +58,12 @@ struct EvNetworkResult {
 /// simulate `spec`.  Mirrors sim::lower_scheduler: kEdf deadlines
 /// resolve as factor * edf_unit (ms), a finite non-zero fixed-Delta spec
 /// lowers to per-class EDF deadlines differing by exactly the offset,
-/// and Delta = 0 / +inf / -inf lower to FIFO / SP-low / SP-high.  SCFQ
-/// is never produced: like GPS it is not a Delta-scheduler.
+/// and Delta = 0 / +inf / -inf lower to FIFO / SP-low / SP-high.  The
+/// curve-backed kinds lower to their packetized counterparts: GPS to
+/// SCFQ, DRR to the deficit-round-robin policy (weights/quanta into
+/// class_weights), and SCED to the deadline-curve policy (parameterless;
+/// rates split by the configured flow counts).  Every registered
+/// scheduler name is accepted.
 /// @throws std::invalid_argument for kEdf without a positive finite
 /// edf_unit.
 void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
@@ -63,7 +72,8 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
 /// The analytic identity of `cfg`'s policy (inverse adapter).  EDF
 /// raises to a fixed-Delta spec carrying the deadline difference.  SCFQ
 /// approximates GPS and raises to the curve-backed SchedulerSpec::gps
-/// with the configured weights (see sched/service_curve_provider.h).
+/// with the full configured class_weights; DRR and SCED raise to their
+/// own curve-backed specs (see sched/service_curve_provider.h).
 [[nodiscard]] sched::SchedulerSpec scheduler_spec_of(
     const EvNetworkConfig& cfg);
 

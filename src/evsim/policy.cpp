@@ -1,5 +1,6 @@
 #include "evsim/policy.h"
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <queue>
@@ -163,6 +164,143 @@ class ScfqPolicy final : public Policy {
   double backlog_ = 0.0;
 };
 
+/// Deficit round robin, packetized: the classic Shreedhar-Varghese
+/// algorithm.  A grant is one whole packet; the deficit carries across
+/// rounds while the class stays backlogged.
+class DrrPolicy final : public Policy {
+ public:
+  explicit DrrPolicy(std::vector<double> quanta)
+      : quanta_(std::move(quanta)),
+        queues_(quanta_.size()),
+        deficit_(quanta_.size(), 0.0),
+        charged_(quanta_.size(), false) {
+    if (quanta_.empty()) {
+      throw std::invalid_argument("drr policy: need quanta");
+    }
+    for (double q : quanta_) {
+      if (!(q > 0.0)) {
+        throw std::invalid_argument("drr policy: quanta must be > 0");
+      }
+    }
+  }
+
+  void enqueue(Packet packet) override {
+    if (packet.flow < 0 ||
+        packet.flow >= static_cast<int>(queues_.size())) {
+      throw std::out_of_range("drr policy: unknown flow");
+    }
+    backlog_ += packet.size_kb;
+    queues_[static_cast<std::size_t>(packet.flow)].push_back(packet);
+  }
+
+  std::optional<Packet> dequeue() override {
+    if (empty()) return std::nullopt;
+    // Terminates: some class is backlogged, and every full lap of the
+    // cursor grows each backlogged class's deficit by its quantum, so
+    // eventually a head packet fits.
+    for (;;) {
+      auto& queue = queues_[cursor_];
+      if (queue.empty()) {
+        deficit_[cursor_] = 0.0;
+        charged_[cursor_] = false;
+        advance();
+        continue;
+      }
+      if (!charged_[cursor_]) {
+        deficit_[cursor_] += quanta_[cursor_];
+        charged_[cursor_] = true;
+      }
+      if (queue.front().size_kb <= deficit_[cursor_]) {
+        Packet p = queue.front();
+        queue.pop_front();
+        deficit_[cursor_] -= p.size_kb;
+        backlog_ -= p.size_kb;
+        if (queue.empty()) {
+          deficit_[cursor_] = 0.0;  // forfeited on emptying
+          charged_[cursor_] = false;
+          advance();
+        }
+        return p;
+      }
+      charged_[cursor_] = false;  // head does not fit; visit over
+      advance();
+    }
+  }
+
+  [[nodiscard]] bool empty() const override {
+    for (const auto& queue : queues_) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] double backlog_kb() const override { return backlog_; }
+
+ private:
+  void advance() noexcept { cursor_ = (cursor_ + 1) % queues_.size(); }
+
+  std::vector<double> quanta_;
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<double> deficit_;
+  std::vector<bool> charged_;
+  std::size_t cursor_ = 0;
+  double backlog_ = 0.0;
+};
+
+/// SCED: per-class virtual server of rate rate_[f]; a packet of flow f
+/// gets tag max(F_f, arrival) + L / rate_f and the earliest tag wins.
+class ScedPolicy final : public Policy {
+ public:
+  explicit ScedPolicy(std::vector<double> rates)
+      : rates_(std::move(rates)), finish_(rates_.size(), 0.0) {
+    if (rates_.empty()) {
+      throw std::invalid_argument("sced policy: need rates");
+    }
+    for (double r : rates_) {
+      if (!(r >= 0.0)) {
+        throw std::invalid_argument("sced policy: rates must be >= 0");
+      }
+    }
+  }
+
+  void enqueue(Packet packet) override {
+    if (packet.flow < 0 ||
+        packet.flow >= static_cast<int>(rates_.size())) {
+      throw std::out_of_range("sced policy: unknown flow");
+    }
+    const auto f = static_cast<std::size_t>(packet.flow);
+    if (!(rates_[f] > 0.0)) {
+      throw std::invalid_argument(
+          "sced policy: arrival on a class with no guaranteed rate");
+    }
+    finish_[f] = std::max(finish_[f], packet.node_arrival) +
+                 packet.size_kb / rates_[f];
+    packet.tag = finish_[f];
+    backlog_ += packet.size_kb;
+    heap_.push(packet);
+  }
+  std::optional<Packet> dequeue() override {
+    if (heap_.empty()) return std::nullopt;
+    Packet p = heap_.top();
+    heap_.pop();
+    backlog_ -= p.size_kb;
+    return p;
+  }
+  [[nodiscard]] bool empty() const override { return heap_.empty(); }
+  [[nodiscard]] double backlog_kb() const override { return backlog_; }
+
+ private:
+  struct Later {
+    bool operator()(const Packet& a, const Packet& b) const noexcept {
+      if (a.tag != b.tag) return a.tag > b.tag;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<double> rates_;
+  std::vector<double> finish_;
+  std::priority_queue<Packet, std::vector<Packet>, Later> heap_;
+  double backlog_ = 0.0;
+};
+
 }  // namespace
 
 std::unique_ptr<Policy> make_fifo_policy() {
@@ -179,6 +317,14 @@ std::unique_ptr<Policy> make_edf_policy(std::vector<double> deadline) {
 
 std::unique_ptr<Policy> make_scfq_policy(std::vector<double> weights) {
   return std::make_unique<ScfqPolicy>(std::move(weights));
+}
+
+std::unique_ptr<Policy> make_drr_policy(std::vector<double> quanta) {
+  return std::make_unique<DrrPolicy>(std::move(quanta));
+}
+
+std::unique_ptr<Policy> make_sced_policy(std::vector<double> rates) {
+  return std::make_unique<ScedPolicy>(std::move(rates));
 }
 
 }  // namespace deltanc::evsim

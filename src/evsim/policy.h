@@ -10,7 +10,12 @@
 //            higher priorities for up to L/C -- priority inversion);
 //   EDF   -- earliest deadline (deadline = node arrival + d*_flow);
 //   SCFQ  -- self-clocked fair queueing (Golestani), the standard
-//            packetized approximation of GPS via virtual finish tags.
+//            packetized approximation of GPS via virtual finish tags;
+//   DRR   -- deficit round robin (Shreedhar & Varghese): per-class
+//            quanta and deficit counters, one whole packet per grant;
+//   SCED  -- deadline-curve scheduling (arXiv:1804.08040): a per-class
+//            virtual server of rate R_f stamps each packet's deadline,
+//            and the earliest deadline transmits next.
 #pragma once
 
 #include <cstdint>
@@ -57,5 +62,21 @@ class Policy {
 /// Self-clocked fair queueing with per-class weights.
 [[nodiscard]] std::unique_ptr<Policy> make_scfq_policy(
     std::vector<double> weights);
+
+/// Deficit round robin with per-class quanta (kb).  dequeue() walks the
+/// round-robin order, charging each backlogged class's quantum once per
+/// visit, until some class's deficit covers its head packet; quanta
+/// smaller than a packet simply take several rounds to accumulate.  The
+/// deficit of a class that drains empty is forfeited.
+[[nodiscard]] std::unique_ptr<Policy> make_drr_policy(
+    std::vector<double> quanta);
+
+/// SCED with rate service curves: flow f's packets get the deadline
+/// max(F_f, node_arrival) + size / rate_f (F_f = the class's virtual
+/// finish time, rates in kb/ms) and transmit earliest-deadline-first.
+/// A zero rate is allowed only for classes that never receive traffic
+/// (enqueue throws otherwise).
+[[nodiscard]] std::unique_ptr<Policy> make_sced_policy(
+    std::vector<double> rates);
 
 }  // namespace deltanc::evsim

@@ -1,9 +1,10 @@
 #include "io/codec.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
+#include <string_view>
 
 namespace deltanc::io {
 
@@ -53,9 +54,23 @@ double decode_double(const Value& v) {
   if (v.is_string()) {
     const std::string& s = v.as_string();
     if (s.empty()) throw CodecError("codec: empty string where double expected");
-    char* end = nullptr;
-    const double parsed = std::strtod(s.c_str(), &end);
-    if (end == s.c_str() + s.size()) return parsed;  // covers inf/-inf/nan/hex
+    // Locale-independent (std::from_chars): decimal, inf/-inf/nan...
+    double parsed = 0.0;
+    if (sched::parse_strict_double(s, parsed)) return parsed;
+    // ...plus C99 hexfloat ("0x1.6p+4"), so hand-written goldens keep
+    // decoding.  from_chars hex format takes no 0x prefix of its own.
+    std::string_view body = s;
+    const bool negative = body.front() == '-';
+    if (negative) body.remove_prefix(1);
+    if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+      body.remove_prefix(2);
+      const auto [ptr, ec] = std::from_chars(
+          body.data(), body.data() + body.size(), parsed,
+          std::chars_format::hex);
+      if (ec == std::errc{} && ptr == body.data() + body.size()) {
+        return negative ? -parsed : parsed;
+      }
+    }
     throw CodecError("codec: unparseable double \"" + s + "\"");
   }
   throw CodecError("codec: expected a number or numeric string, got " +

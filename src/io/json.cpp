@@ -1,8 +1,8 @@
 #include "io/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 namespace deltanc::io::json {
 
@@ -223,10 +223,17 @@ class Parser {
                       peek() == '-')) {
       take();
     }
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("invalid number");
+    // std::from_chars never consults the C locale's decimal point, so
+    // documents parse identically under any LC_NUMERIC setting.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        token.data(), token.data() + token.size(), v,
+        std::chars_format::general);
+    if (ec == std::errc::result_out_of_range) fail("number out of double range");
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail("invalid number");
+    }
     if (!std::isfinite(v)) fail("number out of double range");
     return Value::number(v);
   }

@@ -1,8 +1,8 @@
 #include "sched/scheduler_spec.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -61,11 +61,9 @@ bool parse_weights(std::string_view text, ClassWeights& out) {
   while (!text.empty()) {
     if (w.count == ClassWeights::kMaxClasses) return false;
     const std::size_t comma = text.find(',');
-    const std::string token(text.substr(0, comma));
-    if (token.empty()) return false;
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() || *end != '\0') return false;
+    const std::string_view token = text.substr(0, comma);
+    double v = 0.0;
+    if (!parse_strict_double(token, v)) return false;
     if (!(v > 0.0) || !std::isfinite(v)) return false;
     w.values[w.count++] = v;
     if (comma == std::string_view::npos) break;
@@ -78,6 +76,21 @@ bool parse_weights(std::string_view text, ClassWeights& out) {
 }
 
 }  // namespace
+
+bool parse_strict_double(std::string_view text, double& out) noexcept {
+  if (text.empty()) return false;
+  double v = 0.0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  // std::chars_format::general already rejects leading whitespace and
+  // '+', and stops at the 'x' of a hexfloat token; requiring the whole
+  // input to be consumed turns both into hard parse failures.
+  const auto [ptr, ec] = std::from_chars(first, last, v,
+                                         std::chars_format::general);
+  if (ec != std::errc{} || ptr != last) return false;
+  out = v;
+  return true;
+}
 
 std::optional<double> SchedulerSpec::static_delta() const noexcept {
   switch (kind()) {
@@ -214,10 +227,8 @@ bool parse_scheduler(std::string_view text, SchedulerSpec& out) {
   const std::string_view args = text.substr(colon + 1);
   switch (kind) {
     case SchedulerKind::kDelta: {
-      const std::string value(args);
-      char* end = nullptr;
-      const double v = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0' || v != v) return false;
+      double v = 0.0;
+      if (!parse_strict_double(args, v) || v != v) return false;
       out = SchedulerSpec::fixed_delta(v);
       return true;
     }

@@ -318,6 +318,16 @@ class SchedulerSpec {
 /// set them afterwards.
 [[nodiscard]] bool parse_scheduler(std::string_view text, SchedulerSpec& out);
 
+/// Locale-independent strict double parse (std::from_chars), the same
+/// grammar the JSON layer emits: an optional '-', decimal digits with an
+/// optional fraction and exponent, or the words "inf" / "-inf" / "nan".
+/// Rejects everything std::strtod would silently tolerate on top of
+/// that -- leading whitespace, a '+' sign, hexfloat ("0x2"), trailing
+/// garbage -- and never consults the C locale's decimal point.  Returns
+/// false (leaving `out` untouched) on any rejected form.
+[[nodiscard]] bool parse_strict_double(std::string_view text,
+                                       double& out) noexcept;
+
 /// Parses a comma-separated list of scheduler names into specs.  Because
 /// "gps:1,2" itself contains commas, tokens are joined by maximal munch:
 /// at each position the longest comma-joined run of tokens that

@@ -235,6 +235,168 @@ class GpsDiscipline final : public Discipline {
   double backlog_ = 0.0;
 };
 
+/// Deficit round robin: per-class deques, persistent deficit counters,
+/// and a round-robin cursor.  The charged_ flag makes the quantum a
+/// once-per-visit grant even when a visit spans several serve() calls.
+class DrrDiscipline final : public Discipline {
+ public:
+  explicit DrrDiscipline(std::vector<double> quanta)
+      : quanta_(std::move(quanta)),
+        queues_(quanta_.size()),
+        deficit_(quanta_.size(), 0.0),
+        charged_(quanta_.size(), false) {
+    if (quanta_.empty()) {
+      throw std::invalid_argument("drr: need flow quanta");
+    }
+    for (double q : quanta_) {
+      if (!(q > 0.0)) throw std::invalid_argument("drr: quanta must be > 0");
+    }
+  }
+
+  void enqueue(Chunk chunk) override {
+    if (chunk.flow < 0 || chunk.flow >= static_cast<int>(queues_.size())) {
+      throw std::out_of_range("drr: unknown flow class");
+    }
+    backlog_ += chunk.size_kb;
+    queues_[static_cast<std::size_t>(chunk.flow)].push_back(chunk);
+  }
+
+  double serve(double budget, std::vector<Chunk>* completed) override {
+    double served = 0.0;
+    // Guards against sub-epsilon quanta that could never drain anything:
+    // a full cursor lap with no service ends the slot.
+    std::size_t idle_visits = 0;
+    while (budget > kSizeEps && backlog_ > kSizeEps &&
+           idle_visits <= queues_.size()) {
+      auto& queue = queues_[cursor_];
+      if (queue.empty()) {
+        // An empty class holds no deficit and no pending charge.
+        deficit_[cursor_] = 0.0;
+        charged_[cursor_] = false;
+        advance();
+        ++idle_visits;
+        continue;
+      }
+      if (!charged_[cursor_]) {
+        deficit_[cursor_] += quanta_[cursor_];
+        charged_[cursor_] = true;
+      }
+      const double drained =
+          drain_class(cursor_, std::min(budget, deficit_[cursor_]), completed);
+      deficit_[cursor_] -= drained;
+      budget -= drained;
+      served += drained;
+      idle_visits = drained > kSizeEps ? 0 : idle_visits + 1;
+      if (queue.empty()) {
+        deficit_[cursor_] = 0.0;  // deficit does not survive an empty queue
+        charged_[cursor_] = false;
+        advance();
+      } else if (budget <= kSizeEps) {
+        break;  // mid-visit budget exhaustion: resume here, still charged
+      } else {
+        charged_[cursor_] = false;  // deficit spent; the visit is over
+        advance();
+      }
+    }
+    return served;
+  }
+
+  [[nodiscard]] double backlog() const override { return backlog_; }
+
+ private:
+  void advance() noexcept { cursor_ = (cursor_ + 1) % queues_.size(); }
+
+  double drain_class(std::size_t f, double amount,
+                     std::vector<Chunk>* completed) {
+    double drained = 0.0;
+    auto& queue = queues_[f];
+    while (amount > kSizeEps && !queue.empty()) {
+      Chunk& head = queue.front();
+      const double step = std::min(amount, head.size_kb);
+      head.size_kb -= step;
+      amount -= step;
+      drained += step;
+      backlog_ -= step;
+      if (head.size_kb <= kSizeEps) {
+        completed->push_back(head);
+        queue.pop_front();
+      }
+    }
+    return drained;
+  }
+
+  std::vector<double> quanta_;
+  std::vector<std::deque<Chunk>> queues_;
+  std::vector<double> deficit_;
+  std::vector<bool> charged_;
+  std::size_t cursor_ = 0;
+  double backlog_ = 0.0;
+};
+
+/// SCED: a per-class virtual server of rate rate_[f] stamps deadlines
+/// (max(F_f, arrival) + size / rate), then EDF on the stamps.
+class ScedDiscipline final : public Discipline {
+ public:
+  explicit ScedDiscipline(std::vector<double> rates)
+      : rates_(std::move(rates)), finish_(rates_.size(), 0.0) {
+    if (rates_.empty()) {
+      throw std::invalid_argument("sced: need flow rates");
+    }
+    for (double r : rates_) {
+      if (!(r >= 0.0)) throw std::invalid_argument("sced: rates must be >= 0");
+    }
+  }
+
+  void enqueue(Chunk chunk) override {
+    if (chunk.flow < 0 || chunk.flow >= static_cast<int>(rates_.size())) {
+      throw std::out_of_range("sced: unknown flow class");
+    }
+    const auto f = static_cast<std::size_t>(chunk.flow);
+    if (!(rates_[f] > 0.0)) {
+      throw std::invalid_argument(
+          "sced: arrival on a class with no guaranteed rate");
+    }
+    finish_[f] = std::max(finish_[f], static_cast<double>(chunk.arrival_slot)) +
+                 chunk.size_kb / rates_[f];
+    chunk.deadline = finish_[f];
+    backlog_ += chunk.size_kb;
+    heap_.push(chunk);
+  }
+
+  double serve(double budget, std::vector<Chunk>* completed) override {
+    double served = 0.0;
+    while (budget > kSizeEps && !heap_.empty()) {
+      Chunk head = heap_.top();
+      heap_.pop();
+      const double amount = std::min(budget, head.size_kb);
+      head.size_kb -= amount;
+      budget -= amount;
+      served += amount;
+      backlog_ -= amount;
+      if (head.size_kb <= kSizeEps) {
+        completed->push_back(head);
+      } else {
+        heap_.push(head);  // partially served head keeps its deadline
+      }
+    }
+    return served;
+  }
+
+  [[nodiscard]] double backlog() const override { return backlog_; }
+
+ private:
+  struct Later {
+    bool operator()(const Chunk& a, const Chunk& b) const noexcept {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;  // FIFO among equal deadlines
+    }
+  };
+  std::vector<double> rates_;
+  std::vector<double> finish_;
+  std::priority_queue<Chunk, std::vector<Chunk>, Later> heap_;
+  double backlog_ = 0.0;
+};
+
 }  // namespace
 
 std::unique_ptr<Discipline> make_fifo() {
@@ -252,6 +414,14 @@ std::unique_ptr<Discipline> make_edf(std::vector<double> flow_deadline) {
 
 std::unique_ptr<Discipline> make_gps(std::vector<double> weights) {
   return std::make_unique<GpsDiscipline>(std::move(weights));
+}
+
+std::unique_ptr<Discipline> make_drr(std::vector<double> quanta) {
+  return std::make_unique<DrrDiscipline>(std::move(quanta));
+}
+
+std::unique_ptr<Discipline> make_sced(std::vector<double> rates) {
+  return std::make_unique<ScedDiscipline>(std::move(rates));
 }
 
 }  // namespace deltanc::sim

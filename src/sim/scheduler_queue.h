@@ -12,6 +12,13 @@
 //            as the paper's counterexample: its precedence structure
 //            depends on the random backlog, so it is NOT a
 //            Delta-scheduler (Section III).
+//   DRR   -- deficit round robin (Shreedhar & Varghese): per-class
+//            quanta and deficit counters, visited in round-robin order.
+//            Like GPS it conditions on the backlog, so it is curve-backed
+//            (sched/service_curve_provider.h), not a Delta-scheduler.
+//   SCED  -- deadline-curve scheduling (arXiv:1804.08040): each class
+//            runs a virtual server of rate R_f that stamps a deadline,
+//            and chunks are served earliest-deadline-first.
 #pragma once
 
 #include <cstdint>
@@ -69,5 +76,21 @@ class Discipline {
 /// within each slot).
 [[nodiscard]] std::unique_ptr<Discipline> make_gps(
     std::vector<double> weights);
+
+/// Deficit round robin with per-class quanta (kb).  Each round-robin
+/// visit to a backlogged class charges its quantum onto a deficit
+/// counter and serves at most that much; a visit interrupted by budget
+/// exhaustion resumes next slot without re-charging, and the deficit of
+/// a class that drains empty is forfeited (Shreedhar & Varghese).
+[[nodiscard]] std::unique_ptr<Discipline> make_drr(
+    std::vector<double> quanta);
+
+/// SCED with rate service curves: class f's chunks are stamped with the
+/// deadline max(F_f, arrival) + size / rate_f, where F_f is the class's
+/// virtual finish time, and served earliest-deadline-first.  Rates are
+/// in kb per slot; a zero rate is allowed only for classes that never
+/// receive traffic (enqueue throws otherwise).
+[[nodiscard]] std::unique_ptr<Discipline> make_sced(
+    std::vector<double> rates);
 
 }  // namespace deltanc::sim

@@ -26,7 +26,21 @@ std::unique_ptr<Discipline> make_discipline(const TandemConfig& c) {
     case DisciplineKind::kEdf:
       return make_edf({c.edf_through_deadline, c.edf_cross_deadline});
     case DisciplineKind::kGps:
-      return make_gps({c.gps_through_weight, c.gps_cross_weight});
+      return make_gps({c.class_weights.through(),
+                       c.class_weights.cross_total()});
+    case DisciplineKind::kDrr:
+      // The DRR guarantee depends only on Q_0 and the sum (quantum share
+      // and round latency), so the cross quanta collapse onto their sum.
+      return make_drr({c.class_weights.through(),
+                       c.class_weights.cross_total()});
+    case DisciplineKind::kSced: {
+      // Load-proportional rate split: every flow is an i.i.d. copy of
+      // the same source, so the class loads are proportional to the flow
+      // counts (the rule sched::ScedProvider applies analytically).
+      const double total = static_cast<double>(c.n_through + c.n_cross);
+      return make_sced({c.capacity_kb_per_slot * c.n_through / total,
+                        c.capacity_kb_per_slot * c.n_cross / total});
+    }
   }
   throw std::invalid_argument("run_tandem: unknown discipline");
 }
@@ -73,21 +87,20 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
       return;
     }
     case sched::SchedulerKind::kGps:
-      // Two-class simulation: the cross classes collapse onto one weight.
+      // The full weight list is kept; make_discipline collapses the
+      // cross classes onto one weight for the two-class simulation.
       config.discipline = DisciplineKind::kGps;
-      config.gps_through_weight = spec.weights().through();
-      config.gps_cross_weight = spec.weights().cross_total();
+      config.class_weights = spec.weights();
       return;
     case sched::SchedulerKind::kDrr:
+      config.discipline = DisciplineKind::kDrr;
+      config.class_weights = spec.weights();
+      return;
     case sched::SchedulerKind::kSced:
-      // Analytic bounds exist (sched::make_service_curve_provider lowers
-      // these to their published leftover curves); only the slot-level
-      // *simulation* lowering is missing here.
-      throw std::invalid_argument(
-          "lower_scheduler: no tandem-simulation discipline implements '" +
-          std::string(sched::scheduler_kind_name(spec.kind())) +
-          "'; its analytic lowering lives in "
-          "sched::make_service_curve_provider");
+      // Parameterless: the discipline derives its load-proportional
+      // rates from the configured flow counts and capacity.
+      config.discipline = DisciplineKind::kSced;
+      return;
   }
   throw std::invalid_argument("lower_scheduler: unknown scheduler kind");
 }
@@ -105,9 +118,13 @@ sched::SchedulerSpec scheduler_spec_of(const TandemConfig& config) {
                                                config.edf_cross_deadline);
     case DisciplineKind::kGps:
       // GPS is not a Delta-scheduler, but since the curve-backed kinds it
-      // raises to the spec carrying the configured weights.
-      return sched::SchedulerSpec::gps(config.gps_through_weight,
-                                       config.gps_cross_weight);
+      // raises to the spec carrying the configured weights -- the full
+      // list, so lower_scheduler round-trips losslessly.
+      return sched::SchedulerSpec::gps(config.class_weights);
+    case DisciplineKind::kDrr:
+      return sched::SchedulerSpec::drr(config.class_weights);
+    case DisciplineKind::kSced:
+      return sched::SchedulerSpec::sced();
   }
   throw std::invalid_argument("scheduler_spec_of: unknown discipline");
 }

@@ -27,7 +27,9 @@ enum class DisciplineKind {
   kSpThroughLow,   ///< blind multiplexing: through class has low priority
   kSpThroughHigh,  ///< through class has high priority
   kEdf,            ///< per-class deadlines (edf_* fields)
-  kGps,            ///< fluid fair sharing (gps_* fields)
+  kGps,            ///< fluid fair sharing (class_weights as GPS weights)
+  kDrr,            ///< deficit round robin (class_weights as quanta, kb)
+  kSced,           ///< deadline curves, rates split by the offered load
 };
 
 struct TandemConfig {
@@ -39,8 +41,11 @@ struct TandemConfig {
   DisciplineKind discipline = DisciplineKind::kFifo;
   double edf_through_deadline = 10.0;  ///< d*_0 in slots
   double edf_cross_deadline = 100.0;   ///< d*_c in slots
-  double gps_through_weight = 1.0;
-  double gps_cross_weight = 1.0;
+  /// GPS weights phi_i / DRR quanta Q_i (kb), class 0 = through.  The
+  /// two-class simulation collapses the cross classes onto
+  /// (through(), cross_total()), but the full list is kept so
+  /// scheduler_spec_of() raises losslessly (>= 3-class specs included).
+  sched::ClassWeights class_weights{};
   std::int64_t slots = 200000;
   std::int64_t warmup_slots = 2000;  ///< delays of chunks arriving before
                                      ///< this slot are discarded
@@ -74,8 +79,12 @@ struct TandemResult {
 /// it).  A finite non-zero fixed-Delta spec lowers to per-class EDF
 /// deadlines whose difference is exactly the offset -- by Def. 1 that
 /// realizes the precedence constants; Delta = 0 / +inf / -inf lower to
-/// the FIFO / SP-low / SP-high disciplines.  GPS is never produced: it
-/// is not a Delta-scheduler.
+/// the FIFO / SP-low / SP-high disciplines.  The curve-backed kinds
+/// lower to their own disciplines: GPS and DRR carry their weight/
+/// quantum lists into class_weights, SCED is parameterless (the
+/// discipline splits capacity by the configured flow counts, the same
+/// load-proportional rule as sched::ScedProvider).  Every registered
+/// scheduler name is accepted.
 /// @throws std::invalid_argument for kEdf without a positive finite
 /// edf_unit.
 void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
@@ -83,9 +92,10 @@ void lower_scheduler(const sched::SchedulerSpec& spec, double edf_unit,
 
 /// The analytic identity of `config`'s discipline (inverse adapter).
 /// EDF raises to a fixed-Delta spec carrying the deadline difference:
-/// absolute deadlines hold more information than Def. 1 keeps.  GPS
-/// raises to the curve-backed SchedulerSpec::gps with the configured
-/// weights (see sched/service_curve_provider.h).
+/// absolute deadlines hold more information than Def. 1 keeps.  GPS and
+/// DRR raise to the curve-backed specs carrying the full configured
+/// class_weights; SCED raises to the parameterless spec (see
+/// sched/service_curve_provider.h).
 [[nodiscard]] sched::SchedulerSpec scheduler_spec_of(
     const TandemConfig& config);
 

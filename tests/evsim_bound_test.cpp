@@ -113,5 +113,56 @@ TEST(EvsimSpQuantiles, SpLoweringsStayBelowAnalyticBounds) {
   }
 }
 
+// The curve-backed lowerings (DRR's deficit counters, SCED's deadline
+// curves, SCFQ's virtual time) must keep the packet simulator's delay
+// quantiles under the matching rate-latency analytic bound at several
+// tail depths.  Quanta equal the packet size so the classic DRR
+// guarantee (quantum >= max packet) applies to the packetized policy;
+// loads are symmetric so SCED's load-proportional split is well-defined
+// and comparable.
+TEST(EvsimCurveQuantiles, CurveLoweringsStayBelowAnalyticBounds) {
+  const int hops = 2;
+  const double packet_kb = 1.5;
+  struct Case {
+    sched::SchedulerSpec spec;
+    evsim::PolicyKind expected;
+  };
+  for (const Case& test_case :
+       {Case{sched::SchedulerSpec::drr(1.5, 1.5), evsim::PolicyKind::kDrr},
+        Case{sched::SchedulerSpec::sced(), evsim::PolicyKind::kSced},
+        Case{sched::SchedulerSpec::gps(1.0, 1.0),
+             evsim::PolicyKind::kScfq}}) {
+    const e2e::Scenario sc = ScenarioBuilder()
+                                 .hops(hops)
+                                 .through_flows(200)
+                                 .cross_flows(200)
+                                 .scheduler(test_case.spec)
+                                 .build();
+    evsim::EvNetworkConfig c;
+    c.hops = hops;
+    c.n_through = sc.n_through;
+    c.n_cross = sc.n_cross;
+    c.packet_kb = packet_kb;
+    c.slots = 150000;
+    c.seed = 7;
+    evsim::lower_scheduler(test_case.spec, 1.0, c);
+    ASSERT_EQ(c.policy, test_case.expected)
+        << sched::to_string(test_case.spec);
+    ASSERT_EQ(evsim::scheduler_spec_of(c), test_case.spec);
+    const evsim::EvNetworkResult r = evsim::run_event_network(c);
+    ASSERT_GT(r.through_delay_ms.count(), 50000u);
+    const double blocking_allowance = hops * packet_kb / sc.capacity;
+    for (const double eps : {1e-2, 1e-3}) {
+      e2e::Scenario at_eps = sc;
+      at_eps.epsilon = eps;
+      const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+      ASSERT_TRUE(std::isfinite(bound));
+      EXPECT_LE(r.through_delay_ms.quantile(1.0 - eps),
+                bound + blocking_allowance)
+          << sched::to_string(test_case.spec) << " at eps " << eps;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace deltanc

@@ -224,6 +224,35 @@ TEST_F(ResultCacheTest, CurveBackedSchedulersHaveNoLegacySlots) {
   EXPECT_TRUE(std::isnan(out.delta));
 }
 
+TEST_F(ResultCacheTest, SimulationLoweringsDoNotPerturbSolverKeys) {
+  // The DRR/SCED simulation lowerings added sim-side config fields only;
+  // the solver cache key is a function of the *scenario*, so entries
+  // written before those lowerings existed must classify as warm hits
+  // under the same schema (no bump: kSchemaVersion stays at 3).
+  static_assert(kSchemaVersion == 3,
+                "sim-side config fields must not bump the cache schema");
+  ResultCache cache(cache_dir());
+  for (const sched::SchedulerSpec& spec :
+       {sched::SchedulerSpec::drr(2.0, 1.0), sched::SchedulerSpec::sced(),
+        sched::SchedulerSpec::gps(2.0, 1.0)}) {
+    e2e::Scenario sc = small_scenario();
+    sc.scheduler = spec;
+    const std::string key = solve_cache_key(sc, SolveOptions{});
+    cache.store(key, e2e::best_delay_bound(sc));
+    e2e::BoundResult out;
+    EXPECT_EQ(cache.lookup(sc, SolveOptions{}, out), CacheLookup::kHit)
+        << sched::to_string(spec);
+    // The key must also be reproducible from an identical scenario
+    // value (content addressing, not object identity).
+    e2e::Scenario again = small_scenario();
+    again.scheduler = spec;
+    EXPECT_EQ(solve_cache_key(again, SolveOptions{}), key)
+        << sched::to_string(spec);
+  }
+  EXPECT_EQ(cache.stats().hits, 3);
+  EXPECT_EQ(cache.stats().stale, 0);
+}
+
 TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {
   ResultCache cache(cache_dir());
   const e2e::Scenario sc = small_scenario();

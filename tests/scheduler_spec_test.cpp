@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "evsim/network.h"
 #include "sim/tandem.h"
@@ -140,6 +141,57 @@ TEST(SchedulerRegistry, ParseRejectsUnknownAndMalformedNames) {
   EXPECT_EQ(out, SchedulerSpec::bmux());  // rejects leave `out` untouched
 }
 
+TEST(SchedulerRegistry, NumberGrammarIsStrictAndLocaleIndependent) {
+  // The spec grammar is exactly what std::from_chars accepts: no
+  // leading whitespace, no '+' sign, no hexfloat -- the lenient strtod
+  // grammar silently read "gps: 2,1" as 2 and "gps:0x2,1" as 2.
+  SchedulerSpec out = SchedulerSpec::bmux();
+  EXPECT_FALSE(parse_scheduler("gps: 2,1", out));
+  EXPECT_FALSE(parse_scheduler("gps:2, 1", out));
+  EXPECT_FALSE(parse_scheduler("gps:+2,1", out));
+  EXPECT_FALSE(parse_scheduler("gps:0x2,1", out));
+  EXPECT_FALSE(parse_scheduler("drr:0X1p2,1", out));
+  EXPECT_FALSE(parse_scheduler("delta: 1", out));
+  EXPECT_FALSE(parse_scheduler("delta:0x10", out));
+  EXPECT_FALSE(parse_scheduler("delta:+1", out));
+  EXPECT_EQ(out, SchedulerSpec::bmux());
+  ASSERT_TRUE(parse_scheduler("gps:1.5,1", out));
+  EXPECT_EQ(out, SchedulerSpec::gps(1.5, 1.0));
+  ASSERT_TRUE(parse_scheduler("drr:2e-1,1", out));
+  EXPECT_EQ(out, SchedulerSpec::drr(0.2, 1.0));
+  ASSERT_TRUE(parse_scheduler("delta:-2.5", out));
+  EXPECT_EQ(out, SchedulerSpec::fixed_delta(-2.5));
+}
+
+TEST(SchedulerRegistry, ListParseRejectsStrictGrammarViolationsToo) {
+  // --sweep axis lists route through parse_scheduler_list; a sloppy
+  // token must fail the whole list, not silently mis-parse.
+  std::vector<SchedulerSpec> specs;
+  EXPECT_FALSE(parse_scheduler_list("fifo,gps: 2,1", specs));
+  EXPECT_FALSE(parse_scheduler_list("fifo,gps:0x2,1", specs));
+  EXPECT_FALSE(parse_scheduler_list("delta:+1,fifo", specs));
+  ASSERT_TRUE(parse_scheduler_list("fifo,gps:1.5,1,drr:2e-1,1,sced", specs));
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[1], SchedulerSpec::gps(1.5, 1.0));
+  EXPECT_EQ(specs[2], SchedulerSpec::drr(0.2, 1.0));
+}
+
+TEST(SchedulerRegistry, ParseStrictDoubleMatchesTheFromCharsGrammar) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_strict_double("2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(parse_strict_double("-1e3", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_TRUE(parse_strict_double("inf", v));  // callers range-check
+  EXPECT_FALSE(parse_strict_double("", v));
+  EXPECT_FALSE(parse_strict_double(" 2", v));
+  EXPECT_FALSE(parse_strict_double("2 ", v));
+  EXPECT_FALSE(parse_strict_double("+2", v));
+  EXPECT_FALSE(parse_strict_double("0x2", v));
+  EXPECT_FALSE(parse_strict_double("1,5", v));  // no locale decimal comma
+  EXPECT_FALSE(parse_strict_double("2abc", v));
+}
+
 TEST(SchedulerRegistry, BareGpsAndDrrMeanTheEqualTwoClassSplit) {
   SchedulerSpec out;
   ASSERT_TRUE(parse_scheduler("gps", out));
@@ -235,40 +287,76 @@ TEST(SchedulerLowering, EdfWithoutAUnitIsAnError) {
 TEST(SchedulerLowering, GpsLowersToBothSimulatorsAndRaisesBack) {
   // GPS is curve-backed, not a Delta-scheduler, but it *is* lowerable:
   // the tandem simulator has a fluid GPS discipline and the event
-  // simulator approximates it with SCFQ.  Cross classes collapse onto
-  // one weight in the two-class simulators.
+  // simulator approximates it with SCFQ.  The configs keep the full
+  // weight list (the simulators collapse the cross classes internally),
+  // so the raise is lossless even for >= 3-class specs.
   sim::TandemConfig config;
   sim::lower_scheduler(SchedulerSpec::gps(3.0, 1.0), 1.0, config);
   EXPECT_EQ(config.discipline, sim::DisciplineKind::kGps);
-  EXPECT_DOUBLE_EQ(config.gps_through_weight, 3.0);
-  EXPECT_DOUBLE_EQ(config.gps_cross_weight, 1.0);
+  EXPECT_EQ(config.class_weights, ClassWeights::of({3.0, 1.0}));
   EXPECT_EQ(sim::scheduler_spec_of(config), SchedulerSpec::gps(3.0, 1.0));
 
   evsim::EvNetworkConfig ev;
   evsim::lower_scheduler(SchedulerSpec::gps(ClassWeights::of({2.0, 1.0, 1.0})),
                          1.0, ev);
   EXPECT_EQ(ev.policy, evsim::PolicyKind::kScfq);
-  EXPECT_DOUBLE_EQ(ev.scfq_through_weight, 2.0);
-  EXPECT_DOUBLE_EQ(ev.scfq_cross_weight, 2.0);  // 1 + 1 collapsed
-  EXPECT_EQ(evsim::scheduler_spec_of(ev), SchedulerSpec::gps(2.0, 2.0));
+  EXPECT_EQ(ev.class_weights, ClassWeights::of({2.0, 1.0, 1.0}));
+  // Lossless: gps:2,1,1 round-trips as itself, not as the collapsed
+  // gps:2,2 the two-class simulation actually runs.
+  EXPECT_EQ(evsim::scheduler_spec_of(ev),
+            SchedulerSpec::gps(ClassWeights::of({2.0, 1.0, 1.0})));
+  EXPECT_NE(evsim::scheduler_spec_of(ev), SchedulerSpec::gps(2.0, 2.0));
+
+  sim::TandemConfig config3;
+  sim::lower_scheduler(SchedulerSpec::gps(ClassWeights::of({2.0, 1.0, 1.0})),
+                       1.0, config3);
+  EXPECT_EQ(sim::scheduler_spec_of(config3),
+            SchedulerSpec::gps(ClassWeights::of({2.0, 1.0, 1.0})));
 }
 
-TEST(SchedulerLowering, DrrAndScedHaveNoSimulationLowering) {
-  // Only the *simulation* lowering is missing for DRR/SCED; the error
-  // points at the analytic service-curve-provider path instead of
-  // claiming there is no analytic story.
+TEST(SchedulerLowering, DrrLowersToBothSimulatorsAndRaisesBack) {
+  // The slot simulator gets a fluid deficit-counter discipline, the
+  // event simulator the classic packetized one; quanta travel through
+  // class_weights and raise back losslessly.
   sim::TandemConfig config;
+  sim::lower_scheduler(SchedulerSpec::drr(4.5, 1.5), 1.0, config);
+  EXPECT_EQ(config.discipline, sim::DisciplineKind::kDrr);
+  EXPECT_EQ(config.class_weights, ClassWeights::of({4.5, 1.5}));
+  EXPECT_EQ(sim::scheduler_spec_of(config), SchedulerSpec::drr(4.5, 1.5));
+
   evsim::EvNetworkConfig ev;
-  for (const SchedulerSpec& spec :
-       {SchedulerSpec::drr(), SchedulerSpec::sced()}) {
-    try {
-      sim::lower_scheduler(spec, 1.0, config);
-      FAIL() << "expected throw for " << to_string(spec);
-    } catch (const std::invalid_argument& e) {
-      EXPECT_NE(std::string(e.what()).find("make_service_curve_provider"),
-                std::string::npos);
-    }
-    EXPECT_THROW(evsim::lower_scheduler(spec, 1.0, ev), std::invalid_argument);
+  evsim::lower_scheduler(SchedulerSpec::drr(ClassWeights::of({3.0, 1.0, 2.0})),
+                         1.0, ev);
+  EXPECT_EQ(ev.policy, evsim::PolicyKind::kDrr);
+  EXPECT_EQ(evsim::scheduler_spec_of(ev),
+            SchedulerSpec::drr(ClassWeights::of({3.0, 1.0, 2.0})));
+}
+
+TEST(SchedulerLowering, ScedLowersToBothSimulatorsParameterlessly) {
+  // SCED carries no parameters: the disciplines derive load-proportional
+  // rates from the configured flow counts at run time.
+  sim::TandemConfig config;
+  sim::lower_scheduler(SchedulerSpec::sced(), 1.0, config);
+  EXPECT_EQ(config.discipline, sim::DisciplineKind::kSced);
+  EXPECT_EQ(sim::scheduler_spec_of(config), SchedulerSpec::sced());
+
+  evsim::EvNetworkConfig ev;
+  evsim::lower_scheduler(SchedulerSpec::sced(), 1.0, ev);
+  EXPECT_EQ(ev.policy, evsim::PolicyKind::kSced);
+  EXPECT_EQ(evsim::scheduler_spec_of(ev), SchedulerSpec::sced());
+}
+
+TEST(SchedulerLowering, EveryRegisteredNameLowersIntoBothSimulators) {
+  // The bug this guards against: a registry name that parses fine but
+  // throws at simulation time.  EDF-like kinds get a unit of 1.0.
+  for (const char* name : {"fifo", "bmux", "sp-high", "edf", "delta:2.5",
+                           "gps:2,1", "drr:1.5,1.5", "sced"}) {
+    SchedulerSpec spec;
+    ASSERT_TRUE(parse_scheduler(name, spec)) << name;
+    sim::TandemConfig config;
+    evsim::EvNetworkConfig ev;
+    EXPECT_NO_THROW(sim::lower_scheduler(spec, 1.0, config)) << name;
+    EXPECT_NO_THROW(evsim::lower_scheduler(spec, 1.0, ev)) << name;
   }
 }
 

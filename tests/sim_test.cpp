@@ -185,6 +185,96 @@ TEST(GpsDiscipline, RedistributesWhenOneClassDrains) {
   EXPECT_THROW((void)make_gps({1.0, 0.0}), std::invalid_argument);
 }
 
+TEST(DrrDiscipline, QuantumGrantsAndDeficitCarryOver) {
+  auto q = make_drr({3.0, 1.0});
+  q->enqueue(chunk(0, 3.0, 0, 0));
+  q->enqueue(chunk(1, 2.0, 0, 1));
+  std::vector<Chunk> done;
+  // Visit 0 grants 3 kb (completes flow 0), visit 1 grants 1 kb of the
+  // 2 kb chunk -- the budget runs out mid-visit.
+  EXPECT_DOUBLE_EQ(q->serve(4.0, &done), 4.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].flow, 0);
+  EXPECT_DOUBLE_EQ(q->backlog(), 1.0);
+  done.clear();
+  // The next slot re-grants flow 1's quantum and finishes the chunk
+  // (work conserving: only 1 kb of backlog remains).
+  EXPECT_DOUBLE_EQ(q->serve(10.0, &done), 1.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].flow, 1);
+  EXPECT_THROW((void)make_drr({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)make_drr({}), std::invalid_argument);
+}
+
+TEST(DrrDiscipline, RoundRobinSharesByQuanta) {
+  auto q = make_drr({3.0, 1.0});
+  q->enqueue(chunk(0, 30.0, 0, 0));
+  q->enqueue(chunk(1, 30.0, 0, 1));
+  std::vector<Chunk> done;
+  EXPECT_DOUBLE_EQ(q->serve(8.0, &done), 8.0);  // two rounds of 3 + 1
+  EXPECT_NEAR(q->backlog(), 52.0, 1e-9);
+  done.clear();
+  // 3:1 rounds drain flow 0's remaining 24 kb after exactly 8 more
+  // rounds of 4 kb; flow 1 got 8 of those 32 kb, leaving 20.
+  EXPECT_DOUBLE_EQ(q->serve(32.0, &done), 32.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].flow, 0);
+  EXPECT_NEAR(q->backlog(), 20.0, 1e-9);
+}
+
+TEST(ScedDiscipline, DeadlineCurvesOrderService) {
+  // Rates 2:1 -- flow 0's virtual server advances twice as fast, so its
+  // 4 kb chunk (deadline 2) beats flow 1's 3 kb chunk (deadline 3).
+  auto q = make_sced({2.0, 1.0});
+  q->enqueue(chunk(0, 4.0, 0, 0));
+  q->enqueue(chunk(1, 3.0, 0, 1));
+  std::vector<Chunk> done;
+  EXPECT_DOUBLE_EQ(q->serve(4.0, &done), 4.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].flow, 0);
+  // Finish times accumulate: a second flow-0 chunk at slot 1 gets
+  // deadline max(F_0, 1) + 2/2 = 3, tying flow 1's -- FIFO tie-break
+  // puts flow 1's earlier arrival first.
+  q->enqueue(chunk(0, 2.0, 1, 2));
+  done.clear();
+  EXPECT_DOUBLE_EQ(q->serve(5.0, &done), 5.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].flow, 1);
+  EXPECT_EQ(done[1].flow, 0);
+  EXPECT_THROW((void)make_sced({}), std::invalid_argument);
+  EXPECT_THROW((void)make_sced({1.0, -1.0}), std::invalid_argument);
+  // A zero rate is legal only for a class that never sends.
+  auto z = make_sced({1.0, 0.0});
+  z->enqueue(chunk(0, 1.0, 0, 0));
+  EXPECT_THROW(z->enqueue(chunk(1, 1.0, 0, 1)), std::invalid_argument);
+}
+
+TEST(Tandem, DrrAndScedDisciplinesRunEndToEnd) {
+  // The lowered disciplines must run the full tandem and land between
+  // the two static-priority extremes, like GPS does.
+  TandemConfig c;
+  c.hops = 2;
+  c.n_through = 250;
+  c.n_cross = 250;
+  c.slots = 50000;
+  TandemConfig hi = c;
+  hi.discipline = DisciplineKind::kSpThroughHigh;
+  TandemConfig lo = c;
+  lo.discipline = DisciplineKind::kSpThroughLow;
+  const double hi_tail = run_tandem(hi).through_delay.quantile(0.999);
+  const double lo_tail = run_tandem(lo).through_delay.quantile(0.999);
+  for (const DisciplineKind kind :
+       {DisciplineKind::kDrr, DisciplineKind::kSced}) {
+    TandemConfig cc = c;
+    cc.discipline = kind;
+    const TandemResult r = run_tandem(cc);
+    ASSERT_GT(r.through_delay.count(), 0u);
+    const double tail = r.through_delay.quantile(0.999);
+    EXPECT_GE(tail, hi_tail - 1.0);
+    EXPECT_LE(tail, lo_tail + 1.0);
+  }
+}
+
 TEST(NodeBasics, WorkConservingBudget) {
   Node node(10.0, make_fifo());
   node.arrive(chunk(0, 25.0, 0, 0));

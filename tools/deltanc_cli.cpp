@@ -121,9 +121,10 @@ void print_usage(std::FILE* out) {
 }
 
 double parse_double(const char* value, const char* flag) {
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  if (end == value || *end != '\0') {
+  // Strict and locale-independent: no leading whitespace, '+', or
+  // hexfloat forms -- "--capacity 0x50" is a typo, not 80 Mbps.
+  double parsed = 0.0;
+  if (!sched::parse_strict_double(value, parsed)) {
     usage_error(std::string("bad numeric value for ") + flag);
   }
   return parsed;
