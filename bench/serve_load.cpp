@@ -1,0 +1,385 @@
+// Closed-loop load generator for `deltanc_cli --serve` -- the client
+// half of the persistent-service robustness story (scripts/check_serve.sh
+// drives both).  Two modes over one Unix-domain socket connection:
+//
+//   * generated (default): --requests N mixed cold/warm requests over
+//     --unique K distinct scenarios.  Phase 1 sends each unique
+//     scenario once (every request a cold solve), phase 2 cycles them
+//     (every request a warm hit), so the printed cold_rps / warm_rps
+//     split measures exactly the cache's value under load.
+//   * replay: --input <file> sends an existing JSONL request file and
+//     writes the responses (arrival order) to --output, which is how
+//     the check script collects served responses to diff against the
+//     one-shot --batch baseline.
+//
+// A bounded window of outstanding requests (--window) keeps the
+// generator closed-loop: it never outruns the server's bounded queues,
+// so an overload response in the output indicates a server-side
+// problem, not a hot-headed client.  Per-request latency is measured
+// send-to-receive by the echoed numeric id; the summary reports p50 /
+// p99 / req/s plus the cold/warm split, machine-greppable:
+//
+//   serve_load: requests=.. answered=.. errors=.. p50_ms=.. p99_ms=..
+//               wall_ms=.. rps=..
+//   serve_load: cold_requests=.. cold_rps=.. warm_requests=..
+//               warm_rps=.. warm_cold_ratio=..
+//
+// --truncate-probe appends one extra request written WITHOUT a trailing
+// newline before half-closing the socket -- the truncated-client-write
+// fault.  The server must still answer it (exit 1 here if not).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.h"
+#include "io/codec.h"
+#include "sched/scheduler_spec.h"
+
+namespace {
+
+using namespace deltanc;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string socket_path;
+  long long requests = 1000;
+  long long unique = 64;
+  int window = 64;
+  std::string input;   ///< replay mode when non-empty
+  std::string output;  ///< where replay responses land ("" = discard)
+  bool truncate_probe = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "serve_load: %s\n"
+               "usage: serve_load --socket <path> [--requests N] "
+               "[--unique K] [--window W]\n"
+               "                  [--input requests.jsonl "
+               "[--output responses.jsonl]] [--truncate-probe]\n",
+               message.c_str());
+  std::exit(2);
+}
+
+double parse_number(const char* text, const std::string& flag) {
+  double out = 0.0;
+  if (!sched::parse_strict_double(text, out)) {
+    usage_error("bad numeric value for " + flag);
+  }
+  return out;
+}
+
+/// Shared send/receive bookkeeping, keyed by the numeric request id.
+struct Tracker {
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = 0;
+  long long answered = 0;
+  long long errors = 0;  ///< ok=false responses
+  std::vector<double> send_ms;
+  std::vector<double> recv_ms;
+
+  void sent(std::size_t id, double now_ms) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (send_ms.size() <= id) {
+      send_ms.resize(id + 1, -1.0);
+      recv_ms.resize(id + 1, -1.0);
+    }
+    send_ms[id] = now_ms;
+    ++outstanding;
+  }
+
+  void received(std::size_t id, bool ok, double now_ms) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (id < recv_ms.size()) recv_ms[id] = now_ms;
+    ++answered;
+    if (!ok) ++errors;
+    --outstanding;
+    cv.notify_all();
+  }
+
+  void wait_window(int window) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding < window; });
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+};
+
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      std::fprintf(stderr, "serve_load: server hung up mid-send\n");
+      std::exit(1);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Reads response lines until EOF, recording latency by echoed id and
+/// appending raw lines to `capture` (when non-null).
+void receive_loop(int fd, Clock::time_point t0, Tracker& tracker,
+                  std::ofstream* capture) {
+  std::string buffer;
+  char chunk[65536];
+  const auto handle = [&](const std::string& line) {
+    if (line.empty()) return;
+    if (capture != nullptr) *capture << line << '\n';
+    bool ok = false;
+    std::size_t id = 0;
+    bool have_id = false;
+    try {
+      const io::json::Value doc = io::json::Value::parse(line);
+      if (const io::json::Value* v = doc.find("ok")) ok = v->as_bool();
+      if (const io::json::Value* v = doc.find("id"); v && v->is_number()) {
+        id = static_cast<std::size_t>(v->as_number());
+        have_id = true;
+      }
+    } catch (const std::exception&) {
+      // An unparseable response still settles the window (counted as
+      // an error) so the generator cannot deadlock on a corrupt line.
+    }
+    tracker.received(have_id ? id : 0, ok, ms_since(t0));
+  };
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      handle(buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  if (!buffer.empty()) handle(buffer);
+}
+
+/// K distinct request payloads (scenario varies by cross-flow count, so
+/// every unique index is a distinct cache key), rendered once and
+/// re-stamped with fresh ids as the phases cycle through them.
+std::vector<std::string> make_payloads(long long unique) {
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(unique));
+  for (long long i = 0; i < unique; ++i) {
+    ScenarioBuilder builder;
+    builder.hops(3).cross_flows(static_cast<int>(40 + i));
+    const e2e::Scenario scenario = builder.build();
+    SolveOptions options;
+    io::json::Value req = io::json::Value::object();
+    req.set("schema", io::json::Value::number(io::kSchemaVersion))
+        .set("scenario", io::encode_scenario(scenario))
+        .set("options", io::encode_solve_options(options));
+    payloads.push_back(req.dump());
+  }
+  return payloads;
+}
+
+/// Stamps an "id" field into a rendered request object.  The id is the
+/// latency-tracking key, so it must be first-class JSON -- splice it in
+/// before the closing brace.
+std::string with_id(const std::string& payload, long long id) {
+  std::string out = payload;
+  out.insert(out.size() - 1, ",\"id\":" + std::to_string(id));
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value after " + flag);
+      return argv[++i];
+    };
+    if (flag == "--socket") {
+      args.socket_path = next();
+    } else if (flag == "--requests") {
+      args.requests = static_cast<long long>(parse_number(next(), flag));
+      if (args.requests < 1) usage_error("--requests must be >= 1");
+    } else if (flag == "--unique") {
+      args.unique = static_cast<long long>(parse_number(next(), flag));
+      if (args.unique < 1) usage_error("--unique must be >= 1");
+    } else if (flag == "--window") {
+      args.window = static_cast<int>(parse_number(next(), flag));
+      if (args.window < 1) usage_error("--window must be >= 1");
+    } else if (flag == "--input") {
+      args.input = next();
+    } else if (flag == "--output") {
+      args.output = next();
+    } else if (flag == "--truncate-probe") {
+      args.truncate_probe = true;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  if (args.socket_path.empty()) usage_error("--socket is required");
+  if (args.unique > args.requests) args.unique = args.requests;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (args.socket_path.size() >= sizeof(addr.sun_path)) {
+    usage_error("socket path too long");
+  }
+  std::memcpy(addr.sun_path, args.socket_path.c_str(),
+              args.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
+    std::fprintf(stderr, "serve_load: cannot connect to %s: %s\n",
+                 args.socket_path.c_str(), std::strerror(errno));
+    return 1;
+  }
+
+  std::ofstream capture;
+  if (!args.output.empty()) {
+    capture.open(args.output);
+    if (!capture) {
+      std::fprintf(stderr, "serve_load: cannot write %s\n",
+                   args.output.c_str());
+      return 1;
+    }
+  }
+
+  Tracker tracker;
+  const auto t0 = Clock::now();
+  std::thread receiver([&] {
+    receive_loop(fd, t0, tracker,
+                 args.output.empty() ? nullptr : &capture);
+  });
+
+  long long expected = 0;
+  long long cold_n = 0, warm_n = 0;
+  double cold_wall_ms = 0.0, warm_wall_ms = 0.0;
+
+  const auto send_line = [&](const std::string& line, long long id) {
+    tracker.wait_window(args.window);
+    tracker.sent(static_cast<std::size_t>(id), ms_since(t0));
+    const std::string framed = line + "\n";
+    send_all(fd, framed.data(), framed.size());
+    ++expected;
+  };
+
+  if (!args.input.empty()) {
+    // Replay mode: the file's own ids are echoed back, but latency
+    // bookkeeping needs dense numeric keys -- use the line number.
+    std::ifstream in(args.input);
+    if (!in) {
+      std::fprintf(stderr, "serve_load: cannot read %s\n",
+                   args.input.c_str());
+      return 1;
+    }
+    std::string line;
+    long long id = 0;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      send_line(line, id++);
+    }
+  } else {
+    const std::vector<std::string> payloads = make_payloads(args.unique);
+    // Phase 1 (cold): each unique scenario once.
+    const auto cold_t0 = Clock::now();
+    for (long long id = 0; id < args.unique; ++id) {
+      send_line(with_id(payloads[static_cast<std::size_t>(id)], id), id);
+    }
+    tracker.wait_idle();
+    cold_wall_ms = ms_since(cold_t0);
+    cold_n = args.unique;
+    // Phase 2 (warm): cycle the same scenarios for the remainder.
+    const auto warm_t0 = Clock::now();
+    for (long long id = args.unique; id < args.requests; ++id) {
+      const std::size_t slot =
+          static_cast<std::size_t>(id % args.unique);
+      send_line(with_id(payloads[slot], id), id);
+    }
+    tracker.wait_idle();
+    warm_wall_ms = ms_since(warm_t0);
+    warm_n = args.requests - args.unique;
+  }
+
+  // Truncated-client-write probe: one more request, no trailing
+  // newline, then half-close.  The server must answer it anyway.
+  if (args.truncate_probe) {
+    const std::string line = with_id(make_payloads(1)[0], expected);
+    tracker.sent(static_cast<std::size_t>(expected), ms_since(t0));
+    send_all(fd, line.data(), line.size());
+    ++expected;
+  }
+  ::shutdown(fd, SHUT_WR);
+  receiver.join();
+  ::close(fd);
+  const double wall_ms = ms_since(t0);
+
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(tracker.mu);
+    for (std::size_t i = 0; i < tracker.send_ms.size(); ++i) {
+      if (tracker.send_ms[i] >= 0 && tracker.recv_ms[i] >= 0) {
+        latencies.push_back(tracker.recv_ms[i] - tracker.send_ms[i]);
+      }
+    }
+  }
+  const long long answered = tracker.answered;
+  const double rps =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(answered) / wall_ms : 0.0;
+  std::printf(
+      "serve_load: requests=%lld answered=%lld errors=%lld p50_ms=%.3f "
+      "p99_ms=%.3f wall_ms=%.1f rps=%.0f\n",
+      expected, answered, tracker.errors, percentile(latencies, 0.50),
+      percentile(latencies, 0.99), wall_ms, rps);
+  if (cold_n > 0 && warm_n > 0) {
+    const double cold_rps =
+        cold_wall_ms > 0 ? 1000.0 * static_cast<double>(cold_n) / cold_wall_ms
+                         : 0.0;
+    const double warm_rps =
+        warm_wall_ms > 0 ? 1000.0 * static_cast<double>(warm_n) / warm_wall_ms
+                         : 0.0;
+    std::printf(
+        "serve_load: cold_requests=%lld cold_rps=%.0f warm_requests=%lld "
+        "warm_rps=%.0f warm_cold_ratio=%.1f\n",
+        cold_n, cold_rps, warm_n, warm_rps,
+        cold_rps > 0 ? warm_rps / cold_rps : 0.0);
+  }
+  if (answered != expected) {
+    std::fprintf(stderr,
+                 "serve_load: FAIL %lld of %lld requests never answered\n",
+                 expected - answered, expected);
+    return 1;
+  }
+  return tracker.errors > 0 ? 3 : 0;
+}

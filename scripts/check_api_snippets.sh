@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
-# Compiles every ```cpp block of docs/API.md and docs/SCHEDULERS.md as
-# its own translation unit (-fsyntax-only against src/), so the
-# documented API surface cannot drift from the headers.  Registered as
-# the `api_doc_snippets` ctest.
+# Compiles every ```cpp block of docs/API.md, docs/SCHEDULERS.md, and
+# docs/SERVING.md as its own translation unit (-fsyntax-only against
+# src/), so the documented API surface cannot drift from the headers.
+# Registered as the `api_doc_snippets` ctest.
 #
 # usage: check_api_snippets.sh [compiler] [repo_root]
 set -euo pipefail
 
 CXX="${1:-c++}"
 ROOT="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
-DOCS=("$ROOT/docs/API.md" "$ROOT/docs/SCHEDULERS.md")
+DOCS=("$ROOT/docs/API.md" "$ROOT/docs/SCHEDULERS.md" "$ROOT/docs/SERVING.md")
 TMPDIR_SNIPPETS="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SNIPPETS"' EXIT
 

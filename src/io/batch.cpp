@@ -17,7 +17,18 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using json::Value;
 
-const char* lookup_name(CacheLookup outcome) {
+/// One input line's lifecycle through the batch.
+struct Request {
+  bool parsed = false;
+  std::string error;       ///< parse/decode failure when !parsed
+  ParsedRequestLine line;  ///< valid when parsed
+  CacheLookup outcome = CacheLookup::kMiss;
+  SweepPoint point;        ///< the answer (cache hit or solve)
+};
+
+}  // namespace
+
+const char* cache_lookup_name(CacheLookup outcome) {
   switch (outcome) {
     case CacheLookup::kHit:
       return "hit";
@@ -31,44 +42,88 @@ const char* lookup_name(CacheLookup outcome) {
   return "?";
 }
 
-/// One input line's lifecycle through the batch.
-struct Request {
-  bool parsed = false;
-  std::string error;         ///< parse/decode failure when !parsed
-  Value id;                  ///< echoed verbatim (null when absent)
-  e2e::Scenario scenario;    ///< effective (scheduler override folded in)
-  SolveOptions options;      ///< canonical (scheduler cleared)
-  std::string key;           ///< io::solve_cache_key
-  CacheLookup outcome = CacheLookup::kMiss;
-  SweepPoint point;          ///< the answer (cache hit or solve)
-};
-
-void parse_request(const std::string& line, e2e::Method default_method,
-                   Request& req) {
+ParsedRequestLine parse_request_line(const std::string& line,
+                                     e2e::Method default_method) {
   const Value doc = Value::parse(line);
-  require_schema(doc);
-  if (const Value* id = doc.find("id")) req.id = *id;
-  e2e::Scenario sc = decode_scenario(doc.at("scenario"));
-  SolveOptions options;
-  options.method = default_method;
-  if (const Value* o = doc.find("options"); o != nullptr && !o->is_null()) {
-    options = decode_solve_options(*o);
+  ParsedRequestLine req;
+  try {
+    require_schema(doc);
+    if (const Value* id = doc.find("id")) req.id = *id;
+    e2e::Scenario sc = decode_scenario(doc.at("scenario"));
+    SolveOptions options;
+    options.method = default_method;
+    if (const Value* o = doc.find("options"); o != nullptr && !o->is_null()) {
+      options = decode_solve_options(*o);
+    }
+    // Fold the scheduler override into the scenario here (not just inside
+    // solve_cache_key) so grouping by options groups by what actually
+    // varies the solve.
+    if (options.scheduler.has_value()) {
+      sc.scheduler = *options.scheduler;
+      options.scheduler.reset();
+    }
+    options.reuse_workspace = true;
+    req.scenario = sc;
+    req.options = options;
+    req.key = solve_cache_key(sc, options);
+  } catch (const PartialRequestError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // The id (when readable) survives into the error response.
+    throw PartialRequestError(e.what(), req.id);
   }
-  // Fold the scheduler override into the scenario here (not just inside
-  // solve_cache_key) so grouping by options groups by what actually
-  // varies the solve.
-  if (options.scheduler.has_value()) {
-    sc.scheduler = *options.scheduler;
-    options.scheduler.reset();
-  }
-  options.reuse_workspace = true;
-  req.scenario = sc;
-  req.options = options;
-  req.key = solve_cache_key(sc, options);
-  req.parsed = true;
+  return req;
 }
 
-}  // namespace
+void apply_cache_outcome(e2e::BoundResult& result, CacheLookup outcome,
+                         const std::string& key) {
+  result.stats.cache_hits = 0;
+  result.stats.cache_misses = 0;
+  result.stats.cache_stale = 0;
+  switch (outcome) {
+    case CacheLookup::kHit:
+      result.stats.cache_hits = 1;
+      return;
+    case CacheLookup::kStale:
+      result.stats.cache_stale = 1;
+      return;
+    case CacheLookup::kMiss:
+      result.stats.cache_misses = 1;
+      return;
+    case CacheLookup::kCorrupt:
+      result.stats.cache_misses = 1;
+      result.diagnostics.warn(
+          diag::SolveErrorKind::kCorruptCache,
+          "cache entry " + key + " was unreadable; re-solved");
+      return;
+  }
+}
+
+json::Value make_ok_response(const json::Value& id, bool with_cache_tag,
+                             CacheLookup outcome,
+                             const e2e::BoundResult& result) {
+  Value response = Value::object();
+  response.set("schema", Value::number(kSchemaVersion)).set("id", id);
+  response.set("ok", Value::boolean(true));
+  if (with_cache_tag) {
+    response.set("cache", Value::string(cache_lookup_name(outcome)));
+  }
+  response.set("result", encode_bound_result(result));
+  return response;
+}
+
+json::Value make_error_response(const json::Value& id,
+                                const std::string& error,
+                                diag::SolveErrorKind kind) {
+  Value response = Value::object();
+  response.set("schema", Value::number(kSchemaVersion)).set("id", id);
+  response.set("ok", Value::boolean(false))
+      .set("error", Value::string(error));
+  if (kind != diag::SolveErrorKind::kNone) {
+    response.set("kind", Value::string(diag::solve_error_name(kind)));
+  }
+  return response;
+}
 
 BatchSummary run_batch(std::istream& in, std::ostream& out,
                        const BatchOptions& options) {
@@ -78,15 +133,21 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       options.cache != nullptr ? options.cache->stats() : CacheStats{};
 
   // ----- ingest ----------------------------------------------------------
+  // std::getline delivers a final line without a trailing newline like
+  // any other (it extracts up to EOF), so "emit-batch | head -c" style
+  // truncated tails are answered, not dropped.
   std::vector<Request> requests;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     Request req;
     try {
-      parse_request(line, options.default_method, req);
+      req.line = parse_request_line(line, options.default_method);
+      req.parsed = true;
+    } catch (const PartialRequestError& e) {
+      req.line.id = e.id;
+      req.error = e.what();
     } catch (const std::exception& e) {
-      req.parsed = false;
       req.error = e.what();
     }
     requests.push_back(std::move(req));
@@ -105,13 +166,12 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
     e2e::BoundResult cached;
     // Scenario-level lookup: also classifies pre-refactor (schema-1)
     // entries of the same solve as stale instead of missing them.
-    req.outcome = options.cache->lookup(req.scenario, req.options, cached);
+    req.outcome =
+        options.cache->lookup(req.line.scenario, req.line.options, cached);
     if (req.outcome == CacheLookup::kHit) {
-      req.point.scenario = req.scenario;
+      req.point.scenario = req.line.scenario;
       req.point.bound = std::move(cached);
-      req.point.bound.stats.cache_hits = 1;
-      req.point.bound.stats.cache_misses = 0;
-      req.point.bound.stats.cache_stale = 0;
+      apply_cache_outcome(req.point.bound, req.outcome, req.line.key);
       ++summary.cached;
     } else {
       pending.push_back(i);
@@ -121,17 +181,17 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
   // ----- solve pass: group misses by options, fan out per group ----------
   std::map<std::string, std::vector<std::size_t>> groups;
   for (const std::size_t i : pending) {
-    groups[encode_solve_options(requests[i].options).dump()].push_back(i);
+    groups[encode_solve_options(requests[i].line.options).dump()].push_back(i);
   }
   const std::size_t total_pending = pending.size();
   std::size_t done_offset = 0;
   for (const auto& [options_key, members] : groups) {
     (void)options_key;
-    const Solver solver(requests[members.front()].options);
+    const Solver solver(requests[members.front()].line.options);
     std::vector<e2e::Scenario> scenarios;
     scenarios.reserve(members.size());
     for (const std::size_t i : members) {
-      scenarios.push_back(requests[i].scenario);
+      scenarios.push_back(requests[i].line.scenario);
     }
     SweepOptions sweep;
     sweep.threads = options.threads;
@@ -152,19 +212,12 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       req.point = report.points[j];
       if (req.point.ok && options.cache != nullptr) {
         // Persist with the cache counters zeroed: they describe how a
-        // particular response was obtained, not the result itself.
-        options.cache->store(req.key, req.point.bound);
+        // particular response was obtained, not the result itself.  A
+        // failed store (full disk, read-only directory) degrades to a
+        // counted solve-through -- the batch keeps answering.
+        (void)options.cache->try_store(req.line.key, req.point.bound);
       }
-      if (req.outcome == CacheLookup::kStale) {
-        req.point.bound.stats.cache_stale = 1;
-      } else {
-        req.point.bound.stats.cache_misses = 1;
-      }
-      if (req.outcome == CacheLookup::kCorrupt) {
-        req.point.bound.diagnostics.warn(
-            diag::SolveErrorKind::kCorruptCache,
-            "cache entry " + req.key + " was unreadable; re-solved");
-      }
+      apply_cache_outcome(req.point.bound, req.outcome, req.line.key);
       ++summary.solved;
       if (!req.point.ok) ++summary.failed;
     }
@@ -173,21 +226,23 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
 
   // ----- emit (input order) ----------------------------------------------
   for (const Request& req : requests) {
-    Value response = Value::object();
-    response.set("schema", Value::number(kSchemaVersion)).set("id", req.id);
+    Value response;
     if (!req.parsed) {
-      response.set("ok", Value::boolean(false))
-          .set("error", Value::string(req.error));
+      response = make_error_response(req.line.id, req.error);
       ++summary.parse_errors;
     } else {
-      response.set("ok", Value::boolean(true));
-      if (options.cache != nullptr) {
-        response.set("cache", Value::string(lookup_name(req.outcome)));
-      }
-      response.set("result", encode_bound_result(req.point.bound));
+      response = make_ok_response(req.line.id, options.cache != nullptr,
+                                  req.outcome, req.point.bound);
       summary.stats += req.point.bound.stats;
     }
     out << response.dump() << '\n';
+    if (!out.good()) {
+      // The consumer hung up (e.g. `--batch | head`): stop emitting,
+      // report the truncation instead of dying on SIGPIPE (the CLI
+      // ignores the signal; the stream just goes bad).
+      summary.output_failed = true;
+      break;
+    }
     ++summary.responses;
   }
 
@@ -198,6 +253,8 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
     summary.cache_stats.stale = after.stale - cache_before.stale;
     summary.cache_stats.corrupt = after.corrupt - cache_before.corrupt;
     summary.cache_stats.stores = after.stores - cache_before.stores;
+    summary.cache_stats.store_failures =
+        after.store_failures - cache_before.store_failures;
   }
   summary.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();

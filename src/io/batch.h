@@ -55,6 +55,11 @@ struct BatchSummary {
   std::int64_t cached = 0;        ///< answered from the cache
   std::int64_t failed = 0;        ///< solver threw (response ok=true,
                                   ///<   result carries the +inf bound)
+  /// The output stream went bad mid-emission (e.g. the consumer of a
+  /// `--batch | head` pipe hung up); remaining responses were not
+  /// written.  The CLI turns this into a classified exit code instead
+  /// of dying on SIGPIPE.
+  bool output_failed = false;
   double wall_ms = 0.0;           ///< end-to-end wall clock
   e2e::SolveStats stats{};        ///< summed over all ok responses
   CacheStats cache_stats{};       ///< cache traffic of this run
@@ -62,7 +67,64 @@ struct BatchSummary {
 
 /// Reads JSONL requests from `in`, writes JSONL responses to `out`
 /// (nothing else -- `out` stays machine-parseable), returns the totals.
+/// A final line without a trailing newline is a request like any other.
 BatchSummary run_batch(std::istream& in, std::ostream& out,
                        const BatchOptions& options = {});
+
+// ----- pieces shared with the persistent solve service (src/serve) -------
+// The serve workers must answer with responses *byte-identical* to
+// run_batch's (scripts/check_serve.sh diffs them), so the request
+// grammar, the cache-outcome bookkeeping, and the response layout live
+// here once and are consumed by both paths.
+
+/// One parsed request line: the effective scenario (scheduler override
+/// folded in), canonical options, and the cache key they hash to.
+struct ParsedRequestLine {
+  json::Value id;          ///< echoed verbatim (null when absent)
+  e2e::Scenario scenario;  ///< effective (scheduler override folded in)
+  SolveOptions options;    ///< canonical (scheduler cleared)
+  std::string key;         ///< io::solve_cache_key
+};
+
+/// Parses one JSONL request line ({"schema", "scenario", "options"?,
+/// "id"?}).  @throws on malformed JSON / wrong schema / undecodable
+/// payloads; when the document carried a readable "id", the exception
+/// is PartialRequestError so error responses can still echo it.
+[[nodiscard]] ParsedRequestLine parse_request_line(
+    const std::string& line, e2e::Method default_method);
+
+/// A request that failed to parse *after* its "id" was read: carries
+/// the id so the error response can echo it.
+struct PartialRequestError : std::runtime_error {
+  PartialRequestError(const std::string& what, json::Value id_in)
+      : std::runtime_error(what), id(std::move(id_in)) {}
+  json::Value id;
+};
+
+/// Stable wire name of a lookup outcome ("hit"/"miss"/"stale"/"corrupt").
+[[nodiscard]] const char* cache_lookup_name(CacheLookup outcome);
+
+/// Applies the cache-outcome bookkeeping run_batch performs on a result
+/// before emission: exactly one of stats.cache_hits / cache_misses /
+/// cache_stale is set to 1 (kCorrupt counts as a miss) and a kCorrupt
+/// outcome appends the kCorruptCache recovery warning.
+void apply_cache_outcome(e2e::BoundResult& result, CacheLookup outcome,
+                         const std::string& key);
+
+/// The solved/served response document ({"schema", "id", "ok": true,
+/// ["cache"], "result"}); `with_cache_tag` mirrors "a ResultCache is
+/// attached".
+[[nodiscard]] json::Value make_ok_response(const json::Value& id,
+                                           bool with_cache_tag,
+                                           CacheLookup outcome,
+                                           const e2e::BoundResult& result);
+
+/// The error response document ({"schema", "id", "ok": false, "error",
+/// ["kind"]}); `kind` (diag::solve_error_name) is emitted by the serve
+/// layer for classified service failures (timeout/overload/worker-lost)
+/// and omitted (kNone) for plain parse errors, matching run_batch.
+[[nodiscard]] json::Value make_error_response(
+    const json::Value& id, const std::string& error,
+    diag::SolveErrorKind kind = diag::SolveErrorKind::kNone);
 
 }  // namespace deltanc::io

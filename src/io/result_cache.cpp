@@ -27,10 +27,20 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) noexcept {
   stale += other.stale;
   corrupt += other.corrupt;
   stores += other.stores;
+  store_failures += other.store_failures;
   return *this;
 }
 
-ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::filesystem::path dir)
+    : ResultCache(std::move(dir), CacheShard{}) {}
+
+ResultCache::ResultCache(std::filesystem::path dir, CacheShard shard)
+    : dir_(std::move(dir)), shard_(shard) {
+  if (shard_.count < 1 || shard_.index < 0 || shard_.index >= shard_.count) {
+    throw std::invalid_argument("result cache: malformed shard " +
+                                std::to_string(shard_.index) + " of " +
+                                std::to_string(shard_.count));
+  }
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
@@ -38,6 +48,16 @@ ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
                              dir_.string() +
                              (ec ? ": " + ec.message() : std::string()));
   }
+}
+
+int ResultCache::shard_of(std::string_view key, int shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  // Top byte of the hash = the first two hex digits of the entry file
+  // name, so each shard owns a contiguous *prefix* range of the
+  // directory listing.
+  const std::uint64_t prefix = fnv1a64(key) >> 56;
+  return static_cast<int>(prefix * static_cast<std::uint64_t>(shard_count) /
+                          256);
 }
 
 std::filesystem::path ResultCache::directory_from_env(
@@ -166,6 +186,22 @@ void ResultCache::store(const std::string& key,
     throw std::runtime_error("result cache: cannot publish " + path.string());
   }
   ++stats_.stores;
+}
+
+bool ResultCache::try_store(const std::string& key,
+                            const e2e::BoundResult& result) noexcept {
+  if (injected_store_failures_ > 0) {
+    --injected_store_failures_;
+    ++stats_.store_failures;
+    return false;
+  }
+  try {
+    store(key, result);
+    return true;
+  } catch (...) {
+    ++stats_.store_failures;
+    return false;
+  }
 }
 
 }  // namespace deltanc::io

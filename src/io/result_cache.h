@@ -57,11 +57,22 @@ struct CacheStats {
   std::int64_t stale = 0;
   std::int64_t corrupt = 0;
   std::int64_t stores = 0;
+  /// Stores that could not be written (read-only directory, full disk,
+  /// or an injected fault): the caller solved through and kept serving.
+  std::int64_t store_failures = 0;
 
   [[nodiscard]] std::int64_t lookups() const noexcept {
     return hits + misses + stale + corrupt;
   }
   CacheStats& operator+=(const CacheStats& other) noexcept;
+};
+
+/// One slice of the cache keyspace: shard `index` of `count` owns the
+/// keys whose FNV file-name prefix falls in its contiguous range (see
+/// ResultCache::shard_of).  The default (0 of 1) owns everything.
+struct CacheShard {
+  int index = 0;
+  int count = 1;
 };
 
 /// Filesystem-backed store of BoundResults addressed by canonical solve
@@ -73,6 +84,30 @@ class ResultCache {
   /// Opens (and creates if needed) the cache directory.
   /// @throws std::runtime_error when the directory cannot be created.
   explicit ResultCache(std::filesystem::path dir);
+
+  /// Shard-aware open: same directory layout (shards share one
+  /// directory -- entries stay compatible with unsharded readers), but
+  /// this handle records which contiguous slice of the FNV keyspace it
+  /// serves.  Routing keys with shard_of() so that exactly one handle
+  /// ever touches a given key is what makes per-worker caches safe to
+  /// run lock-free against each other.
+  /// @throws std::invalid_argument on a malformed shard (count < 1 or
+  /// index outside [0, count)).
+  ResultCache(std::filesystem::path dir, CacheShard shard);
+
+  /// The shard owning `key` when the keyspace is split `shard_count`
+  /// ways: contiguous ranges of the top byte of the FNV-1a hash (the
+  /// first two hex digits of the entry file name), so shard i owns a
+  /// prefix range of the directory listing.
+  [[nodiscard]] static int shard_of(std::string_view key,
+                                    int shard_count) noexcept;
+
+  [[nodiscard]] const CacheShard& shard() const noexcept { return shard_; }
+
+  /// True when `key` falls in this handle's shard.
+  [[nodiscard]] bool owns(std::string_view key) const noexcept {
+    return shard_of(key, shard_.count) == shard_.index;
+  }
 
   /// The directory from DELTANC_CACHE_DIR, or `fallback` when the
   /// variable is unset or empty.
@@ -106,6 +141,18 @@ class ResultCache {
   /// corrupt ones) via atomic tmp + rename.
   /// @throws std::runtime_error when the entry cannot be written.
   void store(const std::string& key, const e2e::BoundResult& result);
+
+  /// Non-throwing store: a failed write (read-only directory, full
+  /// disk, or a fail_next_stores fault) bumps
+  /// CacheStats::store_failures and returns false so callers degrade to
+  /// solve-through instead of aborting mid-batch.
+  bool try_store(const std::string& key,
+                 const e2e::BoundResult& result) noexcept;
+
+  /// Deterministic fault injection: the next `n` try_store calls fail
+  /// (counted as store_failures) without touching the disk -- a
+  /// full-disk simulation for tests and serve::FaultPlan.
+  void fail_next_stores(int n) noexcept { injected_store_failures_ += n; }
 
   /// Convenience: lookup by (scenario, options); on anything but a hit,
   /// solves via `solve` and stores the result.  The returned result's
@@ -153,7 +200,9 @@ class ResultCache {
   void count(CacheLookup outcome) noexcept;
 
   std::filesystem::path dir_;
+  CacheShard shard_{};
   CacheStats stats_;
+  int injected_store_failures_ = 0;
 };
 
 }  // namespace deltanc::io

@@ -1,0 +1,128 @@
+#include "serve/fault_plan.h"
+
+#include <cmath>
+
+#include "sched/scheduler_spec.h"
+
+namespace deltanc::serve {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+bool parse_number(const std::string& text, double& out) {
+  // The service shares the CLI's strict locale-independent grammar: no
+  // whitespace, hexfloats, or leading '+' hiding in a fault spec.
+  return sched::parse_strict_double(text, out);
+}
+
+bool parse_count(const std::string& text, double min, double& out) {
+  return parse_number(text, out) && out >= min && out == std::floor(out) &&
+         out <= 1e9;
+}
+
+std::string format_number(double v) {
+  // Fault counts and ids are whole numbers in practice; print them
+  // without a trailing ".000000".
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return std::to_string(v);
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& spec, FaultPlan& out,
+                      std::string& error) {
+  FaultPlan plan;
+  if (spec.empty()) {
+    out = plan;
+    return true;
+  }
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> parts = split(entry, ':');
+    const std::string& head = parts[0];
+    double a = 0.0, b = 0.0;
+    if (head == "delay" && parts.size() == 3 &&
+        parse_number(parts[1], a) && parse_number(parts[2], b) && b >= 0) {
+      plan.delays.push_back(Delay{a, b});
+    } else if (head == "kill" && parts.size() == 3 &&
+               parse_count(parts[1], 0, a) && parse_count(parts[2], 1, b)) {
+      plan.kills.push_back(Kill{static_cast<int>(a),
+                                static_cast<std::uint64_t>(b)});
+    } else if (head == "store-fail" && parts.size() == 2 &&
+               parse_count(parts[1], 0, a)) {
+      plan.store_failures += static_cast<int>(a);
+    } else if (head == "load-corrupt" && parts.size() == 2 &&
+               parse_count(parts[1], 0, a)) {
+      plan.load_corrupts += static_cast<int>(a);
+    } else {
+      error = "bad fault entry '" + entry +
+              "' (want delay:<id>:<ms>, kill:<worker>:<k>, store-fail:<n>, "
+              "or load-corrupt:<n>)";
+      return false;
+    }
+  }
+  out = plan;
+  return true;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  const auto append = [&out](const std::string& entry) {
+    if (!out.empty()) out += ';';
+    out += entry;
+  };
+  for (const Kill& k : kills) {
+    append("kill:" + std::to_string(k.worker) + ":" + std::to_string(k.at));
+  }
+  for (const Delay& d : delays) {
+    append("delay:" + format_number(d.id) + ":" + format_number(d.ms));
+  }
+  if (store_failures > 0) {
+    append("store-fail:" + std::to_string(store_failures));
+  }
+  if (load_corrupts > 0) {
+    append("load-corrupt:" + std::to_string(load_corrupts));
+  }
+  return out;
+}
+
+double FaultClock::delay_ms_for(double id) const {
+  double total = 0.0;
+  for (const FaultPlan::Delay& d : plan_.delays) {
+    if (d.id == id) total += d.ms;
+  }
+  return total;
+}
+
+bool FaultClock::should_kill(int worker, std::uint64_t handled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < plan_.kills.size(); ++i) {
+    const FaultPlan::Kill& k = plan_.kills[i];
+    if (!kill_fired_[i] && k.worker == worker && k.at == handled) {
+      kill_fired_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultClock::corrupt_next_load() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (load_corrupt_budget_ <= 0) return false;
+  --load_corrupt_budget_;
+  return true;
+}
+
+}  // namespace deltanc::serve

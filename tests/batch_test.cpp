@@ -261,5 +261,81 @@ TEST(Batch, PerRequestOptionsGroupAndSolveCorrectly) {
             paper_direct.delay_ms);
 }
 
+TEST(Batch, FinalLineWithoutTrailingNewlineIsAnswered) {
+  // A request file truncated mid-stream (`emit-batch | head -c`, a
+  // client hanging up after an unterminated write) still ends in a
+  // valid request -- it must be answered, not silently dropped.
+  std::stringstream in(request_line(small_scenario(60), 0) + "\n" +
+                       request_line(small_scenario(40), 1));  // no '\n'
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_EQ(summary.requests, 2);
+  EXPECT_EQ(summary.responses, 2);
+  EXPECT_FALSE(summary.output_failed);
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[1].at("id").as_number(), 1.0);
+  EXPECT_TRUE(responses[1].at("ok").as_bool());
+}
+
+TEST(Batch, OutputFailureIsReportedNotFatal) {
+  // The consumer of the response stream hanging up (SIGPIPE is ignored
+  // in the CLI; the stream just goes bad) must stop emission and be
+  // reported via BatchSummary::output_failed, never crash the batch.
+  class FailAfter : public std::streambuf {
+   public:
+    explicit FailAfter(std::size_t limit) : limit_(limit) {}
+
+   protected:
+    int overflow(int ch) override {
+      if (written_ >= limit_) return traits_type::eof();  // "EPIPE"
+      ++written_;
+      return ch;
+    }
+
+   private:
+    std::size_t limit_;
+    std::size_t written_ = 0;
+  };
+
+  std::stringstream in(request_line(small_scenario(60), 0) + "\n" +
+                       request_line(small_scenario(40), 1) + "\n");
+  FailAfter buffer(10);  // dies mid-first-response
+  std::ostream out(&buffer);
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_TRUE(summary.output_failed);
+  EXPECT_EQ(summary.requests, 2);
+  EXPECT_LT(summary.responses, 2);
+}
+
+TEST(Batch, StoreFailureDegradesToCountedSolveThrough) {
+  // A full disk (simulated via the deterministic fault hook) must not
+  // stop the batch: the result is still answered, the failure counted.
+  ResultCache cache(fresh_cache_dir("deltanc_batch_store_fail"));
+  cache.fail_next_stores(1);
+  const std::string requests = request_line(small_scenario(60), 0) + "\n";
+
+  BatchOptions options;
+  options.cache = &cache;
+  std::stringstream in(requests);
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, options);
+  EXPECT_EQ(summary.solved, 1);
+  EXPECT_EQ(summary.cache_stats.stores, 0);
+  EXPECT_EQ(summary.cache_stats.store_failures, 1);
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+
+  // The entry never landed, so a rerun is a miss -- and this store
+  // succeeds, healing the cache.
+  std::stringstream again_in(requests);
+  std::ostringstream again_out;
+  const BatchSummary again = run_batch(again_in, again_out, options);
+  EXPECT_EQ(again.solved, 1);
+  EXPECT_EQ(again.cache_stats.stores, 1);
+  EXPECT_EQ(again.cache_stats.store_failures, 0);
+}
+
 }  // namespace
 }  // namespace deltanc::io

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "deltanc/version.h"
 
@@ -330,6 +334,137 @@ TEST_F(ResultCacheTest, DirectoryFromEnvPrefersTheVariable) {
   ASSERT_EQ(::unsetenv("DELTANC_CACHE_DIR"), 0);
   EXPECT_EQ(ResultCache::directory_from_env("/fallback"),
             std::filesystem::path("/fallback"));
+}
+
+TEST_F(ResultCacheTest, ShardOfPartitionsTheKeyspaceContiguously) {
+  // Every key lands in exactly one shard, every count: a partition.
+  const std::string keys[] = {"", "a", "foobar", "scenario-ish{\"x\":1}",
+                              "another key", "yet another"};
+  for (const int count : {1, 2, 3, 4, 7, 8, 256}) {
+    for (const std::string& key : keys) {
+      const int shard = ResultCache::shard_of(key, count);
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, count);
+    }
+  }
+  // Contiguity: the shard index is monotone in the top hash byte, so
+  // shard i owns one contiguous prefix range of the directory listing.
+  int previous = 0;
+  for (int prefix = 0; prefix < 256; ++prefix) {
+    const int shard =
+        static_cast<int>(static_cast<unsigned>(prefix) * 4u / 256u);
+    EXPECT_GE(shard, previous);
+    previous = shard;
+  }
+  // Degenerate counts collapse to the single shard.
+  EXPECT_EQ(ResultCache::shard_of("anything", 1), 0);
+  EXPECT_EQ(ResultCache::shard_of("anything", 0), 0);
+}
+
+TEST_F(ResultCacheTest, ShardedHandlesShareOneDirectoryWithUnshardedReaders) {
+  const auto dir = cache_dir();
+  const e2e::Scenario sc = small_scenario(64);
+  const std::string key = solve_cache_key(sc, SolveOptions{});
+  const int owner = ResultCache::shard_of(key, 4);
+
+  ResultCache shard(dir, CacheShard{owner, 4});
+  EXPECT_TRUE(shard.owns(key));
+  EXPECT_EQ(shard.shard().index, owner);
+  e2e::BoundResult stored;
+  stored.delay_ms = 21.5;
+  shard.store(key, stored);
+
+  // The sharded store is a plain entry: an unsharded reader of the same
+  // directory hits it bit-exactly (what keeps --serve's cache directory
+  // compatible with one-shot --batch runs).
+  ResultCache plain(dir);
+  e2e::BoundResult found;
+  EXPECT_EQ(plain.lookup(key, found), CacheLookup::kHit);
+  EXPECT_EQ(found.delay_ms, 21.5);
+
+  EXPECT_THROW(ResultCache(dir, CacheShard{4, 4}), std::invalid_argument);
+  EXPECT_THROW(ResultCache(dir, CacheShard{-1, 4}), std::invalid_argument);
+  EXPECT_THROW(ResultCache(dir, CacheShard{0, 0}), std::invalid_argument);
+}
+
+TEST_F(ResultCacheTest, TryStoreCountsFailuresAndKeepsServing) {
+  ResultCache cache(cache_dir());
+  cache.fail_next_stores(2);
+  e2e::BoundResult result;
+  result.delay_ms = 10.0;
+  EXPECT_FALSE(cache.try_store("key-a", result));
+  EXPECT_FALSE(cache.try_store("key-b", result));
+  EXPECT_TRUE(cache.try_store("key-c", result));  // budget drained
+  EXPECT_EQ(cache.stats().store_failures, 2);
+  EXPECT_EQ(cache.stats().stores, 1);
+  // The failed keys never landed; the successful one did.
+  e2e::BoundResult found;
+  EXPECT_EQ(cache.lookup("key-a", found), CacheLookup::kMiss);
+  EXPECT_EQ(cache.lookup("key-c", found), CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, ConcurrentHammerNeverServesWrongBytes) {
+  // Satellite guard for the persistent service: N threads, each with
+  // its own handle on ONE directory, store and look up overlapping
+  // keys while one entry is corrupted mid-flight.  The contract under
+  // fire: a lookup returns kHit only with the exact stored result --
+  // wrong hits and crashes are the failure modes, kMiss/kStale/
+  // kCorrupt are all acceptable transients.
+  const auto dir = cache_dir();
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  constexpr int kRounds = 60;
+
+  const auto expected_delay = [](int k) { return 100.0 + k; };
+  std::vector<std::string> keys;
+  for (int k = 0; k < kKeys; ++k) {
+    keys.push_back("hammer-key-" + std::to_string(k));
+  }
+
+  ResultCache seed(dir);
+  for (int k = 0; k < kKeys; ++k) {
+    e2e::BoundResult r;
+    r.delay_ms = expected_delay(k);
+    seed.store(keys[k], r);
+  }
+  // One entry starts corrupt; workers re-store over it as they go.
+  write_file(seed.entry_path(keys[3]), "NOT JSON {{{");
+
+  std::atomic<int> wrong_hits{0};
+  std::atomic<long long> hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ResultCache cache(dir);  // per-thread handle, shared directory
+      for (int round = 0; round < kRounds; ++round) {
+        const int k = (t + round) % kKeys;
+        e2e::BoundResult found;
+        const CacheLookup outcome = cache.lookup(keys[k], found);
+        if (outcome == CacheLookup::kHit &&
+            found.delay_ms != expected_delay(k)) {
+          ++wrong_hits;
+        }
+        if (outcome == CacheLookup::kHit) ++hits;
+        if (outcome != CacheLookup::kHit || round % 7 == t % 7) {
+          e2e::BoundResult fresh;
+          fresh.delay_ms = expected_delay(k);
+          (void)cache.try_store(keys[k], fresh);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong_hits, 0);
+  EXPECT_GT(hits, 0);
+  // The corrupted entry healed: every key reads back bit-exactly.
+  ResultCache verify(dir);
+  for (int k = 0; k < kKeys; ++k) {
+    e2e::BoundResult found;
+    EXPECT_EQ(verify.lookup(keys[k], found), CacheLookup::kHit) << keys[k];
+    EXPECT_EQ(found.delay_ms, expected_delay(k));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,458 @@
+// The persistent solve service: fault-plan grammar, bounded-queue
+// backpressure, warm-layer behavior, and every robustness path --
+// timeout, crashed-worker requeue/retry-exhaustion, store-failure
+// solve-through, corrupt-load recovery, reload, and drain -- each
+// driven deterministically via serve::FaultPlan.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/codec.h"
+#include "serve/bounded_queue.h"
+#include "serve/fault_plan.h"
+
+namespace deltanc::serve {
+namespace {
+
+using io::json::Value;
+
+e2e::Scenario small_scenario(int n_cross) {
+  e2e::Scenario sc;
+  sc.hops = 3;
+  sc.n_through = 80;
+  sc.n_cross = n_cross;
+  sc.epsilon = 1e-6;
+  sc.scheduler = e2e::Scheduler::kFifo;
+  return sc;
+}
+
+std::string request_line(const e2e::Scenario& sc, int id) {
+  Value req = Value::object();
+  req.set("schema", Value::number(io::kSchemaVersion))
+      .set("id", Value::number(id))
+      .set("scenario", io::encode_scenario(sc));
+  return req.dump();
+}
+
+std::filesystem::path fresh_cache_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Thread-safe response collector; tests block until N answers arrive.
+class Collector {
+ public:
+  SolveService::Sink sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+      cv_.notify_all();
+    };
+  }
+
+  std::vector<Value> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::seconds(30),
+                 [&] { return lines_.size() >= n; });
+    std::vector<Value> out;
+    for (const std::string& line : lines_) out.push_back(Value::parse(line));
+    return out;
+  }
+
+  std::size_t count() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+};
+
+/// Finds the response whose "id" is `id`; fails the test when absent.
+const Value* find_id(const std::vector<Value>& responses, double id) {
+  for (const Value& r : responses) {
+    const Value* rid = r.find("id");
+    if (rid != nullptr && rid->is_number() && rid->as_number() == id) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+// ----- FaultPlan grammar ---------------------------------------------------
+
+TEST(FaultPlan, ParsesEveryEntryKindAndRoundTrips) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse(
+      "kill:0:3;delay:7:250;store-fail:2;load-corrupt:1", plan, error))
+      << error;
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].worker, 0);
+  EXPECT_EQ(plan.kills[0].at, 3u);
+  ASSERT_EQ(plan.delays.size(), 1u);
+  EXPECT_EQ(plan.delays[0].id, 7.0);
+  EXPECT_EQ(plan.delays[0].ms, 250.0);
+  EXPECT_EQ(plan.store_failures, 2);
+  EXPECT_EQ(plan.load_corrupts, 1);
+
+  // The canonical spelling parses back to the same plan.
+  FaultPlan again;
+  ASSERT_TRUE(FaultPlan::parse(plan.to_string(), again, error)) << error;
+  EXPECT_EQ(again.to_string(), plan.to_string());
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlanAndBadSpecsAreRejected) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("", plan, error));
+  EXPECT_TRUE(plan.empty());
+
+  for (const char* bad :
+       {"kill:0", "kill:a:1", "kill:0:0", "delay:1", "nap:1:2",
+        "store-fail:-1", "store-fail:1.5", "load-corrupt:x",
+        "kill:0:1;bogus"}) {
+    EXPECT_FALSE(FaultPlan::parse(bad, plan, error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(FaultPlan, KillsFireOncePerEntryAndDelaysAreNotConsumed) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("kill:1:2;delay:5:10;load-corrupt:2", plan,
+                               error));
+  FaultClock clock(plan);
+  EXPECT_FALSE(clock.should_kill(0, 2));  // wrong worker
+  EXPECT_FALSE(clock.should_kill(1, 1));  // wrong count
+  EXPECT_TRUE(clock.should_kill(1, 2));
+  EXPECT_FALSE(clock.should_kill(1, 2));  // one-shot
+
+  // A requeued request is delayed again (delays never deplete).
+  EXPECT_EQ(clock.delay_ms_for(5.0), 10.0);
+  EXPECT_EQ(clock.delay_ms_for(5.0), 10.0);
+  EXPECT_EQ(clock.delay_ms_for(6.0), 0.0);
+
+  EXPECT_TRUE(clock.corrupt_next_load());
+  EXPECT_TRUE(clock.corrupt_next_load());
+  EXPECT_FALSE(clock.corrupt_next_load());  // budget drained
+}
+
+// ----- BoundedQueue --------------------------------------------------------
+
+TEST(BoundedQueue, FullQueueRejectsButRequeueJumpsTheBound) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));     // backpressure
+  EXPECT_TRUE(queue.push_front(99));   // accepted work never bounces
+  EXPECT_EQ(queue.pop().value(), 99);  // and jumps the line
+  EXPECT_EQ(queue.pop().value(), 1);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_EQ(queue.pop().value(), 2);        // close() still drains
+  EXPECT_FALSE(queue.pop().has_value());    // then signals shutdown
+}
+
+// ----- SolveService --------------------------------------------------------
+
+TEST(SolveServiceTest, SolvesParsesAndIgnoresBlankLines) {
+  ServeOptions options;
+  options.workers = 2;
+  SolveService service(options);
+  Collector collector;
+  service.submit(request_line(small_scenario(60), 0), collector.sink());
+  service.submit("   ", collector.sink());  // ignored, no response
+  service.submit("{\"schema\":3,\"id\":7,\"scenario\":42}",
+                 collector.sink());  // undecodable, answered in place
+  const std::vector<Value> responses = collector.wait_for(2);
+  ASSERT_EQ(responses.size(), 2u);
+
+  const Value* solved = find_id(responses, 0.0);
+  ASSERT_NE(solved, nullptr);
+  EXPECT_TRUE(solved->at("ok").as_bool());
+  // No cache directory attached: no "cache" tag, like cache-less batch.
+  EXPECT_EQ(solved->find("cache"), nullptr);
+  const e2e::BoundResult direct = e2e::best_delay_bound(small_scenario(60));
+  EXPECT_EQ(io::decode_bound_result(solved->at("result")).delay_ms,
+            direct.delay_ms);
+
+  const Value* bad = find_id(responses, 7.0);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->at("ok").as_bool());
+  EXPECT_EQ(bad->find("kind"), nullptr);  // plain parse error, no kind
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.received, 2);
+  EXPECT_EQ(stats.answered, 2);
+  EXPECT_EQ(stats.solved, 1);
+  EXPECT_EQ(stats.parse_errors, 1);
+}
+
+TEST(SolveServiceTest, WarmLayersServeRepeatsAndReloadDropsMemory) {
+  ServeOptions options;
+  options.workers = 1;
+  options.cache_dir = fresh_cache_dir("serve_warm");
+  SolveService service(options);
+  Collector collector;
+  const std::string line = request_line(small_scenario(50), 0);
+
+  service.submit(line, collector.sink());
+  collector.wait_for(1);
+  service.submit(line, collector.sink());  // memory hit
+  collector.wait_for(2);
+  service.reload();                        // drops the memory layer
+  service.submit(line, collector.sink());  // disk hit
+  const std::vector<Value> responses = collector.wait_for(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].at("cache").as_string(), "miss");
+  EXPECT_EQ(responses[1].at("cache").as_string(), "hit");
+  EXPECT_EQ(responses[2].at("cache").as_string(), "hit");
+  // Both warm responses are byte-identical to each other, and identical
+  // to the cold one except for the cache-outcome counters the hit path
+  // annotates (exactly what one-shot --batch emits on a warm run).
+  EXPECT_EQ(responses[2].at("result").dump(),
+            responses[1].at("result").dump());
+  for (int i : {1, 2}) {
+    EXPECT_EQ(responses[i].at("result").at("delay_ms").dump(),
+              responses[0].at("result").at("delay_ms").dump());
+    EXPECT_EQ(
+        responses[i].at("result").at("stats").at("cache_hits").as_number(),
+        1.0);
+  }
+  EXPECT_EQ(
+      responses[0].at("result").at("stats").at("cache_misses").as_number(),
+      1.0);
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.solved, 1);
+  EXPECT_EQ(stats.served, 2);
+  EXPECT_EQ(stats.memory_hits, 1);  // the post-reload hit came from disk
+  EXPECT_EQ(stats.reloads, 1);
+  // Cache traffic survives the reload (retired + live handles).
+  EXPECT_EQ(stats.cache.stores, 1);
+  EXPECT_EQ(stats.cache.hits, 1);
+}
+
+TEST(SolveServiceTest, DeadlineOverrunAnswersClassifiedTimeout) {
+  ServeOptions options;
+  options.workers = 1;
+  options.deadline_ms = 60;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("delay:5:2000", options.faults, error));
+  SolveService service(options);
+  Collector collector;
+  service.submit(request_line(small_scenario(45), 5), collector.sink());
+  const std::vector<Value> responses = collector.wait_for(1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_EQ(responses[0].at("kind").as_string(), "timeout");
+
+  // The replacement worker keeps serving after the zombie is abandoned.
+  service.submit(request_line(small_scenario(46), 6), collector.sink());
+  const std::vector<Value> more = collector.wait_for(2);
+  const Value* next = find_id(more, 6.0);
+  ASSERT_NE(next, nullptr);
+  EXPECT_TRUE(next->at("ok").as_bool());
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.timeouts, 1);
+  EXPECT_GE(stats.respawns, 1);
+  EXPECT_EQ(stats.answered, 2);
+}
+
+TEST(SolveServiceTest, CrashedWorkerRequeuesAndStillAnswers) {
+  ServeOptions options;
+  options.workers = 1;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("kill:0:1", options.faults, error));
+  SolveService service(options);
+  Collector collector;
+  service.submit(request_line(small_scenario(44), 3), collector.sink());
+  const std::vector<Value> responses = collector.wait_for(1);
+  ASSERT_EQ(responses.size(), 1u);
+  // The crash is invisible to the client: the retry answered normally.
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.worker_losses, 1);
+  EXPECT_EQ(stats.requeues, 1);
+  EXPECT_GE(stats.respawns, 1);
+  EXPECT_EQ(stats.exhausted, 0);
+}
+
+TEST(SolveServiceTest, RetryExhaustionClassifiesWorkerLost) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_requeues = 2;
+  std::string error;
+  // Every incumbent dies on its first dequeue: initial try + 2 retries.
+  ASSERT_TRUE(FaultPlan::parse("kill:0:1;kill:0:1;kill:0:1", options.faults,
+                               error));
+  SolveService service(options);
+  Collector collector;
+  service.submit(request_line(small_scenario(43), 9), collector.sink());
+  const std::vector<Value> responses = collector.wait_for(1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_EQ(responses[0].at("kind").as_string(), "worker-lost");
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.worker_losses, 3);
+  EXPECT_EQ(stats.requeues, 2);
+  EXPECT_EQ(stats.exhausted, 1);
+  EXPECT_EQ(stats.answered, 1);  // classified, never silently dropped
+}
+
+TEST(SolveServiceTest, StoreFailureDegradesToCountedSolveThrough) {
+  ServeOptions options;
+  options.workers = 1;
+  options.memory_entries = 0;  // force every repeat through the disk
+  options.cache_dir = fresh_cache_dir("serve_store_fail");
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("store-fail:1", options.faults, error));
+  SolveService service(options);
+  Collector collector;
+  const std::string line = request_line(small_scenario(42), 0);
+
+  service.submit(line, collector.sink());  // solves; store fails
+  collector.wait_for(1);
+  service.submit(line, collector.sink());  // still a miss; store succeeds
+  collector.wait_for(2);
+  service.submit(line, collector.sink());  // now a disk hit
+  const std::vector<Value> responses = collector.wait_for(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].at("cache").as_string(), "miss");
+  EXPECT_EQ(responses[1].at("cache").as_string(), "miss");
+  EXPECT_EQ(responses[2].at("cache").as_string(), "hit");
+  for (const Value& r : responses) EXPECT_TRUE(r.at("ok").as_bool());
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.cache.store_failures, 1);
+  EXPECT_EQ(stats.cache.stores, 1);
+  EXPECT_EQ(stats.solved, 2);
+  EXPECT_EQ(stats.served, 1);
+}
+
+TEST(SolveServiceTest, InjectedCorruptLoadRecoversLikeBatch) {
+  ServeOptions options;
+  options.workers = 1;
+  options.memory_entries = 0;
+  options.cache_dir = fresh_cache_dir("serve_corrupt");
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("load-corrupt:1", options.faults, error));
+  SolveService service(options);
+  Collector collector;
+  const std::string line = request_line(small_scenario(41), 0);
+
+  service.submit(line, collector.sink());  // cold solve + store
+  collector.wait_for(1);
+  service.submit(line, collector.sink());  // hit forced corrupt: re-solve
+  collector.wait_for(2);
+  service.submit(line, collector.sink());  // clean hit again
+  const std::vector<Value> responses = collector.wait_for(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[1].at("cache").as_string(), "corrupt");
+  EXPECT_EQ(responses[2].at("cache").as_string(), "hit");
+  // The recovery carries the same warning the batch path emits.
+  const std::string warnings =
+      responses[1].at("result").at("diagnostics").dump();
+  EXPECT_NE(warnings.find("unreadable"), std::string::npos);
+  service.drain();
+}
+
+TEST(SolveServiceTest, FullQueueAndDrainingAnswerClassifiedOverload) {
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_depth = 1;
+  std::string error;
+  // Hold the single worker busy so follow-ups pile into the queue.
+  ASSERT_TRUE(FaultPlan::parse("delay:0:400", options.faults, error));
+  SolveService service(options);
+  Collector collector;
+  const auto submit_id = [&](int id) {
+    service.submit(request_line(small_scenario(40 + id), id),
+                   collector.sink());
+  };
+  submit_id(0);  // occupies the worker (delayed 400 ms)
+  // Give the worker a beat to dequeue id 0 before filling the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  submit_id(1);  // fills the depth-1 queue (or is itself rejected on a
+  submit_id(2);  // slow machine where id 0 is still queued)
+  submit_id(3);
+  const std::vector<Value> responses = collector.wait_for(4);
+  ASSERT_EQ(responses.size(), 4u);
+  // id 0 was accepted first and must be answered; of ids 1-3, at least
+  // two bounce off the depth-1 queue with a classified overload.
+  const Value* first = find_id(responses, 0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->at("ok").as_bool());
+  int overloads = 0;
+  for (const int id : {1, 2, 3}) {
+    const Value* r = find_id(responses, id);
+    ASSERT_NE(r, nullptr);
+    if (!r->at("ok").as_bool()) {
+      EXPECT_EQ(r->at("kind").as_string(), "overload");
+      ++overloads;
+    }
+  }
+  EXPECT_GE(overloads, 2);
+
+  service.drain();
+  // Post-drain submissions are refused with the same classification.
+  Collector late;
+  service.submit(request_line(small_scenario(39), 8), late.sink());
+  const std::vector<Value> refused = late.wait_for(1);
+  ASSERT_EQ(refused.size(), 1u);
+  EXPECT_FALSE(refused[0].at("ok").as_bool());
+  EXPECT_EQ(refused[0].at("kind").as_string(), "overload");
+  EXPECT_EQ(service.stats().overloads, overloads + 1);
+}
+
+TEST(SolveServiceTest, DrainAnswersEverythingAcceptedExactlyOnce) {
+  ServeOptions options;
+  options.workers = 4;
+  options.cache_dir = fresh_cache_dir("serve_drain");
+  SolveService service(options);
+  Collector collector;
+  constexpr int kRequests = 48;
+  for (int i = 0; i < kRequests; ++i) {
+    // 12 distinct keys cycled 4x: exercises all shards plus warm hits.
+    service.submit(request_line(small_scenario(30 + (i % 12)), i),
+                   collector.sink());
+  }
+  service.drain();  // must block until every request is answered
+  EXPECT_EQ(collector.count(), static_cast<std::size_t>(kRequests));
+  const std::vector<Value> responses = collector.wait_for(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    const Value* r = find_id(responses, i);
+    ASSERT_NE(r, nullptr) << "request " << i << " was never answered";
+    EXPECT_TRUE(r->at("ok").as_bool());
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.received, kRequests);
+  EXPECT_EQ(stats.answered, kRequests);
+  EXPECT_EQ(stats.solved, 12);
+  EXPECT_EQ(stats.served, kRequests - 12);
+}
+
+}  // namespace
+}  // namespace deltanc::serve

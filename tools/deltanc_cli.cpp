@@ -9,6 +9,8 @@
 //   deltanc_cli --sweep hops=2,5,10 --threads 4 --csv
 //   deltanc_cli --sweep uc=0.1:0.8:8 --emit-batch > requests.jsonl
 //   deltanc_cli --batch requests.jsonl --cache-dir ~/.cache/deltanc
+//   deltanc_cli --serve /tmp/deltanc.sock --serve-workers 4
+//               --cache-dir ~/.cache/deltanc   (one line)
 //
 // Run with --help for the full flag reference (kept in sync with
 // README.md's flag table).  Unknown flags are rejected with a usage
@@ -20,6 +22,7 @@
 // human narration -- progress, summaries, stats, warnings, diagnostics
 // -- goes to stderr, so every mode can be piped straight into a parser.
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +40,7 @@
 #include "core/sweep.h"
 #include "io/batch.h"
 #include "sched/scheduler_spec.h"
+#include "serve/listener.h"
 
 namespace {
 
@@ -102,10 +106,34 @@ Batch service mode (JSONL on stdout, narration on stderr):
   --lint-jsonl <file|->  parse+decode a request/response file, report
                          the first malformed line, solve nothing
 
+Persistent service mode (long-running; same JSONL protocol):
+  --serve <socket>       serve batch requests on a Unix-domain socket,
+                         keeping workspaces, eb-memos, and the result
+                         cache warm across requests (keyspace sharded
+                         across the workers); SIGTERM/SIGINT drain --
+                         every accepted request is answered -- and
+                         SIGHUP drops the warm layer and reopens the
+                         cache directory
+  --serve-workers <n>    worker (= cache shard) count
+                         (default: the --threads rule)
+  --serve-queue <n>      per-worker queue depth; a full queue answers
+                         a classified overload error     (default 512)
+  --serve-memory <n>     per-worker in-memory warm results, 0 = disk
+                         cache only                    (default 65536)
+  --deadline-ms <ms>     per-request deadline; an overrun is answered
+                         as a classified timeout and the worker is
+                         replaced                 (default: no limit)
+  --fault-plan <spec>    deterministic fault injection (flag wins over
+                         the DELTANC_FAULT_PLAN env var); entries
+                         kill:<worker>:<k>; delay:<id>:<ms>;
+                         store-fail:<n>; load-corrupt:<n>, joined
+                         with ';'
+
 Exit codes: 0 all ok; 1 failed points / bound violated / self-check
 issues / malformed batch lines; 2 usage error or invalid scenario;
 3 completed but some points carry warnings or needed recoveries
-(including corrupt-cache-entry re-solves).
+(including corrupt-cache-entry re-solves and failed cache stores);
+4 the output consumer hung up before every response was written.
 
   --help                 this text
 )";
@@ -340,16 +368,33 @@ int run_batch_mode(const std::string& path, int threads, e2e::Method method,
     const io::CacheStats& cs = summary.cache_stats;
     std::fprintf(stderr,
                  "cache: dir=%s hits=%lld misses=%lld stale=%lld "
-                 "corrupt=%lld stores=%lld\n",
+                 "corrupt=%lld stores=%lld store_failures=%lld\n",
                  cache->directory().c_str(), static_cast<long long>(cs.hits),
                  static_cast<long long>(cs.misses),
                  static_cast<long long>(cs.stale),
                  static_cast<long long>(cs.corrupt),
-                 static_cast<long long>(cs.stores));
+                 static_cast<long long>(cs.stores),
+                 static_cast<long long>(cs.store_failures));
+    if (cs.store_failures > 0) {
+      std::fprintf(stderr,
+                   "warning: %lld cache store(s) failed; those results were "
+                   "solved through and answered uncached\n",
+                   static_cast<long long>(cs.store_failures));
+    }
   }
   if (want_stats) print_stats(summary.stats, stderr);
+  if (summary.output_failed) {
+    std::fprintf(stderr,
+                 "batch: output closed early; %lld response(s) were never "
+                 "written\n",
+                 static_cast<long long>(summary.requests - summary.responses));
+    return 4;
+  }
   if (summary.parse_errors > 0 || summary.failed > 0) return 1;
-  return summary.cache_stats.corrupt > 0 ? 3 : 0;
+  return (summary.cache_stats.corrupt > 0 ||
+          summary.cache_stats.store_failures > 0)
+             ? 3
+             : 0;
 }
 
 /// --lint-jsonl: every non-blank line must parse as JSON, carry the
@@ -388,9 +433,127 @@ int run_lint_jsonl(const std::string& path) {
   return bad > 0 ? 1 : 0;
 }
 
+// ----- --serve ------------------------------------------------------------
+
+// Signal flags for the persistent service: the accept loop polls these
+// between accepts (async-signal-safe -- handlers only set a flag).
+volatile std::sig_atomic_t g_serve_stop = 0;
+volatile std::sig_atomic_t g_serve_reload = 0;
+
+extern "C" void serve_stop_handler(int) { g_serve_stop = 1; }
+extern "C" void serve_reload_handler(int) { g_serve_reload = 1; }
+
+struct ServeCliOptions {
+  std::string socket_path;
+  int workers = 0;             ///< 0 = the --threads rule
+  std::size_t queue_depth = 512;
+  std::size_t memory_entries = 1 << 16;
+  double deadline_ms = 0.0;
+  std::string fault_spec;      ///< "" = DELTANC_FAULT_PLAN env, if set
+};
+
+/// --serve: the persistent solve service on a Unix-domain socket.
+/// Returns 0 on a clean SIGTERM/SIGINT drain (every accepted request
+/// answered), 2 when the socket or cache directory cannot be set up.
+int run_serve_mode(const ServeCliOptions& cli, int threads,
+                   e2e::Method method, const std::string& cache_dir) {
+  std::string spec = cli.fault_spec;
+  if (spec.empty()) {
+    if (const char* env = std::getenv("DELTANC_FAULT_PLAN")) spec = env;
+  }
+  serve::ServeOptions options;
+  std::string fault_error;
+  if (!serve::FaultPlan::parse(spec, options.faults, fault_error)) {
+    usage_error("--fault-plan: " + fault_error);
+  }
+  options.workers = cli.workers > 0 ? cli.workers : threads;
+  options.queue_depth = cli.queue_depth;
+  options.memory_entries = cli.memory_entries;
+  options.deadline_ms = cli.deadline_ms;
+  options.default_method = method;
+  options.cache_dir = cache_dir.empty()
+                          ? io::ResultCache::directory_from_env({})
+                          : std::filesystem::path(cache_dir);
+
+  std::signal(SIGTERM, serve_stop_handler);
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGHUP, serve_reload_handler);
+
+  std::optional<serve::SolveService> service;
+  try {
+    service.emplace(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deltanc_cli: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "serve: listening on %s (%d worker(s), queue %zu, "
+               "deadline %s, cache %s)%s%s\n",
+               cli.socket_path.c_str(), service->workers(),
+               options.queue_depth,
+               options.deadline_ms > 0
+                   ? (std::to_string(options.deadline_ms) + " ms").c_str()
+                   : "off",
+               options.cache_dir.empty() ? "off"
+                                         : options.cache_dir.c_str(),
+               options.faults.empty() ? "" : ", faults ",
+               options.faults.empty() ? ""
+                                      : options.faults.to_string().c_str());
+
+  serve::ListenerOptions listener;
+  listener.socket_path = cli.socket_path;
+  listener.stop = &g_serve_stop;
+  listener.reload = &g_serve_reload;
+  const bool clean = serve::run_socket_server(*service, listener, std::cerr);
+  service->drain();  // idempotent; covers the bind-failure early return
+
+  const serve::ServeStats stats = service->stats();
+  std::fprintf(stderr,
+               "serve: received=%lld answered=%lld solved=%lld served=%lld "
+               "memory_hits=%lld parse_errors=%lld failed=%lld\n",
+               static_cast<long long>(stats.received),
+               static_cast<long long>(stats.answered),
+               static_cast<long long>(stats.solved),
+               static_cast<long long>(stats.served),
+               static_cast<long long>(stats.memory_hits),
+               static_cast<long long>(stats.parse_errors),
+               static_cast<long long>(stats.failed));
+  std::fprintf(stderr,
+               "serve: timeouts=%lld overloads=%lld worker_losses=%lld "
+               "requeues=%lld exhausted=%lld discarded=%lld dropped=%lld "
+               "respawns=%d reloads=%d\n",
+               static_cast<long long>(stats.timeouts),
+               static_cast<long long>(stats.overloads),
+               static_cast<long long>(stats.worker_losses),
+               static_cast<long long>(stats.requeues),
+               static_cast<long long>(stats.exhausted),
+               static_cast<long long>(stats.discarded),
+               static_cast<long long>(stats.dropped), stats.respawns,
+               stats.reloads);
+  if (!options.cache_dir.empty()) {
+    const io::CacheStats& cs = stats.cache;
+    std::fprintf(stderr,
+                 "cache: dir=%s hits=%lld misses=%lld stale=%lld "
+                 "corrupt=%lld stores=%lld store_failures=%lld\n",
+                 options.cache_dir.c_str(), static_cast<long long>(cs.hits),
+                 static_cast<long long>(cs.misses),
+                 static_cast<long long>(cs.stale),
+                 static_cast<long long>(cs.corrupt),
+                 static_cast<long long>(cs.stores),
+                 static_cast<long long>(cs.store_failures));
+  }
+  return clean ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // A consumer hanging up mid-pipe (`--batch | head`, a serve client
+  // disconnecting) must surface as a classified exit code, not a
+  // SIGPIPE death: writes fail with EPIPE / a bad stream instead.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   ScenarioBuilder builder;
   e2e::Method method = e2e::Method::kExactOpt;
   bool want_additive = false;
@@ -406,6 +569,7 @@ int main(int argc, char** argv) {
   std::string batch_path;
   std::string lint_path;
   std::string cache_dir;
+  ServeCliOptions serve_cli;
   std::vector<SweepAxisSpec> sweep_axes;
 
   for (int i = 1; i < argc; ++i) {
@@ -473,6 +637,27 @@ int main(int argc, char** argv) {
       want_emit_batch = true;
     } else if (flag == "--cache-dir") {
       cache_dir = next();
+    } else if (flag == "--serve") {
+      serve_cli.socket_path = next();
+    } else if (flag == "--serve-workers") {
+      serve_cli.workers =
+          static_cast<int>(parse_double(next(), "--serve-workers"));
+      if (serve_cli.workers < 1) usage_error("--serve-workers must be >= 1");
+    } else if (flag == "--serve-queue") {
+      const double depth = parse_double(next(), "--serve-queue");
+      if (depth < 1) usage_error("--serve-queue must be >= 1");
+      serve_cli.queue_depth = static_cast<std::size_t>(depth);
+    } else if (flag == "--serve-memory") {
+      const double entries = parse_double(next(), "--serve-memory");
+      if (entries < 0) usage_error("--serve-memory must be >= 0");
+      serve_cli.memory_entries = static_cast<std::size_t>(entries);
+    } else if (flag == "--deadline-ms") {
+      serve_cli.deadline_ms = parse_double(next(), "--deadline-ms");
+      if (serve_cli.deadline_ms <= 0) {
+        usage_error("--deadline-ms must be > 0");
+      }
+    } else if (flag == "--fault-plan") {
+      serve_cli.fault_spec = next();
     } else if (flag == "--lint-jsonl") {
       lint_path = next();
     } else if (flag == "--help" || flag == "-h") {
@@ -497,6 +682,14 @@ int main(int argc, char** argv) {
 
   if (!lint_path.empty()) {
     return run_lint_jsonl(lint_path);
+  }
+  if (!serve_cli.socket_path.empty()) {
+    if (!batch_path.empty() || want_selfcheck || want_emit_batch ||
+        want_report || want_additive || simulate_slots > 0 || csv_only ||
+        !sweep_axes.empty()) {
+      usage_error("--serve cannot be combined with other modes");
+    }
+    return run_serve_mode(serve_cli, threads, method, cache_dir);
   }
   if (!batch_path.empty()) {
     if (want_selfcheck || want_emit_batch || want_report || want_additive ||
