@@ -27,6 +27,12 @@
 // --truncate-probe appends one extra request written WITHOUT a trailing
 // newline before half-closing the socket -- the truncated-client-write
 // fault.  The server must still answer it (exit 1 here if not).
+//
+// --hangup-probe opens a throwaway connection that sends requests and
+// fully closes without reading a byte, so the server's responses hit a
+// dead socket (EPIPE).  The probe itself cannot observe the outcome;
+// the point is the subsequent SIGTERM drain in check_serve.sh, which
+// hangs if a wedged connection thread never settles its count.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -60,6 +66,7 @@ struct Args {
   std::string input;   ///< replay mode when non-empty
   std::string output;  ///< where replay responses land ("" = discard)
   bool truncate_probe = false;
+  bool hangup_probe = false;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -68,7 +75,8 @@ struct Args {
                "usage: serve_load --socket <path> [--requests N] "
                "[--unique K] [--window W]\n"
                "                  [--input requests.jsonl "
-               "[--output responses.jsonl]] [--truncate-probe]\n",
+               "[--output responses.jsonl]] [--truncate-probe] "
+               "[--hangup-probe]\n",
                message.c_str());
   std::exit(2);
 }
@@ -244,6 +252,8 @@ int main(int argc, char** argv) {
       args.output = next();
     } else if (flag == "--truncate-probe") {
       args.truncate_probe = true;
+    } else if (flag == "--hangup-probe") {
+      args.hangup_probe = true;
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -264,6 +274,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serve_load: cannot connect to %s: %s\n",
                  args.socket_path.c_str(), std::strerror(errno));
     return 1;
+  }
+
+  // Client-hangup probe: a throwaway connection that submits requests
+  // and fully closes without reading.  Every response the server then
+  // writes hits a dead socket (EPIPE); the server must count them as
+  // dropped and still settle that connection -- a wedged thread shows
+  // up later as a hanging SIGTERM drain.
+  if (args.hangup_probe) {
+    const int hfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (hfd < 0 || ::connect(hfd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      std::fprintf(stderr, "serve_load: hangup probe cannot connect: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    const std::string line = with_id(make_payloads(1)[0], 0) + "\n";
+    for (int k = 0; k < 4; ++k) send_all(hfd, line.data(), line.size());
+    ::close(hfd);
   }
 
   std::ofstream capture;

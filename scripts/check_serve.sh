@@ -190,9 +190,26 @@ SOCK2="$WORK/load.sock"
 SERVER_PID=$!
 wait_for_socket "$SOCK2"
 
+# A second instance must refuse to steal the live server's socket (it
+# probes with a connect before unlinking); the incumbent keeps serving.
+second_rc=0
+"$CLI" --serve "$SOCK2" --serve-workers 1 2> "$WORK/second.err" \
+  || second_rc=$?
+if [ "$second_rc" -eq 0 ]; then
+  echo "FAIL: second --serve instance on a live socket exited rc 0"; exit 1
+fi
+grep -q "refusing to replace" "$WORK/second.err" || {
+  echo "FAIL: second instance did not refuse the live socket:"
+  cat "$WORK/second.err"; exit 1
+}
+echo "serve_e2e: second instance refused the live socket (rc=$second_rc)"
+
+# --hangup-probe: a connection that dies without reading its responses
+# must not wedge the drain below (the historical failure mode: EPIPE in
+# the response writer leaked the outstanding count and SIGTERM hung).
 bench_rc=0
 "$LOAD" --socket "$SOCK2" --requests 100000 --unique 64 --window 64 \
-  --truncate-probe > "$WORK/load.out" 2>&1 || bench_rc=$?
+  --truncate-probe --hangup-probe > "$WORK/load.out" 2>&1 || bench_rc=$?
 if [ "$bench_rc" -ne 0 ]; then
   echo "FAIL: load bench rc=$bench_rc:"; cat "$WORK/load.out"; exit 1
 fi

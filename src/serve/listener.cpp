@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <condition_variable>
 #include <cstdint>
@@ -52,6 +53,13 @@ class Connection {
     if (!buffer.empty()) submit(buffer);
     wait_answered();
     shutdown_write();
+    done_.store(true, std::memory_order_release);
+  }
+
+  /// True once run() has returned: the accept loop joins and erases
+  /// finished connections so a long-lived server stays bounded.
+  [[nodiscard]] bool done() const {
+    return done_.load(std::memory_order_acquire);
   }
 
   /// Stops further reads so run() unblocks; in-flight answers still
@@ -65,19 +73,30 @@ class Connection {
       ++outstanding_;
     }
     service_.submit(line, [this](const std::string& response) {
-      write_line(response);
-      std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
-      if (outstanding_ == 0) idle_.notify_all();
+      // Settle the count even when the client hung up and write_line
+      // throws -- otherwise wait_answered() wedges this connection's
+      // thread forever and the SIGTERM drain can never join it.  The
+      // rethrow lets the service count the dropped response.
+      try {
+        write_line(response);
+      } catch (...) {
+        settle_one();
+        throw;
+      }
+      settle_one();
     });
     // Blank lines get no sink call: settle the count we optimistically
     // took.  (Non-blank lines are answered exactly once, possibly
     // synchronously above, possibly later from a worker.)
     if (line.find_first_not_of(" \t\r") == std::string::npos) {
-      std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
-      if (outstanding_ == 0) idle_.notify_all();
+      settle_one();
     }
+  }
+
+  void settle_one() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+    if (outstanding_ == 0) idle_.notify_all();
   }
 
   void write_line(const std::string& response) {
@@ -109,6 +128,7 @@ class Connection {
   std::mutex mu_;        // guards outstanding_
   std::condition_variable idle_;
   std::int64_t outstanding_ = 0;
+  std::atomic<bool> done_{false};
 };
 
 }  // namespace
@@ -128,6 +148,22 @@ bool run_socket_server(SolveService& service, const ListenerOptions& options,
   if (listen_fd < 0) {
     err << "serve: socket(): " << std::strerror(errno) << "\n";
     return false;
+  }
+  // Only steal the path when nobody answers on it: a stale socket from
+  // a crash refuses the connect, a live server accepts it.  Unlinking
+  // unconditionally would silently orphan a healthy instance even if
+  // our own bind then failed.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool live = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr)) == 0;
+    ::close(probe);
+    if (live) {
+      err << "serve: a live server already answers on " << options.socket_path
+          << "; refusing to replace it\n";
+      ::close(listen_fd);
+      return false;
+    }
   }
   ::unlink(options.socket_path.c_str());  // a stale path from a crash
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
@@ -154,6 +190,17 @@ bool run_socket_server(SolveService& service, const ListenerOptions& options,
       service.reload();
       err << "serve: reloaded (warm layer dropped, caches reopened)\n";
     }
+    // Reap finished conversations every tick so a long-lived server
+    // does not accumulate one Connection + exited thread per past
+    // client; `clients` stays bounded by *live* connections.
+    for (auto it = clients.begin(); it != clients.end();) {
+      if (it->conn->done()) {
+        it->thread.join();
+        it = clients.erase(it);
+      } else {
+        ++it;
+      }
+    }
     // Poll with a short tick so signal flags are observed promptly even
     // when no client ever connects.
     pollfd pfd{listen_fd, POLLIN, 0};
@@ -166,10 +213,6 @@ bool run_socket_server(SolveService& service, const ListenerOptions& options,
     Connection* conn = client.conn.get();
     client.thread = std::thread([conn] { conn->run(); });
     clients.push_back(std::move(client));
-    // Opportunistically reap finished conversations so a long-lived
-    // server does not accumulate one thread per past client.
-    // (joinable() stays true after run() returns; detecting "finished"
-    // cheaply is not worth extra machinery -- bounded by live clients.)
   }
 
   // SIGTERM/SIGINT drain: no new connections, stop reading from the

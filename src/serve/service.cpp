@@ -58,6 +58,14 @@ struct SolveService::Impl {
     Job job;
   };
 
+  // A crashed worker's orphan parked until its requeue backoff elapses
+  // (the supervisor must keep ticking for the other shards meanwhile).
+  struct DelayedRequeue {
+    Clock::time_point ready_at;
+    int shard;
+    Job job;
+  };
+
   struct Shard {
     explicit Shard(std::size_t queue_depth) : queue(queue_depth) {}
 
@@ -298,11 +306,16 @@ struct SolveService::Impl {
       // describe how *this* response was obtained, not the result.  A
       // failed store is a counted solve-through; the service keeps
       // answering (graceful degradation, satellite of ISSUE 8).
+      bool stored = true;
       if (with_tag) {
         std::lock_guard<std::mutex> lock(shard.mu);
-        (void)shard.disk->try_store(job.line.key, p.bound);
+        stored = shard.disk->try_store(job.line.key, p.bound);
       }
-      memory_insert(shard, job.line.key, p.bound);
+      // After a failed store the memory layer must stay cold too: a
+      // warm hit would report cache:"hit" for a key the disk never
+      // recorded, diverging from a --batch run over the same directory
+      // (which misses and re-solves).
+      if (stored) memory_insert(shard, job.line.key, p.bound);
     }
     io::apply_cache_outcome(p.bound, outcome, job.line.key);
     return io::make_ok_response(job.line.id, with_tag, outcome, p.bound);
@@ -342,6 +355,7 @@ struct SolveService::Impl {
     while (!supervisor_stop.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(tick_ms));
+      flush_delayed();
       for (int s = 0; s < workers; ++s) check_shard(s);
     }
   }
@@ -408,12 +422,22 @@ struct SolveService::Impl {
       ++orphan.retries;
       bump(&ServeStats::requeues);
       if (backoff > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff));
+        // Never sleep the backoff on this thread: the supervisor is
+        // also every other shard's deadline/crash watchdog.  Park the
+        // job with a not-before timestamp; supervisor_loop's next
+        // ticks flush it once the backoff has elapsed.
+        std::lock_guard<std::mutex> lock(delayed_mu);
+        delayed.push_back(DelayedRequeue{
+            Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(backoff)),
+            index, std::move(orphan)});
+        return;
       }
-      if (shard.queue.push_front(JobBox{std::move(orphan)})) return;
-      // Queue already closed (drain raced the respawn): fall through
-      // to the classified answer rather than dropping the request.
+      if (requeue_now(index, std::move(orphan))) return;
+      // Queue already closed (drain raced the respawn): requeue_now
+      // answered the classified error; nothing left to do.
+      return;
     }
     bump(&ServeStats::exhausted);
     deliver(orphan.sink,
@@ -423,6 +447,46 @@ struct SolveService::Impl {
                     std::to_string(orphan.retries) + " retries exhausted",
                 diag::SolveErrorKind::kWorkerLost));
     add_pending(-1);
+  }
+
+  /// Pushes a requeued job back onto its shard.  When the queue is
+  /// already closed (drain raced the respawn), answers the classified
+  /// kWorkerLost error instead of dropping the request.  Returns true
+  /// on a successful requeue.
+  bool requeue_now(int index, Job job) {
+    const Value id = job.line.id;
+    const Sink sink = job.sink;  // survives the move into the queue
+    const int retries = job.retries;
+    if (shards[static_cast<std::size_t>(index)]->queue.push_front(
+            JobBox{std::move(job)})) {
+      return true;
+    }
+    bump(&ServeStats::exhausted);
+    deliver(sink, io::make_error_response(
+                      id,
+                      "worker crashed while handling this request; " +
+                          std::to_string(retries) + " retries exhausted",
+                      diag::SolveErrorKind::kWorkerLost));
+    add_pending(-1);
+    return false;
+  }
+
+  /// Requeues every parked job whose backoff has elapsed.
+  void flush_delayed() {
+    std::vector<DelayedRequeue> ready;
+    {
+      std::lock_guard<std::mutex> lock(delayed_mu);
+      const Clock::time_point now = Clock::now();
+      for (auto it = delayed.begin(); it != delayed.end();) {
+        if (it->ready_at <= now) {
+          ready.push_back(std::move(*it));
+          it = delayed.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (DelayedRequeue& d : ready) (void)requeue_now(d.shard, std::move(d.job));
   }
 
   // ----- lifecycle ---------------------------------------------------------
@@ -538,6 +602,8 @@ struct SolveService::Impl {
   std::int64_t pending = 0;  // accepted-but-unanswered, guarded above
   std::mutex zombie_mu;
   std::vector<std::thread> zombies;  // timed-out workers, joined at drain
+  std::mutex delayed_mu;
+  std::vector<DelayedRequeue> delayed;  // orphans waiting out their backoff
 };
 
 SolveService::SolveService(const ServeOptions& options)

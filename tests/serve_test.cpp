@@ -352,6 +352,36 @@ TEST(SolveServiceTest, StoreFailureDegradesToCountedSolveThrough) {
   EXPECT_EQ(stats.served, 1);
 }
 
+TEST(SolveServiceTest, FailedStoreLeavesMemoryLayerCold) {
+  ServeOptions options;
+  options.workers = 1;  // memory layer stays at its default (enabled)
+  options.cache_dir = fresh_cache_dir("serve_store_fail_memory");
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("store-fail:1", options.faults, error));
+  SolveService service(options);
+  Collector collector;
+  const std::string line = request_line(small_scenario(44), 0);
+
+  service.submit(line, collector.sink());  // solves; store fails
+  collector.wait_for(1);
+  service.submit(line, collector.sink());
+  const std::vector<Value> responses = collector.wait_for(2);
+  ASSERT_EQ(responses.size(), 2u);
+  // The failed store must leave the memory layer cold too: a --batch
+  // run over the same directory would miss and re-solve, so a memory
+  // hit here would report cache:"hit" for an entry the disk never
+  // recorded.  The second request re-solves (miss) and stores.
+  EXPECT_EQ(responses[0].at("cache").as_string(), "miss");
+  EXPECT_EQ(responses[1].at("cache").as_string(), "miss");
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.memory_hits, 0);
+  EXPECT_EQ(stats.solved, 2);
+  EXPECT_EQ(stats.cache.store_failures, 1);
+  EXPECT_EQ(stats.cache.stores, 1);
+}
+
 TEST(SolveServiceTest, InjectedCorruptLoadRecoversLikeBatch) {
   ServeOptions options;
   options.workers = 1;
