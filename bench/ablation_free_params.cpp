@@ -12,6 +12,7 @@
 #include "e2e/delay_bound.h"
 #include "e2e/network_epsilon.h"
 #include "e2e/param_search.h"
+#include "e2e/solver.h"
 #include "traffic/mmoo.h"
 
 int main() {
@@ -22,8 +23,8 @@ int main() {
   sc.hops = 5;
   sc.n_through = 100;
   sc.n_cross = 236;  // U ~ 50%
-  sc.scheduler = Scheduler::kFifo;
-  const BoundResult best = best_delay_bound(sc);
+  sc.scheduler = sched::SchedulerKind::kFifo;
+  const BoundResult best = deltanc::Solver().solve(sc);
   std::printf("Ablation B: sensitivity to (gamma, s); FIFO, H = 5, U ~ 50%%\n");
   std::printf("optimized bound: %.2f ms at gamma = %.4f, s = %.4f\n\n",
               best.delay_ms, best.gamma, best.s);
@@ -38,7 +39,7 @@ int main() {
     for (double frac : {0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9, 0.98}) {
       const double gamma = frac * glim;
       const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
-      const double d = optimize_delay(p, gamma, sigma).delay;
+      const double d = deltanc::Solver().optimize(p, gamma, sigma).delay;
       table.add_row(Table::format(frac, 2), {d, d / best.delay_ms});
     }
     std::printf("--- gamma sweep (s fixed at optimum) ---\n");
@@ -58,7 +59,7 @@ int main() {
         for (int i = 1; i <= 40; ++i) {
           const double gamma = glim * i / 41.0;
           const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
-          bound = std::min(bound, optimize_delay(p, gamma, sigma).delay);
+          bound = std::min(bound, deltanc::Solver().optimize(p, gamma, sigma).delay);
         }
       }
       table.add_row(Table::format(s, 3), {bound, bound / best.delay_ms});

@@ -12,6 +12,7 @@
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
+#include "e2e/solver.h"
 
 int main() {
   using namespace deltanc;
@@ -29,8 +30,8 @@ int main() {
         const PathParams p{100.0, hops, 15.0, rho_c, 0.05, 1.0, delta};
         const double gamma = 0.4 * p.gamma_limit();
         const double sigma = sigma_for_epsilon(p, gamma, 1e-9);
-        const double exact = optimize_delay(p, gamma, sigma).delay;
-        const double paper = k_procedure_delay(p, gamma, sigma).delay;
+        const double exact = deltanc::Solver().optimize(p, gamma, sigma).delay;
+        const double paper = deltanc::Solver(deltanc::e2e::Method::kPaperK).optimize(p, gamma, sigma).delay;
         const int k = k_procedure_index(p, gamma, sigma);
         const double gap = 100.0 * (paper - exact) / exact;
         worst = std::max(worst, gap);

@@ -19,7 +19,7 @@ int main() {
                                      .hops(3)
                                      .through_flows(250)
                                      .cross_flows(250)
-                                     .scheduler(e2e::Scheduler::kFifo)
+                                     .scheduler(sched::SchedulerKind::kFifo)
                                      .build();
   std::printf("Delay CCDF: analytic bound vs simulated tail "
               "(FIFO, H = 3, U ~ 75%%)\n\n");

@@ -17,6 +17,7 @@
 #include "core/scenario.h"
 #include "core/table.h"
 #include "e2e/param_search.h"
+#include "e2e/solver.h"
 #include "evsim/network.h"
 
 int main() {
@@ -43,7 +44,7 @@ int main() {
                                    .build();
     e2e::Scenario gps_sc = base;
     gps_sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
-    const double gps_bound = e2e::best_delay_bound(gps_sc).delay_ms;
+    const double gps_bound = deltanc::Solver().solve(gps_sc).delay_ms;
 
     // Packetized SCFQ baseline: the fair-sharing tail without any
     // round-robin quantum, measured on the same sample path.
@@ -62,7 +63,7 @@ int main() {
     for (double q : {0.5, 1.5, 4.5, 15.0, 45.0}) {
       e2e::Scenario drr_sc = base;
       drr_sc.scheduler = sched::SchedulerSpec::drr(q, q);
-      const double drr_bound = e2e::best_delay_bound(drr_sc).delay_ms;
+      const double drr_bound = deltanc::Solver().solve(drr_sc).delay_ms;
       const double charge = hops * q / base.capacity;
 
       // (a) The separable identity: the DRR and GPS solves share rate

@@ -29,8 +29,8 @@ int main() {
     u_pcts.push_back(u_pct);
     cross_utils.push_back(u_pct / 100.0 - 0.15);
   }
-  const std::vector<e2e::Scheduler> scheds = {
-      e2e::Scheduler::kEdf, e2e::Scheduler::kFifo, e2e::Scheduler::kBmux};
+  const std::vector<sched::SchedulerKind> scheds = {
+      sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo, sched::SchedulerKind::kBmux};
 
   const SweepRunner runner;
   double total_wall_ms = 0.0;

@@ -28,14 +28,14 @@ int main() {
   constexpr double kU = 0.50;
   // The four columns of the figure: scheduler + EDF deadline factors.
   struct Column {
-    e2e::Scheduler sched;
+    sched::SchedulerKind sched;
     double own, cross;
   };
   const std::vector<Column> columns = {
-      {e2e::Scheduler::kEdf, 1.0, 2.0},   // EDF d0 = dc/2
-      {e2e::Scheduler::kFifo, 1.0, 1.0},  // FIFO
-      {e2e::Scheduler::kEdf, 1.0, 0.5},   // EDF d0 = 2dc
-      {e2e::Scheduler::kBmux, 1.0, 1.0},  // BMUX
+      {sched::SchedulerKind::kEdf, 1.0, 2.0},   // EDF d0 = dc/2
+      {sched::SchedulerKind::kFifo, 1.0, 1.0},  // FIFO
+      {sched::SchedulerKind::kEdf, 1.0, 0.5},   // EDF d0 = 2dc
+      {sched::SchedulerKind::kBmux, 1.0, 1.0},  // BMUX
   };
 
   const SweepRunner runner;

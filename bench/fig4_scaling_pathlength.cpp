@@ -27,8 +27,8 @@ int main() {
   std::printf("(N0 = Nc, C = 100 Mbps, eps = 1e-9; delays in ms)\n\n");
 
   const std::vector<int> hops_values = {1, 2, 4, 6, 8, 10, 13, 16, 20, 25};
-  const std::vector<e2e::Scheduler> scheds = {
-      e2e::Scheduler::kEdf, e2e::Scheduler::kFifo, e2e::Scheduler::kBmux};
+  const std::vector<sched::SchedulerKind> scheds = {
+      sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo, sched::SchedulerKind::kBmux};
 
   const SweepRunner runner;
   SweepOptions additive_opts;

@@ -13,6 +13,7 @@
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
 #include "e2e/param_search.h"
+#include "e2e/solver.h"
 #include "io/result_cache.h"
 #include "nc/minplus_ops.h"
 #include "sim/tandem.h"
@@ -59,8 +60,9 @@ void BM_OptimizeDelayExact(benchmark::State& state) {
                           35.0,  0.05, 1.0, -5.0};
   const double gamma = 0.4 * p.gamma_limit();
   const double sigma = e2e::sigma_for_epsilon(p, gamma, 1e-9);
+  const Solver solver{};  // reuse_workspace: allocation-free inner loop
   for (auto _ : state) {
-    benchmark::DoNotOptimize(e2e::optimize_delay(p, gamma, sigma));
+    benchmark::DoNotOptimize(solver.optimize(p, gamma, sigma));
   }
 }
 BENCHMARK(BM_OptimizeDelayExact)->Arg(2)->Arg(10)->Arg(30);
@@ -70,8 +72,9 @@ void BM_KProcedure(benchmark::State& state) {
                           35.0,  0.05, 1.0, -5.0};
   const double gamma = 0.4 * p.gamma_limit();
   const double sigma = e2e::sigma_for_epsilon(p, gamma, 1e-9);
+  const Solver solver(e2e::Method::kPaperK);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(e2e::k_procedure_delay(p, gamma, sigma));
+    benchmark::DoNotOptimize(solver.optimize(p, gamma, sigma));
   }
 }
 BENCHMARK(BM_KProcedure)->Arg(10)->Arg(30);
@@ -81,9 +84,9 @@ void BM_FullScenarioSolve(benchmark::State& state) {
   sc.hops = static_cast<int>(state.range(0));
   sc.n_through = 100;
   sc.n_cross = 236;
-  sc.scheduler = e2e::Scheduler::kFifo;
+  sc.scheduler = sched::SchedulerKind::kFifo;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(e2e::best_delay_bound(sc));
+    benchmark::DoNotOptimize(deltanc::Solver().solve(sc));
   }
 }
 BENCHMARK(BM_FullScenarioSolve)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
@@ -100,8 +103,8 @@ void BM_SweepFig2Grid(benchmark::State& state) {
   base.epsilon = 1e-6;
   SweepGrid grid(base);
   grid.cross_utilization_axis(SweepGrid::linspace(0.10, 0.80, 8))
-      .scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
-                       e2e::Scheduler::kBmux});
+      .scheduler_axis({sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo,
+                       sched::SchedulerKind::kBmux});
   SweepOptions opts;
   opts.threads = static_cast<int>(state.range(0));
   const SweepRunner runner(opts);
@@ -174,7 +177,7 @@ void BM_JsonBoundResultRoundTrip(benchmark::State& state) {
   sc.n_through = 100;
   sc.n_cross = 268;
   sc.epsilon = 1e-6;
-  const e2e::BoundResult solved = e2e::best_delay_bound(sc);
+  const e2e::BoundResult solved = deltanc::Solver().solve(sc);
   for (auto _ : state) {
     benchmark::DoNotOptimize(io::decode_bound_result(
         io::json::Value::parse(io::encode_bound_result(solved).dump())));
@@ -197,7 +200,7 @@ void BM_ResultCacheHit(benchmark::State& state) {
   sc.epsilon = 1e-6;
   const SolveOptions options;
   const std::string key = io::solve_cache_key(sc, options);
-  cache.store(key, e2e::best_delay_bound(sc));
+  cache.store(key, deltanc::Solver().solve(sc));
   e2e::BoundResult out;
   for (auto _ : state) {
     const auto found = cache.lookup(key, out);

@@ -24,7 +24,7 @@ int main() {
                                     .hops(hops)
                                     .through_utilization(0.25)
                                     .cross_utilization(0.25)
-                                    .scheduler(e2e::Scheduler::kBmux)
+                                    .scheduler(sched::SchedulerKind::kBmux)
                                     .build());
     net.push_back(analyzer.bound().delay_ms);
     add.push_back(analyzer.additive_bound().delay_ms);

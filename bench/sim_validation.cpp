@@ -9,6 +9,7 @@
 #include "core/analyzer.h"
 #include "core/scenario.h"
 #include "core/table.h"
+#include "e2e/solver.h"
 
 int main() {
   using namespace deltanc;
@@ -20,11 +21,11 @@ int main() {
   bool all_hold = true;
   const struct {
     const char* name;
-    e2e::Scheduler sched;
-  } cases[] = {{"FIFO", e2e::Scheduler::kFifo},
-               {"BMUX", e2e::Scheduler::kBmux},
-               {"SP-high", e2e::Scheduler::kSpHigh},
-               {"EDF", e2e::Scheduler::kEdf}};
+    sched::SchedulerKind sched;
+  } cases[] = {{"FIFO", sched::SchedulerKind::kFifo},
+               {"BMUX", sched::SchedulerKind::kBmux},
+               {"SP-high", sched::SchedulerKind::kSpHigh},
+               {"EDF", sched::SchedulerKind::kEdf}};
 
   for (int hops : {1, 3, 5}) {
     for (double u : {0.45, 0.75}) {
@@ -38,7 +39,7 @@ int main() {
         const ValidationReport r = analyzer.validate(200000, 99);
         e2e::Scenario at_eps = analyzer.scenario();
         at_eps.epsilon = r.epsilon_sim;
-        const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+        const double bound = deltanc::Solver().solve(at_eps).delay_ms;
         all_hold = all_hold && r.bound_holds;
         table.add_row({std::to_string(hops), Table::format(100.0 * u, 0),
                        c.name, Table::format(bound),

@@ -62,7 +62,7 @@ void path_capacity_planning() {
                          .hops(6)
                          .through_utilization(0.15)
                          .cross_utilization(mid)
-                         .scheduler(e2e::Scheduler::kEdf)
+                         .scheduler(sched::SchedulerKind::kEdf)
                          .edf_deadlines(1.0, 10.0)
                          .build())
             .bound()

@@ -20,9 +20,9 @@ int main() {
   using namespace deltanc;
 
   const std::vector<int> hops_values = {1, 2, 3, 5, 8, 12, 16, 24};
-  const std::vector<e2e::Scheduler> scheds = {
-      e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
-      e2e::Scheduler::kBmux};
+  const std::vector<sched::SchedulerKind> scheds = {
+      sched::SchedulerKind::kSpHigh, sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo,
+      sched::SchedulerKind::kBmux};
 
   SweepGrid grid(ScenarioBuilder()
                      .through_utilization(0.25)

@@ -19,7 +19,7 @@ int main() {
                                      .through_utilization(0.15)
                                      .cross_utilization(0.35)
                                      .violation_probability(1e-9)
-                                     .scheduler(e2e::Scheduler::kFifo)
+                                     .scheduler(sched::SchedulerKind::kFifo)
                                      .build();
 
   const PathAnalyzer analyzer(scenario);
@@ -40,9 +40,9 @@ int main() {
   // scheduler-agnostic blind-multiplexing bound and against EDF with a
   // 10x looser deadline for the cross traffic.
   e2e::Scenario bm = scenario;
-  bm.scheduler = e2e::Scheduler::kBmux;
+  bm.scheduler = sched::SchedulerKind::kBmux;
   e2e::Scenario edf = scenario;
-  edf.scheduler = e2e::Scheduler::kEdf;  // d*_c = 10 d*_0, the paper's pick
+  edf.scheduler = sched::SchedulerKind::kEdf;  // d*_c = 10 d*_0, the paper's pick
   std::printf("BMUX (scheduler-agnostic) bound: %.2f ms\n",
               PathAnalyzer(bm).bound().delay_ms);
   std::printf("EDF  (d*_c = 10 d*_0) bound:     %.2f ms\n",

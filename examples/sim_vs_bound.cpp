@@ -9,6 +9,7 @@
 #include "core/analyzer.h"
 #include "core/scenario.h"
 #include "core/table.h"
+#include "e2e/solver.h"
 
 int main() {
   using namespace deltanc;
@@ -19,11 +20,11 @@ int main() {
 
   const struct {
     const char* name;
-    e2e::Scheduler sched;
-  } cases[] = {{"FIFO", e2e::Scheduler::kFifo},
-               {"BMUX (SP low)", e2e::Scheduler::kBmux},
-               {"SP high", e2e::Scheduler::kSpHigh},
-               {"EDF d*c=10d*0", e2e::Scheduler::kEdf}};
+    sched::SchedulerKind sched;
+  } cases[] = {{"FIFO", sched::SchedulerKind::kFifo},
+               {"BMUX (SP low)", sched::SchedulerKind::kBmux},
+               {"SP high", sched::SchedulerKind::kSpHigh},
+               {"EDF d*c=10d*0", sched::SchedulerKind::kEdf}};
 
   std::printf("Tandem: H = 3, N0 = Nc = 250 (U ~ 75%%), C = 100 Mbps, "
               "%lld slots\n\n",
@@ -40,7 +41,7 @@ int main() {
     // Re-derive the bound at the simulation's epsilon for the table.
     e2e::Scenario at_eps = analyzer.scenario();
     at_eps.epsilon = r.epsilon_sim;
-    const double bound_ms = e2e::best_delay_bound(at_eps).delay_ms;
+    const double bound_ms = deltanc::Solver().solve(at_eps).delay_ms;
     table.add_row({c.name, Table::format(bound_ms),
                    Table::format(r.empirical_quantile),
                    Table::format(r.empirical_max),

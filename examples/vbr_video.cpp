@@ -14,6 +14,7 @@
 #include "core/table.h"
 #include "e2e/delay_bound.h"
 #include "e2e/network_epsilon.h"
+#include "e2e/solver.h"
 #include "traffic/markov.h"
 
 int main() {
@@ -50,7 +51,7 @@ int main() {
       for (int i = 1; i <= 32; ++i) {
         const double gamma = glim * i / 33.0;
         const double sigma = sigma_for_epsilon(p, gamma, kEps);
-        const double d = optimize_delay(p, gamma, sigma).delay;
+        const double d = deltanc::Solver().optimize(p, gamma, sigma).delay;
         if (d < best) {
           best = d;
           best_s = s;

@@ -25,10 +25,11 @@
 #include "core/scenario.h"   // ScenarioBuilder, flows_for_utilization
 #include "e2e/param_search.h"  // e2e::Scenario, BoundResult, SolveStats
 
-// Solving: the Solver facade is the supported entry point; the free
-// functions underneath it (e2e::best_delay_bound_for_delta,
-// e2e::optimize_delay, e2e::k_procedure_delay) are deprecated shims.
-#include "e2e/solver.h"  // Solver, SolveOptions
+// Solving: the Solver facade is the sole entry point (the historical
+// free-function shims were retired in PR 9; see docs/API.md for the
+// migration table).  Solver::State carries warm-start context between
+// related solves.
+#include "e2e/solver.h"  // Solver, SolveOptions, Solver::State
 
 // One-scenario analysis and grids of scenarios.
 #include "core/analyzer.h"  // PathAnalyzer, ValidationReport

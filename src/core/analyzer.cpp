@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "e2e/solver.h"
+
 namespace deltanc {
 
 PathAnalyzer::PathAnalyzer(e2e::Scenario scenario)
@@ -16,7 +18,9 @@ PathAnalyzer::PathAnalyzer(e2e::Scenario scenario)
 }
 
 e2e::BoundResult PathAnalyzer::bound(e2e::Method method) const {
-  return e2e::best_delay_bound(scenario_, method);
+  SolveOptions options;
+  options.method = method;
+  return Solver(options).solve(scenario_);
 }
 
 e2e::BoundResult PathAnalyzer::additive_bound() const {
@@ -76,7 +80,7 @@ ValidationReport PathAnalyzer::validate(std::int64_t slots,
   // The analytic bound at the simulation's epsilon level.
   e2e::Scenario at_sim_eps = scenario_;
   at_sim_eps.epsilon = eps_sim;
-  const e2e::BoundResult bound_sim = e2e::best_delay_bound(at_sim_eps);
+  const e2e::BoundResult bound_sim = Solver().solve(at_sim_eps);
   report.bound_holds =
       report.empirical_quantile <= bound_sim.delay_ms + 1e-9;
   return report;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/table.h"
+#include "e2e/solver.h"
 #include "sched/scheduler_spec.h"
 
 namespace deltanc {
@@ -14,10 +15,13 @@ std::vector<double> delay_ccdf_bound(const e2e::Scenario& scenario,
                                      e2e::Method method) {
   std::vector<double> bounds;
   bounds.reserve(epsilons.size());
+  SolveOptions options;
+  options.method = method;
+  const Solver solver(options);
   for (double eps : epsilons) {
     e2e::Scenario at_eps = scenario;
     at_eps.epsilon = eps;
-    bounds.push_back(e2e::best_delay_bound(at_eps, method).delay_ms);
+    bounds.push_back(solver.solve(at_eps).delay_ms);
   }
   return bounds;
 }
@@ -61,7 +65,7 @@ std::string render_report(const e2e::Scenario& scenario,
     e2e::Scenario alt = scenario;
     alt.scheduler = s;  // kind re-assignment keeps the EDF factors
     os << "| " << sched::scheduler_description(alt.scheduler) << " | "
-       << Table::format(e2e::best_delay_bound(alt).delay_ms) << " |\n";
+       << Table::format(Solver().solve(alt).delay_ms) << " |\n";
   }
   os << "\n## Delay CCDF bound\n\n| epsilon | d(epsilon) [ms] |\n|---|---|\n";
   const std::vector<double> ccdf =

@@ -47,7 +47,7 @@ class ScenarioBuilder {
   /// Full scheduler identity (kind + parameters); replaces everything
   /// previously set, including EDF deadline factors.
   ScenarioBuilder& scheduler(const sched::SchedulerSpec& spec);
-  /// Scheduler kind only (also matches the deprecated e2e::Scheduler
+  /// Scheduler kind only (also matches a bare sched::SchedulerKind
   /// enum): keeps EDF deadline factors already set via edf_deadlines(),
   /// so the two setters compose in either order.
   ScenarioBuilder& scheduler(sched::SchedulerKind kind);

@@ -357,6 +357,53 @@ SelfCheckReport self_check(std::span<const e2e::Scenario> scenarios,
   return run_checks(scenarios, options, nullptr);
 }
 
+SelfCheckReport self_check_warm_start(const SweepGrid& grid,
+                                      const SelfCheckOptions& options) {
+  Checker checker{options, {}};
+  SweepOptions so;
+  so.threads = options.threads;
+  so.method = options.method;
+  so.solver = options.solver;
+  so.warm_start = e2e::WarmStart::kCold;
+  const SweepReport cold = SweepRunner(so).run(grid);
+  so.warm_start = e2e::WarmStart::kWarm;
+  const SweepReport warm = SweepRunner(so).run(grid);
+  checker.report.points = cold.points.size() + warm.points.size();
+  for (std::size_t i = 0;
+       i < cold.points.size() && i < warm.points.size(); ++i) {
+    const SweepPoint& c = cold.points[i];
+    const SweepPoint& w = warm.points[i];
+    ++checker.report.checks;
+    if (c.ok != w.ok) {
+      checker.issue("warm-start",
+                    std::string("cold/warm solve outcome mismatch (cold ") +
+                        (c.ok ? "ok" : "failed") + ", warm " +
+                        (w.ok ? "ok" : "failed") + ") for " +
+                        describe(c.scenario));
+      continue;
+    }
+    if (!c.ok) continue;  // both failed identically; flagged elsewhere
+    const double dc = c.bound.delay_ms;
+    const double dw = w.bound.delay_ms;
+    if ((dc == kInf) != (dw == kInf)) {
+      checker.issue("warm-start",
+                    "finiteness mismatch (cold=" + fmt(dc) + " ms, warm=" +
+                        fmt(dw) + " ms) for " + describe(c.scenario));
+      continue;
+    }
+    if (dc == kInf) continue;
+    const double dev = std::abs(dw - dc) / std::max(dc, 1.0);
+    if (!(dev <= kWarmStartRelTol)) {
+      checker.issue("warm-start",
+                    "warm bound " + fmt(dw) + " ms deviates from cold " +
+                        fmt(dc) + " ms by " + fmt(dev) +
+                        " relative (tolerance " + fmt(kWarmStartRelTol) +
+                        ") for " + describe(c.scenario));
+    }
+  }
+  return std::move(checker.report);
+}
+
 SelfCheckReport self_check(const SweepGrid& grid,
                            const SelfCheckOptions& options) {
   const std::vector<e2e::Scenario> scenarios = grid.scenarios();
@@ -398,6 +445,9 @@ SelfCheckReport self_check_figures(const SelfCheckOptions& options) {
                        .build());
     grid.cross_utilization_axis(cross_utils).scheduler_axis(all_scheds);
     report += self_check(grid, options);
+    // Warm-start tolerance contract on the same grid: cold vs. chained
+    // warm bounds must agree within kWarmStartRelTol (see selfcheck.h).
+    report += self_check_warm_start(grid, options);
   }
 
   // Delta interpolation (the journal version's continuous sweep between

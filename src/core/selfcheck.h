@@ -40,6 +40,21 @@
 
 namespace deltanc {
 
+/// Warm-start tolerance contract: a warm-chained sweep
+/// (SweepOptions::warm_start = kWarm, the default of run(grid)) may
+/// deviate from the cold solve of the same grid by at most this relative
+/// amount per point, and must agree exactly on finiteness.  Warm starts
+/// reuse bit-exact ingredients (the eb(s) memo and the stable-s bracket)
+/// but seed the s probe and the EDF fixed point from the neighboring
+/// optimum, so the golden refinement and the damped iteration can stop
+/// at a slightly different -- equally valid -- optimum; the EDF fixed
+/// point's own 1e-7 relative stopping tolerance dominates the deviation,
+/// and 1e-4 gives it two orders of headroom.  Enforced by
+/// self_check_warm_start() (part of self_check_figures(), i.e. of
+/// `deltanc_cli --selfcheck` and check.sh); documented in
+/// docs/API.md#warm-starts.
+inline constexpr double kWarmStartRelTol = 1e-4;
+
 /// Tuning knobs for self_check().  The defaults match the numerical
 /// headroom of the Fig. 2-4 operating points.
 struct SelfCheckOptions {
@@ -107,9 +122,19 @@ struct SelfCheckReport {
                                          const SelfCheckOptions& options = {});
 
 /// The full battery over the paper's Fig. 2-4 operating grids, extended
-/// with SP-high: what `deltanc_cli --selfcheck` runs.
+/// with SP-high: what `deltanc_cli --selfcheck` runs.  Includes the
+/// warm-start agreement battery (self_check_warm_start) on the Fig. 2
+/// grids.
 [[nodiscard]] SelfCheckReport self_check_figures(
     const SelfCheckOptions& options = {});
+
+/// Warm-start agreement battery: solves `grid` twice -- cold
+/// (warm_start = kCold, every point from scratch) and warm (kWarm, the
+/// chained default) -- and checks that each point agrees on finiteness
+/// and, where finite, deviates by at most kWarmStartRelTol relative.
+/// This is the enforcement of the warm-start tolerance contract.
+[[nodiscard]] SelfCheckReport self_check_warm_start(
+    const SweepGrid& grid, const SelfCheckOptions& options = {});
 
 /// The curve-backed scheduler battery (what `deltanc_cli --selfcheck`
 /// runs when --scheduler names a gps/drr/sced spec), over H = 2, 5, 10

@@ -12,6 +12,7 @@
 
 #include "core/scenario.h"
 #include "core/thread_pool.h"
+#include "e2e/solver.h"
 
 namespace deltanc {
 
@@ -21,6 +22,38 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Validate-then-solve of one point, shared by the cold and chained
+/// executors: a malformed point is classified (with a message naming
+/// every bad field) instead of surfacing as whichever exception the
+/// solver happens to hit first; a solve that still throws is captured
+/// and never aborts the sweep.
+template <typename SolveFn>
+void solve_point(SweepPoint& p, const e2e::Scenario& sc, SolveFn&& solve) {
+  p.scenario = sc;
+  const auto task_t0 = Clock::now();
+  const diag::ValidationReport vr = p.scenario.validate();
+  if (!vr.ok()) {
+    p.ok = false;
+    p.error = vr.message();
+    p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(), 0.0,
+                               0.0, 0.0, 0.0};
+    p.bound.diagnostics.fail(diag::SolveErrorKind::kInvalidScenario,
+                             vr.message());
+  } else {
+    try {
+      p.bound = solve(p.scenario);
+    } catch (const std::exception& e) {
+      p.ok = false;
+      p.error = e.what();
+      p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(), 0.0,
+                                 0.0, 0.0, 0.0};
+      p.bound.diagnostics.fail(diag::SolveErrorKind::kNumericalDomain,
+                               e.what());
+    }
+  }
+  p.solve_ms = ms_since(task_t0);
 }
 
 }  // namespace
@@ -341,7 +374,86 @@ int SweepRunner::resolved_threads(std::size_t n_tasks) const {
 
 SweepReport SweepRunner::run(const SweepGrid& grid) const {
   const std::vector<e2e::Scenario> scenarios = grid.scenarios();
+  // Warm-start chaining decomposes the grid along its innermost numeric
+  // axis (the last-added one with more than one value): consecutive
+  // values of that axis differ in a single parameter, which is exactly
+  // what the Solver::State hints survive.  Non-numeric axes (scheduler,
+  // edf) are excluded -- chaining across them would seed e.g. an EDF
+  // fixed point from a FIFO optimum.  A grid with no such axis (or a
+  // custom per-point solver, or warm_start = kCold) runs the historical
+  // cold path.
+  if (options_.warm_start == e2e::WarmStart::kWarm && !options_.solver) {
+    std::size_t stride = 1;
+    for (std::size_t a = grid.axes(); a-- > 0;) {
+      const std::size_t len = grid.axis_size(a);
+      if (!grid.axis_spec(a).numeric.empty() && len > 1) {
+        return run_chained(std::span<const e2e::Scenario>(scenarios), len,
+                           stride);
+      }
+      stride *= len;
+    }
+  }
   return run(std::span<const e2e::Scenario>(scenarios));
+}
+
+SweepReport SweepRunner::run_chained(std::span<const e2e::Scenario> scenarios,
+                                     std::size_t chain_len,
+                                     std::size_t stride) const {
+  const std::size_t n = scenarios.size();
+  const std::size_t n_chains = n / chain_len;
+  SweepReport report;
+  report.points.resize(n);
+  report.threads = resolved_threads(n_chains);
+  const auto t0 = Clock::now();
+
+  SolveOptions solve_options;
+  solve_options.method = options_.method;
+  solve_options.warm_start = e2e::WarmStart::kWarm;
+  const Solver solver(solve_options);
+
+  // Chains are claimed from a shared atomic cursor, but every chain is
+  // solved sequentially by whichever worker claimed it, threading one
+  // Solver::State from each point to its successor.  The chain results
+  // therefore depend only on the grid, never on the worker count.
+  std::atomic<std::size_t> cursor{0};
+  std::mutex progress_mu;
+  std::size_t done = 0;  // guarded by progress_mu
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chains) return;
+      // Chain c fixes every axis except the chain axis: outer axes at
+      // digit c / stride, inner axes at digit c % stride.
+      const std::size_t base =
+          (c / stride) * (chain_len * stride) + (c % stride);
+      Solver::State state;
+      for (std::size_t k = 0; k < chain_len; ++k) {
+        const std::size_t i = base + k * stride;
+        solve_point(report.points[i], scenarios[i],
+                    [&](const e2e::Scenario& sc) {
+                      return solver.solve(sc, state);
+                    });
+        if (options_.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          options_.progress(++done, n);
+        }
+      }
+    }
+  };
+
+  if (n > 0) {
+    ThreadPool pool(static_cast<unsigned>(report.threads));
+    for (int t = 0; t < report.threads; ++t) pool.submit(worker);
+    pool.wait_idle();
+  }
+
+  report.wall_ms = ms_since(t0);
+  for (const SweepPoint& p : report.points) {
+    report.solve_ms += p.solve_ms;
+    report.stats += p.bound.stats;
+  }
+  return report;
 }
 
 SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
@@ -351,9 +463,12 @@ SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
   report.threads = resolved_threads(n);
   const auto t0 = Clock::now();
 
-  const auto solve = [this](const e2e::Scenario& sc) {
+  SolveOptions solve_options;
+  solve_options.method = options_.method;
+  const Solver default_solver(solve_options);
+  const auto solve = [&](const e2e::Scenario& sc) {
     return options_.solver ? options_.solver(sc, options_.method)
-                           : e2e::best_delay_bound(sc, options_.method);
+                           : default_solver.solve(sc);
   };
 
   // Work distribution: a shared atomic cursor; each worker claims the
@@ -367,33 +482,7 @@ SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      SweepPoint& p = report.points[i];
-      p.scenario = scenarios[i];
-      const auto task_t0 = Clock::now();
-      // Validate before solving: a malformed point is classified (with a
-      // message naming every bad field) instead of surfacing as whichever
-      // exception the solver happens to hit first.
-      const diag::ValidationReport vr = p.scenario.validate();
-      if (!vr.ok()) {
-        p.ok = false;
-        p.error = vr.message();
-        p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(),
-                                   0.0, 0.0, 0.0, 0.0};
-        p.bound.diagnostics.fail(diag::SolveErrorKind::kInvalidScenario,
-                                 vr.message());
-      } else {
-        try {
-          p.bound = solve(p.scenario);
-        } catch (const std::exception& e) {
-          p.ok = false;
-          p.error = e.what();
-          p.bound = e2e::BoundResult{std::numeric_limits<double>::infinity(),
-                                     0.0, 0.0, 0.0, 0.0};
-          p.bound.diagnostics.fail(diag::SolveErrorKind::kNumericalDomain,
-                                   e.what());
-        }
-      }
-      p.solve_ms = ms_since(task_t0);
+      solve_point(report.points[i], scenarios[i], solve);
       if (options_.progress) {
         // Increment under the same lock as the callback so `done` values
         // arrive strictly increasing 1..n.

@@ -1,11 +1,22 @@
 // Parallel scenario-sweep engine.  Every figure of the paper and every
-// study in EXPERIMENTS.md is a *grid* of independent best_delay_bound
-// solves -- over utilization, path length, traffic mix, scheduler,
-// deadlines, and epsilon.  SweepRunner fans such a grid out across a
-// ThreadPool (core/thread_pool.h) and returns the results in
-// deterministic input order regardless of completion order: each point is
-// a pure function of its scenario, so a 1-thread and an N-thread run
-// produce bit-identical results.
+// study in EXPERIMENTS.md is a *grid* of scenario solves -- over
+// utilization, path length, traffic mix, scheduler, deadlines, and
+// epsilon.  SweepRunner fans such a grid out across a ThreadPool
+// (core/thread_pool.h) and returns the results in deterministic input
+// order regardless of completion order.
+//
+// Warm-started grids (SweepOptions::warm_start = kWarm, the default):
+// neighboring points along the innermost numeric axis differ in one
+// parameter, so each point seeds its neighbor with a Solver::State (the
+// eb(s) memo, the stable-s bracket, the previous optimum, and the
+// resolved EDF fixed point).  The grid decomposes into independent
+// chains along that axis; every chain is solved sequentially by one
+// worker while distinct chains run in parallel, so the results are a
+// function of the grid alone -- a 1-thread and an N-thread run produce
+// bit-identical reports.  Warm results may differ from cold ones within
+// the documented warm-start tolerance (docs/API.md#warm-starts); kCold
+// reproduces the historical every-point-from-scratch behavior, where
+// each point is a pure function of its scenario.
 //
 // Grids are described by SweepGrid: a base e2e::Scenario plus axes.  The
 // cross product enumerates axes in the order they were added, first axis
@@ -38,14 +49,14 @@ namespace deltanc {
 
 /// Canonical scheduler name ("fifo", "bmux", "sp-high", "edf",
 /// "delta:<value>").  Thin forwarder to the one registry in
-/// sched/scheduler_spec.h; a bare sched::SchedulerKind (or the
-/// deprecated e2e::Scheduler alias) converts implicitly.
+/// sched/scheduler_spec.h; a bare sched::SchedulerKind converts
+/// implicitly.
 [[nodiscard]] std::string scheduler_name(const sched::SchedulerSpec& s);
 /// Inverse of scheduler_name (accepts every form sched::parse_scheduler
 /// does, including "delta:<value>"); returns false on unknown names.
 [[nodiscard]] bool scheduler_from_name(const std::string& name,
                                        sched::SchedulerSpec& out);
-/// Kind-level inverse for legacy call sites holding an e2e::Scheduler;
+/// Kind-level inverse for call sites holding a bare SchedulerKind;
 /// rejects "delta:<value>" (no bare kind carries the offset).
 [[nodiscard]] bool scheduler_from_name(const std::string& name,
                                        sched::SchedulerKind& out);
@@ -64,9 +75,8 @@ class SweepGrid {
   /// Full scheduler identities: each value *replaces* the scenario's
   /// scheduler spec wholesale (including EDF factors / fixed offsets).
   SweepGrid& scheduler_axis(std::vector<sched::SchedulerSpec> values);
-  /// Scheduler kinds only (also matches vectors of the deprecated
-  /// e2e::Scheduler): each value re-assigns the kind but keeps the EDF
-  /// factors of the base scenario, so it composes with edf_axis and
+  /// Scheduler kinds only: each value re-assigns the kind but keeps the
+  /// EDF factors of the base scenario, so it composes with edf_axis and
   /// edf_deadlines in either order -- the historical behavior.
   SweepGrid& scheduler_axis(std::vector<sched::SchedulerKind> values);
   /// Disambiguates brace-enclosed kind lists (kinds convert implicitly
@@ -185,10 +195,16 @@ struct SweepReport {
 struct SweepOptions {
   /// Worker count; 0 = DELTANC_THREADS env or hardware_concurrency().
   int threads = 0;
-  /// Solver method passed through to best_delay_bound.
+  /// Solver method passed through to deltanc::Solver.
   e2e::Method method = e2e::Method::kExactOpt;
-  /// Per-point solver override (default: e2e::best_delay_bound).  Used
+  /// Grid warm-start policy (see the header comment): kWarm chains a
+  /// Solver::State along the innermost numeric axis of run(grid); kCold
+  /// solves every point from scratch.  Ignored (always cold) for the
+  /// explicit-list overload and when `solver` is set.
+  e2e::WarmStart warm_start = e2e::WarmStart::kWarm;
+  /// Per-point solver override (default: deltanc::Solver::solve).  Used
   /// e.g. for the additive baseline (e2e::best_additive_bmux_bound).
+  /// A custom solver disables warm-start chaining.
   std::function<e2e::BoundResult(const e2e::Scenario&, e2e::Method)> solver;
   /// Called after each point completes with (done, total).  Invocations
   /// are serialized under a mutex, so the callback need not be
@@ -211,6 +227,14 @@ class SweepRunner {
   [[nodiscard]] int resolved_threads(std::size_t n_tasks) const;
 
  private:
+  /// Warm-chained grid execution: scenarios decomposed into
+  /// `n / chain_len` chains along the chain axis (consecutive chain
+  /// members are `stride` apart in the flat enumeration), each solved
+  /// sequentially under one threaded Solver::State.
+  [[nodiscard]] SweepReport run_chained(std::span<const e2e::Scenario> scenarios,
+                                        std::size_t chain_len,
+                                        std::size_t stride) const;
+
   SweepOptions options_;
 };
 

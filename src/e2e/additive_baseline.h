@@ -38,7 +38,7 @@ namespace deltanc::e2e {
                                                          double epsilon);
 
 /// Scenario-level wrapper optimizing (gamma, s), mirroring
-/// `best_delay_bound_for_delta` for the additive method.
+/// `Solver::solve_at` for the additive method.
 [[nodiscard]] BoundResult best_additive_bmux_bound(const Scenario& sc);
 
 }  // namespace deltanc::e2e

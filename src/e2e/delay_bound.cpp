@@ -13,12 +13,6 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-DelayResult optimize_delay(const PathParams& p, double gamma, double sigma) {
-  SolveWorkspace ws;
-  (void)optimize_delay(p, gamma, sigma, ws);
-  return std::move(ws.result);
-}
-
 const DelayResult& optimize_delay(const PathParams& p, double gamma,
                                   double sigma, SolveWorkspace& ws) {
   p.validate();

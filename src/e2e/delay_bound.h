@@ -11,23 +11,17 @@
 // and SP-high are provided for cross-validation.
 #pragma once
 
-#include "e2e/deprecation.h"
 #include "e2e/path_params.h"
 
 namespace deltanc::e2e {
 
-/// Exact minimization of Eq. (39) by breakpoint enumeration.
-/// @deprecated Prefer deltanc::Solver::optimize (e2e/solver.h), which
-/// method-dispatches and reuses a workspace across calls.
-DELTANC_DEPRECATED("use deltanc::Solver::optimize")
-[[nodiscard]] DelayResult optimize_delay(const PathParams& p, double gamma,
-                                         double sigma);
-
-/// Allocation-free variant for hot paths: all buffers (breakpoint
+/// Exact minimization of Eq. (39) by breakpoint enumeration,
+/// allocation-free for hot paths: all buffers (breakpoint
 /// candidates, per-node constants, the theta vector of the result) live
-/// in `ws` and are reused across calls.  Bit-identical to the by-value
-/// overload.  The returned reference points into `ws` and is valid until
-/// the next call with the same workspace.
+/// in `ws` and are reused across calls.  The returned reference points
+/// into `ws` and is valid until the next call with the same workspace.
+/// (deltanc::Solver::optimize wraps this with method dispatch and an
+/// owned workspace; the old workspace-less shim was removed in PR 9.)
 const DelayResult& optimize_delay(const PathParams& p, double gamma,
                                   double sigma, SolveWorkspace& ws);
 

@@ -66,13 +66,6 @@ int k_procedure_index(const PathParams& p, double gamma, double sigma) {
   return p.hops;  // Eq. (40) always holds at K = H (empty sum)
 }
 
-DelayResult k_procedure_delay(const PathParams& p, double gamma,
-                              double sigma) {
-  SolveWorkspace ws;
-  (void)k_procedure_delay(p, gamma, sigma, ws);
-  return std::move(ws.result);
-}
-
 const DelayResult& k_procedure_delay(const PathParams& p, double gamma,
                                      double sigma, SolveWorkspace& ws) {
   const int k = k_procedure_index(p, gamma, sigma);

@@ -17,21 +17,16 @@
 // exact breakpoint enumeration of e2e/delay_bound.h.
 #pragma once
 
-#include "e2e/deprecation.h"
 #include "e2e/path_params.h"
 
 namespace deltanc::e2e {
 
 /// Runs the paper's K-procedure and returns the resulting (valid but
 /// possibly slightly suboptimal) delay bound with its X and thetas.
-/// @deprecated Prefer deltanc::Solver::optimize (e2e/solver.h) with
-/// SolveOptions::method = Method::kPaperK.
-DELTANC_DEPRECATED("use deltanc::Solver::optimize")
-[[nodiscard]] DelayResult k_procedure_delay(const PathParams& p, double gamma,
-                                            double sigma);
-
-/// Allocation-free variant (see optimize_delay's workspace overload):
-/// the result's theta buffer lives in `ws` and is reused across calls.
+/// Allocation-free (see optimize_delay's workspace contract): the
+/// result's theta buffer lives in `ws` and is reused across calls.
+/// (deltanc::Solver::optimize wraps this with method dispatch and an
+/// owned workspace; the old workspace-less shim was removed in PR 9.)
 const DelayResult& k_procedure_delay(const PathParams& p, double gamma,
                                      double sigma, SolveWorkspace& ws);
 

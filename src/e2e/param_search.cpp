@@ -8,10 +8,13 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
+#include "e2e/scan_batch.h"
+#include "e2e/warm_state.h"
 #include "sched/service_curve_provider.h"
 #include "traffic/eb_memo.h"
 
@@ -30,6 +33,9 @@ SolveStats& SolveStats::operator+=(const SolveStats& other) {
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_stale += other.cache_stale;
+  batched_evals += other.batched_evals;
+  warm_start_hits += other.warm_start_hits;
+  brackets_reused += other.brackets_reused;
   return *this;
 }
 
@@ -50,7 +56,7 @@ std::string fmt(double v) {
 }
 
 void validate_scenario(const Scenario& sc) {
-  sc.validate().throw_if_invalid("best_delay_bound");
+  sc.validate().throw_if_invalid("Solver");
 }
 
 /// Largest s keeping n * eb(s) < C (the bisection behind max_stable_s),
@@ -77,10 +83,28 @@ double stable_s_limit(double n, double capacity, double mean_rate,
 /// Per-scenario state of the nested search, built once per solve instead
 /// of once per (s, gamma) evaluation: the effective-bandwidth memo, the
 /// reusable theta-solver workspace, the stability-limited s bracket, and
-/// the instrumentation counters.
+/// the instrumentation counters.  A warm state whose fingerprints match
+/// donates its memo (always bit-exact: values depend only on the source)
+/// and its bracket (bit-exact when capacity and flow counts also match,
+/// skipping the 200-iteration bisection).
 struct SearchContext {
-  SearchContext(const Scenario& sc_in, Method method_in)
-      : sc(sc_in), method(method_in), eb(sc_in.source) {
+  SearchContext(const Scenario& sc_in, Method method_in,
+                detail::WarmState* warm_st)
+      : sc(sc_in),
+        method(method_in),
+        eb(sc_in.source),
+        use_simd(simd_enabled()) {
+    if (warm_st != nullptr && warm_st->source_matches(sc)) {
+      eb.adopt(warm_st->eb_entries);
+    }
+    if (warm_st != nullptr && warm_st->bracket_matches(sc)) {
+      s_lo = warm_st->s_lo;
+      s_hi = warm_st->s_hi;
+      unstable = warm_st->unstable;
+      degenerate_bracket = warm_st->degenerate;
+      ++stats.brackets_reused;
+      return;
+    }
     const double n = sc.n_through + sc.n_cross;
     const double limit =
         stable_s_limit(n, sc.capacity, sc.source.mean_rate(),
@@ -105,14 +129,21 @@ struct SearchContext {
   double s_hi = 0.0;
   bool unstable = false;
   bool degenerate_bracket = false;
+  bool use_simd = true;
+  // SoA scratch of the batched scans (reused across evaluations).
+  std::vector<double> scan_s;
+  std::vector<double> scan_eb;
+  std::vector<double> scan_gammas;
+  std::vector<double> scan_delays;
+  GammaScanBatch gamma_batch;
 };
 
-PathParams params_at(SearchContext& ctx, double s, double delta) {
-  const double eb = ctx.eb(s);
+PathParams params_from_eb(const SearchContext& ctx, double s, double eb_s,
+                          double delta) {
   return PathParams{ctx.sc.capacity,
                     ctx.sc.hops,
-                    ctx.sc.n_through * eb,
-                    ctx.sc.n_cross * eb,
+                    ctx.sc.n_through * eb_s,
+                    ctx.sc.n_cross * eb_s,
                     s,
                     1.0,
                     delta};
@@ -188,23 +219,97 @@ double minimize_scalar(F f, double lo, double hi, int scan_points,
 /// gamma-independent invariants (PathParams from one eb(s) evaluation and
 /// the sigma(epsilon) prefactors) are computed here, once per s, instead
 /// of inside every evaluation of the inner golden-section search.
+///
+/// The 25-point coarse scan runs through the SoA SIMD kernel
+/// (e2e/scan_batch.h) for the exact optimizer; the K-procedure (whose
+/// inner K search is data-dependent) and the DELTANC_SIMD=off reference
+/// mode keep the historical scalar loop.  Both produce bit-identical
+/// values, so the golden refinement that follows is shared.
 double best_over_gamma(SearchContext& ctx, double delta, double s,
-                       double* best_gamma) {
-  const PathParams p = params_at(ctx, s, delta);
+                       double eb_s, double* best_gamma) {
+  const PathParams p = params_from_eb(ctx, s, eb_s, delta);
   const double glim = p.gamma_limit();
   if (!(glim > 0.0)) return kInf;
   const SigmaForEpsilon sigma_of(p, ctx.sc.epsilon);
-  return minimize_scalar(
-      [&](double gamma) { return delay_at(ctx, p, sigma_of, gamma); },
-      1e-4 * glim, 0.9999 * glim, 24, 48, best_gamma);
+  const double lo = 1e-4 * glim;
+  const double hi = 0.9999 * glim;
+  constexpr int kScanPoints = 24;
+  constexpr int kGoldenIters = 48;
+  double best_x = lo;
+  double best_v = kInf;
+  if (ctx.method == Method::kExactOpt && ctx.use_simd) {
+    const std::size_t lanes = kScanPoints + 1;
+    ctx.scan_gammas.resize(lanes);
+    ctx.scan_delays.resize(lanes);
+    for (int i = 0; i <= kScanPoints; ++i) {
+      ctx.scan_gammas[static_cast<std::size_t>(i)] =
+          lo + (hi - lo) * static_cast<double>(i) / kScanPoints;
+    }
+    detail::gamma_scan_exact_batch(p, sigma_of, ctx.scan_gammas,
+                                   ctx.scan_delays, ctx.gamma_batch);
+    ctx.stats.sigma_evals += static_cast<std::int64_t>(lanes);
+    ctx.stats.optimize_evals += static_cast<std::int64_t>(lanes);
+    ctx.stats.batched_evals += static_cast<std::int64_t>(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      if (ctx.scan_delays[i] < best_v) {
+        best_v = ctx.scan_delays[i];
+        best_x = ctx.scan_gammas[i];
+      }
+    }
+  } else {
+    for (int i = 0; i <= kScanPoints; ++i) {
+      const double x = lo + (hi - lo) * static_cast<double>(i) / kScanPoints;
+      const double v = delay_at(ctx, p, sigma_of, x);
+      if (v < best_v) {
+        best_v = v;
+        best_x = x;
+      }
+    }
+  }
+  // Golden refinement around the scan winner -- the exact tail of the
+  // historical minimize_scalar(24, 48) call, evaluation for evaluation.
+  const double step = (hi - lo) / kScanPoints;
+  double a = std::max(lo, best_x - step);
+  double b = std::min(hi, best_x + step);
+  const double inv_phi = 0.6180339887498949;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = delay_at(ctx, p, sigma_of, x1);
+  double f2 = delay_at(ctx, p, sigma_of, x2);
+  for (int iter = 0; iter < kGoldenIters; ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = delay_at(ctx, p, sigma_of, x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = delay_at(ctx, p, sigma_of, x2);
+    }
+  }
+  const double xm = 0.5 * (a + b);
+  const double vm = delay_at(ctx, p, sigma_of, xm);
+  if (vm < best_v) {
+    best_v = vm;
+    best_x = xm;
+  }
+  if (best_gamma != nullptr) *best_gamma = best_x;
+  return best_v;
 }
 
 /// One full (s, gamma) optimization at fixed delta.  When `warm` carries
-/// a finite previous optimum (EDF fixed point), the 29-point coarse scan
-/// over s is replaced by a single probe at the warm-started s; the golden
-/// refinement then re-localizes the optimum from there.
+/// a finite previous optimum (EDF fixed point, or an external warm-start
+/// state), the 29-point coarse scan over s is replaced by a single probe
+/// at the warm-started s; the golden refinement then re-localizes the
+/// optimum from there.  `external_warm` marks a probe seeded from a
+/// SolveState (counted in stats.warm_start_hits when it lands).
 BoundResult solve_for_delta(SearchContext& ctx, double delta,
-                            const BoundResult* warm) {
+                            const BoundResult* warm,
+                            bool external_warm = false) {
   BoundResult result{kInf, 0.0, 0.0, 0.0, delta};
   if (ctx.unstable) {  // unstable at any s
     result.diagnostics.fail(
@@ -223,18 +328,28 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
   const auto scan_t0 = Clock::now();
   if (warm != nullptr && std::isfinite(warm->delay_ms) && warm->s > 0.0) {
     const double s = std::clamp(warm->s, s_lo, s_hi);
-    best_v = best_over_gamma(ctx, delta, s, nullptr);
+    best_v = best_over_gamma(ctx, delta, s, ctx.eb(s), nullptr);
     best_s = s;
+    if (external_warm && best_v != kInf) ++ctx.stats.warm_start_hits;
   }
   if (best_v == kInf) {
-    // Coarse logarithmic scan over s (cold start, or warm probe missed).
+    // Coarse logarithmic scan over s (cold start, or warm probe missed):
+    // the s grid is laid out as one SoA batch so eb(s) evaluates through
+    // the batched spectral-radius kernel (memo misses only).
+    ctx.scan_s.resize(kScan + 1);
+    ctx.scan_eb.resize(kScan + 1);
     for (int i = 0; i <= kScan; ++i) {
-      const double s = s_lo * std::pow(s_hi / s_lo,
-                                       static_cast<double>(i) / kScan);
-      const double v = best_over_gamma(ctx, delta, s, nullptr);
+      ctx.scan_s[static_cast<std::size_t>(i)] =
+          s_lo * std::pow(s_hi / s_lo, static_cast<double>(i) / kScan);
+    }
+    ctx.eb.gather(ctx.scan_s, ctx.scan_eb, ctx.use_simd);
+    for (int i = 0; i <= kScan; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      const double v =
+          best_over_gamma(ctx, delta, ctx.scan_s[k], ctx.scan_eb[k], nullptr);
       if (v < best_v) {
         best_v = v;
-        best_s = s;
+        best_s = ctx.scan_s[k];
       }
     }
   }
@@ -244,13 +359,20 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
     // Fall back to a dense logarithmic scan before giving up.
     ++ctx.stats.fallbacks;
     const int kDense = 160;
+    ctx.scan_s.resize(kDense + 1);
+    ctx.scan_eb.resize(kDense + 1);
     for (int i = 0; i <= kDense; ++i) {
-      const double s = s_lo * std::pow(s_hi / s_lo,
-                                       static_cast<double>(i) / kDense);
-      const double v = best_over_gamma(ctx, delta, s, nullptr);
+      ctx.scan_s[static_cast<std::size_t>(i)] =
+          s_lo * std::pow(s_hi / s_lo, static_cast<double>(i) / kDense);
+    }
+    ctx.eb.gather(ctx.scan_s, ctx.scan_eb, ctx.use_simd);
+    for (int i = 0; i <= kDense; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i);
+      const double v =
+          best_over_gamma(ctx, delta, ctx.scan_s[k], ctx.scan_eb[k], nullptr);
       if (v < best_v) {
         best_v = v;
-        best_s = s;
+        best_s = ctx.scan_s[k];
       }
     }
   }
@@ -267,7 +389,7 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
   const auto refine_t0 = Clock::now();
   double refined_s = best_s;
   const double refined_v = minimize_scalar(
-      [&](double s) { return best_over_gamma(ctx, delta, s, nullptr); },
+      [&](double s) { return best_over_gamma(ctx, delta, s, ctx.eb(s), nullptr); },
       std::max(s_lo, best_s / ratio), std::min(s_hi, best_s * ratio), 8, 32,
       &refined_s);
   // Keep the argmin over everything seen: the refinement's arithmetic
@@ -276,10 +398,10 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
   const double final_s = refined_v < best_v ? refined_s : best_s;
 
   double gamma = 0.0;
-  result.delay_ms = best_over_gamma(ctx, delta, final_s, &gamma);
+  result.delay_ms = best_over_gamma(ctx, delta, final_s, ctx.eb(final_s), &gamma);
   result.gamma = gamma;
   result.s = final_s;
-  const PathParams p = params_at(ctx, final_s, delta);
+  const PathParams p = params_from_eb(ctx, final_s, ctx.eb(final_s), delta);
   result.sigma = SigmaForEpsilon(p, ctx.sc.epsilon)(gamma);
   ctx.stats.refine_ms += ms_since(refine_t0);
   return result;
@@ -304,7 +426,7 @@ BoundResult finish(SearchContext& ctx, BoundResult result) {
 ///   sigma = ln( 1 / ((1 - e^{-s gamma}) eps) ) / s,
 ///
 /// valid whenever rho_0(s) + gamma <= R.  sigma is decreasing in gamma,
-/// so the optimal slack is the closed form gamma* = R - rho_0(s), leaving
+/// so the optimal slack is the closed form gamma* = R - rho0(s), leaving
 /// a 1-D minimization over the Chernoff parameter s.  Note the stability
 /// condition is *per class*: only the through load competes against the
 /// guaranteed rate R, so (unlike the Delta path) a finite bound can exist
@@ -320,7 +442,7 @@ BoundResult solve_curve_backed(const Scenario& sc) {
       provider->rate_latency(sc.capacity, loads);
   if (!rl.has_value()) {
     throw std::logic_error(
-        "best_delay_bound: curve-backed provider returned no rate-latency "
+        "Solver: curve-backed provider returned no rate-latency "
         "form for '" + sched::to_string(sc.scheduler) + "'");
   }
   const double rate = rl->rate;
@@ -376,6 +498,153 @@ BoundResult solve_curve_backed(const Scenario& sc) {
       std::log(1.0 / ((1.0 - std::exp(-best_s * result.gamma)) * sc.epsilon)) /
       best_s;
   return done(result);
+}
+
+/// EDF fixed point: deadlines are multiples of d_e2e/H, so Delta =
+/// (own - cross) * d_e2e / H depends on the bound itself.  Fixed point
+/// seeded with the FIFO bound; one shared context memoizes eb(s)
+/// across iterations and warm-starts each s scan from the previous
+/// iterate.  Non-convergence is recoverable: each retry restarts from
+/// the seed with a tighter damping factor before the result is flagged.
+///
+/// The first attempt (and the warm attempt) accelerates the iteration
+/// with a secant step on the residual f(d) = g(d) - d, where g maps a
+/// deadline guess to the resulting delay bound.  On the paper grids g
+/// is strongly contracting (|g'| ~ 0.05), so the historical beta = 0.5
+/// damped update converged at rate ~(1 - beta) -- ~25 solves per point,
+/// dominating the Fig. 2 sweep -- while the secant step reaches the
+/// same 1e-7 band in 3-5 solves.  A secant step that goes non-finite,
+/// non-positive, or more than 4x away from the current iterate falls
+/// back to the damped update for that step, and the damped restart
+/// schedule below is untouched, so robustness is unchanged.
+///
+/// A warm state carrying the neighbor's resolved fixed point gets one
+/// warm attempt first -- iterating from that d (and probing from that
+/// optimum) instead of re-deriving the FIFO seed.  If the warm attempt
+/// fails to converge or goes non-finite, the full cold schedule runs
+/// unchanged, so warm-starting never degrades robustness.
+BoundResult solve_edf(SearchContext& ctx, detail::WarmState* warm_st,
+                      int max_edf_restarts, bool& have_edf_d,
+                      double& resolved_d) {
+  const Scenario& sc = ctx.sc;
+  const sched::EdfFactors& factors = sc.scheduler.edf_factors();
+  const double factor_gap = factors.own_factor - factors.cross_factor;
+  constexpr double kDamping[] = {0.5, 0.25, 0.1};
+  constexpr int kMaxIters = 60;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  BoundResult prev{kInf, 0.0, 0.0, 0.0, 0.0};
+  double d = 0.0;
+  bool converged = false;
+
+  // One iteration schedule from the current (d, prev).  `accelerate`
+  // enables the secant step on f(d) = g(d) - d; `external_warm` marks
+  // the first solve as a SolveState-seeded probe (warm_start_hits).
+  // Returns true on convergence; `d` and `prev` carry the last iterate
+  // either way (a non-finite `prev` means the deadline guess drove the
+  // delta solve unstable -- the caller decides whether that is fatal).
+  const auto iterate = [&](double beta, bool accelerate,
+                           bool external_warm) {
+    double last_d = kNaN;
+    double last_f = kNaN;
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+      ++ctx.stats.edf_iterations;
+      const double delta = factor_gap * d / sc.hops;
+      prev = solve_for_delta(ctx, delta, &prev, external_warm && iter == 0);
+      if (!std::isfinite(prev.delay_ms)) return false;
+      const double f = prev.delay_ms - d;
+      if (std::abs(f) <= 1e-7 * std::max(1.0, d)) {
+        converged = true;
+        return true;
+      }
+      double d_next = d + beta * f;
+      if (accelerate && std::isfinite(last_f) && f != last_f) {
+        const double d_sec = d - f * (d - last_d) / (f - last_f);
+        if (std::isfinite(d_sec) && d_sec > 0.25 * d && d_sec < 4.0 * d) {
+          d_next = d_sec;
+        }
+      }
+      last_d = d;
+      last_f = f;
+      d = d_next;
+    }
+    return false;
+  };
+
+  if (warm_st != nullptr && warm_st->edf_valid && warm_st->prev_valid &&
+      std::isfinite(warm_st->prev.delay_ms)) {
+    // Warm attempt seeded by the neighbor's fixed point.  A non-finite
+    // iterate just falls through to the cold schedule below.
+    prev = warm_st->prev;
+    d = warm_st->edf_d;
+    iterate(kDamping[0], /*accelerate=*/true, /*external_warm=*/true);
+  }
+
+  if (!converged) {
+    const BoundResult seed = solve_for_delta(ctx, 0.0, nullptr);
+    if (!std::isfinite(seed.delay_ms)) return finish(ctx, seed);
+    // Retry policy: attempt 0 plus up to max_edf_restarts damped
+    // restarts; -1 (the default) runs the whole built-in schedule.
+    // Only attempt 0 accelerates -- the restarts exist for landscapes
+    // where aggressive steps misbehave, so they stay purely damped.
+    const std::size_t attempts =
+        max_edf_restarts < 0
+            ? std::size(kDamping)
+            : std::min(std::size(kDamping),
+                       static_cast<std::size_t>(max_edf_restarts) + 1);
+    prev = seed;
+    d = seed.delay_ms;
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        // Retry: restart from the FIFO seed with a tighter damping factor.
+        ++ctx.stats.retries;
+        prev = seed;
+        d = seed.delay_ms;
+      }
+      if (iterate(kDamping[attempt], /*accelerate=*/attempt == 0,
+                  /*external_warm=*/false)) {
+        break;
+      }
+      if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
+    }
+  }
+  ctx.stats.edf_converged = converged;
+  // Re-solve once at the resolved Delta so the returned tuple (delay,
+  // gamma, s, sigma, delta) is self-consistent instead of mixing the
+  // damped average with parameters from an earlier iterate.
+  BoundResult result = solve_for_delta(ctx, factor_gap * d / sc.hops, &prev);
+  if (!converged) {
+    result.diagnostics.warn(
+        diag::SolveErrorKind::kNoConvergence,
+        "EDF fixed point did not converge within " +
+            std::to_string(kMaxIters) + " iterations after " +
+            std::to_string(ctx.stats.retries) +
+            " damped restart(s); the bound uses the last iterate");
+  }
+  have_edf_d = true;
+  resolved_d = d;
+  return finish(ctx, result);
+}
+
+/// Deposits this solve's reusable context into the warm state.
+void export_state(detail::WarmState& st, SearchContext& ctx,
+                  const BoundResult& result, bool have_edf_d,
+                  double resolved_d) {
+  st.valid = true;
+  st.peak = ctx.sc.source.peak_kb();
+  st.p11 = ctx.sc.source.p11();
+  st.p22 = ctx.sc.source.p22();
+  st.capacity = ctx.sc.capacity;
+  st.n_total = static_cast<double>(ctx.sc.n_through + ctx.sc.n_cross);
+  st.bracket_valid = true;
+  st.s_lo = ctx.s_lo;
+  st.s_hi = ctx.s_hi;
+  st.unstable = ctx.unstable;
+  st.degenerate = ctx.degenerate_bracket;
+  st.eb_entries = ctx.eb.entries();
+  st.prev_valid = std::isfinite(result.delay_ms);
+  st.prev = result;
+  st.edf_valid = have_edf_d;
+  st.edf_d = resolved_d;
 }
 
 }  // namespace
@@ -486,89 +755,50 @@ double max_stable_s(const Scenario& sc) {
       [&](double s) { return sc.source.effective_bandwidth(s); });
 }
 
-BoundResult best_delay_bound_for_delta(const Scenario& sc, double delta,
-                                       Method method) {
-  validate_scenario(sc);
-  SearchContext ctx(sc, method);
-  return finish(ctx, solve_for_delta(ctx, delta, nullptr));
-}
+namespace detail {
 
-BoundResult best_delay_bound(const Scenario& sc, Method method,
-                             int max_edf_restarts) {
+BoundResult solve_scenario(const Scenario& sc, const EngineRequest& req,
+                           SolveState* state) {
+  WarmState* st = state != nullptr ? &warm(*state) : nullptr;
   // Curve-backed kinds (GPS/DRR/SCED) have no Delta at all: route them to
   // the service-curve-provider path before the static_delta check (their
-  // static_delta() is nullopt, which below would mean "EDF fixed point").
-  if (sc.scheduler.is_curve_backed()) {
+  // static_delta() is nullopt, which would otherwise mean "EDF fixed
+  // point").  Their 1-D search shares nothing with the Delta engine, so
+  // the warm state is cleared rather than poisoned with foreign hints.
+  if (!req.delta.has_value() && sc.scheduler.is_curve_backed()) {
     validate_scenario(sc);
-    return solve_curve_backed(sc);
+    BoundResult result = solve_curve_backed(sc);
+    if (st != nullptr) *st = WarmState{};
+    return result;
   }
   // Every Delta-backed kind but EDF has a Delta that does not depend on
-  // the solve (FIFO 0, BMUX +inf, SP-high -inf, kDelta its offset).
-  if (const std::optional<double> fixed = sc.scheduler.static_delta()) {
-    return best_delay_bound_for_delta(sc, *fixed, method);
-  }
-  // EDF: deadlines are multiples of d_e2e/H, so Delta = (own - cross) *
-  // d_e2e / H depends on the bound itself.  Damped fixed point, seeded
-  // with the FIFO bound; one shared context memoizes eb(s) across
-  // iterations and warm-starts each s scan from the previous iterate.
-  // Non-convergence is recoverable: each retry restarts from the seed
-  // with a tighter damping factor before the result is flagged.
+  // the solve (FIFO 0, BMUX +inf, SP-high -inf, kDelta its offset); an
+  // explicit request delta overrides the scheduler entirely.
+  std::optional<double> fixed = req.delta;
+  if (!fixed.has_value()) fixed = sc.scheduler.static_delta();
+
   validate_scenario(sc);
-  SearchContext ctx(sc, method);
-  const sched::EdfFactors& factors = sc.scheduler.edf_factors();
-  const double factor_gap = factors.own_factor - factors.cross_factor;
-  const BoundResult seed = solve_for_delta(ctx, 0.0, nullptr);
-  if (!std::isfinite(seed.delay_ms)) return finish(ctx, seed);
-  constexpr double kDamping[] = {0.5, 0.25, 0.1};
-  constexpr int kMaxIters = 60;
-  // Retry policy: attempt 0 plus up to max_edf_restarts damped restarts;
-  // -1 (the default) runs the whole built-in schedule.
-  const std::size_t attempts =
-      max_edf_restarts < 0
-          ? std::size(kDamping)
-          : std::min(std::size(kDamping),
-                     static_cast<std::size_t>(max_edf_restarts) + 1);
-  BoundResult prev = seed;
-  double d = seed.delay_ms;
-  bool converged = false;
-  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    const double beta = kDamping[attempt];
-    if (attempt > 0) {
-      // Retry: restart from the FIFO seed with a tighter damping factor.
-      ++ctx.stats.retries;
-      prev = seed;
-      d = seed.delay_ms;
-    }
-    for (int iter = 0; iter < kMaxIters; ++iter) {
-      ++ctx.stats.edf_iterations;
-      const double delta = factor_gap * d / sc.hops;
-      BoundResult cur = solve_for_delta(ctx, delta, &prev);
-      prev = cur;
-      if (!std::isfinite(prev.delay_ms)) return finish(ctx, prev);
-      const double d_next = (1.0 - beta) * d + beta * prev.delay_ms;
-      if (std::abs(d_next - d) <= 1e-7 * std::max(1.0, d)) {
-        d = d_next;
-        converged = true;
-        break;
-      }
-      d = d_next;
-    }
-    if (converged) break;
+  const bool use_warm = req.use_warm && st != nullptr && st->valid;
+  SearchContext ctx(sc, req.method, use_warm ? st : nullptr);
+
+  BoundResult result;
+  bool have_edf_d = false;
+  double resolved_d = 0.0;
+  if (fixed.has_value()) {
+    const BoundResult* warm_prev =
+        (use_warm && st->prev_valid) ? &st->prev : nullptr;
+    result = finish(ctx, solve_for_delta(ctx, *fixed, warm_prev,
+                                         /*external_warm=*/true));
+  } else {
+    result = solve_edf(ctx, use_warm ? st : nullptr, req.max_edf_restarts,
+                       have_edf_d, resolved_d);
   }
-  ctx.stats.edf_converged = converged;
-  // Re-solve once at the resolved Delta so the returned tuple (delay,
-  // gamma, s, sigma, delta) is self-consistent instead of mixing the
-  // damped average with parameters from an earlier iterate.
-  BoundResult result = solve_for_delta(ctx, factor_gap * d / sc.hops, &prev);
-  if (!converged) {
-    result.diagnostics.warn(
-        diag::SolveErrorKind::kNoConvergence,
-        "EDF fixed point did not converge within " +
-            std::to_string(kMaxIters) + " iterations after " +
-            std::to_string(ctx.stats.retries) +
-            " damped restart(s); the bound uses the last iterate");
+  if (st != nullptr) {
+    export_state(*st, ctx, result, have_edf_d, resolved_d);
   }
-  return finish(ctx, result);
+  return result;
 }
+
+}  // namespace detail
 
 }  // namespace deltanc::e2e

@@ -1,48 +1,41 @@
-// Scenario-level API: from a concrete network description (link rate,
-// path length, MMOO flow counts, scheduler, target violation probability)
-// to a probabilistic end-to-end delay bound.
+// Scenario-level solve engine: from a concrete network description
+// (link rate, path length, MMOO flow counts, scheduler, target violation
+// probability) to a probabilistic end-to-end delay bound.
 //
 // The paper's bound has two free parameters that are not optimized
 // analytically: the Chernoff parameter s of the effective bandwidth (the
 // EBB description A ~ (1, N eb(s), s)) and the per-node rate slack gamma
-// of the network service curve.  `best_delay_bound` minimizes the bound
-// over both: an outer golden-section search on s (seeded by a coarse
+// of the network service curve.  The engine minimizes the bound over
+// both: an outer golden-section search on s (seeded by a coarse
 // logarithmic scan) and an inner golden-section search on gamma within
-// the stability window of Eq. (32).
+// the stability window of Eq. (32).  The inner scan runs through the
+// SoA SIMD kernels of e2e/scan_batch.h (bit-identical to the scalar
+// path; DELTANC_SIMD=off selects the reference implementation).
 //
 // EDF deadlines in the paper's examples are self-referential: d*_0 and
 // d*_c are multiples of d_e2e / H where d_e2e is the EDF bound itself
-// (Examples 1 and 3).  `best_delay_bound` resolves this with a damped
+// (Examples 1 and 3).  The engine resolves this with a damped
 // fixed-point iteration on Delta_{0,c} = d*_0 - d*_c.
+//
+// The one public entry point is deltanc::Solver (e2e/solver.h); the
+// historical scenario-level free functions were retired with the rest
+// of the deprecated shims, and scripts/check.sh gates against their
+// return.  This header keeps the
+// scenario/result/stats vocabulary plus the internal engine interface
+// the Solver and the sweep chain executor share.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/diagnostics.h"
-#include "e2e/deprecation.h"
 #include "e2e/path_params.h"
 #include "sched/scheduler_spec.h"
 #include "traffic/mmoo.h"
 
 namespace deltanc::e2e {
 
-/// Which Delta-scheduler serves the through traffic at every node.
-///
-/// @deprecated Scheduler identity now lives in sched::SchedulerSpec
-/// (sched/scheduler_spec.h); this alias of sched::SchedulerKind keeps
-/// `e2e::Scheduler::kFifo`-style code compiling (a kind converts
-/// implicitly to the equivalent spec).  Define
-/// DELTANC_ENABLE_DEPRECATION_WARNINGS for [[deprecated]] diagnostics.
-using Scheduler DELTANC_DEPRECATED("use sched::SchedulerSpec / SchedulerKind") =
-    sched::SchedulerKind;
-
-/// EDF deadline specification.  Deadlines are per node and expressed as
-/// multiples of d_e2e / H (resolved by fixed point): Example 1 and 3 of
-/// the paper use own=1, cross=10.
-///
-/// @deprecated Alias of sched::EdfFactors; the factors now live inside
-/// sched::SchedulerSpec (Scenario::scheduler.edf_factors()).
-using EdfSpec DELTANC_DEPRECATED("use sched::EdfFactors") = sched::EdfFactors;
+class SolveState;  // e2e/solve_state.h (opaque warm-start context)
 
 /// A homogeneous end-to-end scenario with MMOO traffic (Section V).
 struct Scenario {
@@ -76,6 +69,19 @@ enum class Method {
   kPaperK,    ///< the paper's K-procedure (e2e/k_procedure.h)
 };
 
+/// Warm-start policy of a solve that is handed a SolveState.
+enum class WarmStart {
+  /// Ignore any carried context; solve from scratch (bit-identical to a
+  /// stateless solve).  The state is still refreshed afterwards.
+  kCold,
+  /// Consume fingerprint-matching hints from the state: the eb(s) memo
+  /// and the stable-s bracket are reused bit-exactly; the previous
+  /// optimum and the resolved EDF fixed point seed the search (which may
+  /// legitimately change iteration paths within the documented
+  /// warm-start tolerance; see docs/API.md#warm-starts).
+  kWarm,
+};
+
 /// Instrumentation of one solve: how much work the nested search did and
 /// where the wall-clock went.  Counters aggregate across the EDF fixed
 /// point when one runs; `operator+=` lets sweeps aggregate across points.
@@ -96,6 +102,11 @@ struct SolveStats {
   std::int64_t cache_hits = 0;    ///< result was served from the cache
   std::int64_t cache_misses = 0;  ///< no entry existed; solved and stored
   std::int64_t cache_stale = 0;   ///< entry from an older schema/version
+  // SIMD / warm-start instrumentation (PR 9): the speedup must be
+  // observable, not inferred.
+  std::int64_t batched_evals = 0;   ///< evals dispatched through the SIMD kernel
+  std::int64_t warm_start_hits = 0; ///< warm hints consumed (probe / EDF seed)
+  std::int64_t brackets_reused = 0; ///< stable-s brackets adopted (no bisection)
 
   SolveStats& operator+=(const SolveStats& other);
 };
@@ -114,30 +125,35 @@ struct BoundResult {
   diag::Diagnostics diagnostics{};  ///< error/warning classification
 };
 
-/// Delay bound for a fixed, already-resolved Delta (no EDF fixed point).
-/// Optimizes over (gamma, s).
-///
-/// @deprecated Call deltanc::Solver (e2e/solver.h) with
-/// SolveOptions::delta instead; this remains as a thin compatibility
-/// entry point (define DELTANC_ENABLE_DEPRECATION_WARNINGS to get
-/// [[deprecated]] diagnostics for it).
-DELTANC_DEPRECATED("use deltanc::Solver with SolveOptions::delta")
-[[nodiscard]] BoundResult best_delay_bound_for_delta(const Scenario& sc,
-                                                     double delta,
-                                                     Method method);
-
-/// Full scenario solve: resolves EDF deadlines by fixed point when
-/// needed, then optimizes (gamma, s).  `max_edf_restarts` caps the
-/// damped-restart retry policy of the EDF fixed point: -1 runs the full
-/// built-in damping schedule (the default; bit-identical to the
-/// historical behavior), 0 forbids restarts, n allows at most n.
-[[nodiscard]] BoundResult best_delay_bound(const Scenario& sc,
-                                           Method method = Method::kExactOpt,
-                                           int max_edf_restarts = -1);
-
 /// The largest Chernoff parameter keeping the per-node load below
 /// capacity ((N0+Nc) eb(s) < C); +infinity when even the peak rate fits,
 /// 0 when the mean rate already overloads the link.
 [[nodiscard]] double max_stable_s(const Scenario& sc);
+
+namespace detail {
+
+/// What deltanc::Solver (or the sweep chain executor) asks the engine to
+/// do.  Internal: user code calls deltanc::Solver, never this.
+struct EngineRequest {
+  Method method = Method::kExactOpt;
+  /// EDF fixed-point retry policy: -1 = full damped-restart schedule,
+  /// 0 = no restarts, n = at most n.
+  int max_edf_restarts = -1;
+  /// Solve at this fixed, already-resolved Delta (skips the EDF fixed
+  /// point and the scheduler's static Delta).
+  std::optional<double> delta;
+  /// Consume warm hints from the state (WarmStart::kWarm semantics).
+  /// With false the solve is bit-identical to a stateless one.
+  bool use_warm = false;
+};
+
+/// The scenario-solve engine behind deltanc::Solver.  `state` may be
+/// null (one-shot solve); when non-null it is consulted per
+/// `req.use_warm` and refreshed with this solve's context either way.
+[[nodiscard]] BoundResult solve_scenario(const Scenario& sc,
+                                         const EngineRequest& req,
+                                         SolveState* state);
+
+}  // namespace detail
 
 }  // namespace deltanc::e2e

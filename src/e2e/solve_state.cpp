@@ -1,0 +1,29 @@
+#include "e2e/solve_state.h"
+
+#include "e2e/warm_state.h"
+
+namespace deltanc::e2e {
+
+SolveState::SolveState() = default;
+SolveState::SolveState(SolveState&&) noexcept = default;
+SolveState& SolveState::operator=(SolveState&&) noexcept = default;
+SolveState::~SolveState() = default;
+
+bool SolveState::has_value() const noexcept {
+  return impl_ != nullptr && impl_->valid;
+}
+
+void SolveState::reset() noexcept {
+  if (impl_ != nullptr) *impl_ = detail::WarmState{};
+}
+
+namespace detail {
+
+WarmState& warm(SolveState& state) {
+  if (state.impl_ == nullptr) state.impl_ = std::make_unique<WarmState>();
+  return *state.impl_;
+}
+
+}  // namespace detail
+
+}  // namespace deltanc::e2e

@@ -1,5 +1,7 @@
 #include "e2e/solver.h"
 
+#include <stdexcept>
+
 namespace deltanc {
 
 e2e::Scenario Solver::effective_scenario(const e2e::Scenario& sc) const {
@@ -8,20 +10,30 @@ e2e::Scenario Solver::effective_scenario(const e2e::Scenario& sc) const {
   return out;
 }
 
+e2e::detail::EngineRequest Solver::engine_request() const {
+  e2e::detail::EngineRequest req;
+  req.method = options_.method;
+  req.max_edf_restarts = options_.max_edf_restarts;
+  req.delta = options_.delta;
+  return req;
+}
+
 e2e::BoundResult Solver::solve(const e2e::Scenario& sc) const {
-  const e2e::Scenario effective = effective_scenario(sc);
-  if (options_.delta.has_value()) {
-    return e2e::best_delay_bound_for_delta(effective, *options_.delta,
-                                           options_.method);
-  }
-  return e2e::best_delay_bound(effective, options_.method,
-                               options_.max_edf_restarts);
+  return e2e::detail::solve_scenario(effective_scenario(sc), engine_request(),
+                                     nullptr);
+}
+
+e2e::BoundResult Solver::solve(const e2e::Scenario& sc, State& state) const {
+  e2e::detail::EngineRequest req = engine_request();
+  req.use_warm = options_.warm_start == e2e::WarmStart::kWarm;
+  return e2e::detail::solve_scenario(effective_scenario(sc), req, &state);
 }
 
 e2e::BoundResult Solver::solve_at(const e2e::Scenario& sc,
                                   double delta) const {
-  return e2e::best_delay_bound_for_delta(effective_scenario(sc), delta,
-                                         options_.method);
+  e2e::detail::EngineRequest req = engine_request();
+  req.delta = delta;
+  return e2e::detail::solve_scenario(effective_scenario(sc), req, nullptr);
 }
 
 e2e::DelayResult Solver::optimize(const e2e::PathParams& p, double gamma,
@@ -34,11 +46,12 @@ e2e::DelayResult Solver::optimize(const e2e::PathParams& p, double gamma,
         return e2e::k_procedure_delay(p, gamma, sigma, workspace_);
     }
   }
+  e2e::SolveWorkspace ws;
   switch (options_.method) {
     case e2e::Method::kExactOpt:
-      return e2e::optimize_delay(p, gamma, sigma);
+      return e2e::optimize_delay(p, gamma, sigma, ws);
     case e2e::Method::kPaperK:
-      return e2e::k_procedure_delay(p, gamma, sigma);
+      return e2e::k_procedure_delay(p, gamma, sigma, ws);
   }
   throw std::invalid_argument("Solver: unknown method");
 }

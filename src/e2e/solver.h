@@ -1,21 +1,24 @@
 // deltanc::Solver -- the consolidated solve entry point of the public
 // API (re-exported by include/deltanc/deltanc.h).
 //
-// Historically the library exposed three free-function entry points at
-// different altitudes: e2e::best_delay_bound_for_delta (scenario at a
-// fixed Delta), and the low-level theta optimizers e2e::optimize_delay /
-// e2e::k_procedure_delay (one (gamma, sigma) evaluation each, method
-// chosen by which function you call).  Solver unifies them behind one
-// object carrying a SolveOptions: the method, an optional scheduler
-// override, an optional fixed Delta, and the EDF retry policy all live
+// Historically the library exposed free-function entry points at
+// different altitudes: a full scenario solve, a scenario solve at a
+// fixed Delta, and workspace-less wrappers of the low-level theta
+// optimizers (one (gamma, sigma) evaluation each, method chosen by
+// which function you call).  Solver unifies them behind one object carrying a
+// SolveOptions: the method, an optional scheduler override, an optional
+// fixed Delta, the EDF retry policy, and the warm-start policy all live
 // in one struct -- which is also exactly what the persistent result
 // cache hashes (io::solve_cache_key), so "what was solved" and "what
-// keys the cache" can never drift apart.
+// keys the cache" can never drift apart.  The free-function shims were
+// retired in PR 9; scripts/check.sh gates against their return.
 //
-// Results are bit-identical to the free functions they replace (pinned
-// by tests/solver_facade_test.cpp against the PR 2 hexfloat goldens);
-// the free functions remain as thin deprecated shims (see
-// e2e/deprecation.h).
+// Cold solves are bit-identical to the free functions they replaced
+// (pinned by tests/solver_facade_test.cpp against the PR 2 hexfloat
+// goldens).  Warm-started solves (SolveOptions::warm_start = kWarm plus
+// a Solver::State threaded between related solves) may take different
+// iteration paths; the deviation is bounded by the documented tolerance
+// (docs/API.md#warm-starts, enforced by the CLI selfcheck battery).
 #pragma once
 
 #include <optional>
@@ -23,6 +26,7 @@
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
 #include "e2e/param_search.h"
+#include "e2e/solve_state.h"
 
 namespace deltanc {
 
@@ -35,8 +39,7 @@ struct SolveOptions {
   e2e::Method method = e2e::Method::kExactOpt;
   /// Override the scenario's scheduler without copying the scenario by
   /// hand (e.g. one base scenario solved under every scheduler).  A bare
-  /// sched::SchedulerKind (or the deprecated e2e::Scheduler alias of it)
-  /// converts implicitly.
+  /// sched::SchedulerKind converts implicitly.
   std::optional<sched::SchedulerSpec> scheduler;
   /// Solve at this fixed, already-resolved Delta instead of deriving it
   /// from the scheduler (skips the EDF fixed point entirely).
@@ -50,6 +53,10 @@ struct SolveOptions {
   /// results are bit-identical either way.  Scenario-level solves manage
   /// their workspace internally and ignore this flag.
   bool reuse_workspace = true;
+  /// Whether solve(sc, state) consumes the hints carried in the state
+  /// (kWarm) or only refreshes it (kCold, the default: bit-identical to
+  /// the stateless solve(sc)).  Stateless solves ignore this field.
+  e2e::WarmStart warm_start = e2e::WarmStart::kCold;
 };
 
 /// The facade over the (gamma, s) parameter search and the theta
@@ -58,8 +65,17 @@ struct SolveOptions {
 /// options().reuse_workspace, so give each thread its own Solver there.
 class Solver {
  public:
+  /// Opaque warm-start context for solve(sc, state): carries the eb(s)
+  /// memo, the stable-s bracket, the previous optimum, and the resolved
+  /// EDF fixed point between related solves.  Thread it through a
+  /// sequence of nearby scenarios (one State per sequence -- it is a
+  /// hint channel, not shared state; never share one across threads).
+  using State = e2e::SolveState;
+
   Solver() = default;
   explicit Solver(SolveOptions options) : options_(options) {}
+  /// Convenience: a Solver differing from the defaults only in method.
+  explicit Solver(e2e::Method method) { options_.method = method; }
 
   [[nodiscard]] const SolveOptions& options() const noexcept {
     return options_;
@@ -76,6 +92,14 @@ class Solver {
   /// With options().delta set, solves at that fixed Delta instead.
   [[nodiscard]] e2e::BoundResult solve(const e2e::Scenario& sc) const;
 
+  /// Stateful variant: per options().warm_start the solve consumes the
+  /// context carried in `state` (kWarm; hints whose fingerprints do not
+  /// match the scenario are ignored, so any state is safe to pass) or
+  /// ignores it (kCold).  Either way the state is refreshed with this
+  /// solve's context on return, ready for the next nearby scenario.
+  [[nodiscard]] e2e::BoundResult solve(const e2e::Scenario& sc,
+                                       State& state) const;
+
   /// Scenario solve at an explicit fixed Delta (overrides
   /// options().delta for this call).
   [[nodiscard]] e2e::BoundResult solve_at(const e2e::Scenario& sc,
@@ -84,12 +108,13 @@ class Solver {
   /// One theta optimization (Eq. 39 exactly, or the paper's K-procedure,
   /// per options().method) at fixed (gamma, sigma).  With
   /// reuse_workspace (the default) consecutive calls share this Solver's
-  /// buffers and the result is copied out; bit-identical to
-  /// e2e::optimize_delay / e2e::k_procedure_delay.
+  /// buffers and the result is copied out.
   [[nodiscard]] e2e::DelayResult optimize(const e2e::PathParams& p,
                                           double gamma, double sigma) const;
 
  private:
+  [[nodiscard]] e2e::detail::EngineRequest engine_request() const;
+
   SolveOptions options_;
   mutable e2e::SolveWorkspace workspace_;
 };

@@ -47,8 +47,10 @@ ParsedRequestLine parse_request_line(const std::string& line,
   const Value doc = Value::parse(line);
   ParsedRequestLine req;
   try {
-    require_schema(doc);
+    // Capture the id before any validation so even a wrong-schema or
+    // undecodable request gets its error echoed back under its own id.
     if (const Value* id = doc.find("id")) req.id = *id;
+    require_schema(doc);
     e2e::Scenario sc = decode_scenario(doc.at("scenario"));
     SolveOptions options;
     options.method = default_method;

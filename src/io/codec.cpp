@@ -249,7 +249,13 @@ Value encode_solve_stats(const e2e::SolveStats& stats) {
       .set("cache_misses",
            Value::number(static_cast<double>(stats.cache_misses)))
       .set("cache_stale",
-           Value::number(static_cast<double>(stats.cache_stale)));
+           Value::number(static_cast<double>(stats.cache_stale)))
+      .set("batched_evals",
+           Value::number(static_cast<double>(stats.batched_evals)))
+      .set("warm_start_hits",
+           Value::number(static_cast<double>(stats.warm_start_hits)))
+      .set("brackets_reused",
+           Value::number(static_cast<double>(stats.brackets_reused)));
   return out;
 }
 
@@ -272,6 +278,15 @@ e2e::SolveStats decode_solve_stats(const Value& v) {
   }
   if (const Value* f = find_optional(v, "cache_stale")) {
     stats.cache_stale = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "batched_evals")) {
+    stats.batched_evals = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "warm_start_hits")) {
+    stats.warm_start_hits = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "brackets_reused")) {
+    stats.brackets_reused = decode_integer(*f, "stats");
   }
   return stats;
 }
@@ -520,7 +535,11 @@ Value encode_solve_options(const SolveOptions& options) {
                             : Value::null())
       .set("delta", options.delta.has_value() ? encode_double(*options.delta)
                                               : Value::null())
-      .set("max_edf_restarts", Value::number(options.max_edf_restarts));
+      .set("max_edf_restarts", Value::number(options.max_edf_restarts))
+      .set("warm_start",
+           Value::string(options.warm_start == e2e::WarmStart::kWarm
+                             ? "warm"
+                             : "cold"));
   return out;
 }
 
@@ -537,6 +556,16 @@ SolveOptions decode_solve_options(const Value& v) {
   }
   if (const Value* r = find_optional(v, "max_edf_restarts")) {
     options.max_edf_restarts = decode_int(*r, "max_edf_restarts");
+  }
+  if (const Value* w = find_optional(v, "warm_start")) {
+    const std::string& name = w->as_string();
+    if (name == "warm") {
+      options.warm_start = e2e::WarmStart::kWarm;
+    } else if (name == "cold") {
+      options.warm_start = e2e::WarmStart::kCold;
+    } else {
+      throw CodecError("codec: unknown warm_start \"" + name + "\"");
+    }
   }
   return options;
 }
@@ -642,6 +671,32 @@ std::optional<std::string> legacy_v2_solve_cache_key(
   Value key = Value::object();
   key.set("scenario", std::move(scenario))
       .set("options", encode_solve_options(canonical));
+  return key.dump();
+}
+
+std::optional<std::string> legacy_v3_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options) {
+  SolveOptions canonical = options;
+  e2e::Scenario effective = sc;
+  canonicalize_solve(effective, canonical);
+  // Warm-starting did not exist before schema 4: a warm-keyed solve has
+  // no schema-3 spelling (and its result need not be bit-identical to
+  // whatever a cold schema-3 entry holds, so it must not claim one).
+  if (canonical.warm_start != e2e::WarmStart::kCold) return std::nullopt;
+
+  // Byte-exact reproduction of the schema-3 key: same document as
+  // solve_cache_key() but with the pre-warm-start options encoding
+  // (method, scheduler, delta, max_edf_restarts -- no "warm_start").
+  Value opts = Value::object();
+  opts.set("method", encode_method(canonical.method))
+      .set("scheduler", Value::null())
+      .set("delta", canonical.delta.has_value()
+                        ? encode_double(*canonical.delta)
+                        : Value::null())
+      .set("max_edf_restarts", Value::number(canonical.max_edf_restarts));
+  Value key = Value::object();
+  key.set("scenario", encode_scenario(effective))
+      .set("options", std::move(opts));
   return key.dump();
 }
 

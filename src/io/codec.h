@@ -35,7 +35,7 @@ namespace deltanc::io {
 /// object; 2 = scheduler as a full SchedulerSpec object {kind, delta,
 /// edf} (the "edf" factors moved inside it); 3 = scheduler object gains
 /// the "params" class-weight array (curve-backed kinds gps/drr/sced).
-inline constexpr int kSchemaVersion = 3;
+inline constexpr int kSchemaVersion = 4;
 
 /// A structurally valid JSON document that does not decode as the
 /// requested type (missing/mistyped fields, unknown enum names, bad
@@ -135,6 +135,16 @@ struct SchemaError : CodecError {
 /// when the solve has no schema-2 spelling (a curve-backed scheduler --
 /// gps/drr/sced did not exist before schema 3).
 [[nodiscard]] std::optional<std::string> legacy_v2_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options);
+
+/// The byte-exact schema-3 cache key for the same solve: identical to
+/// solve_cache_key() but without the "warm_start" options field (which
+/// did not exist before schema 4).  Probed by ResultCache so schema-3
+/// entries classify as stale (kStale) instead of invisibly missing.
+/// nullopt when the solve has no schema-3 spelling (a warm-started
+/// solve -- warm-starting did not exist before schema 4, and its result
+/// need not be bit-identical to the cold entry's).
+[[nodiscard]] std::optional<std::string> legacy_v3_solve_cache_key(
     const e2e::Scenario& sc, const SolveOptions& options);
 
 // ----- helpers shared by the cache / batch layers ------------------------

@@ -140,13 +140,14 @@ CacheLookup ResultCache::lookup(const e2e::Scenario& sc,
   const std::string key = solve_cache_key(sc, options);
   CacheLookup outcome = read_entry(entry_path(key), key, result);
   if (outcome == CacheLookup::kMiss) {
-    // Nothing under the current key: probe the byte-exact schema-2 and
-    // schema-1 slots of the same solve (their keys hash to different
-    // file names).  Any entry there -- whatever its state -- is a
+    // Nothing under the current key: probe the byte-exact schema-3,
+    // schema-2, and schema-1 slots of the same solve (their keys hash to
+    // different file names).  Any entry there -- whatever its state -- is a
     // pre-refactor artifact of this exact solve: classify it stale so
     // the re-solve is observable, never serve bits from it.
     for (const std::optional<std::string>& legacy :
-         {legacy_v2_solve_cache_key(sc, options),
+         {legacy_v3_solve_cache_key(sc, options),
+          legacy_v2_solve_cache_key(sc, options),
           legacy_v1_solve_cache_key(sc, options)}) {
       if (legacy.has_value() &&
           std::filesystem::exists(entry_path(*legacy))) {

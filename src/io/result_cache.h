@@ -18,7 +18,8 @@
 // lacked the scheduler "params" array), so their file names differ from
 // today's for the same solve; the (scenario, options) lookup overload
 // probes the byte-exact schema-2 and schema-1 keys
-// (io::legacy_v2_solve_cache_key / legacy_v1_solve_cache_key) when the
+// (io::legacy_v3_solve_cache_key / legacy_v2_solve_cache_key /
+// legacy_v1_solve_cache_key) when the
 // primary slot is empty and classifies pre-refactor entries as stale
 // too, never as wrong hits.
 //

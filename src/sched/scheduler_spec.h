@@ -135,9 +135,7 @@ class SchedulerSpec {
  public:
   constexpr SchedulerSpec() = default;
 
-  /// Implicit by design: this conversion is what keeps the deprecated
-  /// e2e::Scheduler enum shim (an alias of SchedulerKind) source
-  /// compatible -- `scenario.scheduler = e2e::Scheduler::kBmux` still
+  /// Implicit by design: `scenario.scheduler = SchedulerKind::kBmux`
   /// compiles and constructs the equivalent spec.
   // NOLINTNEXTLINE(google-explicit-constructor)
   constexpr SchedulerSpec(SchedulerKind kind) : kind_(kind) {}
@@ -277,8 +275,8 @@ class SchedulerSpec {
   /// class comment for why inactive parameters participate).
   friend constexpr bool operator==(const SchedulerSpec&,
                                    const SchedulerSpec&) = default;
-  /// Kind-only comparison, so `sc.scheduler == SchedulerKind::kEdf` (and
-  /// the deprecated e2e::Scheduler spelling of it) keeps working.
+  /// Kind-only comparison, so `sc.scheduler == SchedulerKind::kEdf`
+  /// keeps working.
   friend constexpr bool operator==(const SchedulerSpec& s,
                                    SchedulerKind kind) noexcept {
     return s.kind_ == kind;

@@ -30,10 +30,36 @@ class EffectiveBandwidthMemo {
   /// @throws std::invalid_argument unless s > 0 (as effective_bandwidth).
   double operator()(double s);
 
+  /// Batch lookup (structure of arrays): fills out[i] = eb(s[i]) for the
+  /// whole span, serving repeats from the cache and evaluating the misses
+  /// together through MmooSource::effective_bandwidth_batch (SIMD algebra
+  /// when `use_simd`; the scalar reference path otherwise).  Every out[i]
+  /// is bit-identical to operator()(s[i]) in either mode.
+  /// @returns the number of cache misses in this call.
+  std::size_t gather(std::span<const double> s, std::span<double> out,
+                     bool use_simd = true);
+
   /// Number of cache misses == distinct s values actually evaluated.
   [[nodiscard]] std::int64_t misses() const noexcept { return misses_; }
   /// Number of cache hits (evaluations saved).
   [[nodiscard]] std::int64_t hits() const noexcept { return hits_; }
+
+  /// The memoized (s, eb(s)) pairs, sorted by s.  Exposed so a warm-start
+  /// state can carry the memo across solves of scenarios that share a
+  /// source (the values depend only on the source, so re-adopting them is
+  /// bit-exact).
+  [[nodiscard]] const std::vector<std::pair<double, double>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// Seeds the memo from a previously exported entries() snapshot.  The
+  /// caller asserts the snapshot was produced for an identical source;
+  /// adopted pairs behave exactly like locally computed ones (hits on
+  /// adopted keys return the identical double a miss would compute).
+  void adopt(std::vector<std::pair<double, double>> entries) {
+    entries_ = std::move(entries);
+  }
 
  private:
   // A sorted vector beats a hash map at the sizes seen here (tens to a

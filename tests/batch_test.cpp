@@ -1,6 +1,7 @@
 // The JSONL batch service: ordered responses, cache integration
 // (hit/stale/corrupt outcomes surfaced per response and in the
 // summary), and graceful handling of malformed request lines.
+#include "e2e/solver.h"
 #include "io/batch.h"
 
 #include <gtest/gtest.h>
@@ -20,7 +21,7 @@ e2e::Scenario small_scenario(int n_cross) {
   sc.n_through = 80;
   sc.n_cross = n_cross;
   sc.epsilon = 1e-6;
-  sc.scheduler = e2e::Scheduler::kFifo;
+  sc.scheduler = sched::SchedulerKind::kFifo;
   return sc;
 }
 
@@ -73,8 +74,7 @@ TEST(Batch, ResponsesArriveInInputOrderAndMatchDirectSolves) {
     EXPECT_EQ(responses[i].at("id").as_number(), static_cast<double>(i));
     EXPECT_TRUE(responses[i].at("ok").as_bool());
     EXPECT_EQ(responses[i].find("cache"), nullptr);  // no cache attached
-    const e2e::BoundResult direct = e2e::best_delay_bound(
-        small_scenario(n_cross[i]));
+    const e2e::BoundResult direct = deltanc::Solver().solve(small_scenario(n_cross[i]));
     const e2e::BoundResult got =
         decode_bound_result(responses[i].at("result"));
     EXPECT_EQ(got.delay_ms, direct.delay_ms);
@@ -230,7 +230,7 @@ TEST(Batch, PerRequestOptionsGroupAndSolveCorrectly) {
   const e2e::Scenario sc = small_scenario(60);
   Value with_sched = Value::object();
   SolveOptions edf_opt;
-  edf_opt.scheduler = e2e::Scheduler::kEdf;
+  edf_opt.scheduler = sched::SchedulerKind::kEdf;
   with_sched.set("schema", Value::number(kSchemaVersion))
       .set("id", Value::number(0.0))
       .set("scenario", encode_scenario(sc))
@@ -250,10 +250,10 @@ TEST(Batch, PerRequestOptionsGroupAndSolveCorrectly) {
   const std::vector<Value> responses = parse_responses(out.str());
   ASSERT_EQ(responses.size(), 2u);
   e2e::Scenario edf_sc = sc;
-  edf_sc.scheduler = e2e::Scheduler::kEdf;
-  const e2e::BoundResult edf_direct = e2e::best_delay_bound(edf_sc);
+  edf_sc.scheduler = sched::SchedulerKind::kEdf;
+  const e2e::BoundResult edf_direct = deltanc::Solver().solve(edf_sc);
   const e2e::BoundResult paper_direct =
-      e2e::best_delay_bound(sc, e2e::Method::kPaperK);
+      deltanc::Solver(e2e::Method::kPaperK).solve(sc);
   EXPECT_EQ(responses[0].at("id").as_number(), 0.0);
   EXPECT_EQ(decode_bound_result(responses[0].at("result")).delay_ms,
             edf_direct.delay_ms);

@@ -7,6 +7,7 @@
 #include "core/analyzer.h"
 #include "core/scenario.h"
 #include "core/table.h"
+#include "e2e/solver.h"
 
 namespace deltanc {
 namespace {
@@ -18,14 +19,14 @@ TEST(ScenarioBuilder, FluentConstruction) {
                                .through_flows(100)
                                .cross_flows(200)
                                .violation_probability(1e-6)
-                               .scheduler(e2e::Scheduler::kEdf)
+                               .scheduler(sched::SchedulerKind::kEdf)
                                .edf_deadlines(1.0, 10.0)
                                .build();
   EXPECT_EQ(sc.hops, 5);
   EXPECT_EQ(sc.n_through, 100);
   EXPECT_EQ(sc.n_cross, 200);
   EXPECT_DOUBLE_EQ(sc.epsilon, 1e-6);
-  EXPECT_EQ(sc.scheduler, e2e::Scheduler::kEdf);
+  EXPECT_EQ(sc.scheduler, sched::SchedulerKind::kEdf);
   EXPECT_DOUBLE_EQ(sc.scheduler.edf_factors().cross_factor, 10.0);
 }
 
@@ -128,10 +129,10 @@ TEST(PathAnalyzer, BoundMatchesDirectCall) {
                                .hops(3)
                                .through_flows(100)
                                .cross_flows(150)
-                               .scheduler(e2e::Scheduler::kFifo)
+                               .scheduler(sched::SchedulerKind::kFifo)
                                .build();
   const PathAnalyzer analyzer(sc);
-  const e2e::BoundResult direct = e2e::best_delay_bound(sc);
+  const e2e::BoundResult direct = deltanc::Solver().solve(sc);
   const e2e::BoundResult via = analyzer.bound();
   EXPECT_DOUBLE_EQ(via.delay_ms, direct.delay_ms);
 }
@@ -141,7 +142,7 @@ TEST(PathAnalyzer, AdditiveBoundIsLooser) {
                                .hops(6)
                                .through_flows(150)
                                .cross_flows(150)
-                               .scheduler(e2e::Scheduler::kBmux)
+                               .scheduler(sched::SchedulerKind::kBmux)
                                .build();
   const PathAnalyzer analyzer(sc);
   EXPECT_GT(analyzer.additive_bound().delay_ms, analyzer.bound().delay_ms);
@@ -150,10 +151,10 @@ TEST(PathAnalyzer, AdditiveBoundIsLooser) {
 TEST(PathAnalyzer, SimulationRespectsScheduler) {
   const auto base = ScenarioBuilder().hops(2).through_flows(250).cross_flows(
       250);
-  PathAnalyzer low(ScenarioBuilder(base).scheduler(e2e::Scheduler::kBmux)
+  PathAnalyzer low(ScenarioBuilder(base).scheduler(sched::SchedulerKind::kBmux)
                        .build());
   PathAnalyzer high(
-      ScenarioBuilder(base).scheduler(e2e::Scheduler::kSpHigh).build());
+      ScenarioBuilder(base).scheduler(sched::SchedulerKind::kSpHigh).build());
   const auto r_low = low.simulate(60000, 3);
   const auto r_high = high.simulate(60000, 3);
   EXPECT_GT(r_low.through_delay.quantile(0.999),
@@ -167,7 +168,7 @@ TEST(PathAnalyzer, SimulationRespectsScheduler) {
 // ---------------------------------------------------------------------
 
 class BoundDominatesSimulation
-    : public ::testing::TestWithParam<e2e::Scheduler> {};
+    : public ::testing::TestWithParam<sched::SchedulerKind> {};
 
 TEST_P(BoundDominatesSimulation, EmpiricalQuantileBelowBound) {
   const e2e::Scenario sc = ScenarioBuilder()
@@ -185,17 +186,17 @@ TEST_P(BoundDominatesSimulation, EmpiricalQuantileBelowBound) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Schedulers, BoundDominatesSimulation,
-                         ::testing::Values(e2e::Scheduler::kFifo,
-                                           e2e::Scheduler::kBmux,
-                                           e2e::Scheduler::kSpHigh,
-                                           e2e::Scheduler::kEdf));
+                         ::testing::Values(sched::SchedulerKind::kFifo,
+                                           sched::SchedulerKind::kBmux,
+                                           sched::SchedulerKind::kSpHigh,
+                                           sched::SchedulerKind::kEdf));
 
 TEST(PathAnalyzer, ValidationReportIsCoherent) {
   const e2e::Scenario sc = ScenarioBuilder()
                                .hops(2)
                                .through_flows(100)
                                .cross_flows(100)
-                               .scheduler(e2e::Scheduler::kFifo)
+                               .scheduler(sched::SchedulerKind::kFifo)
                                .build();
   const ValidationReport r = PathAnalyzer(sc).validate(50000, 5);
   EXPECT_GE(r.empirical_max, r.empirical_quantile);

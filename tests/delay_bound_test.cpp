@@ -8,6 +8,7 @@
 
 #include "e2e/k_procedure.h"
 #include "e2e/network_epsilon.h"
+#include "e2e/solver.h"
 #include "e2e/theta_solver.h"
 
 namespace deltanc::e2e {
@@ -131,7 +132,7 @@ TEST(OptimizeDelay, BmuxMatchesEq43) {
   for (int hops : {1, 3, 8}) {
     const PathParams p = params(hops, kInf);
     const double gamma = 0.4, sigma = 50.0;
-    const DelayResult r = optimize_delay(p, gamma, sigma);
+    const DelayResult r = deltanc::Solver().optimize(p, gamma, sigma);
     EXPECT_NEAR(r.delay, bmux_delay(p, gamma, sigma), 1e-9) << "H=" << hops;
     // Paper: optimal solution is theta_1 = ... = theta_H = 0.
     for (double th : r.theta) EXPECT_NEAR(th, 0.0, 1e-9);
@@ -144,7 +145,7 @@ TEST(OptimizeDelay, FifoMatchesEq44) {
       const PathParams p = params(hops, 0.0, 20.0, rho_c);
       const double gamma = 0.25 * p.gamma_limit();
       const double sigma = 50.0;
-      const DelayResult r = optimize_delay(p, gamma, sigma);
+      const DelayResult r = deltanc::Solver().optimize(p, gamma, sigma);
       const double eq44 = fifo_delay(p, gamma, sigma);
       // The exact optimum can only be at or below the paper's choice.
       EXPECT_LE(r.delay, eq44 + 1e-9) << "H=" << hops << " rho_c=" << rho_c;
@@ -158,7 +159,7 @@ TEST(OptimizeDelay, SpHighMatchesClosedForm) {
   for (int hops : {1, 4, 9}) {
     const PathParams p = params(hops, -kInf);
     const double gamma = 0.3, sigma = 42.0;
-    const DelayResult r = optimize_delay(p, gamma, sigma);
+    const DelayResult r = deltanc::Solver().optimize(p, gamma, sigma);
     EXPECT_NEAR(r.delay, sp_high_delay(p, gamma, sigma), 1e-9);
   }
 }
@@ -169,7 +170,7 @@ TEST(OptimizeDelay, ResultIsFeasible) {
   for (int trial = 0; trial < 40; ++trial) {
     const PathParams p = params(6, delta_dist(rng));
     const double gamma = 0.5, sigma = 60.0;
-    const DelayResult r = optimize_delay(p, gamma, sigma);
+    const DelayResult r = deltanc::Solver().optimize(p, gamma, sigma);
     EXPECT_TRUE(feasible(p, gamma, sigma, r.x, r.theta))
         << "delta = " << p.delta;
     EXPECT_NEAR(r.delay, r.x + std::accumulate(r.theta.begin(),
@@ -185,7 +186,7 @@ TEST(OptimizeDelay, MonotoneInDelta) {
   double prev = 0.0;
   for (double delta : {-kInf, -30.0, -5.0, 0.0, 2.0, 10.0, 50.0, kInf}) {
     const PathParams p = params(5, delta);
-    const double d = optimize_delay(p, gamma, sigma).delay;
+    const double d = deltanc::Solver().optimize(p, gamma, sigma).delay;
     EXPECT_GE(d, prev - 1e-9) << "delta = " << delta;
     prev = d;
   }
@@ -196,7 +197,7 @@ TEST(OptimizeDelay, SingleNodeFifoIsSigmaOverC) {
   // to sigma / C (the stable single-node FIFO result).
   const PathParams p = params(1, 0.0);
   const double gamma = 0.5, sigma = 33.0;
-  EXPECT_NEAR(optimize_delay(p, gamma, sigma).delay, sigma / p.capacity,
+  EXPECT_NEAR(deltanc::Solver().optimize(p, gamma, sigma).delay, sigma / p.capacity,
               1e-9);
 }
 
@@ -214,7 +215,7 @@ TEST_P(OptimizeDelayGridProperty, BreakpointEnumerationBeatsFineGrid) {
   const double gamma = 0.3 * p.gamma_limit();
   const double sigma = sigma_dist(rng);
 
-  const DelayResult r = optimize_delay(p, gamma, sigma);
+  const DelayResult r = deltanc::Solver().optimize(p, gamma, sigma);
   // Fine grid over X: the enumerated optimum must be at least as good.
   const double x_hi = 2.0 * sigma / (p.capacity - p.rho_cross -
                                      hops * gamma);
@@ -237,8 +238,8 @@ TEST(KProcedure, NeverBeatsExactOptimum) {
     const PathParams p = params(7, delta_dist(rng));
     const double gamma = 0.4 * p.gamma_limit();
     const double sigma = 70.0;
-    const DelayResult exact = optimize_delay(p, gamma, sigma);
-    const DelayResult paper = k_procedure_delay(p, gamma, sigma);
+    const DelayResult exact = deltanc::Solver().optimize(p, gamma, sigma);
+    const DelayResult paper = deltanc::Solver(deltanc::e2e::Method::kPaperK).optimize(p, gamma, sigma);
     EXPECT_GE(paper.delay, exact.delay - 1e-7) << "delta = " << p.delta;
     // The paper claims near-optimality; allow a modest gap.
     EXPECT_LE(paper.delay, 1.25 * exact.delay) << "delta = " << p.delta;
@@ -265,7 +266,7 @@ TEST(KProcedure, IndexIsUsuallyCloseToH) {
 TEST(KProcedure, BmuxSelectsAllZeroTheta) {
   const PathParams p = params(6, kInf);
   const double gamma = 0.3, sigma = 45.0;
-  const DelayResult r = k_procedure_delay(p, gamma, sigma);
+  const DelayResult r = deltanc::Solver(deltanc::e2e::Method::kPaperK).optimize(p, gamma, sigma);
   EXPECT_NEAR(r.delay, bmux_delay(p, gamma, sigma), 1e-6);
 }
 
@@ -279,8 +280,8 @@ TEST(ClosedForms, RejectWrongDelta) {
 
 TEST(OptimizeDelay, RejectsGammaOutsideEq32) {
   const PathParams p = params(4, 0.0);
-  EXPECT_THROW((void)optimize_delay(p, 0.0, 10.0), std::invalid_argument);
-  EXPECT_THROW((void)optimize_delay(p, p.gamma_limit(), 10.0),
+  EXPECT_THROW((void)deltanc::Solver().optimize(p, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)deltanc::Solver().optimize(p, p.gamma_limit(), 10.0),
                std::invalid_argument);
 }
 

@@ -10,12 +10,13 @@
 
 #include "core/analyzer.h"
 #include "core/scenario.h"
+#include "e2e/solver.h"
 #include "evsim/network.h"
 
 namespace deltanc {
 namespace {
 
-class EvsimBoundDomination : public ::testing::TestWithParam<e2e::Scheduler> {
+class EvsimBoundDomination : public ::testing::TestWithParam<sched::SchedulerKind> {
 };
 
 TEST_P(EvsimBoundDomination, FluidBoundPlusBlockingDominatesPacketSim) {
@@ -51,7 +52,7 @@ TEST_P(EvsimBoundDomination, FluidBoundPlusBlockingDominatesPacketSim) {
                1e-4);
   e2e::Scenario at_eps = sc;
   at_eps.epsilon = eps_sim;
-  const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+  const double bound = deltanc::Solver().solve(at_eps).delay_ms;
   const double blocking_allowance =
       hops * packet_kb / sc.capacity;  // one packet transmission per hop
   EXPECT_LE(r.through_delay_ms.quantile(1.0 - eps_sim),
@@ -60,10 +61,10 @@ TEST_P(EvsimBoundDomination, FluidBoundPlusBlockingDominatesPacketSim) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Schedulers, EvsimBoundDomination,
-                         ::testing::Values(e2e::Scheduler::kFifo,
-                                           e2e::Scheduler::kBmux,
-                                           e2e::Scheduler::kSpHigh,
-                                           e2e::Scheduler::kEdf));
+                         ::testing::Values(sched::SchedulerKind::kFifo,
+                                           sched::SchedulerKind::kBmux,
+                                           sched::SchedulerKind::kSpHigh,
+                                           sched::SchedulerKind::kEdf));
 
 // Both static-priority lowerings (kSpThroughLow from bmux, kSpThroughHigh
 // from sp-high) must keep the packet simulator's delay quantiles under
@@ -104,7 +105,7 @@ TEST(EvsimSpQuantiles, SpLoweringsStayBelowAnalyticBounds) {
     for (const double eps : {1e-2, 1e-3}) {
       e2e::Scenario at_eps = sc;
       at_eps.epsilon = eps;
-      const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+      const double bound = deltanc::Solver().solve(at_eps).delay_ms;
       ASSERT_TRUE(std::isfinite(bound));
       EXPECT_LE(r.through_delay_ms.quantile(1.0 - eps),
                 bound + blocking_allowance)
@@ -155,7 +156,7 @@ TEST(EvsimCurveQuantiles, CurveLoweringsStayBelowAnalyticBounds) {
     for (const double eps : {1e-2, 1e-3}) {
       e2e::Scenario at_eps = sc;
       at_eps.epsilon = eps;
-      const double bound = e2e::best_delay_bound(at_eps).delay_ms;
+      const double bound = deltanc::Solver().solve(at_eps).delay_ms;
       ASSERT_TRUE(std::isfinite(bound));
       EXPECT_LE(r.through_delay_ms.quantile(1.0 - eps),
                 bound + blocking_allowance)

@@ -7,6 +7,7 @@
 
 #include "e2e/delay_bound.h"
 #include "e2e/network_epsilon.h"
+#include "e2e/solver.h"
 #include "sched/single_node_bound.h"
 
 namespace deltanc::e2e {
@@ -64,7 +65,7 @@ TEST(HeteroDelay, ReducesToHomogeneousClosedForm) {
 
     const double sigma = sigma_for_epsilon(p, gamma, 1e-9);
     EXPECT_NEAR(hetero_optimize_delay(hp, gamma, sigma).delay,
-                optimize_delay(p, gamma, sigma).delay, 1e-9)
+                deltanc::Solver().optimize(p, gamma, sigma).delay, 1e-9)
         << "delta = " << delta;
   }
 }

@@ -3,6 +3,7 @@
 // load-bearing properties are bit-exact double round-trips (including
 // the non-finite encodings) and byte-stable canonical dumps -- the
 // persistent result cache hashes them.
+#include "e2e/solver.h"
 #include "io/codec.h"
 
 #include <gtest/gtest.h>
@@ -22,7 +23,7 @@ using json::Value;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-e2e::Scenario fig2_scenario(int n_cross, e2e::Scheduler sched) {
+e2e::Scenario fig2_scenario(int n_cross, sched::SchedulerKind sched) {
   e2e::Scenario sc;
   sc.hops = 5;
   sc.n_through = 100;
@@ -119,7 +120,7 @@ TEST(Codec, DecodeDoubleAcceptsHexfloatStrings) {
 // ----- codec value types -------------------------------------------------
 
 TEST(Codec, ScenarioRoundTripsExactly) {
-  e2e::Scenario sc = fig2_scenario(268, e2e::Scheduler::kEdf);
+  e2e::Scenario sc = fig2_scenario(268, sched::SchedulerKind::kEdf);
   sc.scheduler.set_edf_factors(sched::EdfFactors{1.0, 10.0});
   sc.capacity = 155.52;  // an OC-3, not representable in few digits
   const e2e::Scenario back = decode_scenario(encode_scenario(sc));
@@ -141,16 +142,16 @@ TEST(Codec, ScenarioDecodeRejectsBadDocuments) {
   // An unknown scheduler name is specifically a SchemaError -- another
   // producer's vocabulary, which the result cache classifies kStale --
   // not a generic decode failure.
-  Value v = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
+  Value v = encode_scenario(fig2_scenario(100, sched::SchedulerKind::kFifo));
   v.set("scheduler", Value::string("round-robin"));
   EXPECT_THROW((void)decode_scenario(v), SchemaError);
-  Value obj = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
+  Value obj = encode_scenario(fig2_scenario(100, sched::SchedulerKind::kFifo));
   Value bad_sched = Value::object();
   bad_sched.set("kind", Value::string("wfq"));
   obj.set("scheduler", std::move(bad_sched));
   EXPECT_THROW((void)decode_scenario(obj), SchemaError);
   EXPECT_THROW((void)decode_scenario(Value::number(3.0)), CodecError);
-  Value hops = encode_scenario(fig2_scenario(100, e2e::Scheduler::kFifo));
+  Value hops = encode_scenario(fig2_scenario(100, sched::SchedulerKind::kFifo));
   hops.set("hops", Value::number(2.5));
   EXPECT_THROW((void)decode_scenario(hops), CodecError);
 }
@@ -241,14 +242,14 @@ TEST(Codec, SolvedBoundResultsRoundTripBitExactly) {
   // the +inf delay of an unstable point.
   const struct {
     int n_cross;
-    e2e::Scheduler sched;
-  } cases[] = {{67, e2e::Scheduler::kFifo},
-               {268, e2e::Scheduler::kBmux},
-               {538, e2e::Scheduler::kSpHigh},
-               {168, e2e::Scheduler::kEdf}};
+    sched::SchedulerKind sched;
+  } cases[] = {{67, sched::SchedulerKind::kFifo},
+               {268, sched::SchedulerKind::kBmux},
+               {538, sched::SchedulerKind::kSpHigh},
+               {168, sched::SchedulerKind::kEdf}};
   for (const auto& c : cases) {
     const e2e::BoundResult r =
-        e2e::best_delay_bound(fig2_scenario(c.n_cross, c.sched));
+        deltanc::Solver().solve(fig2_scenario(c.n_cross, c.sched));
     const e2e::BoundResult back = decode_bound_result(encode_bound_result(r));
     EXPECT_EQ(back.delay_ms, r.delay_ms);
     EXPECT_EQ(back.gamma, r.gamma);
@@ -260,7 +261,7 @@ TEST(Codec, SolvedBoundResultsRoundTripBitExactly) {
   }
   // Unstable: +inf delay survives the string encoding.
   const e2e::BoundResult unstable =
-      e2e::best_delay_bound(fig2_scenario(800, e2e::Scheduler::kFifo));
+      deltanc::Solver().solve(fig2_scenario(800, sched::SchedulerKind::kFifo));
   ASSERT_EQ(unstable.delay_ms, kInf);
   EXPECT_EQ(decode_bound_result(encode_bound_result(unstable)).delay_ms, kInf);
 }
@@ -273,12 +274,12 @@ TEST(Codec, Fig3AndFig4BoundResultsRoundTripBitExactly) {
   // with identical bits, and its re-encoding must be byte-stable.
   std::vector<e2e::Scenario> scenarios;
   const struct {
-    e2e::Scheduler sched;
+    sched::SchedulerKind sched;
     double own, cross;
-  } fig3_columns[] = {{e2e::Scheduler::kEdf, 1.0, 2.0},
-                      {e2e::Scheduler::kFifo, 1.0, 1.0},
-                      {e2e::Scheduler::kEdf, 1.0, 0.5},
-                      {e2e::Scheduler::kBmux, 1.0, 1.0}};
+  } fig3_columns[] = {{sched::SchedulerKind::kEdf, 1.0, 2.0},
+                      {sched::SchedulerKind::kFifo, 1.0, 1.0},
+                      {sched::SchedulerKind::kEdf, 1.0, 0.5},
+                      {sched::SchedulerKind::kBmux, 1.0, 1.0}};
   for (const int mix_pct : {10, 50, 90}) {
     const double uc = 0.50 * mix_pct / 100.0;
     for (const auto& col : fig3_columns) {
@@ -293,9 +294,9 @@ TEST(Codec, Fig3AndFig4BoundResultsRoundTripBitExactly) {
     }
   }
   for (const int hops : {1, 10, 25}) {
-    for (const e2e::Scheduler sched :
-         {e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
-          e2e::Scheduler::kBmux}) {
+    for (const sched::SchedulerKind sched :
+         {sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo,
+          sched::SchedulerKind::kBmux}) {
       scenarios.push_back(ScenarioBuilder()
                               .hops(hops)
                               .through_utilization(0.45)
@@ -321,16 +322,16 @@ TEST(Codec, Fig3AndFig4BoundResultsRoundTripBitExactly) {
   for (const e2e::Scenario& sc : scenarios) {
     SCOPED_TRACE("hops=" + std::to_string(sc.hops) +
                  " n_cross=" + std::to_string(sc.n_cross));
-    expect_bit_exact(e2e::best_delay_bound(sc));
+    expect_bit_exact(deltanc::Solver().solve(sc));
   }
   // Fig. 4's fourth curve: the additive per-node baseline.
   expect_bit_exact(e2e::best_additive_bmux_bound(scenarios.back()));
 }
 
 TEST(Codec, SweepReportRoundTripsThroughTopLevelDocument) {
-  SweepGrid grid(fig2_scenario(100, e2e::Scheduler::kFifo));
+  SweepGrid grid(fig2_scenario(100, sched::SchedulerKind::kFifo));
   grid.cross_utilization_axis({0.2, 0.5})
-      .scheduler_axis({e2e::Scheduler::kFifo, e2e::Scheduler::kEdf});
+      .scheduler_axis({sched::SchedulerKind::kFifo, sched::SchedulerKind::kEdf});
   SweepOptions options;
   options.threads = 2;
   const SweepReport report = SweepRunner(options).run(grid);
@@ -351,12 +352,12 @@ TEST(Codec, SweepReportRoundTripsThroughTopLevelDocument) {
 }
 
 TEST(Codec, SweepGridRoundTripReproducesEveryPoint) {
-  SweepGrid grid(fig2_scenario(100, e2e::Scheduler::kFifo));
+  SweepGrid grid(fig2_scenario(100, sched::SchedulerKind::kFifo));
   grid.hops_axis({2, 5, 10})
       .cross_utilization_axis(SweepGrid::linspace(0.10, 0.80, 8))
-      .scheduler_axis({e2e::Scheduler::kFifo, e2e::Scheduler::kBmux,
-                       e2e::Scheduler::kEdf})
-      .edf_axis({e2e::EdfSpec{1.0, 10.0}, e2e::EdfSpec{2.0, 4.0}});
+      .scheduler_axis({sched::SchedulerKind::kFifo, sched::SchedulerKind::kBmux,
+                       sched::SchedulerKind::kEdf})
+      .edf_axis({sched::EdfFactors{1.0, 10.0}, sched::EdfFactors{2.0, 4.0}});
   const SweepGrid back = decode_sweep_grid(encode_sweep_grid(grid));
   ASSERT_EQ(back.size(), grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -379,7 +380,7 @@ TEST(Codec, SweepGridDeltaAndSpecAxesRoundTrip) {
   // base's) both survive the codec, reproducing every point and the
   // axis flavor: a replayed kind axis must still compose with the base
   // factors, a replayed spec axis must not.
-  e2e::Scenario base = fig2_scenario(100, e2e::Scheduler::kFifo);
+  e2e::Scenario base = fig2_scenario(100, sched::SchedulerKind::kFifo);
   base.scheduler.set_edf_factors(sched::EdfFactors{3.0, 7.0});
   SweepGrid grid(base);
   grid.delta_axis({0.0, 2.5, kInf});
@@ -407,7 +408,7 @@ TEST(Codec, SweepGridDeltaAndSpecAxesRoundTrip) {
 
   // Kind axis: replayed values keep the base's EDF factors.
   SweepGrid kinds(base);
-  kinds.scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kBmux});
+  kinds.scheduler_axis({sched::SchedulerKind::kEdf, sched::SchedulerKind::kBmux});
   const SweepGrid kinds_back = decode_sweep_grid(encode_sweep_grid(kinds));
   EXPECT_EQ(kinds_back.scenario_at(0).scheduler,
             sched::SchedulerSpec::edf(3.0, 7.0));
@@ -424,16 +425,16 @@ TEST(Codec, SchemaIsRequiredAndChecked) {
 // ----- cache key ---------------------------------------------------------
 
 TEST(Codec, CacheKeyIsStableAndFoldsSchedulerOverride) {
-  const e2e::Scenario fifo = fig2_scenario(268, e2e::Scheduler::kFifo);
+  const e2e::Scenario fifo = fig2_scenario(268, sched::SchedulerKind::kFifo);
   SolveOptions options;
   EXPECT_EQ(solve_cache_key(fifo, options), solve_cache_key(fifo, options));
 
   // Override folded in: "FIFO scenario forced to EDF" keys like the EDF
   // scenario -- they solve identically.
   e2e::Scenario edf = fifo;
-  edf.scheduler = e2e::Scheduler::kEdf;
+  edf.scheduler = sched::SchedulerKind::kEdf;
   SolveOptions forced;
-  forced.scheduler = e2e::Scheduler::kEdf;
+  forced.scheduler = sched::SchedulerKind::kEdf;
   EXPECT_EQ(solve_cache_key(fifo, forced), solve_cache_key(edf, options));
   EXPECT_NE(solve_cache_key(fifo, options), solve_cache_key(edf, options));
 
@@ -450,14 +451,14 @@ TEST(Codec, CacheKeyIsStableAndFoldsSchedulerOverride) {
 TEST(Codec, SolveOptionsRoundTrip) {
   SolveOptions options;
   options.method = e2e::Method::kPaperK;
-  options.scheduler = e2e::Scheduler::kBmux;
+  options.scheduler = sched::SchedulerKind::kBmux;
   options.delta = -kInf;
   options.max_edf_restarts = 2;
   const SolveOptions back =
       decode_solve_options(encode_solve_options(options));
   EXPECT_EQ(back.method, e2e::Method::kPaperK);
   ASSERT_TRUE(back.scheduler.has_value());
-  EXPECT_EQ(*back.scheduler, e2e::Scheduler::kBmux);
+  EXPECT_EQ(*back.scheduler, sched::SchedulerKind::kBmux);
   ASSERT_TRUE(back.delta.has_value());
   EXPECT_EQ(*back.delta, -kInf);
   EXPECT_EQ(back.max_edf_restarts, 2);

@@ -9,6 +9,7 @@
 #include "e2e/additive_baseline.h"
 #include "e2e/delay_bound.h"
 #include "e2e/network_epsilon.h"
+#include "e2e/solver.h"
 
 namespace deltanc::e2e {
 namespace {
@@ -16,7 +17,7 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 Scenario paper_scenario(int hops, int n_through, int n_cross,
-                        Scheduler sched) {
+                        sched::SchedulerKind sched) {
   Scenario sc;
   sc.hops = hops;
   sc.n_through = n_through;
@@ -28,7 +29,7 @@ Scenario paper_scenario(int hops, int n_through, int n_cross,
 TEST(ParamSearch, MaxStableSBehaviour) {
   // 100 + 100 paper flows at ~0.149 Mbps each on 100 Mbps: stable, and
   // there is a finite s beyond which eb exceeds the fair share.
-  Scenario sc = paper_scenario(2, 100, 100, Scheduler::kFifo);
+  Scenario sc = paper_scenario(2, 100, 100, sched::SchedulerKind::kFifo);
   const double s_max = max_stable_s(sc);
   EXPECT_TRUE(std::isfinite(s_max));
   EXPECT_GT(s_max, 0.0);
@@ -46,8 +47,8 @@ TEST(ParamSearch, MaxStableSBehaviour) {
 }
 
 TEST(ParamSearch, UnstableScenarioGivesInfiniteBound) {
-  const Scenario sc = paper_scenario(3, 400, 400, Scheduler::kBmux);
-  const BoundResult r = best_delay_bound(sc);
+  const Scenario sc = paper_scenario(3, 400, 400, sched::SchedulerKind::kBmux);
+  const BoundResult r = deltanc::Solver().solve(sc);
   EXPECT_EQ(r.delay_ms, kInf);
 }
 
@@ -55,13 +56,13 @@ TEST(ParamSearch, BoundsArePositiveFiniteAndOrdered) {
   // At moderate utilization: SP-high <= EDF-favoured <= FIFO <= BMUX.
   const int n = 168;  // ~50% total with N0 = Nc
   const BoundResult bmux =
-      best_delay_bound(paper_scenario(4, n, n, Scheduler::kBmux));
+      deltanc::Solver().solve(paper_scenario(4, n, n, sched::SchedulerKind::kBmux));
   const BoundResult fifo =
-      best_delay_bound(paper_scenario(4, n, n, Scheduler::kFifo));
+      deltanc::Solver().solve(paper_scenario(4, n, n, sched::SchedulerKind::kFifo));
   const BoundResult sp =
-      best_delay_bound(paper_scenario(4, n, n, Scheduler::kSpHigh));
+      deltanc::Solver().solve(paper_scenario(4, n, n, sched::SchedulerKind::kSpHigh));
   const BoundResult edf =
-      best_delay_bound(paper_scenario(4, n, n, Scheduler::kEdf));
+      deltanc::Solver().solve(paper_scenario(4, n, n, sched::SchedulerKind::kEdf));
   ASSERT_TRUE(std::isfinite(bmux.delay_ms));
   EXPECT_GT(sp.delay_ms, 0.0);
   EXPECT_LE(sp.delay_ms, edf.delay_ms + 1e-6);
@@ -74,16 +75,16 @@ TEST(ParamSearch, FifoApproachesBmuxOnLongPaths) {
   // indistinguishable from BMUX already at H = 5.
   const int n_cross = 236;  // U ~ 50% with N0 = 100
   const double f2 =
-      best_delay_bound(paper_scenario(2, 100, n_cross, Scheduler::kFifo))
+      deltanc::Solver().solve(paper_scenario(2, 100, n_cross, sched::SchedulerKind::kFifo))
           .delay_ms;
   const double b2 =
-      best_delay_bound(paper_scenario(2, 100, n_cross, Scheduler::kBmux))
+      deltanc::Solver().solve(paper_scenario(2, 100, n_cross, sched::SchedulerKind::kBmux))
           .delay_ms;
   const double f5 =
-      best_delay_bound(paper_scenario(5, 100, n_cross, Scheduler::kFifo))
+      deltanc::Solver().solve(paper_scenario(5, 100, n_cross, sched::SchedulerKind::kFifo))
           .delay_ms;
   const double b5 =
-      best_delay_bound(paper_scenario(5, 100, n_cross, Scheduler::kBmux))
+      deltanc::Solver().solve(paper_scenario(5, 100, n_cross, sched::SchedulerKind::kBmux))
           .delay_ms;
   EXPECT_LT(f2, 0.75 * b2);             // visibly different at H = 2
   EXPECT_GT(f5, 0.95 * b5);             // indistinguishable at H = 5
@@ -94,10 +95,10 @@ TEST(ParamSearch, EdfKeepsItsAdvantageOnLongPaths) {
   // scheduling *does* matter on long paths.
   const int n_cross = 236;
   const double e10 =
-      best_delay_bound(paper_scenario(10, 100, n_cross, Scheduler::kEdf))
+      deltanc::Solver().solve(paper_scenario(10, 100, n_cross, sched::SchedulerKind::kEdf))
           .delay_ms;
   const double b10 =
-      best_delay_bound(paper_scenario(10, 100, n_cross, Scheduler::kBmux))
+      deltanc::Solver().solve(paper_scenario(10, 100, n_cross, sched::SchedulerKind::kBmux))
           .delay_ms;
   ASSERT_TRUE(std::isfinite(e10));
   EXPECT_LT(e10, 0.6 * b10);
@@ -105,15 +106,15 @@ TEST(ParamSearch, EdfKeepsItsAdvantageOnLongPaths) {
 
 TEST(ParamSearch, EdfFixedPointIsSelfConsistent) {
   // Re-solving with the resolved Delta must reproduce the fixed point.
-  const Scenario sc = paper_scenario(5, 150, 150, Scheduler::kEdf);
-  const BoundResult r = best_delay_bound(sc);
+  const Scenario sc = paper_scenario(5, 150, 150, sched::SchedulerKind::kEdf);
+  const BoundResult r = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isfinite(r.delay_ms));
   const sched::EdfFactors& edf = sc.scheduler.edf_factors();
   const double factor_gap = edf.own_factor - edf.cross_factor;
   EXPECT_NEAR(r.delta, factor_gap * r.delay_ms / sc.hops,
               1e-4 * std::abs(r.delta));
   const BoundResult again =
-      best_delay_bound_for_delta(sc, r.delta, Method::kExactOpt);
+      deltanc::Solver(Method::kExactOpt).solve_at(sc, r.delta);
   EXPECT_NEAR(again.delay_ms, r.delay_ms, 5e-3 * r.delay_ms);
 }
 
@@ -123,11 +124,10 @@ TEST(ParamSearch, BestForDeltaNeverWorseThanDenseScan) {
   // better point, so the returned bound could exceed the scan optimum.
   // A dense brute-force (s, gamma) grid built from the public primitives
   // must never beat the search by more than grid resolution.
-  const Scenario sc = paper_scenario(3, 100, 200, Scheduler::kFifo);
+  const Scenario sc = paper_scenario(3, 100, 200, sched::SchedulerKind::kFifo);
   for (double delta : {0.0, kInf, -kInf}) {
     SCOPED_TRACE(delta);
-    const BoundResult r = best_delay_bound_for_delta(sc, delta,
-                                                     Method::kExactOpt);
+    const BoundResult r = deltanc::Solver(Method::kExactOpt).solve_at(sc, delta);
     ASSERT_TRUE(std::isfinite(r.delay_ms));
     const double s_lo = 1e-4;
     const double s_hi = max_stable_s(sc) * 0.999;
@@ -143,7 +143,7 @@ TEST(ParamSearch, BestForDeltaNeverWorseThanDenseScan) {
         const double gamma = glim * j / 121.0;
         const double sigma = sigma_for_epsilon(p, gamma, sc.epsilon);
         dense_best = std::min(dense_best,
-                              optimize_delay(p, gamma, sigma).delay);
+                              deltanc::Solver().optimize(p, gamma, sigma).delay);
       }
     }
     EXPECT_LE(r.delay_ms, dense_best * 1.001);
@@ -153,7 +153,7 @@ TEST(ParamSearch, BestForDeltaNeverWorseThanDenseScan) {
     const PathParams p{sc.capacity, sc.hops, sc.n_through * eb,
                        sc.n_cross * eb, r.s, 1.0, delta};
     EXPECT_EQ(sigma_for_epsilon(p, r.gamma, sc.epsilon), r.sigma);
-    EXPECT_EQ(optimize_delay(p, r.gamma, r.sigma).delay, r.delay_ms);
+    EXPECT_EQ(deltanc::Solver().optimize(p, r.gamma, r.sigma).delay, r.delay_ms);
   }
 }
 
@@ -161,8 +161,8 @@ TEST(ParamSearch, EdfReturnsConsistentTuple) {
   // Regression for the fixed-point bug: delay_ms used to be the damped
   // average while gamma/s/sigma came from the last solve at a different
   // Delta.  After the final re-solve, every field describes one solve.
-  const Scenario sc = paper_scenario(5, 150, 150, Scheduler::kEdf);
-  const BoundResult r = best_delay_bound(sc);
+  const Scenario sc = paper_scenario(5, 150, 150, sched::SchedulerKind::kEdf);
+  const BoundResult r = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isfinite(r.delay_ms));
   EXPECT_TRUE(r.stats.edf_converged);
   EXPECT_GT(r.stats.edf_iterations, 0);
@@ -170,7 +170,7 @@ TEST(ParamSearch, EdfReturnsConsistentTuple) {
   const PathParams p{sc.capacity, sc.hops, sc.n_through * eb,
                      sc.n_cross * eb, r.s, 1.0, r.delta};
   EXPECT_EQ(sigma_for_epsilon(p, r.gamma, sc.epsilon), r.sigma);
-  EXPECT_EQ(optimize_delay(p, r.gamma, r.sigma).delay, r.delay_ms);
+  EXPECT_EQ(deltanc::Solver().optimize(p, r.gamma, r.sigma).delay, r.delay_ms);
   // And the resolved Delta agrees with the returned delay to the fixed
   // point's own tolerance.
   const sched::EdfFactors& edf = sc.scheduler.edf_factors();
@@ -180,8 +180,8 @@ TEST(ParamSearch, EdfReturnsConsistentTuple) {
 }
 
 TEST(ParamSearch, SolveStatsCountTheWork) {
-  const Scenario sc = paper_scenario(4, 100, 200, Scheduler::kFifo);
-  const BoundResult r = best_delay_bound(sc);
+  const Scenario sc = paper_scenario(4, 100, 200, sched::SchedulerKind::kFifo);
+  const BoundResult r = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isfinite(r.delay_ms));
   EXPECT_GT(r.stats.optimize_evals, 0);
   // One sigma evaluation per optimizer evaluation (both happen inside
@@ -212,33 +212,33 @@ TEST(ParamSearch, Fig2NonEdfBoundsArePinned) {
   // algorithm change (print with %a).
   struct Golden {
     int n_cross;
-    Scheduler sched;
+    sched::SchedulerKind sched;
     double delay_ms, gamma, s;
   };
   const Golden goldens[] = {
-      {67, Scheduler::kFifo, 0x1.6126458d64984p+4, 0x1.8ceaed36017b9p-1,
+      {67, sched::SchedulerKind::kFifo, 0x1.6126458d64984p+4, 0x1.8ceaed36017b9p-1,
        0x1.7f822a740c65ap-4},
-      {67, Scheduler::kBmux, 0x1.62f9aace0d634p+4, 0x1.73257fd5cbeb3p-1,
+      {67, sched::SchedulerKind::kBmux, 0x1.62f9aace0d634p+4, 0x1.73257fd5cbeb3p-1,
        0x1.80af0e1516472p-4},
-      {67, Scheduler::kSpHigh, 0x1.a80e65f9ad2c8p+3, 0x1.7f877ff7d2f14p-1,
+      {67, sched::SchedulerKind::kSpHigh, 0x1.a80e65f9ad2c8p+3, 0x1.7f877ff7d2f14p-1,
        0x1.801e6bab8aa78p-4},
-      {202, Scheduler::kFifo, 0x1.184f61904a5b3p+6, 0x1.75cc06e469a8cp-1,
+      {202, sched::SchedulerKind::kFifo, 0x1.184f61904a5b3p+6, 0x1.75cc06e469a8cp-1,
        0x1.7afa88467c891p-5},
-      {202, Scheduler::kBmux, 0x1.1bf9a680e7466p+6, 0x1.35bbf06189289p-1,
+      {202, sched::SchedulerKind::kBmux, 0x1.1bf9a680e7466p+6, 0x1.35bbf06189289p-1,
        0x1.78367fc1ae58fp-5},
-      {202, Scheduler::kSpHigh, 0x1.8b064d292a4p+4, 0x1.4e0269a4f6d63p-1,
+      {202, sched::SchedulerKind::kSpHigh, 0x1.8b064d292a4p+4, 0x1.4e0269a4f6d63p-1,
        0x1.b2412245fae83p-5},
-      {404, Scheduler::kFifo, 0x1.49503568d5f88p+8, 0x1.d911a18f66e76p-2,
+      {404, sched::SchedulerKind::kFifo, 0x1.49503568d5f88p+8, 0x1.d911a18f66e76p-2,
        0x1.5215bca99053ep-6},
-      {404, Scheduler::kBmux, 0x1.548cb87dd5bafp+8, 0x1.2372bd72b0a24p-2,
+      {404, sched::SchedulerKind::kBmux, 0x1.548cb87dd5bafp+8, 0x1.2372bd72b0a24p-2,
        0x1.51150d427a48cp-6},
-      {404, Scheduler::kSpHigh, 0x1.113af9313e434p+6, 0x1.103e84dabccdap-2,
+      {404, sched::SchedulerKind::kSpHigh, 0x1.113af9313e434p+6, 0x1.103e84dabccdap-2,
        0x1.604ba6698ff01p-6},
-      {538, Scheduler::kFifo, 0x1.053936dc61ecp+11, 0x1.6b2a8a7ee6f0ep-5,
+      {538, sched::SchedulerKind::kFifo, 0x1.053936dc61ecp+11, 0x1.6b2a8a7ee6f0ep-5,
        0x1.1968dc51fd566p-8},
-      {538, Scheduler::kBmux, 0x1.4cf730845299bp+11, 0x1.7220150ed15c7p-5,
+      {538, sched::SchedulerKind::kBmux, 0x1.4cf730845299bp+11, 0x1.7220150ed15c7p-5,
        0x1.19211a78e7816p-8},
-      {538, Scheduler::kSpHigh, 0x1.a25363d608cdcp+8, 0x1.657bb90fb379ep-5,
+      {538, sched::SchedulerKind::kSpHigh, 0x1.a25363d608cdcp+8, 0x1.657bb90fb379ep-5,
        0x1.19a3740923946p-8},
   };
   for (const Golden& g : goldens) {
@@ -246,7 +246,7 @@ TEST(ParamSearch, Fig2NonEdfBoundsArePinned) {
                                     << static_cast<int>(g.sched));
     Scenario sc = paper_scenario(5, 100, g.n_cross, g.sched);
     sc.epsilon = 1e-6;
-    const BoundResult r = best_delay_bound(sc);
+    const BoundResult r = deltanc::Solver().solve(sc);
     EXPECT_EQ(r.delay_ms, g.delay_ms);
     EXPECT_EQ(r.gamma, g.gamma);
     EXPECT_EQ(r.s, g.s);
@@ -254,9 +254,9 @@ TEST(ParamSearch, Fig2NonEdfBoundsArePinned) {
 }
 
 TEST(ParamSearch, PaperKMethodIsCloseToExact) {
-  const Scenario sc = paper_scenario(5, 100, 236, Scheduler::kFifo);
-  const BoundResult exact = best_delay_bound(sc, Method::kExactOpt);
-  const BoundResult paper = best_delay_bound(sc, Method::kPaperK);
+  const Scenario sc = paper_scenario(5, 100, 236, sched::SchedulerKind::kFifo);
+  const BoundResult exact = deltanc::Solver(Method::kExactOpt).solve(sc);
+  const BoundResult paper = deltanc::Solver(Method::kPaperK).solve(sc);
   EXPECT_GE(paper.delay_ms, exact.delay_ms - 1e-6);
   EXPECT_LE(paper.delay_ms, 1.1 * exact.delay_ms);
 }
@@ -265,7 +265,7 @@ TEST(ParamSearch, DelayGrowsWithUtilization) {
   double prev = 0.0;
   for (int n_cross : {50, 150, 250, 350}) {
     const double d =
-        best_delay_bound(paper_scenario(3, 100, n_cross, Scheduler::kFifo))
+        deltanc::Solver().solve(paper_scenario(3, 100, n_cross, sched::SchedulerKind::kFifo))
             .delay_ms;
     EXPECT_GT(d, prev);
     prev = d;
@@ -276,7 +276,7 @@ TEST(ParamSearch, DelayGrowsWithPathLength) {
   double prev = 0.0;
   for (int hops : {1, 2, 4, 8}) {
     const double d =
-        best_delay_bound(paper_scenario(hops, 100, 200, Scheduler::kBmux))
+        deltanc::Solver().solve(paper_scenario(hops, 100, 200, sched::SchedulerKind::kBmux))
             .delay_ms;
     EXPECT_GT(d, prev);
     prev = d;
@@ -287,25 +287,25 @@ TEST(ParamSearch, NearlyLinearScalingInH) {
   // Theta(H log H): between H = 4 and H = 16 the bound grows by a factor
   // well below quadratic scaling (16x would be quadratic: ratio 16).
   const double d4 =
-      best_delay_bound(paper_scenario(4, 100, 100, Scheduler::kBmux))
+      deltanc::Solver().solve(paper_scenario(4, 100, 100, sched::SchedulerKind::kBmux))
           .delay_ms;
   const double d16 =
-      best_delay_bound(paper_scenario(16, 100, 100, Scheduler::kBmux))
+      deltanc::Solver().solve(paper_scenario(16, 100, 100, sched::SchedulerKind::kBmux))
           .delay_ms;
   EXPECT_GT(d16 / d4, 3.5);   // superlinear-ish (H log H)
   EXPECT_LT(d16 / d4, 8.0);   // far from quadratic
 }
 
 TEST(ParamSearch, ValidatesScenario) {
-  Scenario sc = paper_scenario(0, 100, 100, Scheduler::kFifo);
-  EXPECT_THROW((void)best_delay_bound(sc), std::invalid_argument);
+  Scenario sc = paper_scenario(0, 100, 100, sched::SchedulerKind::kFifo);
+  EXPECT_THROW((void)deltanc::Solver().solve(sc), std::invalid_argument);
   sc.hops = 2;
   sc.epsilon = 0.0;
-  EXPECT_THROW((void)best_delay_bound(sc), std::invalid_argument);
+  EXPECT_THROW((void)deltanc::Solver().solve(sc), std::invalid_argument);
 }
 
 TEST(ParamSearch, ValidateCollectsEveryViolation) {
-  Scenario sc = paper_scenario(0, 0, -1, Scheduler::kFifo);
+  Scenario sc = paper_scenario(0, 0, -1, sched::SchedulerKind::kFifo);
   sc.epsilon = 2.0;
   const diag::ValidationReport report = sc.validate();
   EXPECT_FALSE(report.ok());
@@ -314,9 +314,9 @@ TEST(ParamSearch, ValidateCollectsEveryViolation) {
   for (const char* field : {"hops", "n_through", "n_cross", "epsilon"}) {
     EXPECT_NE(msg.find(field), std::string::npos) << msg;
   }
-  // And best_delay_bound surfaces the same multi-field message.
+  // And Solver::solve surfaces the same multi-field message.
   try {
-    (void)best_delay_bound(sc);
+    (void)deltanc::Solver().solve(sc);
     FAIL() << "accepted an invalid scenario";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("epsilon"), std::string::npos);
@@ -327,11 +327,11 @@ TEST(ParamSearch, ValidateCollectsEveryViolation) {
 TEST(ParamSearch, UnstableScenarioIsClassified) {
   // Overload is not an error: the solve succeeds with a +inf bound, and
   // the diagnostics channel says why.
-  const Scenario sc = paper_scenario(3, 400, 400, Scheduler::kBmux);
+  const Scenario sc = paper_scenario(3, 400, 400, sched::SchedulerKind::kBmux);
   const diag::ValidationReport report = sc.validate();
   EXPECT_TRUE(report.ok());        // well-formed...
   EXPECT_FALSE(report.stable());   // ...but overloaded
-  const BoundResult r = best_delay_bound(sc);
+  const BoundResult r = deltanc::Solver().solve(sc);
   EXPECT_EQ(r.delay_ms, kInf);
   EXPECT_EQ(r.diagnostics.error, diag::SolveErrorKind::kUnstable);
   EXPECT_FALSE(r.diagnostics.message.empty());
@@ -340,7 +340,7 @@ TEST(ParamSearch, UnstableScenarioIsClassified) {
 TEST(ParamSearch, ConvergedSolveHasCleanDiagnostics) {
   // A healthy EDF solve: no error, no warnings, no recoveries recorded.
   const BoundResult r =
-      best_delay_bound(paper_scenario(5, 150, 150, Scheduler::kEdf));
+      deltanc::Solver().solve(paper_scenario(5, 150, 150, sched::SchedulerKind::kEdf));
   ASSERT_TRUE(std::isfinite(r.delay_ms));
   EXPECT_TRUE(r.diagnostics.clean());
   EXPECT_EQ(r.stats.retries, 0);
@@ -348,9 +348,9 @@ TEST(ParamSearch, ConvergedSolveHasCleanDiagnostics) {
 }
 
 TEST(ParamSearch, GpsBoundIsSelfConsistentAndPaysBurstsOnce) {
-  Scenario sc = paper_scenario(5, 168, 168, Scheduler::kFifo);
+  Scenario sc = paper_scenario(5, 168, 168, sched::SchedulerKind::kFifo);
   sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
-  const BoundResult r = best_delay_bound(sc);
+  const BoundResult r = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isfinite(r.delay_ms));
   EXPECT_TRUE(std::isnan(r.delta));  // no Delta coordinate by contract
   // Tuple self-consistency against the closed-form 1-D objective: the
@@ -369,18 +369,18 @@ TEST(ParamSearch, GpsBoundIsSelfConsistentAndPaysBurstsOnce) {
   // does not grow with the hop count (unlike every Delta-backed bound).
   Scenario longer = sc;
   longer.hops = 20;
-  EXPECT_EQ(best_delay_bound(longer).delay_ms, r.delay_ms);
+  EXPECT_EQ(deltanc::Solver().solve(longer).delay_ms, r.delay_ms);
 }
 
 TEST(ParamSearch, DrrIsGpsPlusTheRoundRobinLatency) {
   // Equal quanta give DRR the same guaranteed rate as GPS(1,1); the only
   // difference is the deterministic one-round latency (sum Q - Q_0)/C
   // per hop, which shifts the bound by exactly H/C here.
-  Scenario sc = paper_scenario(5, 168, 168, Scheduler::kFifo);
+  Scenario sc = paper_scenario(5, 168, 168, sched::SchedulerKind::kFifo);
   sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
-  const BoundResult gps = best_delay_bound(sc);
+  const BoundResult gps = deltanc::Solver().solve(sc);
   sc.scheduler = sched::SchedulerSpec::drr(1.0, 1.0);
-  const BoundResult drr = best_delay_bound(sc);
+  const BoundResult drr = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isfinite(gps.delay_ms));
   EXPECT_DOUBLE_EQ(drr.delay_ms,
                    sc.hops * (1.0 / sc.capacity) + gps.delay_ms);
@@ -388,11 +388,11 @@ TEST(ParamSearch, DrrIsGpsPlusTheRoundRobinLatency) {
 
 TEST(ParamSearch, ScedEqualsGpsOnSymmetricLoads) {
   // Load-proportional sharing with N0 = Nc is the equal two-class split.
-  Scenario sc = paper_scenario(4, 200, 200, Scheduler::kFifo);
+  Scenario sc = paper_scenario(4, 200, 200, sched::SchedulerKind::kFifo);
   sc.scheduler = sched::SchedulerSpec::sced();
-  const BoundResult sced = best_delay_bound(sc);
+  const BoundResult sced = deltanc::Solver().solve(sc);
   sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
-  const BoundResult gps = best_delay_bound(sc);
+  const BoundResult gps = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isfinite(gps.delay_ms));
   EXPECT_DOUBLE_EQ(sced.delay_ms, gps.delay_ms);
 }
@@ -401,13 +401,13 @@ TEST(ParamSearch, GpsIsolationSurvivesTotalOverload) {
   // Total utilization above 1, but the through class's guaranteed share
   // 0.75 C still exceeds its own load: GPS keeps a finite bound where
   // the aggregate-facing BMUX diverges.
-  Scenario sc = paper_scenario(5, 310, 410, Scheduler::kBmux);
+  Scenario sc = paper_scenario(5, 310, 410, sched::SchedulerKind::kBmux);
   ASSERT_GE(sc.utilization(), 1.0);
-  const BoundResult bmux = best_delay_bound(sc);
+  const BoundResult bmux = deltanc::Solver().solve(sc);
   EXPECT_EQ(bmux.delay_ms, kInf);
   sc.scheduler = sched::SchedulerSpec::gps(3.0, 1.0);
   ASSERT_LT(sc.n_through * sc.source.mean_rate(), 0.75 * sc.capacity);
-  const BoundResult gps = best_delay_bound(sc);
+  const BoundResult gps = deltanc::Solver().solve(sc);
   EXPECT_TRUE(std::isfinite(gps.delay_ms));
   EXPECT_TRUE(gps.diagnostics.ok());
 }
@@ -415,10 +415,10 @@ TEST(ParamSearch, GpsIsolationSurvivesTotalOverload) {
 TEST(ParamSearch, UnstableThroughClassIsClassifiedForCurveBacked) {
   // The through load alone exceeds the GPS(1,1) guarantee of half the
   // link: +inf with the same kUnstable classification as the Delta path.
-  Scenario sc = paper_scenario(3, 400, 10, Scheduler::kFifo);
+  Scenario sc = paper_scenario(3, 400, 10, sched::SchedulerKind::kFifo);
   sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
   ASSERT_GT(sc.n_through * sc.source.mean_rate(), 0.5 * sc.capacity);
-  const BoundResult r = best_delay_bound(sc);
+  const BoundResult r = deltanc::Solver().solve(sc);
   EXPECT_EQ(r.delay_ms, kInf);
   EXPECT_EQ(r.diagnostics.error, diag::SolveErrorKind::kUnstable);
   EXPECT_FALSE(r.diagnostics.message.empty());
@@ -427,7 +427,7 @@ TEST(ParamSearch, UnstableThroughClassIsClassifiedForCurveBacked) {
 TEST(ParamSearch, ValidateRejectsMalformedClassWeights) {
   // set_weights is the only way to smuggle a malformed weight list past
   // the factories (the codec uses it); validate() must name the field.
-  Scenario sc = paper_scenario(3, 100, 100, Scheduler::kFifo);
+  Scenario sc = paper_scenario(3, 100, 100, sched::SchedulerKind::kFifo);
   sc.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
   sched::ClassWeights bad;
   bad.count = 1;
@@ -458,11 +458,11 @@ TEST(AdditiveBaseline, SumOfPerNodeEqualsTotal) {
 TEST(AdditiveBaseline, MuchLooserThanNetworkServiceCurve) {
   // Fig. 4: adding per-node bounds is loose and gets relatively worse
   // with H.
-  const Scenario sc5 = paper_scenario(5, 168, 168, Scheduler::kBmux);
-  const Scenario sc10 = paper_scenario(10, 168, 168, Scheduler::kBmux);
-  const double net5 = best_delay_bound(sc5).delay_ms;
+  const Scenario sc5 = paper_scenario(5, 168, 168, sched::SchedulerKind::kBmux);
+  const Scenario sc10 = paper_scenario(10, 168, 168, sched::SchedulerKind::kBmux);
+  const double net5 = deltanc::Solver().solve(sc5).delay_ms;
   const double add5 = best_additive_bmux_bound(sc5).delay_ms;
-  const double net10 = best_delay_bound(sc10).delay_ms;
+  const double net10 = deltanc::Solver().solve(sc10).delay_ms;
   const double add10 = best_additive_bmux_bound(sc10).delay_ms;
   EXPECT_GT(add5, 1.5 * net5);
   EXPECT_GT(add10, 3.0 * net10);
@@ -473,10 +473,10 @@ TEST(AdditiveBaseline, SuperlinearGrowth) {
   // O(H^3 log H)-style growth: doubling H should much more than double
   // the additive bound.
   const double a5 =
-      best_additive_bmux_bound(paper_scenario(5, 168, 168, Scheduler::kBmux))
+      best_additive_bmux_bound(paper_scenario(5, 168, 168, sched::SchedulerKind::kBmux))
           .delay_ms;
   const double a10 =
-      best_additive_bmux_bound(paper_scenario(10, 168, 168, Scheduler::kBmux))
+      best_additive_bmux_bound(paper_scenario(10, 168, 168, sched::SchedulerKind::kBmux))
           .delay_ms;
   EXPECT_GT(a10 / a5, 3.0);
 }

@@ -14,7 +14,7 @@ e2e::Scenario scenario() {
       .hops(3)
       .through_flows(100)
       .cross_flows(150)
-      .scheduler(e2e::Scheduler::kFifo)
+      .scheduler(sched::SchedulerKind::kFifo)
       .build();
 }
 

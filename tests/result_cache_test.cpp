@@ -1,5 +1,6 @@
 // The persistent result cache: content addressing, hit/miss/stale/
 // corrupt classification, atomic stores, and recovery by overwrite.
+#include "e2e/solver.h"
 #include "io/result_cache.h"
 
 #include <gtest/gtest.h>
@@ -24,7 +25,7 @@ e2e::Scenario small_scenario(int n_cross = 50) {
   sc.n_through = 80;
   sc.n_cross = n_cross;
   sc.epsilon = 1e-6;
-  sc.scheduler = e2e::Scheduler::kFifo;
+  sc.scheduler = sched::SchedulerKind::kFifo;
   return sc;
 }
 
@@ -68,7 +69,7 @@ TEST_F(ResultCacheTest, MissThenStoreThenBitExactHit) {
   e2e::BoundResult out;
   EXPECT_EQ(cache.lookup(key, out), CacheLookup::kMiss);
 
-  const e2e::BoundResult solved = e2e::best_delay_bound(sc);
+  const e2e::BoundResult solved = deltanc::Solver().solve(sc);
   cache.store(key, solved);
   ASSERT_EQ(cache.lookup(key, out), CacheLookup::kHit);
   EXPECT_EQ(out.delay_ms, solved.delay_ms);
@@ -89,7 +90,7 @@ TEST_F(ResultCacheTest, VersionDriftClassifiesAsStaleAndIsOverwritten) {
   ResultCache cache(cache_dir());
   const e2e::Scenario sc = small_scenario();
   const std::string key = solve_cache_key(sc, SolveOptions{});
-  cache.store(key, e2e::best_delay_bound(sc));
+  cache.store(key, deltanc::Solver().solve(sc));
 
   // Doctor the stored entry to look like an older library release.
   const std::filesystem::path path = cache.entry_path(key);
@@ -108,7 +109,7 @@ TEST_F(ResultCacheTest, VersionDriftClassifiesAsStaleAndIsOverwritten) {
   // entry so the next lookup hits again.
   CacheLookup outcome{};
   const e2e::BoundResult solved = cache.solve_through(
-      sc, SolveOptions{}, [&] { return e2e::best_delay_bound(sc); },
+      sc, SolveOptions{}, [&] { return deltanc::Solver().solve(sc); },
       &outcome);
   EXPECT_EQ(outcome, CacheLookup::kStale);
   EXPECT_EQ(solved.stats.cache_stale, 1);
@@ -119,7 +120,7 @@ TEST_F(ResultCacheTest, SchemaDriftIsStaleToo) {
   ResultCache cache(cache_dir());
   const e2e::Scenario sc = small_scenario();
   const std::string key = solve_cache_key(sc, SolveOptions{});
-  cache.store(key, e2e::best_delay_bound(sc));
+  cache.store(key, deltanc::Solver().solve(sc));
 
   // The schema version lives in the entry, not in the hashed key, so a
   // schema bump is observable as staleness instead of a silent miss.
@@ -165,7 +166,7 @@ TEST_F(ResultCacheTest, PreRefactorEntryClassifiesStaleNeverWrongHit) {
   // the *current* key, so the next lookup is a plain hit.
   CacheLookup outcome{};
   const e2e::BoundResult solved = cache.solve_through(
-      sc, options, [&] { return e2e::best_delay_bound(sc); }, &outcome);
+      sc, options, [&] { return deltanc::Solver().solve(sc); }, &outcome);
   EXPECT_EQ(outcome, CacheLookup::kStale);
   EXPECT_EQ(solved.stats.cache_stale, 1);
   EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kHit);
@@ -200,7 +201,7 @@ TEST_F(ResultCacheTest, SchemaTwoEntryClassifiesStaleNeverWrongHit) {
   // Re-solve lands under the current key; the old slot stops mattering.
   CacheLookup outcome{};
   (void)cache.solve_through(sc, options,
-                            [&] { return e2e::best_delay_bound(sc); },
+                            [&] { return deltanc::Solver().solve(sc); },
                             &outcome);
   EXPECT_EQ(outcome, CacheLookup::kStale);
   EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kHit);
@@ -219,7 +220,7 @@ TEST_F(ResultCacheTest, CurveBackedSchedulersHaveNoLegacySlots) {
   // through store + hit like any other result.
   ResultCache cache(cache_dir());
   const std::string key = solve_cache_key(sc, SolveOptions{});
-  const e2e::BoundResult solved = e2e::best_delay_bound(sc);
+  const e2e::BoundResult solved = deltanc::Solver().solve(sc);
   ASSERT_TRUE(std::isnan(solved.delta));
   cache.store(key, solved);
   e2e::BoundResult out;
@@ -230,11 +231,15 @@ TEST_F(ResultCacheTest, CurveBackedSchedulersHaveNoLegacySlots) {
 
 TEST_F(ResultCacheTest, SimulationLoweringsDoNotPerturbSolverKeys) {
   // The DRR/SCED simulation lowerings added sim-side config fields only;
-  // the solver cache key is a function of the *scenario*, so entries
-  // written before those lowerings existed must classify as warm hits
-  // under the same schema (no bump: kSchemaVersion stays at 3).
-  static_assert(kSchemaVersion == 3,
-                "sim-side config fields must not bump the cache schema");
+  // the solver cache key is a function of the *scenario*, so those
+  // lowerings did not bump the schema.  Solver-side fields do: the
+  // warm-start policy in SolveOptions (plus the SIMD/warm-start stats
+  // counters) took the schema from 3 to 4, with a legacy_v3 probe for
+  // stale-schema hits (see io/codec.h).
+  static_assert(kSchemaVersion == 4,
+                "sim-side config fields must not bump the cache schema; "
+                "the schema-4 bump came from the solver-side warm-start "
+                "fields");
   ResultCache cache(cache_dir());
   for (const sched::SchedulerSpec& spec :
        {sched::SchedulerSpec::drr(2.0, 1.0), sched::SchedulerSpec::sced(),
@@ -242,7 +247,7 @@ TEST_F(ResultCacheTest, SimulationLoweringsDoNotPerturbSolverKeys) {
     e2e::Scenario sc = small_scenario();
     sc.scheduler = spec;
     const std::string key = solve_cache_key(sc, SolveOptions{});
-    cache.store(key, e2e::best_delay_bound(sc));
+    cache.store(key, deltanc::Solver().solve(sc));
     e2e::BoundResult out;
     EXPECT_EQ(cache.lookup(sc, SolveOptions{}, out), CacheLookup::kHit)
         << sched::to_string(spec);
@@ -261,7 +266,7 @@ TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {
   ResultCache cache(cache_dir());
   const e2e::Scenario sc = small_scenario();
   const std::string key = solve_cache_key(sc, SolveOptions{});
-  cache.store(key, e2e::best_delay_bound(sc));
+  cache.store(key, deltanc::Solver().solve(sc));
 
   write_file(cache.entry_path(key), "{\"schema\":2, truncated garba");
   e2e::BoundResult out;
@@ -278,7 +283,7 @@ TEST_F(ResultCacheTest, CorruptEntryIsDetectedAndRecoverable) {
   // Recovery: solve_through overwrites the damaged entry.
   CacheLookup outcome{};
   (void)cache.solve_through(sc, SolveOptions{},
-                            [&] { return e2e::best_delay_bound(sc); },
+                            [&] { return deltanc::Solver().solve(sc); },
                             &outcome);
   EXPECT_EQ(outcome, CacheLookup::kCorrupt);
   EXPECT_EQ(cache.lookup(key, out), CacheLookup::kHit);
@@ -288,7 +293,7 @@ TEST_F(ResultCacheTest, HashCollisionDegradesToMissNotWrongAnswer) {
   ResultCache cache(cache_dir());
   const e2e::Scenario sc = small_scenario();
   const std::string key = solve_cache_key(sc, SolveOptions{});
-  cache.store(key, e2e::best_delay_bound(sc));
+  cache.store(key, deltanc::Solver().solve(sc));
 
   // Simulate a colliding key by doctoring the stored key string (it is
   // embedded JSON, so its quotes appear escaped): the file is present
@@ -310,7 +315,7 @@ TEST_F(ResultCacheTest, SolveThroughCountsOneOutcomePerResult) {
   int solves = 0;
   const auto solve = [&] {
     ++solves;
-    return e2e::best_delay_bound(sc);
+    return deltanc::Solver().solve(sc);
   };
   const e2e::BoundResult first =
       cache.solve_through(sc, SolveOptions{}, solve);

@@ -29,8 +29,8 @@ TEST(SelfCheck, Fig2OperatingPointsPassAllInvariants) {
                      .edf_deadlines(1.0, 10.0)
                      .build());
   grid.cross_utilization_axis({0.05, 0.35, 0.65})
-      .scheduler_axis({e2e::Scheduler::kSpHigh, e2e::Scheduler::kEdf,
-                       e2e::Scheduler::kFifo, e2e::Scheduler::kBmux});
+      .scheduler_axis({sched::SchedulerKind::kSpHigh, sched::SchedulerKind::kEdf,
+                       sched::SchedulerKind::kFifo, sched::SchedulerKind::kBmux});
   const SelfCheckReport report = self_check(grid, quiet_options());
   EXPECT_TRUE(report.ok()) << (report.issues.empty()
                                    ? ""
@@ -44,13 +44,13 @@ TEST(SelfCheck, Fig3MixPointsOrderTheEdfVariants) {
   // must slot between SP-high and BMUX in resolved-Delta order.
   std::vector<e2e::Scenario> scenarios;
   struct Column {
-    e2e::Scheduler sched;
+    sched::SchedulerKind sched;
     double own, cross;
   };
-  for (const Column& col : {Column{e2e::Scheduler::kEdf, 1.0, 2.0},
-                            Column{e2e::Scheduler::kFifo, 1.0, 1.0},
-                            Column{e2e::Scheduler::kEdf, 1.0, 0.5},
-                            Column{e2e::Scheduler::kBmux, 1.0, 1.0}}) {
+  for (const Column& col : {Column{sched::SchedulerKind::kEdf, 1.0, 2.0},
+                            Column{sched::SchedulerKind::kFifo, 1.0, 1.0},
+                            Column{sched::SchedulerKind::kEdf, 1.0, 0.5},
+                            Column{sched::SchedulerKind::kBmux, 1.0, 1.0}}) {
     scenarios.push_back(ScenarioBuilder()
                             .hops(2)
                             .through_utilization(0.25)
@@ -108,8 +108,8 @@ TEST(SelfCheck, DetectsOrderingViolation) {
   SelfCheckOptions options = quiet_options();
   options.solver = [](const e2e::Scenario& sc, e2e::Method) {
     double delta = 0.0, delay = 5.0;
-    if (sc.scheduler == e2e::Scheduler::kSpHigh) delta = -kInf, delay = 10.0;
-    if (sc.scheduler == e2e::Scheduler::kBmux) delta = kInf, delay = 1.0;
+    if (sc.scheduler == sched::SchedulerKind::kSpHigh) delta = -kInf, delay = 10.0;
+    if (sc.scheduler == sched::SchedulerKind::kBmux) delta = kInf, delay = 1.0;
     return e2e::BoundResult{delay, 0.5, 0.5, 1.0, delta};
   };
   const e2e::Scenario sc = ScenarioBuilder().build();

@@ -3,6 +3,7 @@
 // timeout, crashed-worker requeue/retry-exhaustion, store-failure
 // solve-through, corrupt-load recovery, reload, and drain -- each
 // driven deterministically via serve::FaultPlan.
+#include "e2e/solver.h"
 #include "serve/service.h"
 
 #include <gtest/gtest.h>
@@ -30,7 +31,7 @@ e2e::Scenario small_scenario(int n_cross) {
   sc.n_through = 80;
   sc.n_cross = n_cross;
   sc.epsilon = 1e-6;
-  sc.scheduler = e2e::Scheduler::kFifo;
+  sc.scheduler = sched::SchedulerKind::kFifo;
   return sc;
 }
 
@@ -185,7 +186,7 @@ TEST(SolveServiceTest, SolvesParsesAndIgnoresBlankLines) {
   EXPECT_TRUE(solved->at("ok").as_bool());
   // No cache directory attached: no "cache" tag, like cache-less batch.
   EXPECT_EQ(solved->find("cache"), nullptr);
-  const e2e::BoundResult direct = e2e::best_delay_bound(small_scenario(60));
+  const e2e::BoundResult direct = deltanc::Solver().solve(small_scenario(60));
   EXPECT_EQ(io::decode_bound_result(solved->at("result")).delay_ms,
             direct.delay_ms);
 

@@ -1,3 +1,4 @@
+#include "e2e/solver.h"
 #include "sched/single_node_bound.h"
 
 #include <gtest/gtest.h>
@@ -56,7 +57,7 @@ TEST(SingleNodeBound, MatchesEndToEndMachineryAtH1) {
   for (double delta : {-10.0, -2.0, 0.0, 3.0, kInf}) {
     const e2e::PathParams p{kC, 1, 20.0, 30.0, alpha, 1.0, delta};
     const double sigma = 60.0;
-    const double e2e_d = e2e::optimize_delay(p, gamma, sigma).delay;
+    const double e2e_d = deltanc::Solver().optimize(p, gamma, sigma).delay;
     const double back = std::isfinite(delta) ? -delta : -kInf;
     const DeltaMatrix dm({{0.0, delta}, {back, 0.0}});
     const double node_d =

@@ -14,7 +14,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-e2e::Scenario fig2_scenario(int n_cross, e2e::Scheduler sched) {
+e2e::Scenario fig2_scenario(int n_cross, sched::SchedulerKind sched) {
   e2e::Scenario sc;
   sc.hops = 5;
   sc.n_through = 100;
@@ -33,7 +33,7 @@ TEST(SolverFacade, MatchesPinnedHexfloatGoldens) {
   // (tests/param_search_test.cpp): the facade must reproduce the exact
   // bits, not just close values.
   const e2e::BoundResult fifo =
-      Solver().solve(fig2_scenario(67, e2e::Scheduler::kFifo));
+      Solver().solve(fig2_scenario(67, sched::SchedulerKind::kFifo));
   EXPECT_EQ(fifo.delay_ms, 0x1.6126458d64984p+4);
   EXPECT_EQ(fifo.gamma, 0x1.8ceaed36017b9p-1);
   EXPECT_EQ(fifo.s, 0x1.7f822a740c65ap-4);
@@ -42,18 +42,18 @@ TEST(SolverFacade, MatchesPinnedHexfloatGoldens) {
 TEST(SolverFacade, SolveIsBitIdenticalToFreeFunction) {
   const struct {
     int n_cross;
-    e2e::Scheduler sched;
+    sched::SchedulerKind sched;
     e2e::Method method;
-  } cases[] = {{67, e2e::Scheduler::kFifo, e2e::Method::kExactOpt},
-               {268, e2e::Scheduler::kBmux, e2e::Method::kExactOpt},
-               {538, e2e::Scheduler::kSpHigh, e2e::Method::kPaperK},
-               {168, e2e::Scheduler::kEdf, e2e::Method::kExactOpt}};
+  } cases[] = {{67, sched::SchedulerKind::kFifo, e2e::Method::kExactOpt},
+               {268, sched::SchedulerKind::kBmux, e2e::Method::kExactOpt},
+               {538, sched::SchedulerKind::kSpHigh, e2e::Method::kPaperK},
+               {168, sched::SchedulerKind::kEdf, e2e::Method::kExactOpt}};
   for (const auto& c : cases) {
     const e2e::Scenario sc = fig2_scenario(c.n_cross, c.sched);
     SolveOptions options;
     options.method = c.method;
     const e2e::BoundResult facade = Solver(options).solve(sc);
-    const e2e::BoundResult direct = e2e::best_delay_bound(sc, c.method);
+    const e2e::BoundResult direct = deltanc::Solver(c.method).solve(sc);
     EXPECT_EQ(facade.delay_ms, direct.delay_ms);
     EXPECT_EQ(facade.gamma, direct.gamma);
     EXPECT_EQ(facade.s, direct.s);
@@ -64,14 +64,14 @@ TEST(SolverFacade, SolveIsBitIdenticalToFreeFunction) {
 }
 
 TEST(SolverFacade, SchedulerOverrideEqualsEditedScenario) {
-  const e2e::Scenario fifo = fig2_scenario(168, e2e::Scheduler::kFifo);
+  const e2e::Scenario fifo = fig2_scenario(168, sched::SchedulerKind::kFifo);
   SolveOptions options;
-  options.scheduler = e2e::Scheduler::kEdf;
+  options.scheduler = sched::SchedulerKind::kEdf;
   const Solver solver(options);
-  EXPECT_EQ(solver.effective_scenario(fifo).scheduler, e2e::Scheduler::kEdf);
+  EXPECT_EQ(solver.effective_scenario(fifo).scheduler, sched::SchedulerKind::kEdf);
 
   e2e::Scenario edf = fifo;
-  edf.scheduler = e2e::Scheduler::kEdf;
+  edf.scheduler = sched::SchedulerKind::kEdf;
   const e2e::BoundResult overridden = solver.solve(fifo);
   const e2e::BoundResult direct = Solver().solve(edf);
   EXPECT_EQ(overridden.delay_ms, direct.delay_ms);
@@ -79,14 +79,14 @@ TEST(SolverFacade, SchedulerOverrideEqualsEditedScenario) {
 }
 
 TEST(SolverFacade, FixedDeltaMatchesDeprecatedEntryPoint) {
-  const e2e::Scenario sc = fig2_scenario(268, e2e::Scheduler::kFifo);
+  const e2e::Scenario sc = fig2_scenario(268, sched::SchedulerKind::kFifo);
   for (const double delta : {0.0, 5.0, -kInf, kInf}) {
     const e2e::BoundResult via_at = Solver().solve_at(sc, delta);
     SolveOptions options;
     options.delta = delta;
     const e2e::BoundResult via_options = Solver(options).solve(sc);
     const e2e::BoundResult direct =
-        e2e::best_delay_bound_for_delta(sc, delta, e2e::Method::kExactOpt);
+        deltanc::Solver(e2e::Method::kExactOpt).solve_at(sc, delta);
     EXPECT_EQ(via_at.delay_ms, direct.delay_ms);
     EXPECT_EQ(via_options.delay_ms, direct.delay_ms);
     EXPECT_EQ(via_at.gamma, direct.gamma);
@@ -110,8 +110,8 @@ TEST(SolverFacade, OptimizeIsBitIdenticalWithAndWithoutWorkspace) {
       const e2e::DelayResult b = without_ws.optimize(p, gamma, 40.0);
       const e2e::DelayResult direct =
           method == e2e::Method::kExactOpt
-              ? e2e::optimize_delay(p, gamma, 40.0)
-              : e2e::k_procedure_delay(p, gamma, 40.0);
+              ? deltanc::Solver().optimize(p, gamma, 40.0)
+              : deltanc::Solver(deltanc::e2e::Method::kPaperK).optimize(p, gamma, 40.0);
       EXPECT_EQ(a.delay, direct.delay);
       EXPECT_EQ(b.delay, direct.delay);
       EXPECT_EQ(a.x, direct.x);
@@ -124,21 +124,21 @@ TEST(SolverFacade, RetryPolicyCapsEdfRestarts) {
   // Default (-1) runs the historical full damping schedule; 0 forbids
   // restarts entirely.  Whatever the scenario needed, the capped run
   // must never report more retries than allowed.
-  const e2e::Scenario sc = fig2_scenario(268, e2e::Scheduler::kEdf);
+  const e2e::Scenario sc = fig2_scenario(268, sched::SchedulerKind::kEdf);
   SolveOptions none;
   none.max_edf_restarts = 0;
   const e2e::BoundResult capped = Solver(none).solve(sc);
   EXPECT_EQ(capped.stats.retries, 0);
 
   const e2e::BoundResult full = Solver().solve(sc);
-  const e2e::BoundResult direct = e2e::best_delay_bound(sc);
+  const e2e::BoundResult direct = deltanc::Solver().solve(sc);
   EXPECT_EQ(full.delay_ms, direct.delay_ms);
   EXPECT_EQ(full.stats.retries, direct.stats.retries);
 }
 
 TEST(SolverFacade, UnstableScenarioStillClassified) {
   const e2e::BoundResult r =
-      Solver().solve(fig2_scenario(800, e2e::Scheduler::kBmux));
+      Solver().solve(fig2_scenario(800, sched::SchedulerKind::kBmux));
   EXPECT_EQ(r.delay_ms, kInf);
   EXPECT_FALSE(r.diagnostics.ok());
 }

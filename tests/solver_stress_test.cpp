@@ -21,6 +21,7 @@
 #include "core/selfcheck.h"
 #include "core/sweep.h"
 #include "e2e/param_search.h"
+#include "e2e/solver.h"
 #include "traffic/mmoo.h"
 
 namespace deltanc {
@@ -58,10 +59,10 @@ e2e::Scenario random_scenario(std::mt19937_64& rng) {
   sc.n_cross = std::max(0, static_cast<int>(flows * (1.0 - through_share)));
   sc.epsilon = std::pow(10.0, -12.0 + 10.0 * unit(rng));
   const double pick = unit(rng);
-  sc.scheduler = pick < 0.25   ? e2e::Scheduler::kFifo
-                 : pick < 0.5  ? e2e::Scheduler::kBmux
-                 : pick < 0.75 ? e2e::Scheduler::kSpHigh
-                               : e2e::Scheduler::kEdf;
+  sc.scheduler = pick < 0.25   ? sched::SchedulerKind::kFifo
+                 : pick < 0.5  ? sched::SchedulerKind::kBmux
+                 : pick < 0.75 ? sched::SchedulerKind::kSpHigh
+                               : sched::SchedulerKind::kEdf;
   sc.scheduler.set_edf_factors(
       sched::EdfFactors{std::pow(10.0, -1.0 + 2.0 * unit(rng)),
                         std::pow(10.0, -1.0 + 2.3 * unit(rng))});
@@ -164,7 +165,7 @@ TEST_F(SolverStressTest, ExactNeverExceedsPaperK) {
     SCOPED_TRACE("scenario " + std::to_string(i));
     const double exact = report_->points[i].bound.delay_ms;
     const double paperk =
-        e2e::best_delay_bound((*scenarios_)[i], e2e::Method::kPaperK).delay_ms;
+        deltanc::Solver(e2e::Method::kPaperK).solve((*scenarios_)[i]).delay_ms;
     if (paperk == kInf) continue;
     EXPECT_LE(exact, paperk * (1.0 + 1e-3));
   }
@@ -198,7 +199,7 @@ TEST(SolverStressInvalid, DeliberatelyInvalidScenariosAreClassified) {
   const diag::ValidationReport vr = broken.validate();
   EXPECT_FALSE(vr.ok());
   EXPECT_GE(vr.error_count(), 3u);
-  EXPECT_THROW((void)e2e::best_delay_bound(broken), std::invalid_argument);
+  EXPECT_THROW((void)deltanc::Solver().solve(broken), std::invalid_argument);
 
   std::vector<e2e::Scenario> scenarios = {e2e::Scenario{}, broken,
                                           e2e::Scenario{}};

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -16,7 +17,9 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "core/selfcheck.h"
 #include "core/thread_pool.h"
+#include "e2e/solver.h"
 
 namespace deltanc {
 namespace {
@@ -29,8 +32,8 @@ SweepGrid small_grid() {
   base.epsilon = 1e-6;
   SweepGrid grid(base);
   grid.hops_axis({2, 5})
-      .scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
-                       e2e::Scheduler::kBmux})
+      .scheduler_axis({sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo,
+                       sched::SchedulerKind::kBmux})
       .cross_utilization_axis({0.30, 0.60});
   return grid;
 }
@@ -63,16 +66,16 @@ TEST(SweepGridTest, RowMajorOrderFirstAxisOutermost) {
   // i = hops_index * 6 + scheduler_index * 2 + load_index.
   const e2e::Scenario p0 = grid.scenario_at(0);
   EXPECT_EQ(p0.hops, 2);
-  EXPECT_EQ(p0.scheduler, e2e::Scheduler::kEdf);
+  EXPECT_EQ(p0.scheduler, sched::SchedulerKind::kEdf);
   const e2e::Scenario p1 = grid.scenario_at(1);
   EXPECT_EQ(p1.hops, 2);
-  EXPECT_EQ(p1.scheduler, e2e::Scheduler::kEdf);
+  EXPECT_EQ(p1.scheduler, sched::SchedulerKind::kEdf);
   EXPECT_GT(p1.n_cross, p0.n_cross);
   const e2e::Scenario p2 = grid.scenario_at(2);
-  EXPECT_EQ(p2.scheduler, e2e::Scheduler::kFifo);
+  EXPECT_EQ(p2.scheduler, sched::SchedulerKind::kFifo);
   const e2e::Scenario p6 = grid.scenario_at(6);
   EXPECT_EQ(p6.hops, 5);
-  EXPECT_EQ(p6.scheduler, e2e::Scheduler::kEdf);
+  EXPECT_EQ(p6.scheduler, sched::SchedulerKind::kEdf);
   // Axis values never leak between points.
   EXPECT_EQ(grid.scenario_at(11).hops, 5);
   EXPECT_EQ(grid.scenario_at(5).hops, 2);
@@ -164,12 +167,16 @@ TEST(SweepRunnerTest, OneThreadAndEightThreadsAreBitIdentical) {
   const SweepReport a = SweepRunner(serial).run(grid);
   const SweepReport b = SweepRunner(parallel).run(grid);
   EXPECT_EQ(a.threads, 1);
-  EXPECT_EQ(b.threads, 8);
+  // Warm chaining (the default) decomposes the 12-point grid into 6
+  // chains along the innermost numeric axis (uc, 2 values); the worker
+  // count is capped by the chain count, not the point count.
+  EXPECT_EQ(b.threads, 6);
   ASSERT_EQ(a.points.size(), grid.size());
   ASSERT_EQ(b.points.size(), grid.size());
   for (std::size_t i = 0; i < a.points.size(); ++i) {
     SCOPED_TRACE(i);
-    // Bit-identical: each point is a pure function of its scenario.
+    // Bit-identical: the chain decomposition is a function of the grid
+    // alone, so thread count never changes which state seeds which point.
     EXPECT_EQ(a.points[i].bound.delay_ms, b.points[i].bound.delay_ms);
     EXPECT_EQ(a.points[i].bound.gamma, b.points[i].bound.gamma);
     EXPECT_EQ(a.points[i].bound.s, b.points[i].bound.s);
@@ -193,8 +200,8 @@ TEST(SweepRunnerTest, Fig2GridIsBitIdenticalAcrossThreadCounts) {
   base.epsilon = 1e-9;
   SweepGrid grid(base);
   grid.cross_utilization_axis(cross_utils)
-      .scheduler_axis({e2e::Scheduler::kEdf, e2e::Scheduler::kFifo,
-                       e2e::Scheduler::kBmux});
+      .scheduler_axis({sched::SchedulerKind::kEdf, sched::SchedulerKind::kFifo,
+                       sched::SchedulerKind::kBmux});
   ASSERT_EQ(grid.size(), 48u);
 
   SweepOptions serial;
@@ -213,16 +220,38 @@ TEST(SweepRunnerTest, Fig2GridIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(SweepRunnerTest, ResultsMatchDirectSolvesInInputOrder) {
+TEST(SweepRunnerTest, ColdResultsMatchDirectSolvesInInputOrder) {
+  // kCold reproduces the historical semantics: every point is a pure
+  // function of its scenario, bit-identical to a stateless solve.
+  const SweepGrid grid = small_grid();
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.warm_start = e2e::WarmStart::kCold;
+  const SweepReport report = SweepRunner(opts).run(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    const e2e::BoundResult direct = deltanc::Solver().solve(grid.scenario_at(i));
+    EXPECT_EQ(report.points[i].bound.delay_ms, direct.delay_ms);
+    EXPECT_EQ(report.points[i].scenario.hops, grid.scenario_at(i).hops);
+  }
+}
+
+TEST(SweepRunnerTest, WarmResultsStayWithinToleranceOfDirectSolves) {
+  // The warm default may stop at a slightly different optimum; the
+  // deviation from the cold solve is bounded by the selfcheck-enforced
+  // warm-start tolerance contract (core/selfcheck.h).
   const SweepGrid grid = small_grid();
   SweepOptions opts;
   opts.threads = 4;
   const SweepReport report = SweepRunner(opts).run(grid);
   for (std::size_t i = 0; i < grid.size(); ++i) {
     SCOPED_TRACE(i);
-    const e2e::BoundResult direct = e2e::best_delay_bound(grid.scenario_at(i));
-    EXPECT_EQ(report.points[i].bound.delay_ms, direct.delay_ms);
-    EXPECT_EQ(report.points[i].scenario.hops, grid.scenario_at(i).hops);
+    const e2e::BoundResult direct = deltanc::Solver().solve(grid.scenario_at(i));
+    ASSERT_TRUE(std::isfinite(direct.delay_ms) ==
+                std::isfinite(report.points[i].bound.delay_ms));
+    if (!std::isfinite(direct.delay_ms)) continue;
+    EXPECT_NEAR(report.points[i].bound.delay_ms, direct.delay_ms,
+                kWarmStartRelTol * std::max(direct.delay_ms, 1.0));
   }
 }
 
@@ -247,16 +276,16 @@ TEST(SweepRunnerTest, ThrowingSolverIsCapturedPerPoint) {
   SweepOptions opts;
   opts.threads = 4;
   opts.solver = [](const e2e::Scenario& sc, e2e::Method m) {
-    if (sc.scheduler == e2e::Scheduler::kFifo) {
+    if (sc.scheduler == sched::SchedulerKind::kFifo) {
       throw std::runtime_error("synthetic failure");
     }
-    return e2e::best_delay_bound(sc, m);
+    return deltanc::Solver(m).solve(sc);
   };
   const SweepReport report = SweepRunner(opts).run(grid);
   ASSERT_EQ(report.points.size(), 12u);
   EXPECT_EQ(report.failures(), 4u);  // 2 hops x 2 loads with FIFO
   for (const SweepPoint& p : report.points) {
-    if (p.scenario.scheduler == e2e::Scheduler::kFifo) {
+    if (p.scenario.scheduler == sched::SchedulerKind::kFifo) {
       EXPECT_FALSE(p.ok);
       EXPECT_EQ(p.error, "synthetic failure");
       EXPECT_TRUE(std::isinf(p.bound.delay_ms));
@@ -325,7 +354,7 @@ TEST(SweepReportTest, StatusColumnMarksWarnedPoints) {
   // in the table, and warned()/recovered() expose the tallies.
   SweepOptions opts;
   opts.solver = [](const e2e::Scenario& sc, e2e::Method m) {
-    e2e::BoundResult r = e2e::best_delay_bound(sc, m);
+    e2e::BoundResult r = deltanc::Solver(m).solve(sc);
     r.diagnostics.warn(diag::SolveErrorKind::kNoConvergence, "synthetic");
     r.stats.retries = 1;
     return r;
@@ -383,7 +412,7 @@ TEST(SweepRunnerTest, EmptyAndSinglePointSweeps) {
   ASSERT_EQ(single.points.size(), 1u);
   EXPECT_EQ(calls, 1u);
   EXPECT_EQ(single.points[0].bound.delay_ms,
-            e2e::best_delay_bound(base).delay_ms);
+            deltanc::Solver().solve(base).delay_ms);
 }
 
 TEST(SweepRunnerTest, ExplicitScenarioListKeepsListOrder) {
@@ -502,14 +531,14 @@ TEST(SweepReportTest, TimingFieldsArePopulated) {
 }
 
 TEST(SchedulerNameTest, RoundTripsAllSchedulers) {
-  for (e2e::Scheduler s :
-       {e2e::Scheduler::kFifo, e2e::Scheduler::kBmux, e2e::Scheduler::kSpHigh,
-        e2e::Scheduler::kEdf}) {
-    e2e::Scheduler parsed{};
+  for (sched::SchedulerKind s :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kBmux, sched::SchedulerKind::kSpHigh,
+        sched::SchedulerKind::kEdf}) {
+    sched::SchedulerKind parsed{};
     ASSERT_TRUE(scheduler_from_name(scheduler_name(s), parsed));
     EXPECT_EQ(parsed, s);
   }
-  e2e::Scheduler unused{};
+  sched::SchedulerKind unused{};
   EXPECT_FALSE(scheduler_from_name("wfq", unused));
 }
 

@@ -81,6 +81,11 @@ Sweep mode (repeatable; axes cross-multiply in the order given):
       FIFO -> BMUX, e.g. --sweep delta=0:50:11)
   --threads <n>          sweep workers (default: DELTANC_THREADS env or
                          all cores); results are identical for any n
+  --warm-start <policy>  warm | cold (default warm): warm chains solver
+                         state along the innermost numeric sweep axis
+                         (eb memo, stable-s bracket, previous optimum,
+                         EDF fixed point); cold solves every point from
+                         scratch, bit-identical to a single solve
   --csv                  print only the CSV of the sweep results
 
 Self-check mode:
@@ -278,13 +283,16 @@ void print_stats(const e2e::SolveStats& stats, std::FILE* out) {
   std::fprintf(out,
                "stats: optimize_evals=%lld eb_evals=%lld sigma_evals=%lld "
                "edf_iterations=%d edf_converged=%s retries=%d fallbacks=%d "
-               "scan_ms=%.2f refine_ms=%.2f\n",
+               "scan_ms=%.2f refine_ms=%.2f batched_evals=%lld "
+               "warm_start_hits=%lld brackets_reused=%lld\n",
                static_cast<long long>(stats.optimize_evals),
                static_cast<long long>(stats.eb_evals),
                static_cast<long long>(stats.sigma_evals),
                stats.edf_iterations, stats.edf_converged ? "yes" : "no",
                stats.retries, stats.fallbacks, stats.scan_ms,
-               stats.refine_ms);
+               stats.refine_ms, static_cast<long long>(stats.batched_evals),
+               static_cast<long long>(stats.warm_start_hits),
+               static_cast<long long>(stats.brackets_reused));
 }
 
 /// One "warning: <kind>: <detail>" line per diagnostic warning.
@@ -566,6 +574,7 @@ int main(int argc, char** argv) {
   double edf_own = 1.0, edf_cross = 10.0;
   bool scheduler_is_edf = false;
   int threads = 0;
+  e2e::WarmStart warm_start = e2e::WarmStart::kWarm;
   std::string batch_path;
   std::string lint_path;
   std::string cache_dir;
@@ -627,6 +636,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--threads") {
       threads = static_cast<int>(parse_double(next(), "--threads"));
       if (threads < 1) usage_error("--threads must be >= 1");
+    } else if (flag == "--warm-start") {
+      const std::string policy = next();
+      if (policy == "warm") {
+        warm_start = e2e::WarmStart::kWarm;
+      } else if (policy == "cold") {
+        warm_start = e2e::WarmStart::kCold;
+      } else {
+        usage_error("unknown --warm-start policy '" + policy +
+                    "' (want warm or cold)");
+      }
     } else if (flag == "--sweep") {
       sweep_axes.push_back(parse_sweep_spec(next()));
     } else if (flag == "--selfcheck") {
@@ -762,6 +781,7 @@ int main(int argc, char** argv) {
     SweepOptions opts;
     opts.threads = threads;
     opts.method = method;
+    opts.warm_start = warm_start;
     opts.progress = [](std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\rsolving %zu/%zu", done, total);
       if (done == total) std::fprintf(stderr, "\n");
