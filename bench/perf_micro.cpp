@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/sweep.h"
 #include "core/thread_pool.h"
@@ -130,6 +132,60 @@ void BM_SweepFig2Grid(benchmark::State& state) {
 BENCHMARK(BM_SweepFig2Grid)
     ->Arg(1)
     ->Arg(static_cast<int>(ThreadPool::default_thread_count()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The headline claim of the profile engine: one warm-chained 16-level
+// d(epsilon) profile vs 16 independent cold scalar solves of the same
+// scenario.  Arg(0) selects the mode (0 = cold scalars, 1 = warm
+// profile); the ratio of the two real times is the chaining speedup
+// (scripts/check.sh gates the counter-based equivalent at >= 3x).
+void BM_ProfileVsScalar(benchmark::State& state) {
+  const bool warm_profile = state.range(0) != 0;
+  e2e::Scenario sc;
+  sc.hops = 5;
+  sc.n_through = 100;
+  sc.n_cross = 236;
+  sc.scheduler = sched::SchedulerKind::kFifo;
+  // 16 levels, log-spaced over [1e-9, 1e-3] -- the --ccdf default shape.
+  std::vector<double> epsilons;
+  for (int i = 0; i < 16; ++i) {
+    epsilons.push_back(
+        std::exp(std::log(1e-3) + (std::log(1e-9) - std::log(1e-3)) *
+                                      static_cast<double>(i) / 15.0));
+  }
+  SolveOptions options;
+  options.warm_start =
+      warm_profile ? e2e::WarmStart::kWarm : e2e::WarmStart::kCold;
+  const deltanc::Solver solver(options);
+  e2e::SolveStats last_stats{};
+  for (auto _ : state) {
+    if (warm_profile) {
+      e2e::DelayProfile profile = solver.solve_profile(sc, epsilons);
+      last_stats = profile.stats;
+      benchmark::DoNotOptimize(profile);
+    } else {
+      // The cold baseline solved the honest way: K independent scalar
+      // solves (bit-identical to a kCold solve_profile by contract).
+      last_stats = e2e::SolveStats{};
+      for (double eps : epsilons) {
+        e2e::Scenario level = sc;
+        level.epsilon = eps;
+        e2e::BoundResult r = solver.solve(level);
+        last_stats += r.stats;
+        benchmark::DoNotOptimize(r);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.counters["optimize_evals"] =
+      static_cast<double>(last_stats.optimize_evals);
+  state.counters["chain_hits"] =
+      static_cast<double>(last_stats.profile_chain_hits);
+}
+BENCHMARK(BM_ProfileVsScalar)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -10,6 +10,7 @@
 #include "core/scenario.h"
 #include "core/table.h"
 #include "e2e/solver.h"
+#include "sim/stats.h"
 
 int main() {
   using namespace deltanc;
@@ -40,12 +41,17 @@ int main() {
         e2e::Scenario at_eps = analyzer.scenario();
         at_eps.epsilon = r.epsilon_sim;
         const double bound = deltanc::Solver().solve(at_eps).delay_ms;
-        all_hold = all_hold && r.bound_holds;
+        // Same resolvability rule as validate() picks its epsilon by
+        // (sim/stats.h): a cell whose tail would hold fewer than 100
+        // samples shows "-" instead of an untrustworthy quantile.
+        const bool resolvable = sim::quantile_resolvable(
+            r.epsilon_sim, static_cast<std::size_t>(r.samples), 100.0);
+        all_hold = all_hold && (!resolvable || r.bound_holds);
         table.add_row({std::to_string(hops), Table::format(100.0 * u, 0),
                        c.name, Table::format(bound),
-                       Table::format(r.empirical_quantile),
+                       resolvable ? Table::format(r.empirical_quantile) : "-",
                        Table::format(r.empirical_max),
-                       r.bound_holds ? "yes" : "NO"});
+                       !resolvable ? "-" : (r.bound_holds ? "yes" : "NO")});
       }
     }
   }

@@ -278,4 +278,142 @@ echo "$stats_line" | awk '{
           v["batched_evals"] ")"; exit 1
   }
 }'
+# --- Delay-profile gates --------------------------------------------------
+# The d(eps) profile refactor retired the one-off delay_ccdf_bound
+# series helper: Solver::solve_profile is the only spelling of the CCDF
+# artifact.  No code directory may reintroduce the old name (docs/ is
+# exempt -- the API migration notes mention it on purpose).
+ccdf_hits=$(grep -rn --include='*.cpp' --include='*.h' 'delay_ccdf_bound' \
+  src tools include tests bench examples || true)
+if [ -n "$ccdf_hits" ]; then
+  echo "FAIL: retired delay_ccdf_bound referenced in code:"
+  echo "$ccdf_hits"; exit 1
+fi
+echo "delay_ccdf_bound retirement gate: OK"
+
+# Profile CSV is machine output: two identical runs (default warm
+# chaining included) must be byte-identical.
+prof_a=$(mktemp); prof_b=$(mktemp)
+./build/tools/deltanc_cli --sweep hops=2,5 --sweep scheduler=fifo,edf \
+  --ccdf 1e-6:1e-3:3 --csv > "$prof_a" 2>/dev/null
+./build/tools/deltanc_cli --sweep hops=2,5 --sweep scheduler=fifo,edf \
+  --ccdf 1e-6:1e-3:3 --csv > "$prof_b" 2>/dev/null
+if ! cmp -s "$prof_a" "$prof_b"; then
+  echo "FAIL: --ccdf profile CSV is not deterministic:"
+  diff "$prof_a" "$prof_b" | head -5; exit 1
+fi
+if [ "$(wc -l < "$prof_a")" -ne 13 ]; then
+  echo "FAIL: profile CSV row count (want 1 header + 4 points x 3 levels):"
+  cat "$prof_a"; exit 1
+fi
+rm -f "$prof_a" "$prof_b"
+echo "profile CSV determinism gate: OK"
+
+# The pinning contract, end to end through the CLI: every level of a
+# cold profile must be byte-identical to an independent scalar solve at
+# that level's epsilon.  Epsilons ride the %.17g CSV round trip, so
+# feeding the printed field back through --epsilon reconstructs the
+# exact double; the scalar --csv row shares the profile-CSV shape, so
+# the gate is a literal string compare per level.
+ccdf_rows=$(mktemp)
+./build/tools/deltanc_cli --hops 5 --uc 0.7 --warm-start cold \
+  --ccdf 1e-9:1e-3:4 2>/dev/null | tail -n +2 > "$ccdf_rows"
+while IFS= read -r row; do
+  eps=$(echo "$row" | awk -F, '{ print $7 }')
+  scalar_row=$(./build/tools/deltanc_cli --hops 5 --uc 0.7 \
+    --epsilon "$eps" --csv 2>/dev/null | tail -n +2)
+  if [ "$row" != "$scalar_row" ]; then
+    echo "FAIL: cold profile level not pinned to the scalar solve at eps=$eps:"
+    echo "  profile: $row"
+    echo "  scalar:  $scalar_row"; exit 1
+  fi
+done < "$ccdf_rows"
+rm -f "$ccdf_rows"
+echo "profile pinning gate: OK (4 levels byte-identical to scalar solves)"
+
+# Profile requests ride the batch protocol and the persistent cache:
+# --emit-batch --ccdf emits profile requests (strict-lint clean), a
+# second run answers every one from cache bit-identically (modulo the
+# cache-outcome tag), and doctoring every stored entry to wire schema 4
+# classifies ALL of them stale -- zero hits, zero wrong answers, full
+# re-solve.  (The key-level v4 migration -- kind-less keys probed as
+# legacy, never matched as current -- is pinned by the result_cache
+# ctest; this smoke covers the payload-schema path end to end.)
+prof_dir=$(mktemp -d)
+./build/tools/deltanc_cli --hops 3 --sweep uc=0.2:0.6:3 \
+  --ccdf 1e-6:1e-3:3 --emit-batch > "$prof_dir/req.jsonl" 2>/dev/null
+./build/tools/deltanc_cli --lint-jsonl "$prof_dir/req.jsonl" 2>/dev/null
+grep -q '"epsilons":\[' "$prof_dir/req.jsonl" || {
+  echo "FAIL: --emit-batch --ccdf did not emit profile requests"; exit 1
+}
+./build/tools/deltanc_cli --batch "$prof_dir/req.jsonl" \
+  --cache-dir "$prof_dir/cache" > "$prof_dir/cold.jsonl" 2>/dev/null
+./build/tools/deltanc_cli --lint-jsonl "$prof_dir/cold.jsonl" 2>/dev/null
+./build/tools/deltanc_cli --batch "$prof_dir/req.jsonl" \
+  --cache-dir "$prof_dir/cache" > "$prof_dir/warm.jsonl" 2> "$prof_dir/warm.err"
+grep -q 'hits=3 misses=0 stale=0' "$prof_dir/warm.err" || {
+  echo "FAIL: warm profile batch missed the cache:"
+  cat "$prof_dir/warm.err"; exit 1
+}
+strip_cache_tag() {
+  sed -e 's/"cache":"[a-z]*",//g' \
+      -e 's/"scan_ms":[0-9.eE+-]*,"refine_ms":[0-9.eE+-]*/"t":0/g' \
+      -e 's/"cache_hits":[0-9]*,"cache_misses":[0-9]*,"cache_stale":[0-9]*/"c":0/g' \
+      "$1"
+}
+if ! cmp -s <(strip_cache_tag "$prof_dir/cold.jsonl") \
+            <(strip_cache_tag "$prof_dir/warm.jsonl"); then
+  echo "FAIL: cached profile responses differ from solved ones"; exit 1
+fi
+find "$prof_dir/cache" -type f -name '*.json' \
+  -exec sed -i 's/"schema":5/"schema":4/' {} +
+./build/tools/deltanc_cli --batch "$prof_dir/req.jsonl" \
+  --cache-dir "$prof_dir/cache" > "$prof_dir/stale.jsonl" 2> "$prof_dir/stale.err"
+grep -q 'hits=0 misses=0 stale=3' "$prof_dir/stale.err" || {
+  echo "FAIL: schema-4 entries were not all classified stale:"
+  cat "$prof_dir/stale.err"; exit 1
+}
+if ! cmp -s <(strip_cache_tag "$prof_dir/cold.jsonl") \
+            <(strip_cache_tag "$prof_dir/stale.jsonl"); then
+  echo "FAIL: stale-migration re-solve changed the answers"; exit 1
+fi
+rm -rf "$prof_dir"
+echo "profile batch + schema-migration gate: OK"
+
+# The warm descending-eps chain must actually pay for itself: on a
+# 16-level profile it measured 3.8x fewer optimizer evaluations than 16
+# cold solves (EXPERIMENTS.md "Profile engine cost"); gate at 3x.  The
+# same stderr line must carry live profile counters -- every level
+# counted, every post-seed level a chain hit.
+cold_stats=$(./build/tools/deltanc_cli --hops 5 --n0 100 --nc 236 \
+  --ccdf 1e-9:1e-3:16 --warm-start cold --stats 2>&1 >/dev/null \
+  | grep '^stats:')
+warm_stats=$(./build/tools/deltanc_cli --hops 5 --n0 100 --nc 236 \
+  --ccdf 1e-9:1e-3:16 --warm-start warm --stats 2>&1 >/dev/null \
+  | grep '^stats:')
+echo "profile cold: $cold_stats"
+echo "profile warm: $warm_stats"
+awk -v cold="$cold_stats" -v warm="$warm_stats" 'BEGIN {
+  split(cold, cf, " "); for (i in cf) { split(cf[i], kv, "="); c[kv[1]] = kv[2] }
+  split(warm, wf, " "); for (i in wf) { split(wf[i], kv, "="); w[kv[1]] = kv[2] }
+  if (c["profile_levels"] + 0 != 16 || w["profile_levels"] + 0 != 16) {
+    print "FAIL: profile_levels counter not live (cold=" c["profile_levels"] \
+          ", warm=" w["profile_levels"] ")"; exit 1
+  }
+  if (c["profile_chain_hits"] + 0 != 0) {
+    print "FAIL: cold profile reported chain hits (" c["profile_chain_hits"] ")"
+    exit 1
+  }
+  if (w["profile_chain_hits"] + 0 != 15) {
+    print "FAIL: warm chain hits " w["profile_chain_hits"] " (want 15/15)"
+    exit 1
+  }
+  ratio = (c["optimize_evals"] + 0) / (w["optimize_evals"] + 1e-9)
+  if (ratio < 3) {
+    printf "FAIL: warm profile only %.2fx cheaper than cold (want >= 3x)\n", ratio
+    exit 1
+  }
+  printf "profile warm-chain gate: OK (%.2fx fewer optimizer evals, 15/15 chain hits)\n", ratio
+}'
+
 echo "ALL CHECKS PASSED"

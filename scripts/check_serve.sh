@@ -55,11 +55,13 @@ sort_by_id() {  # sort_by_id <file> -- stable numeric sort on the id field
 
 # Strip everything that describes how an answer was obtained rather
 # than the answer itself: the cache outcome tag, the cache counters,
-# and the (nondeterministic) solve timings.
+# and the (nondeterministic) solve timings.  /g: a profile response
+# carries one stats block per level plus the aggregate, so every
+# occurrence on the line must be normalized, not just the first.
 strip_outcome() {
-  sed -e 's/"cache":"[a-z]*",//' \
-      -e 's/"scan_ms":[0-9.eE+-]*,"refine_ms":[0-9.eE+-]*/"timings":"x"/' \
-      -e 's/"cache_hits":[0-9]*,"cache_misses":[0-9]*,"cache_stale":[0-9]*/"cache_outcome":"x"/' \
+  sed -e 's/"cache":"[a-z]*",//g' \
+      -e 's/"scan_ms":[0-9.eE+-]*,"refine_ms":[0-9.eE+-]*/"timings":"x"/g' \
+      -e 's/"cache_hits":[0-9]*,"cache_misses":[0-9]*,"cache_stale":[0-9]*/"cache_outcome":"x"/g' \
       "$1"
 }
 

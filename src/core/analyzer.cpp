@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "e2e/solver.h"
+#include "sim/stats.h"
 
 namespace deltanc {
 
@@ -69,10 +70,9 @@ ValidationReport PathAnalyzer::validate(std::int64_t slots,
     throw std::logic_error("PathAnalyzer::validate: no through samples");
   }
   // Pick the deepest quantile still resolvable with >= 100 tail samples,
-  // no deeper than the scenario's epsilon.
-  double eps_sim = 100.0 / static_cast<double>(report.samples);
-  eps_sim = std::max(eps_sim, scenario_.epsilon);
-  eps_sim = std::min(eps_sim, 0.5);
+  // no deeper than the scenario's epsilon (shared rule in sim/stats.h).
+  const double eps_sim = sim::deepest_resolvable_epsilon(
+      static_cast<std::size_t>(report.samples), 100.0, scenario_.epsilon);
   report.epsilon_sim = eps_sim;
   report.empirical_quantile = sim_result.through_delay.quantile(1.0 - eps_sim);
   report.empirical_max = sim_result.through_delay.max();

@@ -9,23 +9,6 @@
 
 namespace deltanc {
 
-
-std::vector<double> delay_ccdf_bound(const e2e::Scenario& scenario,
-                                     std::span<const double> epsilons,
-                                     e2e::Method method) {
-  std::vector<double> bounds;
-  bounds.reserve(epsilons.size());
-  SolveOptions options;
-  options.method = method;
-  const Solver solver(options);
-  for (double eps : epsilons) {
-    e2e::Scenario at_eps = scenario;
-    at_eps.epsilon = eps;
-    bounds.push_back(solver.solve(at_eps).delay_ms);
-  }
-  return bounds;
-}
-
 std::string render_report(const e2e::Scenario& scenario,
                           const ReportOptions& options) {
   std::ostringstream os;
@@ -68,11 +51,15 @@ std::string render_report(const e2e::Scenario& scenario,
        << Table::format(Solver().solve(alt).delay_ms) << " |\n";
   }
   os << "\n## Delay CCDF bound\n\n| epsilon | d(epsilon) [ms] |\n|---|---|\n";
-  const std::vector<double> ccdf =
-      delay_ccdf_bound(scenario, options.ccdf_epsilons);
-  for (std::size_t i = 0; i < ccdf.size(); ++i) {
-    os << "| " << options.ccdf_epsilons[i] << " | "
-       << Table::format(ccdf[i]) << " |\n";
+  // One chained profile solve instead of the historical per-epsilon
+  // re-solve loop: the levels share the eb memo / bracket / optimum probe.
+  SolveOptions profile_options;
+  profile_options.warm_start = e2e::WarmStart::kWarm;
+  const e2e::DelayProfile ccdf =
+      Solver(profile_options).solve_profile(scenario, options.ccdf_epsilons);
+  for (std::size_t i = 0; i < ccdf.levels.size(); ++i) {
+    os << "| " << ccdf.epsilons[i] << " | "
+       << Table::format(ccdf.levels[i].delay_ms) << " |\n";
   }
 
   if (options.simulate_slots > 0) {

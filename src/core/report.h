@@ -20,13 +20,9 @@ struct ReportOptions {
   std::uint64_t seed = 1;
 };
 
-/// The analytic delay-CCDF bound: d(eps) for each requested epsilon,
-/// using the scenario's scheduler.  Entries are +infinity when unstable.
-[[nodiscard]] std::vector<double> delay_ccdf_bound(
-    const e2e::Scenario& scenario, std::span<const double> epsilons,
-    e2e::Method method = e2e::Method::kExactOpt);
-
-/// Renders the full markdown report.
+/// Renders the full markdown report.  The delay-CCDF table is produced
+/// by Solver::solve_profile over `ccdf_epsilons` (the profile API
+/// replaced the historical per-epsilon re-solve free function).
 [[nodiscard]] std::string render_report(const e2e::Scenario& scenario,
                                         const ReportOptions& options = {});
 

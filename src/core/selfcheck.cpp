@@ -9,6 +9,7 @@
 
 #include "core/analyzer.h"
 #include "core/scenario.h"
+#include "e2e/solver.h"
 
 namespace deltanc {
 
@@ -404,6 +405,107 @@ SelfCheckReport self_check_warm_start(const SweepGrid& grid,
   return std::move(checker.report);
 }
 
+SelfCheckReport self_check_profile(std::span<const e2e::Scenario> scenarios,
+                                   std::span<const double> epsilons,
+                                   const SelfCheckOptions& options) {
+  Checker checker{options, {}};
+  // Bitwise-identical up to NaN (curve-backed results carry a NaN delta
+  // by contract, and NaN != NaN would flag a correct pin).
+  const auto identical = [](double a, double b) {
+    return a == b || (std::isnan(a) && std::isnan(b));
+  };
+  SolveOptions cold_options;
+  cold_options.method = options.method;
+  const Solver cold_solver(cold_options);
+  SolveOptions warm_options = cold_options;
+  warm_options.warm_start = e2e::WarmStart::kWarm;
+  const Solver warm_solver(warm_options);
+
+  for (const e2e::Scenario& sc : scenarios) {
+    const e2e::DelayProfile cold = cold_solver.solve_profile(sc, epsilons);
+    const e2e::DelayProfile warm = warm_solver.solve_profile(sc, epsilons);
+    checker.report.points += cold.levels.size() + warm.levels.size();
+    for (std::size_t i = 0; i < cold.levels.size(); ++i) {
+      const e2e::BoundResult& c = cold.levels[i];
+      const e2e::BoundResult& w = warm.levels[i];
+      // Pinning: the cold profile level must be bit-identical to an
+      // independent scalar solve of the same scenario at this epsilon.
+      e2e::Scenario at_eps = sc;
+      at_eps.epsilon = cold.epsilons[i];
+      const e2e::BoundResult scalar = cold_solver.solve(at_eps);
+      ++checker.report.points;
+      ++checker.report.checks;
+      if (!identical(c.delay_ms, scalar.delay_ms) ||
+          !identical(c.gamma, scalar.gamma) || !identical(c.s, scalar.s) ||
+          !identical(c.sigma, scalar.sigma) ||
+          !identical(c.delta, scalar.delta)) {
+        checker.issue("profile-pinning",
+                      "cold profile level at eps=" + fmt(cold.epsilons[i]) +
+                          " (" + fmt(c.delay_ms) +
+                          " ms) differs from the scalar solve (" +
+                          fmt(scalar.delay_ms) + " ms) for " + describe(sc));
+      }
+      // Classification: a non-finite level must say why.
+      ++checker.report.checks;
+      if (!std::isfinite(c.delay_ms) && c.diagnostics.ok()) {
+        checker.issue("profile-classification",
+                      "unclassified non-finite profile level at eps=" +
+                          fmt(cold.epsilons[i]) + " for " + describe(sc));
+      }
+      // Warm tolerance: finiteness must agree; finite levels within
+      // kWarmStartRelTol.
+      ++checker.report.checks;
+      if (std::isfinite(c.delay_ms) != std::isfinite(w.delay_ms)) {
+        checker.issue("profile-warm",
+                      "finiteness mismatch (cold=" + fmt(c.delay_ms) +
+                          " ms, warm=" + fmt(w.delay_ms) + " ms) at eps=" +
+                          fmt(cold.epsilons[i]) + " for " + describe(sc));
+      } else if (std::isfinite(c.delay_ms)) {
+        const double dev =
+            std::abs(w.delay_ms - c.delay_ms) / std::max(c.delay_ms, 1.0);
+        if (!(dev <= kWarmStartRelTol)) {
+          checker.issue("profile-warm",
+                        "warm profile level " + fmt(w.delay_ms) +
+                            " ms deviates from cold " + fmt(c.delay_ms) +
+                            " ms by " + fmt(dev) + " relative (tolerance " +
+                            fmt(kWarmStartRelTol) + ") at eps=" +
+                            fmt(cold.epsilons[i]) + " for " + describe(sc));
+        }
+      }
+    }
+    // Monotonicity: d(epsilon) non-increasing in epsilon, for both the
+    // cold and the warm profile, walking the levels in ascending-epsilon
+    // order whatever order the caller's grid uses.
+    std::vector<std::size_t> order(cold.epsilons.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return cold.epsilons[a] < cold.epsilons[b];
+    });
+    const auto check_monotone = [&](const e2e::DelayProfile& profile,
+                                    const char* label) {
+      for (std::size_t k = 1; k < order.size(); ++k) {
+        const double tighter = profile.levels[order[k - 1]].delay_ms;
+        const double looser = profile.levels[order[k]].delay_ms;
+        if (std::isnan(tighter) || std::isnan(looser)) continue;  // flagged
+        ++checker.report.checks;
+        // Larger epsilon must not yield the larger bound.
+        if (!Checker::ordered(looser, tighter, options.monotonicity_tol)) {
+          checker.issue("profile-monotonicity",
+                        std::string(label) + " profile not non-increasing "
+                            "in epsilon: d(" +
+                            fmt(profile.epsilons[order[k]]) + ") = " +
+                            fmt(looser) + " ms exceeds d(" +
+                            fmt(profile.epsilons[order[k - 1]]) + ") = " +
+                            fmt(tighter) + " ms for " + describe(sc));
+        }
+      }
+    };
+    check_monotone(cold, "cold");
+    check_monotone(warm, "warm");
+  }
+  return std::move(checker.report);
+}
+
 SelfCheckReport self_check(const SweepGrid& grid,
                            const SelfCheckOptions& options) {
   const std::vector<e2e::Scenario> scenarios = grid.scenarios();
@@ -448,6 +550,37 @@ SelfCheckReport self_check_figures(const SelfCheckOptions& options) {
     // Warm-start tolerance contract on the same grid: cold vs. chained
     // warm bounds must agree within kWarmStartRelTol (see selfcheck.h).
     report += self_check_warm_start(grid, options);
+  }
+
+  // Delay-profile battery on representative Fig. 2 operating points:
+  // pinning (cold profile == scalar solves, bit-identical), warm
+  // tolerance, d(epsilon) monotonicity, classification -- across the
+  // Delta-backed schedulers and one curve-backed kind.
+  {
+    const std::vector<double> profile_eps = {1e-3, 1e-6, 1e-9, 1e-12};
+    std::vector<e2e::Scenario> profile_bases;
+    for (int hops : {2, 5, 10}) {
+      const e2e::Scenario base = ScenarioBuilder()
+                                     .hops(hops)
+                                     .through_flows(100)
+                                     .cross_utilization(0.50)
+                                     .violation_probability(1e-9)
+                                     .edf_deadlines(1.0, 10.0)
+                                     .build();
+      for (sched::SchedulerKind kind :
+           {sched::SchedulerKind::kFifo, sched::SchedulerKind::kEdf,
+            sched::SchedulerKind::kBmux}) {
+        e2e::Scenario sc = base;
+        sc.scheduler = kind;  // kind re-assignment keeps the EDF factors
+        profile_bases.push_back(sc);
+      }
+      e2e::Scenario gps = base;
+      gps.scheduler = sched::SchedulerSpec::gps(1.0, 1.0);
+      profile_bases.push_back(gps);
+    }
+    report += self_check_profile(
+        std::span<const e2e::Scenario>(profile_bases),
+        std::span<const double>(profile_eps), options);
   }
 
   // Delta interpolation (the journal version's continuous sweep between

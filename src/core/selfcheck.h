@@ -136,6 +136,23 @@ struct SelfCheckReport {
 [[nodiscard]] SelfCheckReport self_check_warm_start(
     const SweepGrid& grid, const SelfCheckOptions& options = {});
 
+/// Delay-profile battery (part of self_check_figures, i.e. of
+/// `deltanc_cli --selfcheck`): for every scenario the epsilon grid is
+/// solved three ways -- independent cold scalar solves, a cold profile
+/// (Solver::solve_profile at warm_start = kCold), and a warm chained
+/// profile -- and four invariants are enforced:
+///   - pinning: every cold-profile level is *bit-identical* to the
+///     scalar solve of the same scenario at that epsilon (the profile
+///     engine must not perturb the cold path);
+///   - warm tolerance: every warm level agrees with its cold value on
+///     finiteness and deviates by at most kWarmStartRelTol relative;
+///   - monotonicity: d(epsilon) is non-increasing in epsilon for both
+///     profiles (a looser violation probability cannot raise the bound);
+///   - classification: every non-finite level carries a diagnostic.
+[[nodiscard]] SelfCheckReport self_check_profile(
+    std::span<const e2e::Scenario> scenarios,
+    std::span<const double> epsilons, const SelfCheckOptions& options = {});
+
 /// The curve-backed scheduler battery (what `deltanc_cli --selfcheck`
 /// runs when --scheduler names a gps/drr/sced spec), over H = 2, 5, 10
 /// and symmetric loads U = 30, 50, 90%:

@@ -56,6 +56,24 @@ void solve_point(SweepPoint& p, const e2e::Scenario& sc, SolveFn&& solve) {
   p.solve_ms = ms_since(task_t0);
 }
 
+/// Profile companion of solve_point: attaches the d(epsilon) artifact to
+/// an already-solved point.  Runs only for points whose scenario
+/// validated (an unstable-but-well-formed point still profiles: every
+/// level classifies its +inf); a profile solve that throws fails the
+/// point like a scalar throw would.
+template <typename ProfileFn>
+void attach_profile(SweepPoint& p, ProfileFn&& solve_profile) {
+  if (!p.ok) return;
+  const auto task_t0 = Clock::now();
+  try {
+    p.profile = solve_profile(p.scenario);
+  } catch (const std::exception& e) {
+    p.ok = false;
+    p.error = e.what();
+  }
+  p.solve_ms += ms_since(task_t0);
+}
+
 }  // namespace
 
 std::string scheduler_name(const sched::SchedulerSpec& s) {
@@ -360,6 +378,40 @@ void SweepReport::write_csv(std::ostream& os, int precision) const {
   to_table(precision).print_csv(os);
 }
 
+void SweepReport::write_profile_csv(std::ostream& os) const {
+  os << "point,hops,scheduler,n0,nc,u_pct,epsilon,delay_ms,gamma,s,sigma,"
+        "delta\n";
+  // Scheduler names can carry commas ("gps:1,2"); everything else in a
+  // row is numeric, so only that cell needs RFC-4180 quoting.
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted.push_back('"');
+      quoted.push_back(ch);
+    }
+    quoted.push_back('"');
+    return quoted;
+  };
+  char buf[320];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    if (!p.profile.has_value()) continue;
+    const e2e::Scenario& sc = p.scenario;
+    const std::string sched = escape(scheduler_name(sc.scheduler));
+    for (std::size_t k = 0; k < p.profile->levels.size(); ++k) {
+      const e2e::BoundResult& b = p.profile->levels[k];
+      std::snprintf(buf, sizeof buf,
+                    "%zu,%d,%s,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                    "%.17g\n",
+                    i, sc.hops, sched.c_str(), sc.n_through, sc.n_cross,
+                    100.0 * sc.utilization(), p.profile->epsilons[k],
+                    b.delay_ms, b.gamma, b.s, b.sigma, b.delta);
+      os << buf;
+    }
+  }
+}
+
 // -------------------------------------------------------------- SweepRunner
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
@@ -434,6 +486,16 @@ SweepReport SweepRunner::run_chained(std::span<const e2e::Scenario> scenarios,
                     [&](const e2e::Scenario& sc) {
                       return solver.solve(sc, state);
                     });
+        if (!options_.profile_epsilons.empty()) {
+          // The profile shares the chain state: its first level warms
+          // from the scalar solve above, and the state then carries the
+          // last level's context to the next chain point (legal hints --
+          // the warm fingerprints exclude epsilon).
+          attach_profile(report.points[i], [&](const e2e::Scenario& sc) {
+            return solver.solve_profile(sc, options_.profile_epsilons,
+                                        state);
+          });
+        }
         if (options_.progress) {
           std::lock_guard<std::mutex> lock(progress_mu);
           options_.progress(++done, n);
@@ -452,6 +514,7 @@ SweepReport SweepRunner::run_chained(std::span<const e2e::Scenario> scenarios,
   for (const SweepPoint& p : report.points) {
     report.solve_ms += p.solve_ms;
     report.stats += p.bound.stats;
+    if (p.profile.has_value()) report.stats += p.profile->stats;
   }
   return report;
 }
@@ -483,6 +546,13 @@ SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       solve_point(report.points[i], scenarios[i], solve);
+      if (!options_.profile_epsilons.empty() && !options_.solver) {
+        // Cold path: each profile is pinned -- bit-identical to the K
+        // scalar solves of the same scenario at each level's epsilon.
+        attach_profile(report.points[i], [&](const e2e::Scenario& sc) {
+          return default_solver.solve_profile(sc, options_.profile_epsilons);
+        });
+      }
       if (options_.progress) {
         // Increment under the same lock as the callback so `done` values
         // arrive strictly increasing 1..n.
@@ -502,6 +572,7 @@ SweepReport SweepRunner::run(std::span<const e2e::Scenario> scenarios) const {
   for (const SweepPoint& p : report.points) {
     report.solve_ms += p.solve_ms;
     report.stats += p.bound.stats;
+    if (p.profile.has_value()) report.stats += p.profile->stats;
   }
   return report;
 }

@@ -38,6 +38,7 @@
 #include <functional>
 #include <initializer_list>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -158,6 +159,12 @@ class SweepGrid {
 struct SweepPoint {
   e2e::Scenario scenario;   ///< the fully resolved input scenario
   e2e::BoundResult bound;   ///< delay_ms = +inf when unstable or failed
+  /// Full d(epsilon) artifact of this point, filled only when
+  /// SweepOptions::profile_epsilons is non-empty (and distinct from the
+  /// grid's `epsilon` *axis*, which still varies the scenario's own
+  /// target level).  `bound` stays the scalar solve at the scenario's
+  /// epsilon either way.
+  std::optional<e2e::DelayProfile> profile;
   double solve_ms = 0.0;    ///< wall-clock of this solve (informational)
   bool ok = true;           ///< false when the solve threw
   std::string error;        ///< exception message when !ok
@@ -189,6 +196,12 @@ struct SweepReport {
   [[nodiscard]] Table to_table(int precision = 3) const;
   /// to_table() rendered as CSV.
   void write_csv(std::ostream& os, int precision = 6) const;
+  /// Long-format CSV of the per-point delay profiles: header
+  /// `point,hops,scheduler,n0,nc,u_pct,epsilon,delay_ms,gamma,s,sigma,delta`
+  /// then one row per (point, epsilon level), full `%.17g` precision so
+  /// the emission is byte-deterministic and round-trips exactly.  Points
+  /// without a profile are skipped.
+  void write_profile_csv(std::ostream& os) const;
 };
 
 /// Options for SweepRunner.
@@ -204,8 +217,15 @@ struct SweepOptions {
   e2e::WarmStart warm_start = e2e::WarmStart::kWarm;
   /// Per-point solver override (default: deltanc::Solver::solve).  Used
   /// e.g. for the additive baseline (e2e::best_additive_bmux_bound).
-  /// A custom solver disables warm-start chaining.
+  /// A custom solver disables warm-start chaining (and profiles: a
+  /// scalar override cannot produce d(epsilon) artifacts).
   std::function<e2e::BoundResult(const e2e::Scenario&, e2e::Method)> solver;
+  /// When non-empty, every point additionally solves this d(epsilon)
+  /// grid via Solver::solve_profile into SweepPoint::profile (each level
+  /// in (0, 1)).  Under kWarm the profile shares the chain state with
+  /// the scalar solve; under kCold the levels are independent cold
+  /// solves (the pinning contract).  Ignored when `solver` is set.
+  std::vector<double> profile_epsilons;
   /// Called after each point completes with (done, total).  Invocations
   /// are serialized under a mutex, so the callback need not be
   /// thread-safe; `done` is strictly increasing from 1 to total.

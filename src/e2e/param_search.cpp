@@ -36,6 +36,8 @@ SolveStats& SolveStats::operator+=(const SolveStats& other) {
   batched_evals += other.batched_evals;
   warm_start_hits += other.warm_start_hits;
   brackets_reused += other.brackets_reused;
+  profile_levels += other.profile_levels;
+  profile_chain_hits += other.profile_chain_hits;
   return *this;
 }
 
@@ -130,6 +132,13 @@ struct SearchContext {
   bool unstable = false;
   bool degenerate_bracket = false;
   bool use_simd = true;
+  // Search budget policy (detail::SearchEffort) plus the per-solve latch:
+  // solve_for_delta arms `local_now` only after a kLocal warm probe lands,
+  // and best_over_gamma reads it to pick its scan/golden budgets.  With
+  // kFull (every non-profile solve) the budgets are the historical
+  // constants, evaluation for evaluation.
+  detail::SearchEffort effort = detail::SearchEffort::kFull;
+  bool local_now = false;
   // SoA scratch of the batched scans (reused across evaluations).
   std::vector<double> scan_s;
   std::vector<double> scan_eb;
@@ -233,8 +242,10 @@ double best_over_gamma(SearchContext& ctx, double delta, double s,
   const SigmaForEpsilon sigma_of(p, ctx.sc.epsilon);
   const double lo = 1e-4 * glim;
   const double hi = 0.9999 * glim;
-  constexpr int kScanPoints = 24;
-  constexpr int kGoldenIters = 48;
+  // Reduced budget only while a kLocal warm probe has landed (profile
+  // descent); otherwise the historical 24/48 schedule, bit-identical.
+  const int kScanPoints = ctx.local_now ? 12 : 24;
+  const int kGoldenIters = ctx.local_now ? 24 : 48;
   double best_x = lo;
   double best_v = kInf;
   if (ctx.method == Method::kExactOpt && ctx.use_simd) {
@@ -326,11 +337,17 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
   double best_s = s_lo;
   double best_v = kInf;
   const auto scan_t0 = Clock::now();
+  ctx.local_now = false;
   if (warm != nullptr && std::isfinite(warm->delay_ms) && warm->s > 0.0) {
+    // A kLocal solve runs even the probe at the reduced budget; if the
+    // probe misses, local_now drops and everything below (coarse scan,
+    // dense fallback, refinement) runs at the full budget.
+    ctx.local_now = ctx.effort == detail::SearchEffort::kLocal;
     const double s = std::clamp(warm->s, s_lo, s_hi);
     best_v = best_over_gamma(ctx, delta, s, ctx.eb(s), nullptr);
     best_s = s;
     if (external_warm && best_v != kInf) ++ctx.stats.warm_start_hits;
+    if (best_v == kInf) ctx.local_now = false;
   }
   if (best_v == kInf) {
     // Coarse logarithmic scan over s (cold start, or warm probe missed):
@@ -390,8 +407,8 @@ BoundResult solve_for_delta(SearchContext& ctx, double delta,
   double refined_s = best_s;
   const double refined_v = minimize_scalar(
       [&](double s) { return best_over_gamma(ctx, delta, s, ctx.eb(s), nullptr); },
-      std::max(s_lo, best_s / ratio), std::min(s_hi, best_s * ratio), 8, 32,
-      &refined_s);
+      std::max(s_lo, best_s / ratio), std::min(s_hi, best_s * ratio),
+      ctx.local_now ? 4 : 8, ctx.local_now ? 20 : 32, &refined_s);
   // Keep the argmin over everything seen: the refinement's arithmetic
   // grid need not revisit best_s exactly, so its optimum can come out
   // worse than the scan's already-found value.
@@ -780,6 +797,7 @@ BoundResult solve_scenario(const Scenario& sc, const EngineRequest& req,
   validate_scenario(sc);
   const bool use_warm = req.use_warm && st != nullptr && st->valid;
   SearchContext ctx(sc, req.method, use_warm ? st : nullptr);
+  ctx.effort = req.effort;
 
   BoundResult result;
   bool have_edf_d = false;
@@ -797,6 +815,79 @@ BoundResult solve_scenario(const Scenario& sc, const EngineRequest& req,
     export_state(*st, ctx, result, have_edf_d, resolved_d);
   }
   return result;
+}
+
+DelayProfile solve_profile_scenario(const Scenario& sc,
+                                    std::span<const double> epsilons,
+                                    const EngineRequest& req,
+                                    SolveState* state) {
+  if (epsilons.empty()) {
+    throw std::invalid_argument(
+        "Solver::solve_profile: need at least one epsilon level");
+  }
+  for (double eps : epsilons) {
+    if (!(eps > 0.0 && eps < 1.0)) {
+      throw std::invalid_argument(
+          "Solver::solve_profile: every epsilon level must lie in (0, 1) "
+          "(got " + fmt(eps) + ")");
+    }
+  }
+  DelayProfile profile;
+  profile.epsilons.assign(epsilons.begin(), epsilons.end());
+  profile.levels.resize(profile.epsilons.size());
+
+  const auto level_scenario = [&sc](double eps) {
+    Scenario level_sc = sc;
+    level_sc.epsilon = eps;
+    return level_sc;
+  };
+
+  if (!req.use_warm) {
+    // Pinning contract: every level is an independent full-budget solve,
+    // bit-identical to Solver::solve of the same scenario.  The state
+    // (when given) is still refreshed level by level -- a cold solve
+    // never *consumes* hints, so threading it cannot change the result.
+    for (std::size_t i = 0; i < profile.epsilons.size(); ++i) {
+      profile.levels[i] =
+          solve_scenario(level_scenario(profile.epsilons[i]), req, state);
+    }
+  } else {
+    // Warm descent: visit the levels from the loosest epsilon (smallest
+    // bound) to the tightest, threading one warm-start state so each
+    // level inherits the previous level's eb memo, stable-s bracket
+    // (both epsilon-independent, hence bit-exact), optimum probe, and
+    // EDF fixed point.  Post-probe levels run at the reduced kLocal
+    // budget; a level whose probe misses transparently falls back to
+    // the full cold schedule.  Ties keep the caller's order.
+    std::vector<std::size_t> order(profile.epsilons.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return profile.epsilons[a] > profile.epsilons[b];
+                     });
+    SolveState local_state;
+    SolveState* chain = state != nullptr ? state : &local_state;
+    EngineRequest level_req = req;
+    level_req.effort = SearchEffort::kLocal;
+    bool first = true;
+    for (std::size_t idx : order) {
+      profile.levels[idx] =
+          solve_scenario(level_scenario(profile.epsilons[idx]), level_req,
+                         chain);
+      const SolveStats& ls = profile.levels[idx].stats;
+      if (!first && (ls.warm_start_hits > 0 || ls.brackets_reused > 0)) {
+        ++profile.stats.profile_chain_hits;
+      }
+      first = false;
+    }
+  }
+
+  for (const BoundResult& level : profile.levels) {
+    profile.stats += level.stats;
+  }
+  profile.stats.profile_levels =
+      static_cast<std::int64_t>(profile.levels.size());
+  return profile;
 }
 
 }  // namespace detail

@@ -27,6 +27,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/diagnostics.h"
 #include "e2e/path_params.h"
@@ -107,6 +109,12 @@ struct SolveStats {
   std::int64_t batched_evals = 0;   ///< evals dispatched through the SIMD kernel
   std::int64_t warm_start_hits = 0; ///< warm hints consumed (probe / EDF seed)
   std::int64_t brackets_reused = 0; ///< stable-s brackets adopted (no bisection)
+  // Delay-profile instrumentation (PR 10): set on DelayProfile::stats by
+  // the profile driver (per-level BoundResult::stats keep them zero), so
+  // a sweep/batch aggregate shows how many levels were solved and how
+  // many of them actually consumed a chained warm hint.
+  std::int64_t profile_levels = 0;     ///< epsilon levels solved in profiles
+  std::int64_t profile_chain_hits = 0; ///< post-first levels that used the chain
 
   SolveStats& operator+=(const SolveStats& other);
 };
@@ -125,12 +133,42 @@ struct BoundResult {
   diag::Diagnostics diagnostics{};  ///< error/warning classification
 };
 
+/// A full d(epsilon) CCDF artifact: the violation-probability grid plus
+/// one complete BoundResult per level (delay, Delta/sigma/theta optima,
+/// diagnostics, per-level stats).  `levels[i]` solves the scenario at
+/// `epsilons[i]`; the order is the caller's, whatever order the solver
+/// visited the levels in internally.  `stats` aggregates the per-level
+/// counters and additionally carries `profile_levels` /
+/// `profile_chain_hits` (which per-level stats keep at zero).
+///
+/// The theory guarantees d(epsilon) is non-increasing in epsilon (a
+/// looser violation probability can only shrink the bound); the
+/// self_check_profile battery enforces this within the warm-start
+/// tolerance.
+struct DelayProfile {
+  std::vector<double> epsilons;     ///< violation-probability grid
+  std::vector<BoundResult> levels;  ///< levels[i] solves epsilons[i]
+  SolveStats stats{};               ///< aggregate + profile counters
+};
+
 /// The largest Chernoff parameter keeping the per-node load below
 /// capacity ((N0+Nc) eb(s) < C); +infinity when even the peak rate fits,
 /// 0 when the mean rate already overloads the link.
 [[nodiscard]] double max_stable_s(const Scenario& sc);
 
 namespace detail {
+
+/// Search-budget policy of one engine solve.  kFull is the historical
+/// budget (every cold or scalar-warm solve).  kLocal shrinks the gamma
+/// scan/golden budgets and the s refinement *only while a warm probe has
+/// landed* -- consecutive profile levels differ in epsilon alone, so the
+/// optimum moves little and the full re-localization is wasted work; a
+/// missed probe silently reverts the solve to the full budget, so
+/// robustness (dense-scan fallback included) is unchanged.
+enum class SearchEffort {
+  kFull,   ///< historical budgets; bit-identical to pre-profile solves
+  kLocal,  ///< reduced budgets around a landed warm probe (profile descent)
+};
 
 /// What deltanc::Solver (or the sweep chain executor) asks the engine to
 /// do.  Internal: user code calls deltanc::Solver, never this.
@@ -145,6 +183,8 @@ struct EngineRequest {
   /// Consume warm hints from the state (WarmStart::kWarm semantics).
   /// With false the solve is bit-identical to a stateless one.
   bool use_warm = false;
+  /// Search budget; only the warm profile descent requests kLocal.
+  SearchEffort effort = SearchEffort::kFull;
 };
 
 /// The scenario-solve engine behind deltanc::Solver.  `state` may be
@@ -153,6 +193,20 @@ struct EngineRequest {
 [[nodiscard]] BoundResult solve_scenario(const Scenario& sc,
                                          const EngineRequest& req,
                                          SolveState* state);
+
+/// The d(epsilon) profile engine behind Solver::solve_profile.  With
+/// `req.use_warm` false every level is solved independently at the full
+/// budget -- bit-identical to K scalar solves of the same scenarios (the
+/// pinning contract).  With `req.use_warm` true the engine visits the
+/// levels in *descending* epsilon order, threading one warm-start state
+/// (the caller's, or a profile-local one when `state` is null) from each
+/// level to the next, and solves post-probe levels at SearchEffort::kLocal;
+/// results come back in the caller's epsilon order regardless.  Throws
+/// std::invalid_argument when `epsilons` is empty or any level falls
+/// outside (0, 1).
+[[nodiscard]] DelayProfile solve_profile_scenario(
+    const Scenario& sc, std::span<const double> epsilons,
+    const EngineRequest& req, SolveState* state);
 
 }  // namespace detail
 

@@ -29,6 +29,23 @@ e2e::BoundResult Solver::solve(const e2e::Scenario& sc, State& state) const {
   return e2e::detail::solve_scenario(effective_scenario(sc), req, &state);
 }
 
+e2e::DelayProfile Solver::solve_profile(
+    const e2e::Scenario& sc, std::span<const double> epsilons) const {
+  e2e::detail::EngineRequest req = engine_request();
+  req.use_warm = options_.warm_start == e2e::WarmStart::kWarm;
+  return e2e::detail::solve_profile_scenario(effective_scenario(sc), epsilons,
+                                             req, nullptr);
+}
+
+e2e::DelayProfile Solver::solve_profile(const e2e::Scenario& sc,
+                                        std::span<const double> epsilons,
+                                        State& state) const {
+  e2e::detail::EngineRequest req = engine_request();
+  req.use_warm = options_.warm_start == e2e::WarmStart::kWarm;
+  return e2e::detail::solve_profile_scenario(effective_scenario(sc), epsilons,
+                                             req, &state);
+}
+
 e2e::BoundResult Solver::solve_at(const e2e::Scenario& sc,
                                   double delta) const {
   e2e::detail::EngineRequest req = engine_request();

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "e2e/delay_bound.h"
 #include "e2e/k_procedure.h"
@@ -99,6 +100,28 @@ class Solver {
   /// solve's context on return, ready for the next nearby scenario.
   [[nodiscard]] e2e::BoundResult solve(const e2e::Scenario& sc,
                                        State& state) const;
+
+  /// Full d(epsilon) profile: one complete BoundResult per level of the
+  /// given violation-probability grid (each in (0, 1); at least one).
+  /// With options().warm_start == kCold (the default) every level is an
+  /// independent full-budget solve, bit-identical to solve() of the same
+  /// scenario at that epsilon -- the pinning contract.  With kWarm the
+  /// levels are solved in descending-epsilon order, chained through one
+  /// warm-start state at a reduced local-search budget; each level then
+  /// stays within the documented warm-start tolerance of its cold value
+  /// (docs/API.md#delay-profiles) while a multi-level profile solves
+  /// several times faster than independent cold solves.  Levels are
+  /// returned in the caller's epsilon order either way.
+  [[nodiscard]] e2e::DelayProfile solve_profile(
+      const e2e::Scenario& sc, std::span<const double> epsilons) const;
+
+  /// Stateful profile solve: like solve(sc, state) the chain state is
+  /// consumed per options().warm_start (the profile's first level can
+  /// warm-start from a neighboring point's state) and is left holding
+  /// the last-solved level's context on return.
+  [[nodiscard]] e2e::DelayProfile solve_profile(const e2e::Scenario& sc,
+                                                std::span<const double> epsilons,
+                                                State& state) const;
 
   /// Scenario solve at an explicit fixed Delta (overrides
   /// options().delta for this call).

@@ -1,13 +1,18 @@
 #include "io/batch.h"
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <istream>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "e2e/solver.h"
 
 namespace deltanc::io {
@@ -23,7 +28,8 @@ struct Request {
   std::string error;       ///< parse/decode failure when !parsed
   ParsedRequestLine line;  ///< valid when parsed
   CacheLookup outcome = CacheLookup::kMiss;
-  SweepPoint point;        ///< the answer (cache hit or solve)
+  SweepPoint point;            ///< the scalar answer (cache hit or solve)
+  e2e::DelayProfile profile;  ///< the answer when line.is_profile()
 };
 
 }  // namespace
@@ -65,9 +71,29 @@ ParsedRequestLine parse_request_line(const std::string& line,
       options.scheduler.reset();
     }
     options.reuse_workspace = true;
+    // A non-null "epsilons" array makes this a profile request.  The
+    // grid is validated here so a malformed one is a parse error (the
+    // engine would throw the same complaint mid-solve otherwise).
+    if (const Value* eps = doc.find("epsilons");
+        eps != nullptr && !eps->is_null()) {
+      for (const Value& e : eps->items()) {
+        const double epsilon = decode_double(e);
+        if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+          throw CodecError("batch: profile epsilons must be in (0, 1), got " +
+                           e.dump());
+        }
+        req.epsilons.push_back(epsilon);
+      }
+      if (req.epsilons.empty()) {
+        throw CodecError("batch: profile request with an empty epsilons "
+                         "array");
+      }
+    }
     req.scenario = sc;
     req.options = options;
-    req.key = solve_cache_key(sc, options);
+    req.key = req.is_profile()
+                  ? profile_cache_key(sc, req.epsilons, options)
+                  : solve_cache_key(sc, options);
   } catch (const PartialRequestError&) {
     throw;
   } catch (const std::exception& e) {
@@ -101,6 +127,59 @@ void apply_cache_outcome(e2e::BoundResult& result, CacheLookup outcome,
   }
 }
 
+void apply_cache_outcome(e2e::DelayProfile& profile, CacheLookup outcome,
+                         const std::string& key) {
+  profile.stats.cache_hits = 0;
+  profile.stats.cache_misses = 0;
+  profile.stats.cache_stale = 0;
+  switch (outcome) {
+    case CacheLookup::kHit:
+      profile.stats.cache_hits = 1;
+      return;
+    case CacheLookup::kStale:
+      profile.stats.cache_stale = 1;
+      return;
+    case CacheLookup::kMiss:
+      profile.stats.cache_misses = 1;
+      return;
+    case CacheLookup::kCorrupt:
+      profile.stats.cache_misses = 1;
+      // The profile carries no diagnostics of its own: the recovery
+      // warning lands on the first level so it stays downstream-visible.
+      if (!profile.levels.empty()) {
+        profile.levels.front().diagnostics.warn(
+            diag::SolveErrorKind::kCorruptCache,
+            "cache entry " + key + " was unreadable; re-solved");
+      }
+      return;
+  }
+}
+
+ProfileAnswer solve_profile_request(const deltanc::Solver& solver,
+                                    const e2e::Scenario& sc,
+                                    std::span<const double> epsilons) {
+  ProfileAnswer out;
+  const diag::ValidationReport vr = sc.validate();
+  diag::SolveErrorKind fail_kind = diag::SolveErrorKind::kNumericalDomain;
+  try {
+    if (!vr.ok()) {
+      fail_kind = diag::SolveErrorKind::kInvalidScenario;
+      throw std::invalid_argument(vr.message());
+    }
+    out.profile = solver.solve_profile(sc, epsilons);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+    e2e::BoundResult failed{std::numeric_limits<double>::infinity(), 0.0, 0.0,
+                            0.0, 0.0};
+    failed.diagnostics.fail(fail_kind, e.what());
+    out.profile = e2e::DelayProfile{};
+    out.profile.epsilons.assign(epsilons.begin(), epsilons.end());
+    out.profile.levels.assign(epsilons.size(), failed);
+  }
+  return out;
+}
+
 json::Value make_ok_response(const json::Value& id, bool with_cache_tag,
                              CacheLookup outcome,
                              const e2e::BoundResult& result) {
@@ -111,6 +190,19 @@ json::Value make_ok_response(const json::Value& id, bool with_cache_tag,
     response.set("cache", Value::string(cache_lookup_name(outcome)));
   }
   response.set("result", encode_bound_result(result));
+  return response;
+}
+
+json::Value make_ok_profile_response(const json::Value& id,
+                                     bool with_cache_tag, CacheLookup outcome,
+                                     const e2e::DelayProfile& profile) {
+  Value response = Value::object();
+  response.set("schema", Value::number(kSchemaVersion)).set("id", id);
+  response.set("ok", Value::boolean(true));
+  if (with_cache_tag) {
+    response.set("cache", Value::string(cache_lookup_name(outcome)));
+  }
+  response.set("profile", encode_delay_profile(profile));
   return response;
 }
 
@@ -165,6 +257,20 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       pending.push_back(i);
       continue;
     }
+    if (req.line.is_profile()) {
+      // Profile entries are new in schema 5: key-level lookup, no
+      // legacy chain to probe.
+      e2e::DelayProfile cached;
+      req.outcome = options.cache->lookup_profile(req.line.key, cached);
+      if (req.outcome == CacheLookup::kHit) {
+        req.profile = std::move(cached);
+        apply_cache_outcome(req.profile, req.outcome, req.line.key);
+        ++summary.cached;
+      } else {
+        pending.push_back(i);
+      }
+      continue;
+    }
     e2e::BoundResult cached;
     // Scenario-level lookup: also classifies pre-refactor (schema-1)
     // entries of the same solve as stale instead of missing them.
@@ -181,9 +287,14 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
   }
 
   // ----- solve pass: group misses by options, fan out per group ----------
+  // Profile requests fan out separately (their unit of work is a whole
+  // d(epsilon) grid, not one BoundResult) but share the progress stream.
   std::map<std::string, std::vector<std::size_t>> groups;
+  std::map<std::string, std::vector<std::size_t>> profile_groups;
   for (const std::size_t i : pending) {
-    groups[encode_solve_options(requests[i].line.options).dump()].push_back(i);
+    auto& bucket =
+        requests[i].line.is_profile() ? profile_groups : groups;
+    bucket[encode_solve_options(requests[i].line.options).dump()].push_back(i);
   }
   const std::size_t total_pending = pending.size();
   std::size_t done_offset = 0;
@@ -226,12 +337,62 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
     done_offset += members.size();
   }
 
+  // ----- profile solve pass ----------------------------------------------
+  for (const auto& [options_key, members] : profile_groups) {
+    (void)options_key;
+    const Solver solver(requests[members.front()].line.options);
+    const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+        members.size(), options.threads > 0
+                            ? static_cast<unsigned>(options.threads)
+                            : ThreadPool::default_thread_count()));
+    std::atomic<std::size_t> cursor{0};
+    std::mutex progress_mu;
+    std::size_t group_done = 0;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (j >= members.size()) return;
+        Request& req = requests[members[j]];
+        ProfileAnswer answer = solve_profile_request(
+            solver, req.line.scenario, req.line.epsilons);
+        req.point.ok = answer.ok;
+        req.point.error = answer.error;
+        req.profile = std::move(answer.profile);
+        if (options.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          options.progress(done_offset + ++group_done, total_pending);
+        }
+      }
+    };
+    {
+      ThreadPool pool(threads);
+      for (unsigned t = 0; t < threads; ++t) pool.submit(worker);
+      pool.wait_idle();
+    }
+    for (const std::size_t i : members) {
+      Request& req = requests[i];
+      if (req.point.ok && options.cache != nullptr) {
+        // Same persistence discipline as the scalar pass: counters
+        // zeroed, failed stores degrade to counted solve-through.
+        (void)options.cache->try_store_profile(req.line.key, req.profile);
+      }
+      apply_cache_outcome(req.profile, req.outcome, req.line.key);
+      ++summary.solved;
+      if (!req.point.ok) ++summary.failed;
+    }
+    done_offset += members.size();
+  }
+
   // ----- emit (input order) ----------------------------------------------
   for (const Request& req : requests) {
     Value response;
     if (!req.parsed) {
       response = make_error_response(req.line.id, req.error);
       ++summary.parse_errors;
+    } else if (req.line.is_profile()) {
+      response = make_ok_profile_response(
+          req.line.id, options.cache != nullptr, req.outcome, req.profile);
+      summary.stats += req.profile.stats;
     } else {
       response = make_ok_response(req.line.id, options.cache != nullptr,
                                   req.outcome, req.point.bound);

@@ -1,14 +1,19 @@
 // JSONL batch solve service -- the engine behind `deltanc_cli --batch`.
 //
 // Input: one JSON request object per line:
-//   {"schema": 1, "scenario": {...}, "options": {...}, "id": <any>}
+//   {"schema": N, "scenario": {...}, "options": {...}, "id": <any>}
+//   {"schema": N, "scenario": {...}, "epsilons": [...], ...}
 // "options" (see io::decode_solve_options) and "id" are optional; blank
-// lines are skipped.  Output: one JSON response per request, streamed in
-// *input order*:
-//   {"schema": 1, "id": <echoed>, "ok": true,  "cache": "hit"|"miss"|
+// lines are skipped.  A non-empty "epsilons" array makes the line a
+// *profile* request: the whole d(epsilon) grid is solved (or served from
+// the cache) as one artifact.  Output: one JSON response per request,
+// streamed in *input order*:
+//   {"schema": N, "id": <echoed>, "ok": true,  "cache": "hit"|"miss"|
 //    "stale"|"corrupt", "result": {...}}            -- solved/served
 //     (the "cache" field appears only when a ResultCache is attached)
-//   {"schema": 1, "id": <echoed>, "ok": false, "error": "..."}
+//   {"schema": N, "id": <echoed>, "ok": true,  ["cache"], "profile":
+//    {...}}                                         -- profile request
+//   {"schema": N, "id": <echoed>, "ok": false, "error": "..."}
 //                                                    -- unparseable line
 //
 // Caching: with a ResultCache attached, every request is looked up
@@ -27,9 +32,15 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
+#include <vector>
 
 #include "core/sweep.h"
 #include "io/result_cache.h"
+
+namespace deltanc {
+class Solver;  // e2e/solver.h
+}
 
 namespace deltanc::io {
 
@@ -83,7 +94,12 @@ struct ParsedRequestLine {
   json::Value id;          ///< echoed verbatim (null when absent)
   e2e::Scenario scenario;  ///< effective (scheduler override folded in)
   SolveOptions options;    ///< canonical (scheduler cleared)
-  std::string key;         ///< io::solve_cache_key
+  /// Non-empty for profile requests: the d(epsilon) grid to solve,
+  /// validated at parse time (each level in (0, 1)).
+  std::vector<double> epsilons;
+  std::string key;  ///< io::solve_cache_key / profile_cache_key
+
+  [[nodiscard]] bool is_profile() const noexcept { return !epsilons.empty(); }
 };
 
 /// Parses one JSONL request line ({"schema", "scenario", "options"?,
@@ -111,6 +127,32 @@ struct PartialRequestError : std::runtime_error {
 void apply_cache_outcome(e2e::BoundResult& result, CacheLookup outcome,
                          const std::string& key);
 
+/// Profile flavor: the counters land on the profile's aggregate stats;
+/// the kCorrupt recovery warning lands on the first level's diagnostics
+/// (the profile itself carries none).
+void apply_cache_outcome(e2e::DelayProfile& profile, CacheLookup outcome,
+                         const std::string& key);
+
+/// Outcome of solving one profile request (solve_profile_request).
+struct ProfileAnswer {
+  bool ok = true;     ///< false when the scenario failed to validate or
+                      ///< the solve threw
+  std::string error;  ///< the failure message when !ok
+  e2e::DelayProfile profile;  ///< on failure: every level is the
+                              ///< classified +inf bound
+};
+
+/// Solves one profile request with exactly SweepRunner's classification
+/// discipline (validate first -> kInvalidScenario naming every bad
+/// field; a throwing solve -> kNumericalDomain), shared by run_batch and
+/// the serve workers so both paths answer byte-identically.  Failures
+/// still produce a full K-level profile of classified +inf bounds, so a
+/// profile response is always ok=true with per-level diagnostics, like
+/// the scalar path.
+[[nodiscard]] ProfileAnswer solve_profile_request(
+    const deltanc::Solver& solver, const e2e::Scenario& sc,
+    std::span<const double> epsilons);
+
 /// The solved/served response document ({"schema", "id", "ok": true,
 /// ["cache"], "result"}); `with_cache_tag` mirrors "a ResultCache is
 /// attached".
@@ -118,6 +160,13 @@ void apply_cache_outcome(e2e::BoundResult& result, CacheLookup outcome,
                                            bool with_cache_tag,
                                            CacheLookup outcome,
                                            const e2e::BoundResult& result);
+
+/// The profile response document ({"schema", "id", "ok": true,
+/// ["cache"], "profile"}) -- same layout discipline as make_ok_response
+/// with the payload under "profile".
+[[nodiscard]] json::Value make_ok_profile_response(
+    const json::Value& id, bool with_cache_tag, CacheLookup outcome,
+    const e2e::DelayProfile& profile);
 
 /// The error response document ({"schema", "id", "ok": false, "error",
 /// ["kind"]}); `kind` (diag::solve_error_name) is emitted by the serve

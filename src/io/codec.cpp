@@ -255,7 +255,11 @@ Value encode_solve_stats(const e2e::SolveStats& stats) {
       .set("warm_start_hits",
            Value::number(static_cast<double>(stats.warm_start_hits)))
       .set("brackets_reused",
-           Value::number(static_cast<double>(stats.brackets_reused)));
+           Value::number(static_cast<double>(stats.brackets_reused)))
+      .set("profile_levels",
+           Value::number(static_cast<double>(stats.profile_levels)))
+      .set("profile_chain_hits",
+           Value::number(static_cast<double>(stats.profile_chain_hits)));
   return out;
 }
 
@@ -287,6 +291,12 @@ e2e::SolveStats decode_solve_stats(const Value& v) {
   }
   if (const Value* f = find_optional(v, "brackets_reused")) {
     stats.brackets_reused = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "profile_levels")) {
+    stats.profile_levels = decode_integer(*f, "stats");
+  }
+  if (const Value* f = find_optional(v, "profile_chain_hits")) {
+    stats.profile_chain_hits = decode_integer(*f, "stats");
   }
   return stats;
 }
@@ -361,12 +371,53 @@ e2e::BoundResult decode_bound_result(const Value& v) {
   return r;
 }
 
+// ----- DelayProfile ------------------------------------------------------
+
+Value encode_delay_profile(const e2e::DelayProfile& p) {
+  Value epsilons = Value::array();
+  for (double eps : p.epsilons) epsilons.push_back(encode_double(eps));
+  Value levels = Value::array();
+  for (const e2e::BoundResult& r : p.levels) {
+    levels.push_back(encode_bound_result(r));
+  }
+  Value out = Value::object();
+  out.set("epsilons", std::move(epsilons))
+      .set("levels", std::move(levels))
+      .set("stats", encode_solve_stats(p.stats));
+  return out;
+}
+
+e2e::DelayProfile decode_delay_profile(const Value& v) {
+  if (!v.is_object()) {
+    throw CodecError("codec: delay profile must be an object, got " +
+                     v.dump());
+  }
+  e2e::DelayProfile p;
+  for (const Value& eps : v.at("epsilons").items()) {
+    p.epsilons.push_back(decode_double(eps));
+  }
+  for (const Value& r : v.at("levels").items()) {
+    p.levels.push_back(decode_bound_result(r));
+  }
+  if (p.epsilons.size() != p.levels.size()) {
+    throw CodecError("codec: delay profile has " +
+                     std::to_string(p.epsilons.size()) + " epsilons but " +
+                     std::to_string(p.levels.size()) + " levels");
+  }
+  if (const Value* stats = find_optional(v, "stats")) {
+    p.stats = decode_solve_stats(*stats);
+  }
+  return p;
+}
+
 // ----- SweepPoint / SweepReport ------------------------------------------
 
 Value encode_sweep_point(const SweepPoint& p) {
   Value out = Value::object();
   out.set("scenario", encode_scenario(p.scenario))
       .set("bound", encode_bound_result(p.bound))
+      .set("profile", p.profile.has_value() ? encode_delay_profile(*p.profile)
+                                            : Value::null())
       .set("solve_ms", encode_double(p.solve_ms))
       .set("ok", Value::boolean(p.ok))
       .set("error", Value::string(p.error));
@@ -377,6 +428,9 @@ SweepPoint decode_sweep_point(const Value& v) {
   SweepPoint p;
   p.scenario = decode_scenario(v.at("scenario"));
   p.bound = decode_bound_result(v.at("bound"));
+  if (const Value* profile = find_optional(v, "profile")) {
+    p.profile = decode_delay_profile(*profile);
+  }
   p.solve_ms = decode_double(v.at("solve_ms"));
   p.ok = v.at("ok").as_bool();
   p.error = v.at("error").as_string();
@@ -592,8 +646,29 @@ std::string solve_cache_key(const e2e::Scenario& sc,
   e2e::Scenario effective = sc;
   canonicalize_solve(effective, canonical);
   Value key = Value::object();
-  key.set("scenario", encode_scenario(effective))
+  key.set("kind", Value::string("solve"))
+      .set("scenario", encode_scenario(effective))
       .set("options", encode_solve_options(canonical));
+  return key.dump();
+}
+
+std::string profile_cache_key(const e2e::Scenario& sc,
+                              std::span<const double> epsilons,
+                              const SolveOptions& options) {
+  SolveOptions canonical = options;
+  e2e::Scenario effective = sc;
+  canonicalize_solve(effective, canonical);
+  // A profile solves the grid, never the scenario's scalar epsilon, so
+  // two requests differing only there must share the entry: pin the
+  // scenario epsilon to the first grid level.
+  if (!epsilons.empty()) effective.epsilon = epsilons.front();
+  Value eps = Value::array();
+  for (double e : epsilons) eps.push_back(encode_double(e));
+  Value key = Value::object();
+  key.set("kind", Value::string("profile"))
+      .set("scenario", encode_scenario(effective))
+      .set("options", encode_solve_options(canonical))
+      .set("epsilons", std::move(eps));
   return key.dump();
 }
 
@@ -697,6 +772,21 @@ std::optional<std::string> legacy_v3_solve_cache_key(
   Value key = Value::object();
   key.set("scenario", encode_scenario(effective))
       .set("options", std::move(opts));
+  return key.dump();
+}
+
+std::optional<std::string> legacy_v4_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options) {
+  SolveOptions canonical = options;
+  e2e::Scenario effective = sc;
+  canonicalize_solve(effective, canonical);
+  // Byte-exact reproduction of the schema-4 key: same document as
+  // solve_cache_key() minus the "kind" discriminator (new in schema 5).
+  // The scenario and options encoders are unchanged since schema 4, so
+  // every scalar solve has a v4 spelling.
+  Value key = Value::object();
+  key.set("scenario", encode_scenario(effective))
+      .set("options", encode_solve_options(canonical));
   return key.dump();
 }
 

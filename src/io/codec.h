@@ -21,6 +21,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "core/sweep.h"
 #include "e2e/solver.h"
@@ -34,8 +35,12 @@ namespace deltanc::io {
 /// History: 1 = scheduler as bare kind name + top-level scenario "edf"
 /// object; 2 = scheduler as a full SchedulerSpec object {kind, delta,
 /// edf} (the "edf" factors moved inside it); 3 = scheduler object gains
-/// the "params" class-weight array (curve-backed kinds gps/drr/sced).
-inline constexpr int kSchemaVersion = 4;
+/// the "params" class-weight array (curve-backed kinds gps/drr/sced);
+/// 4 = solve options gain "warm_start"; 5 = cache keys gain a "kind"
+/// discriminator ("solve" / "profile") and delay-profile documents
+/// (epsilons, levels, stats with the profile_* counters) join the wire
+/// format.
+inline constexpr int kSchemaVersion = 5;
 
 /// A structurally valid JSON document that does not decode as the
 /// requested type (missing/mistyped fields, unknown enum names, bad
@@ -66,7 +71,9 @@ struct SchemaError : CodecError {
 //               scheduler{kind, delta, edf{own_factor, cross_factor}}
 //   SolveStats: optimize_evals, eb_evals, sigma_evals, edf_iterations,
 //               edf_converged, retries, fallbacks, scan_ms, refine_ms,
-//               cache_hits, cache_misses, cache_stale
+//               cache_hits, cache_misses, cache_stale, batched_evals,
+//               warm_start_hits, brackets_reused, profile_levels,
+//               profile_chain_hits
 //   Diagnostics: error, message, warnings[{kind, message}]
 //   BoundResult: delay_ms, gamma, s, sigma, delta, stats, diagnostics
 //   SweepPoint:  scenario, bound, solve_ms, ok, error
@@ -84,6 +91,14 @@ struct SchemaError : CodecError {
 
 [[nodiscard]] json::Value encode_bound_result(const e2e::BoundResult& r);
 [[nodiscard]] e2e::BoundResult decode_bound_result(const json::Value& v);
+
+/// Delay profile d(epsilon): canonical fields "epsilons" (array of
+/// bit-exact doubles), "levels" (array of BoundResult objects, same
+/// length, levels[i] solves epsilons[i]) and "stats" (the aggregate,
+/// including profile_levels / profile_chain_hits).  The decoder rejects
+/// mismatched epsilons/levels lengths.
+[[nodiscard]] json::Value encode_delay_profile(const e2e::DelayProfile& p);
+[[nodiscard]] e2e::DelayProfile decode_delay_profile(const json::Value& v);
 
 [[nodiscard]] json::Value encode_sweep_point(const SweepPoint& p);
 [[nodiscard]] SweepPoint decode_sweep_point(const json::Value& v);
@@ -109,15 +124,28 @@ struct SchemaError : CodecError {
 [[nodiscard]] SolveOptions decode_solve_options(const json::Value& v);
 
 /// The canonical cache key for "this scenario solved with these
-/// options": the compact dump of {"scenario", "options"} with the
-/// scheduler override already folded into the scenario.  Two solves get
-/// the same key iff the codec cannot distinguish their inputs.  The
-/// schema version is deliberately NOT part of the key (since v2): the
-/// cache stores it per entry and classifies mismatches as *stale*; a
-/// schema inside the key would silently change every file name on a bump
-/// and bury old entries as misses.
+/// options": the compact dump of {"kind": "solve", "scenario",
+/// "options"} with the scheduler override already folded into the
+/// scenario.  Two solves get the same key iff the codec cannot
+/// distinguish their inputs.  The "kind" discriminator (since v5) keeps
+/// scalar and profile entries in disjoint key spaces.  The schema
+/// version is deliberately NOT part of the key (since v2): the cache
+/// stores it per entry and classifies mismatches as *stale*; a schema
+/// inside the key would silently change every file name on a bump and
+/// bury old entries as misses.
 [[nodiscard]] std::string solve_cache_key(const e2e::Scenario& sc,
                                           const SolveOptions& options);
+
+/// The canonical cache key for "this scenario's delay profile over this
+/// epsilon grid under these options": the compact dump of {"kind":
+/// "profile", "scenario", "options", "epsilons"} with the scenario's own
+/// epsilon canonicalized to the first grid level (a profile solves the
+/// grid, never the scenario's scalar epsilon, so two scenarios differing
+/// only there must share the entry).  Epsilons keep their order: the
+/// levels are positional.
+[[nodiscard]] std::string profile_cache_key(const e2e::Scenario& sc,
+                                            std::span<const double> epsilons,
+                                            const SolveOptions& options);
 
 /// The byte-exact schema-1 cache key the pre-SchedulerSpec codec would
 /// have produced for the same solve ({"schema":1, "scenario":{...,
@@ -145,6 +173,17 @@ struct SchemaError : CodecError {
 /// solve -- warm-starting did not exist before schema 4, and its result
 /// need not be bit-identical to the cold entry's).
 [[nodiscard]] std::optional<std::string> legacy_v3_solve_cache_key(
+    const e2e::Scenario& sc, const SolveOptions& options);
+
+/// The byte-exact schema-4 cache key for the same solve: identical to
+/// solve_cache_key() but without the "kind" discriminator (which did not
+/// exist before schema 5).  Probed first in ResultCache's legacy chain
+/// so schema-4 entries classify as stale (kStale) instead of invisibly
+/// missing.  Every scalar solve had a schema-4 spelling, so this never
+/// returns nullopt; the optional return keeps the legacy-probe API
+/// uniform.  Profiles have no legacy spelling at all (they are new in
+/// schema 5), so no profile counterpart exists.
+[[nodiscard]] std::optional<std::string> legacy_v4_solve_cache_key(
     const e2e::Scenario& sc, const SolveOptions& options);
 
 // ----- helpers shared by the cache / batch layers ------------------------

@@ -74,9 +74,15 @@ std::filesystem::path ResultCache::entry_path(std::string_view key) const {
   return dir_ / name;
 }
 
-CacheLookup ResultCache::read_entry(const std::filesystem::path& path,
-                                    const std::string& key,
-                                    e2e::BoundResult& result) const {
+namespace {
+
+/// Shared classification body of the scalar and profile entry readers:
+/// `decode_payload` pulls the type-specific payload out of a structurally
+/// valid, schema-current, key-matching entry.
+template <typename DecodePayload>
+CacheLookup classify_entry(const std::filesystem::path& path,
+                           const std::string& key,
+                           DecodePayload&& decode_payload) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return CacheLookup::kMiss;
   std::ostringstream text;
@@ -95,7 +101,7 @@ CacheLookup ResultCache::read_entry(const std::filesystem::path& path,
     // The stored full key disambiguates FNV collisions: a different key
     // in the same slot is somebody else's entry, i.e. a miss.
     if (entry.at("key").as_string() != key) return CacheLookup::kMiss;
-    result = decode_bound_result(entry.at("result"));
+    decode_payload(entry);
   } catch (const json::ParseError&) {
     return CacheLookup::kCorrupt;
   } catch (const json::TypeError&) {
@@ -108,6 +114,24 @@ CacheLookup ResultCache::read_entry(const std::filesystem::path& path,
     return CacheLookup::kCorrupt;
   }
   return CacheLookup::kHit;
+}
+
+}  // namespace
+
+CacheLookup ResultCache::read_entry(const std::filesystem::path& path,
+                                    const std::string& key,
+                                    e2e::BoundResult& result) const {
+  return classify_entry(path, key, [&](const json::Value& entry) {
+    result = decode_bound_result(entry.at("result"));
+  });
+}
+
+CacheLookup ResultCache::read_profile_entry(const std::filesystem::path& path,
+                                            const std::string& key,
+                                            e2e::DelayProfile& profile) const {
+  return classify_entry(path, key, [&](const json::Value& entry) {
+    profile = decode_delay_profile(entry.at("profile"));
+  });
 }
 
 void ResultCache::count(CacheLookup outcome) noexcept {
@@ -140,13 +164,15 @@ CacheLookup ResultCache::lookup(const e2e::Scenario& sc,
   const std::string key = solve_cache_key(sc, options);
   CacheLookup outcome = read_entry(entry_path(key), key, result);
   if (outcome == CacheLookup::kMiss) {
-    // Nothing under the current key: probe the byte-exact schema-3,
-    // schema-2, and schema-1 slots of the same solve (their keys hash to
-    // different file names).  Any entry there -- whatever its state -- is a
-    // pre-refactor artifact of this exact solve: classify it stale so
-    // the re-solve is observable, never serve bits from it.
+    // Nothing under the current key: probe the byte-exact schema-4,
+    // schema-3, schema-2, and schema-1 slots of the same solve (their
+    // keys hash to different file names).  Any entry there -- whatever
+    // its state -- is a pre-refactor artifact of this exact solve:
+    // classify it stale so the re-solve is observable, never serve bits
+    // from it.
     for (const std::optional<std::string>& legacy :
-         {legacy_v3_solve_cache_key(sc, options),
+         {legacy_v4_solve_cache_key(sc, options),
+          legacy_v3_solve_cache_key(sc, options),
           legacy_v2_solve_cache_key(sc, options),
           legacy_v1_solve_cache_key(sc, options)}) {
       if (legacy.has_value() &&
@@ -160,13 +186,40 @@ CacheLookup ResultCache::lookup(const e2e::Scenario& sc,
   return outcome;
 }
 
+CacheLookup ResultCache::lookup_profile(const std::string& key,
+                                        e2e::DelayProfile& profile) {
+  const CacheLookup outcome =
+      read_profile_entry(entry_path(key), key, profile);
+  count(outcome);
+  return outcome;
+}
+
+CacheLookup ResultCache::lookup_profile(const e2e::Scenario& sc,
+                                        std::span<const double> epsilons,
+                                        const SolveOptions& options,
+                                        e2e::DelayProfile& profile) {
+  // Profiles are new in schema 5: no legacy slots to probe.
+  return lookup_profile(profile_cache_key(sc, epsilons, options), profile);
+}
+
 void ResultCache::store(const std::string& key,
                         const e2e::BoundResult& result) {
+  write_entry(key, "result", encode_bound_result(result));
+}
+
+void ResultCache::store_profile(const std::string& key,
+                                const e2e::DelayProfile& profile) {
+  write_entry(key, "profile", encode_delay_profile(profile));
+}
+
+void ResultCache::write_entry(const std::string& key,
+                              const char* payload_field,
+                              json::Value payload) {
   json::Value entry = json::Value::object();
   entry.set("schema", json::Value::number(kSchemaVersion))
       .set("version", json::Value::string(DELTANC_VERSION_STRING))
       .set("key", json::Value::string(key))
-      .set("result", encode_bound_result(result));
+      .set(payload_field, std::move(payload));
 
   const std::filesystem::path path = entry_path(key);
   std::filesystem::path tmp = path;
@@ -198,6 +251,22 @@ bool ResultCache::try_store(const std::string& key,
   }
   try {
     store(key, result);
+    return true;
+  } catch (...) {
+    ++stats_.store_failures;
+    return false;
+  }
+}
+
+bool ResultCache::try_store_profile(const std::string& key,
+                                    const e2e::DelayProfile& profile) noexcept {
+  if (injected_store_failures_ > 0) {
+    --injected_store_failures_;
+    ++stats_.store_failures;
+    return false;
+  }
+  try {
+    store_profile(key, profile);
     return true;
   } catch (...) {
     ++stats_.store_failures;

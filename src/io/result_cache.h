@@ -14,14 +14,19 @@
 // observable in CacheStats and in the per-result
 // SolveStats::cache_stale counter -- re-solves, and overwrites, instead
 // of silently missing and leaving dead files behind.  Older schemas
-// keyed differently (schema 1 hashed the schema version itself; schema 2
-// lacked the scheduler "params" array), so their file names differ from
-// today's for the same solve; the (scenario, options) lookup overload
-// probes the byte-exact schema-2 and schema-1 keys
-// (io::legacy_v3_solve_cache_key / legacy_v2_solve_cache_key /
-// legacy_v1_solve_cache_key) when the
-// primary slot is empty and classifies pre-refactor entries as stale
-// too, never as wrong hits.
+// keyed differently (schema 4 lacked the "kind" discriminator; schema 1
+// hashed the schema version itself; schema 2 lacked the scheduler
+// "params" array), so their file names differ from today's for the same
+// solve; the (scenario, options) lookup overload probes the byte-exact
+// schema-4 / -3 / -2 / -1 keys (io::legacy_v4_solve_cache_key and
+// friends) when the primary slot is empty and classifies pre-refactor
+// entries as stale too, never as wrong hits.
+//
+// Profiles: delay profiles (e2e::DelayProfile) are first-class entries
+// addressed by io::profile_cache_key -- a disjoint key space thanks to
+// the "kind" discriminator -- with the same staleness, doctoring, and
+// atomic-store semantics as scalar entries.  Profiles are new in schema
+// 5, so their lookups have no legacy chain to probe.
 //
 // Durability: stores write to `<name>.tmp.<pid>` in the cache directory
 // and rename(2) into place, so concurrent writers and crashes can leave
@@ -33,6 +38,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "io/codec.h"
@@ -130,13 +136,26 @@ class ResultCache {
 
   /// Looks up the solve described by (scenario, options) -- the
   /// preferred entry point: on a primary miss it additionally probes the
-  /// schema-2 and schema-1 slots of the same solve and classifies a
+  /// schema-4 / -3 / -2 / -1 slots of the same solve and classifies a
   /// pre-refactor entry found there as kStale (re-solve and overwrite at
   /// the current key) instead of a silent miss.  Fills `result` only on
   /// kHit.
   [[nodiscard]] CacheLookup lookup(const e2e::Scenario& sc,
                                    const SolveOptions& options,
                                    e2e::BoundResult& result);
+
+  /// Looks up a delay-profile entry by canonical profile key; fills
+  /// `profile` only on kHit.  Profiles are new in schema 5: there is no
+  /// legacy chain, so the two profile-lookup flavors classify
+  /// identically.
+  [[nodiscard]] CacheLookup lookup_profile(const std::string& key,
+                                           e2e::DelayProfile& profile);
+
+  /// Looks up the profile described by (scenario, epsilons, options).
+  [[nodiscard]] CacheLookup lookup_profile(const e2e::Scenario& sc,
+                                           std::span<const double> epsilons,
+                                           const SolveOptions& options,
+                                           e2e::DelayProfile& profile);
 
   /// Stores (overwriting any previous entry -- including stale and
   /// corrupt ones) via atomic tmp + rename.
@@ -149,6 +168,13 @@ class ResultCache {
   /// solve-through instead of aborting mid-batch.
   bool try_store(const std::string& key,
                  const e2e::BoundResult& result) noexcept;
+
+  /// Profile counterparts of store/try_store: same atomic tmp + rename,
+  /// same fault injection, entry payload under "profile" instead of
+  /// "result".
+  void store_profile(const std::string& key, const e2e::DelayProfile& profile);
+  bool try_store_profile(const std::string& key,
+                         const e2e::DelayProfile& profile) noexcept;
 
   /// Deterministic fault injection: the next `n` try_store calls fail
   /// (counted as store_failures) without touching the disk -- a
@@ -189,6 +215,40 @@ class ResultCache {
     return result;
   }
 
+  /// Profile counterpart of solve_through: lookup by (scenario,
+  /// epsilons, options); on anything but a hit, solves the whole profile
+  /// via `solve` and stores it.  The returned profile's aggregate stats
+  /// carry exactly one of cache_hits/cache_misses/cache_stale = 1, same
+  /// contract as the scalar flavor.
+  template <typename Solve>
+  e2e::DelayProfile solve_profile_through(const e2e::Scenario& sc,
+                                          std::span<const double> epsilons,
+                                          const SolveOptions& options,
+                                          Solve&& solve,
+                                          CacheLookup* outcome = nullptr) {
+    const std::string key = profile_cache_key(sc, epsilons, options);
+    e2e::DelayProfile profile;
+    const CacheLookup found = lookup_profile(key, profile);
+    if (outcome != nullptr) *outcome = found;
+    if (found == CacheLookup::kHit) {
+      profile.stats.cache_hits = 1;
+      profile.stats.cache_misses = 0;
+      profile.stats.cache_stale = 0;
+      return profile;
+    }
+    profile = solve();
+    profile.stats.cache_hits = 0;
+    profile.stats.cache_misses = 0;
+    profile.stats.cache_stale = 0;
+    store_profile(key, profile);
+    if (found == CacheLookup::kStale) {
+      profile.stats.cache_stale = 1;
+    } else {
+      profile.stats.cache_misses = 1;
+    }
+    return profile;
+  }
+
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
@@ -198,6 +258,13 @@ class ResultCache {
   [[nodiscard]] CacheLookup read_entry(const std::filesystem::path& path,
                                        const std::string& key,
                                        e2e::BoundResult& result) const;
+  [[nodiscard]] CacheLookup read_profile_entry(
+      const std::filesystem::path& path, const std::string& key,
+      e2e::DelayProfile& profile) const;
+  /// Shared store body: writes {"schema", "version", "key",
+  /// <payload_field>: payload} via atomic tmp + rename.
+  void write_entry(const std::string& key, const char* payload_field,
+                   json::Value payload);
   void count(CacheLookup outcome) noexcept;
 
   std::filesystem::path dir_;

@@ -83,9 +83,13 @@ struct SolveService::Impl {
     // The warm layers.  `memory` holds raw (outcome-free) results with
     // FIFO eviction; `disk` is this shard's handle on the shared cache
     // directory, swapped by reload() (retired stats accumulate the
-    // traffic of replaced handles).
+    // traffic of replaced handles).  Profile entries live in their own
+    // map (same keys cannot collide: the "kind" discriminator keeps the
+    // key spaces disjoint) with the same eviction budget.
     std::map<std::string, e2e::BoundResult> memory;
     std::deque<std::string> memory_order;
+    std::map<std::string, e2e::DelayProfile> profile_memory;
+    std::deque<std::string> profile_memory_order;
     std::unique_ptr<io::ResultCache> disk;
     io::CacheStats retired{};
   };
@@ -230,6 +234,7 @@ struct SolveService::Impl {
   /// producing exactly the response bytes run_batch would.
   Value handle(Shard& shard, std::map<std::string, Solver>& solvers,
                const Job& job) {
+    if (job.line.is_profile()) return handle_profile(shard, solvers, job);
     const bool with_tag = !options.cache_dir.empty();
     // Memory layer: raw results keyed by the canonical cache key.  A
     // hit reports "hit" when a disk cache is attached (the batch
@@ -321,6 +326,67 @@ struct SolveService::Impl {
     return io::make_ok_response(job.line.id, with_tag, outcome, p.bound);
   }
 
+  /// Profile twin of handle(): the same memory -> disk -> solve
+  /// layering, with io::solve_profile_request supplying exactly
+  /// run_batch's classification so the response bytes match a --batch
+  /// run over the same cache directory.
+  Value handle_profile(Shard& shard, std::map<std::string, Solver>& solvers,
+                       const Job& job) {
+    const bool with_tag = !options.cache_dir.empty();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.profile_memory.find(job.line.key);
+      if (it != shard.profile_memory.end()) {
+        bump(&ServeStats::served);
+        bump(&ServeStats::memory_hits);
+        e2e::DelayProfile profile = it->second;
+        const io::CacheLookup outcome =
+            with_tag ? io::CacheLookup::kHit : io::CacheLookup::kMiss;
+        io::apply_cache_outcome(profile, outcome, job.line.key);
+        return io::make_ok_profile_response(job.line.id, with_tag, outcome,
+                                            profile);
+      }
+    }
+    io::CacheLookup outcome = io::CacheLookup::kMiss;
+    if (with_tag) {
+      e2e::DelayProfile cached;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        outcome = shard.disk->lookup_profile(job.line.key, cached);
+      }
+      if ((outcome == io::CacheLookup::kHit ||
+           outcome == io::CacheLookup::kStale) &&
+          faults.corrupt_next_load()) {
+        outcome = io::CacheLookup::kCorrupt;
+      }
+      if (outcome == io::CacheLookup::kHit) {
+        bump(&ServeStats::served);
+        profile_memory_insert(shard, job.line.key, cached);
+        io::apply_cache_outcome(cached, outcome, job.line.key);
+        return io::make_ok_profile_response(job.line.id, true, outcome,
+                                            cached);
+      }
+    }
+    bump(&ServeStats::solved);
+    io::ProfileAnswer answer = io::solve_profile_request(
+        solver_for(solvers, job.line.options), job.line.scenario,
+        job.line.epsilons);
+    if (!answer.ok) bump(&ServeStats::failed);
+    if (answer.ok) {
+      bool stored = true;
+      if (with_tag) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        stored = shard.disk->try_store_profile(job.line.key, answer.profile);
+      }
+      if (stored) {
+        profile_memory_insert(shard, job.line.key, answer.profile);
+      }
+    }
+    io::apply_cache_outcome(answer.profile, outcome, job.line.key);
+    return io::make_ok_profile_response(job.line.id, with_tag, outcome,
+                                        answer.profile);
+  }
+
   Solver& solver_for(std::map<std::string, Solver>& solvers,
                      const SolveOptions& options_in) {
     const std::string key = io::encode_solve_options(options_in).dump();
@@ -338,6 +404,19 @@ struct SolveService::Impl {
       while (shard.memory.size() > options.memory_entries) {
         shard.memory.erase(shard.memory_order.front());
         shard.memory_order.pop_front();
+      }
+    }
+  }
+
+  void profile_memory_insert(Shard& shard, const std::string& key,
+                             const e2e::DelayProfile& profile) {
+    if (options.memory_entries == 0) return;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.profile_memory.emplace(key, profile).second) {
+      shard.profile_memory_order.push_back(key);
+      while (shard.profile_memory.size() > options.memory_entries) {
+        shard.profile_memory.erase(shard.profile_memory_order.front());
+        shard.profile_memory_order.pop_front();
       }
     }
   }
@@ -497,6 +576,8 @@ struct SolveService::Impl {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.memory.clear();
       shard.memory_order.clear();
+      shard.profile_memory.clear();
+      shard.profile_memory_order.clear();
       if (shard.disk != nullptr) {
         shard.retired += shard.disk->stats();
         shard.disk.reset();  // release before reopening the same dir

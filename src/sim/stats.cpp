@@ -6,6 +6,21 @@
 
 namespace deltanc::sim {
 
+bool quantile_resolvable(double epsilon, std::size_t samples,
+                         double min_tail_samples) {
+  if (!(epsilon > 0.0) || samples == 0) return false;
+  return epsilon * static_cast<double>(samples) >= min_tail_samples;
+}
+
+double deepest_resolvable_epsilon(std::size_t samples,
+                                  double min_tail_samples,
+                                  double floor_epsilon) {
+  if (samples == 0) return 0.5;
+  double eps = min_tail_samples / static_cast<double>(samples);
+  eps = std::max(eps, floor_epsilon);
+  return std::min(eps, 0.5);
+}
+
 void DelayRecorder::add(double value) {
   samples_.push_back(value);
   max_ = std::max(max_, value);

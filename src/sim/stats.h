@@ -8,6 +8,24 @@
 
 namespace deltanc::sim {
 
+/// Empirical-quantile resolvability heuristic, shared by the validation
+/// benches and PathAnalyzer::validate: the (1 - epsilon) sample quantile
+/// of `samples` data points is only trusted when the tail beyond it
+/// holds at least `min_tail_samples` samples, i.e. epsilon * samples >=
+/// min_tail_samples.  Anything deeper is extrapolation from a handful of
+/// order statistics and must not be compared against an analytic bound.
+[[nodiscard]] bool quantile_resolvable(double epsilon, std::size_t samples,
+                                       double min_tail_samples = 50.0);
+
+/// The deepest violation probability whose quantile is still resolvable
+/// from `samples` (min_tail_samples tail samples), clamped into
+/// [floor_epsilon, 0.5].  This is the epsilon-selection rule of
+/// PathAnalyzer::validate (min_tail_samples = 100 there); exposed so
+/// benches pick their simulation epsilon by the same arithmetic.
+[[nodiscard]] double deepest_resolvable_epsilon(std::size_t samples,
+                                                double min_tail_samples,
+                                                double floor_epsilon);
+
 /// Collects scalar samples and answers quantile / moment queries.
 class DelayRecorder {
  public:

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -30,6 +31,18 @@ std::string request_line(const e2e::Scenario& sc, int id) {
   req.set("schema", Value::number(kSchemaVersion))
       .set("id", Value::number(id))
       .set("scenario", encode_scenario(sc));
+  return req.dump();
+}
+
+std::string profile_request_line(const e2e::Scenario& sc, int id,
+                                 const std::vector<double>& epsilons) {
+  Value eps = Value::array();
+  for (double e : epsilons) eps.push_back(encode_double(e));
+  Value req = Value::object();
+  req.set("schema", Value::number(kSchemaVersion))
+      .set("id", Value::number(id))
+      .set("scenario", encode_scenario(sc))
+      .set("epsilons", std::move(eps));
   return req.dump();
 }
 
@@ -335,6 +348,165 @@ TEST(Batch, StoreFailureDegradesToCountedSolveThrough) {
   EXPECT_EQ(again.solved, 1);
   EXPECT_EQ(again.cache_stats.stores, 1);
   EXPECT_EQ(again.cache_stats.store_failures, 0);
+}
+
+// ----- delay-profile requests --------------------------------------------
+
+TEST(Batch, ProfileRequestsAnswerFullArtifactsInOrder) {
+  // A profile request rides in the same stream as scalar ones; its
+  // response carries the whole d(epsilon) artifact under "profile", and
+  // each level matches the direct cold solve_profile bit-for-bit.
+  const e2e::Scenario sc = small_scenario(60);
+  const std::vector<double> grid = {1e-3, 1e-6, 1e-9};
+  std::stringstream in;
+  in << profile_request_line(sc, 0, grid) << "\n";
+  in << request_line(small_scenario(40), 1) << "\n";
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_EQ(summary.requests, 2);
+  EXPECT_EQ(summary.solved, 2);
+  EXPECT_EQ(summary.failed, 0);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].at("id").as_number(), 0.0);
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+  EXPECT_EQ(responses[0].find("result"), nullptr);
+  const e2e::DelayProfile got =
+      decode_delay_profile(responses[0].at("profile"));
+  const e2e::DelayProfile direct =
+      deltanc::Solver().solve_profile(sc, grid);
+  ASSERT_EQ(got.levels.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got.epsilons[i], direct.epsilons[i]);
+    EXPECT_EQ(got.levels[i].delay_ms, direct.levels[i].delay_ms);
+    EXPECT_EQ(got.levels[i].s, direct.levels[i].s);
+  }
+  // The scalar neighbor is unaffected.
+  EXPECT_NE(responses[1].find("result"), nullptr);
+  EXPECT_EQ(responses[1].find("profile"), nullptr);
+  // Aggregate stats count the profile's levels.
+  EXPECT_EQ(summary.stats.profile_levels, 3);
+}
+
+TEST(Batch, ProfileSecondRunAnswersFromCacheBitExactly) {
+  ResultCache cache(fresh_cache_dir("deltanc_batch_profile_cache"));
+  const e2e::Scenario sc = small_scenario(60);
+  const std::vector<double> grid = {1e-3, 1e-8};
+  // A scalar request of the *same* scenario shares the batch: the two
+  // keyspaces must not collide.
+  const std::string requests = profile_request_line(sc, 0, grid) + "\n" +
+                               request_line(sc, 1) + "\n";
+  BatchOptions options;
+  options.cache = &cache;
+
+  std::stringstream cold_in(requests);
+  std::ostringstream cold_out;
+  const BatchSummary cold = run_batch(cold_in, cold_out, options);
+  EXPECT_EQ(cold.solved, 2);
+  EXPECT_EQ(cold.cache_stats.stores, 2);
+
+  std::stringstream warm_in(requests);
+  std::ostringstream warm_out;
+  const BatchSummary warm = run_batch(warm_in, warm_out, options);
+  EXPECT_EQ(warm.solved, 0);
+  EXPECT_EQ(warm.cached, 2);
+  EXPECT_EQ(warm.cache_stats.hits, 2);
+
+  const std::vector<Value> a = parse_responses(cold_out.str());
+  const std::vector<Value> b = parse_responses(warm_out.str());
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].at("cache").as_string(), "hit");
+  const e2e::DelayProfile cold_p = decode_delay_profile(a[0].at("profile"));
+  const e2e::DelayProfile warm_p = decode_delay_profile(b[0].at("profile"));
+  ASSERT_EQ(warm_p.levels.size(), cold_p.levels.size());
+  for (std::size_t i = 0; i < cold_p.levels.size(); ++i) {
+    EXPECT_EQ(warm_p.levels[i].delay_ms, cold_p.levels[i].delay_ms);
+    EXPECT_EQ(warm_p.levels[i].sigma, cold_p.levels[i].sigma);
+  }
+  // Exactly one cache counter per response, on the aggregate stats.
+  EXPECT_EQ(warm_p.stats.cache_hits, 1);
+  EXPECT_EQ(warm_p.stats.cache_misses + warm_p.stats.cache_stale, 0);
+}
+
+TEST(Batch, ProfileEpsilonGridIsValidatedAtParseTime) {
+  // An empty grid and an out-of-range level are malformed requests,
+  // answered in place without aborting the batch.
+  const e2e::Scenario sc = small_scenario(60);
+  std::stringstream in;
+  in << profile_request_line(sc, 0, {}) << "\n";
+  in << profile_request_line(sc, 1, {2.0}) << "\n";
+  in << profile_request_line(sc, 2, {1e-3}) << "\n";  // valid
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_EQ(summary.parse_errors, 2);
+  EXPECT_EQ(summary.solved, 1);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_FALSE(responses[1].at("ok").as_bool());
+  EXPECT_TRUE(responses[2].at("ok").as_bool());
+  // The error responses still echo the ids they managed to read.
+  EXPECT_EQ(responses[0].at("id").as_number(), 0.0);
+  EXPECT_EQ(responses[1].at("id").as_number(), 1.0);
+}
+
+TEST(Batch, ProfileCorruptEntryRecoversWithWarningAndOverwrite) {
+  ResultCache cache(fresh_cache_dir("deltanc_batch_profile_corrupt"));
+  const e2e::Scenario sc = small_scenario(60);
+  const std::vector<double> grid = {1e-3, 1e-9};
+  const std::string requests = profile_request_line(sc, 0, grid) + "\n";
+  BatchOptions options;
+  options.cache = &cache;
+
+  std::stringstream cold_in(requests);
+  std::ostringstream cold_out;
+  (void)run_batch(cold_in, cold_out, options);
+
+  const std::string key = profile_cache_key(sc, grid, SolveOptions{});
+  std::ofstream(cache.entry_path(key), std::ios::trunc) << "not json";
+
+  std::stringstream in(requests);
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, options);
+  EXPECT_EQ(summary.solved, 1);
+  EXPECT_EQ(summary.cache_stats.corrupt, 1);
+
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].at("cache").as_string(), "corrupt");
+  const e2e::DelayProfile p = decode_delay_profile(responses[0].at("profile"));
+  // The recovery warning lands on the first level's diagnostics.
+  ASSERT_FALSE(p.levels.empty());
+  ASSERT_EQ(p.levels.front().diagnostics.warnings.size(), 1u);
+  EXPECT_EQ(p.levels.front().diagnostics.warnings[0].kind,
+            diag::SolveErrorKind::kCorruptCache);
+
+  std::stringstream healed_in(requests);
+  std::ostringstream healed_out;
+  const BatchSummary healed = run_batch(healed_in, healed_out, options);
+  EXPECT_EQ(healed.cached, 1);
+}
+
+TEST(Batch, UnstableProfileAnswersOkWithClassifiedInfLevels) {
+  // An unstable scenario is a *solved* profile whose every level is the
+  // classified +inf bound -- same discipline as the scalar path.
+  const e2e::Scenario sc = small_scenario(800);
+  std::stringstream in(profile_request_line(sc, 0, {1e-3, 1e-9}) + "\n");
+  std::ostringstream out;
+  const BatchSummary summary = run_batch(in, out, BatchOptions{});
+  EXPECT_EQ(summary.solved, 1);
+  EXPECT_EQ(summary.failed, 0);
+  const std::vector<Value> responses = parse_responses(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+  const e2e::DelayProfile p = decode_delay_profile(responses[0].at("profile"));
+  ASSERT_EQ(p.levels.size(), 2u);
+  for (const e2e::BoundResult& level : p.levels) {
+    EXPECT_TRUE(std::isinf(level.delay_ms));
+    EXPECT_FALSE(level.diagnostics.ok());
+  }
 }
 
 }  // namespace

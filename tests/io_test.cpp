@@ -448,6 +448,95 @@ TEST(Codec, CacheKeyIsStableAndFoldsSchedulerOverride) {
   EXPECT_NE(solve_cache_key(fifo, paper), solve_cache_key(fifo, options));
 }
 
+// ----- delay profiles ----------------------------------------------------
+
+TEST(Codec, DelayProfileRoundTripsBitExactly) {
+  // A hand-built profile exercising the awkward encodings: hexfloat-
+  // precision doubles, an unstable +inf level, and the NaN delta of a
+  // curve-backed level.  Every bit must survive.
+  e2e::DelayProfile p;
+  p.epsilons = {1e-3, 0x1.0c6f7a0b5ed8dp-20, 1e-9};
+  e2e::BoundResult a{59.721910890531532, 1.0068520595608295,
+                     0.040782701620715671, 2067.7488029628475, 0.0};
+  e2e::BoundResult b{kInf, 0.0, 0.0, 0.0, -kInf};
+  b.diagnostics.fail(diag::SolveErrorKind::kUnstable, "load >= 1");
+  e2e::BoundResult c{116.42524721307376, 0.51293544089305754,
+                     0.040588408589369088, 4284.7910003396446,
+                     std::numeric_limits<double>::quiet_NaN()};
+  p.levels = {a, b, c};
+  p.stats.optimize_evals = 23624;
+  p.stats.profile_levels = 3;
+  p.stats.profile_chain_hits = 2;
+
+  const e2e::DelayProfile back = decode_delay_profile(encode_delay_profile(p));
+  ASSERT_EQ(back.epsilons.size(), 3u);
+  ASSERT_EQ(back.levels.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.epsilons[i], p.epsilons[i]);
+  }
+  EXPECT_EQ(back.levels[0].delay_ms, a.delay_ms);
+  EXPECT_EQ(back.levels[0].sigma, a.sigma);
+  EXPECT_EQ(back.levels[1].delay_ms, kInf);
+  EXPECT_EQ(back.levels[1].delta, -kInf);
+  EXPECT_EQ(back.levels[1].diagnostics.error, diag::SolveErrorKind::kUnstable);
+  EXPECT_EQ(back.levels[2].gamma, c.gamma);
+  EXPECT_TRUE(std::isnan(back.levels[2].delta));
+  EXPECT_EQ(back.stats.optimize_evals, 23624);
+  EXPECT_EQ(back.stats.profile_levels, 3);
+  EXPECT_EQ(back.stats.profile_chain_hits, 2);
+
+  // Canonical dumps are byte-stable (the cache hashes them).
+  EXPECT_EQ(encode_delay_profile(p).dump(), encode_delay_profile(back).dump());
+}
+
+TEST(Codec, DelayProfileDecodeRejectsMalformedDocuments) {
+  e2e::DelayProfile p;
+  p.epsilons = {1e-3, 1e-6};
+  p.levels.resize(2);
+  Value doc = encode_delay_profile(p);
+  // A grid/levels length mismatch is corruption, not a valid profile.
+  Value grid = doc.at("epsilons");
+  grid.push_back(encode_double(1e-9));
+  doc.set("epsilons", std::move(grid));
+  EXPECT_THROW((void)decode_delay_profile(doc), CodecError);
+  EXPECT_THROW((void)decode_delay_profile(Value::number(1.0)), CodecError);
+}
+
+TEST(Codec, ProfileCacheKeyIsKindTaggedAndEpsilonPinned) {
+  const e2e::Scenario sc = fig2_scenario(268, sched::SchedulerKind::kFifo);
+  const std::vector<double> grid = {1e-3, 1e-6, 1e-9};
+  SolveOptions options;
+  const std::string key = profile_cache_key(sc, grid, options);
+  // Kind-tagged: shares no keyspace with scalar solves of any epsilon.
+  EXPECT_NE(key.find("\"kind\":\"profile\""), std::string::npos);
+  EXPECT_NE(key, solve_cache_key(sc, options));
+  // Pinned: the scenario's own scalar epsilon is not a profile input,
+  // so it must not fragment the profile keyspace.
+  e2e::Scenario other_eps = sc;
+  other_eps.epsilon = 1e-12;
+  EXPECT_EQ(profile_cache_key(other_eps, grid, options), key);
+  // The grid itself is the identity.
+  const std::vector<double> deeper = {1e-3, 1e-6, 1e-12};
+  EXPECT_NE(profile_cache_key(sc, deeper, options), key);
+}
+
+TEST(Codec, LegacyV4KeyIsTheKindlessSpellingOfTheV5Key) {
+  // Schema-4 keys were the same canonical dump without the leading
+  // "kind" member; the legacy probe must reproduce them byte-exactly so
+  // old cache entries classify kStale instead of vanishing silently.
+  const e2e::Scenario sc = fig2_scenario(268, sched::SchedulerKind::kEdf);
+  SolveOptions options;
+  const std::optional<std::string> legacy =
+      legacy_v4_solve_cache_key(sc, options);
+  ASSERT_TRUE(legacy.has_value());
+  std::string v5 = solve_cache_key(sc, options);
+  const std::string tag = "\"kind\":\"solve\",";
+  const std::size_t at = v5.find(tag);
+  ASSERT_NE(at, std::string::npos);
+  v5.erase(at, tag.size());
+  EXPECT_EQ(*legacy, v5);
+}
+
 TEST(Codec, SolveOptionsRoundTrip) {
   SolveOptions options;
   options.method = e2e::Method::kPaperK;

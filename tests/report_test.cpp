@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/scenario.h"
+#include "e2e/solver.h"
 
 namespace deltanc {
 namespace {
@@ -21,10 +22,10 @@ e2e::Scenario scenario() {
 TEST(DelayCcdfBound, MonotoneInEpsilon) {
   // Smaller violation probability -> larger delay bound.
   const std::vector<double> eps{1e-3, 1e-6, 1e-9, 1e-12};
-  const auto bounds = delay_ccdf_bound(scenario(), eps);
-  ASSERT_EQ(bounds.size(), 4u);
-  for (std::size_t i = 1; i < bounds.size(); ++i) {
-    EXPECT_GT(bounds[i], bounds[i - 1]);
+  const e2e::DelayProfile profile = Solver().solve_profile(scenario(), eps);
+  ASSERT_EQ(profile.levels.size(), 4u);
+  for (std::size_t i = 1; i < profile.levels.size(); ++i) {
+    EXPECT_GT(profile.levels[i].delay_ms, profile.levels[i - 1].delay_ms);
   }
 }
 
@@ -32,9 +33,9 @@ TEST(DelayCcdfBound, LogarithmicGrowthInOneOverEps) {
   // d(eps) ~ sigma(eps)/rate with sigma linear in ln(1/eps): halving the
   // exponent roughly halves the increment, never explodes.
   const std::vector<double> eps{1e-3, 1e-6, 1e-9};
-  const auto b = delay_ccdf_bound(scenario(), eps);
-  const double inc1 = b[1] - b[0];
-  const double inc2 = b[2] - b[1];
+  const e2e::DelayProfile profile = Solver().solve_profile(scenario(), eps);
+  const double inc1 = profile.levels[1].delay_ms - profile.levels[0].delay_ms;
+  const double inc2 = profile.levels[2].delay_ms - profile.levels[1].delay_ms;
   EXPECT_NEAR(inc2, inc1, 0.5 * inc1);
 }
 

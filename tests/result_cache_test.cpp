@@ -229,17 +229,162 @@ TEST_F(ResultCacheTest, CurveBackedSchedulersHaveNoLegacySlots) {
   EXPECT_TRUE(std::isnan(out.delta));
 }
 
+TEST_F(ResultCacheTest, SchemaFourEntryClassifiesStaleNeverWrongHit) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const SolveOptions options{};
+
+  // Schema-4 keys carried no "kind" discriminator, so the same solve
+  // hashed to a different slot.  Fabricate the entry a schema-4 build
+  // would have written there.
+  const std::optional<std::string> legacy =
+      legacy_v4_solve_cache_key(sc, options);
+  ASSERT_TRUE(legacy.has_value());
+  const std::string key = solve_cache_key(sc, options);
+  ASSERT_NE(*legacy, key);
+  // The discriminator leads the v5 key; the v4 spelling starts straight
+  // at the scenario.  (The scheduler object nests its own "kind" field,
+  // so only the leading member distinguishes the two.)
+  EXPECT_EQ(key.rfind("{\"kind\":\"solve\",", 0), 0u);
+  EXPECT_EQ(legacy->rfind("{\"scenario\":", 0), 0u);
+  write_file(cache.entry_path(*legacy),
+             "{\"schema\":4,\"version\":\"1.0.0\",\"key\":\"x\","
+             "\"result\":{}}\n");
+
+  e2e::BoundResult out;
+  out.delay_ms = -1.0;
+  EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kStale);
+  EXPECT_EQ(out.delay_ms, -1.0);  // never serves bits from the old slot
+  EXPECT_EQ(cache.stats().hits, 0);
+
+  // Re-solve lands under the current (kind-tagged) key.
+  CacheLookup outcome{};
+  (void)cache.solve_through(sc, options,
+                            [&] { return deltanc::Solver().solve(sc); },
+                            &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kStale);
+  EXPECT_EQ(cache.lookup(sc, options, out), CacheLookup::kHit);
+}
+
+// ----- delay-profile entries ---------------------------------------------
+
+TEST_F(ResultCacheTest, ProfileMissStoreThenBitExactHit) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::vector<double> grid = {1e-3, 1e-6, 1e-9};
+  const SolveOptions options{};
+
+  e2e::DelayProfile out;
+  EXPECT_EQ(cache.lookup_profile(sc, grid, options, out), CacheLookup::kMiss);
+
+  const e2e::DelayProfile solved =
+      deltanc::Solver().solve_profile(sc, grid);
+  cache.store_profile(profile_cache_key(sc, grid, options), solved);
+  ASSERT_EQ(cache.lookup_profile(sc, grid, options, out), CacheLookup::kHit);
+  ASSERT_EQ(out.levels.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.epsilons[i], solved.epsilons[i]);
+    EXPECT_EQ(out.levels[i].delay_ms, solved.levels[i].delay_ms);
+    EXPECT_EQ(out.levels[i].s, solved.levels[i].s);
+    EXPECT_EQ(out.levels[i].sigma, solved.levels[i].sigma);
+  }
+
+  // Disjoint keyspaces: the profile entry is invisible to the scalar
+  // lookup of the same scenario, and vice versa.
+  e2e::BoundResult scalar;
+  EXPECT_EQ(cache.lookup(sc, options, scalar), CacheLookup::kMiss);
+
+  ResultCache reopened(cache_dir());
+  EXPECT_EQ(reopened.lookup_profile(sc, grid, options, out),
+            CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, ProfileEntriesClassifyStaleAndCorrupt) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::vector<double> grid = {1e-4, 1e-8};
+  const SolveOptions options{};
+  const std::string key = profile_cache_key(sc, grid, options);
+  cache.store_profile(key, deltanc::Solver().solve_profile(sc, grid));
+
+  // Version drift -> stale, no bits served.
+  std::string text = read_file(cache.entry_path(key));
+  const std::string current = std::string("\"") + DELTANC_VERSION_STRING + "\"";
+  const std::size_t at = text.find(current);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, current.size(), "\"0.0.1\"");
+  write_file(cache.entry_path(key), text);
+  e2e::DelayProfile out;
+  EXPECT_EQ(cache.lookup_profile(key, out), CacheLookup::kStale);
+
+  // Unreadable bytes -> corrupt; solve_profile_through recovers by
+  // overwrite and counts the episode as a miss.
+  write_file(cache.entry_path(key), "{\"schema\": truncated garba");
+  EXPECT_EQ(cache.lookup_profile(key, out), CacheLookup::kCorrupt);
+  CacheLookup outcome{};
+  const e2e::DelayProfile solved = cache.solve_profile_through(
+      sc, grid, options,
+      [&] { return deltanc::Solver().solve_profile(sc, grid); }, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kCorrupt);
+  EXPECT_EQ(solved.stats.cache_misses, 1);
+  EXPECT_EQ(solved.stats.cache_hits, 0);
+  EXPECT_EQ(cache.lookup_profile(key, out), CacheLookup::kHit);
+}
+
+TEST_F(ResultCacheTest, SolveProfileThroughCountsExactlyOneOutcome) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::vector<double> grid = {1e-3, 1e-6};
+  const SolveOptions options{};
+  const auto solve = [&] { return deltanc::Solver().solve_profile(sc, grid); };
+
+  CacheLookup outcome{};
+  const e2e::DelayProfile first =
+      cache.solve_profile_through(sc, grid, options, solve, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  EXPECT_EQ(first.stats.cache_misses, 1);
+  EXPECT_EQ(first.stats.cache_hits + first.stats.cache_stale, 0);
+
+  const e2e::DelayProfile second =
+      cache.solve_profile_through(sc, grid, options, solve, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kHit);
+  EXPECT_EQ(second.stats.cache_hits, 1);
+  EXPECT_EQ(second.stats.cache_misses + second.stats.cache_stale, 0);
+  ASSERT_EQ(second.levels.size(), first.levels.size());
+  for (std::size_t i = 0; i < first.levels.size(); ++i) {
+    EXPECT_EQ(second.levels[i].delay_ms, first.levels[i].delay_ms);
+  }
+}
+
+TEST_F(ResultCacheTest, TryStoreProfileSurvivesInjectedFailures) {
+  ResultCache cache(cache_dir());
+  const e2e::Scenario sc = small_scenario();
+  const std::vector<double> grid = {1e-3, 1e-9};
+  const std::string key = profile_cache_key(sc, grid, SolveOptions{});
+  const e2e::DelayProfile solved = deltanc::Solver().solve_profile(sc, grid);
+
+  cache.fail_next_stores(1);
+  EXPECT_FALSE(cache.try_store_profile(key, solved));
+  EXPECT_EQ(cache.stats().store_failures, 1);
+  e2e::DelayProfile out;
+  EXPECT_EQ(cache.lookup_profile(key, out), CacheLookup::kMiss);
+
+  EXPECT_TRUE(cache.try_store_profile(key, solved));
+  EXPECT_EQ(cache.lookup_profile(key, out), CacheLookup::kHit);
+}
+
 TEST_F(ResultCacheTest, SimulationLoweringsDoNotPerturbSolverKeys) {
   // The DRR/SCED simulation lowerings added sim-side config fields only;
   // the solver cache key is a function of the *scenario*, so those
   // lowerings did not bump the schema.  Solver-side fields do: the
-  // warm-start policy in SolveOptions (plus the SIMD/warm-start stats
-  // counters) took the schema from 3 to 4, with a legacy_v3 probe for
-  // stale-schema hits (see io/codec.h).
-  static_assert(kSchemaVersion == 4,
+  // warm-start policy in SolveOptions took the schema from 3 to 4, and
+  // the "kind"-discriminated cache keys plus delay-profile documents
+  // took it from 4 to 5, each with a byte-exact legacy probe
+  // (legacy_v3 / legacy_v4) for stale-schema hits (see io/codec.h).
+  static_assert(kSchemaVersion == 5,
                 "sim-side config fields must not bump the cache schema; "
-                "the schema-4 bump came from the solver-side warm-start "
-                "fields");
+                "the schema-5 bump came from the kind-tagged keys and "
+                "delay-profile documents");
   ResultCache cache(cache_dir());
   for (const sched::SchedulerSpec& spec :
        {sched::SchedulerSpec::drr(2.0, 1.0), sched::SchedulerSpec::sced(),

@@ -12,10 +12,12 @@
 #include <condition_variable>
 #include <filesystem>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/batch.h"
 #include "io/codec.h"
 #include "serve/bounded_queue.h"
 #include "serve/fault_plan.h"
@@ -483,6 +485,108 @@ TEST(SolveServiceTest, DrainAnswersEverythingAcceptedExactlyOnce) {
   EXPECT_EQ(stats.answered, kRequests);
   EXPECT_EQ(stats.solved, 12);
   EXPECT_EQ(stats.served, kRequests - 12);
+}
+
+TEST(SolveServiceTest, ProfileRequestsAnswerThroughEveryWarmLayer) {
+  // A profile request must flow through the same three layers as a
+  // scalar one -- solve+store, in-memory warm hit, disk hit after a
+  // reload -- and every answer must carry identical profile bits.
+  ServeOptions options;
+  options.workers = 1;
+  options.cache_dir = fresh_cache_dir("serve_profile_warm");
+  SolveService service(options);
+  Collector collector;
+  Value eps = Value::array();
+  eps.push_back(io::encode_double(1e-3));
+  eps.push_back(io::encode_double(1e-9));
+  Value req = Value::object();
+  req.set("schema", Value::number(io::kSchemaVersion))
+      .set("id", Value::number(0))
+      .set("scenario", io::encode_scenario(small_scenario(50)))
+      .set("epsilons", std::move(eps));
+  const std::string line = req.dump();
+
+  service.submit(line, collector.sink());
+  collector.wait_for(1);
+  service.submit(line, collector.sink());  // memory hit
+  collector.wait_for(2);
+  service.reload();                        // drops the memory layer
+  service.submit(line, collector.sink());  // disk hit
+  const std::vector<Value> responses = collector.wait_for(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].at("cache").as_string(), "miss");
+  EXPECT_EQ(responses[1].at("cache").as_string(), "hit");
+  EXPECT_EQ(responses[2].at("cache").as_string(), "hit");
+  EXPECT_EQ(responses[2].at("profile").dump(),
+            responses[1].at("profile").dump());
+  const e2e::DelayProfile cold =
+      io::decode_delay_profile(responses[0].at("profile"));
+  const e2e::DelayProfile warm =
+      io::decode_delay_profile(responses[1].at("profile"));
+  ASSERT_EQ(warm.levels.size(), cold.levels.size());
+  for (std::size_t i = 0; i < cold.levels.size(); ++i) {
+    EXPECT_EQ(warm.levels[i].delay_ms, cold.levels[i].delay_ms);
+    EXPECT_EQ(warm.levels[i].sigma, cold.levels[i].sigma);
+  }
+  EXPECT_EQ(warm.stats.cache_hits, 1);
+  EXPECT_EQ(cold.stats.cache_misses, 1);
+
+  service.drain();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.solved, 1);
+  EXPECT_EQ(stats.served, 2);
+  EXPECT_EQ(stats.memory_hits, 1);
+  EXPECT_EQ(stats.cache.stores, 1);
+  EXPECT_EQ(stats.cache.hits, 1);
+}
+
+TEST(SolveServiceTest, ProfileAnswersMatchBatchBytesModuloTimings) {
+  // The serve path must answer a profile request with run_batch's exact
+  // response document (scripts/check_serve.sh diffs the two after
+  // normalizing the wall-clock stats fields; here we do the same).
+  const std::string line = [&] {
+    Value eps = Value::array();
+    eps.push_back(io::encode_double(1e-4));
+    eps.push_back(io::encode_double(1e-7));
+    Value req = Value::object();
+    req.set("schema", Value::number(io::kSchemaVersion))
+        .set("id", Value::number(3))
+        .set("scenario", io::encode_scenario(small_scenario(45)))
+        .set("epsilons", std::move(eps));
+    return req.dump();
+  }();
+
+  ServeOptions options;
+  options.workers = 1;
+  SolveService service(options);
+  Collector collector;
+  service.submit(line, collector.sink());
+  const std::vector<Value> served = collector.wait_for(1);
+  ASSERT_EQ(served.size(), 1u);
+  service.drain();
+
+  std::stringstream in(line + "\n");
+  std::ostringstream out;
+  (void)io::run_batch(in, out, io::BatchOptions{});
+  const std::vector<Value> batched = {Value::parse(
+      out.str().substr(0, out.str().find('\n')))};
+
+  const auto normalize = [](std::string text) {
+    for (const char* field : {"\"scan_ms\":", "\"refine_ms\":"}) {
+      std::size_t at = 0;
+      while ((at = text.find(field, at)) != std::string::npos) {
+        const std::size_t start = at + std::string(field).size();
+        std::size_t end = start;
+        while (end < text.size() && text[end] != ',' && text[end] != '}') {
+          ++end;
+        }
+        text.replace(start, end - start, "0");
+        at = start;
+      }
+    }
+    return text;
+  };
+  EXPECT_EQ(normalize(served[0].dump()), normalize(batched[0].dump()));
 }
 
 }  // namespace

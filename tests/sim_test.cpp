@@ -303,6 +303,35 @@ TEST(DelayRecorderStats, MomentsAndQuantiles) {
   EXPECT_THROW((void)empty.quantile(0.5), std::logic_error);
 }
 
+TEST(QuantileResolvability, TailSampleThreshold) {
+  // The shared heuristic: the (1 - eps) quantile is trusted only when
+  // eps * samples >= min_tail_samples (default 50).
+  EXPECT_TRUE(quantile_resolvable(1e-3, 50000));     // 50 tail samples
+  EXPECT_FALSE(quantile_resolvable(1e-3, 49999));    // 49.999
+  EXPECT_TRUE(quantile_resolvable(1e-6, 100000000));
+  EXPECT_FALSE(quantile_resolvable(1e-6, 1000000));  // only 1 tail sample
+  // Custom tail requirement (PathAnalyzer::validate uses 100).
+  EXPECT_TRUE(quantile_resolvable(1e-3, 100000, 100.0));
+  EXPECT_FALSE(quantile_resolvable(1e-3, 99999, 100.0));
+  // Degenerate inputs are never resolvable.
+  EXPECT_FALSE(quantile_resolvable(0.0, 100000));
+  EXPECT_FALSE(quantile_resolvable(-1e-3, 100000));
+  EXPECT_FALSE(quantile_resolvable(1e-3, 0));
+}
+
+TEST(QuantileResolvability, DeepestEpsilonSelection) {
+  // eps = min_tail / samples, clamped into [floor, 0.5]; consistent
+  // with quantile_resolvable at the returned level.
+  EXPECT_DOUBLE_EQ(deepest_resolvable_epsilon(100000, 100.0, 1e-9), 1e-3);
+  EXPECT_TRUE(quantile_resolvable(
+      deepest_resolvable_epsilon(100000, 100.0, 1e-9), 100000, 100.0));
+  // The floor wins when the sample budget could resolve deeper.
+  EXPECT_DOUBLE_EQ(deepest_resolvable_epsilon(1000000000, 50.0, 1e-6), 1e-6);
+  // Tiny runs clamp to 0.5 (the median is the best one can do).
+  EXPECT_DOUBLE_EQ(deepest_resolvable_epsilon(10, 50.0, 1e-9), 0.5);
+  EXPECT_DOUBLE_EQ(deepest_resolvable_epsilon(0, 50.0, 1e-9), 0.5);
+}
+
 TEST(Tandem, LightLoadDelaysAreMinimal) {
   TandemConfig c;
   c.hops = 3;

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace deltanc {
 namespace {
@@ -141,6 +144,114 @@ TEST(SolverFacade, UnstableScenarioStillClassified) {
       Solver().solve(fig2_scenario(800, sched::SchedulerKind::kBmux));
   EXPECT_EQ(r.delay_ms, kInf);
   EXPECT_FALSE(r.diagnostics.ok());
+}
+
+// ----- delay profiles ----------------------------------------------------
+
+const std::vector<double> kProfileGrid = {1e-3, 1e-5, 1e-7, 1e-9};
+
+TEST(SolverProfile, ColdLevelsAreBitIdenticalToScalarSolves) {
+  // The pinning contract: with warm_start == kCold (the default) every
+  // profile level IS the scalar solve of the same scenario at that
+  // epsilon -- identical bits, identical work counters.  This holds in
+  // either SIMD mode (the whole profile and the scalar baseline follow
+  // the same DELTANC_SIMD path).
+  for (const sched::SchedulerKind sched :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kEdf,
+        sched::SchedulerKind::kSpHigh}) {
+    const e2e::Scenario sc = fig2_scenario(168, sched);
+    const e2e::DelayProfile profile =
+        Solver().solve_profile(sc, kProfileGrid);
+    ASSERT_EQ(profile.levels.size(), kProfileGrid.size());
+    EXPECT_EQ(profile.stats.profile_levels,
+              static_cast<std::int64_t>(kProfileGrid.size()));
+    EXPECT_EQ(profile.stats.profile_chain_hits, 0);
+    for (std::size_t i = 0; i < kProfileGrid.size(); ++i) {
+      e2e::Scenario level = sc;
+      level.epsilon = kProfileGrid[i];
+      const e2e::BoundResult scalar = Solver().solve(level);
+      EXPECT_EQ(profile.levels[i].delay_ms, scalar.delay_ms);
+      EXPECT_EQ(profile.levels[i].gamma, scalar.gamma);
+      EXPECT_EQ(profile.levels[i].s, scalar.s);
+      EXPECT_EQ(profile.levels[i].sigma, scalar.sigma);
+      EXPECT_EQ(profile.levels[i].delta, scalar.delta);
+      EXPECT_EQ(profile.levels[i].stats.optimize_evals,
+                scalar.stats.optimize_evals);
+    }
+  }
+}
+
+TEST(SolverProfile, WarmChainWithinToleranceAndCheaperThanCold) {
+  SolveOptions warm_options;
+  warm_options.warm_start = e2e::WarmStart::kWarm;
+  for (const sched::SchedulerKind sched :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kEdf}) {
+    const e2e::Scenario sc = fig2_scenario(168, sched);
+    const e2e::DelayProfile cold = Solver().solve_profile(sc, kProfileGrid);
+    const e2e::DelayProfile warm =
+        Solver(warm_options).solve_profile(sc, kProfileGrid);
+    ASSERT_EQ(warm.levels.size(), cold.levels.size());
+    for (std::size_t i = 0; i < cold.levels.size(); ++i) {
+      // Same tolerance the self-check battery enforces
+      // (deltanc::kWarmStartRelTol in core/selfcheck.h).
+      EXPECT_NEAR(warm.levels[i].delay_ms, cold.levels[i].delay_ms,
+                  1e-4 * cold.levels[i].delay_ms);
+    }
+    // The chain must actually pay off: every post-seed level reuses
+    // context, and the total search work shrinks.
+    EXPECT_EQ(warm.stats.profile_chain_hits,
+              static_cast<std::int64_t>(kProfileGrid.size()) - 1);
+    EXPECT_LT(warm.stats.optimize_evals, cold.stats.optimize_evals);
+    // d(epsilon) is non-increasing in epsilon under either policy.
+    for (std::size_t i = 1; i < warm.levels.size(); ++i) {
+      EXPECT_LE(warm.levels[i - 1].delay_ms, warm.levels[i].delay_ms);
+      EXPECT_LE(cold.levels[i - 1].delay_ms, cold.levels[i].delay_ms);
+    }
+  }
+}
+
+TEST(SolverProfile, LevelsFollowCallerOrderNotSolveOrder) {
+  // The warm chain visits levels in descending epsilon internally, but
+  // the artifact reports them in the caller's order.
+  const e2e::Scenario sc = fig2_scenario(67, sched::SchedulerKind::kFifo);
+  SolveOptions warm_options;
+  warm_options.warm_start = e2e::WarmStart::kWarm;
+  const std::vector<double> shuffled = {1e-7, 1e-3, 1e-9, 1e-5};
+  const e2e::DelayProfile p = Solver(warm_options).solve_profile(sc, shuffled);
+  ASSERT_EQ(p.epsilons.size(), shuffled.size());
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    EXPECT_EQ(p.epsilons[i], shuffled[i]);
+  }
+  // Deeper epsilon -> larger delay, whatever the visit order was.
+  EXPECT_LT(p.levels[1].delay_ms, p.levels[3].delay_ms);
+  EXPECT_LT(p.levels[3].delay_ms, p.levels[0].delay_ms);
+  EXPECT_LT(p.levels[0].delay_ms, p.levels[2].delay_ms);
+}
+
+TEST(SolverProfile, ValidatesTheEpsilonGrid) {
+  const e2e::Scenario sc = fig2_scenario(67, sched::SchedulerKind::kFifo);
+  EXPECT_THROW((void)Solver().solve_profile(sc, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Solver().solve_profile(sc, std::vector<double>{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Solver().solve_profile(sc, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)Solver().solve_profile(sc, std::vector<double>{1e-3, -1e-6}),
+      std::invalid_argument);
+}
+
+TEST(SolverProfile, CurveBackedSchedulerProfilesCarryNaNDelta) {
+  e2e::Scenario sc = fig2_scenario(67, sched::SchedulerKind::kFifo);
+  sc.scheduler = sched::SchedulerSpec::gps(2.0, 1.0);
+  SolveOptions warm_options;
+  warm_options.warm_start = e2e::WarmStart::kWarm;
+  const e2e::DelayProfile p =
+      Solver(warm_options).solve_profile(sc, kProfileGrid);
+  for (const e2e::BoundResult& level : p.levels) {
+    EXPECT_TRUE(std::isfinite(level.delay_ms));
+    EXPECT_TRUE(std::isnan(level.delta));
+  }
 }
 
 }  // namespace

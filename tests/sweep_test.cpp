@@ -523,6 +523,106 @@ TEST(SweepReportTest, StatsAggregateAcrossPoints) {
   EXPECT_TRUE(report.stats.edf_converged);
 }
 
+TEST(SweepProfileTest, ProfilesAttachToEveryPointAndAggregate) {
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis({0.30, 0.60});
+  SweepOptions opts;
+  opts.profile_epsilons = {1e-3, 1e-6, 1e-9};
+  const SweepReport report = SweepRunner(opts).run(grid);
+
+  e2e::SolveStats expected;
+  for (const SweepPoint& p : report.points) {
+    ASSERT_TRUE(p.ok);
+    ASSERT_TRUE(p.profile.has_value());
+    ASSERT_EQ(p.profile->levels.size(), 3u);
+    expected += p.bound.stats;
+    expected += p.profile->stats;
+    // The scalar bound stays the solve at the scenario's own epsilon,
+    // untouched by the profile ride-along.
+    EXPECT_TRUE(std::isfinite(p.bound.delay_ms));
+  }
+  EXPECT_EQ(report.stats.optimize_evals, expected.optimize_evals);
+  EXPECT_EQ(report.stats.profile_levels,
+            static_cast<std::int64_t>(3 * report.points.size()));
+  // The default warm sweep chains profile levels off the scalar solve.
+  EXPECT_GT(report.stats.profile_chain_hits, 0);
+}
+
+TEST(SweepProfileTest, ColdSweepProfilesArePinnedToScalarSolves) {
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis({0.30, 0.60});
+  SweepOptions opts;
+  opts.warm_start = e2e::WarmStart::kCold;
+  opts.profile_epsilons = {1e-3, 1e-8};
+  const SweepReport report = SweepRunner(opts).run(grid);
+  EXPECT_EQ(report.stats.profile_chain_hits, 0);
+  for (const SweepPoint& p : report.points) {
+    ASSERT_TRUE(p.profile.has_value());
+    for (std::size_t i = 0; i < opts.profile_epsilons.size(); ++i) {
+      e2e::Scenario level = p.scenario;
+      level.epsilon = opts.profile_epsilons[i];
+      const e2e::BoundResult scalar = deltanc::Solver().solve(level);
+      EXPECT_EQ(p.profile->levels[i].delay_ms, scalar.delay_ms);
+      EXPECT_EQ(p.profile->levels[i].gamma, scalar.gamma);
+      EXPECT_EQ(p.profile->levels[i].s, scalar.s);
+      EXPECT_EQ(p.profile->levels[i].sigma, scalar.sigma);
+    }
+  }
+}
+
+TEST(SweepProfileTest, CustomSolverDisablesProfiles) {
+  // A caller-supplied solver produces BoundResults only -- there is no
+  // profile entry point to call, so the ride-along is skipped.
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  grid.cross_utilization_axis({0.30, 0.40});
+  SweepOptions opts;
+  opts.profile_epsilons = {1e-3, 1e-9};
+  opts.solver = [](const e2e::Scenario& sc, e2e::Method method) {
+    return deltanc::Solver(method).solve(sc);
+  };
+  const SweepReport report = SweepRunner(opts).run(grid);
+  for (const SweepPoint& p : report.points) {
+    EXPECT_TRUE(p.ok);
+    EXPECT_FALSE(p.profile.has_value());
+  }
+  EXPECT_EQ(report.stats.profile_levels, 0);
+}
+
+TEST(SweepProfileTest, ProfileCsvIsDeterministicShapedAndQuoted) {
+  e2e::Scenario base;
+  base.epsilon = 1e-6;
+  SweepGrid grid(base);
+  // A curve-backed scheduler whose name contains the CSV separator
+  // ("gps:1,2"): the cell must be RFC-4180 quoted.
+  grid.scheduler_axis(std::vector<sched::SchedulerSpec>{
+      sched::SchedulerSpec(sched::SchedulerKind::kFifo),
+      sched::SchedulerSpec::gps(1.0, 2.0)});
+  SweepOptions opts;
+  opts.warm_start = e2e::WarmStart::kCold;
+  opts.profile_epsilons = {1e-3, 1e-9};
+
+  std::ostringstream first, second;
+  SweepRunner(opts).run(grid).write_profile_csv(first);
+  SweepRunner(opts).run(grid).write_profile_csv(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const std::string text = first.str();
+  EXPECT_EQ(text.rfind("point,hops,scheduler,n0,nc,u_pct,epsilon,delay_ms,"
+                       "gamma,s,sigma,delta\n",
+                       0),
+            0u);
+  EXPECT_NE(text.find("\"gps:1,2\""), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : text) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, grid.size() * opts.profile_epsilons.size() + 1);
+}
+
 TEST(SweepReportTest, TimingFieldsArePopulated) {
   const SweepReport report = SweepRunner().run(small_grid());
   EXPECT_GT(report.wall_ms, 0.0);

@@ -38,6 +38,7 @@
 #include "core/scenario.h"
 #include "core/selfcheck.h"
 #include "core/sweep.h"
+#include "e2e/solver.h"
 #include "io/batch.h"
 #include "sched/scheduler_spec.h"
 #include "serve/listener.h"
@@ -69,9 +70,18 @@ Single-point mode:
   --additive             also print the additive per-node baseline
   --report               print a full markdown report instead
   --simulate <slots>     validate against a simulation of that length
+  --ccdf <lo:hi:pts>     solve the full d(epsilon) CCDF profile on a
+                         log-spaced epsilon grid and print it as CSV on
+                         stdout (full %%.17g precision); honors
+                         --warm-start: warm (default) chains solver
+                         state across levels, cold pins every level
+                         bit-identical to a scalar solve at that epsilon
+  --csv                  print the result as a one-row CSV (same columns
+                         as the --ccdf profile CSV) instead of prose
   --stats                print solver instrumentation (eval counts, EDF
-                         iterations, stage timings); in sweep mode the
-                         counters are summed over all points
+                         iterations, stage timings, profile counters);
+                         in sweep mode the counters are summed over all
+                         points
 
 Sweep mode (repeatable; axes cross-multiply in the order given):
   --sweep <axis>=<lo>:<hi>:<steps>   numeric axis, evenly spaced
@@ -87,6 +97,10 @@ Sweep mode (repeatable; axes cross-multiply in the order given):
                          EDF fixed point); cold solves every point from
                          scratch, bit-identical to a single solve
   --csv                  print only the CSV of the sweep results
+      with --ccdf, every sweep point additionally solves the whole
+      d(epsilon) profile and the profile CSV (one row per point x
+      level) is printed after -- or, with --csv, instead of -- the
+      scalar sweep CSV
 
 Self-check mode:
   --selfcheck            verify solver invariants (scheduler ordering,
@@ -102,10 +116,15 @@ Self-check mode:
 
 Batch service mode (JSONL on stdout, narration on stderr):
   --batch <file|->       answer one JSON solve request per input line
-                         ({"schema":2,"scenario":{...},"options":{...},
-                         "id":...}); responses stream in input order
+                         ({"schema":N,"scenario":{...},"options":{...},
+                         "id":...}); responses stream in input order;
+                         a request carrying a non-empty "epsilons"
+                         array is a profile request and is answered
+                         with the full d(epsilon) artifact
   --emit-batch           print the scenario (or --sweep grid) as a
-                         batch request file instead of solving it
+                         batch request file instead of solving it;
+                         with --ccdf each request carries the epsilon
+                         grid (i.e. becomes a profile request)
   --cache-dir <dir>      persistent result cache directory (default:
                          DELTANC_CACHE_DIR env; no caching when unset)
   --lint-jsonl <file|->  parse+decode a request/response file, report
@@ -284,7 +303,8 @@ void print_stats(const e2e::SolveStats& stats, std::FILE* out) {
                "stats: optimize_evals=%lld eb_evals=%lld sigma_evals=%lld "
                "edf_iterations=%d edf_converged=%s retries=%d fallbacks=%d "
                "scan_ms=%.2f refine_ms=%.2f batched_evals=%lld "
-               "warm_start_hits=%lld brackets_reused=%lld\n",
+               "warm_start_hits=%lld brackets_reused=%lld "
+               "profile_levels=%lld profile_chain_hits=%lld\n",
                static_cast<long long>(stats.optimize_evals),
                static_cast<long long>(stats.eb_evals),
                static_cast<long long>(stats.sigma_evals),
@@ -292,7 +312,42 @@ void print_stats(const e2e::SolveStats& stats, std::FILE* out) {
                stats.retries, stats.fallbacks, stats.scan_ms,
                stats.refine_ms, static_cast<long long>(stats.batched_evals),
                static_cast<long long>(stats.warm_start_hits),
-               static_cast<long long>(stats.brackets_reused));
+               static_cast<long long>(stats.brackets_reused),
+               static_cast<long long>(stats.profile_levels),
+               static_cast<long long>(stats.profile_chain_hits));
+}
+
+/// --ccdf lo:hi:points -> the log-spaced epsilon grid (caller order
+/// lo -> hi; the profile engine reorders internally for warm chaining
+/// but reports levels in this order).
+std::vector<double> parse_ccdf_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() != 3) {
+    usage_error("bad --ccdf spec '" + spec + "' (want lo:hi:points)");
+  }
+  const double lo = parse_double(parts[0].c_str(), "--ccdf");
+  const double hi = parse_double(parts[1].c_str(), "--ccdf");
+  const double points = parse_double(parts[2].c_str(), "--ccdf");
+  if (!(lo > 0.0) || !(lo < 1.0) || !(hi > 0.0) || !(hi < 1.0)) {
+    usage_error("--ccdf epsilons must be in (0, 1)");
+  }
+  if (points < 1 || points != std::floor(points)) {
+    usage_error("--ccdf points must be a positive integer");
+  }
+  const int n = static_cast<int>(points);
+  std::vector<double> eps;
+  eps.reserve(static_cast<std::size_t>(n));
+  if (n == 1) {
+    eps.push_back(lo);
+    return eps;
+  }
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (int i = 0; i < n; ++i) {
+    eps.push_back(std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                     static_cast<double>(n - 1)));
+  }
+  return eps;
 }
 
 /// One "warning: <kind>: <detail>" line per diagnostic warning.
@@ -315,8 +370,11 @@ std::istream* open_input(const std::string& path, std::ifstream& file) {
 }
 
 /// --emit-batch: the scenario (or the --sweep grid over it) rendered as
-/// a JSONL request file on stdout, one request per grid point.
-int run_emit_batch(const SweepGrid& grid, e2e::Method method) {
+/// a JSONL request file on stdout, one request per grid point.  A
+/// non-empty `ccdf_epsilons` (--ccdf) turns every line into a profile
+/// request by attaching the epsilon grid.
+int run_emit_batch(const SweepGrid& grid, e2e::Method method,
+                   const std::vector<double>& ccdf_epsilons) {
   SolveOptions options;
   options.method = method;
   const std::size_t n = grid.size();
@@ -326,9 +384,17 @@ int run_emit_batch(const SweepGrid& grid, e2e::Method method) {
         .set("id", io::json::Value::number(static_cast<double>(i)))
         .set("scenario", io::encode_scenario(grid.scenario_at(i)))
         .set("options", io::encode_solve_options(options));
+    if (!ccdf_epsilons.empty()) {
+      io::json::Value eps = io::json::Value::array();
+      for (double e : ccdf_epsilons) {
+        eps.push_back(io::encode_double(e));
+      }
+      req.set("epsilons", std::move(eps));
+    }
     std::cout << req.dump() << '\n';
   }
-  std::fprintf(stderr, "emit-batch: %zu request(s)\n", n);
+  std::fprintf(stderr, "emit-batch: %zu request(s)%s\n", n,
+               ccdf_epsilons.empty() ? "" : " (profile)");
   return 0;
 }
 
@@ -578,6 +644,7 @@ int main(int argc, char** argv) {
   std::string batch_path;
   std::string lint_path;
   std::string cache_dir;
+  std::vector<double> ccdf_epsilons;
   ServeCliOptions serve_cli;
   std::vector<SweepAxisSpec> sweep_axes;
 
@@ -646,6 +713,8 @@ int main(int argc, char** argv) {
         usage_error("unknown --warm-start policy '" + policy +
                     "' (want warm or cold)");
       }
+    } else if (flag == "--ccdf") {
+      ccdf_epsilons = parse_ccdf_spec(next());
     } else if (flag == "--sweep") {
       sweep_axes.push_back(parse_sweep_spec(next()));
     } else if (flag == "--selfcheck") {
@@ -705,14 +774,15 @@ int main(int argc, char** argv) {
   if (!serve_cli.socket_path.empty()) {
     if (!batch_path.empty() || want_selfcheck || want_emit_batch ||
         want_report || want_additive || simulate_slots > 0 || csv_only ||
-        !sweep_axes.empty()) {
+        !sweep_axes.empty() || !ccdf_epsilons.empty()) {
       usage_error("--serve cannot be combined with other modes");
     }
     return run_serve_mode(serve_cli, threads, method, cache_dir);
   }
   if (!batch_path.empty()) {
     if (want_selfcheck || want_emit_batch || want_report || want_additive ||
-        simulate_slots > 0 || csv_only || !sweep_axes.empty()) {
+        simulate_slots > 0 || csv_only || !sweep_axes.empty() ||
+        !ccdf_epsilons.empty()) {
       usage_error("--batch cannot be combined with other modes");
     }
     return run_batch_mode(batch_path, threads, method, cache_dir, want_stats);
@@ -725,13 +795,14 @@ int main(int argc, char** argv) {
     }
     SweepGrid grid(scenario);
     for (const SweepAxisSpec& spec : sweep_axes) apply_axis(grid, spec);
-    return run_emit_batch(grid, method);
+    return run_emit_batch(grid, method, ccdf_epsilons);
   }
 
   if (want_selfcheck) {
-    if (want_report || want_additive || simulate_slots > 0 || csv_only) {
+    if (want_report || want_additive || simulate_slots > 0 || csv_only ||
+        !ccdf_epsilons.empty()) {
       usage_error("--selfcheck cannot be combined with --report / "
-                  "--additive / --simulate / --csv");
+                  "--additive / --simulate / --csv / --ccdf");
     }
     SelfCheckOptions options;
     options.threads = threads;
@@ -782,6 +853,7 @@ int main(int argc, char** argv) {
     opts.threads = threads;
     opts.method = method;
     opts.warm_start = warm_start;
+    opts.profile_epsilons = ccdf_epsilons;
     opts.progress = [](std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\rsolving %zu/%zu", done, total);
       if (done == total) std::fprintf(stderr, "\n");
@@ -789,11 +861,21 @@ int main(int argc, char** argv) {
     const SweepReport report = SweepRunner(opts).run(grid);
 
     if (csv_only) {
-      report.write_csv(std::cout);
+      // With --ccdf the profile CSV *is* the machine output (one header,
+      // one row per point x level); without it, the scalar sweep CSV.
+      if (!ccdf_epsilons.empty()) {
+        report.write_profile_csv(std::cout);
+      } else {
+        report.write_csv(std::cout);
+      }
     } else {
       report.to_table().print(std::cout);
       std::printf("\ncsv:\n");
       report.write_csv(std::cout);
+      if (!ccdf_epsilons.empty()) {
+        std::printf("\nprofile csv:\n");
+        report.write_profile_csv(std::cout);
+      }
     }
     std::FILE* tail = stderr;
     std::fprintf(tail,
@@ -817,6 +899,43 @@ int main(int argc, char** argv) {
     return (report.warned() + report.recovered() > 0) ? 3 : 0;
   }
 
+  if (!ccdf_epsilons.empty()) {
+    if (want_report || want_additive || simulate_slots > 0) {
+      usage_error("--ccdf cannot be combined with --report / --additive / "
+                  "--simulate");
+    }
+    // stdout carries only the profile CSV; narration goes to stderr.
+    print_scenario(scenario, stderr);
+    SolveOptions profile_options;
+    profile_options.method = method;
+    profile_options.warm_start = warm_start;
+    const Solver solver(profile_options);
+    e2e::DelayProfile profile;
+    try {
+      profile = solver.solve_profile(scenario, ccdf_epsilons);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "deltanc_cli: profile solve failed: %s\n",
+                   e.what());
+      return 1;
+    }
+    SweepReport one;
+    one.points.resize(1);
+    one.points[0].scenario = scenario;
+    one.points[0].profile = profile;
+    one.write_profile_csv(std::cout);
+    for (std::size_t i = 0; i < profile.levels.size(); ++i) {
+      for (const diag::Warning& w : profile.levels[i].diagnostics.warnings) {
+        std::fprintf(stderr, "warning: [eps=%g] %s: %s\n",
+                     profile.epsilons[i], diag::solve_error_name(w.kind),
+                     w.message.c_str());
+      }
+    }
+    if (want_stats) print_stats(profile.stats, stderr);
+    // Stability (and hence finiteness) does not depend on epsilon, so
+    // the first level speaks for the whole profile.
+    return std::isfinite(profile.levels.front().delay_ms) ? 0 : 1;
+  }
+
   if (want_report) {
     ReportOptions options;
     options.simulate_slots = simulate_slots;
@@ -824,6 +943,29 @@ int main(int argc, char** argv) {
     return 0;
   }
   const PathAnalyzer analyzer(scenario);
+
+  if (csv_only) {
+    if (want_additive || simulate_slots > 0) {
+      usage_error("--csv (single-point) cannot be combined with --additive / "
+                  "--simulate");
+    }
+    // One row in the profile CSV shape, carrying the scalar solve at the
+    // scenario's own epsilon -- byte-comparable against any --ccdf level
+    // of the same scenario (scripts/check.sh gates on exactly that).
+    print_scenario(scenario, stderr);
+    const e2e::BoundResult bound = analyzer.bound(method);
+    SweepReport one;
+    one.points.resize(1);
+    one.points[0].scenario = scenario;
+    e2e::DelayProfile single;
+    single.epsilons = {scenario.epsilon};
+    single.levels = {bound};
+    one.points[0].profile = std::move(single);
+    one.write_profile_csv(std::cout);
+    print_warnings(bound, stderr);
+    if (want_stats) print_stats(bound.stats, stderr);
+    return std::isfinite(bound.delay_ms) ? 0 : 1;
+  }
 
   print_scenario(scenario);
 
